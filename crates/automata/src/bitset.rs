@@ -1,0 +1,144 @@
+//! A small growable bitset used for NFA state sets.
+//!
+//! Query automata have tens of states at most, so state sets are one or two
+//! `u64` words; the set is still fully general. Operations the evaluator hot
+//! loop needs (clear, union, iterate) avoid allocation.
+
+/// A fixed-capacity bitset over `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True if the two sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let mut s = BitSet::new(200);
+        for i in [3usize, 64, 65, 150] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        b.insert(69);
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(69));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(5);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

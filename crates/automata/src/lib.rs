@@ -1,0 +1,25 @@
+//! # lahar-automata — symbolic automata over set-predicate alphabets
+//!
+//! The automaton machinery behind Lahar's regular-query evaluation
+//! (paper §3.1): regular expressions whose atoms are *set predicates* over
+//! a universe of match/accept symbols — "input contains all of S"
+//! ([`Pred::Superset`]) or "input is disjoint from S" ([`Pred::Disjoint`]) —
+//! compiled via Thompson construction into ε-free NFAs that are simulated
+//! with bitset state sets.
+//!
+//! This crate is independent of the probabilistic machinery: it knows
+//! nothing about streams or probabilities. `lahar-core` layers the Markov
+//! chain over (hidden value × automaton state) pairs on top of
+//! [`Nfa::step_into`].
+
+#![warn(missing_docs)]
+
+mod bitset;
+mod nfa;
+mod pred;
+mod regex;
+
+pub use bitset::BitSet;
+pub use nfa::Nfa;
+pub use pred::{Pred, SymbolSet};
+pub use regex::Regex;

@@ -1,0 +1,340 @@
+//! Thompson construction and ε-free NFA stepping.
+//!
+//! Lahar compiles the translated regular expression to an NFA once per
+//! query, then *simulates* it: the evaluator carries a set of active states
+//! ([`BitSet`]) per hidden chain value and advances all of them on each
+//! timestep's symbol set. Epsilon edges are eliminated at build time so the
+//! per-step transition touches only labeled edges.
+
+use crate::bitset::BitSet;
+use crate::pred::{Pred, SymbolSet};
+use crate::regex::Regex;
+
+/// An ε-free nondeterministic finite automaton over [`SymbolSet`] inputs.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Per-state labeled edges; targets are pre-closed under ε.
+    edges: Vec<Vec<(Pred, usize)>>,
+    /// ε-closure of each state, used to close edge targets during stepping.
+    closures: Vec<BitSet>,
+    /// Accepting states (of the underlying Thompson automaton).
+    accepting: BitSet,
+    /// ε-closure of the start state.
+    initial: BitSet,
+}
+
+/// Thompson fragment: entry and exit state of a sub-automaton.
+struct Frag {
+    start: usize,
+    end: usize,
+}
+
+/// Mutable automaton under construction (with ε edges).
+#[derive(Default)]
+struct Builder {
+    eps: Vec<Vec<usize>>,
+    trans: Vec<Vec<(Pred, usize)>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.trans.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    fn compile(&mut self, re: &Regex) -> Frag {
+        match re {
+            Regex::Epsilon => {
+                let s = self.state();
+                Frag { start: s, end: s }
+            }
+            Regex::Pred(p) => {
+                let start = self.state();
+                let end = self.state();
+                self.trans[start].push((*p, end));
+                Frag { start, end }
+            }
+            Regex::Concat(xs) => {
+                let mut frag: Option<Frag> = None;
+                for x in xs {
+                    let next = self.compile(x);
+                    frag = Some(match frag {
+                        None => next,
+                        Some(prev) => {
+                            self.eps[prev.end].push(next.start);
+                            Frag {
+                                start: prev.start,
+                                end: next.end,
+                            }
+                        }
+                    });
+                }
+                frag.unwrap_or_else(|| {
+                    let s = self.state();
+                    Frag { start: s, end: s }
+                })
+            }
+            Regex::Alt(xs) => {
+                let start = self.state();
+                let end = self.state();
+                for x in xs {
+                    let f = self.compile(x);
+                    self.eps[start].push(f.start);
+                    self.eps[f.end].push(end);
+                }
+                Frag { start, end }
+            }
+            Regex::Plus(x) => {
+                let f = self.compile(x);
+                let end = self.state();
+                self.eps[f.end].push(f.start);
+                self.eps[f.end].push(end);
+                Frag {
+                    start: f.start,
+                    end,
+                }
+            }
+            Regex::Star(x) => {
+                let start = self.state();
+                let f = self.compile(x);
+                let end = self.state();
+                self.eps[start].push(f.start);
+                self.eps[start].push(end);
+                self.eps[f.end].push(f.start);
+                self.eps[f.end].push(end);
+                Frag { start, end }
+            }
+        }
+    }
+
+    fn closure_of(&self, s: usize) -> BitSet {
+        let n = self.eps.len();
+        let mut set = BitSet::new(n);
+        let mut stack = vec![s];
+        set.insert(s);
+        while let Some(u) = stack.pop() {
+            for &v in &self.eps[u] {
+                if !set.contains(v) {
+                    set.insert(v);
+                    stack.push(v);
+                }
+            }
+        }
+        set
+    }
+}
+
+impl Nfa {
+    /// Compiles a regular expression.
+    pub fn compile(re: &Regex) -> Self {
+        let mut b = Builder::default();
+        let frag = b.compile(re);
+        let n = b.eps.len();
+        let closures: Vec<BitSet> = (0..n).map(|s| b.closure_of(s)).collect();
+
+        // Flatten: from any state s, the labeled edges available are those of
+        // every state in closure(s). Precomputing this keeps `step` a pure
+        // scan over the edges of active states.
+        let mut edges: Vec<Vec<(Pred, usize)>> = vec![Vec::new(); n];
+        for s in 0..n {
+            let mut out: Vec<(Pred, usize)> = Vec::new();
+            for u in closures[s].iter() {
+                for &(p, t) in &b.trans[u] {
+                    if !out.contains(&(p, t)) {
+                        out.push((p, t));
+                    }
+                }
+            }
+            edges[s] = out;
+        }
+
+        let mut accepting = BitSet::new(n);
+        accepting.insert(frag.end);
+        let initial = closures[frag.start].clone();
+        Self {
+            edges,
+            closures,
+            accepting,
+            initial,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The initial state set (ε-closure of the start state).
+    pub fn initial(&self) -> &BitSet {
+        &self.initial
+    }
+
+    /// True if the state set contains an accepting state.
+    ///
+    /// State sets produced by [`Nfa::initial`] / [`Nfa::step_into`] are
+    /// always ε-closed, so a direct intersection test suffices.
+    pub fn is_accepting(&self, states: &BitSet) -> bool {
+        states.intersects(&self.accepting)
+    }
+
+    /// Advances `from` on input `input`, writing the (ε-closed) successor
+    /// set into `out`. `out` is cleared first; no allocation happens when
+    /// `out` has the right capacity.
+    pub fn step_into(&self, from: &BitSet, input: SymbolSet, out: &mut BitSet) {
+        out.clear();
+        for s in from.iter() {
+            for &(p, t) in &self.edges[s] {
+                if p.matches(input) {
+                    out.union_with(&self.closures[t]);
+                }
+            }
+        }
+    }
+
+    /// Convenience allocating form of [`Nfa::step_into`].
+    pub fn step(&self, from: &BitSet, input: SymbolSet) -> BitSet {
+        let mut out = BitSet::new(self.n_states());
+        self.step_into(from, input, &mut out);
+        out
+    }
+
+    /// The labeled edges out of state `s` (targets not ε-closed; pair with
+    /// [`Nfa::closure`]). Used by bulk simulators such as the bitvector
+    /// sampler.
+    pub fn edges(&self, s: usize) -> &[(Pred, usize)] {
+        &self.edges[s]
+    }
+
+    /// All distinct edge predicates in the automaton.
+    pub fn distinct_preds(&self) -> Vec<Pred> {
+        let mut out: Vec<Pred> = Vec::new();
+        for es in &self.edges {
+            for &(p, _) in es {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// The ε-closure of state `s`.
+    pub fn closure(&self, s: usize) -> &BitSet {
+        &self.closures[s]
+    }
+
+    /// The accepting states of the underlying Thompson automaton.
+    pub fn accepting_states(&self) -> &BitSet {
+        &self.accepting
+    }
+
+    /// Runs the automaton over a whole word from the initial set.
+    pub fn accepts(&self, word: &[SymbolSet]) -> bool {
+        let mut cur = self.initial.clone();
+        let mut next = BitSet::new(self.n_states());
+        for &sym in word {
+            self.step_into(&cur, sym, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        self.is_accepting(&cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::SymbolSet as S;
+
+    fn sets(bits: &[&[u32]]) -> Vec<S> {
+        bits.iter()
+            .map(|b| {
+                let mut s = S::EMPTY;
+                for &x in *b {
+                    s.insert(x);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_atom() {
+        let nfa = Nfa::compile(&Regex::superset(S::singleton(0)));
+        assert!(nfa.accepts(&sets(&[&[0]])));
+        assert!(nfa.accepts(&sets(&[&[0, 5]])));
+        assert!(!nfa.accepts(&sets(&[&[1]])));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&sets(&[&[0], &[0]])));
+    }
+
+    #[test]
+    fn epsilon_and_empty_concat() {
+        let nfa = Nfa::compile(&Regex::Epsilon);
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&sets(&[&[0]])));
+        let nfa = Nfa::compile(&Regex::Concat(vec![]));
+        assert!(nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn paper_example_3_12() {
+        // .* {a1} ¬{m2,a2}* {a2}  with bits m1=0,a1=1,m2=2,a2=3.
+        let e = Regex::any_star()
+            .then(Regex::superset(S::singleton(1)))
+            .then(Regex::disjoint(S::singleton(2).union(S::singleton(3))).star())
+            .then(Regex::superset(S::singleton(3)));
+        let nfa = Nfa::compile(&e);
+        // q_f on input R(a) R(c) R(b): accepted.
+        assert!(nfa.accepts(&sets(&[&[0, 1], &[], &[2, 3]])));
+        // q_s on the same input: middle symbol {m2} kills both edges.
+        assert!(!nfa.accepts(&sets(&[&[0, 1, 2], &[2], &[2, 3]])));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let e = Regex::superset(S::singleton(0)).plus();
+        let nfa = Nfa::compile(&e);
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&sets(&[&[0]])));
+        assert!(nfa.accepts(&sets(&[&[0], &[0], &[0]])));
+        assert!(!nfa.accepts(&sets(&[&[0], &[1]])));
+    }
+
+    #[test]
+    fn alternation() {
+        let e = Regex::Alt(vec![
+            Regex::superset(S::singleton(0)),
+            Regex::superset(S::singleton(1)),
+        ]);
+        let nfa = Nfa::compile(&e);
+        assert!(nfa.accepts(&sets(&[&[0]])));
+        assert!(nfa.accepts(&sets(&[&[1]])));
+        assert!(!nfa.accepts(&sets(&[&[2]])));
+    }
+
+    #[test]
+    fn step_is_incremental() {
+        let e = Regex::any_star().then(Regex::superset(S::singleton(1)));
+        let nfa = Nfa::compile(&e);
+        let mut cur = nfa.initial().clone();
+        assert!(!nfa.is_accepting(&cur));
+        cur = nfa.step(&cur, S::singleton(0));
+        assert!(!nfa.is_accepting(&cur));
+        cur = nfa.step(&cur, S::singleton(1));
+        assert!(nfa.is_accepting(&cur));
+        // Accepting is not sticky: the query must re-fire to accept again.
+        cur = nfa.step(&cur, S::singleton(0));
+        assert!(!nfa.is_accepting(&cur));
+    }
+
+    #[test]
+    fn dead_state_set_stays_dead() {
+        let e = Regex::superset(S::singleton(0)).then(Regex::superset(S::singleton(1)));
+        let nfa = Nfa::compile(&e);
+        let cur = nfa.step(nfa.initial(), S::singleton(5));
+        assert!(cur.is_empty());
+        let cur = nfa.step(&cur, S::singleton(0));
+        assert!(cur.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The symbolic alphabet of Lahar's translated queries.
+//!
+//! The paper (§3.1.1) translates a query with subgoals `g1 … gn` into a
+//! regular expression over `Σ = P(L_q)` where
+//! `L_q = {m1 … mn, a1 … an}`: at each timestep the input is the *set* of
+//! match/accept symbols produced by that timestep's events. We represent an
+//! element of `Σ` as a bitmask ([`SymbolSet`]) and edge labels as set
+//! predicates ([`Pred`]): either "input ⊇ S" or "input ∩ S = ∅".
+
+use std::fmt;
+
+/// A subset of the query's symbol universe `L_q`, packed into a `u64`.
+///
+/// Lahar assigns bit `2i` to the *match* symbol `m_i` and bit `2i + 1` to
+/// the *accept* symbol `a_i` of subgoal `i` (a convention, not a
+/// requirement of this crate). A `u64` bounds queries at 32 subgoals — far
+/// beyond the ≤5 the paper finds practical (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SymbolSet(pub u64);
+
+impl SymbolSet {
+    /// The empty set.
+    pub const EMPTY: SymbolSet = SymbolSet(0);
+
+    /// A singleton set of the given symbol index.
+    pub fn singleton(bit: u32) -> Self {
+        SymbolSet(1u64 << bit)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: SymbolSet) -> Self {
+        SymbolSet(self.0 | other.0)
+    }
+
+    /// Inserts a symbol index in place.
+    pub fn insert(&mut self, bit: u32) {
+        self.0 |= 1u64 << bit;
+    }
+
+    /// True if the symbol index is present.
+    pub fn contains(self, bit: u32) -> bool {
+        self.0 & (1u64 << bit) != 0
+    }
+
+    /// True if `self ⊇ other`.
+    pub fn is_superset(self, other: SymbolSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if `self ∩ other = ∅`.
+    pub fn is_disjoint(self, other: SymbolSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of symbols in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True for the empty set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for bit in 0..64 {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{bit}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An atomic predicate over [`SymbolSet`] inputs — the edge labels of
+/// Lahar's automata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Matches inputs that contain every symbol of the set (`σ ⊇ S`).
+    Superset(SymbolSet),
+    /// Matches inputs disjoint from the set (`σ ∩ S = ∅`). `Disjoint(∅)` is
+    /// the wildcard.
+    Disjoint(SymbolSet),
+}
+
+impl Pred {
+    /// The wildcard predicate (matches every input).
+    pub fn any() -> Self {
+        Pred::Disjoint(SymbolSet::EMPTY)
+    }
+
+    /// Evaluates the predicate on an input symbol set.
+    #[inline]
+    pub fn matches(self, input: SymbolSet) -> bool {
+        match self {
+            Pred::Superset(s) => input.is_superset(s),
+            Pred::Disjoint(s) => input.is_disjoint(s),
+        }
+    }
+
+    /// True for the wildcard.
+    pub fn is_any(self) -> bool {
+        matches!(self, Pred::Disjoint(s) | Pred::Superset(s) if s.is_empty())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Superset(s) if s.is_empty() => write!(f, "."),
+            Pred::Disjoint(s) if s.is_empty() => write!(f, "."),
+            Pred::Superset(s) => write!(f, "{s}"),
+            Pred::Disjoint(s) => write!(f, "¬{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut s = SymbolSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(10);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        let t = SymbolSet::singleton(3);
+        assert!(s.is_superset(t));
+        assert!(!t.is_superset(s));
+        assert!(t.is_disjoint(SymbolSet::singleton(4)));
+        assert_eq!(s.union(SymbolSet::singleton(4)).len(), 3);
+    }
+
+    #[test]
+    fn superset_predicate() {
+        let p = Pred::Superset(SymbolSet::singleton(1).union(SymbolSet::singleton(2)));
+        let mut input = SymbolSet::singleton(1);
+        assert!(!p.matches(input));
+        input.insert(2);
+        assert!(p.matches(input));
+        input.insert(5);
+        assert!(p.matches(input));
+    }
+
+    #[test]
+    fn disjoint_predicate() {
+        let p = Pred::Disjoint(SymbolSet::singleton(0));
+        assert!(p.matches(SymbolSet::EMPTY));
+        assert!(p.matches(SymbolSet::singleton(1)));
+        assert!(!p.matches(SymbolSet::singleton(0)));
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let p = Pred::any();
+        assert!(p.is_any());
+        assert!(p.matches(SymbolSet::EMPTY));
+        assert!(p.matches(SymbolSet(u64::MAX)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pred::any().to_string(), ".");
+        assert_eq!(
+            Pred::Superset(SymbolSet::singleton(2)).to_string(),
+            "{2}"
+        );
+        assert_eq!(
+            Pred::Disjoint(SymbolSet::singleton(1)).to_string(),
+            "¬{1}"
+        );
+    }
+}

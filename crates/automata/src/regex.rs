@@ -1,0 +1,222 @@
+//! Symbolic regular expressions.
+//!
+//! The paper's translated query grammar (§3.1.1) is
+//! `E = P | (E, E) | E+ | E*` where `P` is a set predicate. We add
+//! alternation and ε for generality; they fall out of Thompson construction
+//! for free and make the crate reusable.
+
+use crate::pred::{Pred, SymbolSet};
+use std::fmt;
+
+/// A regular expression over [`SymbolSet`] inputs with [`Pred`] atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty word ε.
+    Epsilon,
+    /// An atomic predicate consuming exactly one input symbol set.
+    Pred(Pred),
+    /// Concatenation, in order.
+    Concat(Vec<Regex>),
+    /// Alternation (union).
+    Alt(Vec<Regex>),
+    /// One or more repetitions.
+    Plus(Box<Regex>),
+    /// Zero or more repetitions.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// The wildcard atom `.`.
+    pub fn any() -> Self {
+        Regex::Pred(Pred::any())
+    }
+
+    /// `.*` — matches any word, used to anchor queries at any start time.
+    pub fn any_star() -> Self {
+        Regex::Star(Box::new(Regex::any()))
+    }
+
+    /// An atom matching inputs that contain all of `set`.
+    pub fn superset(set: SymbolSet) -> Self {
+        Regex::Pred(Pred::Superset(set))
+    }
+
+    /// An atom matching inputs disjoint from `set`.
+    pub fn disjoint(set: SymbolSet) -> Self {
+        Regex::Pred(Pred::Disjoint(set))
+    }
+
+    /// Concatenates `self` then `other`, flattening nested concatenations.
+    #[must_use]
+    pub fn then(self, other: Regex) -> Self {
+        match (self, other) {
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (Regex::Concat(mut xs), Regex::Concat(ys)) => {
+                xs.extend(ys);
+                Regex::Concat(xs)
+            }
+            (Regex::Concat(mut xs), r) => {
+                xs.push(r);
+                Regex::Concat(xs)
+            }
+            (l, Regex::Concat(mut ys)) => {
+                ys.insert(0, l);
+                Regex::Concat(ys)
+            }
+            (l, r) => Regex::Concat(vec![l, r]),
+        }
+    }
+
+    /// Wraps in Kleene plus.
+    #[must_use]
+    pub fn plus(self) -> Self {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// Wraps in Kleene star.
+    #[must_use]
+    pub fn star(self) -> Self {
+        Regex::Star(Box::new(self))
+    }
+
+    /// True if the expression matches the empty word.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Pred(_) => false,
+            Regex::Concat(xs) => xs.iter().all(Regex::nullable),
+            Regex::Alt(xs) => xs.iter().any(Regex::nullable),
+            Regex::Plus(x) => x.nullable(),
+            Regex::Star(_) => true,
+        }
+    }
+
+    /// Reference matcher: does the expression match the *entire* word?
+    ///
+    /// Straightforward structural recursion with explicit split-point
+    /// enumeration — exponential in the worst case, used only to
+    /// differential-test the NFA on small inputs.
+    pub fn matches_word(&self, word: &[SymbolSet]) -> bool {
+        match self {
+            Regex::Epsilon => word.is_empty(),
+            Regex::Pred(p) => word.len() == 1 && p.matches(word[0]),
+            Regex::Concat(xs) => match xs.split_first() {
+                None => word.is_empty(),
+                Some((head, tail)) => (0..=word.len()).any(|k| {
+                    head.matches_word(&word[..k])
+                        && Regex::Concat(tail.to_vec()).matches_word(&word[k..])
+                }),
+            },
+            Regex::Alt(xs) => xs.iter().any(|x| x.matches_word(word)),
+            Regex::Plus(x) => (1..=word.len()).any(|k| {
+                x.matches_word(&word[..k])
+                    && (word.len() == k || Regex::Plus(x.clone()).matches_word(&word[k..]))
+            }) || (x.nullable() && word.is_empty()),
+            Regex::Star(x) => {
+                word.is_empty()
+                    || (1..=word.len()).any(|k| {
+                        x.matches_word(&word[..k])
+                            && Regex::Star(x.clone()).matches_word(&word[k..])
+                    })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Pred(p) => write!(f, "{p}"),
+            Regex::Concat(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(", "))
+            }
+            Regex::Alt(xs) => {
+                let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            Regex::Plus(x) => write!(f, "{x}+"),
+            Regex::Star(x) => write!(f, "{x}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bit: u32) -> SymbolSet {
+        SymbolSet::singleton(bit)
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::any().nullable());
+        assert!(Regex::any_star().nullable());
+        assert!(!Regex::any().plus().nullable());
+        assert!(Regex::Concat(vec![Regex::Epsilon, Regex::any_star()]).nullable());
+        assert!(Regex::Alt(vec![Regex::any(), Regex::Epsilon]).nullable());
+    }
+
+    #[test]
+    fn then_flattens() {
+        let r = Regex::any().then(Regex::any()).then(Regex::any());
+        match r {
+            Regex::Concat(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected concat, got {other:?}"),
+        }
+        assert_eq!(Regex::Epsilon.then(Regex::any()), Regex::any());
+    }
+
+    #[test]
+    fn reference_matcher_basics() {
+        // {a1}, ¬{m2,a2}*, {a2} — the paper's Ex 3.12 skeleton.
+        let a1 = s(1);
+        let m2a2 = s(2).union(s(3));
+        let a2 = s(3);
+        let e = Regex::superset(a1)
+            .then(Regex::disjoint(m2a2).star())
+            .then(Regex::superset(a2));
+
+        let w = |bits: &[&[u32]]| -> Vec<SymbolSet> {
+            bits.iter()
+                .map(|b| {
+                    let mut set = SymbolSet::EMPTY;
+                    for &x in *b {
+                        set.insert(x);
+                    }
+                    set
+                })
+                .collect()
+        };
+
+        // q_f translation of input R(a) R(c) R(b): {m1,a1}, {}, {m2,a2}.
+        assert!(e.matches_word(&w(&[&[0, 1], &[], &[2, 3]])));
+        // q_s translation: {m1,a1,m2}, {m2}, {m2,a2} — middle symbol hits m2.
+        assert!(!e.matches_word(&w(&[&[0, 1, 2], &[2], &[2, 3]])));
+        // Wrong length.
+        assert!(!e.matches_word(&w(&[&[0, 1]])));
+    }
+
+    #[test]
+    fn plus_and_star() {
+        let e = Regex::superset(s(0)).plus();
+        let one = vec![s(0)];
+        let three = vec![s(0); 3];
+        assert!(e.matches_word(&one));
+        assert!(e.matches_word(&three));
+        assert!(!e.matches_word(&[]));
+        let st = Regex::superset(s(0)).star();
+        assert!(st.matches_word(&[]));
+        assert!(st.matches_word(&three));
+        assert!(!st.matches_word(&[SymbolSet::EMPTY]));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = Regex::any_star().then(Regex::superset(s(1)));
+        assert_eq!(e.to_string(), "(.*, {1})");
+    }
+}

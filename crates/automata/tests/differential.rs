@@ -1,0 +1,66 @@
+//! Differential testing: the Thompson NFA must agree with the structural
+//! reference matcher on arbitrary regexes and words.
+
+use lahar_automata::{Nfa, Regex, SymbolSet};
+use proptest::prelude::*;
+
+/// Strategy for symbol sets over a tiny universe (4 bits) so collisions
+/// between predicates and inputs are common.
+fn symbol_set() -> impl Strategy<Value = SymbolSet> {
+    (0u64..16).prop_map(SymbolSet)
+}
+
+fn regex(depth: u32) -> BoxedStrategy<Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        symbol_set().prop_map(Regex::superset),
+        symbol_set().prop_map(Regex::disjoint),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| r.plus()),
+            inner.prop_map(|r| r.star()),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_reference_matcher(
+        re in regex(3),
+        word in prop::collection::vec(symbol_set(), 0..6),
+    ) {
+        let nfa = Nfa::compile(&re);
+        prop_assert_eq!(
+            nfa.accepts(&word),
+            re.matches_word(&word),
+            "regex {} on word {:?}", re, word
+        );
+    }
+
+    #[test]
+    fn empty_word_acceptance_equals_nullability(re in regex(3)) {
+        let nfa = Nfa::compile(&re);
+        prop_assert_eq!(nfa.accepts(&[]), re.nullable());
+    }
+
+    #[test]
+    fn star_always_accepts_prefix_free_restart(
+        re in regex(2),
+        word in prop::collection::vec(symbol_set(), 0..5),
+    ) {
+        // r* matches any word that splits into r-matching chunks; in
+        // particular r* matches the empty word and r+ implies r*.
+        let star = Nfa::compile(&re.clone().star());
+        let plus = Nfa::compile(&re.clone().plus());
+        prop_assert!(star.accepts(&[]));
+        if plus.accepts(&word) {
+            prop_assert!(star.accepts(&word), "regex {}+ accepted but {}* not on {:?}", re, re, word);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic complex event detection (a Cayuga/SASE-style engine).
+//!
+//! Runs an event query over a *deterministic* event stream — the output of
+//! MLE or Viterbi determinization, or a ground-truth trace — using the same
+//! symbol-set/NFA machinery as the probabilistic engine, but with plain
+//! boolean state. This is the execution model of the paper's deterministic
+//! competitors and also how ground-truth event sets are derived for the
+//! quality metrics.
+//!
+//! Exactness: grounding shared variables commutes with the Fig-2 successor
+//! semantics only for (extended) regular queries, so [`DeterministicCep`]
+//! requires that class; anything else should use the reference evaluator
+//! `lahar_query::eval_query` directly.
+
+use lahar_automata::{BitSet, Nfa};
+use lahar_model::{Database, Value, World};
+use lahar_query::{
+    is_extended_regular, is_regular, shared_vars, Binding, NormalQuery, QueryError, Term, Var,
+};
+use std::collections::BTreeSet;
+
+/// A compiled deterministic detector for one query over worlds.
+pub struct DeterministicCep {
+    groundings: Vec<(Vec<lahar_query::NormalItem>, Nfa)>,
+}
+
+impl DeterministicCep {
+    /// Compiles the query for a particular world. Fails unless the query is
+    /// regular or extended regular (see module docs).
+    pub fn new(db: &Database, world: &World, nq: &NormalQuery) -> Result<Self, QueryError> {
+        if !is_regular(nq) && !is_extended_regular(db.catalog(), nq) {
+            return Err(QueryError::NotInClass(
+                "regular or extended regular (deterministic CEP)".to_owned(),
+            ));
+        }
+        let shared: Vec<Var> = shared_vars(&nq.items).into_iter().collect();
+        let bindings = enumerate_world_bindings(world, &nq.items, &shared);
+        let mut groundings = Vec::with_capacity(bindings.len().max(1));
+        for binding in bindings {
+            let items = lahar_core::substitute_items(&nq.items, &binding);
+            let nfa = Nfa::compile(&lahar_core::build_regex(&items));
+            groundings.push((items, nfa));
+        }
+        Ok(Self { groundings })
+    }
+
+    /// Runs detection: `out[t]` is true when the query is satisfied at `t`.
+    pub fn detect(&self, db: &Database, world: &World) -> Result<Vec<bool>, QueryError> {
+        let horizon = world.t_max() as usize + 1;
+        let mut out = vec![false; horizon];
+        for (items, nfa) in &self.groundings {
+            let mut cur = nfa.initial().clone();
+            let mut next = BitSet::new(nfa.n_states());
+            for (t, slot) in out.iter_mut().enumerate() {
+                let mut sym = lahar_automata::SymbolSet::EMPTY;
+                for event in world.events_at(t as u32) {
+                    sym = sym.union(
+                        lahar_core::symbols_for_event(db, event, items)
+                            .map_err(engine_to_query)?,
+                    );
+                }
+                nfa.step_into(&cur, sym, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+                *slot |= nfa.is_accepting(&cur);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of grounded automata.
+    pub fn n_groundings(&self) -> usize {
+        self.groundings.len()
+    }
+}
+
+fn engine_to_query(e: lahar_core::EngineError) -> QueryError {
+    match e {
+        lahar_core::EngineError::Query(q) => q,
+        other => QueryError::NotInClass(other.to_string()),
+    }
+}
+
+/// Candidate bindings for the shared variables, drawn from the world's
+/// events (per variable: the values observed at its positions, intersected
+/// across subgoals).
+fn enumerate_world_bindings(
+    world: &World,
+    items: &[lahar_query::NormalItem],
+    vars: &[Var],
+) -> Vec<Binding> {
+    let mut out = vec![Binding::new()];
+    for &x in vars {
+        let mut candidates: Option<BTreeSet<Value>> = None;
+        for item in items {
+            let goal = item.base.goal();
+            let positions = goal.positions_of(x);
+            if positions.is_empty() {
+                continue;
+            }
+            let mut here = BTreeSet::new();
+            for event in world.events() {
+                if event.stream_type != goal.stream_type || event.arity() != goal.args.len() {
+                    continue;
+                }
+                // Constants elsewhere in the pattern must not clash.
+                let compatible = goal.args.iter().enumerate().all(|(i, term)| match term {
+                    Term::Const(c) => event.attr(i) == *c,
+                    Term::Var(_) => true,
+                });
+                if !compatible {
+                    continue;
+                }
+                for &p in &positions {
+                    here.insert(event.attr(p));
+                }
+            }
+            candidates = Some(match candidates {
+                None => here,
+                Some(prev) => prev.intersection(&here).copied().collect(),
+            });
+        }
+        let candidates = candidates.unwrap_or_default();
+        let mut next = Vec::with_capacity(out.len() * candidates.len());
+        for b in &out {
+            for &v in &candidates {
+                let mut b2 = b.clone();
+                b2.insert(x, v);
+                next.push(b2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Convenience: detection series for a textual query.
+pub fn detect_series(
+    db: &Database,
+    world: &World,
+    src: &str,
+) -> Result<Vec<bool>, QueryError> {
+    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), src)?;
+    let nq = NormalQuery::from_query(&q);
+    DeterministicCep::new(db, world, &nq)?.detect(db, world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::{tuple, GroundEvent};
+    use lahar_query::{parse_query, satisfied_at};
+
+    fn world(db: &Database, events: &[(&str, &str, u32)]) -> World {
+        let i = db.interner();
+        let evs = events
+            .iter()
+            .map(|(p, l, t)| GroundEvent {
+                stream_type: i.intern("At"),
+                key: tuple([i.intern(p)]),
+                values: tuple([i.intern(l)]),
+                t: *t,
+            })
+            .collect();
+        World::new(evs, events.iter().map(|e| e.2).max().unwrap_or(0))
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["p"], &["l"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", tuple([i.intern("h")]))
+            .unwrap();
+        db
+    }
+
+    fn assert_matches_reference(db: &Database, w: &World, src: &str) {
+        let got = detect_series(db, w, src).unwrap();
+        let q = parse_query(db.interner(), src).unwrap();
+        for (t, g) in got.iter().enumerate() {
+            let want = satisfied_at(db, w, &q, t as u32).unwrap();
+            assert_eq!(*g, want, "{src} at t={t}");
+        }
+    }
+
+    #[test]
+    fn regular_detection_matches_reference() {
+        let db = db();
+        let w = world(&db, &[("joe", "a", 0), ("joe", "h", 1), ("joe", "c", 2)]);
+        assert_matches_reference(&db, &w, "At('joe','a') ; At('joe','c')");
+        assert_matches_reference(&db, &w, "At('joe','a') ; At('joe','h') ; At('joe','c')");
+        assert_matches_reference(
+            &db,
+            &w,
+            "At('joe','a') ; (At('joe', l))+{| Hallway(l)} ; At('joe','c')",
+        );
+    }
+
+    #[test]
+    fn blocking_semantics_is_respected() {
+        // Ex 3.11's q_s: the successor R(c) consumes the slot.
+        let mut db = Database::new();
+        db.declare_stream("R", &[], &["y"]).unwrap();
+        let i = db.interner().clone();
+        let evs = vec![
+            GroundEvent {
+                stream_type: i.intern("R"),
+                key: tuple(Vec::<Value>::new()),
+                values: tuple([i.intern("a")]),
+                t: 0,
+            },
+            GroundEvent {
+                stream_type: i.intern("R"),
+                key: tuple(Vec::<Value>::new()),
+                values: tuple([i.intern("c")]),
+                t: 1,
+            },
+            GroundEvent {
+                stream_type: i.intern("R"),
+                key: tuple(Vec::<Value>::new()),
+                values: tuple([i.intern("b")]),
+                t: 2,
+            },
+        ];
+        let w = World::new(evs, 2);
+        let qf = detect_series(&db, &w, "R('a') ; R('b')").unwrap();
+        assert_eq!(qf, vec![false, false, true]);
+        let qs = detect_series(&db, &w, "sigma[y = 'b'](R('a') ; R(y))").unwrap();
+        assert_eq!(qs, vec![false, false, false]);
+    }
+
+    #[test]
+    fn extended_regular_grounds_per_person() {
+        let db = db();
+        let w = world(
+            &db,
+            &[
+                ("joe", "a", 0),
+                ("sue", "a", 1),
+                ("joe", "c", 2),
+                ("sue", "c", 3),
+            ],
+        );
+        assert_matches_reference(&db, &w, "At(p,'a') ; At(p,'c')");
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let cep = DeterministicCep::new(&db, &w, &nq).unwrap();
+        assert_eq!(cep.n_groundings(), 2);
+    }
+
+    #[test]
+    fn rejects_unsafe_queries() {
+        let db = db();
+        let w = world(&db, &[("joe", "a", 0)]);
+        let q = parse_query(db.interner(), "sigma[x = y](At(x,'a') ; At(y,'c'))").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        assert!(DeterministicCep::new(&db, &w, &nq).is_err());
+    }
+
+    #[test]
+    fn empty_world_never_detects() {
+        let db = db();
+        let w = World::new(vec![], 5);
+        let got = detect_series(&db, &w, "At('joe','a')").unwrap();
+        assert!(got.iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,74 @@
+//! Stream determinization: the paper's two competitors (§4.1).
+//!
+//! * **MLE** (real-time): pick the single most likely tuple at each
+//!   timestep of each stream.
+//! * **MAP** (archived): the Viterbi path — computed upstream by
+//!   `lahar-hmm`/`lahar-rfid` since it needs the raw observations; this
+//!   module only provides the MLE transform, which is defined on any
+//!   probabilistic database.
+
+use lahar_model::{Database, GroundEvent, World};
+
+/// Determinizes a probabilistic database by keeping, per stream and
+/// timestep, only the most probable outcome (dropping timesteps whose
+/// argmax is ⊥).
+pub fn mle_world(db: &Database) -> World {
+    let mut events = Vec::new();
+    for stream in db.streams() {
+        let dom = stream.domain();
+        for (t, marginal) in stream.all_marginals().iter().enumerate() {
+            let best = marginal.argmax();
+            if let Some(values) = dom.tuple(best) {
+                events.push(GroundEvent {
+                    stream_type: stream.id().stream_type,
+                    key: stream.id().key.clone(),
+                    values: values.clone(),
+                    t: t as u32,
+                });
+            }
+        }
+    }
+    World::new(events, db.horizon().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::StreamBuilder;
+
+    #[test]
+    fn mle_picks_argmax_and_skips_bottom() {
+        let mut db = Database::new();
+        db.declare_stream("At", &["p"], &["l"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
+        let ms = vec![
+            b.marginal(&[("a", 0.6), ("b", 0.3)]).unwrap(),
+            b.marginal(&[("a", 0.2), ("b", 0.3)]).unwrap(), // bottom wins
+            b.marginal(&[("b", 0.9)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        let w = mle_world(&db);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.events_at(0).count(), 1);
+        assert_eq!(w.events_at(1).count(), 0);
+        let e = w.events_at(2).next().unwrap();
+        assert_eq!(e.values[0], lahar_model::Value::Str(i.intern("b")));
+    }
+
+    #[test]
+    fn mle_on_markov_stream_uses_forward_marginals() {
+        let mut db = Database::new();
+        db.declare_stream("At", &["p"], &["l"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
+        let init = b.marginal(&[("a", 1.0)]).unwrap();
+        let cpt = b.cpt(&[("a", "b", 0.9), ("a", "a", 0.1), ("b", "b", 1.0)]).unwrap();
+        db.add_stream(b.markov(init, vec![cpt]).unwrap()).unwrap();
+        let w = mle_world(&db);
+        let e0 = w.events_at(0).next().unwrap();
+        let e1 = w.events_at(1).next().unwrap();
+        assert_eq!(e0.values[0], lahar_model::Value::Str(i.intern("a")));
+        assert_eq!(e1.values[0], lahar_model::Value::Str(i.intern("b")));
+    }
+}

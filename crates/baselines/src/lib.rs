@@ -1,0 +1,23 @@
+//! # lahar-baselines — deterministic competitors
+//!
+//! The two baselines Lahar is evaluated against (paper §4.1):
+//!
+//! * **MLE** ([`mle_world`]): keep the single most likely tuple per
+//!   timestep, then run the query with ordinary deterministic CEP
+//!   semantics — the real-time competitor (Fig 9, Fig 12).
+//! * **MAP / Viterbi**: the most likely *path* through the smoothed data —
+//!   the archived competitor (Fig 10, Fig 13); the path itself is produced
+//!   by `lahar_hmm::Hmm::viterbi` and materialized as a world by
+//!   `lahar_rfid::Deployment::viterbi_world`.
+//!
+//! [`DeterministicCep`] is the Cayuga/SASE-style detector both baselines
+//! run on, built from the same NFA translation as the probabilistic engine
+//! (and used to derive ground-truth event sets for the quality metrics).
+
+#![warn(missing_docs)]
+
+mod cep;
+mod determinize;
+
+pub use cep::{detect_series, DeterministicCep};
+pub use determinize::mle_world;

@@ -1,0 +1,104 @@
+//! Fig 10 — archived quality: precision / recall / F1 vs ρ, Lahar on
+//! Markovian (smoothed) streams vs the Viterbi MAP baseline, plus the
+//! paper's ablation: the same smoothed marginals with correlations
+//! *discarded* (treated as independent), which costs precision (§4.2.1
+//! reports an 8-point drop).
+//!
+//! Paper shape to reproduce: the archived gains dwarf the real-time ones —
+//! Viterbi's forced single path misses short or ambiguous events (the
+//! paper reports a 47-point recall gap at ρ ≈ 0.12), and Lahar(Markov)
+//! dominates Viterbi's F1 across the whole ρ range.
+
+use lahar_baselines::detect_series;
+use lahar_bench::{coffee_query, header, quality_deployment, quick_mode, row};
+use lahar_core::Lahar;
+use lahar_metrics::{episodes, score_per_key, threshold, Episode};
+
+fn main() {
+    let ticks = if quick_mode() { 200 } else { 800 };
+    let dep = quality_deployment(ticks, 42);
+    let base = dep.base_database();
+    let truth_world = dep.truth_world(&base);
+    let smoothed = dep.smoothed_database();
+    let smoothed_indep = dep.smoothed_independent_database();
+    let viterbi = dep.viterbi_world(&base);
+    let d = 15;
+
+    let mut markov_series = Vec::new();
+    let mut indep_series = Vec::new();
+    let mut truth_eps = Vec::new();
+    let mut viterbi_eps = Vec::new();
+    let mut total_truth = 0;
+    for p in &dep.people {
+        let q = coffee_query(&p.name);
+        let t = episodes(&detect_series(&base, &truth_world, &q).unwrap());
+        total_truth += t.len();
+        truth_eps.push(t);
+        markov_series.push(Lahar::prob_series(&smoothed, &q).unwrap());
+        indep_series.push(Lahar::prob_series(&smoothed_indep, &q).unwrap());
+        viterbi_eps.push(episodes(&detect_series(&base, &viterbi, &q).unwrap()));
+    }
+    println!("{} ground-truth coffee events across {} people", total_truth, dep.people.len());
+
+    let vit_pairs: Vec<(Vec<Episode>, Vec<Episode>)> = viterbi_eps
+        .iter()
+        .cloned()
+        .zip(truth_eps.iter().cloned())
+        .collect();
+    let vit_q = score_per_key(&vit_pairs, d);
+
+    header(
+        "Fig 10: archived quality vs ρ (baseline Viterbi is ρ-independent)",
+        &[
+            "rho",
+            "P(markov)",
+            "R(markov)",
+            "F1(markov)",
+            "P(indep)",
+            "F1(vit)",
+        ],
+    );
+    let rhos = [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+    let mut best_f1 = (0.0f64, 0.0f64); // (markov, indep)
+    for &rho in &rhos {
+        let score_of = |series: &[Vec<f64>]| {
+            let pairs: Vec<(Vec<Episode>, Vec<Episode>)> = series
+                .iter()
+                .map(|s| episodes(&threshold(s, rho)))
+                .zip(truth_eps.iter().cloned())
+                .collect();
+            score_per_key(&pairs, d)
+        };
+        let qm = score_of(&markov_series);
+        let qi = score_of(&indep_series);
+        row(
+            &format!("{rho:.2}"),
+            &[rho, qm.precision, qm.recall, qm.f1, qi.precision, vit_q.f1],
+        );
+        best_f1.0 = best_f1.0.max(qm.f1);
+        best_f1.1 = best_f1.1.max(qi.f1);
+    }
+
+    println!(
+        "\nViterbi MAP: P = {:.3}, R = {:.3}, F1 = {:.3}",
+        vit_q.precision, vit_q.recall, vit_q.f1
+    );
+    println!(
+        "shape checks: Lahar(Markov) best F1 {:.3} vs Viterbi {:.3} (paper: large archived gains)",
+        best_f1.0, vit_q.f1
+    );
+    assert!(
+        best_f1.0 > vit_q.f1,
+        "Lahar(Markov) must beat Viterbi at its operating point"
+    );
+    println!(
+        "correlation ablation: best F1 markov {:.3} vs independent-marginals {:.3} (Δ {:+.3}).\n\
+         Note: on this synthetic deployment precision is near-saturated, so the paper's\n\
+         8-point precision gain from correlations does not reproduce at this scale; the\n\
+         correlation benefit shows decisively in the Fig 11 occupancy experiment instead\n\
+         (see EXPERIMENTS.md).",
+        best_f1.0,
+        best_f1.1,
+        best_f1.0 - best_f1.1
+    );
+}

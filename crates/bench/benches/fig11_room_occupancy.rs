@@ -1,0 +1,194 @@
+//! Fig 11 — the room-occupancy microbenchmark.
+//!
+//! (a) A person walks down the hall and settles in a room with no sensor
+//! coverage. The query "were you in the room for k consecutive seconds?"
+//! accrues probability much faster under Markovian (smoothed) semantics
+//! than under independence — the paper's point: with ~6 candidate rooms
+//! the marginal sits near 0.15, but the smoothed conditional
+//! stay-probability is ~0.6, so consecutive-occupancy compounds ~4x faster
+//! per step. Viterbi commits to a single (often wrong) room and scores 0.
+//!
+//! (b) The qualitative MLE-vs-MAP failure: resampling makes the MLE
+//! estimate hop between rooms while MAP sticks to one.
+
+use lahar_baselines::{detect_series, mle_world};
+use lahar_core::IntervalChain;
+use lahar_hmm::ParticleFilter;
+use lahar_model::{Database, Marginal, Stream, StreamId};
+use lahar_rfid::{build_location_hmm, Deployment, DeploymentConfig, FloorPlan, RoomKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// "in room R for 3 consecutive ticks": the outer selections force every
+/// intermediate event to stay in R (successor competition over all
+/// locations), unlike constant patterns which would only require three
+/// increasing room sightings.
+fn occupancy_query(person: &str, room: &str) -> String {
+    format!(
+        "sigma[l2 = '{room}' AND l3 = '{room}']\
+         (At('{person}', '{room}') ; At('{person}', l2) ; At('{person}', l3))"
+    )
+}
+
+fn main() {
+    // Scripted trace on the small one-floor plan: walk the hallway, then
+    // enter office f0-office1a and stay.
+    let config = DeploymentConfig {
+        floors: 1,
+        hall_len: 3,
+        antenna_every: 1,
+        n_people: 1,
+        n_objects: 0,
+        ticks: 40,
+        ..DeploymentConfig::default()
+    };
+    let plan = FloorPlan::office_building(1, 3, 1);
+    let h = |name: &str| plan.location_id(name).unwrap();
+    let mut traj = vec![h("f0-h0"), h("f0-h1")];
+    let room = "f0-office1a";
+    traj.extend(vec![h(room); config.ticks - 2]);
+
+    // Deployment scaffolding with the scripted trajectory substituted in.
+    let mut dep = Deployment::simulate(config.clone());
+    dep.truth = vec![traj.clone()];
+    let mut rng = SmallRng::seed_from_u64(7);
+    dep.observations = vec![lahar_rfid::observe(
+        &dep.plan,
+        &config.sensing,
+        &traj,
+        &mut rng,
+    )];
+
+    let smoothed = dep.smoothed_database();
+    let smoothed_indep = dep.smoothed_independent_database();
+    let base = dep.base_database();
+    let viterbi = dep.viterbi_world(&base);
+
+    let q = occupancy_query("person0", room);
+    // The paper's chart is the per-timestep acceptance probability: the
+    // occupancy run "accrues" probability because the query re-fires at
+    // each timestep of the stay, with probability 0.15·0.6^(k-1)-style
+    // under correlations vs 0.15^k-style under independence. We also show
+    // the cumulative interval probability P[q[0, t]] for completeness.
+    let point = |db: &Database, src: &str| lahar_core::Lahar::prob_series(db, src).unwrap();
+    let cumulative = |db: &Database, src: &str| -> Vec<f64> {
+        let query = lahar_query::parse_and_validate(db.catalog(), db.interner(), src).unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&query);
+        let mut ic = IntervalChain::new(db, &nq.items).unwrap();
+        (0..db.horizon()).map(|t| ic.prob(db, 0, t)).collect()
+    };
+    let markov = point(&smoothed, &q);
+    let indep = point(&smoothed_indep, &q);
+    let markov_cum = cumulative(&smoothed, &q);
+    let vit = detect_series(&base, &viterbi, &q).unwrap();
+
+    println!("=== Fig 11(a): acceptance probability at each timestep ===");
+    println!(
+        "{:>5} {:>10} {:>12} {:>9} {:>12}",
+        "t", "markov", "independent", "viterbi", "markov[0,t]"
+    );
+    for t in (2..dep.config.ticks).step_by(2) {
+        println!(
+            "{t:>5} {:>10.4} {:>12.4} {:>9} {:>12.4}",
+            markov[t],
+            indep[t],
+            if vit[t] { 1 } else { 0 },
+            markov_cum[t],
+        );
+    }
+    let peak_m = markov.iter().cloned().fold(0.0, f64::max);
+    let peak_i = indep.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\npeak per-step acceptance: markov {peak_m:.4} vs independent {peak_i:.4} \
+         (ratio {:.1}x; paper reports ~4x per extra consecutive step — the smoothed \
+         stay-probability ~0.6 vs the ~0.15 marginal)",
+        peak_m / peak_i.max(1e-12)
+    );
+    assert!(
+        peak_m > 2.0 * peak_i,
+        "Markovian occupancy must accrue much faster than independent"
+    );
+    println!(
+        "viterbi ever accepts: {} (paper: never — MAP picks a single, often wrong, room)",
+        vit.iter().any(|&b| b)
+    );
+
+    // (b) MLE hops, MAP sticks: count room switches during the stay.
+    let hmm = build_location_hmm(&dep.plan, &dep.config);
+    let mut pf = ParticleFilter::new(hmm.clone(), 100);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let marginals = pf.run(&dep.observations[0], &mut rng).unwrap();
+    // Build an ad-hoc independent database to extract the MLE path.
+    let mut db = Database::new();
+    db.declare_stream("At", &["tag"], &["loc"]).unwrap();
+    let interner = db.interner().clone();
+    let tuples: Vec<lahar_model::Tuple> = dep
+        .plan
+        .locations()
+        .iter()
+        .map(|l| lahar_model::tuple([interner.intern(&l.name)]))
+        .collect();
+    let domain = lahar_model::Domain::new(1, tuples).unwrap();
+    let ms: Vec<Marginal> = marginals
+        .iter()
+        .map(|m| {
+            let mut v = m.clone();
+            v.push(0.0);
+            Marginal::new(&domain, v).unwrap()
+        })
+        .collect();
+    db.add_stream(
+        Stream::independent(
+            StreamId {
+                stream_type: interner.intern("At"),
+                key: lahar_model::tuple([interner.intern("person0")]),
+            },
+            domain,
+            ms,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mle = mle_world(&db);
+    let map_path = dep.hmm.viterbi(&dep.observations[0]).unwrap();
+
+    let stay_range = 6..dep.config.ticks; // well inside the stay
+    let mle_locs: Vec<String> = stay_range
+        .clone()
+        .filter_map(|t| {
+            mle.events_at(t as u32).next().map(|e| match e.values[0] {
+                lahar_model::Value::Str(s) => interner.resolve(s).unwrap(),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+    let mle_switches = mle_locs.windows(2).filter(|w| w[0] != w[1]).count();
+    let map_switches = stay_range
+        .clone()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .filter(|w| map_path[w[0]] != map_path[w[1]])
+        .count();
+    println!("\n=== Fig 11(b): room switches while the person sits still ===");
+    println!("MLE estimate switches rooms {mle_switches} times (particle churn)");
+    println!("MAP (Viterbi) switches rooms {map_switches} times (commits to one path)");
+    // Rooms in the vicinity: the paper notes ~6 plausible rooms each near
+    // p ≈ 0.15 marginal while the smoothed stay-probability is much higher.
+    let t_probe = dep.config.ticks - 5;
+    let sm_stream = &smoothed.streams()[0];
+    let marg = sm_stream.marginal_at(t_probe as u32);
+    let room_kinds: Vec<f64> = dep
+        .plan
+        .locations()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.kind.is_room() || l.kind == RoomKind::Hallway)
+        .map(|(i, _)| marg.prob(i))
+        .filter(|&p| p > 0.02)
+        .collect();
+    println!(
+        "\nplausible locations at t={t_probe}: {} with mass > 0.02 (max {:.3})",
+        room_kinds.len(),
+        room_kinds.iter().cloned().fold(0.0, f64::max)
+    );
+}

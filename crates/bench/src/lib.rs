@@ -1,0 +1,145 @@
+//! # lahar-bench — experiment harness
+//!
+//! Shared workload generators and reporting helpers for the benchmark
+//! targets that regenerate every table and figure of the paper's
+//! evaluation (§4). Each figure is a `[[bench]]` target with
+//! `harness = false`; `cargo bench` runs them all and prints paper-style
+//! rows. See `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+use lahar_model::Database;
+use lahar_rfid::{Deployment, DeploymentConfig, MovementConfig};
+use std::time::Instant;
+
+/// Returns true when `LAHAR_BENCH_QUICK` is set: benches shrink their
+/// sweeps for smoke-testing.
+pub fn quick_mode() -> bool {
+    std::env::var_os("LAHAR_BENCH_QUICK").is_some()
+}
+
+/// The deployment used by the quality experiments (Figs 9/10): the
+/// two-floor building with 8 people, mirroring Fig 8(a) at laptop scale.
+pub fn quality_deployment(ticks: usize, seed: u64) -> Deployment {
+    Deployment::simulate(DeploymentConfig {
+        ticks,
+        n_people: 8,
+        n_objects: 0,
+        seed,
+        antenna_every: 1,
+        sensing: lahar_rfid::SensingConfig {
+            read_rate: 0.7,
+            spill_rate: 0.15,
+        },
+        ..DeploymentConfig::default()
+    })
+}
+
+/// The deployment used by the performance experiments (Figs 12/13): `n`
+/// concurrently tracked tags moving for `ticks` ticks (the paper's
+/// "simulate n objects moving simultaneously for 60 seconds").
+pub fn perf_deployment(n_tags: usize, ticks: usize, seed: u64) -> Deployment {
+    let n_people = n_tags.clamp(1, 20);
+    let n_objects = n_tags - n_people;
+    Deployment::simulate(DeploymentConfig {
+        ticks,
+        n_people,
+        n_objects,
+        seed,
+        movement: MovementConfig {
+            dwell_mean: 6.0,
+            ..MovementConfig::default()
+        },
+        ..DeploymentConfig::default()
+    })
+}
+
+/// The paper's representative coffee-room query, grounded to one person:
+/// outside the coffee room for two consecutive steps, then inside.
+pub fn coffee_query(person: &str) -> String {
+    format!(
+        "At('{person}', l1)[NotRoom(l1)] ; At('{person}', l2)[NotRoom(l2)] ; \
+         At('{person}', l3)[CoffeeRoom(l3)]"
+    )
+}
+
+/// Q1 of §4.3: a regular query — a selection on a single stream.
+pub fn q1(tag: &str) -> String {
+    format!("At('{tag}', l)[Hallway(l)]")
+}
+
+/// Q2 of §4.3: an extended regular query with a sequence operator.
+pub fn q2() -> &'static str {
+    "At(p, l1)[Hallway(l1)] ; At(p, l2)[CoffeeRoom(l2)]"
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Relational tuple throughput: the database's tuple count over elapsed
+/// seconds (the paper's tuples/sec axis).
+pub fn tuples_per_sec(db: &Database, secs: f64) -> f64 {
+    db.relational_tuple_count() as f64 / secs.max(1e-9)
+}
+
+/// Effective objects-per-second (paper §4.3.1, archived discussion):
+/// tags × timesteps over elapsed seconds.
+pub fn effective_objects_per_sec(n_tags: usize, ticks: usize, secs: f64) -> f64 {
+    (n_tags * ticks) as f64 / secs.max(1e-9)
+}
+
+/// Prints a fixed-width table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Prints a fixed-width table row of floats.
+pub fn row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values
+        .iter()
+        .map(|v| {
+            if *v == 0.0 || (*v >= 0.001 && *v < 100_000.0) {
+                format!("{v:>14.3}")
+            } else {
+                format!("{v:>14.3e}")
+            }
+        })
+        .collect();
+    println!("{label:>14} {}", cells.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_deployment_splits_tags() {
+        let d = perf_deployment(30, 20, 1);
+        assert_eq!(d.people.len() + d.objects.len(), 30);
+        assert_eq!(d.truth.len(), 30);
+    }
+
+    #[test]
+    fn queries_parse_against_deployment_catalog() {
+        let d = perf_deployment(2, 10, 1);
+        let db = d.filtered_database();
+        for src in [coffee_query("person0"), q1("person0"), q2().to_owned()] {
+            lahar_query::parse_and_validate(db.catalog(), db.interner(), &src)
+                .unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let d = perf_deployment(1, 5, 1);
+        let db = d.filtered_database();
+        assert!(tuples_per_sec(&db, 1.0) > 0.0);
+        assert_eq!(effective_objects_per_sec(10, 60, 2.0), 300.0);
+    }
+}

@@ -1,0 +1,450 @@
+//! The Markov chain over (hidden stream values × automaton states)
+//! — the evaluation engine of §3.1.2.
+//!
+//! For a (grounded) regular query, the relevant streams form a joint hidden
+//! Markov chain; the automaton reads, at each timestep, the symbol set
+//! induced by the hidden value. [`ChainEvaluator`] maintains the exact
+//! joint distribution `P[M(t) = (h, Q)]` where `h` is the joint stream
+//! value and `Q` the (determinized-on-the-fly) NFA state set, advancing it
+//! by one matrix-vector product per timestep:
+//!
+//! ```text
+//! P[M(t) = (σ′, q′)] = Σ_{σ,q : δ(q,σ′)=q′} C(t)(σ′, σ) · P[M(t−1) = (σ, q)]
+//! ```
+//!
+//! Two modes mirror the paper's two scenarios:
+//!
+//! * **Markov** (archived): the hidden value is carried in the state and
+//!   evolved through the per-stream CPTs (a tensor contraction per axis, so
+//!   a step costs `O(n_dfa · n_joint · Σ_s k_s)` rather than
+//!   `O(n_dfa · n_joint²)`).
+//! * **Independent** (real-time): "the next letter seen by the automaton is
+//!   independent of the previously seen letters", so only the distribution
+//!   over automaton states is kept — the paper's "smaller automaton".
+//!
+//! The evaluator also supports *draining*: removing the accepting mass
+//! after each step turns the tracked mass into `P[h, Q ∧ not accepted
+//! since the last drain start]`, which is how interval probabilities
+//! `P[q[ts, tf]]` are computed for safe plans (§3.3.1).
+
+use crate::error::EngineError;
+use crate::translate::{build_regex, relevant_streams, symbol_table};
+use lahar_automata::{BitSet, Nfa, SymbolSet};
+use lahar_model::{Database, Stream, StreamData};
+use lahar_query::NormalItem;
+use std::collections::HashMap;
+
+/// Default cap on the joint hidden state space.
+pub const DEFAULT_STATE_CAP: usize = 1 << 14;
+
+/// On-the-fly determinization: NFA state sets interned to dense ids with
+/// memoized transitions.
+#[derive(Debug, Clone)]
+pub struct DfaCache {
+    nfa: Nfa,
+    sets: Vec<BitSet>,
+    ids: HashMap<BitSet, u32>,
+    trans: HashMap<(u32, SymbolSet), u32>,
+    accepting: Vec<bool>,
+}
+
+impl DfaCache {
+    /// Creates a cache for an NFA; state 0 is the initial set.
+    pub fn new(nfa: Nfa) -> Self {
+        let initial = nfa.initial().clone();
+        let accepting = vec![nfa.is_accepting(&initial)];
+        Self {
+            sets: vec![initial.clone()],
+            ids: HashMap::from([(initial, 0)]),
+            trans: HashMap::new(),
+            accepting,
+            nfa,
+        }
+    }
+
+    /// The id of the initial state set.
+    pub fn initial(&self) -> u32 {
+        0
+    }
+
+    /// Number of discovered DFA states.
+    pub fn n_states(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if DFA state `q` contains an accepting NFA state.
+    pub fn is_accepting(&self, q: u32) -> bool {
+        self.accepting[q as usize]
+    }
+
+    /// The memoized transition `δ(q, sym)`.
+    pub fn step(&mut self, q: u32, sym: SymbolSet) -> u32 {
+        if let Some(&q2) = self.trans.get(&(q, sym)) {
+            return q2;
+        }
+        let next = self.nfa.step(&self.sets[q as usize], sym);
+        let id = match self.ids.get(&next) {
+            Some(&id) => id,
+            None => {
+                let id = self.sets.len() as u32;
+                self.accepting.push(self.nfa.is_accepting(&next));
+                self.ids.insert(next.clone(), id);
+                self.sets.push(next);
+                id
+            }
+        };
+        self.trans.insert((q, sym), id);
+        id
+    }
+}
+
+/// Which representation the evaluator uses for the hidden chain.
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Real-time scenario: hidden value forgotten between steps.
+    Independent,
+    /// Archived scenario: `dist[q]` carries a vector over joint hidden
+    /// values.
+    Markov,
+}
+
+/// Exact streaming evaluator for a grounded regular query.
+#[derive(Debug, Clone)]
+pub struct ChainEvaluator {
+    dfa: DfaCache,
+    /// Indices into `db.streams()` of the relevant streams.
+    streams: Vec<usize>,
+    /// Domain size (including ⊥) per relevant stream.
+    sizes: Vec<usize>,
+    /// Joint hidden state count (product of sizes; 1 when no stream is
+    /// relevant).
+    n_joint: usize,
+    /// Per relevant stream: symbol set per outcome.
+    syms: Vec<Vec<SymbolSet>>,
+    /// Joint symbol per joint hidden outcome (Markov mode).
+    joint_syms: Vec<SymbolSet>,
+    mode: Mode,
+    /// `dist[q]` — Markov: vector over joint hidden values; Independent:
+    /// single-element vector (total mass in automaton state `q`).
+    dist: Vec<Vec<f64>>,
+    /// Next timestep to consume.
+    t: u32,
+    scratch: Vec<f64>,
+    scratch2: Vec<f64>,
+}
+
+impl ChainEvaluator {
+    /// Builds an evaluator for grounded items over the database, with the
+    /// default hidden-state cap.
+    pub fn new(db: &Database, items: &[NormalItem]) -> Result<Self, EngineError> {
+        Self::with_cap(db, items, DEFAULT_STATE_CAP)
+    }
+
+    /// Builds an evaluator with an explicit joint-state cap.
+    pub fn with_cap(
+        db: &Database,
+        items: &[NormalItem],
+        cap: usize,
+    ) -> Result<Self, EngineError> {
+        let regex = build_regex(items);
+        let nfa = Nfa::compile(&regex);
+        let streams = relevant_streams(db, items);
+        let mut sizes = Vec::with_capacity(streams.len());
+        let mut syms = Vec::with_capacity(streams.len());
+        let mut any_markov = false;
+        for &si in &streams {
+            let s = &db.streams()[si];
+            sizes.push(s.domain().len());
+            syms.push(symbol_table(db, s, items)?);
+            any_markov |= s.is_markov();
+        }
+        // The joint hidden space only materializes in Markov mode;
+        // independent mode tracks automaton states alone, so many relevant
+        // streams are fine there. The product is overflow-checked: dozens
+        // of Markov streams would overflow long before being representable.
+        let (n_joint, mode) = if any_markov {
+            let n = sizes
+                .iter()
+                .try_fold(1usize, |acc, &k| acc.checked_mul(k))
+                .ok_or(EngineError::StateSpaceTooLarge {
+                    size: usize::MAX,
+                    cap,
+                })?
+                .max(1);
+            if n > cap {
+                return Err(EngineError::StateSpaceTooLarge { size: n, cap });
+            }
+            (n, Mode::Markov)
+        } else {
+            (1, Mode::Independent)
+        };
+        let joint_syms = match mode {
+            Mode::Markov => {
+                let mut js = vec![SymbolSet::EMPTY; n_joint];
+                for (h, slot) in js.iter_mut().enumerate() {
+                    let mut rem = h;
+                    let mut set = SymbolSet::EMPTY;
+                    for (s, &k) in sizes.iter().enumerate() {
+                        let d = rem % k;
+                        rem /= k;
+                        set = set.union(syms[s][d]);
+                    }
+                    *slot = set;
+                }
+                js
+            }
+            Mode::Independent => Vec::new(),
+        };
+        let dfa = DfaCache::new(nfa);
+        let hidden_dim = match mode {
+            Mode::Markov => n_joint,
+            Mode::Independent => 1,
+        };
+        let mut dist = vec![vec![0.0; hidden_dim]];
+        // All mass starts in the initial automaton state; in Markov mode
+        // the hidden part is filled lazily on the first step (the hidden
+        // value at t = 0 is drawn fresh from the initial marginals).
+        dist[0][0] = 1.0;
+        Ok(Self {
+            dfa,
+            streams,
+            sizes,
+            n_joint,
+            syms,
+            joint_syms,
+            mode,
+            dist,
+            t: 0,
+            scratch: vec![0.0; hidden_dim],
+            scratch2: vec![0.0; hidden_dim],
+        })
+    }
+
+    /// The timestep the next [`ChainEvaluator::step`] will consume.
+    pub fn next_t(&self) -> u32 {
+        self.t
+    }
+
+    /// Number of DFA states discovered so far.
+    pub fn n_dfa_states(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// Total probability mass currently tracked (1.0 unless draining).
+    pub fn tracked_mass(&self) -> f64 {
+        self.dist.iter().map(|v| v.iter().sum::<f64>()).sum()
+    }
+
+    /// Probability mass currently in accepting automaton states — the
+    /// query's probability at the last consumed timestep.
+    pub fn accept_prob(&self) -> f64 {
+        let p: f64 = self
+            .dist
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| self.dfa.is_accepting(*q as u32))
+            .map(|(_, v)| v.iter().sum::<f64>())
+            .sum();
+        // Guard against -1e-18-style float dust.
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Removes and returns the accepting mass (interval-probability mode).
+    pub fn drain_accepting(&mut self) -> f64 {
+        let mut drained = 0.0;
+        for (q, v) in self.dist.iter_mut().enumerate() {
+            if self.dfa.is_accepting(q as u32) {
+                for slot in v.iter_mut() {
+                    drained += *slot;
+                    *slot = 0.0;
+                }
+            }
+        }
+        drained
+    }
+
+    /// Consumes timestep `t = next_t()`: evolves the hidden chain, feeds
+    /// the induced symbol to the automaton, and returns the probability
+    /// that the query is satisfied at `t`.
+    pub fn step(&mut self, db: &Database) -> f64 {
+        match self.mode {
+            Mode::Independent => self.step_independent(db),
+            Mode::Markov => self.step_markov(db),
+        }
+        self.t += 1;
+        self.accept_prob()
+    }
+
+    fn step_independent(&mut self, db: &Database) {
+        // Distribution over symbol sets at time t, combining independent
+        // streams by union-convolution.
+        let mut sym_dist: HashMap<SymbolSet, f64> = HashMap::from([(SymbolSet::EMPTY, 1.0)]);
+        for (s, &si) in self.streams.iter().enumerate() {
+            let stream = &db.streams()[si];
+            let marginal = stream.marginal_at(self.t);
+            let mut next: HashMap<SymbolSet, f64> = HashMap::new();
+            for (sym_so_far, p) in &sym_dist {
+                for (d, &pd) in marginal.probs().iter().enumerate() {
+                    if pd == 0.0 {
+                        continue;
+                    }
+                    *next.entry(sym_so_far.union(self.syms[s][d])).or_insert(0.0) += p * pd;
+                }
+            }
+            sym_dist = next;
+        }
+        // Sorted application keeps floating-point accumulation order (and
+        // therefore the engine's output) fully deterministic.
+        let mut sym_dist: Vec<(SymbolSet, f64)> = sym_dist.into_iter().collect();
+        sym_dist.sort_unstable_by_key(|(s, _)| s.0);
+        let n_q = self.dist.len();
+        let mut new_dist: Vec<Vec<f64>> = vec![vec![0.0; 1]; n_q];
+        for q in 0..n_q {
+            let mass = self.dist[q][0];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(sym, p) in &sym_dist {
+                let q2 = self.dfa.step(q as u32, sym) as usize;
+                if q2 >= new_dist.len() {
+                    new_dist.resize(q2 + 1, vec![0.0; 1]);
+                }
+                new_dist[q2][0] += mass * p;
+            }
+        }
+        self.dist = new_dist;
+    }
+
+    fn step_markov(&mut self, db: &Database) {
+        let n_q = self.dist.len();
+        let mut new_dist: Vec<Vec<f64>> = vec![vec![0.0; self.n_joint]; n_q];
+        for q in 0..n_q {
+            let total: f64 = self.dist[q].iter().sum();
+            if total == 0.0 {
+                continue;
+            }
+            // Evolve the hidden part of this automaton state's mass. At
+            // t = 0 the hidden values are drawn fresh from the initial
+            // marginals (the pre-initial hidden component is a dummy
+            // scalar in slot 0).
+            if self.t == 0 {
+                self.fill_initial_hidden(db, q);
+            } else {
+                self.evolve_hidden(db, q);
+            }
+            // Route each hidden value's mass through the automaton.
+            let scratch = std::mem::take(&mut self.scratch);
+            for (h, &mass) in scratch.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                let q2 = self.dfa.step(q as u32, self.joint_syms[h]) as usize;
+                if q2 >= new_dist.len() {
+                    new_dist.resize(q2 + 1, vec![0.0; self.n_joint]);
+                }
+                new_dist[q2][h] += mass;
+            }
+            self.scratch = scratch;
+        }
+        self.dist = new_dist;
+    }
+
+    /// Fills `self.scratch` with the product of the relevant streams'
+    /// initial marginals, scaled by the mass in `dist[q]` (a scalar at
+    /// t = 0).
+    fn fill_initial_hidden(&mut self, db: &Database, q: usize) {
+        let mass = self.dist[q][0];
+        self.scratch.fill(0.0);
+        for h in 0..self.n_joint {
+            let mut rem = h;
+            let mut p = mass;
+            for (s, &k) in self.sizes.iter().enumerate() {
+                let d = rem % k;
+                rem /= k;
+                let stream = &db.streams()[self.streams[s]];
+                p *= stream.marginal_at(0).prob(d);
+                if p == 0.0 {
+                    break;
+                }
+            }
+            self.scratch[h] = p;
+        }
+    }
+
+    /// Evolves `dist[q]` one step through the joint CPT into
+    /// `self.scratch` (tensor contraction, one axis per stream).
+    fn evolve_hidden(&mut self, db: &Database, q: usize) {
+        self.scratch.copy_from_slice(&self.dist[q]);
+        let t = self.t;
+        for (s, &si) in self.streams.iter().enumerate() {
+            let stream = &db.streams()[si];
+            let k = self.sizes[s];
+            let stride: usize = self.sizes[..s].iter().product();
+            let outer: usize = self.n_joint / (k * stride);
+            self.scratch2.fill(0.0);
+            match stream.data() {
+                StreamData::Independent(_) => {
+                    // Rank-1 transition: marginalize the axis out, then
+                    // redistribute by the next marginal.
+                    let next = stream.marginal_at(t);
+                    for o in 0..outer {
+                        for inner in 0..stride {
+                            let base = o * k * stride + inner;
+                            let mut sum = 0.0;
+                            for d in 0..k {
+                                sum += self.scratch[base + d * stride];
+                            }
+                            if sum == 0.0 {
+                                continue;
+                            }
+                            for d2 in 0..k {
+                                self.scratch2[base + d2 * stride] += sum * next.prob(d2);
+                            }
+                        }
+                    }
+                }
+                StreamData::Markov { .. } => {
+                    let cpt = markov_cpt(stream, t);
+                    for o in 0..outer {
+                        for inner in 0..stride {
+                            let base = o * k * stride + inner;
+                            for d in 0..k {
+                                let p = self.scratch[base + d * stride];
+                                if p == 0.0 {
+                                    continue;
+                                }
+                                for d2 in 0..k {
+                                    let w = cpt(d2, d);
+                                    if w != 0.0 {
+                                        self.scratch2[base + d2 * stride] += p * w;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut self.scratch, &mut self.scratch2);
+        }
+    }
+}
+
+/// A closure view over the stream's CPT for step `t-1 → t`, falling back to
+/// all-⊥ beyond the recorded end.
+fn markov_cpt(stream: &Stream, t: u32) -> impl Fn(usize, usize) -> f64 + '_ {
+    let bottom = stream.domain().bottom();
+    let cpt = match stream.data() {
+        StreamData::Markov { cpts, .. } => cpts.get((t as usize).wrapping_sub(1)),
+        StreamData::Independent(_) => None,
+    };
+    move |d_next, d_prev| match cpt {
+        Some(c) => c.get(d_next, d_prev),
+        None => {
+            if d_next == bottom {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The top-level Lahar engine: classify, compile, evaluate.
+//!
+//! [`Lahar::compile`] runs the static analysis (§3) and picks the cheapest
+//! exact algorithm for the query's class — streaming Markov chains for
+//! Regular queries, per-key chains for Extended Regular queries, the
+//! interval algebra for Safe queries — and falls back to the (ε, δ) Monte
+//! Carlo sampler for everything else (including the #P-hard queries of
+//! §3.4 and the few safe shapes whose `seq` operator the exact algebra
+//! does not cover; see DESIGN.md).
+
+use crate::error::EngineError;
+use crate::extended::ExtendedRegularEvaluator;
+use crate::regular::RegularEvaluator;
+use crate::safeplan::SafePlanExecutor;
+use crate::sampler::{Sampler, SamplerConfig};
+use lahar_model::Database;
+use lahar_query::{
+    classify, compile_safe_plan, parse_and_validate, NormalQuery, Query, QueryClass,
+};
+
+/// Which algorithm a compiled query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §3.1 streaming Markov chain.
+    Regular,
+    /// §3.2 per-key independent chains.
+    ExtendedRegular,
+    /// §3.3 safe-plan interval algebra.
+    SafePlan,
+    /// §3.5 Monte Carlo sampling.
+    Sampling,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Algorithm::Regular => "regular (streaming chain)",
+            Algorithm::ExtendedRegular => "extended regular (per-key chains)",
+            Algorithm::SafePlan => "safe plan (interval algebra)",
+            Algorithm::Sampling => "monte carlo sampling",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A query compiled against a database snapshot.
+pub enum CompiledQuery<'db> {
+    /// Streaming regular evaluator.
+    Regular {
+        /// The database the evaluator runs over.
+        db: &'db Database,
+        /// The evaluator.
+        eval: RegularEvaluator,
+    },
+    /// Streaming extended-regular evaluator.
+    Extended {
+        /// The database the evaluator runs over.
+        db: &'db Database,
+        /// The evaluator.
+        eval: ExtendedRegularEvaluator,
+    },
+    /// Offline safe-plan executor.
+    Safe {
+        /// The executor.
+        exec: SafePlanExecutor<'db>,
+        /// Next timestep for the incremental [`CompiledQuery::step`] API.
+        t: u32,
+    },
+    /// Monte Carlo sampler.
+    Sampled {
+        /// The database the sampler runs over.
+        db: &'db Database,
+        /// The sampler.
+        eval: Sampler,
+    },
+}
+
+impl CompiledQuery<'_> {
+    /// The algorithm in use.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            CompiledQuery::Regular { .. } => Algorithm::Regular,
+            CompiledQuery::Extended { .. } => Algorithm::ExtendedRegular,
+            CompiledQuery::Safe { .. } => Algorithm::SafePlan,
+            CompiledQuery::Sampled { .. } => Algorithm::Sampling,
+        }
+    }
+
+    /// Consumes the next timestep and returns `μ(q@t)` for it (safe plans
+    /// compute the point probability directly).
+    pub fn step(&mut self) -> Result<f64, EngineError> {
+        match self {
+            CompiledQuery::Regular { db, eval } => Ok(eval.step(db)),
+            CompiledQuery::Extended { db, eval } => Ok(eval.step(db)),
+            CompiledQuery::Safe { exec, t } => {
+                let now = *t;
+                *t += 1;
+                exec.prob_at(now)
+            }
+            CompiledQuery::Sampled { db, eval } => Ok(eval.step(db)),
+        }
+    }
+
+    /// `μ(q@t)` for every `t` in `0..horizon`.
+    pub fn prob_series(mut self, horizon: u32) -> Result<Vec<f64>, EngineError> {
+        match &mut self {
+            CompiledQuery::Safe { exec, .. } => exec.prob_series(horizon),
+            _ => (0..horizon).map(|_| self.step()).collect(),
+        }
+    }
+}
+
+/// The Lahar engine facade.
+pub struct Lahar;
+
+impl Lahar {
+    /// Parses, validates, classifies, and compiles a textual query.
+    pub fn compile<'db>(
+        db: &'db Database,
+        src: &str,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        let q = parse_and_validate(db.catalog(), db.interner(), src)?;
+        Self::compile_query(db, &q)
+    }
+
+    /// Classifies and compiles an AST query.
+    pub fn compile_query<'db>(
+        db: &'db Database,
+        q: &Query,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        Self::compile_with_sampler_config(db, q, SamplerConfig::default())
+    }
+
+    /// Full-control compilation.
+    pub fn compile_with_sampler_config<'db>(
+        db: &'db Database,
+        q: &Query,
+        sampler_config: SamplerConfig,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        let nq = NormalQuery::from_query(q);
+        match classify(db.catalog(), &nq) {
+            QueryClass::Regular => match RegularEvaluator::new(db, &nq) {
+                Ok(eval) => Ok(CompiledQuery::Regular { db, eval }),
+                // A regular query with a free key variable can make the
+                // joint hidden chain exponential in the number of streams;
+                // the sampler simulates the same product space world by
+                // world instead.
+                Err(EngineError::StateSpaceTooLarge { .. }) => Ok(CompiledQuery::Sampled {
+                    db,
+                    eval: Sampler::with_config(db, &nq, sampler_config)?,
+                }),
+                Err(e) => Err(e),
+            },
+            QueryClass::ExtendedRegular => match ExtendedRegularEvaluator::new(db, &nq) {
+                Ok(eval) => Ok(CompiledQuery::Extended { db, eval }),
+                Err(EngineError::StateSpaceTooLarge { .. }) => Ok(CompiledQuery::Sampled {
+                    db,
+                    eval: Sampler::with_config(db, &nq, sampler_config)?,
+                }),
+                Err(e) => Err(e),
+            },
+            QueryClass::Safe => {
+                // A classified-safe query can still fall outside the exact
+                // algebra (planner refusal or unsupported seq shape); the
+                // sampler is the documented fallback.
+                match compile_safe_plan(db.catalog(), &nq)
+                    .map_err(EngineError::from)
+                    .and_then(|plan| SafePlanExecutor::new(db, &plan))
+                {
+                    Ok(exec) => Ok(CompiledQuery::Safe { exec, t: 0 }),
+                    Err(_) => Ok(CompiledQuery::Sampled {
+                        db,
+                        eval: Sampler::with_config(db, &nq, sampler_config)?,
+                    }),
+                }
+            }
+            QueryClass::Unsafe => Ok(CompiledQuery::Sampled {
+                db,
+                eval: Sampler::with_config(db, &nq, sampler_config)?,
+            }),
+        }
+    }
+
+    /// One-shot: the full probability series of a textual query.
+    pub fn prob_series(db: &Database, src: &str) -> Result<Vec<f64>, EngineError> {
+        let horizon = db.horizon();
+        Self::compile(db, src)?.prob_series(horizon)
+    }
+
+    /// The class a textual query falls into (parse + classify only).
+    pub fn classify(db: &Database, src: &str) -> Result<QueryClass, EngineError> {
+        let q = parse_and_validate(db.catalog(), db.interner(), src)?;
+        Ok(classify(db.catalog(), &NormalQuery::from_query(&q)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::StreamBuilder;
+    use lahar_query::prob_series as oracle_series;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_stream("Door", &["id"], &["state"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+            .unwrap();
+        for (p, pa) in [("joe", 0.5), ("sue", 0.3)] {
+            let b = StreamBuilder::new(&i, "At", &[p], &["a", "h", "c"]);
+            let ms = vec![
+                b.marginal(&[("a", pa)]).unwrap(),
+                b.marginal(&[("h", 0.6)]).unwrap(),
+                b.marginal(&[("c", 0.5), ("h", 0.1)]).unwrap(),
+            ];
+            db.add_stream(b.independent(ms).unwrap()).unwrap();
+        }
+        let b = StreamBuilder::new(&i, "Door", &["d1"], &["open", "closed"]);
+        let ms = vec![
+            b.marginal(&[("closed", 0.9)]).unwrap(),
+            b.marginal(&[("open", 0.4)]).unwrap(),
+            b.marginal(&[("open", 0.7)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        db
+    }
+
+    #[test]
+    fn dispatch_matches_classification() {
+        let db = db();
+        let cases = [
+            ("At('joe','a') ; At('joe','c')", Algorithm::Regular),
+            ("At(p,'a') ; At(p,'c')", Algorithm::ExtendedRegular),
+            (
+                "At(p,'a') ; At(p,'h') ; Door('d1', s)",
+                Algorithm::SafePlan,
+            ),
+            (
+                "sigma[x = y](At(x,'a') ; At(y,'c'))",
+                Algorithm::Sampling,
+            ),
+        ];
+        for (src, algo) in cases {
+            let c = Lahar::compile(&db, src).unwrap();
+            assert_eq!(c.algorithm(), algo, "{src}");
+        }
+    }
+
+    #[test]
+    fn exact_paths_match_oracle_end_to_end() {
+        let db = db();
+        for src in [
+            "At('joe','a') ; At('joe','c')",
+            "At(p,'a') ; At(p,'c')",
+            "At(p,'a') ; At(p,'h') ; Door('d1', s)",
+        ] {
+            let got = Lahar::prob_series(&db, src).unwrap();
+            let q = lahar_query::parse_query(db.interner(), src).unwrap();
+            let want = oracle_series(&db, &q).unwrap();
+            for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-9, "{src} t={t}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_facade() {
+        let db = db();
+        assert_eq!(
+            Lahar::classify(&db, "At('joe','a')").unwrap(),
+            QueryClass::Regular
+        );
+        assert_eq!(
+            Lahar::classify(&db, "At(p,'a') ; At(p,'c')").unwrap(),
+            QueryClass::ExtendedRegular
+        );
+    }
+
+    #[test]
+    fn invalid_queries_surface_errors() {
+        let db = db();
+        assert!(Lahar::compile(&db, "Nope(x)").is_err());
+        assert!(Lahar::compile(&db, "At(x").is_err());
+    }
+}

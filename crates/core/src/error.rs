@@ -1,0 +1,63 @@
+//! Engine error type.
+
+use lahar_model::ModelError;
+use lahar_query::QueryError;
+use std::fmt;
+
+/// Errors raised by the Lahar engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A query-level error (parsing, validation, classification).
+    Query(QueryError),
+    /// A data-model error.
+    Model(ModelError),
+    /// The joint hidden-state space of the relevant streams exceeds the
+    /// configured cap; use the sampler instead.
+    StateSpaceTooLarge {
+        /// The joint state-space size.
+        size: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Grounding enumeration for the sampler exceeded the configured cap.
+    TooManyGroundings {
+        /// Number of candidate bindings.
+        count: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The query references no stream present in the database.
+    NoRelevantStreams,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Model(e) => write!(f, "model error: {e}"),
+            EngineError::StateSpaceTooLarge { size, cap } => {
+                write!(f, "joint hidden state space of {size} exceeds cap {cap}")
+            }
+            EngineError::TooManyGroundings { count, cap } => {
+                write!(f, "{count} candidate groundings exceed cap {cap}")
+            }
+            EngineError::NoRelevantStreams => {
+                write!(f, "no stream in the database can match the query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}

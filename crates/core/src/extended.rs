@@ -1,0 +1,249 @@
+//! Streaming evaluation of Extended Regular Queries (§3.2, Theorem 3.7).
+//!
+//! Shared variables that are syntactically independent (Def 3.4) are
+//! grounded over every candidate key binding; the per-binding instances
+//! use disjoint tuple sets, hence are independent, and combine as
+//! `P[q] = 1 − Π_i (1 − p_i(t))` — `O(m)` state in the number of distinct
+//! keys, each step `O(m)`.
+
+use crate::chain::ChainEvaluator;
+use crate::error::EngineError;
+use crate::translate::{enumerate_bindings, substitute_items};
+use lahar_model::Database;
+use lahar_query::{is_extended_regular, shared_vars, Binding, NormalQuery, QueryError};
+
+/// Default cap on the number of grounded per-key chains.
+pub const DEFAULT_BINDING_CAP: usize = 1 << 20;
+
+/// Exact streaming evaluator for an extended regular query: one regular
+/// chain per candidate binding of the shared variables.
+#[derive(Debug)]
+pub struct ExtendedRegularEvaluator {
+    chains: Vec<(Binding, ChainEvaluator)>,
+    t: u32,
+}
+
+impl ExtendedRegularEvaluator {
+    /// Builds an evaluator; fails unless the query is extended regular
+    /// (Def 3.5).
+    pub fn new(db: &Database, nq: &NormalQuery) -> Result<Self, EngineError> {
+        if !is_extended_regular(db.catalog(), nq) {
+            return Err(QueryError::NotInClass("extended regular".to_owned()).into());
+        }
+        let shared: Vec<_> = shared_vars(&nq.items).into_iter().collect();
+        let bindings = enumerate_bindings(db, &nq.items, &shared, DEFAULT_BINDING_CAP)?;
+        let mut chains = Vec::with_capacity(bindings.len());
+        for binding in bindings {
+            let items = substitute_items(&nq.items, &binding);
+            chains.push((binding.clone(), ChainEvaluator::new(db, &items)?));
+        }
+        Ok(Self { chains, t: 0 })
+    }
+
+    /// Number of grounded per-key chains (the paper's `m`).
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The timestep the next [`Self::step`] will consume.
+    pub fn next_t(&self) -> u32 {
+        self.t
+    }
+
+    /// Consumes one timestep; returns `μ(q@t) = 1 − Π(1 − p_i(t))`.
+    pub fn step(&mut self, db: &Database) -> f64 {
+        let mut none = 1.0;
+        for (_, chain) in &mut self.chains {
+            none *= 1.0 - chain.step(db);
+        }
+        self.t += 1;
+        1.0 - none
+    }
+
+    /// Consumes one timestep and additionally reports each binding's
+    /// probability (for per-key alerting).
+    pub fn step_detailed(&mut self, db: &Database) -> (f64, Vec<(Binding, f64)>) {
+        let mut none = 1.0;
+        let mut detail = Vec::with_capacity(self.chains.len());
+        for (binding, chain) in &mut self.chains {
+            let p = chain.step(db);
+            none *= 1.0 - p;
+            detail.push((binding.clone(), p));
+        }
+        self.t += 1;
+        (1.0 - none, detail)
+    }
+
+    /// Evaluates `μ(q@t)` for every `t` in `0..horizon`.
+    pub fn prob_series(mut self, db: &Database, horizon: u32) -> Vec<f64> {
+        (0..horizon).map(|_| self.step(db)).collect()
+    }
+
+    /// Evaluates the series with chains partitioned across `n_threads`
+    /// worker threads (each chain is an independent Markov computation, so
+    /// this parallelizes embarrassingly — used by the throughput harness).
+    pub fn prob_series_parallel(
+        self,
+        db: &Database,
+        horizon: u32,
+        n_threads: usize,
+    ) -> Vec<f64> {
+        let chunk = self.chains.len().div_ceil(n_threads.max(1));
+        let mut chains = self.chains;
+        let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for slice in chains.chunks_mut(chunk.max(1)) {
+                handles.push(scope.spawn(move |_| {
+                    let mut none = vec![1.0f64; horizon as usize];
+                    for (_, chain) in slice.iter_mut() {
+                        for slot in none.iter_mut().take(horizon as usize) {
+                            *slot *= 1.0 - chain.step(db);
+                        }
+                    }
+                    none
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("worker threads do not panic");
+        let mut out = vec![1.0f64; horizon as usize];
+        for partial in partials {
+            for (o, p) in out.iter_mut().zip(partial) {
+                *o *= p;
+            }
+        }
+        out.iter().map(|p| 1.0 - p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::{Database, StreamBuilder};
+    use lahar_query::{parse_query, prob_series};
+
+    fn db_two_people() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        db.declare_relation("Person", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+            .unwrap();
+        for p in ["joe", "sue"] {
+            db.insert_relation_tuple("Person", lahar_model::tuple([i.intern(p)]))
+                .unwrap();
+        }
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
+            b.marginal(&[("h", 0.5), ("c", 0.2)]).unwrap(),
+            b.marginal(&[("c", 0.7)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        let b = StreamBuilder::new(&i, "At", &["sue"], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("a", 0.9)]).unwrap(),
+            b.marginal(&[("h", 0.2), ("a", 0.4)]).unwrap(),
+            b.marginal(&[("c", 0.5), ("h", 0.3)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        db
+    }
+
+    fn assert_matches_oracle(db: &Database, src: &str) {
+        let q = parse_query(db.interner(), src).unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&q);
+        let eval = ExtendedRegularEvaluator::new(db, &nq).unwrap();
+        let got = eval.prob_series(db, db.horizon());
+        let want = prob_series(db, &q).unwrap();
+        for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "{src} at t={t}: {g} vs oracle {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_person_sequence_matches_oracle() {
+        assert_matches_oracle(&db_two_people(), "At(p,'a') ; At(p,'c')");
+    }
+
+    #[test]
+    fn qhall_shape_matches_oracle() {
+        assert_matches_oracle(
+            &db_two_people(),
+            "sigma[Person(x)](At(x,'a') ; (At(x, l2))+{x | Hallway(l2)} ; At(x,'c'))",
+        );
+    }
+
+    #[test]
+    fn one_chain_per_key() {
+        let db = db_two_people();
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&q);
+        let eval = ExtendedRegularEvaluator::new(&db, &nq).unwrap();
+        assert_eq!(eval.n_chains(), 2);
+    }
+
+    #[test]
+    fn detailed_step_reports_per_binding() {
+        let db = db_two_people();
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&q);
+        let mut eval = ExtendedRegularEvaluator::new(&db, &nq).unwrap();
+        eval.step(&db);
+        eval.step(&db);
+        let (total, detail) = eval.step_detailed(&db);
+        assert_eq!(detail.len(), 2);
+        let none: f64 = detail.iter().map(|(_, p)| 1.0 - p).product();
+        assert!((total - (1.0 - none)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_series_matches_sequential() {
+        let db = db_two_people();
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&q);
+        let seq = ExtendedRegularEvaluator::new(&db, &nq)
+            .unwrap()
+            .prob_series(&db, db.horizon());
+        let par = ExtendedRegularEvaluator::new(&db, &nq)
+            .unwrap()
+            .prob_series_parallel(&db, db.horizon(), 2);
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_safe_but_not_extended_queries() {
+        let mut db = db_two_people();
+        db.declare_stream("Badge", &["person"], &["v"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "Badge", &["joe"], &["x"]);
+        db.add_stream(b.independent(vec![]).unwrap()).unwrap();
+        // p shared but missing from the last subgoal: not extended regular.
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'h') ; Badge(r, _)").unwrap();
+        let nq = lahar_query::NormalQuery::from_query(&q);
+        assert!(ExtendedRegularEvaluator::new(&db, &nq).is_err());
+    }
+
+    #[test]
+    fn markov_streams_per_key_match_oracle() {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        for (p, stay) in [("joe", 0.8), ("sue", 0.4)] {
+            let b = StreamBuilder::new(&i, "At", &[p], &["a", "c"]);
+            let init = b.marginal(&[("a", 0.6), ("c", 0.1)]).unwrap();
+            let cpt = b
+                .cpt(&[("a", "a", stay), ("a", "c", 0.9 - stay), ("c", "c", 0.7)])
+                .unwrap();
+            db.add_stream(b.markov(init, vec![cpt.clone(), cpt]).unwrap())
+                .unwrap();
+        }
+        assert_matches_oracle(&db, "At(p,'a') ; At(p,'c')");
+    }
+}

@@ -1,0 +1,64 @@
+//! # lahar-core — the Lahar event-query engine
+//!
+//! Exact and approximate evaluation of event queries on correlated
+//! probabilistic streams, implementing §3 of *Event Queries on Correlated
+//! Probabilistic Streams* (Ré, Letchner, Balazinska, Suciu — SIGMOD 2008):
+//!
+//! | Class (static analysis) | Evaluator | Cost |
+//! |---|---|---|
+//! | Regular (Def 3.1) | [`RegularEvaluator`] — symbol-set translation + NFA simulated as a Markov chain over (hidden value × automaton state) | `O(1)` space, streaming (Thm 3.3) |
+//! | Extended regular (Def 3.5) | [`ExtendedRegularEvaluator`] — one chain per key binding, combined as `1 − Π(1 − pᵢ)` | `O(m)` space (Thm 3.7) |
+//! | Safe (Def 3.8) | [`SafePlanExecutor`] — interval algebra with the latest-precursor/latest-witness `seq` factorization | `O(|W| T²)` offline (Thm 3.10) |
+//! | Unsafe (§3.4, #P-hard) | [`Sampler`] — (ε, δ) Monte Carlo with bitvector world-parallel NFA simulation | Prop 3.20 |
+//!
+//! The easiest entry point is the [`Lahar`] facade:
+//!
+//! ```
+//! use lahar_core::Lahar;
+//! use lahar_model::{Database, StreamBuilder};
+//!
+//! let mut db = Database::new();
+//! db.declare_stream("At", &["person"], &["loc"]).unwrap();
+//! let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["office", "coffee"]);
+//! let marginals = vec![
+//!     b.marginal(&[("office", 0.9)]).unwrap(),
+//!     b.marginal(&[("coffee", 0.6), ("office", 0.3)]).unwrap(),
+//! ];
+//! db.add_stream(b.independent(marginals).unwrap()).unwrap();
+//!
+//! let series = Lahar::prob_series(&db, "At('joe','office') ; At('joe','coffee')").unwrap();
+//! assert!((series[1] - 0.54).abs() < 1e-9);
+//! ```
+//!
+//! Every exact evaluator in this crate is property-tested against the
+//! possible-world oracle of `lahar-query` (`prob_series`).
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
+
+mod chain;
+mod engine;
+mod error;
+mod extended;
+mod interval;
+mod occurrence;
+mod regular;
+mod safeplan;
+mod sampler;
+mod session;
+mod translate;
+
+pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
+pub use engine::{Algorithm, CompiledQuery, Lahar};
+pub use error::EngineError;
+pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};
+pub use interval::IntervalChain;
+pub use occurrence::{OccurrenceModel, TpTw};
+pub use regular::RegularEvaluator;
+pub use safeplan::SafePlanExecutor;
+pub use sampler::{Sampler, SamplerConfig};
+pub use session::{Alert, QueryId, RealTimeSession};
+pub use translate::{
+    a_bit, build_regex, candidate_values, enumerate_bindings, m_bit, relevant_streams,
+    stream_relevant, substitute_cond, substitute_items, symbol_table, symbols_for_event,
+};

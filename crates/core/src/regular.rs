@@ -1,0 +1,208 @@
+//! Streaming evaluation of Regular Queries (§3.1, Theorem 3.3).
+
+use crate::chain::ChainEvaluator;
+use crate::error::EngineError;
+use lahar_model::Database;
+use lahar_query::{is_regular, NormalQuery, QueryError};
+
+/// Exact streaming evaluator for a regular query: `O(1)` state (in the
+/// stream length) and `O(1)` work per timestep.
+#[derive(Debug, Clone)]
+pub struct RegularEvaluator {
+    chain: ChainEvaluator,
+}
+
+impl RegularEvaluator {
+    /// Builds an evaluator; fails unless the query is regular (Def 3.1).
+    pub fn new(db: &Database, nq: &NormalQuery) -> Result<Self, EngineError> {
+        if !is_regular(nq) {
+            return Err(QueryError::NotInClass("regular".to_owned()).into());
+        }
+        Ok(Self {
+            chain: ChainEvaluator::new(db, &nq.items)?,
+        })
+    }
+
+    /// The timestep the next [`RegularEvaluator::step`] will consume.
+    pub fn next_t(&self) -> u32 {
+        self.chain.next_t()
+    }
+
+    /// Consumes one timestep and returns `μ(q@t)` for it.
+    pub fn step(&mut self, db: &Database) -> f64 {
+        self.chain.step(db)
+    }
+
+    /// Evaluates `μ(q@t)` for every `t` in `0..horizon`.
+    pub fn prob_series(mut self, db: &Database, horizon: u32) -> Vec<f64> {
+        (0..horizon).map(|_| self.step(db)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::{Database, StreamBuilder};
+    use lahar_query::{parse_query, prob_series, NormalQuery};
+
+    fn series(db: &Database, src: &str) -> (Vec<f64>, Vec<f64>) {
+        let q = parse_query(db.interner(), src).unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let eval = RegularEvaluator::new(db, &nq).unwrap();
+        let got = eval.prob_series(db, db.horizon());
+        let want = prob_series(db, &q).unwrap();
+        (got, want)
+    }
+
+    fn assert_matches_oracle(db: &Database, src: &str) {
+        let (got, want) = series(db, src);
+        for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "{src} at t={t}: chain {g} vs oracle {w}\nchain {got:?}\noracle {want:?}"
+            );
+        }
+    }
+
+    fn indep_db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+            .unwrap();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
+            b.marginal(&[("h", 0.5), ("c", 0.2)]).unwrap(),
+            b.marginal(&[("c", 0.7), ("a", 0.1)]).unwrap(),
+            b.marginal(&[("c", 0.4), ("h", 0.4)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        db
+    }
+
+    fn markov_db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+            .unwrap();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+        let init = b.marginal(&[("a", 0.7), ("h", 0.2)]).unwrap();
+        let cpt = b
+            .cpt(&[
+                ("a", "a", 0.5),
+                ("a", "h", 0.4),
+                ("h", "h", 0.3),
+                ("h", "c", 0.5),
+                ("h", "a", 0.1),
+                ("c", "c", 0.8),
+                ("c", "h", 0.1),
+            ])
+            .unwrap();
+        db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn single_goal_matches_oracle() {
+        assert_matches_oracle(&indep_db(), "At('joe', 'c')");
+        assert_matches_oracle(&markov_db(), "At('joe', 'c')");
+    }
+
+    #[test]
+    fn sequence_matches_oracle() {
+        assert_matches_oracle(&indep_db(), "At('joe','a') ; At('joe','c')");
+        assert_matches_oracle(&markov_db(), "At('joe','a') ; At('joe','c')");
+    }
+
+    #[test]
+    fn inner_vs_outer_selection_differ_and_match_oracle() {
+        // Ex 3.11 on probabilistic data: q_f vs q_s.
+        assert_matches_oracle(&indep_db(), "At('joe','a') ; At('joe','c')");
+        assert_matches_oracle(
+            &indep_db(),
+            "sigma[l = 'c'](At('joe','a') ; At('joe', l))",
+        );
+        let (qf, _) = series(&indep_db(), "At('joe','a') ; At('joe','c')");
+        let (qs, _) = series(
+            &indep_db(),
+            "sigma[l = 'c'](At('joe','a') ; At('joe', l))",
+        );
+        assert!(qf.iter().zip(&qs).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn kleene_matches_oracle() {
+        assert_matches_oracle(
+            &indep_db(),
+            "At('joe','a') ; (At('joe', l))+{| Hallway(l)} ; At('joe','c')",
+        );
+        assert_matches_oracle(
+            &markov_db(),
+            "At('joe','a') ; (At('joe', l))+{| Hallway(l)} ; At('joe','c')",
+        );
+    }
+
+    #[test]
+    fn standalone_kleene_matches_oracle() {
+        assert_matches_oracle(&indep_db(), "(At('joe', l))+{| Hallway(l)}");
+        assert_matches_oracle(&markov_db(), "(At('joe', l))+{| Hallway(l)}");
+    }
+
+    #[test]
+    fn three_step_sequence_matches_oracle() {
+        assert_matches_oracle(&indep_db(), "At('joe','a') ; At('joe','h') ; At('joe','c')");
+        assert_matches_oracle(&markov_db(), "At('joe','a') ; At('joe','h') ; At('joe','c')");
+    }
+
+    #[test]
+    fn multi_stream_regular_query_matches_oracle() {
+        // Two independent keys referenced by one regular query.
+        let mut db = indep_db();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["sue"], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("c", 0.5)]).unwrap(),
+            b.marginal(&[("a", 0.9)]).unwrap(),
+            b.marginal(&[("c", 0.6), ("h", 0.2)]).unwrap(),
+            b.marginal(&[("h", 0.5)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        assert_matches_oracle(&db, "At('joe','a') ; At('sue','c')");
+    }
+
+    #[test]
+    fn multi_stream_markov_product_chain_matches_oracle() {
+        let mut db = markov_db();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["sue"], &["a", "c"]);
+        let init = b.marginal(&[("a", 0.5), ("c", 0.3)]).unwrap();
+        let cpt = b.cpt(&[("a", "c", 0.6), ("a", "a", 0.2), ("c", "c", 0.9)]).unwrap();
+        db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
+            .unwrap();
+        assert_matches_oracle(&db, "At('joe','a') ; At('sue','c')");
+    }
+
+    #[test]
+    fn rejects_non_regular_queries() {
+        let db = indep_db();
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        assert!(RegularEvaluator::new(&db, &nq).is_err());
+    }
+
+    #[test]
+    fn probability_never_exceeds_one() {
+        let db = markov_db();
+        let q = parse_query(db.interner(), "(At('joe', l))+{}").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let eval = RegularEvaluator::new(&db, &nq).unwrap();
+        for p in eval.prob_series(&db, db.horizon()) {
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+}

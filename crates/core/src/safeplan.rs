@@ -1,0 +1,388 @@
+//! Execution of safe plans (§3.3, Theorem 3.10).
+//!
+//! A [`SafePlan`] is evaluated bottom-up on interval probabilities
+//! `P[q[ts, tf]]`:
+//!
+//! * `reg⟨V⟩` — for each binding of `V`, a grounded [`IntervalChain`]
+//!   (accepted-bit Markov chain, §3.3.1 "Regular Expression" operator);
+//! * `π₋ₓ` — per-binding results are independent (bindings differ at a key
+//!   position, hence live on disjoint streams) and combine as
+//!   `1 − Π(1 − pᵢ)`;
+//! * `seq` — the latest-precursor / latest-witness factorization (Eq. 3):
+//!   `P[q[ts,tf]] = Σ_{a,b} P[Tp = a ∧ Tw = b] · P[q′[a, b−1]]`, with the
+//!   boundary corrected to `b − 1` because a witness must be *strictly*
+//!   later than the subquery's completion (Fig 2 semantics).
+//!
+//! The executor memoizes child interval probabilities per (binding,
+//! interval) and evaluates the reg-leaf recurrence lazily; total work is
+//! `O(|W| · T²)` as in Theorem 3.10.
+
+use crate::error::EngineError;
+use crate::interval::IntervalChain;
+use crate::occurrence::OccurrenceModel;
+use crate::translate::{candidate_values, substitute_items};
+use lahar_model::{Database, Value};
+use lahar_query::{Binding, NormalItem, SafePlan, Var};
+use std::collections::HashMap;
+
+/// Executable node tree mirroring [`SafePlan`], with per-node caches.
+#[allow(clippy::large_enum_variant)] // a handful of nodes per plan
+enum Node {
+    Reg {
+        env: Vec<Var>,
+        items: Vec<NormalItem>,
+        chains: HashMap<Vec<Value>, IntervalChain>,
+    },
+    Project {
+        var: Var,
+        candidates: Vec<Value>,
+        input: Box<Node>,
+    },
+    Seq {
+        input: Box<Node>,
+        item: NormalItem,
+        models: HashMap<Vec<Value>, OccurrenceModel>,
+        /// Variables of the item that must be bound before grounding
+        /// (inherited env variables).
+        item_env: Vec<Var>,
+        memo: HashMap<(Vec<Value>, u32, u32), f64>,
+        memo_env: Vec<Var>,
+    },
+}
+
+/// Executor for a compiled safe plan against one database snapshot.
+pub struct SafePlanExecutor<'db> {
+    db: &'db Database,
+    root: Node,
+    approx_seq: bool,
+}
+
+impl<'db> SafePlanExecutor<'db> {
+    /// Builds an executor. Fails early when the plan uses a `seq` whose
+    /// base query the occurrence model cannot represent exactly (the
+    /// engine then falls back to sampling).
+    pub fn new(db: &'db Database, plan: &SafePlan) -> Result<Self, EngineError> {
+        let root = build(db, plan, &mut Vec::new())?;
+        Ok(Self {
+            db,
+            root,
+            approx_seq: false,
+        })
+    }
+
+    /// Like [`SafePlanExecutor::new`] but treating every `seq` base
+    /// query's occurrence process as per-timestep independent even on
+    /// Markovian streams — the paper's simplified algebra, used by the
+    /// ablation bench.
+    pub fn new_with_independence_approx(
+        db: &'db Database,
+        plan: &SafePlan,
+    ) -> Result<Self, EngineError> {
+        let root = build(db, plan, &mut Vec::new())?;
+        Ok(Self {
+            db,
+            root,
+            approx_seq: true,
+        })
+    }
+
+    /// `μ(q@t)` — the point probability at `t`.
+    pub fn prob_at(&mut self, t: u32) -> Result<f64, EngineError> {
+        eval(self.db, &mut self.root, &Binding::new(), t, t, self.approx_seq)
+    }
+
+    /// `P[q[ts, tf]]` — the interval probability.
+    pub fn prob_interval(&mut self, ts: u32, tf: u32) -> Result<f64, EngineError> {
+        eval(self.db, &mut self.root, &Binding::new(), ts, tf, self.approx_seq)
+    }
+
+    /// `μ(q@t)` for every `t` in `0..horizon`.
+    pub fn prob_series(&mut self, horizon: u32) -> Result<Vec<f64>, EngineError> {
+        (0..horizon).map(|t| self.prob_at(t)).collect()
+    }
+}
+
+/// Collects the env variables bound above this node.
+fn build(db: &Database, plan: &SafePlan, bound: &mut Vec<Var>) -> Result<Node, EngineError> {
+    match plan {
+        SafePlan::Reg { env, items } => Ok(Node::Reg {
+            env: env.clone(),
+            items: items.clone(),
+            chains: HashMap::new(),
+        }),
+        SafePlan::Project { var, input } => {
+            bound.push(*var);
+            let (_, leaf_items) = plan.reg_leaf();
+            let candidates = candidate_values(db, leaf_items, *var);
+            let input = Box::new(build(db, input, bound)?);
+            Ok(Node::Project {
+                var: *var,
+                candidates,
+                input,
+            })
+        }
+        SafePlan::Seq { input, item } => {
+            // Validate the occurrence model once, unbound (grounding only
+            // substitutes constants, which cannot make an unsupported item
+            // supported or vice versa — assoc and stream kinds are
+            // binding-independent for key-grounded vars).
+            let item_env: Vec<Var> = item
+                .base
+                .goal()
+                .vars()
+                .into_iter()
+                .filter(|v| bound.contains(v))
+                .collect();
+            if !item.assoc.is_true() {
+                return Err(EngineError::Query(lahar_query::QueryError::NotInClass(
+                    "seq with associated predicate (falls back to sampling)".to_owned(),
+                )));
+            }
+            let memo_env = bound.clone();
+            let input = Box::new(build(db, input, bound)?);
+            Ok(Node::Seq {
+                input,
+                item: item.clone(),
+                models: HashMap::new(),
+                item_env,
+                memo: HashMap::new(),
+                memo_env,
+            })
+        }
+    }
+}
+
+fn key_of(binding: &Binding, vars: &[Var]) -> Vec<Value> {
+    vars.iter()
+        .map(|v| *binding.get(v).expect("env variable bound by projection above"))
+        .collect()
+}
+
+fn eval(
+    db: &Database,
+    node: &mut Node,
+    binding: &Binding,
+    ts: u32,
+    tf: u32,
+    approx_seq: bool,
+) -> Result<f64, EngineError> {
+    if tf < ts {
+        return Ok(0.0);
+    }
+    match node {
+        Node::Reg { env, items, chains } => {
+            let key = key_of(binding, env);
+            if !chains.contains_key(&key) {
+                let grounded = substitute_items(items, binding);
+                chains.insert(key.clone(), IntervalChain::new(db, &grounded)?);
+            }
+            let chain = chains.get_mut(&key).expect("inserted above");
+            Ok(chain.prob(db, ts, tf))
+        }
+        Node::Project {
+            var,
+            candidates,
+            input,
+        } => {
+            let mut none = 1.0;
+            for v in candidates.iter() {
+                let mut b2 = binding.clone();
+                b2.insert(*var, *v);
+                let p = eval(db, input, &b2, ts, tf, approx_seq)?;
+                none *= 1.0 - p;
+            }
+            Ok(1.0 - none)
+        }
+        Node::Seq {
+            input,
+            item,
+            models,
+            item_env,
+            memo,
+            memo_env,
+        } => {
+            let memo_key = (key_of(binding, memo_env), ts, tf);
+            if let Some(&p) = memo.get(&memo_key) {
+                return Ok(p);
+            }
+            let item_key = key_of(binding, item_env);
+            if !models.contains_key(&item_key) {
+                let grounded = substitute_items(std::slice::from_ref(item), binding);
+                let model = if approx_seq {
+                    OccurrenceModel::new_independence_approx(db, &grounded[0])?
+                } else {
+                    OccurrenceModel::new(db, &grounded[0])?
+                };
+                models.insert(item_key.clone(), model);
+            }
+            let model = models.get(&item_key).expect("inserted above");
+            let joint = model.tp_tw(db, ts, tf);
+            let mut total = 0.0;
+            for (a, b, p) in joint.iter() {
+                if p == 0.0 || b == 0 {
+                    continue;
+                }
+                let lo = a.unwrap_or(0);
+                let child = eval(db, input, binding, lo, b - 1, approx_seq)?;
+                total += p * child;
+            }
+            memo.insert(memo_key, total);
+            Ok(total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::{Database, StreamBuilder};
+    use lahar_query::{compile_safe_plan, parse_query, prob_series, NormalQuery};
+
+    /// R, S, T streams over distinct types; x shared between R and S.
+    fn fig6_db(markov_t: bool) -> Database {
+        let mut db = Database::new();
+        db.declare_stream("R", &["k"], &["v"]).unwrap();
+        db.declare_stream("S", &["k"], &["v"]).unwrap();
+        db.declare_stream("T", &["k"], &["v"]).unwrap();
+        let i = db.interner().clone();
+        for key in ["k1", "k2"] {
+            let b = StreamBuilder::new(&i, "R", &[key], &["r"]);
+            let ms = vec![
+                b.marginal(&[("r", if key == "k1" { 0.6 } else { 0.3 })]).unwrap(),
+                b.marginal(&[("r", 0.2)]).unwrap(),
+                b.marginal(&[]).unwrap(),
+                b.marginal(&[]).unwrap(),
+            ];
+            db.add_stream(b.independent(ms).unwrap()).unwrap();
+            let b = StreamBuilder::new(&i, "S", &[key], &["s"]);
+            let ms = vec![
+                b.marginal(&[]).unwrap(),
+                b.marginal(&[("s", if key == "k1" { 0.7 } else { 0.4 })]).unwrap(),
+                b.marginal(&[("s", 0.5)]).unwrap(),
+                b.marginal(&[]).unwrap(),
+            ];
+            db.add_stream(b.independent(ms).unwrap()).unwrap();
+        }
+        let b = StreamBuilder::new(&i, "T", &["a"], &["t1", "t2"]);
+        if markov_t {
+            let init = b.marginal(&[("t1", 0.3), ("t2", 0.2)]).unwrap();
+            let cpt = b
+                .cpt(&[("t1", "t1", 0.5), ("t1", "t2", 0.3), ("t2", "t2", 0.6)])
+                .unwrap();
+            db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
+                .unwrap();
+        } else {
+            let ms = vec![
+                b.marginal(&[("t1", 0.3)]).unwrap(),
+                b.marginal(&[("t2", 0.5)]).unwrap(),
+                b.marginal(&[("t1", 0.2), ("t2", 0.2)]).unwrap(),
+                b.marginal(&[("t1", 0.6)]).unwrap(),
+            ];
+            db.add_stream(b.independent(ms).unwrap()).unwrap();
+        }
+        db
+    }
+
+    fn assert_plan_matches_oracle(db: &Database, src: &str) {
+        let q = parse_query(db.interner(), src).unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let plan = compile_safe_plan(db.catalog(), &nq).unwrap();
+        let mut exec = SafePlanExecutor::new(db, &plan).unwrap();
+        let got = exec.prob_series(db.horizon()).unwrap();
+        let want = prob_series(db, &q).unwrap();
+        for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "{src} at t={t}: plan {g} vs oracle {w}\nplan   {got:?}\noracle {want:?}"
+            );
+        }
+    }
+
+    /// Fig 6 / Ex 3.17: R(x); S(x); T('a', y) via seq(π(reg)).
+    #[test]
+    fn fig6_plan_matches_oracle_independent() {
+        let db = fig6_db(false);
+        assert_plan_matches_oracle(&db, "R(x, _) ; S(x, _) ; T('a', y)");
+    }
+
+    /// Same plan with a Markovian witness stream exercises the exact joint
+    /// (Tp, Tw) extension.
+    #[test]
+    fn fig6_plan_matches_oracle_markov_witness() {
+        let db = fig6_db(true);
+        assert_plan_matches_oracle(&db, "R(x, _) ; S(x, _) ; T('a', y)");
+    }
+
+    /// A pure extended-regular query also runs through the safe-plan path
+    /// (π over reg) and must agree with the oracle.
+    #[test]
+    fn projected_reg_without_seq_matches_oracle() {
+        let db = fig6_db(false);
+        assert_plan_matches_oracle(&db, "R(x, _) ; S(x, _)");
+    }
+
+    /// Regular leaf only.
+    #[test]
+    fn bare_reg_leaf_matches_oracle() {
+        let db = fig6_db(false);
+        assert_plan_matches_oracle(&db, "R('k1', _) ; S('k1', _)");
+    }
+
+    /// seq directly above the reg leaf (no projection).
+    #[test]
+    fn seq_above_constant_prefix_matches_oracle() {
+        let db = fig6_db(false);
+        assert_plan_matches_oracle(&db, "R('k1', _) ; T('a', y)");
+        let db = fig6_db(true);
+        assert_plan_matches_oracle(&db, "R('k1', _) ; T('a', y)");
+    }
+
+    /// Nested seq: ((R; S); T) where both S and T split off.
+    #[test]
+    fn nested_seq_matches_oracle() {
+        let mut db = fig6_db(false);
+        db.declare_stream("U", &["k"], &["v"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "U", &["u1"], &["u"]);
+        let ms = vec![
+            b.marginal(&[]).unwrap(),
+            b.marginal(&[("u", 0.4)]).unwrap(),
+            b.marginal(&[("u", 0.5)]).unwrap(),
+            b.marginal(&[("u", 0.3)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        assert_plan_matches_oracle(&db, "R(x, _) ; S(x, _) ; T('a', y) ; U(z, _)");
+    }
+
+    #[test]
+    fn seq_with_assoc_predicate_is_rejected_at_build() {
+        let mut db = fig6_db(false);
+        db.declare_relation("Good", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Good", lahar_model::tuple([i.intern("t1")]))
+            .unwrap();
+        let q = parse_query(
+            db.interner(),
+            "sigma[Good(y)](R(x, _) ; S(x, _) ; T('a', y))",
+        )
+        .unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let plan = compile_safe_plan(db.catalog(), &nq).unwrap();
+        assert!(SafePlanExecutor::new(&db, &plan).is_err());
+    }
+
+    #[test]
+    fn interval_query_on_plan_is_monotone() {
+        let db = fig6_db(false);
+        let q = parse_query(db.interner(), "R(x, _) ; S(x, _) ; T('a', y)").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let plan = compile_safe_plan(db.catalog(), &nq).unwrap();
+        let mut exec = SafePlanExecutor::new(&db, &plan).unwrap();
+        let mut prev = 0.0;
+        for tf in 0..4 {
+            let p = exec.prob_interval(0, tf).unwrap();
+            assert!(p >= prev - 1e-12, "tf={tf}: {p} < {prev}");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Naïve possible-world sampling with the bitvector optimization
+//! (§3.5, Proposition 3.20).
+//!
+//! The sampler handles *any* query, including the #P-hard ones of §3.4.
+//! Shared variables (and variables of non-local predicates) are grounded
+//! over their candidate constants; each grounding is a regular query, whose
+//! NFA is advanced over `n` sampled worlds *simultaneously*: the occupancy
+//! of every automaton state is an `n`-bit vector and a transition is a
+//! word-wise `AND` with the per-predicate match mask followed by `OR` into
+//! the target's ε-closure — the paper's "simple technique based on
+//! bitvectors" that avoids running `n` independent query copies.
+//!
+//! With `n = ⌈ln(2/δ) / (2ε²)⌉` samples the estimate is within `ε` of
+//! `μ(q@t)` with probability at least `1 − δ` (additive Hoeffding bound).
+
+use crate::error::EngineError;
+use crate::translate::{
+    build_regex, enumerate_bindings, relevant_streams, substitute_items,
+};
+use lahar_automata::{Nfa, Pred, SymbolSet};
+use lahar_model::{Database, StreamData};
+use lahar_query::{eval_cond, Binding, NormalQuery, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of the Monte Carlo sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Additive precision ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// RNG seed (the guarantee is over the sampler's own randomness).
+    pub seed: u64,
+    /// Cap on the number of candidate groundings.
+    pub grounding_cap: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        // The paper's defaults: ε = δ = 0.1 (§4.3).
+        Self {
+            epsilon: 0.1,
+            delta: 0.1,
+            seed: 0x001a_4a12_u64,
+            grounding_cap: 1 << 16,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// The Hoeffding sample count for (ε, δ), rounded up to a multiple of
+    /// 64 so bitvector words are fully used.
+    pub fn n_samples(&self) -> usize {
+        let n = ((2.0 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize;
+        n.div_ceil(64) * 64
+    }
+}
+
+/// One grounded regular query compiled for bulk NFA simulation.
+struct Grounding {
+    nfa: Nfa,
+    /// Indices into the sampler's `streams` list.
+    local_streams: Vec<usize>,
+    /// Per local stream: symbol set per outcome.
+    syms: Vec<Vec<SymbolSet>>,
+    /// Per NFA state: occupancy bitvector (one bit per sample).
+    occupancy: Vec<Vec<u64>>,
+    preds: Vec<Pred>,
+}
+
+/// Builds the symbol table for a grounding with the *match/accept split*:
+/// the match symbol `m_i` uses the subgoal grounded only on variables
+/// already bound earlier in the sequence (successor competition is decided
+/// before this item binds its fresh variables — Fig 2), while the accept
+/// symbol `a_i` uses the fully grounded pattern.
+fn split_symbol_table(
+    db: &Database,
+    stream: &lahar_model::Stream,
+    m_items: &[lahar_query::NormalItem],
+    a_items: &[lahar_query::NormalItem],
+) -> Result<Vec<SymbolSet>, EngineError> {
+    use crate::translate::{a_bit, m_bit, symbol_table as table};
+    let tm = table(db, stream, m_items)?;
+    let ta = table(db, stream, a_items)?;
+    let mut out = vec![SymbolSet::EMPTY; tm.len()];
+    for (d, slot) in out.iter_mut().enumerate() {
+        for i in 0..m_items.len() {
+            if tm[d].contains(m_bit(i)) {
+                slot.insert(m_bit(i));
+            }
+            if ta[d].contains(a_bit(i)) {
+                slot.insert(a_bit(i));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The per-grounding item pair: competition (match) items and accept items.
+fn split_items(
+    items: &[lahar_query::NormalItem],
+    binding: &Binding,
+) -> Option<(Vec<lahar_query::NormalItem>, Vec<lahar_query::NormalItem>)> {
+    use lahar_query::BaseQuery;
+    let mut bound_earlier: BTreeSet<Var> = BTreeSet::new();
+    let mut m_items = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        // h2-style pattern: a Kleene whose shared variables are not bound
+        // before the item — the first unfolding competes unbound while the
+        // rest compete bound, which a single symbol pair cannot express.
+        if i > 0 {
+            if let BaseQuery::Kleene { shared, .. } = &item.base {
+                if shared
+                    .iter()
+                    .any(|v| binding.contains_key(v) && !bound_earlier.contains(v))
+                {
+                    return None;
+                }
+            }
+        }
+        // For Kleene items the shared set V is bound from the first
+        // unfolding on, so it also constrains competition (the bail-out
+        // above excludes the one shape where the first unfolding competes
+        // unbound).
+        let kleene_shared: BTreeSet<Var> = match &item.base {
+            BaseQuery::Kleene { shared, .. } => shared.iter().copied().collect(),
+            BaseQuery::Goal { .. } => BTreeSet::new(),
+        };
+        let m_binding: Binding = binding
+            .iter()
+            .filter(|(v, _)| bound_earlier.contains(v) || kleene_shared.contains(v))
+            .map(|(v, val)| (*v, *val))
+            .collect();
+        let mut m_item = substitute_items(std::slice::from_ref(item), &m_binding).remove(0);
+        // Competition ignores accept-side predicates.
+        m_item.assoc = lahar_query::Cond::True;
+        m_items.push(m_item);
+        bound_earlier.extend(item.base.free_vars());
+    }
+    let a_items = substitute_items(items, binding);
+    Some((m_items, a_items))
+}
+
+/// Per-stream sampling state.
+struct StreamState {
+    /// Index into `db.streams()`.
+    index: usize,
+    /// Current outcome per sample.
+    current: Vec<u32>,
+}
+
+/// A Monte Carlo evaluator for arbitrary event queries.
+pub struct Sampler {
+    config: SamplerConfig,
+    n: usize,
+    words: usize,
+    groundings: Vec<Grounding>,
+    streams: Vec<StreamState>,
+    rng: SmallRng,
+    t: u32,
+    /// Scratch: per-sample symbol set for the grounding being advanced.
+    sample_syms: Vec<SymbolSet>,
+    /// Scratch: per-predicate match masks.
+    masks: Vec<Vec<u64>>,
+    /// Per-world satisfaction sets when the semantic fallback is active
+    /// (`fallback[sample][t]`): used for query shapes whose successor
+    /// competition a single grounded NFA cannot express (a Kleene plus
+    /// binding its shared variables mid-sequence, e.g. the paper's `h2`).
+    fallback: Option<Vec<Vec<bool>>>,
+}
+
+impl Sampler {
+    /// Builds a sampler for a (possibly unsafe) normalized query.
+    pub fn new(db: &Database, nq: &NormalQuery) -> Result<Self, EngineError> {
+        Self::with_config(db, nq, SamplerConfig::default())
+    }
+
+    /// Builds a sampler with explicit (ε, δ) and seed.
+    pub fn with_config(
+        db: &Database,
+        nq: &NormalQuery,
+        config: SamplerConfig,
+    ) -> Result<Self, EngineError> {
+        // Variables that must be grounded: shared variables plus every
+        // variable of a residual (non-local) condition.
+        let mut to_ground: BTreeSet<Var> = lahar_query::shared_vars(&nq.items);
+        for r in &nq.residual {
+            to_ground.extend(r.cond.vars());
+        }
+        let vars: Vec<Var> = to_ground.into_iter().collect();
+        let bindings = enumerate_bindings(db, &nq.items, &vars, config.grounding_cap)?;
+
+        let n = config.n_samples();
+        let words = n / 64;
+        let mut stream_of_db_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut streams: Vec<StreamState> = Vec::new();
+        let mut groundings = Vec::new();
+
+        let mut needs_semantic_fallback = false;
+        'bindings: for binding in &bindings {
+            // A grounding is viable only if every residual conjunct holds
+            // under it (they are fully ground after substitution).
+            let residual_ok = nq.residual.iter().try_fold(true, |acc, r| {
+                let c = crate::translate::substitute_cond(&r.cond, binding);
+                eval_cond(db, &c, &Binding::new()).map(|ok| acc && ok)
+            })?;
+            if !residual_ok {
+                continue;
+            }
+            let (m_items, a_items) = match split_items(&nq.items, binding) {
+                Some(pair) => pair,
+                None => {
+                    needs_semantic_fallback = true;
+                    break 'bindings;
+                }
+            };
+            let nfa = Nfa::compile(&build_regex(&a_items));
+            // Competition can involve streams the accept pattern excludes,
+            // so relevance is judged on the match items.
+            let rel = relevant_streams(db, &m_items);
+            let mut local_streams = Vec::with_capacity(rel.len());
+            let mut syms = Vec::with_capacity(rel.len());
+            for si in rel {
+                let local = *stream_of_db_index.entry(si).or_insert_with(|| {
+                    streams.push(StreamState {
+                        index: si,
+                        current: vec![0; n],
+                    });
+                    streams.len() - 1
+                });
+                local_streams.push(local);
+                syms.push(split_symbol_table(
+                    db,
+                    &db.streams()[si],
+                    &m_items,
+                    &a_items,
+                )?);
+            }
+            let mut occupancy = vec![vec![0u64; words]; nfa.n_states()];
+            for s in nfa.initial().iter() {
+                occupancy[s].fill(u64::MAX);
+            }
+            let preds = nfa.distinct_preds();
+            groundings.push(Grounding {
+                nfa,
+                local_streams,
+                syms,
+                occupancy,
+                preds,
+            });
+        }
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let fallback = if needs_semantic_fallback {
+            // Run n full copies of the query on sampled worlds — the
+            // paper's unoptimized sampler — for shapes the grounded-NFA
+            // simulation cannot express.
+            let query = nq.to_query();
+            let horizon = db.horizon() as usize;
+            let mut sat = Vec::with_capacity(n);
+            for _ in 0..n {
+                let world = db.sample_world(&mut rng);
+                let results = lahar_query::eval_query(db, &world, &query)
+                    .map_err(EngineError::Query)?;
+                let mut hit = vec![false; horizon];
+                for e in results {
+                    if (e.t as usize) < horizon {
+                        hit[e.t as usize] = true;
+                    }
+                }
+                sat.push(hit);
+            }
+            groundings.clear();
+            streams.clear();
+            Some(sat)
+        } else {
+            None
+        };
+
+        Ok(Self {
+            n,
+            words,
+            groundings,
+            streams,
+            rng,
+            t: 0,
+            sample_syms: vec![SymbolSet::EMPTY; n],
+            masks: Vec::new(),
+            config,
+            fallback,
+        })
+    }
+
+    /// The configured sample count.
+    pub fn n_samples(&self) -> usize {
+        self.n
+    }
+
+    /// Number of viable groundings being simulated.
+    pub fn n_groundings(&self) -> usize {
+        self.groundings.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Consumes one timestep: samples every relevant stream's value in each
+    /// of the `n` worlds, advances all automata, and returns the estimate
+    /// of `μ(q@t)`.
+    pub fn step(&mut self, db: &Database) -> f64 {
+        if let Some(sat) = &self.fallback {
+            let t = self.t as usize;
+            self.t += 1;
+            let hits = sat.iter().filter(|h| h.get(t).copied().unwrap_or(false)).count();
+            return hits as f64 / self.n as f64;
+        }
+        // 1. Sample stream outcomes for each world.
+        self.sample_streams(db);
+
+        // 2. Advance every grounding's automaton in bulk.
+        let mut accepted = vec![0u64; self.words];
+        for g in &mut self.groundings {
+            // Per-sample symbol set.
+            self.sample_syms.fill(SymbolSet::EMPTY);
+            for (gi, &local) in g.local_streams.iter().enumerate() {
+                let current = &self.streams[local].current;
+                let table = &g.syms[gi];
+                for (slot, &d) in self.sample_syms.iter_mut().zip(current) {
+                    *slot = slot.union(table[d as usize]);
+                }
+            }
+            // Per-predicate match masks.
+            self.masks.resize(g.preds.len(), Vec::new());
+            for (pi, pred) in g.preds.iter().enumerate() {
+                let mask = &mut self.masks[pi];
+                mask.clear();
+                mask.resize(self.words, 0);
+                for (i, &sym) in self.sample_syms.iter().enumerate() {
+                    if pred.matches(sym) {
+                        mask[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+            }
+            // Transition: B'[closure(tgt)] |= B[src] & mask[pred].
+            let mut next = vec![vec![0u64; self.words]; g.nfa.n_states()];
+            for s in 0..g.nfa.n_states() {
+                let src = &g.occupancy[s];
+                if src.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                for &(pred, tgt) in g.nfa.edges(s) {
+                    let pi = g.preds.iter().position(|&p| p == pred).expect("known pred");
+                    let mask = &self.masks[pi];
+                    for u in g.nfa.closure(tgt).iter() {
+                        for w in 0..self.words {
+                            next[u][w] |= src[w] & mask[w];
+                        }
+                    }
+                }
+            }
+            g.occupancy = next;
+            // Acceptance for this grounding at t.
+            for s in g.nfa.accepting_states().iter() {
+                for w in 0..self.words {
+                    accepted[w] |= g.occupancy[s][w];
+                }
+            }
+        }
+        self.t += 1;
+        let hits: u32 = accepted.iter().map(|w| w.count_ones()).sum();
+        hits as f64 / self.n as f64
+    }
+
+    /// Estimates `μ(q@t)` for every `t` in `0..horizon`.
+    pub fn prob_series(mut self, db: &Database, horizon: u32) -> Vec<f64> {
+        (0..horizon).map(|_| self.step(db)).collect()
+    }
+
+    /// Scalar reference implementation: each sampled world advances its own
+    /// NFA state set one at a time, with no bitvector word parallelism.
+    /// Exists to quantify the bitvector optimization (ablation bench); the
+    /// estimates are identically distributed to [`Sampler::step`]'s.
+    pub fn prob_series_scalar(mut self, db: &Database, horizon: u32) -> Vec<f64> {
+        use lahar_automata::BitSet;
+        if self.fallback.is_some() {
+            return self.prob_series(db, horizon);
+        }
+        // Per grounding, per sample: an NFA state set.
+        let mut states: Vec<Vec<BitSet>> = self
+            .groundings
+            .iter()
+            .map(|g| vec![g.nfa.initial().clone(); self.n])
+            .collect();
+        let mut out = Vec::with_capacity(horizon as usize);
+        let mut scratch: Option<BitSet> = None;
+        for _ in 0..horizon {
+            // Reuse step()'s stream sampling by inlining the same logic.
+            self.sample_streams(db);
+            let mut hits = 0usize;
+            for sample in 0..self.n {
+                let mut accepted = false;
+                for (gi, g) in self.groundings.iter().enumerate() {
+                    let mut sym = SymbolSet::EMPTY;
+                    for (li, &local) in g.local_streams.iter().enumerate() {
+                        let d = self.streams[local].current[sample] as usize;
+                        sym = sym.union(g.syms[li][d]);
+                    }
+                    let cur = &mut states[gi][sample];
+                    let mut next = scratch
+                        .take()
+                        .filter(|b| b.capacity() == g.nfa.n_states())
+                        .unwrap_or_else(|| BitSet::new(g.nfa.n_states()));
+                    g.nfa.step_into(cur, sym, &mut next);
+                    std::mem::swap(cur, &mut next);
+                    scratch = Some(next);
+                    accepted |= g.nfa.is_accepting(cur);
+                }
+                hits += accepted as usize;
+            }
+            self.t += 1;
+            out.push(hits as f64 / self.n as f64);
+        }
+        out
+    }
+
+    /// Draws each relevant stream's value for every sampled world at the
+    /// current timestep.
+    fn sample_streams(&mut self, db: &Database) {
+        for state in &mut self.streams {
+            let stream = &db.streams()[state.index];
+            let dom = stream.domain().len();
+            match stream.data() {
+                StreamData::Independent(_) => {
+                    let marginal = stream.marginal_at(self.t);
+                    let probs = marginal.probs();
+                    for slot in state.current.iter_mut() {
+                        *slot = sample_from(probs, &mut self.rng) as u32;
+                    }
+                }
+                StreamData::Markov { initial, cpts } => {
+                    if self.t == 0 {
+                        let probs = initial.probs();
+                        for slot in state.current.iter_mut() {
+                            *slot = sample_from(probs, &mut self.rng) as u32;
+                        }
+                    } else {
+                        match cpts.get(self.t as usize - 1) {
+                            Some(cpt) => {
+                                let mut col = vec![0.0; dom];
+                                for slot in state.current.iter_mut() {
+                                    let prev = *slot as usize;
+                                    for (d2, c) in col.iter_mut().enumerate() {
+                                        *c = cpt.get(d2, prev);
+                                    }
+                                    *slot = sample_from(&col, &mut self.rng) as u32;
+                                }
+                            }
+                            None => state.current.fill(dom as u32 - 1),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Samples an index from a probability vector.
+fn sample_from<R: Rng>(probs: &[f64], rng: &mut R) -> usize {
+    let mut u = rng.gen::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::StreamBuilder;
+    use lahar_query::{parse_query, prob_series, NormalQuery};
+
+    fn assert_close_to_oracle(db: &Database, src: &str, tol: f64) {
+        let q = parse_query(db.interner(), src).unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let config = SamplerConfig {
+            epsilon: 0.02,
+            delta: 0.01,
+            seed: 7,
+            ..Default::default()
+        };
+        let sampler = Sampler::with_config(db, &nq, config).unwrap();
+        let got = sampler.prob_series(db, db.horizon());
+        let want = prob_series(db, &q).unwrap();
+        for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < tol,
+                "{src} at t={t}: sampler {g} vs oracle {w}"
+            );
+        }
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        for (p, ps) in [("joe", 0.6), ("sue", 0.4)] {
+            let b = StreamBuilder::new(&i, "At", &[p], &["a", "c"]);
+            let ms = vec![
+                b.marginal(&[("a", ps)]).unwrap(),
+                b.marginal(&[("a", 0.2), ("c", 0.5)]).unwrap(),
+                b.marginal(&[("c", 0.7)]).unwrap(),
+            ];
+            db.add_stream(b.independent(ms).unwrap()).unwrap();
+        }
+        db
+    }
+
+    fn markov_db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "c"]);
+        let init = b.marginal(&[("a", 0.6), ("c", 0.1)]).unwrap();
+        let cpt = b
+            .cpt(&[("a", "a", 0.6), ("a", "c", 0.3), ("c", "c", 0.8)])
+            .unwrap();
+        db.add_stream(b.markov(init, vec![cpt.clone(), cpt]).unwrap())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn sample_count_follows_hoeffding() {
+        let c = SamplerConfig {
+            epsilon: 0.1,
+            delta: 0.1,
+            ..Default::default()
+        };
+        // ln(20)/0.02 ≈ 149.8 → 192 after rounding to words.
+        assert_eq!(c.n_samples(), 192);
+        let tight = SamplerConfig {
+            epsilon: 0.01,
+            delta: 0.01,
+            ..Default::default()
+        };
+        assert!(tight.n_samples() >= 26_000);
+    }
+
+    #[test]
+    fn regular_query_estimate_matches_oracle() {
+        assert_close_to_oracle(&db(), "At('joe','a') ; At('joe','c')", 0.03);
+    }
+
+    #[test]
+    fn markov_sampling_matches_oracle() {
+        assert_close_to_oracle(&markov_db(), "At('joe','a') ; At('joe','c')", 0.03);
+    }
+
+    #[test]
+    fn extended_query_grounds_shared_variables() {
+        let db = db();
+        let q = parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let s = Sampler::new(&db, &nq).unwrap();
+        assert_eq!(s.n_groundings(), 2);
+        assert_close_to_oracle(&db, "At(p,'a') ; At(p,'c')", 0.03);
+    }
+
+    #[test]
+    fn unsafe_h1_style_query_is_estimated() {
+        // σ_{x=y}(At(x,'a'); At(y,'c')) has a non-local predicate; the
+        // sampler grounds x and y jointly and drops bindings violating it.
+        let db = db();
+        assert_close_to_oracle(&db, "sigma[x = y](At(x,'a') ; At(y,'c'))", 0.03);
+    }
+
+    #[test]
+    fn kleene_with_shared_var_is_estimated() {
+        // h2-style: unsafe, sampler-only.
+        let db = db();
+        assert_close_to_oracle(&db, "At('joe','a') ; (At(p, 'c'))+{p}", 0.03);
+    }
+
+    #[test]
+    fn estimates_are_valid_probabilities() {
+        let db = markov_db();
+        let q = parse_query(db.interner(), "(At('joe', l))+{}").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let s = Sampler::new(&db, &nq).unwrap();
+        for p in s.prob_series(&db, db.horizon()) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

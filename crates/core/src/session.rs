@@ -1,0 +1,324 @@
+//! Push-based real-time processing sessions.
+//!
+//! The batch API ([`crate::Lahar`]) evaluates over a finished database;
+//! a [`RealTimeSession`] is the *streaming* deployment mode of the paper's
+//! real-time scenario (§2.4): the inference layer pushes one marginal per
+//! declared stream per tick, and every registered (regular or extended
+//! regular — the streaming classes of Theorems 3.3/3.7) query advances by
+//! exactly one step, emitting `μ(q@t)` as the tick closes.
+//!
+//! ```
+//! use lahar_core::RealTimeSession;
+//! use lahar_model::{Database, StreamBuilder};
+//!
+//! let mut db = Database::new();
+//! db.declare_stream("At", &["person"], &["loc"]).unwrap();
+//! let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["office", "coffee"]);
+//! db.add_stream(b.clone().independent(vec![]).unwrap()).unwrap();
+//!
+//! let mut session = RealTimeSession::new(db).unwrap();
+//! let q = session
+//!     .register("coffee", "At('joe','office') ; At('joe','coffee')")
+//!     .unwrap();
+//! session.stage(0, b.marginal(&[("office", 0.9)]).unwrap()).unwrap();
+//! let alerts = session.tick().unwrap();
+//! assert_eq!(alerts[0].query, q);
+//! session.stage(0, b.marginal(&[("coffee", 0.6)]).unwrap()).unwrap();
+//! let alerts = session.tick().unwrap();
+//! assert!((alerts[0].probability - 0.54).abs() < 1e-9);
+//! ```
+
+use crate::error::EngineError;
+use crate::extended::ExtendedRegularEvaluator;
+use crate::regular::RegularEvaluator;
+use lahar_model::{Database, Marginal, StreamData};
+use lahar_query::{
+    classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError,
+};
+
+/// Identifier of a registered query within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub usize);
+
+/// One query's answer for the tick that just closed.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Which query.
+    pub query: QueryId,
+    /// The registered name.
+    pub name: String,
+    /// The closed timestep.
+    pub t: u32,
+    /// `μ(q@t)`.
+    pub probability: f64,
+}
+
+#[allow(clippy::large_enum_variant)] // one per registered query
+enum SessionEval {
+    Regular(RegularEvaluator),
+    Extended(ExtendedRegularEvaluator),
+}
+
+struct Registered {
+    name: String,
+    eval: SessionEval,
+}
+
+/// A push-based session over independent (real-time) streams.
+///
+/// Streams (with their keys and domains) must be declared up front —
+/// matching the paper's architecture where "each query is run in a
+/// separate process which receives one stream from the particle filter
+/// per ... key" — because the streaming evaluators size their per-key
+/// state at registration (Thm 3.7's `O(m)`).
+pub struct RealTimeSession {
+    db: Database,
+    staged: Vec<Option<Marginal>>,
+    queries: Vec<Registered>,
+    t: u32,
+}
+
+impl RealTimeSession {
+    /// Creates a session over a database whose streams are all independent
+    /// and empty (relations and catalog are used as-is).
+    pub fn new(db: Database) -> Result<Self, EngineError> {
+        for s in db.streams() {
+            if !matches!(s.data(), StreamData::Independent(ms) if ms.is_empty()) {
+                return Err(EngineError::Query(QueryError::NotInClass(
+                    "real-time session requires empty independent streams".to_owned(),
+                )));
+            }
+        }
+        let staged = vec![None; db.streams().len()];
+        Ok(Self {
+            db,
+            staged,
+            queries: Vec::new(),
+            t: 0,
+        })
+    }
+
+    /// The number of ticks closed so far.
+    pub fn now(&self) -> u32 {
+        self.t
+    }
+
+    /// Read access to the underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Registers a textual query; it must be in one of the streaming
+    /// classes (regular or extended regular). Queries registered after
+    /// ticks have closed are fast-forwarded through the recorded history
+    /// so their answers stay aligned with the session clock.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<QueryId, EngineError> {
+        let q = parse_and_validate(self.db.catalog(), self.db.interner(), src)?;
+        self.register_query(name, &q)
+    }
+
+    /// Registers an AST query.
+    pub fn register_query(&mut self, name: &str, q: &Query) -> Result<QueryId, EngineError> {
+        let nq = NormalQuery::from_query(q);
+        let eval = match classify(self.db.catalog(), &nq) {
+            QueryClass::Regular => SessionEval::Regular(RegularEvaluator::new(&self.db, &nq)?),
+            QueryClass::ExtendedRegular => {
+                SessionEval::Extended(ExtendedRegularEvaluator::new(&self.db, &nq)?)
+            }
+            other => {
+                return Err(EngineError::Query(QueryError::NotInClass(format!(
+                    "streaming (regular or extended regular); query is {other}"
+                ))))
+            }
+        };
+        let mut reg = Registered {
+            name: name.to_owned(),
+            eval,
+        };
+        // Fast-forward through already-closed ticks.
+        for _ in 0..self.t {
+            match &mut reg.eval {
+                SessionEval::Regular(e) => {
+                    e.step(&self.db);
+                }
+                SessionEval::Extended(e) => {
+                    e.step(&self.db);
+                }
+            }
+        }
+        self.queries.push(reg);
+        Ok(QueryId(self.queries.len() - 1))
+    }
+
+    /// Stages the current tick's marginal for stream `stream_index`
+    /// (the index into `database().streams()`). Unstaged streams default
+    /// to all-⊥ ("no event") when the tick closes.
+    pub fn stage(&mut self, stream_index: usize, marginal: Marginal) -> Result<(), EngineError> {
+        if stream_index >= self.staged.len() {
+            return Err(EngineError::NoRelevantStreams);
+        }
+        let domain = self.db.streams()[stream_index].domain().clone();
+        if marginal.probs().len() != domain.len() {
+            return Err(EngineError::Model(lahar_model::ModelError::DimensionMismatch {
+                expected: domain.len(),
+                got: marginal.probs().len(),
+            }));
+        }
+        self.staged[stream_index] = Some(marginal);
+        Ok(())
+    }
+
+    /// Closes the tick: appends every staged marginal (⊥ for unstaged
+    /// streams), advances all registered queries one step, and returns
+    /// their alerts for the closed timestep.
+    pub fn tick(&mut self) -> Result<Vec<Alert>, EngineError> {
+        for idx in 0..self.staged.len() {
+            let marginal = self.staged[idx]
+                .take()
+                .unwrap_or_else(|| Marginal::all_bottom(self.db.streams()[idx].domain()));
+            let id = self.db.streams()[idx].id().clone();
+            self.db.push_marginal(&id, marginal)?;
+        }
+        let t = self.t;
+        let mut alerts = Vec::with_capacity(self.queries.len());
+        for (i, reg) in self.queries.iter_mut().enumerate() {
+            let probability = match &mut reg.eval {
+                SessionEval::Regular(e) => e.step(&self.db),
+                SessionEval::Extended(e) => e.step(&self.db),
+            };
+            alerts.push(Alert {
+                query: QueryId(i),
+                name: reg.name.clone(),
+                t,
+                probability,
+            });
+        }
+        self.t += 1;
+        Ok(alerts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Lahar;
+    use lahar_model::StreamBuilder;
+
+    fn schema_db() -> (Database, StreamBuilder, StreamBuilder) {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+            .unwrap();
+        let joe = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+        let sue = StreamBuilder::new(&i, "At", &["sue"], &["a", "h", "c"]);
+        db.add_stream(joe.clone().independent(vec![]).unwrap()).unwrap();
+        db.add_stream(sue.clone().independent(vec![]).unwrap()).unwrap();
+        (db, joe, sue)
+    }
+
+    /// The streaming session must produce exactly the batch answers.
+    #[test]
+    fn incremental_equals_batch() {
+        let (db, joe, sue) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        session.register("regular", "At('joe','a') ; At('joe','c')").unwrap();
+        session.register("extended", "At(p,'a') ; At(p,'c')").unwrap();
+
+        let joe_ticks = [
+            joe.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
+            joe.marginal(&[("h", 0.5)]).unwrap(),
+            joe.marginal(&[("c", 0.7)]).unwrap(),
+        ];
+        let sue_ticks = [
+            sue.marginal(&[("a", 0.9)]).unwrap(),
+            sue.marginal(&[("c", 0.4)]).unwrap(),
+            sue.marginal(&[("c", 0.2), ("h", 0.3)]).unwrap(),
+        ];
+        let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        for t in 0..3 {
+            session.stage(0, joe_ticks[t].clone()).unwrap();
+            session.stage(1, sue_ticks[t].clone()).unwrap();
+            for alert in session.tick().unwrap() {
+                assert_eq!(alert.t, t as u32);
+                streamed[alert.query.0].push(alert.probability);
+            }
+        }
+
+        // Batch reference over the session's accumulated database.
+        let batch_db = session.database();
+        for (qi, src) in [
+            (0, "At('joe','a') ; At('joe','c')"),
+            (1, "At(p,'a') ; At(p,'c')"),
+        ] {
+            let batch = Lahar::prob_series(batch_db, src).unwrap();
+            for (t, (s, b)) in streamed[qi].iter().zip(&batch).enumerate() {
+                assert!((s - b).abs() < 1e-12, "query {qi} t={t}: {s} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unstaged_streams_default_to_bottom() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        let q = session.register("q", "At('joe','a')").unwrap();
+        session.stage(0, joe.marginal(&[("a", 0.5)]).unwrap()).unwrap();
+        let alerts = session.tick().unwrap();
+        assert!((alerts[q.0].probability - 0.5).abs() < 1e-12);
+        // Nothing staged: the tick closes with no events anywhere.
+        let alerts = session.tick().unwrap();
+        assert_eq!(alerts[q.0].probability, 0.0);
+    }
+
+    #[test]
+    fn rejects_non_streaming_queries_and_bad_input() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        // Unsafe query: not streamable.
+        assert!(session
+            .register("bad", "sigma[x = y](At(x,'a') ; At(y,'c'))")
+            .is_err());
+        // Wrong-dimension marginal.
+        let other = StreamBuilder::new(
+            session.database().interner(),
+            "At",
+            &["zz"],
+            &["only"],
+        );
+        assert!(session.stage(0, other.marginal(&[("only", 1.0)]).unwrap()).is_err());
+        // Out-of-range stream index.
+        assert!(session.stage(9, joe.marginal(&[]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn session_requires_empty_independent_streams() {
+        let (_, joe, _) = schema_db();
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a"]);
+        db.add_stream(b.clone().independent(vec![b.marginal(&[]).unwrap()]).unwrap())
+            .unwrap();
+        assert!(RealTimeSession::new(db).is_err());
+        let _ = joe;
+    }
+
+    #[test]
+    fn late_registration_fast_forwards_through_history() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        session.stage(0, joe.marginal(&[("a", 1.0)]).unwrap()).unwrap();
+        session.tick().unwrap();
+        // Registered after one tick: replays the recorded history so its
+        // first alert is the true μ(q@1) over the full stream.
+        let q = session
+            .register("late", "At('joe','a') ; At('joe','c')")
+            .unwrap();
+        session.stage(0, joe.marginal(&[("c", 0.8)]).unwrap()).unwrap();
+        let alerts = session.tick().unwrap();
+        assert_eq!(alerts[q.0].t, 1);
+        assert!((alerts[q.0].probability - 0.8).abs() < 1e-12);
+    }
+}

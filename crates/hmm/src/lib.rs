@@ -1,0 +1,32 @@
+//! # lahar-hmm — discrete hidden Markov model inference
+//!
+//! The inference substrate that produces Lahar's probabilistic streams
+//! (paper §2.4):
+//!
+//! * [`Hmm::filter`] — forward filtering: per-timestep marginals for the
+//!   *real-time* scenario (independent streams).
+//! * [`Hmm::smooth`] — forward–backward smoothing: smoothed marginals
+//!   **plus** the per-step conditional probability tables
+//!   `P[X_{t+1} | X_t, o_{1:T}]` that become Markovian stream CPTs for the
+//!   *archived* scenario.
+//! * [`Hmm::viterbi`] — the maximum a-posteriori path (the paper's MAP
+//!   competitor, Fig 10/11).
+//! * [`ParticleFilter`] — SIR particle filtering (predict / weight /
+//!   resample), the paper's actual real-time inference engine, complete
+//!   with the *particle churn* artifact discussed in §4.2.1.
+//! * [`baum_welch`] — EM parameter estimation, so deployments can learn
+//!   the model the paper assumes given.
+//!
+//! The crate is self-contained (no dependency on the rest of the
+//! workspace); `lahar-rfid` glues its output into `lahar-model` streams.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
+
+mod model;
+mod particle;
+mod train;
+
+pub use model::{Hmm, HmmError, Smoothed};
+pub use particle::ParticleFilter;
+pub use train::{baum_welch, log_likelihood, TrainOptions, Trained};

@@ -1,0 +1,612 @@
+//! Discrete hidden Markov models.
+//!
+//! A model over `n` hidden states and `m` observation symbols, defined by
+//! an initial distribution, a row-stochastic transition matrix
+//! `A[i][j] = P[X_{t+1} = j | X_t = i]`, and an emission matrix
+//! `B[i][o] = P[O_t = o | X_t = i]`. In the Lahar pipeline, hidden states
+//! are locations and observations are antenna readings (with a dedicated
+//! "no reading" symbol).
+
+use rand::Rng;
+use std::fmt;
+
+/// Errors raised while constructing or running an HMM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// A matrix or vector has the wrong dimension.
+    Dimension {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A row does not sum to 1.
+    NotStochastic {
+        /// What was being validated.
+        what: &'static str,
+        /// The row index.
+        row: usize,
+        /// The row sum.
+        sum: f64,
+    },
+    /// An observation symbol is out of range.
+    BadObservation {
+        /// The symbol.
+        obs: usize,
+        /// The alphabet size.
+        n_obs: usize,
+    },
+    /// The observation sequence is empty.
+    EmptySequence,
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmmError::Dimension {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            HmmError::NotStochastic { what, row, sum } => {
+                write!(f, "{what} row {row} sums to {sum}, expected 1")
+            }
+            HmmError::BadObservation { obs, n_obs } => {
+                write!(f, "observation {obs} outside alphabet of size {n_obs}")
+            }
+            HmmError::EmptySequence => write!(f, "empty observation sequence"),
+        }
+    }
+}
+
+impl std::error::Error for HmmError {}
+
+const EPS: f64 = 1e-6;
+
+fn check_stochastic(what: &'static str, rows: usize, cols: usize, data: &[f64]) -> Result<(), HmmError> {
+    if data.len() != rows * cols {
+        return Err(HmmError::Dimension {
+            what,
+            expected: rows * cols,
+            got: data.len(),
+        });
+    }
+    for r in 0..rows {
+        let sum: f64 = data[r * cols..(r + 1) * cols].iter().sum();
+        if (sum - 1.0).abs() > EPS {
+            return Err(HmmError::NotStochastic { what, row: r, sum });
+        }
+    }
+    Ok(())
+}
+
+/// A discrete HMM.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    n_states: usize,
+    n_obs: usize,
+    initial: Vec<f64>,
+    /// Row-major `n_states × n_states`.
+    trans: Vec<f64>,
+    /// Row-major `n_states × n_obs`.
+    emit: Vec<f64>,
+}
+
+impl Hmm {
+    /// Validates and builds a model.
+    pub fn new(
+        initial: Vec<f64>,
+        trans: Vec<f64>,
+        emit: Vec<f64>,
+        n_obs: usize,
+    ) -> Result<Self, HmmError> {
+        let n = initial.len();
+        check_stochastic("initial", 1, n, &initial)?;
+        check_stochastic("transition", n, n, &trans)?;
+        check_stochastic("emission", n, n_obs, &emit)?;
+        Ok(Self {
+            n_states: n,
+            n_obs,
+            initial,
+            trans,
+            emit,
+        })
+    }
+
+    /// Number of hidden states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Observation alphabet size.
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// The initial distribution.
+    pub fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// `P[X_{t+1} = j | X_t = i]`.
+    #[inline]
+    pub fn trans(&self, i: usize, j: usize) -> f64 {
+        self.trans[i * self.n_states + j]
+    }
+
+    /// `P[O = o | X = i]`.
+    #[inline]
+    pub fn emit(&self, i: usize, o: usize) -> f64 {
+        self.emit[i * self.n_obs + o]
+    }
+
+    /// Samples a hidden trajectory and its observations.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+        let mut states = Vec::with_capacity(len);
+        let mut obs = Vec::with_capacity(len);
+        let mut cur = sample_index(&self.initial, rng);
+        for t in 0..len {
+            if t > 0 {
+                let row = &self.trans[cur * self.n_states..(cur + 1) * self.n_states];
+                cur = sample_index(row, rng);
+            }
+            states.push(cur);
+            let row = &self.emit[cur * self.n_obs..(cur + 1) * self.n_obs];
+            obs.push(sample_index(row, rng));
+        }
+        (states, obs)
+    }
+
+    fn validate_obs(&self, obs: &[usize]) -> Result<(), HmmError> {
+        if obs.is_empty() {
+            return Err(HmmError::EmptySequence);
+        }
+        for &o in obs {
+            if o >= self.n_obs {
+                return Err(HmmError::BadObservation {
+                    obs: o,
+                    n_obs: self.n_obs,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward (filtering) pass: `P[X_t | o_{1..t}]` for every `t`.
+    ///
+    /// This is the *real-time* inference producing independent marginals
+    /// (paper §2.4). Scaled to avoid underflow.
+    pub fn filter(&self, obs: &[usize]) -> Result<Vec<Vec<f64>>, HmmError> {
+        self.validate_obs(obs)?;
+        let n = self.n_states;
+        let mut out = Vec::with_capacity(obs.len());
+        let mut alpha = vec![0.0; n];
+        for (t, &o) in obs.iter().enumerate() {
+            let mut next = vec![0.0; n];
+            if t == 0 {
+                for j in 0..n {
+                    next[j] = self.initial[j] * self.emit(j, o);
+                }
+            } else {
+                for i in 0..n {
+                    if alpha[i] == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        next[j] += alpha[i] * self.trans(i, j);
+                    }
+                }
+                for (j, slot) in next.iter_mut().enumerate() {
+                    *slot *= self.emit(j, o);
+                }
+            }
+            normalize(&mut next);
+            out.push(next.clone());
+            alpha = next;
+        }
+        Ok(out)
+    }
+
+    /// Forward–backward (smoothing) pass, producing smoothed marginals and
+    /// the smoothed conditional probability tables that Lahar consumes as
+    /// Markovian stream CPTs (paper §2.4, archived scenario).
+    pub fn smooth(&self, obs: &[usize]) -> Result<Smoothed, HmmError> {
+        self.validate_obs(obs)?;
+        let n = self.n_states;
+        let len = obs.len();
+
+        // Scaled forward pass, keeping every alpha.
+        let mut alphas = Vec::with_capacity(len);
+        {
+            let mut alpha = vec![0.0; n];
+            for (t, &o) in obs.iter().enumerate() {
+                let mut next = vec![0.0; n];
+                if t == 0 {
+                    for j in 0..n {
+                        next[j] = self.initial[j] * self.emit(j, o);
+                    }
+                } else {
+                    for i in 0..n {
+                        if alpha[i] == 0.0 {
+                            continue;
+                        }
+                        for j in 0..n {
+                            next[j] += alpha[i] * self.trans(i, j);
+                        }
+                    }
+                    for (j, slot) in next.iter_mut().enumerate() {
+                        *slot *= self.emit(j, o);
+                    }
+                }
+                normalize(&mut next);
+                alphas.push(next.clone());
+                alpha = next;
+            }
+        }
+
+        // Scaled backward pass.
+        let mut betas = vec![vec![1.0; n]; len];
+        for t in (0..len - 1).rev() {
+            let o_next = obs[t + 1];
+            let mut beta = vec![0.0; n];
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += self.trans(i, j) * self.emit(j, o_next) * betas[t + 1][j];
+                }
+                beta[i] = acc;
+            }
+            normalize(&mut beta);
+            betas[t] = beta;
+        }
+
+        // Smoothed marginals γ_t ∝ α_t · β_t.
+        let mut marginals = Vec::with_capacity(len);
+        for t in 0..len {
+            let mut g: Vec<f64> = (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
+            normalize(&mut g);
+            marginals.push(g);
+        }
+
+        // Smoothed CPTs: P[X_{t+1} = j | X_t = i, o_{1:T}]
+        //   ∝ A[i][j] · B[j][o_{t+1}] · β_{t+1}(j).
+        // Rows with unreachable i (γ_t(i) = 0) fall back to the prior row.
+        let mut cpts = Vec::with_capacity(len - 1);
+        for t in 0..len - 1 {
+            let o_next = obs[t + 1];
+            let mut cpt = vec![0.0; n * n];
+            for i in 0..n {
+                let row = &mut cpt[i * n..(i + 1) * n];
+                let mut sum = 0.0;
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = self.trans(i, j) * self.emit(j, o_next) * betas[t + 1][j];
+                    sum += *slot;
+                }
+                if sum > 0.0 {
+                    for slot in row.iter_mut() {
+                        *slot /= sum;
+                    }
+                } else {
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = self.trans(i, j);
+                    }
+                }
+            }
+            cpts.push(cpt);
+        }
+
+        Ok(Smoothed {
+            n_states: n,
+            marginals,
+            cpts,
+        })
+    }
+
+    /// Viterbi decoding: the maximum a-posteriori hidden path (paper §4.1,
+    /// the MAP competitor).
+    pub fn viterbi(&self, obs: &[usize]) -> Result<Vec<usize>, HmmError> {
+        self.validate_obs(obs)?;
+        let n = self.n_states;
+        let len = obs.len();
+        // Log-space to avoid underflow; -inf encodes impossibility.
+        let log = |p: f64| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY };
+        let mut delta: Vec<f64> = (0..n)
+            .map(|j| log(self.initial[j]) + log(self.emit(j, obs[0])))
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(len);
+        back.push(vec![0; n]);
+        for &o in &obs[1..] {
+            let mut next = vec![f64::NEG_INFINITY; n];
+            let mut arg = vec![0; n];
+            for j in 0..n {
+                let e = log(self.emit(j, o));
+                if e == f64::NEG_INFINITY {
+                    continue;
+                }
+                for i in 0..n {
+                    let cand = delta[i] + log(self.trans(i, j));
+                    if cand > next[j] {
+                        next[j] = cand;
+                        arg[j] = i;
+                    }
+                }
+                next[j] += e;
+            }
+            back.push(arg);
+            delta = next;
+        }
+        let mut best = 0;
+        for j in 1..n {
+            if delta[j] > delta[best] {
+                best = j;
+            }
+        }
+        let mut path = vec![best; len];
+        for t in (1..len).rev() {
+            path[t - 1] = back[t][path[t]];
+        }
+        Ok(path)
+    }
+
+    /// Joint probability of a full (states, observations) assignment.
+    /// Brute-force helper used by tests.
+    pub fn joint_prob(&self, states: &[usize], obs: &[usize]) -> f64 {
+        assert_eq!(states.len(), obs.len());
+        let mut p = 1.0;
+        for t in 0..states.len() {
+            p *= if t == 0 {
+                self.initial[states[0]]
+            } else {
+                self.trans(states[t - 1], states[t])
+            };
+            p *= self.emit(states[t], obs[t]);
+        }
+        p
+    }
+}
+
+/// Output of the smoothing pass.
+#[derive(Debug, Clone)]
+pub struct Smoothed {
+    n_states: usize,
+    /// `marginals[t][i] = P[X_t = i | o_{1:T}]`.
+    pub marginals: Vec<Vec<f64>>,
+    /// `cpts[t][i * n + j] = P[X_{t+1} = j | X_t = i, o_{1:T}]`
+    /// (row-stochastic `n × n`, one per transition).
+    pub cpts: Vec<Vec<f64>>,
+}
+
+impl Smoothed {
+    /// Number of hidden states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// True when no timesteps were smoothed.
+    pub fn is_empty(&self) -> bool {
+        self.marginals.is_empty()
+    }
+}
+
+pub(crate) fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        let n = v.len() as f64;
+        for x in v.iter_mut() {
+            *x = 1.0 / n;
+        }
+    }
+}
+
+pub(crate) fn sample_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two states, two observations; a classic umbrella-world model.
+    fn tiny() -> Hmm {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![0.7, 0.3, 0.4, 0.6],
+            vec![0.9, 0.1, 0.2, 0.8],
+            2,
+        )
+        .unwrap()
+    }
+
+    /// Enumerates all hidden paths for brute-force posterior computation.
+    fn enumerate_paths(n: usize, len: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![]];
+        for _ in 0..len {
+            let mut next = Vec::new();
+            for p in &out {
+                for s in 0..n {
+                    let mut q = p.clone();
+                    q.push(s);
+                    next.push(q);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Hmm::new(vec![0.5, 0.4], vec![1.0, 0.0, 0.0, 1.0], vec![1.0, 1.0], 1).is_err());
+        assert!(Hmm::new(vec![0.5, 0.5], vec![0.9, 0.0, 0.0, 1.0], vec![1.0, 1.0], 1).is_err());
+        assert!(Hmm::new(vec![1.0], vec![1.0], vec![0.5, 0.6], 2).is_err());
+        assert!(tiny().filter(&[]).is_err());
+        assert!(tiny().filter(&[5]).is_err());
+    }
+
+    #[test]
+    fn filter_matches_brute_force_posterior() {
+        let hmm = tiny();
+        let obs = vec![0, 1, 0, 0];
+        let filtered = hmm.filter(&obs).unwrap();
+        for t in 0..obs.len() {
+            // Brute force over prefixes of length t+1.
+            let paths = enumerate_paths(2, t + 1);
+            let mut post = [0.0; 2];
+            let mut total = 0.0;
+            for p in &paths {
+                let pr = hmm.joint_prob(p, &obs[..=t]);
+                post[p[t]] += pr;
+                total += pr;
+            }
+            for i in 0..2 {
+                assert!(
+                    (filtered[t][i] - post[i] / total).abs() < 1e-9,
+                    "t={t} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoothed_marginals_match_brute_force() {
+        let hmm = tiny();
+        let obs = vec![0, 1, 1, 0];
+        let sm = hmm.smooth(&obs).unwrap();
+        let paths = enumerate_paths(2, obs.len());
+        let mut total = 0.0;
+        let mut post = vec![vec![0.0; 2]; obs.len()];
+        for p in &paths {
+            let pr = hmm.joint_prob(p, &obs);
+            total += pr;
+            for (t, &s) in p.iter().enumerate() {
+                post[t][s] += pr;
+            }
+        }
+        for t in 0..obs.len() {
+            for i in 0..2 {
+                assert!(
+                    (sm.marginals[t][i] - post[t][i] / total).abs() < 1e-9,
+                    "t={t} i={i}: {} vs {}",
+                    sm.marginals[t][i],
+                    post[t][i] / total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoothed_cpts_match_brute_force_conditionals() {
+        let hmm = tiny();
+        let obs = vec![0, 1, 0];
+        let sm = hmm.smooth(&obs).unwrap();
+        let paths = enumerate_paths(2, obs.len());
+        for t in 0..obs.len() - 1 {
+            for i in 0..2 {
+                let mut joint = [0.0; 2];
+                let mut marg = 0.0;
+                for p in &paths {
+                    if p[t] != i {
+                        continue;
+                    }
+                    let pr = hmm.joint_prob(p, &obs);
+                    joint[p[t + 1]] += pr;
+                    marg += pr;
+                }
+                if marg == 0.0 {
+                    continue;
+                }
+                for j in 0..2 {
+                    let want = joint[j] / marg;
+                    let got = sm.cpts[t][i * 2 + j];
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "t={t} i={i} j={j}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoothed_cpts_are_row_stochastic_and_consistent_with_marginals() {
+        let hmm = tiny();
+        let obs = vec![0, 0, 1, 1, 0, 1];
+        let sm = hmm.smooth(&obs).unwrap();
+        let n = sm.n_states();
+        for cpt in &sm.cpts {
+            for i in 0..n {
+                let sum: f64 = cpt[i * n..(i + 1) * n].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+        // Chaining marginal_t through cpt_t must give marginal_{t+1}.
+        for t in 0..sm.cpts.len() {
+            for j in 0..n {
+                let chained: f64 = (0..n)
+                    .map(|i| sm.marginals[t][i] * sm.cpts[t][i * n + j])
+                    .sum();
+                assert!(
+                    (chained - sm.marginals[t + 1][j]).abs() < 1e-9,
+                    "t={t} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_argmax() {
+        let hmm = tiny();
+        for obs in [vec![0, 1, 0], vec![1, 1, 1, 0], vec![0, 0, 1, 1, 0]] {
+            let got = hmm.viterbi(&obs).unwrap();
+            let best = enumerate_paths(2, obs.len())
+                .into_iter()
+                .max_by(|a, b| {
+                    hmm.joint_prob(a, &obs)
+                        .partial_cmp(&hmm.joint_prob(b, &obs))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(
+                (hmm.joint_prob(&got, &obs) - hmm.joint_prob(&best, &obs)).abs() < 1e-12,
+                "obs {obs:?}: viterbi {got:?} vs best {best:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_statistics_match_model() {
+        let hmm = tiny();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 40_000;
+        let mut first_state = [0usize; 2];
+        for _ in 0..n {
+            let (states, obs) = hmm.sample(3, &mut rng);
+            assert_eq!(states.len(), 3);
+            assert_eq!(obs.len(), 3);
+            first_state[states[0]] += 1;
+        }
+        let freq = first_state[0] as f64 / n as f64;
+        assert!((freq - 0.6).abs() < 0.01, "{freq}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Sequential importance resampling (SIR) particle filtering.
+//!
+//! The paper's real-time pipeline (§2.4) estimates per-timestep location
+//! marginals with a particle filter: each particle is a guess about the
+//! hidden state; particles are propagated through the transition model,
+//! weighted by the emission likelihood of the current observation, and
+//! resampled. Marginals are particle counts divided by the population —
+//! which is also the source of the paper's *particle churn* artifact
+//! (§4.2.1): in low-information stretches the population drifts between
+//! plausible states, sparking spurious low-probability events.
+
+use crate::model::{sample_index, Hmm, HmmError};
+use rand::Rng;
+
+/// A SIR particle filter over a discrete HMM.
+#[derive(Debug, Clone)]
+pub struct ParticleFilter {
+    hmm: Hmm,
+    particles: Vec<usize>,
+    started: bool,
+}
+
+impl ParticleFilter {
+    /// Creates a filter with `n_particles` particles.
+    pub fn new(hmm: Hmm, n_particles: usize) -> Self {
+        assert!(n_particles > 0, "need at least one particle");
+        Self {
+            hmm,
+            particles: vec![0; n_particles],
+            started: false,
+        }
+    }
+
+    /// The underlying model.
+    pub fn hmm(&self) -> &Hmm {
+        &self.hmm
+    }
+
+    /// Number of particles.
+    pub fn n_particles(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Advances one timestep on `obs`, returning the estimated marginal
+    /// `P[X_t | o_{1..t}]` as particle frequencies.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        obs: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, HmmError> {
+        if obs >= self.hmm.n_obs() {
+            return Err(HmmError::BadObservation {
+                obs,
+                n_obs: self.hmm.n_obs(),
+            });
+        }
+        let n = self.hmm.n_states();
+        // Predict.
+        if !self.started {
+            for p in self.particles.iter_mut() {
+                *p = sample_index(self.hmm.initial(), rng);
+            }
+            self.started = true;
+        } else {
+            let mut row = vec![0.0; n];
+            for p in self.particles.iter_mut() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = self.hmm.trans(*p, j);
+                }
+                *p = sample_index(&row, rng);
+            }
+        }
+        // Weight.
+        let weights: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|&p| self.hmm.emit(p, obs))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            // Degenerate observation: reinitialize uniformly (standard
+            // particle-filter rescue; rare with a "no reading" symbol).
+            for p in self.particles.iter_mut() {
+                *p = rng.gen_range(0..n);
+            }
+        } else {
+            self.resample_systematic(&weights, total, rng);
+        }
+        // Marginal from counts.
+        let mut counts = vec![0.0; n];
+        for &p in &self.particles {
+            counts[p] += 1.0;
+        }
+        let m = self.particles.len() as f64;
+        for c in counts.iter_mut() {
+            *c /= m;
+        }
+        Ok(counts)
+    }
+
+    /// Runs the filter over a whole observation sequence.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        obs: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, HmmError> {
+        obs.iter().map(|&o| self.step(o, rng)).collect()
+    }
+
+    /// Systematic (low-variance) resampling.
+    fn resample_systematic<R: Rng + ?Sized>(&mut self, weights: &[f64], total: f64, rng: &mut R) {
+        let m = self.particles.len();
+        let step = total / m as f64;
+        let mut u = rng.gen::<f64>() * step;
+        let mut acc = 0.0;
+        let mut i = 0;
+        let mut new = Vec::with_capacity(m);
+        for (p, &w) in self.particles.iter().zip(weights) {
+            acc += w;
+            while i < m && u <= acc {
+                new.push(*p);
+                u += step;
+                i += 1;
+            }
+        }
+        while new.len() < m {
+            new.push(*self.particles.last().expect("non-empty"));
+        }
+        self.particles = new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Hmm {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![0.7, 0.3, 0.4, 0.6],
+            vec![0.9, 0.1, 0.2, 0.8],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_to_exact_filter() {
+        let hmm = tiny();
+        let obs = vec![0, 1, 0, 0, 1];
+        let exact = hmm.filter(&obs).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Average several runs of a large filter.
+        let runs = 20;
+        let mut acc = vec![vec![0.0; 2]; obs.len()];
+        for _ in 0..runs {
+            let mut pf = ParticleFilter::new(hmm.clone(), 5_000);
+            let est = pf.run(&obs, &mut rng).unwrap();
+            for (a, e) in acc.iter_mut().zip(est) {
+                for (x, y) in a.iter_mut().zip(e) {
+                    *x += y;
+                }
+            }
+        }
+        for t in 0..obs.len() {
+            for i in 0..2 {
+                let est = acc[t][i] / runs as f64;
+                assert!(
+                    (est - exact[t][i]).abs() < 0.02,
+                    "t={t} i={i}: {est} vs {}",
+                    exact[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_are_distributions() {
+        let hmm = tiny();
+        let mut pf = ParticleFilter::new(hmm, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for o in [0, 1, 1, 0, 1, 0, 0] {
+            let m = pf.step(o, &mut rng).unwrap();
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(m.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_observations() {
+        let hmm = tiny();
+        let mut pf = ParticleFilter::new(hmm, 10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(pf.step(9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn particle_churn_exists_under_uninformative_observations() {
+        // A model where observation 0 is uninformative ("no reading"):
+        // repeated no-readings leave the population drifting, so the
+        // estimated marginal fluctuates between steps — the phenomenon the
+        // paper blames for low-threshold precision loss (§4.2.1).
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![1.0, 1.0],
+            1,
+        )
+        .unwrap();
+        let mut pf = ParticleFilter::new(hmm, 50);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let series: Vec<f64> = (0..40).map(|_| pf.step(0, &mut rng).unwrap()[0]).collect();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / series.len() as f64;
+        assert!(var > 1e-4, "expected churn, got variance {var}");
+    }
+}

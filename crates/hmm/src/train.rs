@@ -1,0 +1,324 @@
+//! Baum–Welch (EM) parameter estimation.
+//!
+//! The paper takes its location HMM as given; a deployed system has to
+//! *learn* it — transition stickiness and antenna detection rates drift
+//! with the building. [`baum_welch`] re-estimates initial, transition, and
+//! emission parameters from raw observation sequences, so the
+//! `lahar-rfid` pipeline can be run with a learned model instead of the
+//! hand-specified prior (quantified in the workspace tests).
+
+use crate::model::{Hmm, HmmError};
+
+/// Options for [`baum_welch`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the total log-likelihood improves by less than this.
+    pub tol: f64,
+    /// Additive smoothing applied to every re-estimated count (keeps
+    /// probabilities strictly positive so sparse data cannot zero out a
+    /// transition forever).
+    pub smoothing: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tol: 1e-6,
+            smoothing: 1e-6,
+        }
+    }
+}
+
+/// The result of an EM run.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    /// The re-estimated model.
+    pub hmm: Hmm,
+    /// Total log-likelihood of the data under the final model.
+    pub log_likelihood: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// Scaled forward/backward pass returning (alphas, betas, scales).
+#[allow(clippy::type_complexity)]
+fn forward_backward_scaled(
+    hmm: &Hmm,
+    obs: &[usize],
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>) {
+    let n = hmm.n_states();
+    let len = obs.len();
+    let mut alphas = vec![vec![0.0; n]; len];
+    let mut scales = vec![0.0; len];
+    for t in 0..len {
+        for j in 0..n {
+            let prior = if t == 0 {
+                hmm.initial()[j]
+            } else {
+                (0..n).map(|i| alphas[t - 1][i] * hmm.trans(i, j)).sum()
+            };
+            alphas[t][j] = prior * hmm.emit(j, obs[t]);
+        }
+        let scale: f64 = alphas[t].iter().sum();
+        let scale = if scale > 0.0 { scale } else { 1.0 };
+        scales[t] = scale;
+        for a in alphas[t].iter_mut() {
+            *a /= scale;
+        }
+    }
+    let mut betas = vec![vec![1.0; n]; len];
+    for t in (0..len - 1).rev() {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += hmm.trans(i, j) * hmm.emit(j, obs[t + 1]) * betas[t + 1][j];
+            }
+            betas[t][i] = acc / scales[t + 1];
+        }
+    }
+    (alphas, betas, scales)
+}
+
+/// Runs Baum–Welch over one or more observation sequences, starting from
+/// `initial_model`.
+pub fn baum_welch(
+    initial_model: &Hmm,
+    sequences: &[Vec<usize>],
+    options: TrainOptions,
+) -> Result<Trained, HmmError> {
+    if sequences.is_empty() || sequences.iter().any(Vec::is_empty) {
+        return Err(HmmError::EmptySequence);
+    }
+    let n = initial_model.n_states();
+    let m = initial_model.n_obs();
+    for seq in sequences {
+        for &o in seq {
+            if o >= m {
+                return Err(HmmError::BadObservation { obs: o, n_obs: m });
+            }
+        }
+    }
+
+    let mut hmm = initial_model.clone();
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut log_likelihood = prev_ll;
+
+    for iter in 0..options.max_iters {
+        let mut init_acc = vec![options.smoothing; n];
+        let mut trans_acc = vec![options.smoothing; n * n];
+        let mut emit_acc = vec![options.smoothing; n * m];
+        let mut ll = 0.0;
+
+        for obs in sequences {
+            let len = obs.len();
+            let (alphas, betas, scales) = forward_backward_scaled(&hmm, obs);
+            ll += scales.iter().map(|s| s.ln()).sum::<f64>();
+
+            // State posteriors γ_t(i) ∝ α_t(i) β_t(i).
+            for t in 0..len {
+                let mut gamma: Vec<f64> = (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
+                let z: f64 = gamma.iter().sum();
+                if z > 0.0 {
+                    for g in gamma.iter_mut() {
+                        *g /= z;
+                    }
+                }
+                for i in 0..n {
+                    emit_acc[i * m + obs[t]] += gamma[i];
+                    if t == 0 {
+                        init_acc[i] += gamma[i];
+                    }
+                }
+            }
+            // Pair posteriors ξ_t(i,j).
+            for t in 0..len - 1 {
+                let mut z = 0.0;
+                let mut xi = vec![0.0; n * n];
+                for i in 0..n {
+                    if alphas[t][i] == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let v = alphas[t][i]
+                            * hmm.trans(i, j)
+                            * hmm.emit(j, obs[t + 1])
+                            * betas[t + 1][j];
+                        xi[i * n + j] = v;
+                        z += v;
+                    }
+                }
+                if z > 0.0 {
+                    for (slot, &v) in trans_acc.iter_mut().zip(&xi) {
+                        *slot += v / z;
+                    }
+                }
+            }
+        }
+
+        // M step: normalize the accumulators.
+        let normalize_rows = |acc: &mut [f64], rows: usize, cols: usize| {
+            for r in 0..rows {
+                let sum: f64 = acc[r * cols..(r + 1) * cols].iter().sum();
+                if sum > 0.0 {
+                    for v in acc[r * cols..(r + 1) * cols].iter_mut() {
+                        *v /= sum;
+                    }
+                }
+            }
+        };
+        normalize_rows(&mut init_acc, 1, n);
+        normalize_rows(&mut trans_acc, n, n);
+        normalize_rows(&mut emit_acc, n, m);
+        hmm = Hmm::new(init_acc, trans_acc, emit_acc, m)?;
+
+        iterations = iter + 1;
+        log_likelihood = ll;
+        if (ll - prev_ll).abs() < options.tol {
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    Ok(Trained {
+        hmm,
+        log_likelihood,
+        iterations,
+    })
+}
+
+/// Total scaled-forward log-likelihood of sequences under a model
+/// (useful for comparing models on held-out data).
+pub fn log_likelihood(hmm: &Hmm, sequences: &[Vec<usize>]) -> Result<f64, HmmError> {
+    if sequences.is_empty() || sequences.iter().any(Vec::is_empty) {
+        return Err(HmmError::EmptySequence);
+    }
+    let mut total = 0.0;
+    for obs in sequences {
+        for &o in obs {
+            if o >= hmm.n_obs() {
+                return Err(HmmError::BadObservation {
+                    obs: o,
+                    n_obs: hmm.n_obs(),
+                });
+            }
+        }
+        let (_, _, scales) = forward_backward_scaled(hmm, obs);
+        total += scales.iter().map(|s| s.ln()).sum::<f64>();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn true_model() -> Hmm {
+        Hmm::new(
+            vec![0.7, 0.3],
+            vec![0.85, 0.15, 0.25, 0.75],
+            vec![0.9, 0.1, 0.2, 0.8],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn perturbed() -> Hmm {
+        Hmm::new(
+            vec![0.5, 0.5],
+            vec![0.6, 0.4, 0.4, 0.6],
+            vec![0.7, 0.3, 0.4, 0.6],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn training_data(n_seqs: usize, len: usize) -> Vec<Vec<usize>> {
+        let model = true_model();
+        let mut rng = SmallRng::seed_from_u64(77);
+        (0..n_seqs).map(|_| model.sample(len, &mut rng).1).collect()
+    }
+
+    #[test]
+    fn em_monotonically_improves_likelihood() {
+        let data = training_data(10, 80);
+        let start = perturbed();
+        let mut lls = Vec::new();
+        let mut model = start.clone();
+        for _ in 0..8 {
+            let step = baum_welch(
+                &model,
+                &data,
+                TrainOptions {
+                    max_iters: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            model = step.hmm;
+            lls.push(log_likelihood(&model, &data).unwrap());
+        }
+        for w in lls.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "EM decreased the likelihood: {lls:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_beats_the_perturbed_start() {
+        let data = training_data(20, 100);
+        let start = perturbed();
+        let before = log_likelihood(&start, &data).unwrap();
+        let trained = baum_welch(&start, &data, TrainOptions::default()).unwrap();
+        assert!(trained.log_likelihood > before + 1.0);
+        assert!(trained.iterations >= 2);
+        // Held-out generalization.
+        let held_out = training_data(5, 100);
+        let lo_before = log_likelihood(&start, &held_out).unwrap();
+        let lo_after = log_likelihood(&trained.hmm, &held_out).unwrap();
+        assert!(lo_after > lo_before, "{lo_after} vs {lo_before}");
+    }
+
+    #[test]
+    fn recovers_emission_structure() {
+        let data = training_data(30, 120);
+        let trained = baum_welch(&perturbed(), &data, TrainOptions::default()).unwrap();
+        // Up to state relabeling, one state should strongly emit symbol 0
+        // and the other symbol 1 (as in the true model: 0.9 / 0.8).
+        let e00 = trained.hmm.emit(0, 0);
+        let e11 = trained.hmm.emit(1, 1);
+        let e01 = trained.hmm.emit(0, 1);
+        let e10 = trained.hmm.emit(1, 0);
+        let aligned = e00.max(e01) > 0.75 && e11.max(e10) > 0.65;
+        assert!(aligned, "emissions not recovered: {trained:?}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let m = true_model();
+        assert!(baum_welch(&m, &[], TrainOptions::default()).is_err());
+        assert!(baum_welch(&m, &[vec![]], TrainOptions::default()).is_err());
+        assert!(baum_welch(&m, &[vec![5]], TrainOptions::default()).is_err());
+        assert!(log_likelihood(&m, &[vec![9]]).is_err());
+    }
+
+    #[test]
+    fn trained_model_parameters_are_stochastic() {
+        let data = training_data(5, 40);
+        let trained = baum_welch(&perturbed(), &data, TrainOptions::default()).unwrap();
+        let n = trained.hmm.n_states();
+        for i in 0..n {
+            let t_sum: f64 = (0..n).map(|j| trained.hmm.trans(i, j)).sum();
+            assert!((t_sum - 1.0).abs() < 1e-9);
+            let e_sum: f64 = (0..trained.hmm.n_obs()).map(|o| trained.hmm.emit(i, o)).sum();
+            assert!((e_sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! # lahar-metrics — event-detection quality metrics
+//!
+//! Precision / recall / F1 with skew-tolerant matching, following the
+//! paper's methodology (§4.2): probabilistic answers are thresholded at
+//! `ρ`, consecutive satisfied timesteps form one detected *episode*, and a
+//! detected episode counts as correct when it lies within `d` ticks of a
+//! ground-truth episode (ground-truth annotations are themselves noisy, so
+//! exact-timestamp matching would be meaningless).
+
+#![warn(missing_docs)]
+
+/// A detected or ground-truth event episode: a maximal run of consecutive
+/// satisfied timesteps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// First satisfied timestep.
+    pub start: u32,
+    /// Last satisfied timestep (inclusive).
+    pub end: u32,
+}
+
+impl Episode {
+    /// Temporal gap between two episodes (0 when they overlap).
+    pub fn distance(&self, other: &Episode) -> u32 {
+        if other.start > self.end {
+            other.start - self.end
+        } else { self.start.saturating_sub(other.end) }
+    }
+}
+
+/// Collapses a boolean satisfaction series into episodes.
+pub fn episodes(sat: &[bool]) -> Vec<Episode> {
+    let mut out = Vec::new();
+    let mut start: Option<u32> = None;
+    for (t, &s) in sat.iter().enumerate() {
+        match (s, start) {
+            (true, None) => start = Some(t as u32),
+            (false, Some(st)) => {
+                out.push(Episode {
+                    start: st,
+                    end: t as u32 - 1,
+                });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(st) = start {
+        out.push(Episode {
+            start: st,
+            end: sat.len() as u32 - 1,
+        });
+    }
+    out
+}
+
+/// Thresholds a probability series at `rho`: satisfied when `p > rho`
+/// (the paper's convention: "we only consider that the event occurred if
+/// p > ρ").
+pub fn threshold(probs: &[f64], rho: f64) -> Vec<bool> {
+    probs.iter().map(|&p| p > rho).collect()
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Fraction of detected episodes that correspond to real ones.
+    pub precision: f64,
+    /// Fraction of real episodes that were detected.
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+}
+
+impl Quality {
+    /// Combines precision and recall (F1 = 0 when both are 0).
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Scores detected episodes against ground-truth episodes with skew
+/// tolerance `d`: a detection is a true positive when within `d` of some
+/// truth episode, and a truth episode is found when within `d` of some
+/// detection. With no detections, precision is defined as 1 (nothing
+/// claimed, nothing wrong); with no truth episodes, recall is 1.
+pub fn score(detected: &[Episode], truth: &[Episode], d: u32) -> Quality {
+    let precision = if detected.is_empty() {
+        1.0
+    } else {
+        let tp = detected
+            .iter()
+            .filter(|e| truth.iter().any(|r| e.distance(r) <= d))
+            .count();
+        tp as f64 / detected.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        let found = truth
+            .iter()
+            .filter(|r| detected.iter().any(|e| e.distance(r) <= d))
+            .count();
+        found as f64 / truth.len() as f64
+    };
+    Quality::new(precision, recall)
+}
+
+/// Full pipeline for one probabilistic answer series: threshold at `rho`,
+/// extract episodes, and score against truth episodes.
+pub fn score_probabilistic(probs: &[f64], truth: &[Episode], rho: f64, d: u32) -> Quality {
+    score(&episodes(&threshold(probs, rho)), truth, d)
+}
+
+/// Sweeps the threshold over `rhos`, returning one [`Quality`] per value —
+/// the x-axis of the paper's Figs 9 and 10.
+pub fn threshold_sweep(
+    probs: &[f64],
+    truth: &[Episode],
+    rhos: &[f64],
+    d: u32,
+) -> Vec<(f64, Quality)> {
+    rhos.iter()
+        .map(|&rho| (rho, score_probabilistic(probs, truth, rho, d)))
+        .collect()
+}
+
+/// Merges per-key episode sets (e.g. one detection series per person) into
+/// one scored aggregate: episodes are matched within their own key only,
+/// and the counts pool across keys.
+pub fn score_per_key(pairs: &[(Vec<Episode>, Vec<Episode>)], d: u32) -> Quality {
+    let mut detected_total = 0usize;
+    let mut tp = 0usize;
+    let mut truth_total = 0usize;
+    let mut found = 0usize;
+    for (detected, truth) in pairs {
+        detected_total += detected.len();
+        tp += detected
+            .iter()
+            .filter(|e| truth.iter().any(|r| e.distance(r) <= d))
+            .count();
+        truth_total += truth.len();
+        found += truth
+            .iter()
+            .filter(|r| detected.iter().any(|e| e.distance(r) <= d))
+            .count();
+    }
+    let precision = if detected_total == 0 {
+        1.0
+    } else {
+        tp as f64 / detected_total as f64
+    };
+    let recall = if truth_total == 0 {
+        1.0
+    } else {
+        found as f64 / truth_total as f64
+    };
+    Quality::new(precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_extraction() {
+        let sat = [false, true, true, false, true, false, false, true];
+        let eps = episodes(&sat);
+        assert_eq!(
+            eps,
+            vec![
+                Episode { start: 1, end: 2 },
+                Episode { start: 4, end: 4 },
+                Episode { start: 7, end: 7 },
+            ]
+        );
+        assert!(episodes(&[]).is_empty());
+        assert_eq!(
+            episodes(&[true, true]),
+            vec![Episode { start: 0, end: 1 }]
+        );
+    }
+
+    #[test]
+    fn episode_distance() {
+        let a = Episode { start: 2, end: 4 };
+        let b = Episode { start: 6, end: 8 };
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(b.distance(&a), 2);
+        let c = Episode { start: 4, end: 5 };
+        assert_eq!(a.distance(&c), 0);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn thresholding_is_strict() {
+        let probs = [0.1, 0.5, 0.50001, 0.9];
+        assert_eq!(threshold(&probs, 0.5), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let truth = vec![Episode { start: 3, end: 5 }];
+        let q = score(&truth.clone(), &truth, 0);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn skew_tolerance_rescues_near_misses() {
+        let truth = vec![Episode { start: 10, end: 12 }];
+        let detected = vec![Episode { start: 14, end: 15 }];
+        assert_eq!(score(&detected, &truth, 1).precision, 0.0);
+        assert_eq!(score(&detected, &truth, 2).precision, 1.0);
+        assert_eq!(score(&detected, &truth, 2).recall, 1.0);
+    }
+
+    #[test]
+    fn spurious_detections_hurt_precision_only() {
+        let truth = vec![Episode { start: 10, end: 10 }];
+        let detected = vec![
+            Episode { start: 10, end: 10 },
+            Episode { start: 50, end: 50 },
+        ];
+        let q = score(&detected, &truth, 2);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 1.0);
+        assert!((q.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_events_hurt_recall_only() {
+        let truth = vec![
+            Episode { start: 10, end: 10 },
+            Episode { start: 50, end: 50 },
+        ];
+        let detected = vec![Episode { start: 10, end: 10 }];
+        let q = score(&detected, &truth, 2);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.5);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let q = score(&[], &[], 2);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        let q = score(&[], &[Episode { start: 1, end: 1 }], 2);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn sweep_finds_the_sweet_spot() {
+        let probs = vec![0.0, 0.2, 0.9, 0.9, 0.1, 0.6, 0.0];
+        let truth = vec![Episode { start: 2, end: 3 }];
+        let sweep = threshold_sweep(&probs, &truth, &[0.1, 0.3, 0.5, 0.7], 1);
+        // At ρ = 0.7 only the true spike remains.
+        let last = sweep.last().unwrap().1;
+        assert_eq!(last.precision, 1.0);
+        assert_eq!(last.recall, 1.0);
+        // At ρ = 0.1 the spurious 0.6 and 0.2 bumps hurt precision.
+        let first = sweep[0].1;
+        assert!(first.precision < 1.0);
+    }
+
+    #[test]
+    fn per_key_pooling() {
+        let pairs = vec![
+            (
+                vec![Episode { start: 1, end: 1 }],
+                vec![Episode { start: 1, end: 1 }],
+            ),
+            (
+                vec![Episode { start: 9, end: 9 }],
+                vec![Episode { start: 1, end: 1 }],
+            ),
+        ];
+        let q = score_per_key(&pairs, 0);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ergonomic construction of streams over single-attribute string domains.
+//!
+//! Most streams in the paper's scenarios have one string value attribute
+//! (a location, an activity). [`StreamBuilder`] covers that case concisely;
+//! multi-attribute or non-string streams use the [`crate::Stream`]
+//! constructors directly.
+
+use crate::dist::{Cpt, Domain, Marginal, ModelError};
+use crate::stream::{Stream, StreamId};
+use crate::value::{tuple, Interner, Value};
+use std::sync::Arc;
+
+/// Builder for streams whose values are single interned strings.
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    interner: Interner,
+    id: StreamId,
+    domain: Arc<Domain>,
+}
+
+impl StreamBuilder {
+    /// Creates a builder for stream `stream_type` with key `key` over the
+    /// value alphabet `values` (e.g. the rooms a person can be in).
+    pub fn new(interner: &Interner, stream_type: &str, key: &[&str], values: &[&str]) -> Self {
+        let tuples = values.iter().map(|v| tuple([interner.intern(v)])).collect();
+        let domain = Domain::new(1, tuples).expect("distinct single-attribute values");
+        Self {
+            interner: interner.clone(),
+            id: StreamId {
+                stream_type: interner.intern(stream_type),
+                key: key.iter().map(|k| Value::Str(interner.intern(k))).collect(),
+            },
+            domain,
+        }
+    }
+
+    /// The domain under construction.
+    pub fn domain(&self) -> &Arc<Domain> {
+        &self.domain
+    }
+
+    /// Outcome index of `value` in the domain.
+    ///
+    /// # Panics
+    /// Panics when `value` was not in the builder's alphabet.
+    pub fn outcome(&self, value: &str) -> usize {
+        let sym = self
+            .interner
+            .lookup(value)
+            .unwrap_or_else(|| panic!("value {value:?} not interned"));
+        self.domain
+            .index_of(&tuple([sym]))
+            .unwrap_or_else(|| panic!("value {value:?} not in domain"))
+    }
+
+    /// A marginal assigning the listed probabilities and the remaining mass
+    /// to ⊥.
+    pub fn marginal(&self, entries: &[(&str, f64)]) -> Result<Marginal, ModelError> {
+        let mut probs = vec![0.0; self.domain.len()];
+        let mut used = 0.0;
+        for &(v, p) in entries {
+            probs[self.outcome(v)] += p;
+            used += p;
+        }
+        probs[self.domain.bottom()] = (1.0 - used).max(0.0);
+        Marginal::new(&self.domain, probs)
+    }
+
+    /// A point marginal on `value` (or on ⊥ for `None`).
+    pub fn point(&self, value: Option<&str>) -> Marginal {
+        match value {
+            Some(v) => Marginal::point(&self.domain, self.outcome(v)),
+            None => Marginal::all_bottom(&self.domain),
+        }
+    }
+
+    /// A CPT given as `(prev, next, prob)` triples; unlisted columns default
+    /// to "stay in place" (identity), and any missing column mass goes to ⊥.
+    pub fn cpt(&self, entries: &[(&str, &str, f64)]) -> Result<Cpt, ModelError> {
+        let n = self.domain.len();
+        let mut data = vec![0.0; n * n];
+        let mut col_mass = vec![0.0; n];
+        for &(prev, next, p) in entries {
+            let dp = self.outcome(prev);
+            let dn = self.outcome(next);
+            data[dn * n + dp] += p;
+            col_mass[dp] += p;
+        }
+        let bottom = self.domain.bottom();
+        for d_prev in 0..n {
+            if col_mass[d_prev] == 0.0 && d_prev != bottom {
+                // No entries for this previous state: stay in place.
+                data[d_prev * n + d_prev] = 1.0;
+            } else {
+                data[bottom * n + d_prev] += (1.0 - col_mass[d_prev]).max(0.0);
+            }
+        }
+        // From bottom: computed above (all residual mass stays at bottom).
+        Cpt::new(n, data)
+    }
+
+    /// Finishes an independent stream from per-timestep marginals.
+    pub fn independent(self, marginals: Vec<Marginal>) -> Result<Stream, ModelError> {
+        Stream::independent(self.id, self.domain, marginals)
+    }
+
+    /// Finishes a Markov stream from an initial marginal and per-step CPTs.
+    pub fn markov(self, initial: Marginal, cpts: Vec<Cpt>) -> Result<Stream, ModelError> {
+        Stream::markov(self.id, self.domain, initial, cpts)
+    }
+
+    /// A fully deterministic stream: at each timestep the value is known
+    /// exactly (`None` = no event). Useful for replicating the paper's
+    /// deterministic examples (e.g. Ex 3.11).
+    pub fn deterministic(self, values: &[Option<&str>]) -> Result<Stream, ModelError> {
+        let marginals = values.iter().map(|v| self.point(*v)).collect();
+        Stream::independent(self.id, self.domain, marginals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_fills_bottom() {
+        let i = Interner::new();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b", "c"]);
+        let m = b.marginal(&[("a", 0.3), ("b", 0.5)]).unwrap();
+        assert!((m.prob(b.outcome("a")) - 0.3).abs() < 1e-12);
+        assert!((m.prob(b.domain().bottom()) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let i = Interner::new();
+        let b = StreamBuilder::new(&i, "R", &["k"], &["a", "b", "c"]);
+        let s = b.deterministic(&[Some("a"), None, Some("b")]).unwrap();
+        assert_eq!(s.len(), 3);
+        let m = s.marginal_at(1);
+        assert_eq!(m.prob(s.domain().bottom()), 1.0);
+    }
+
+    #[test]
+    fn cpt_defaults_missing_columns_to_identity() {
+        let i = Interner::new();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
+        let c = b.cpt(&[("a", "a", 0.7), ("a", "b", 0.2)]).unwrap();
+        let da = b.outcome("a");
+        let db = b.outcome("b");
+        let bot = b.domain().bottom();
+        assert!((c.get(da, da) - 0.7).abs() < 1e-12);
+        assert!((c.get(db, da) - 0.2).abs() < 1e-12);
+        assert!((c.get(bot, da) - 0.1).abs() < 1e-12);
+        // Column b unlisted -> identity.
+        assert!((c.get(db, db) - 1.0).abs() < 1e-12);
+        // Bottom column -> stays bottom.
+        assert!((c.get(bot, bot) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_builder_round_trip() {
+        let i = Interner::new();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
+        let init = b.marginal(&[("a", 1.0)]).unwrap();
+        let cpt = b.cpt(&[("a", "a", 0.5), ("a", "b", 0.5), ("b", "b", 1.0)]).unwrap();
+        let s = b.markov(init, vec![cpt]).unwrap();
+        assert!(s.is_markov());
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,472 @@
+//! Finite discrete distributions over event values, including the special
+//! "no event" outcome ⊥.
+//!
+//! A probabilistic event is a *partial random variable* (paper §2.3): a
+//! distribution over `D̄⊥ = D1 × … × Dk ∪ {⊥}`. We represent the finite
+//! support `D̄` of a stream as a [`Domain`] — an indexed list of value
+//! tuples — and a distribution as a dense probability vector with one extra
+//! slot for ⊥ at index [`Domain::bottom`].
+
+use crate::value::{display_tuple, Interner, Tuple, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tolerance used when validating that probabilities sum to one.
+pub const PROB_EPS: f64 = 1e-6;
+
+/// Errors raised while constructing model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A probability vector does not sum to 1 (within [`PROB_EPS`]).
+    NotNormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// A probability is negative or not finite.
+    BadProbability {
+        /// The offending value.
+        p: f64,
+    },
+    /// A vector or matrix has the wrong dimension for its domain.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        got: usize,
+    },
+    /// A tuple has the wrong arity for its schema or domain.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        got: usize,
+    },
+    /// A tuple is not part of the stream's declared domain.
+    UnknownTuple(String),
+    /// A timestep is outside the stream's range.
+    TimeOutOfRange {
+        /// The requested timestep.
+        t: u32,
+        /// The stream length.
+        len: usize,
+    },
+    /// Two streams with the same (type, key) identity were inserted.
+    DuplicateStream(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotNormalized { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+            ModelError::BadProbability { p } => write!(f, "invalid probability {p}"),
+            ModelError::DimensionMismatch { expected, got } => {
+                write!(f, "expected dimension {expected}, got {got}")
+            }
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "expected arity {expected}, got {got}")
+            }
+            ModelError::UnknownTuple(t) => write!(f, "tuple {t} not in stream domain"),
+            ModelError::TimeOutOfRange { t, len } => {
+                write!(f, "timestep {t} outside stream of length {len}")
+            }
+            ModelError::DuplicateStream(s) => write!(f, "duplicate stream {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The finite support of a stream's value attributes, with an implicit extra
+/// outcome ⊥ ("no event this timestep").
+///
+/// Domains are immutable and shared (`Arc`) between a stream and every
+/// evaluator state derived from it.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    tuples: Vec<Tuple>,
+    index: HashMap<Tuple, usize>,
+    arity: usize,
+}
+
+impl Domain {
+    /// Builds a domain from distinct value tuples of equal arity.
+    ///
+    /// `arity` must be supplied explicitly so that empty domains (streams
+    /// that can only be ⊥) are representable.
+    pub fn new(arity: usize, tuples: Vec<Tuple>) -> Result<Arc<Self>, ModelError> {
+        let mut index = HashMap::with_capacity(tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            if t.len() != arity {
+                return Err(ModelError::ArityMismatch {
+                    expected: arity,
+                    got: t.len(),
+                });
+            }
+            if index.insert(t.clone(), i).is_some() {
+                return Err(ModelError::UnknownTuple(format!("duplicate {t:?}")));
+            }
+        }
+        Ok(Arc::new(Self {
+            tuples,
+            index,
+            arity,
+        }))
+    }
+
+    /// Number of non-⊥ outcomes.
+    pub fn support_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Total number of outcomes including ⊥ (the dimension of probability
+    /// vectors over this domain).
+    pub fn len(&self) -> usize {
+        self.tuples.len() + 1
+    }
+
+    /// `false`: a domain always contains at least ⊥.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the ⊥ outcome.
+    pub fn bottom(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Arity of the value tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The tuple at outcome `i`, or `None` when `i` is ⊥ (or out of range).
+    pub fn tuple(&self, i: usize) -> Option<&Tuple> {
+        self.tuples.get(i)
+    }
+
+    /// The outcome index of `t`, if present in the support.
+    pub fn index_of(&self, t: &[Value]) -> Option<usize> {
+        self.index.get(t).copied()
+    }
+
+    /// Iterates over the support tuples with their indices.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.tuples.iter().enumerate()
+    }
+
+    /// Renders outcome `i` for diagnostics.
+    pub fn display_outcome(&self, i: usize, interner: &Interner) -> String {
+        match self.tuple(i) {
+            Some(t) => display_tuple(t, interner),
+            None => "⊥".to_owned(),
+        }
+    }
+}
+
+/// Validates that `probs` is a probability vector of dimension `dim`.
+pub fn validate_dist(probs: &[f64], dim: usize) -> Result<(), ModelError> {
+    if probs.len() != dim {
+        return Err(ModelError::DimensionMismatch {
+            expected: dim,
+            got: probs.len(),
+        });
+    }
+    let mut sum = 0.0;
+    for &p in probs {
+        if !p.is_finite() || p < -PROB_EPS {
+            return Err(ModelError::BadProbability { p });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > PROB_EPS {
+        return Err(ModelError::NotNormalized { sum });
+    }
+    Ok(())
+}
+
+/// A marginal distribution over a [`Domain`] (one probability per outcome,
+/// ⊥ last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marginal {
+    probs: Vec<f64>,
+}
+
+impl Marginal {
+    /// Validates and wraps a probability vector of dimension `domain.len()`.
+    pub fn new(domain: &Domain, probs: Vec<f64>) -> Result<Self, ModelError> {
+        validate_dist(&probs, domain.len())?;
+        Ok(Self { probs })
+    }
+
+    /// A marginal putting all mass on ⊥.
+    pub fn all_bottom(domain: &Domain) -> Self {
+        let mut probs = vec![0.0; domain.len()];
+        probs[domain.bottom()] = 1.0;
+        Self { probs }
+    }
+
+    /// A marginal putting all mass on outcome `i`.
+    pub fn point(domain: &Domain, i: usize) -> Self {
+        debug_assert!(i < domain.len());
+        let mut probs = vec![0.0; domain.len()];
+        probs[i] = 1.0;
+        Self { probs }
+    }
+
+    /// Probability of outcome `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The full probability vector (⊥ last).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Index of the most probable outcome (ties broken towards lower index).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > self.probs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// A conditional probability table `E(d' | d)` over a domain of `n`
+/// outcomes: `n × n`, column-stochastic (for every previous outcome `d`,
+/// the probabilities of the next outcome `d'` sum to 1).
+///
+/// Stored row-major with the *next* outcome as the row index, matching the
+/// paper's `E(t)(d', d) = P[e(t+1) = d' | e(t) = d]` (Fig 3(d)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cpt {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Cpt {
+    /// Validates and wraps an `n × n` column-stochastic matrix given in
+    /// row-major order (`data[d_next * n + d_prev]`).
+    pub fn new(n: usize, data: Vec<f64>) -> Result<Self, ModelError> {
+        if data.len() != n * n {
+            return Err(ModelError::DimensionMismatch {
+                expected: n * n,
+                got: data.len(),
+            });
+        }
+        for d_prev in 0..n {
+            let mut sum = 0.0;
+            for d_next in 0..n {
+                let p = data[d_next * n + d_prev];
+                if !p.is_finite() || p < -PROB_EPS {
+                    return Err(ModelError::BadProbability { p });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > PROB_EPS {
+                return Err(ModelError::NotNormalized { sum });
+            }
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Builds the rank-1 CPT of an independent step: `E(d'|d) = next[d']`
+    /// for every `d`.
+    pub fn independent(next: &Marginal) -> Self {
+        let n = next.probs().len();
+        let mut data = vec![0.0; n * n];
+        for d_next in 0..n {
+            let p = next.prob(d_next);
+            for d_prev in 0..n {
+                data[d_next * n + d_prev] = p;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Dimension of the underlying domain (including ⊥).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `P[next = d_next | prev = d_prev]`.
+    #[inline]
+    pub fn get(&self, d_next: usize, d_prev: usize) -> f64 {
+        self.data[d_next * self.n + d_prev]
+    }
+
+    /// The column for `d_prev` gathered into a vector (used by samplers).
+    pub fn column(&self, d_prev: usize) -> Vec<f64> {
+        (0..self.n).map(|d_next| self.get(d_next, d_prev)).collect()
+    }
+
+    /// Applies the CPT to a marginal: `out[d'] = Σ_d E(d'|d) · in[d]`.
+    pub fn apply(&self, input: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(input.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        out.fill(0.0);
+        for d_prev in 0..self.n {
+            let p_prev = input[d_prev];
+            if p_prev == 0.0 {
+                continue;
+            }
+            for d_next in 0..self.n {
+                out[d_next] += self.get(d_next, d_prev) * p_prev;
+            }
+        }
+    }
+
+    /// Raw row-major data, `data[d_next * n + d_prev]`.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of non-zero entries — the relational tuple count of this CPT
+    /// in the paper's `E(ID, T, A', A, P)` encoding (Fig 3(d)).
+    pub fn nonzero_entries(&self) -> usize {
+        self.data.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// Prunes entries below `epsilon` and renormalizes each column — the
+    /// storage-reduction technique the paper reports cutting its CPT
+    /// relation from 26 GB to ≈1 GB "without a noticeable degradation in
+    /// quality" (§4.3.2). Columns whose entire mass falls below the
+    /// threshold are left untouched.
+    #[must_use]
+    pub fn pruned(&self, epsilon: f64) -> Cpt {
+        let n = self.n;
+        let mut data = self.data.clone();
+        for d_prev in 0..n {
+            let mut kept = 0.0;
+            for d_next in 0..n {
+                let slot = &mut data[d_next * n + d_prev];
+                if *slot < epsilon {
+                    *slot = 0.0;
+                } else {
+                    kept += *slot;
+                }
+            }
+            if kept > 0.0 {
+                for d_next in 0..n {
+                    data[d_next * n + d_prev] /= kept;
+                }
+            } else {
+                for d_next in 0..n {
+                    data[d_next * n + d_prev] = self.get(d_next, d_prev);
+                }
+            }
+        }
+        Cpt { n, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::tuple;
+
+    fn dom3() -> Arc<Domain> {
+        Domain::new(1, vec![tuple([1i64]), tuple([2i64]), tuple([3i64])]).unwrap()
+    }
+
+    #[test]
+    fn domain_indexing_round_trips() {
+        let d = dom3();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.bottom(), 3);
+        for (i, t) in d.iter() {
+            assert_eq!(d.index_of(t), Some(i));
+        }
+        assert_eq!(d.index_of(&tuple([9i64])), None);
+        assert_eq!(d.tuple(d.bottom()), None);
+    }
+
+    #[test]
+    fn domain_rejects_duplicates_and_bad_arity() {
+        assert!(Domain::new(1, vec![tuple([1i64]), tuple([1i64])]).is_err());
+        assert!(Domain::new(2, vec![tuple([1i64])]).is_err());
+    }
+
+    #[test]
+    fn marginal_validation() {
+        let d = dom3();
+        assert!(Marginal::new(&d, vec![0.25; 4]).is_ok());
+        assert!(Marginal::new(&d, vec![0.5; 4]).is_err());
+        assert!(Marginal::new(&d, vec![0.5, 0.5]).is_err());
+        assert!(Marginal::new(&d, vec![1.5, -0.5, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn marginal_argmax_and_point() {
+        let d = dom3();
+        let m = Marginal::new(&d, vec![0.1, 0.6, 0.2, 0.1]).unwrap();
+        assert_eq!(m.argmax(), 1);
+        let p = Marginal::point(&d, 2);
+        assert_eq!(p.prob(2), 1.0);
+        let b = Marginal::all_bottom(&d);
+        assert_eq!(b.prob(d.bottom()), 1.0);
+    }
+
+    #[test]
+    fn cpt_validation_is_per_column() {
+        // Column 0 sums to 1, column 1 sums to 2 -> invalid.
+        let bad = Cpt::new(2, vec![0.5, 1.0, 0.5, 1.0]);
+        assert!(bad.is_err());
+        let good = Cpt::new(2, vec![0.5, 0.3, 0.5, 0.7]).unwrap();
+        assert!((good.get(0, 1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_cpt_ignores_previous_state() {
+        let d = dom3();
+        let next = Marginal::new(&d, vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let cpt = Cpt::independent(&next);
+        for d_prev in 0..4 {
+            for d_next in 0..4 {
+                assert_eq!(cpt.get(d_next, d_prev), next.prob(d_next));
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_apply_matches_matrix_vector_product() {
+        let cpt = Cpt::new(2, vec![0.9, 0.2, 0.1, 0.8]).unwrap();
+        let mut out = vec![0.0; 2];
+        cpt.apply(&[0.5, 0.5], &mut out);
+        assert!((out[0] - 0.55).abs() < 1e-12);
+        assert!((out[1] - 0.45).abs() < 1e-12);
+        // Stochastic: output still sums to 1.
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_drops_small_entries_and_renormalizes() {
+        let cpt = Cpt::new(2, vec![0.95, 0.5, 0.05, 0.5]).unwrap();
+        let pruned = cpt.pruned(0.1);
+        assert_eq!(pruned.get(1, 0), 0.0);
+        assert!((pruned.get(0, 0) - 1.0).abs() < 1e-12);
+        // Column 1 untouched (both entries above threshold).
+        assert!((pruned.get(0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(pruned.nonzero_entries(), 3);
+        // Columns remain stochastic.
+        for d_prev in 0..2 {
+            let sum: f64 = (0..2).map(|d| pruned.get(d, d_prev)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // A threshold above every entry leaves the column unchanged.
+        let all_small = Cpt::new(2, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(all_small.pruned(0.9), all_small);
+    }
+
+    #[test]
+    fn cpt_nonzero_entries() {
+        let cpt = Cpt::new(2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(cpt.nonzero_entries(), 2);
+    }
+}

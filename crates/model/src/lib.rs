@@ -1,0 +1,41 @@
+//! # lahar-model — probabilistic event data model
+//!
+//! The data model of *Event Queries on Correlated Probabilistic Streams*
+//! (Ré, Letchner, Balazinska, Suciu — SIGMOD 2008), §2:
+//!
+//! * [`Value`], [`Tuple`], [`Interner`] — attribute values with interned
+//!   strings.
+//! * [`Domain`], [`Marginal`], [`Cpt`] — finite distributions over event
+//!   values including the "no event" outcome ⊥, and the conditional
+//!   probability tables that encode Markovian correlations.
+//! * [`Stream`] — a probabilistic event stream, either *independent*
+//!   (real-time scenario: filtered marginals) or *Markovian* (archived
+//!   scenario: smoothed marginals + CPTs).
+//! * [`Database`] — a set of mutually independent streams plus standard
+//!   relations; defines a distribution over deterministic [`World`]s, which
+//!   is the measure `μ` that query answers are probabilities under.
+//!
+//! The crate also provides the **possible-world oracle**
+//! ([`Database::enumerate_worlds`]) used throughout the workspace to
+//! property-test every exact evaluator against the denotational semantics.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
+
+mod builder;
+mod database;
+mod dist;
+mod encode;
+mod schema;
+mod stream;
+mod value;
+mod world;
+
+pub use builder::StreamBuilder;
+pub use database::{Database, Relation};
+pub use dist::{validate_dist, Cpt, Domain, Marginal, ModelError, PROB_EPS};
+pub use encode::{decode_stream, encode_stream, encode_streams, stream_rows, DecodeError, StreamRow};
+pub use schema::{Catalog, CatalogError, RelationSchema, StreamSchema};
+pub use stream::{Stream, StreamData, StreamId};
+pub use value::{display_tuple, tuple, Interner, Symbol, Tuple, Value};
+pub use world::{GroundEvent, World};

@@ -1,0 +1,227 @@
+//! Stream and relation schemas, and the catalog that names them.
+//!
+//! An event type (paper §2.1) has schema `EventType(ID, a1, …, an, T)` with
+//! a distinguished *event key* `ID` (possibly spanning several attributes)
+//! and an implicit timestamp `T`. A [`StreamSchema`] lists the named
+//! attributes and how many of them, counted from the left, form the key.
+//! Standard (deterministic) relations such as `Hallway(loc)` get a
+//! [`RelationSchema`].
+
+use crate::value::{Interner, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Schema of an event stream type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSchema {
+    /// Stream type name, e.g. `At`.
+    pub name: Symbol,
+    /// All attribute names, key attributes first. `T` is implicit.
+    pub attrs: Vec<Symbol>,
+    /// Number of leading attributes that form the event key.
+    pub key_arity: usize,
+}
+
+impl StreamSchema {
+    /// Total number of (non-timestamp) attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of value (non-key) attributes — the arity of the stream's
+    /// [`crate::Domain`].
+    pub fn value_arity(&self) -> usize {
+        self.attrs.len() - self.key_arity
+    }
+
+    /// True if attribute position `i` is part of the event key.
+    pub fn is_key_position(&self, i: usize) -> bool {
+        i < self.key_arity
+    }
+
+    /// Renders e.g. `At(person*, location)` (`*` marks key attributes).
+    pub fn display(&self, interner: &Interner) -> String {
+        let attrs: Vec<String> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let name = interner.resolve(*a).unwrap_or_default();
+                if self.is_key_position(i) {
+                    format!("{name}*")
+                } else {
+                    name
+                }
+            })
+            .collect();
+        let name = interner.resolve(self.name).unwrap_or_default();
+        format!("{name}({})", attrs.join(", "))
+    }
+}
+
+/// Schema of a standard (deterministic, time-invariant) relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, e.g. `Hallway`.
+    pub name: Symbol,
+    /// Number of attributes.
+    pub arity: usize,
+}
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A stream or relation with this name was already declared.
+    Duplicate(String),
+    /// The declared key arity exceeds the attribute count.
+    BadKeyArity {
+        /// Total attribute count.
+        attrs: usize,
+        /// Declared key arity.
+        key_arity: usize,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Duplicate(n) => write!(f, "duplicate declaration of {n}"),
+            CatalogError::BadKeyArity { attrs, key_arity } => {
+                write!(f, "key arity {key_arity} exceeds attribute count {attrs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Name resolution for stream types and relations.
+///
+/// Parsers and static analysis consult the catalog to distinguish stream
+/// subgoals from relational predicates and to find key positions.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    streams: HashMap<Symbol, StreamSchema>,
+    relations: HashMap<Symbol, RelationSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a stream type. `key_attrs` and `value_attrs` are attribute
+    /// names; the key attributes come first in subgoal position order.
+    pub fn declare_stream(
+        &mut self,
+        interner: &Interner,
+        name: &str,
+        key_attrs: &[&str],
+        value_attrs: &[&str],
+    ) -> Result<&StreamSchema, CatalogError> {
+        let name_sym = interner.intern(name);
+        if self.streams.contains_key(&name_sym) || self.relations.contains_key(&name_sym) {
+            return Err(CatalogError::Duplicate(name.to_owned()));
+        }
+        let attrs: Vec<Symbol> = key_attrs
+            .iter()
+            .chain(value_attrs.iter())
+            .map(|a| interner.intern(a))
+            .collect();
+        let schema = StreamSchema {
+            name: name_sym,
+            attrs,
+            key_arity: key_attrs.len(),
+        };
+        Ok(self.streams.entry(name_sym).or_insert(schema))
+    }
+
+    /// Declares a standard relation of the given arity.
+    pub fn declare_relation(
+        &mut self,
+        interner: &Interner,
+        name: &str,
+        arity: usize,
+    ) -> Result<RelationSchema, CatalogError> {
+        let name_sym = interner.intern(name);
+        if self.streams.contains_key(&name_sym) || self.relations.contains_key(&name_sym) {
+            return Err(CatalogError::Duplicate(name.to_owned()));
+        }
+        let schema = RelationSchema {
+            name: name_sym,
+            arity,
+        };
+        self.relations.insert(name_sym, schema);
+        Ok(schema)
+    }
+
+    /// Looks up a stream schema by name symbol.
+    pub fn stream(&self, name: Symbol) -> Option<&StreamSchema> {
+        self.streams.get(&name)
+    }
+
+    /// Looks up a relation schema by name symbol.
+    pub fn relation(&self, name: Symbol) -> Option<&RelationSchema> {
+        self.relations.get(&name)
+    }
+
+    /// Iterates over all declared stream schemas.
+    pub fn streams(&self) -> impl Iterator<Item = &StreamSchema> {
+        self.streams.values()
+    }
+
+    /// Iterates over all declared relation schemas.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup_stream() {
+        let i = Interner::new();
+        let mut c = Catalog::new();
+        c.declare_stream(&i, "At", &["person"], &["location"]).unwrap();
+        let at = c.stream(i.intern("At")).unwrap();
+        assert_eq!(at.arity(), 2);
+        assert_eq!(at.key_arity, 1);
+        assert_eq!(at.value_arity(), 1);
+        assert!(at.is_key_position(0));
+        assert!(!at.is_key_position(1));
+        assert_eq!(at.display(&i), "At(person*, location)");
+    }
+
+    #[test]
+    fn declare_relation_and_reject_duplicates() {
+        let i = Interner::new();
+        let mut c = Catalog::new();
+        c.declare_relation(&i, "Hallway", 1).unwrap();
+        assert!(c.declare_relation(&i, "Hallway", 1).is_err());
+        assert!(c.declare_stream(&i, "Hallway", &[], &["x"]).is_err());
+        assert_eq!(c.relation(i.intern("Hallway")).unwrap().arity, 1);
+    }
+
+    #[test]
+    fn stream_and_relation_namespaces_are_shared() {
+        let i = Interner::new();
+        let mut c = Catalog::new();
+        c.declare_stream(&i, "At", &["p"], &["l"]).unwrap();
+        assert!(c.declare_relation(&i, "At", 2).is_err());
+    }
+
+    #[test]
+    fn multi_attribute_keys() {
+        let i = Interner::new();
+        let mut c = Catalog::new();
+        c.declare_stream(&i, "Carries", &["person", "object"], &["location"])
+            .unwrap();
+        let s = c.stream(i.intern("Carries")).unwrap();
+        assert_eq!(s.key_arity, 2);
+        assert!(s.is_key_position(1));
+        assert!(!s.is_key_position(2));
+    }
+}

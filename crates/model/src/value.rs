@@ -1,0 +1,198 @@
+//! Attribute values and string interning.
+//!
+//! Lahar events carry tuples of attribute values. String values dominate in
+//! practice (people, rooms, tags), so strings are interned into compact
+//! [`Symbol`] ids: comparisons in the evaluator hot loops are integer
+//! comparisons and tuples stay small.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string. Cheap to copy, hash and compare.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; a [`crate::Database`] owns a single interner shared by all of its
+/// streams and relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+#[derive(Default)]
+struct InternerInner {
+    by_name: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+/// A thread-safe string interner.
+///
+/// Cloning an `Interner` is cheap and yields a handle to the *same* table,
+/// so symbols created through any clone are interchangeable.
+#[derive(Clone, Default)]
+pub struct Interner {
+    inner: Arc<RwLock<InternerInner>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&self, name: &str) -> Symbol {
+        if let Some(&sym) = self.inner.read().by_name.get(name) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(inner.names.len() as u32);
+        inner.names.push(name.to_owned());
+        inner.by_name.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Returns the string for `sym`, or `None` for a foreign symbol.
+    pub fn resolve(&self, sym: Symbol) -> Option<String> {
+        self.inner.read().names.get(sym.0 as usize).cloned()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An interned string, e.g. a person or room name.
+    Str(Symbol),
+    /// A 64-bit integer, e.g. a sensor reading.
+    Int(i64),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Renders the value using `interner` for string symbols.
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            Value::Str(s) => interner
+                .resolve(*s)
+                .map(|n| format!("'{n}'"))
+                .unwrap_or_else(|| format!("'#{}'", s.0)),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A tuple of attribute values (an event key, or the value attributes of an
+/// event).
+pub type Tuple = Box<[Value]>;
+
+/// Builds a [`Tuple`] from anything iterable over values.
+pub fn tuple<I, V>(values: I) -> Tuple
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    values.into_iter().map(Into::into).collect()
+}
+
+/// Renders a tuple as `(v1, v2, ...)` using `interner`.
+pub fn display_tuple(t: &[Value], interner: &Interner) -> String {
+    let parts: Vec<String> = t.iter().map(|v| v.display(interner)).collect();
+    format!("({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("joe");
+        let b = i.intern("joe");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_table() {
+        let i = Interner::new();
+        let j = i.clone();
+        let a = i.intern("room-220");
+        assert_eq!(j.lookup("room-220"), Some(a));
+        assert_eq!(j.resolve(a).as_deref(), Some("room-220"));
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let i = Interner::new();
+        assert_ne!(i.intern("a"), i.intern("b"));
+    }
+
+    #[test]
+    fn resolve_unknown_symbol_is_none() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Symbol(7)), None);
+    }
+
+    #[test]
+    fn value_ordering_and_display() {
+        let i = Interner::new();
+        let s = i.intern("x");
+        assert_eq!(Value::Int(3).display(&i), "3");
+        assert_eq!(Value::Bool(true).display(&i), "true");
+        assert_eq!(Value::Str(s).display(&i), "'x'");
+        assert!(Value::Int(1) < Value::Int(2));
+    }
+
+    #[test]
+    fn tuple_builder() {
+        let t = tuple([1i64, 2, 3]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Value::Int(1));
+    }
+}

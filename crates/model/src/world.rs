@@ -1,0 +1,133 @@
+//! Deterministic possible worlds.
+//!
+//! A probabilistic event database represents a distribution over *worlds*
+//! (paper §2.1): each world is a plain deterministic event database — a set
+//! of ground events, at most one per (stream, timestep). Worlds are what the
+//! Fig-2 denotational query semantics evaluates over, and what the
+//! possible-world oracle enumerates.
+
+use crate::value::{display_tuple, Interner, Symbol, Tuple, Value};
+
+/// A single deterministic event: `EventType(key…, values…, T = t)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundEvent {
+    /// The stream type this event belongs to.
+    pub stream_type: Symbol,
+    /// The event key attributes.
+    pub key: Tuple,
+    /// The value attributes.
+    pub values: Tuple,
+    /// The timestamp.
+    pub t: u32,
+}
+
+impl GroundEvent {
+    /// The full attribute tuple in subgoal position order
+    /// (key attributes first, then value attributes).
+    pub fn attrs(&self) -> Vec<Value> {
+        self.key.iter().chain(self.values.iter()).copied().collect()
+    }
+
+    /// Attribute at position `i` of the full (key ++ value) tuple.
+    pub fn attr(&self, i: usize) -> Value {
+        if i < self.key.len() {
+            self.key[i]
+        } else {
+            self.values[i - self.key.len()]
+        }
+    }
+
+    /// Total number of (non-timestamp) attributes.
+    pub fn arity(&self) -> usize {
+        self.key.len() + self.values.len()
+    }
+
+    /// Renders e.g. `At('Joe', 'H1')@6`.
+    pub fn display(&self, interner: &Interner) -> String {
+        let name = interner
+            .resolve(self.stream_type)
+            .unwrap_or_else(|| format!("#{}", self.stream_type.0));
+        let attrs = self.attrs();
+        format!("{name}{}@{}", display_tuple(&attrs, interner), self.t)
+    }
+}
+
+/// A deterministic world: all events up to some horizon, sorted by timestamp.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct World {
+    events: Vec<GroundEvent>,
+    t_max: u32,
+}
+
+impl World {
+    /// Builds a world from events; they are sorted by timestamp internally.
+    /// `t_max` is the snapshot horizon (a world can have trailing timesteps
+    /// with no events at all).
+    pub fn new(mut events: Vec<GroundEvent>, t_max: u32) -> Self {
+        events.sort_by_key(|e| e.t);
+        Self { events, t_max }
+    }
+
+    /// All events, sorted by timestamp.
+    pub fn events(&self) -> &[GroundEvent] {
+        &self.events
+    }
+
+    /// Events with timestamp exactly `t`.
+    pub fn events_at(&self, t: u32) -> impl Iterator<Item = &GroundEvent> {
+        let start = self.events.partition_point(|e| e.t < t);
+        self.events[start..].iter().take_while(move |e| e.t == t)
+    }
+
+    /// The snapshot horizon: timesteps run `0 ..= t_max`.
+    pub fn t_max(&self) -> u32 {
+        self.t_max
+    }
+
+    /// Number of events in the world.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the world holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{tuple, Interner};
+
+    fn ev(i: &Interner, loc: &str, t: u32) -> GroundEvent {
+        GroundEvent {
+            stream_type: i.intern("At"),
+            key: tuple([i.intern("joe")]),
+            values: tuple([i.intern(loc)]),
+            t,
+        }
+    }
+
+    #[test]
+    fn events_at_filters_by_timestamp() {
+        let i = Interner::new();
+        let w = World::new(vec![ev(&i, "b", 2), ev(&i, "a", 1), ev(&i, "c", 2)], 5);
+        assert_eq!(w.events_at(1).count(), 1);
+        assert_eq!(w.events_at(2).count(), 2);
+        assert_eq!(w.events_at(3).count(), 0);
+        assert_eq!(w.t_max(), 5);
+        // Sorted by timestamp after construction.
+        assert!(w.events().windows(2).all(|p| p[0].t <= p[1].t));
+    }
+
+    #[test]
+    fn ground_event_attr_access() {
+        let i = Interner::new();
+        let e = ev(&i, "h1", 3);
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.attr(0), crate::value::Value::Str(i.intern("joe")));
+        assert_eq!(e.attr(1), crate::value::Value::Str(i.intern("h1")));
+        assert_eq!(e.display(&i), "At('joe', 'h1')@3");
+    }
+}

@@ -1,0 +1,650 @@
+//! Static analysis: query validation and the Regular / Extended-Regular /
+//! Safe / Unsafe classification (paper Definitions 3.1, 3.4, 3.5, 3.8).
+
+use crate::ast::{BaseQuery, Query, Subgoal, Var};
+use crate::matching::QueryError;
+use crate::normalize::{NormalItem, NormalQuery};
+use lahar_model::{Catalog, Interner};
+use std::collections::BTreeSet;
+
+/// Maximum number of subgoals supported by the symbol-set translation
+/// (2 bits per subgoal in a `u64`).
+pub const MAX_SUBGOALS: usize = 32;
+
+/// The paper's query classes, ordered from most to least restrictive.
+///
+/// `Regular ⊂ ExtendedRegular ⊂ Safe`; `Unsafe` queries are #P-hard
+/// (§3.4) and fall back to the Monte Carlo sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// No shared variables, local predicates (Def 3.1): streaming `O(1)`
+    /// state.
+    Regular,
+    /// Shared variables, all syntactically independent (Def 3.5):
+    /// streaming `O(m)` state in the number of keys.
+    ExtendedRegular,
+    /// Every shared variable grounded in its covering prefix (Def 3.8):
+    /// `O(T²)` offline algebra.
+    Safe,
+    /// Provably hard (§3.4): sampling only.
+    Unsafe,
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryClass::Regular => "regular",
+            QueryClass::ExtendedRegular => "extended regular",
+            QueryClass::Safe => "safe",
+            QueryClass::Unsafe => "unsafe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Validates a query against a catalog: declared stream types and
+/// relations, correct arities, bound condition variables, well-formed
+/// Kleene exports, and the subgoal-count limit.
+pub fn validate(
+    catalog: &Catalog,
+    interner: &Interner,
+    q: &Query,
+) -> Result<(), QueryError> {
+    let bases = q.base_queries();
+    if bases.len() > MAX_SUBGOALS {
+        return Err(QueryError::TooManySubgoals(bases.len()));
+    }
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    for base in &bases {
+        let goal = base.goal();
+        let schema = catalog.stream(goal.stream_type).ok_or_else(|| {
+            QueryError::UnknownStream(interner.resolve(goal.stream_type).unwrap_or_default())
+        })?;
+        if schema.arity() != goal.args.len() {
+            return Err(QueryError::ArityMismatch {
+                atom: goal.display(interner),
+                expected: schema.arity(),
+                got: goal.args.len(),
+            });
+        }
+        if let BaseQuery::Kleene { shared, goal, each, .. } = base {
+            let gv = goal.vars();
+            for v in shared {
+                if !gv.contains(v) {
+                    return Err(QueryError::BadKleeneVar(v.display(interner)));
+                }
+            }
+            check_cond_vars(interner, each, &gv, &bound)?;
+        }
+        let gv = goal.vars();
+        check_cond_vars(interner, base.inner_cond(), &gv, &bound)?;
+        bound.extend(base.free_vars());
+    }
+    // Relation atoms anywhere in the query must be declared with matching
+    // arity, and selection variables must be free somewhere.
+    let free = q.free_vars();
+    for cond in q.all_conds() {
+        validate_cond_relations(catalog, interner, cond)?;
+    }
+    if let Query::Select(c, _) = q {
+        for v in c.vars() {
+            if !free.contains(&v) {
+                return Err(QueryError::UnboundVar(v.display(interner)));
+            }
+        }
+    }
+    validate_selects(interner, q)?;
+    Ok(())
+}
+
+/// Checks that a condition only uses variables of its own subgoal or ones
+/// bound earlier in the sequence.
+fn check_cond_vars(
+    interner: &Interner,
+    cond: &crate::ast::Cond,
+    own: &BTreeSet<Var>,
+    earlier: &BTreeSet<Var>,
+) -> Result<(), QueryError> {
+    for v in cond.vars() {
+        if !own.contains(&v) && !earlier.contains(&v) {
+            return Err(QueryError::UnboundVar(v.display(interner)));
+        }
+    }
+    Ok(())
+}
+
+fn validate_cond_relations(
+    catalog: &Catalog,
+    interner: &Interner,
+    cond: &crate::ast::Cond,
+) -> Result<(), QueryError> {
+    use crate::ast::Cond;
+    match cond {
+        Cond::True | Cond::Cmp { .. } => Ok(()),
+        Cond::Rel { name, args } => {
+            let schema = catalog.relation(*name).ok_or_else(|| {
+                QueryError::UnknownRelation(interner.resolve(*name).unwrap_or_default())
+            })?;
+            if schema.arity != args.len() {
+                return Err(QueryError::ArityMismatch {
+                    atom: interner.resolve(*name).unwrap_or_default(),
+                    expected: schema.arity,
+                    got: args.len(),
+                });
+            }
+            Ok(())
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            validate_cond_relations(catalog, interner, a)?;
+            validate_cond_relations(catalog, interner, b)
+        }
+        Cond::Not(a) => validate_cond_relations(catalog, interner, a),
+    }
+}
+
+/// Checks every selection's variables are free in its operand.
+fn validate_selects(interner: &Interner, q: &Query) -> Result<(), QueryError> {
+    match q {
+        Query::Base(_) => Ok(()),
+        Query::Seq(q1, _) => validate_selects(interner, q1),
+        Query::Select(c, q1) => {
+            let free = q1.free_vars();
+            for v in c.vars() {
+                if !free.contains(&v) {
+                    return Err(QueryError::UnboundVar(v.display(interner)));
+                }
+            }
+            validate_selects(interner, q1)
+        }
+    }
+}
+
+/// The set of *shared* variables of a normalized query: variables occurring
+/// in more than one subgoal, plus every Kleene-shared variable.
+pub fn shared_vars(items: &[NormalItem]) -> BTreeSet<Var> {
+    let mut seen: BTreeSet<Var> = BTreeSet::new();
+    let mut shared: BTreeSet<Var> = BTreeSet::new();
+    for item in items {
+        let gv = item.base.goal().vars();
+        for v in &gv {
+            if !seen.insert(*v) {
+                shared.insert(*v);
+            }
+        }
+        if let BaseQuery::Kleene { shared: vs, .. } = &item.base {
+            shared.extend(vs.iter().copied());
+        }
+    }
+    shared
+}
+
+/// Definition 3.4: `items` is *syntactically independent* on `x` when
+/// (a) `x` occurs in every subgoal, (b) at a key position in every subgoal,
+/// and (c) any two subgoals of the same stream type share a key position
+/// at which `x` occurs in both.
+pub fn syntactically_independent(catalog: &Catalog, items: &[NormalItem], x: Var) -> bool {
+    let occurrences: Vec<(&Subgoal, Vec<usize>)> = items
+        .iter()
+        .map(|item| {
+            let g = item.base.goal();
+            (g, g.positions_of(x))
+        })
+        .collect();
+
+    // (a) + (b): a key-position occurrence in every subgoal.
+    for (g, positions) in &occurrences {
+        let schema = match catalog.stream(g.stream_type) {
+            Some(s) => s,
+            None => return false,
+        };
+        if positions.is_empty() {
+            return false;
+        }
+        if !positions.iter().any(|&i| schema.is_key_position(i)) {
+            return false;
+        }
+    }
+    // (c): pairwise common key position for same-type subgoals.
+    for (i, (gi, pi)) in occurrences.iter().enumerate() {
+        for (gj, pj) in occurrences.iter().skip(i + 1) {
+            if gi.stream_type != gj.stream_type {
+                continue;
+            }
+            let schema = catalog.stream(gi.stream_type).expect("checked above");
+            let common = pi
+                .iter()
+                .any(|p| schema.is_key_position(*p) && pj.contains(p));
+            if !common {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True when every condition attached to the items is local, i.e. its
+/// variables fit within its own subgoal (inner and per-repetition
+/// conditions) — associated predicates are local by construction.
+fn all_predicates_local(items: &[NormalItem]) -> bool {
+    items.iter().all(|item| {
+        let gv = item.base.goal().vars();
+        let inner_ok = item.base.inner_cond().vars().iter().all(|v| gv.contains(v));
+        let each_ok = match &item.base {
+            BaseQuery::Kleene { each, .. } => each.vars().iter().all(|v| gv.contains(v)),
+            BaseQuery::Goal { .. } => true,
+        };
+        inner_ok && each_ok
+    })
+}
+
+/// Definition 3.1: regular — local predicates, no shared variables, no
+/// Kleene-shared/exported variables.
+pub fn is_regular(nq: &NormalQuery) -> bool {
+    if !nq.is_local() || !all_predicates_local(&nq.items) {
+        return false;
+    }
+    let mut seen: BTreeSet<Var> = BTreeSet::new();
+    for item in &nq.items {
+        if let BaseQuery::Kleene { shared, .. } = &item.base {
+            if !shared.is_empty() {
+                return false;
+            }
+        }
+        let gv = item.base.goal().vars();
+        for v in gv {
+            if !seen.insert(v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Definition 3.5: extended regular — local predicates and the whole query
+/// syntactically independent on every shared variable.
+pub fn is_extended_regular(catalog: &Catalog, nq: &NormalQuery) -> bool {
+    if !nq.is_local() || !all_predicates_local(&nq.items) {
+        return false;
+    }
+    shared_vars(&nq.items)
+        .into_iter()
+        .all(|x| syntactically_independent(catalog, &nq.items, x))
+}
+
+/// Definition 3.8: safe — local predicates and every shared variable
+/// *grounded*: the smallest prefix containing all its occurrences is
+/// syntactically independent on it.
+pub fn is_safe(catalog: &Catalog, nq: &NormalQuery) -> bool {
+    if !nq.is_local() || !all_predicates_local(&nq.items) {
+        return false;
+    }
+    for x in shared_vars(&nq.items) {
+        let last = nq
+            .items
+            .iter()
+            .rposition(|item| {
+                item.base.goal().vars().contains(&x)
+                    || matches!(&item.base, BaseQuery::Kleene { shared, .. } if shared.contains(&x))
+            })
+            .expect("shared variable occurs somewhere");
+        if !syntactically_independent(catalog, &nq.items[..=last], x) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Classifies a normalized query into the narrowest applicable class.
+pub fn classify(catalog: &Catalog, nq: &NormalQuery) -> QueryClass {
+    if is_regular(nq) {
+        QueryClass::Regular
+    } else if is_extended_regular(catalog, nq) {
+        QueryClass::ExtendedRegular
+    } else if is_safe(catalog, nq) {
+        QueryClass::Safe
+    } else {
+        QueryClass::Unsafe
+    }
+}
+
+/// Conservative non-unifiability check used by the planner (§3.3.2):
+/// true when no event can match both a subgoal of `items` and `goal`.
+/// Subgoals of different stream types never unify; same-type subgoals fail
+/// to unify only when some position holds distinct constants.
+pub fn cannot_unify(items: &[NormalItem], goal: &Subgoal) -> bool {
+    use crate::ast::Term;
+    for item in items {
+        let g = item.base.goal();
+        if g.stream_type != goal.stream_type {
+            continue;
+        }
+        let clash = g.args.iter().zip(&goal.args).any(|(a, b)| {
+            matches!((a, b), (Term::Const(ca), Term::Const(cb)) if ca != cb)
+        });
+        if !clash {
+            return false;
+        }
+    }
+    true
+}
+
+/// Stream-level disjointness, a strengthening of [`cannot_unify`] used by
+/// the safe-plan compiler: true when no *stream* can contribute events to
+/// both a subgoal of `items` and `goal` — the two sides differ in stream
+/// type, or hold distinct constants at a key position (hence always come
+/// from streams with different keys).
+///
+/// This is what the `seq` operator's independence argument actually
+/// requires: two subgoals with a value-position constant clash match
+/// *disjoint tuples*, but same-stream tuples at one timestep are mutually
+/// exclusive rather than independent, so tuple-level non-unifiability
+/// ([`cannot_unify`]) is not sufficient for the Eq.-3 factorization.
+pub fn streams_disjoint(catalog: &Catalog, items: &[NormalItem], goal: &Subgoal) -> bool {
+    use crate::ast::Term;
+    let schema = match catalog.stream(goal.stream_type) {
+        Some(s) => s,
+        None => return false,
+    };
+    for item in items {
+        let g = item.base.goal();
+        if g.stream_type != goal.stream_type {
+            continue;
+        }
+        let key_clash = (0..schema.key_arity).any(|i| {
+            matches!(
+                (&g.args[i], &goal.args[i]),
+                (Term::Const(ca), Term::Const(cb)) if ca != cb
+            )
+        });
+        if !key_clash {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Cond, Query, Term};
+    use lahar_model::{Catalog, Interner, Value};
+
+    struct Fixture {
+        interner: Interner,
+        catalog: Catalog,
+    }
+
+    fn fixture() -> Fixture {
+        let interner = Interner::new();
+        let mut catalog = Catalog::new();
+        catalog
+            .declare_stream(&interner, "At", &["person"], &["loc"])
+            .unwrap();
+        catalog
+            .declare_stream(&interner, "Carries", &["person", "object"], &["loc"])
+            .unwrap();
+        catalog
+            .declare_stream(&interner, "R", &["k"], &["v"])
+            .unwrap();
+        catalog
+            .declare_stream(&interner, "S", &["k"], &["v"])
+            .unwrap();
+        catalog
+            .declare_stream(&interner, "T", &["k"], &["v"])
+            .unwrap();
+        catalog.declare_relation(&interner, "Hallway", 1).unwrap();
+        catalog.declare_relation(&interner, "Person", 1).unwrap();
+        catalog.declare_relation(&interner, "CRoom", 1).unwrap();
+        catalog
+            .declare_relation(&interner, "LectureRoom", 1)
+            .unwrap();
+        Fixture { interner, catalog }
+    }
+
+    impl Fixture {
+        fn var(&self, n: &str) -> Var {
+            Var(self.interner.intern(n))
+        }
+        fn s(&self, n: &str) -> Term {
+            Term::Const(Value::Str(self.interner.intern(n)))
+        }
+        fn goal(&self, name: &str, args: Vec<Term>) -> BaseQuery {
+            BaseQuery::Goal {
+                goal: Subgoal {
+                    stream_type: self.interner.intern(name),
+                    args,
+                },
+                cond: Cond::True,
+            }
+        }
+        fn rel(&self, name: &str, v: Var) -> Cond {
+            Cond::Rel {
+                name: self.interner.intern(name),
+                args: vec![Term::Var(v)],
+            }
+        }
+        fn classify(&self, q: &Query) -> QueryClass {
+            let nq = NormalQuery::from_query(q);
+            classify(&self.catalog, &nq)
+        }
+    }
+
+    /// q_Joe,hall (Ex 3.2): regular — constants only, unshared Kleene.
+    #[test]
+    fn joe_hall_is_regular() {
+        let f = fixture();
+        let l = f.var("l");
+        let q = Query::Base(f.goal("At", vec![f.s("joe"), f.s("a")]))
+            .then(BaseQuery::Kleene {
+                goal: Subgoal {
+                    stream_type: f.interner.intern("At"),
+                    args: vec![f.s("joe"), Term::Var(l)],
+                },
+                cond: Cond::True,
+                shared: vec![],
+                each: f.rel("Hallway", l),
+            })
+            .then(f.goal("At", vec![f.s("joe"), f.s("c")]));
+        assert_eq!(f.classify(&q), QueryClass::Regular);
+        assert!(validate(&f.catalog, &f.interner, &q).is_ok());
+    }
+
+    /// q_hall (Ex 3.6): extended regular — x shared at key position.
+    #[test]
+    fn qhall_is_extended_regular() {
+        let f = fixture();
+        let x = f.var("x");
+        let l2 = f.var("l2");
+        let q = Query::Base(f.goal("At", vec![Term::Var(x), f.s("a")]))
+            .then(BaseQuery::Kleene {
+                goal: Subgoal {
+                    stream_type: f.interner.intern("At"),
+                    args: vec![Term::Var(x), Term::Var(l2)],
+                },
+                cond: Cond::True,
+                shared: vec![x],
+                each: f.rel("Hallway", l2),
+            })
+            .then(f.goal("At", vec![Term::Var(x), f.s("c")]))
+            .select(f.rel("Person", x));
+        assert_eq!(f.classify(&q), QueryClass::ExtendedRegular);
+    }
+
+    /// q_talk (Ex 3.9): safe but not extended regular — y drops out before
+    /// the final subgoal.
+    #[test]
+    fn qtalk_is_safe() {
+        let f = fixture();
+        let (x, y, z, u) = (f.var("x"), f.var("y"), f.var("z"), f.var("u"));
+        let anon = f.var("_0");
+        let q = Query::Base(f.goal(
+            "Carries",
+            vec![Term::Var(x), Term::Var(y), Term::Var(z)],
+        ))
+        .then(BaseQuery::Kleene {
+            goal: Subgoal {
+                stream_type: f.interner.intern("Carries"),
+                args: vec![Term::Var(x), Term::Var(y), Term::Var(anon)],
+            },
+            cond: Cond::True,
+            shared: vec![x, y],
+            each: Cond::True,
+        })
+        .then(f.goal("At", vec![Term::Var(x), Term::Var(u)]))
+        .select(f.rel("LectureRoom", u));
+        assert_eq!(f.classify(&q), QueryClass::Safe);
+    }
+
+    /// Fig 6: R(x); S(x); T('a', y) is safe (not extended regular).
+    #[test]
+    fn fig6_query_is_safe() {
+        let f = fixture();
+        let (x, y) = (f.var("x"), f.var("y"));
+        let q = Query::Base(f.goal("R", vec![Term::Var(x), Term::Var(f.var("_1"))]))
+            .then(f.goal("S", vec![Term::Var(x), Term::Var(f.var("_2"))]))
+            .then(f.goal("T", vec![f.s("a"), Term::Var(y)]));
+        assert_eq!(f.classify(&q), QueryClass::Safe);
+    }
+
+    /// h1 = σθ(x,y)(R(); S()) with a non-local predicate: unsafe.
+    #[test]
+    fn h1_is_unsafe() {
+        let f = fixture();
+        let (x, y) = (f.var("x"), f.var("y"));
+        let theta = Cond::Cmp {
+            op: crate::ast::CmpOp::Eq,
+            lhs: Term::Var(x),
+            rhs: Term::Var(y),
+        };
+        let q = Query::Base(f.goal("R", vec![Term::Var(x), Term::Var(f.var("_1"))]))
+            .then(f.goal("S", vec![Term::Var(y), Term::Var(f.var("_2"))]))
+            .select(theta);
+        assert_eq!(f.classify(&q), QueryClass::Unsafe);
+    }
+
+    /// h2 = R(); S(x)+<x>: Kleene shared variable not grounded in prefix.
+    #[test]
+    fn h2_is_unsafe() {
+        let f = fixture();
+        let x = f.var("x");
+        let q = Query::Base(f.goal("R", vec![f.s("r"), Term::Var(f.var("_1"))])).then(
+            BaseQuery::Kleene {
+                goal: Subgoal {
+                    stream_type: f.interner.intern("S"),
+                    args: vec![Term::Var(x), Term::Var(f.var("_2"))],
+                },
+                cond: Cond::True,
+                shared: vec![x],
+                each: Cond::True,
+            },
+        );
+        assert_eq!(f.classify(&q), QueryClass::Unsafe);
+    }
+
+    /// h3 = R(); S(x); T(x): x's covering prefix includes R() where it does
+    /// not occur.
+    #[test]
+    fn h3_is_unsafe() {
+        let f = fixture();
+        let x = f.var("x");
+        let q = Query::Base(f.goal("R", vec![f.s("r"), Term::Var(f.var("_1"))]))
+            .then(f.goal("S", vec![Term::Var(x), Term::Var(f.var("_2"))]))
+            .then(f.goal("T", vec![Term::Var(x), Term::Var(f.var("_3"))]));
+        assert_eq!(f.classify(&q), QueryClass::Unsafe);
+    }
+
+    /// h4 = R(x); S(); T(x): the middle subgoal breaks grounding.
+    #[test]
+    fn h4_is_unsafe() {
+        let f = fixture();
+        let x = f.var("x");
+        let q = Query::Base(f.goal("R", vec![Term::Var(x), Term::Var(f.var("_1"))]))
+            .then(f.goal("S", vec![f.s("s"), Term::Var(f.var("_2"))]))
+            .then(f.goal("T", vec![Term::Var(x), Term::Var(f.var("_3"))]));
+        assert_eq!(f.classify(&q), QueryClass::Unsafe);
+    }
+
+    /// A variable shared at a non-key position is not syntactically
+    /// independent.
+    #[test]
+    fn value_position_sharing_is_unsafe() {
+        let f = fixture();
+        let v = f.var("v");
+        let q = Query::Base(f.goal("R", vec![f.s("k1"), Term::Var(v)]))
+            .then(f.goal("S", vec![f.s("k2"), Term::Var(v)]));
+        assert_eq!(f.classify(&q), QueryClass::Unsafe);
+    }
+
+    #[test]
+    fn cannot_unify_requires_constant_clash() {
+        let f = fixture();
+        let items = NormalQuery::from_query(&Query::Base(
+            f.goal("At", vec![f.s("joe"), f.s("a")]),
+        ))
+        .items;
+        // Same type, distinct constant in position 1: cannot unify.
+        let g2 = Subgoal {
+            stream_type: f.interner.intern("At"),
+            args: vec![f.s("joe"), f.s("b")],
+        };
+        assert!(cannot_unify(&items, &g2));
+        // Same type, variable in position 1: may unify.
+        let g3 = Subgoal {
+            stream_type: f.interner.intern("At"),
+            args: vec![f.s("joe"), Term::Var(f.var("l"))],
+        };
+        assert!(!cannot_unify(&items, &g3));
+        // Different type: cannot unify.
+        let g4 = Subgoal {
+            stream_type: f.interner.intern("R"),
+            args: vec![f.s("joe"), f.s("a")],
+        };
+        assert!(cannot_unify(&items, &g4));
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let f = fixture();
+        let x = f.var("x");
+        // Unknown stream.
+        let q = Query::Base(f.goal("Nope", vec![Term::Var(x)]));
+        assert!(matches!(
+            validate(&f.catalog, &f.interner, &q),
+            Err(QueryError::UnknownStream(_))
+        ));
+        // Wrong arity.
+        let q = Query::Base(f.goal("At", vec![Term::Var(x)]));
+        assert!(matches!(
+            validate(&f.catalog, &f.interner, &q),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+        // Unknown relation.
+        let q = Query::Base(f.goal("At", vec![Term::Var(x), Term::Var(f.var("l"))]))
+            .select(f.rel("NopeRel", x));
+        assert!(matches!(
+            validate(&f.catalog, &f.interner, &q),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        // Select over a variable that is not free.
+        let q = Query::Base(f.goal("At", vec![Term::Var(x), Term::Var(f.var("l"))]))
+            .select(f.rel("Person", f.var("zz")));
+        assert!(matches!(
+            validate(&f.catalog, &f.interner, &q),
+            Err(QueryError::UnboundVar(_))
+        ));
+        // Kleene exporting a variable not in its subgoal.
+        let q = Query::Base(BaseQuery::Kleene {
+            goal: Subgoal {
+                stream_type: f.interner.intern("At"),
+                args: vec![Term::Var(x), Term::Var(f.var("l"))],
+            },
+            cond: Cond::True,
+            shared: vec![f.var("w")],
+            each: Cond::True,
+        });
+        assert!(matches!(
+            validate(&f.catalog, &f.interner, &q),
+            Err(QueryError::BadKleeneVar(_))
+        ));
+    }
+}

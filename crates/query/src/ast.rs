@@ -1,0 +1,569 @@
+//! Abstract syntax of Lahar's event query language (paper §2.2).
+//!
+//! The language is a strict subset of Cayuga: subgoals over event streams,
+//! selections `σθ(q)`, left-associative sequencing `q ; bq`, and
+//! parameterized Kleene plus `(σθ1(g))+⟨V, θ2⟩`. A [`Query`] is built
+//! from [`BaseQuery`]s exactly as in Definition 2.1: sequencing is only
+//! allowed with a *base query* on the right, keeping every query a
+//! left-deep chain.
+
+use lahar_model::{Interner, Symbol, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query variable (an interned name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Renders the variable name.
+    pub fn display(&self, interner: &Interner) -> String {
+        interner
+            .resolve(self.0)
+            .unwrap_or_else(|| format!("?{}", self.0 .0))
+    }
+}
+
+/// A term in a subgoal or condition: a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable to be bound by matching.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Renders the term.
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            Term::Var(v) => v.display(interner),
+            Term::Const(c) => c.display(interner),
+        }
+    }
+}
+
+/// A subgoal: a stream type applied to terms (no timestamp — `T` is
+/// implicit), e.g. `At(x, 'Room201')`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgoal {
+    /// The stream type name.
+    pub stream_type: Symbol,
+    /// One term per schema attribute (key attributes first).
+    pub args: Vec<Term>,
+}
+
+impl Subgoal {
+    /// The set of variables occurring in the subgoal.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.args.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Positions (0-based attribute indices) where `x` occurs.
+    pub fn positions_of(&self, x: Var) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_var() == Some(x))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders e.g. `At(x, 'Room201')`.
+    pub fn display(&self, interner: &Interner) -> String {
+        let name = interner
+            .resolve(self.stream_type)
+            .unwrap_or_else(|| format!("#{}", self.stream_type.0));
+        let args: Vec<String> = self.args.iter().map(|t| t.display(interner)).collect();
+        format!("{name}({})", args.join(", "))
+    }
+}
+
+/// Comparison operators usable in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two values.
+    ///
+    /// Ordering comparisons between values of different kinds (e.g. a
+    /// string and an integer) follow the total order on [`Value`].
+    pub fn apply(self, l: Value, r: Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A condition `θ`: a Boolean combination of comparisons and relational
+/// membership tests (paper §2.2, e.g. `y > 20` or `Hall(z)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// Always true (the trivial predicate `σ_true`).
+    True,
+    /// A comparison between two terms.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+    /// Membership in a standard relation, e.g. `Hallway(l)`.
+    Rel {
+        /// Relation name.
+        name: Symbol,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Conjunction smart constructor (drops `True` operands).
+    #[must_use]
+    pub fn and(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::True, c) | (c, Cond::True) => c,
+            (a, b) => Cond::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// True for the trivial predicate.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Cond::True)
+    }
+
+    /// Variables occurring anywhere in the condition.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Cond::True => {}
+            Cond::Cmp { lhs, rhs, .. } => {
+                if let Some(v) = lhs.as_var() {
+                    out.insert(v);
+                }
+                if let Some(v) = rhs.as_var() {
+                    out.insert(v);
+                }
+            }
+            Cond::Rel { args, .. } => {
+                for t in args {
+                    if let Some(v) = t.as_var() {
+                        out.insert(v);
+                    }
+                }
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Cond::Not(a) => a.collect_vars(out),
+        }
+    }
+
+    /// Splits top-level conjunctions into a flat list of conjuncts.
+    /// `True` yields an empty list.
+    pub fn conjuncts(&self) -> Vec<&Cond> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Cond>) {
+        match self {
+            Cond::True => {}
+            Cond::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Rebuilds a condition from conjuncts.
+    pub fn from_conjuncts<I: IntoIterator<Item = Cond>>(conjuncts: I) -> Cond {
+        conjuncts
+            .into_iter()
+            .fold(Cond::True, |acc, c| acc.and(c))
+    }
+
+    /// Renders the condition.
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            Cond::True => "true".to_owned(),
+            Cond::Cmp { op, lhs, rhs } => format!(
+                "{} {op} {}",
+                lhs.display(interner),
+                rhs.display(interner)
+            ),
+            Cond::Rel { name, args } => {
+                let n = interner.resolve(*name).unwrap_or_default();
+                let args: Vec<String> = args.iter().map(|t| t.display(interner)).collect();
+                format!("{n}({})", args.join(", "))
+            }
+            Cond::And(a, b) => format!("({} AND {})", a.display(interner), b.display(interner)),
+            Cond::Or(a, b) => format!("({} OR {})", a.display(interner), b.display(interner)),
+            Cond::Not(a) => format!("NOT {}", a.display(interner)),
+        }
+    }
+}
+
+/// A base query (Definition 2.1): a guarded subgoal or a parameterized
+/// Kleene plus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseQuery {
+    /// `σθ(g)`: a subgoal with an *inner* predicate that is part of the
+    /// match itself (an event must satisfy `θ` to count as an occurrence of
+    /// this base query — contrast with an outer [`Query::Select`]).
+    Goal {
+        /// The subgoal pattern.
+        goal: Subgoal,
+        /// The inner predicate `θ` (often `True`).
+        cond: Cond,
+    },
+    /// `(σθ1(g))+⟨V, θ2⟩`: one or more strictly-ordered repetitions of the
+    /// guarded subgoal. Variables in `shared` keep a single binding across
+    /// repetitions and are the only variables exported; all other variables
+    /// of `g` rebind freshly at each repetition. `each` is applied to every
+    /// repetition (after it is chosen as successor).
+    Kleene {
+        /// The repeated subgoal.
+        goal: Subgoal,
+        /// Inner predicate `θ1` (filters which events count as matches).
+        cond: Cond,
+        /// The shared/exported variables `V`.
+        shared: Vec<Var>,
+        /// Per-repetition predicate `θ2`.
+        each: Cond,
+    },
+}
+
+impl BaseQuery {
+    /// The subgoal pattern of this base query.
+    pub fn goal(&self) -> &Subgoal {
+        match self {
+            BaseQuery::Goal { goal, .. } | BaseQuery::Kleene { goal, .. } => goal,
+        }
+    }
+
+    /// The inner predicate (part of matching).
+    pub fn inner_cond(&self) -> &Cond {
+        match self {
+            BaseQuery::Goal { cond, .. } | BaseQuery::Kleene { cond, .. } => cond,
+        }
+    }
+
+    /// Free (exported) variables: all subgoal variables for a plain goal,
+    /// only `V` for a Kleene plus.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            BaseQuery::Goal { goal, .. } => goal.vars(),
+            BaseQuery::Kleene { shared, .. } => shared.iter().copied().collect(),
+        }
+    }
+
+    /// True for a Kleene plus.
+    pub fn is_kleene(&self) -> bool {
+        matches!(self, BaseQuery::Kleene { .. })
+    }
+
+    /// Renders the base query.
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            BaseQuery::Goal { goal, cond } => {
+                if cond.is_true() {
+                    goal.display(interner)
+                } else {
+                    format!("{}[{}]", goal.display(interner), cond.display(interner))
+                }
+            }
+            BaseQuery::Kleene {
+                goal,
+                cond,
+                shared,
+                each,
+            } => {
+                let inner = if cond.is_true() {
+                    goal.display(interner)
+                } else {
+                    format!("{}[{}]", goal.display(interner), cond.display(interner))
+                };
+                let vars: Vec<String> = shared.iter().map(|v| v.display(interner)).collect();
+                if each.is_true() {
+                    format!("({inner})+{{{}}}", vars.join(", "))
+                } else {
+                    format!("({inner})+{{{} | {}}}", vars.join(", "), each.display(interner))
+                }
+            }
+        }
+    }
+}
+
+/// An event query (Definition 2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A base query.
+    Base(BaseQuery),
+    /// Left-associative sequencing `q ; bq`.
+    Seq(Box<Query>, BaseQuery),
+    /// Outer selection `σθ(q)` — applied to the results of `q`, *after*
+    /// successor selection (this placement is semantically significant:
+    /// see the paper's Example 3.11, `q_f` vs `q_s`).
+    Select(Cond, Box<Query>),
+}
+
+impl Query {
+    /// Sequencing smart constructor.
+    #[must_use]
+    pub fn then(self, bq: BaseQuery) -> Query {
+        Query::Seq(Box::new(self), bq)
+    }
+
+    /// Selection smart constructor (drops trivial conditions).
+    #[must_use]
+    pub fn select(self, cond: Cond) -> Query {
+        if cond.is_true() {
+            self
+        } else {
+            Query::Select(cond, Box::new(self))
+        }
+    }
+
+    /// Free variables of the query: the union of the free variables of its
+    /// base queries (selection does not bind anything).
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Query::Base(b) => b.free_vars(),
+            Query::Seq(q, b) => {
+                let mut vars = q.free_vars();
+                vars.extend(b.free_vars());
+                vars
+            }
+            Query::Select(_, q) => q.free_vars(),
+        }
+    }
+
+    /// All base queries, in left-to-right sequence order.
+    pub fn base_queries(&self) -> Vec<&BaseQuery> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a BaseQuery>) {
+        match self {
+            Query::Base(b) => out.push(b),
+            Query::Seq(q, b) => {
+                q.collect_bases(out);
+                out.push(b);
+            }
+            Query::Select(_, q) => q.collect_bases(out),
+        }
+    }
+
+    /// All subgoals, in left-to-right sequence order (paper: `goal(q)`).
+    pub fn subgoals(&self) -> Vec<&Subgoal> {
+        self.base_queries().into_iter().map(BaseQuery::goal).collect()
+    }
+
+    /// All conditions anywhere in the query (inner, per-repetition, and
+    /// outer selections).
+    pub fn all_conds(&self) -> Vec<&Cond> {
+        let mut out = Vec::new();
+        self.collect_conds(&mut out);
+        out
+    }
+
+    fn collect_conds<'a>(&'a self, out: &mut Vec<&'a Cond>) {
+        match self {
+            Query::Base(b) => {
+                out.push(b.inner_cond());
+                if let BaseQuery::Kleene { each, .. } = b {
+                    out.push(each);
+                }
+            }
+            Query::Seq(q, b) => {
+                q.collect_conds(out);
+                out.push(b.inner_cond());
+                if let BaseQuery::Kleene { each, .. } = b {
+                    out.push(each);
+                }
+            }
+            Query::Select(c, q) => {
+                out.push(c);
+                q.collect_conds(out);
+            }
+        }
+    }
+
+    /// Renders the query.
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            Query::Base(b) => b.display(interner),
+            Query::Seq(q, b) => format!("{} ; {}", q.display(interner), b.display(interner)),
+            Query::Select(c, q) => {
+                format!("sigma[{}]({})", c.display(interner), q.display(interner))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::{tuple, Interner};
+
+    fn v(i: &Interner, name: &str) -> Var {
+        Var(i.intern(name))
+    }
+
+    fn at(i: &Interner, args: Vec<Term>) -> Subgoal {
+        Subgoal {
+            stream_type: i.intern("At"),
+            args,
+        }
+    }
+
+    #[test]
+    fn free_vars_of_sequence() {
+        let i = Interner::new();
+        let x = v(&i, "x");
+        let y = v(&i, "y");
+        let q = Query::Base(BaseQuery::Goal {
+            goal: at(&i, vec![Term::Var(x)]),
+            cond: Cond::True,
+        })
+        .then(BaseQuery::Goal {
+            goal: at(&i, vec![Term::Var(y)]),
+            cond: Cond::True,
+        });
+        let vars = q.free_vars();
+        assert!(vars.contains(&x) && vars.contains(&y));
+        assert_eq!(q.subgoals().len(), 2);
+    }
+
+    #[test]
+    fn kleene_exports_only_shared() {
+        let i = Interner::new();
+        let p = v(&i, "p");
+        let l = v(&i, "l");
+        let k = BaseQuery::Kleene {
+            goal: at(&i, vec![Term::Var(p), Term::Var(l)]),
+            cond: Cond::True,
+            shared: vec![p],
+            each: Cond::Rel {
+                name: i.intern("Hallway"),
+                args: vec![Term::Var(l)],
+            },
+        };
+        let free = k.free_vars();
+        assert!(free.contains(&p));
+        assert!(!free.contains(&l));
+    }
+
+    #[test]
+    fn conjunct_split_and_rebuild() {
+        let i = Interner::new();
+        let x = v(&i, "x");
+        let c1 = Cond::Rel {
+            name: i.intern("Person"),
+            args: vec![Term::Var(x)],
+        };
+        let c2 = Cond::Cmp {
+            op: CmpOp::Gt,
+            lhs: Term::Var(x),
+            rhs: Term::Const(lahar_model::Value::Int(3)),
+        };
+        let c = c1.clone().and(c2.clone()).and(Cond::True);
+        let parts = c.conjuncts();
+        assert_eq!(parts.len(), 2);
+        let rebuilt = Cond::from_conjuncts(parts.into_iter().cloned());
+        assert_eq!(rebuilt.conjuncts().len(), 2);
+        // OR is not split.
+        let o = Cond::Or(Box::new(c1), Box::new(c2));
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn cmp_ops() {
+        use lahar_model::Value::Int;
+        assert!(CmpOp::Eq.apply(Int(1), Int(1)));
+        assert!(CmpOp::Ne.apply(Int(1), Int(2)));
+        assert!(CmpOp::Lt.apply(Int(1), Int(2)));
+        assert!(CmpOp::Ge.apply(Int(2), Int(2)));
+        assert!(!CmpOp::Gt.apply(Int(2), Int(2)));
+        assert!(CmpOp::Le.apply(Int(1), Int(2)));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let i = Interner::new();
+        let x = v(&i, "x");
+        let q = Query::Base(BaseQuery::Goal {
+            goal: at(&i, vec![Term::Var(x), Term::Const(lahar_model::Value::Str(i.intern("a")))]),
+            cond: Cond::True,
+        });
+        assert_eq!(q.display(&i), "At(x, 'a')");
+        let _ = tuple([1i64]); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn positions_of_var() {
+        let i = Interner::new();
+        let x = v(&i, "x");
+        let g = at(&i, vec![Term::Var(x), Term::Var(x)]);
+        assert_eq!(g.positions_of(x), vec![0, 1]);
+    }
+}

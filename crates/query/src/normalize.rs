@@ -1,0 +1,327 @@
+//! Selection push-down and the normalized query form.
+//!
+//! The paper's translation (§3.1.1) first pushes selections down using the
+//! identities `σθ(q1; q2) = σθ(q1); q2` (when `var(θ) ⊆ var(q1)`) and
+//! `σθ1(σθ2(q)) = σθ1∧θ2(q)`, until every selection conjunct either sits
+//! directly on a subgoal or applies to the last subgoal of its child
+//! sequence. A [`NormalQuery`] is the result: a flat chain of
+//! [`NormalItem`]s, each a base query plus its *associated predicate* `σᵢ`
+//! (the paper's "exactly one predicate per subgoal"). Conjuncts that cannot
+//! be associated with any single covering subgoal are *residual* — they
+//! make the query non-local and therefore unsafe (§3.4).
+
+use crate::ast::{BaseQuery, Cond, Query, Var};
+use std::collections::BTreeSet;
+
+/// A base query plus its associated outer predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalItem {
+    /// The base query (subgoal + inner condition, or Kleene plus). For
+    /// Kleene items, associated conjuncts are merged into the
+    /// per-repetition condition (sound because their variables are
+    /// constant across repetitions).
+    pub base: BaseQuery,
+    /// The associated predicate `σᵢ`, applied after this item is selected
+    /// as successor. Always local: `var(assoc) ⊆ var(goal)`.
+    pub assoc: Cond,
+}
+
+impl NormalItem {
+    /// Free variables exported by this item.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        self.base.free_vars()
+    }
+}
+
+/// A selection conjunct that could not be attached to any single subgoal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidualCond {
+    /// Index of the last item in scope when the selection applied
+    /// (the conjunct is evaluated on results of `items[0..=after_item]`).
+    pub after_item: usize,
+    /// The conjunct.
+    pub cond: Cond,
+}
+
+/// A query in normalized (push-down) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalQuery {
+    /// The base queries in sequence order, each with its associated
+    /// predicate.
+    pub items: Vec<NormalItem>,
+    /// Non-local conjuncts. Non-empty residuals put the query outside the
+    /// Safe class.
+    pub residual: Vec<ResidualCond>,
+}
+
+impl NormalQuery {
+    /// Normalizes a query by pushing every selection conjunct down to the
+    /// latest position at which it is still covered by a single subgoal.
+    pub fn from_query(q: &Query) -> Self {
+        let mut items: Vec<NormalItem> = Vec::new();
+        // (after_item index, conjunct) pairs discovered while walking.
+        let mut selects: Vec<(usize, Cond)> = Vec::new();
+        collect(q, &mut items, &mut selects);
+
+        // Cumulative free-variable sets: free[j] = free(items[0..=j]).
+        let mut free: Vec<BTreeSet<Var>> = Vec::with_capacity(items.len());
+        let mut acc = BTreeSet::new();
+        for item in &items {
+            acc.extend(item.free_vars());
+            free.push(acc.clone());
+        }
+
+        let mut residual = Vec::new();
+        for (after, cond) in selects {
+            for conjunct in cond.conjuncts() {
+                let vars = conjunct.vars();
+                // Earliest position at which every variable is bound.
+                let jmin = free
+                    .iter()
+                    .position(|f| vars.iter().all(|v| f.contains(v)))
+                    .unwrap_or(after);
+                // Earliest position `p ∈ [jmin, after]` whose subgoal
+                // covers the conjunct: the identity σθ(q1; bq) = σθ(q1); bq
+                // lets the conjunct sit anywhere in that range, and pushing
+                // it down maximally (the paper's rule) keeps predicates
+                // inside regular leaves rather than on seq items.
+                let p = (jmin..=after.min(items.len() - 1)).find(|&j| {
+                    let goal_vars = items[j].base.goal().vars();
+                    vars.iter().all(|v| goal_vars.contains(v))
+                });
+                match p {
+                    Some(j) => attach(&mut items[j], conjunct.clone()),
+                    None => residual.push(ResidualCond {
+                        after_item: after,
+                        cond: conjunct.clone(),
+                    }),
+                }
+            }
+        }
+        NormalQuery { items, residual }
+    }
+
+    /// Reconstructs an equivalent [`Query`] (used to cross-check the
+    /// normalization against the denotational semantics).
+    pub fn to_query(&self) -> Query {
+        let mut q: Option<Query> = None;
+        for (i, item) in self.items.iter().enumerate() {
+            q = Some(match q {
+                None => Query::Base(item.base.clone()),
+                Some(prev) => prev.then(item.base.clone()),
+            });
+            if !item.assoc.is_true() {
+                q = Some(q.unwrap().select(item.assoc.clone()));
+            }
+            for r in &self.residual {
+                if r.after_item == i {
+                    q = Some(q.unwrap().select(r.cond.clone()));
+                }
+            }
+        }
+        q.expect("a query has at least one base query")
+    }
+
+    /// Free variables of the whole query.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        self.items.iter().flat_map(|i| i.free_vars()).collect()
+    }
+
+    /// True when no residual (non-local) conjuncts remain.
+    pub fn is_local(&self) -> bool {
+        self.residual.is_empty()
+    }
+}
+
+/// Attaches a conjunct to an item: merged into `each` for Kleene items
+/// (its variables are shared, hence constant across repetitions), into the
+/// associated predicate otherwise.
+fn attach(item: &mut NormalItem, conjunct: Cond) {
+    match &mut item.base {
+        BaseQuery::Kleene { each, .. } => {
+            let prev = std::mem::replace(each, Cond::True);
+            *each = prev.and(conjunct);
+        }
+        BaseQuery::Goal { .. } => {
+            let prev = std::mem::replace(&mut item.assoc, Cond::True);
+            item.assoc = prev.and(conjunct);
+        }
+    }
+}
+
+fn collect(q: &Query, items: &mut Vec<NormalItem>, selects: &mut Vec<(usize, Cond)>) {
+    match q {
+        Query::Base(b) => items.push(NormalItem {
+            base: b.clone(),
+            assoc: Cond::True,
+        }),
+        Query::Seq(q1, b) => {
+            collect(q1, items, selects);
+            items.push(NormalItem {
+                base: b.clone(),
+                assoc: Cond::True,
+            });
+        }
+        Query::Select(c, q1) => {
+            collect(q1, items, selects);
+            if !c.is_true() {
+                selects.push((items.len() - 1, c.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Subgoal, Term};
+    use lahar_model::{Interner, Value};
+
+    fn setup() -> (Interner, Var, Var, Var) {
+        let i = Interner::new();
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let z = Var(i.intern("z"));
+        (i, x, y, z)
+    }
+
+    fn goal(i: &Interner, name: &str, terms: Vec<Term>) -> BaseQuery {
+        BaseQuery::Goal {
+            goal: Subgoal {
+                stream_type: i.intern(name),
+                args: terms,
+            },
+            cond: Cond::True,
+        }
+    }
+
+    fn rel(i: &Interner, name: &str, v: Var) -> Cond {
+        Cond::Rel {
+            name: i.intern(name),
+            args: vec![Term::Var(v)],
+        }
+    }
+
+    #[test]
+    fn conjuncts_are_attached_to_covering_subgoals() {
+        // sigma[P(x) AND Q(y)]( R(x); S(y) ) — P(x) goes to item 0,
+        // Q(y) to item 1.
+        let (i, x, y, _) = setup();
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x)]))
+            .then(match goal(&i, "S", vec![Term::Var(y)]) {
+                BaseQuery::Goal { goal, cond } => BaseQuery::Goal { goal, cond },
+                k => k,
+            })
+            .select(rel(&i, "P", x).and(rel(&i, "Q", y)));
+        let nq = NormalQuery::from_query(&q);
+        assert!(nq.is_local());
+        assert_eq!(nq.items[0].assoc, rel(&i, "P", x));
+        assert_eq!(nq.items[1].assoc, rel(&i, "Q", y));
+    }
+
+    #[test]
+    fn non_local_conjunct_becomes_residual() {
+        // h1 = σθ(x,y)(R(x); S(y)) — θ spans both subgoals.
+        let (i, x, y, _) = setup();
+        let theta = Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Term::Var(x),
+            rhs: Term::Var(y),
+        };
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x)]))
+            .then(goal(&i, "S", vec![Term::Var(y)]).goal().clone().into_goal())
+            .select(theta.clone());
+        let nq = NormalQuery::from_query(&q);
+        assert!(!nq.is_local());
+        assert_eq!(nq.residual.len(), 1);
+        assert_eq!(nq.residual[0].cond, theta);
+    }
+
+    #[test]
+    fn conjunct_prefers_latest_covering_subgoal() {
+        // σθ(x,y)(R(x); S(y); T(x, y)) — θ is local to T even though both
+        // variables are free earlier.
+        let (i, x, y, _) = setup();
+        let theta = Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Term::Var(x),
+            rhs: Term::Var(y),
+        };
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x)]))
+            .then(BaseQuery::Goal {
+                goal: Subgoal {
+                    stream_type: i.intern("S"),
+                    args: vec![Term::Var(y)],
+                },
+                cond: Cond::True,
+            })
+            .then(BaseQuery::Goal {
+                goal: Subgoal {
+                    stream_type: i.intern("T"),
+                    args: vec![Term::Var(x), Term::Var(y)],
+                },
+                cond: Cond::True,
+            })
+            .select(theta.clone());
+        let nq = NormalQuery::from_query(&q);
+        assert!(nq.is_local());
+        assert_eq!(nq.items[2].assoc, theta);
+    }
+
+    #[test]
+    fn kleene_conjunct_merges_into_each() {
+        // σ_P(p)( (At(p,l))+<p> ) — P(p) joins the per-repetition filter.
+        let (i, _, _, _) = setup();
+        let p = Var(i.intern("p"));
+        let l = Var(i.intern("l"));
+        let q = Query::Base(BaseQuery::Kleene {
+            goal: Subgoal {
+                stream_type: i.intern("At"),
+                args: vec![Term::Var(p), Term::Var(l)],
+            },
+            cond: Cond::True,
+            shared: vec![p],
+            each: rel(&i, "Hallway", l),
+        })
+        .select(rel(&i, "Person", p));
+        let nq = NormalQuery::from_query(&q);
+        assert!(nq.is_local());
+        match &nq.items[0].base {
+            BaseQuery::Kleene { each, .. } => {
+                assert_eq!(each.conjuncts().len(), 2);
+            }
+            other => panic!("expected kleene, got {other:?}"),
+        }
+        assert!(nq.items[0].assoc.is_true());
+    }
+
+    #[test]
+    fn round_trip_reconstruction_preserves_items() {
+        let (i, x, _, _) = setup();
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x)]))
+            .select(rel(&i, "P", x))
+            .then(BaseQuery::Goal {
+                goal: Subgoal {
+                    stream_type: i.intern("S"),
+                    args: vec![Term::Const(Value::Int(3))],
+                },
+                cond: Cond::True,
+            });
+        let nq = NormalQuery::from_query(&q);
+        let back = NormalQuery::from_query(&nq.to_query());
+        assert_eq!(nq, back);
+    }
+
+    // Helper so the h1 test reads naturally.
+    trait IntoGoal {
+        fn into_goal(self) -> BaseQuery;
+    }
+    impl IntoGoal for Subgoal {
+        fn into_goal(self) -> BaseQuery {
+            BaseQuery::Goal {
+                goal: self,
+                cond: Cond::True,
+            }
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! A text syntax for Lahar queries.
+//!
+//! The grammar mirrors the paper's notation:
+//!
+//! ```text
+//! query   := primary ( ';' base )*
+//! primary := sigma | base
+//! sigma   := 'sigma' '[' cond ']' '(' query ')'
+//! base    := goal | kleene
+//! goal    := IDENT '(' term (',' term)* ')' ( '[' cond ']' )?
+//! kleene  := '(' goal ')' '+' '{' varlist? ( '|' cond )? '}'
+//! cond    := orc ;  orc := andc ('OR' andc)* ;  andc := notc ('AND' notc)*
+//! notc    := 'NOT' notc | 'true' | '(' cond ')'
+//!          | IDENT '(' term* ')'            -- relation atom
+//!          | term CMP term                  -- = != < <= > >=
+//! term    := IDENT | '_' | 'STRING' | INT
+//! ```
+//!
+//! * A `goal` trailing `[cond]` is the **inner** predicate `σθ(g)` of a
+//!   base query (it takes part in matching and successor competition);
+//!   `sigma[cond](q)` is the **outer** selection (applied after successor
+//!   choice). The distinction is semantically significant — Example 3.11.
+//! * In a Kleene plus `(At(p, l))+{p | Hallway(l)}`, the names before `|`
+//!   are the shared set `V` and the condition after it is the
+//!   per-repetition predicate `θ2`.
+//! * `_` is an anonymous variable (each occurrence is fresh).
+//! * Identifiers are variables in term position and stream/relation names
+//!   in atom position; string constants are single-quoted.
+//!
+//! Examples from the paper:
+//!
+//! ```text
+//! At('Joe', '220') ; At('Joe', l)[CRoom(l)] ; At('Joe', '220')
+//! sigma[Person(x)]( At(x, 'a') ; (At(x, l2))+{x | Hallway(l2)} ; At(x, 'c') )
+//! ```
+
+use crate::ast::{BaseQuery, CmpOp, Cond, Query, Subgoal, Term, Var};
+use crate::matching::QueryError;
+use lahar_model::{Interner, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Tok), QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        // Multi-character operators first.
+        for op in ["!=", "<=", ">="] {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += 2;
+                return Ok((start, Tok::Punct(op)));
+            }
+        }
+        for op in [";", "(", ")", "[", "]", "{", "}", "+", ",", "|", "=", "<", ">", "_"] {
+            if c == op.as_bytes()[0] {
+                self.pos += 1;
+                return Ok((start, Tok::Punct(op)));
+            }
+        }
+        if c == b'\'' {
+            self.pos += 1;
+            let begin = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.error("unterminated string literal"));
+            }
+            let s = std::str::from_utf8(&self.src[begin..self.pos])
+                .map_err(|_| self.error("invalid utf-8 in string literal"))?
+                .to_owned();
+            self.pos += 1;
+            return Ok((start, Tok::Str(s)));
+        }
+        if c.is_ascii_digit() || (c == b'-' && self.peek_digit()) {
+            let begin = self.pos;
+            if c == b'-' {
+                self.pos += 1;
+            }
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[begin..self.pos]).unwrap();
+            let n: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer {text}")))?;
+            return Ok((start, Tok::Int(n)));
+        }
+        if c.is_ascii_alphabetic() {
+            let begin = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let s = std::str::from_utf8(&self.src[begin..self.pos]).unwrap().to_owned();
+            return Ok((start, Tok::Ident(s)));
+        }
+        Err(self.error(format!("unexpected character {:?}", c as char)))
+    }
+
+    fn peek_digit(&self) -> bool {
+        self.src
+            .get(self.pos + 1)
+            .is_some_and(u8::is_ascii_digit)
+    }
+}
+
+/// Recursive-descent parser with one token of lookahead.
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    offset: usize,
+    interner: &'a Interner,
+    fresh: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, interner: &'a Interner) -> Result<Self, QueryError> {
+        let mut lexer = Lexer::new(src);
+        let (offset, tok) = lexer.next()?;
+        Ok(Self {
+            lexer,
+            tok,
+            offset,
+            interner,
+            fresh: 0,
+        })
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            offset: self.offset,
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, QueryError> {
+        let (offset, next) = self.lexer.next()?;
+        self.offset = offset;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> Result<(), QueryError> {
+        if self.tok == Tok::Punct(p) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {p:?}, found {:?}", self.tok)))
+        }
+    }
+
+    fn try_punct(&mut self, p: &'static str) -> Result<bool, QueryError> {
+        if self.tok == Tok::Punct(p) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        let v = Var(self.interner.intern(&format!("_anon{}", self.fresh)));
+        self.fresh += 1;
+        v
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        let mut q = self.primary()?;
+        while self.try_punct(";")? {
+            let bq = self.base()?;
+            q = q.then(bq);
+        }
+        Ok(q)
+    }
+
+    fn primary(&mut self) -> Result<Query, QueryError> {
+        if let Tok::Ident(name) = &self.tok {
+            if name == "sigma" {
+                self.advance()?;
+                self.eat_punct("[")?;
+                let cond = self.cond()?;
+                self.eat_punct("]")?;
+                self.eat_punct("(")?;
+                let inner = self.query()?;
+                self.eat_punct(")")?;
+                return Ok(inner.select(cond));
+            }
+        }
+        Ok(Query::Base(self.base()?))
+    }
+
+    fn base(&mut self) -> Result<BaseQuery, QueryError> {
+        if self.tok == Tok::Punct("(") {
+            // Kleene plus: '(' goal ')' '+' '{' ... '}'.
+            self.advance()?;
+            let (goal, cond) = self.goal()?;
+            self.eat_punct(")")?;
+            self.eat_punct("+")?;
+            self.eat_punct("{")?;
+            let mut shared = Vec::new();
+            let mut each = Cond::True;
+            if self.tok != Tok::Punct("}") {
+                if self.tok != Tok::Punct("|") {
+                    loop {
+                        match self.advance()? {
+                            Tok::Ident(name) => shared.push(Var(self.interner.intern(&name))),
+                            other => {
+                                return Err(self
+                                    .error(format!("expected shared variable, found {other:?}")))
+                            }
+                        }
+                        if !self.try_punct(",")? {
+                            break;
+                        }
+                    }
+                }
+                if self.try_punct("|")? {
+                    each = self.cond()?;
+                }
+            }
+            self.eat_punct("}")?;
+            Ok(BaseQuery::Kleene {
+                goal,
+                cond,
+                shared,
+                each,
+            })
+        } else {
+            let (goal, cond) = self.goal()?;
+            Ok(BaseQuery::Goal { goal, cond })
+        }
+    }
+
+    /// Parses `IDENT '(' terms ')' ('[' cond ']')?`.
+    fn goal(&mut self) -> Result<(Subgoal, Cond), QueryError> {
+        let name = match self.advance()? {
+            Tok::Ident(n) => n,
+            other => return Err(self.error(format!("expected stream name, found {other:?}"))),
+        };
+        self.eat_punct("(")?;
+        let mut args = Vec::new();
+        if self.tok != Tok::Punct(")") {
+            loop {
+                args.push(self.term()?);
+                if !self.try_punct(",")? {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let cond = if self.try_punct("[")? {
+            let c = self.cond()?;
+            self.eat_punct("]")?;
+            c
+        } else {
+            Cond::True
+        };
+        Ok((
+            Subgoal {
+                stream_type: self.interner.intern(&name),
+                args,
+            },
+            cond,
+        ))
+    }
+
+    fn term(&mut self) -> Result<Term, QueryError> {
+        match self.advance()? {
+            Tok::Ident(name) => Ok(Term::Var(Var(self.interner.intern(&name)))),
+            Tok::Punct("_") => Ok(Term::Var(self.fresh_var())),
+            Tok::Str(s) => Ok(Term::Const(Value::Str(self.interner.intern(&s)))),
+            Tok::Int(n) => Ok(Term::Const(Value::Int(n))),
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, QueryError> {
+        let mut c = self.and_cond()?;
+        while self.keyword("OR")? {
+            let rhs = self.and_cond()?;
+            c = Cond::Or(Box::new(c), Box::new(rhs));
+        }
+        Ok(c)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, QueryError> {
+        let mut c = self.not_cond()?;
+        while self.keyword("AND")? {
+            let rhs = self.not_cond()?;
+            c = c.and(rhs);
+        }
+        Ok(c)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<bool, QueryError> {
+        if matches!(&self.tok, Tok::Ident(name) if name.eq_ignore_ascii_case(kw)) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, QueryError> {
+        if self.keyword("NOT")? {
+            return Ok(Cond::Not(Box::new(self.not_cond()?)));
+        }
+        if self.keyword("true")? {
+            return Ok(Cond::True);
+        }
+        if self.try_punct("(")? {
+            let c = self.cond()?;
+            self.eat_punct(")")?;
+            return Ok(c);
+        }
+        // Relation atom or comparison: both can start with an identifier.
+        if let Tok::Ident(name) = self.tok.clone() {
+            // Peek: relation atom iff followed by '('.
+            let save_offset = self.offset;
+            self.advance()?;
+            if self.tok == Tok::Punct("(") {
+                self.advance()?;
+                let mut args = Vec::new();
+                if self.tok != Tok::Punct(")") {
+                    loop {
+                        args.push(self.term()?);
+                        if !self.try_punct(",")? {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(")")?;
+                return Ok(Cond::Rel {
+                    name: self.interner.intern(&name),
+                    args,
+                });
+            }
+            // Comparison with a variable on the left.
+            let lhs = Term::Var(Var(self.interner.intern(&name)));
+            let _ = save_offset;
+            return self.cmp_tail(lhs);
+        }
+        let lhs = self.term()?;
+        self.cmp_tail(lhs)
+    }
+
+    fn cmp_tail(&mut self, lhs: Term) -> Result<Cond, QueryError> {
+        let op = match self.advance()? {
+            Tok::Punct("=") => CmpOp::Eq,
+            Tok::Punct("!=") => CmpOp::Ne,
+            Tok::Punct("<") => CmpOp::Lt,
+            Tok::Punct("<=") => CmpOp::Le,
+            Tok::Punct(">") => CmpOp::Gt,
+            Tok::Punct(">=") => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.term()?;
+        Ok(Cond::Cmp { op, lhs, rhs })
+    }
+}
+
+/// Parses a query from text. The result is *not* validated against a
+/// catalog; call [`crate::validate`] afterwards (or use
+/// [`parse_and_validate`]).
+pub fn parse_query(interner: &Interner, src: &str) -> Result<Query, QueryError> {
+    let mut p = Parser::new(src, interner)?;
+    let q = p.query()?;
+    if p.tok != Tok::Eof {
+        return Err(p.error(format!("trailing input: {:?}", p.tok)));
+    }
+    Ok(q)
+}
+
+/// Parses and validates a query against a catalog.
+pub fn parse_and_validate(
+    catalog: &lahar_model::Catalog,
+    interner: &Interner,
+    src: &str,
+) -> Result<Query, QueryError> {
+    let q = parse_query(interner, src)?;
+    crate::analysis::validate(catalog, interner, &q)?;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interner() -> Interner {
+        Interner::new()
+    }
+
+    #[test]
+    fn parses_joe_coffee() {
+        let i = interner();
+        let q = parse_query(
+            &i,
+            "At('Joe','220') ; At('Joe', l)[CRoom(l)] ; At('Joe','220')",
+        )
+        .unwrap();
+        let bases = q.base_queries();
+        assert_eq!(bases.len(), 3);
+        assert!(!bases[1].inner_cond().is_true());
+        assert_eq!(
+            q.display(&i),
+            "At('Joe', '220') ; At('Joe', l)[CRoom(l)] ; At('Joe', '220')"
+        );
+    }
+
+    #[test]
+    fn parses_any_coffee_with_kleene() {
+        let i = interner();
+        let q = parse_query(
+            &i,
+            "sigma[Person(p) AND Office(p, l1) AND CRoom(l3)]\
+             ( At(p, l1) ; (At(p, l2))+{p | Hall(l2)} ; At(p, l3) )",
+        )
+        .unwrap();
+        match &q {
+            Query::Select(c, inner) => {
+                assert_eq!(c.conjuncts().len(), 3);
+                let bases = inner.base_queries();
+                assert_eq!(bases.len(), 3);
+                assert!(bases[1].is_kleene());
+                match bases[1] {
+                    BaseQuery::Kleene { shared, each, .. } => {
+                        assert_eq!(shared.len(), 1);
+                        assert!(!each.is_true());
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("expected select at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let i = interner();
+        let q = parse_query(&i, "Carries(x, y, _) ; Carries(x, y, _)").unwrap();
+        let goals = q.subgoals();
+        let a = goals[0].args[2].as_var().unwrap();
+        let b = goals[1].args[2].as_var().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parses_comparisons_and_booleans() {
+        let i = interner();
+        let q = parse_query(
+            &i,
+            "sigma[y > 20 AND (NOT Hall(z) OR y != 30)](R(y, z))",
+        )
+        .unwrap();
+        match q {
+            Query::Select(c, _) => {
+                assert_eq!(c.conjuncts().len(), 2);
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_integer_and_negative_constants() {
+        let i = interner();
+        let q = parse_query(&i, "Reading(s, -5) ; Reading(s, 10)").unwrap();
+        let goals = q.subgoals();
+        assert_eq!(goals[0].args[1], Term::Const(Value::Int(-5)));
+        assert_eq!(goals[1].args[1], Term::Const(Value::Int(10)));
+    }
+
+    #[test]
+    fn kleene_without_condition_or_vars() {
+        let i = interner();
+        let q = parse_query(&i, "(R(x))+{}").unwrap();
+        match q {
+            Query::Base(BaseQuery::Kleene { shared, each, .. }) => {
+                assert!(shared.is_empty());
+                assert!(each.is_true());
+            }
+            other => panic!("expected kleene, got {other:?}"),
+        }
+        // Condition only.
+        let q = parse_query(&i, "(At(p, l))+{| Hallway(l)}").unwrap();
+        match q {
+            Query::Base(BaseQuery::Kleene { shared, each, .. }) => {
+                assert!(shared.is_empty());
+                assert!(!each.is_true());
+            }
+            other => panic!("expected kleene, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_sigma_preserves_structure() {
+        // σ applied mid-sequence — the q_s shape from Ex 3.11.
+        let i = interner();
+        let q = parse_query(&i, "sigma[y = 'b'](R('a') ; R(y)) ; S(z)").unwrap();
+        match &q {
+            Query::Seq(inner, _) => {
+                assert!(matches!(inner.as_ref(), Query::Select(_, _)));
+            }
+            other => panic!("expected seq at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let i = interner();
+        for bad in [
+            "At(x",
+            "At(x,)",
+            "sigma[](R(x))",
+            "(R(x))+",
+            "R(x) garbage",
+            "At('unclosed",
+            "sigma[x ~ 3](R(x))",
+        ] {
+            let err = parse_query(&i, bad).unwrap_err();
+            assert!(
+                matches!(err, QueryError::Parse { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive_for_booleans() {
+        let i = interner();
+        assert!(parse_query(&i, "sigma[Hall(x) and Person(x)](R(x))").is_ok());
+        assert!(parse_query(&i, "sigma[not Hall(x)](R(x))").is_ok());
+    }
+}

@@ -1,0 +1,331 @@
+//! Safe plans and the Algorithm-1 compiler (paper §3.3.2).
+//!
+//! A safe plan is a left-linear tree of probabilistic stream algebra
+//! operators whose leftmost leaf is a regular-expression operator
+//! `reg⟨V⟩(q)`: substituting any constants for the variables in `V` makes
+//! the leaf query regular. Inner nodes are projections `π₋ₓ` and sequencing
+//! `seq(P, bq)`; selections are already folded into the items by
+//! normalization.
+
+use crate::analysis::{shared_vars, streams_disjoint, syntactically_independent};
+use crate::ast::Var;
+use crate::matching::QueryError;
+use crate::normalize::{NormalItem, NormalQuery};
+use lahar_model::{Catalog, Interner};
+use std::collections::BTreeSet;
+
+/// A compiled safe plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafePlan {
+    /// The leftmost leaf: a query that is regular once every variable in
+    /// `env` is substituted with a constant.
+    Reg {
+        /// The grounded variables `V_reg` (enumerated at runtime over key
+        /// bindings).
+        env: Vec<Var>,
+        /// The leaf query items.
+        items: Vec<NormalItem>,
+    },
+    /// Projection `π₋ₓ`: combines the independent probabilities of the
+    /// child plan's per-binding instances as `1 − Π(1 − pᵢ)`.
+    Project {
+        /// The variable projected away.
+        var: Var,
+        /// The child plan.
+        input: Box<SafePlan>,
+    },
+    /// Sequencing `seq(P, bq)`: the latest-precursor / latest-witness
+    /// factorization (paper Eq. 3).
+    Seq {
+        /// The child plan computing interval probabilities.
+        input: Box<SafePlan>,
+        /// The appended base query.
+        item: NormalItem,
+    },
+}
+
+impl SafePlan {
+    /// Renders an indented tree for diagnostics.
+    pub fn display(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        self.fmt_into(interner, 0, &mut out);
+        out
+    }
+
+    fn fmt_into(&self, interner: &Interner, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            SafePlan::Reg { env, items } => {
+                let vars: Vec<String> = env.iter().map(|v| v.display(interner)).collect();
+                let body: Vec<String> = items
+                    .iter()
+                    .map(|i| {
+                        if i.assoc.is_true() {
+                            i.base.display(interner)
+                        } else {
+                            format!(
+                                "{} [{}]",
+                                i.base.display(interner),
+                                i.assoc.display(interner)
+                            )
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}reg<{}>({})\n",
+                    vars.join(", "),
+                    body.join(" ; ")
+                ));
+            }
+            SafePlan::Project { var, input } => {
+                out.push_str(&format!("{pad}π-{}\n", var.display(interner)));
+                input.fmt_into(interner, depth + 1, out);
+            }
+            SafePlan::Seq { input, item } => {
+                out.push_str(&format!("{pad}seq[{}]\n", item.base.display(interner)));
+                input.fmt_into(interner, depth + 1, out);
+            }
+        }
+    }
+
+    /// The regular leaf of the plan.
+    pub fn reg_leaf(&self) -> (&[Var], &[NormalItem]) {
+        match self {
+            SafePlan::Reg { env, items } => (env, items),
+            SafePlan::Project { input, .. } | SafePlan::Seq { input, .. } => input.reg_leaf(),
+        }
+    }
+}
+
+/// Compiles a safe plan for a normalized query (Algorithm 1), or fails
+/// with [`QueryError::NotInClass`] when the query is unsafe.
+pub fn compile_safe_plan(
+    catalog: &Catalog,
+    nq: &NormalQuery,
+) -> Result<SafePlan, QueryError> {
+    if !nq.is_local() {
+        return Err(QueryError::NotInClass(
+            "safe: query has non-local predicates".to_owned(),
+        ));
+    }
+    let env = BTreeSet::new();
+    plan(catalog, &env, &nq.items)
+        .ok_or_else(|| QueryError::NotInClass("safe: no safe plan exists".to_owned()))
+}
+
+fn plan(
+    catalog: &Catalog,
+    env: &BTreeSet<Var>,
+    items: &[NormalItem],
+) -> Option<SafePlan> {
+    // Line 1: all shared variables eliminated — regular leaf.
+    let shared = shared_vars(items);
+    if shared.iter().all(|v| env.contains(v)) {
+        // Keep only the env variables that actually occur in the leaf.
+        let leaf_vars: BTreeSet<Var> = items
+            .iter()
+            .flat_map(|i| i.base.goal().vars())
+            .collect();
+        let env_vec: Vec<Var> = env.iter().copied().filter(|v| leaf_vars.contains(v)).collect();
+        return Some(SafePlan::Reg {
+            env: env_vec,
+            items: items.to_vec(),
+        });
+    }
+    // Line 3: eliminate a syntactically independent variable.
+    for x in &shared {
+        if !env.contains(x) && syntactically_independent(catalog, items, *x) {
+            let mut env2 = env.clone();
+            env2.insert(*x);
+            return Some(SafePlan::Project {
+                var: *x,
+                input: Box::new(plan(catalog, &env2, items)?),
+            });
+        }
+    }
+    // Line 7: split off the last base query with seq. Algorithm 1 writes
+    // the split as `q = q1; g` — a plain subgoal: a Kleene tail would need
+    // chained-unfolding occurrence statistics the seq operator does not
+    // have (and splitting one can smuggle an ungrounded shared variable
+    // past the analysis, e.g. the #P-hard `h2`).
+    if items.len() >= 2 && !items[items.len() - 1].base.is_kleene() {
+        let (prefix, last) = items.split_at(items.len() - 1);
+        let last = &last[0];
+        let prefix_vars: BTreeSet<Var> = prefix
+            .iter()
+            .flat_map(|i| i.base.goal().vars())
+            .collect();
+        let last_vars = last.base.goal().vars();
+        let common_in_env = prefix_vars
+            .intersection(&last_vars)
+            .all(|v| env.contains(v));
+        if common_in_env && streams_disjoint(catalog, prefix, last.base.goal()) {
+            return Some(SafePlan::Seq {
+                input: Box::new(plan(catalog, env, prefix)?),
+                item: last.clone(),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, QueryClass};
+    use crate::ast::{BaseQuery, Cond, Query, Subgoal, Term};
+    use lahar_model::{Interner, Value};
+
+    fn catalog(i: &Interner) -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_stream(i, "R", &["k"], &["v"]).unwrap();
+        c.declare_stream(i, "S", &["k"], &["v"]).unwrap();
+        c.declare_stream(i, "T", &["k"], &["v"]).unwrap();
+        c
+    }
+
+    fn goal(i: &Interner, name: &str, args: Vec<Term>) -> BaseQuery {
+        BaseQuery::Goal {
+            goal: Subgoal {
+                stream_type: i.intern(name),
+                args,
+            },
+            cond: Cond::True,
+        }
+    }
+
+    /// Ex 3.17: the plan for R(x); S(x); T('a', y) is
+    /// seq(π₋ₓ(reg⟨x⟩(R(x); S(x))), T('a', y)).
+    #[test]
+    fn example_3_17_plan_shape() {
+        let i = Interner::new();
+        let c = catalog(&i);
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
+            .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
+            .then(goal(
+                &i,
+                "T",
+                vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
+            ));
+        let nq = NormalQuery::from_query(&q);
+        assert_eq!(classify(&c, &nq), QueryClass::Safe);
+        let plan = compile_safe_plan(&c, &nq).unwrap();
+        match &plan {
+            SafePlan::Seq { input, item } => {
+                assert_eq!(item.base.goal().stream_type, i.intern("T"));
+                match input.as_ref() {
+                    SafePlan::Project { var, input } => {
+                        assert_eq!(*var, x);
+                        match input.as_ref() {
+                            SafePlan::Reg { env, items } => {
+                                assert_eq!(env.as_slice(), &[x]);
+                                assert_eq!(items.len(), 2);
+                            }
+                            other => panic!("expected reg leaf, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected projection, got {other:?}"),
+                }
+            }
+            other => panic!("expected seq at root, got {other:?}"),
+        }
+        // The rendering is stable enough to eyeball.
+        let text = plan.display(&i);
+        assert!(text.contains("seq"), "{text}");
+        assert!(text.contains("π-x"), "{text}");
+        assert!(text.contains("reg<x>"), "{text}");
+    }
+
+    /// A regular query compiles to a bare reg leaf with empty env.
+    #[test]
+    fn regular_query_compiles_to_reg_leaf() {
+        let i = Interner::new();
+        let c = catalog(&i);
+        let q = Query::Base(goal(
+            &i,
+            "R",
+            vec![
+                Term::Const(Value::Str(i.intern("k1"))),
+                Term::Const(Value::Str(i.intern("a"))),
+            ],
+        ));
+        let plan = compile_safe_plan(&c, &NormalQuery::from_query(&q)).unwrap();
+        assert!(matches!(plan, SafePlan::Reg { ref env, .. } if env.is_empty()));
+    }
+
+    /// An extended regular query compiles to π(reg).
+    #[test]
+    fn extended_regular_compiles_to_projected_reg() {
+        let i = Interner::new();
+        let c = catalog(&i);
+        let x = Var(i.intern("x"));
+        let q = Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
+            .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]));
+        let plan = compile_safe_plan(&c, &NormalQuery::from_query(&q)).unwrap();
+        match plan {
+            SafePlan::Project { var, input } => {
+                assert_eq!(var, x);
+                assert!(matches!(*input, SafePlan::Reg { .. }));
+            }
+            other => panic!("expected projection at root, got {other:?}"),
+        }
+    }
+
+    /// Unsafe queries are rejected.
+    #[test]
+    fn unsafe_queries_fail_to_compile() {
+        let i = Interner::new();
+        let c = catalog(&i);
+        let x = Var(i.intern("x"));
+        // h3 = R(); S(x); T(x).
+        let q = Query::Base(goal(
+            &i,
+            "R",
+            vec![
+                Term::Const(Value::Str(i.intern("r"))),
+                Term::Var(Var(i.intern("_1"))),
+            ],
+        ))
+        .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
+        .then(goal(&i, "T", vec![Term::Var(x), Term::Var(Var(i.intern("_3")))]));
+        assert!(compile_safe_plan(&c, &NormalQuery::from_query(&q)).is_err());
+    }
+
+    /// Safe-plan compilation succeeds exactly on the Safe class for the
+    /// paper's example queries (agreement between Def 3.8 and Algorithm 1).
+    #[test]
+    fn planner_agrees_with_classification() {
+        let i = Interner::new();
+        let c = catalog(&i);
+        let x = Var(i.intern("x"));
+        let y = Var(i.intern("y"));
+        let queries = vec![
+            // Safe (Fig 6).
+            Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
+                .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
+                .then(goal(
+                    &i,
+                    "T",
+                    vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
+                )),
+            // Unsafe (h4).
+            Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
+                .then(goal(
+                    &i,
+                    "S",
+                    vec![
+                        Term::Const(Value::Str(i.intern("s"))),
+                        Term::Var(Var(i.intern("_2"))),
+                    ],
+                ))
+                .then(goal(&i, "T", vec![Term::Var(x), Term::Var(Var(i.intern("_3")))])),
+        ];
+        for q in &queries {
+            let nq = NormalQuery::from_query(q);
+            let is_safe = classify(&c, &nq) != QueryClass::Unsafe;
+            assert_eq!(compile_safe_plan(&c, &nq).is_ok(), is_safe);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Denotational semantics of event queries on deterministic worlds
+//! (paper Fig 2), and the possible-world probability oracle.
+//!
+//! This module is the *specification* the rest of the workspace is tested
+//! against: every exact evaluator in `lahar-core` must agree with
+//! [`prob_at`] (which enumerates worlds and sums `μ(W)` over the satisfying
+//! ones, Definition 2.3). It is deliberately simple and set-based rather
+//! than fast.
+
+use crate::ast::{BaseQuery, Cond, Query, Subgoal, Var};
+use crate::matching::{eval_cond, match_event, Binding, QueryError};
+use lahar_model::{Database, World};
+use std::collections::{BTreeSet, HashSet};
+
+/// A result event: a binding of the query's free variables plus the
+/// timestamp at which the query completed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultEvent {
+    /// Values of the free variables.
+    pub binding: Binding,
+    /// The completion timestamp `T`.
+    pub t: u32,
+}
+
+/// Evaluates `⟦q⟧W`: the set of result events of `q` on the world `world`.
+pub fn eval_query(
+    db: &Database,
+    world: &World,
+    q: &Query,
+) -> Result<HashSet<ResultEvent>, QueryError> {
+    match q {
+        Query::Base(BaseQuery::Goal { goal, cond }) => eval_goal(db, world, goal, cond),
+        Query::Base(BaseQuery::Kleene {
+            goal,
+            cond,
+            shared,
+            each,
+        }) => eval_kleene(db, world, None, goal, cond, shared, each),
+        Query::Seq(q1, bq) => {
+            let prefix = eval_query(db, world, q1)?;
+            match bq {
+                BaseQuery::Goal { goal, cond } => seq_step(db, world, &prefix, goal, cond),
+                BaseQuery::Kleene {
+                    goal,
+                    cond,
+                    shared,
+                    each,
+                } => eval_kleene(db, world, Some(prefix), goal, cond, shared, each),
+            }
+        }
+        Query::Select(cond, q1) => {
+            let inner = eval_query(db, world, q1)?;
+            let mut out = HashSet::new();
+            for e in inner {
+                if eval_cond(db, cond, &e.binding)? {
+                    out.insert(e);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `⟦σθ(g)⟧W`: every event matching the guarded subgoal.
+fn eval_goal(
+    db: &Database,
+    world: &World,
+    goal: &Subgoal,
+    cond: &Cond,
+) -> Result<HashSet<ResultEvent>, QueryError> {
+    let mut out = HashSet::new();
+    for event in world.events() {
+        if let Some(binding) = match_event(db, goal, cond, event, &Binding::new())? {
+            out.insert(ResultEvent {
+                binding,
+                t: event.t,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One sequencing step `q1 ; σθ(g)` (Fig 2): pair every prefix result with
+/// its *earliest* strictly-later successor among events matching the
+/// guarded subgoal under the shared-variable constraints.
+fn seq_step(
+    db: &Database,
+    world: &World,
+    prefix: &HashSet<ResultEvent>,
+    goal: &Subgoal,
+    cond: &Cond,
+) -> Result<HashSet<ResultEvent>, QueryError> {
+    let mut out = HashSet::new();
+    for e1 in prefix {
+        let mut best_t: Option<u32> = None;
+        let mut best: Vec<Binding> = Vec::new();
+        for event in world.events() {
+            if event.t <= e1.t {
+                continue;
+            }
+            if let Some(t) = best_t {
+                if event.t > t {
+                    // Events are sorted by timestamp; nothing later can win.
+                    break;
+                }
+            }
+            if let Some(extended) = match_event(db, goal, cond, event, &e1.binding)? {
+                match best_t {
+                    Some(t) if event.t == t => best.push(extended),
+                    _ => {
+                        best_t = Some(event.t);
+                        best = vec![extended];
+                    }
+                }
+            }
+        }
+        if let Some(t) = best_t {
+            for binding in best {
+                out.insert(ResultEvent { binding, t });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Restricts a binding to the given variables (the fresh-renaming
+/// substitution `F_V̄` of Fig 2, realized as projection).
+fn project(binding: &Binding, keep: &BTreeSet<Var>) -> Binding {
+    binding
+        .iter()
+        .filter(|(v, _)| keep.contains(v))
+        .map(|(v, val)| (*v, *val))
+        .collect()
+}
+
+/// `⟦q1 ; (σθ1(g))+⟨V, θ2⟩⟧W` (or the standalone Kleene when `prefix` is
+/// `None`): the union over all unfolding counts of repeated sequencing
+/// steps, with non-shared subgoal variables forgotten between repetitions
+/// and `θ2` applied to every repetition.
+fn eval_kleene(
+    db: &Database,
+    world: &World,
+    prefix: Option<HashSet<ResultEvent>>,
+    goal: &Subgoal,
+    cond: &Cond,
+    shared: &[Var],
+    each: &Cond,
+) -> Result<HashSet<ResultEvent>, QueryError> {
+    // Variables surviving each repetition: the prefix's free variables plus
+    // the shared set V.
+    let mut keep: BTreeSet<Var> = shared.iter().copied().collect();
+    if let Some(p) = &prefix {
+        for e in p {
+            keep.extend(e.binding.keys().copied());
+        }
+    }
+
+    // First unfolding.
+    let first = match &prefix {
+        None => eval_goal(db, world, goal, cond)?,
+        Some(p) => seq_step(db, world, p, goal, cond)?,
+    };
+    let mut frontier = apply_each_and_project(db, first, each, &keep)?;
+    let mut results = frontier.clone();
+
+    // Subsequent unfoldings; each strictly advances the timestamp, so the
+    // loop ends once the frontier empties (at most t_max + 1 rounds).
+    while !frontier.is_empty() {
+        let stepped = seq_step(db, world, &frontier, goal, cond)?;
+        frontier = apply_each_and_project(db, stepped, each, &keep)?;
+        let before = results.len();
+        results.extend(frontier.iter().cloned());
+        if results.len() == before && frontier.iter().all(|e| results.contains(e)) {
+            // All new results already known; timestamps still advance, so
+            // continuing cannot add anything new through this frontier.
+            break;
+        }
+    }
+    Ok(results)
+}
+
+fn apply_each_and_project(
+    db: &Database,
+    events: HashSet<ResultEvent>,
+    each: &Cond,
+    keep: &BTreeSet<Var>,
+) -> Result<HashSet<ResultEvent>, QueryError> {
+    let mut out = HashSet::new();
+    for e in events {
+        if eval_cond(db, each, &e.binding)? {
+            out.insert(ResultEvent {
+                binding: project(&e.binding, keep),
+                t: e.t,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// `W ⊨ q@t`: true when some result event of `q` on `world` has timestamp
+/// `t` (paper §2.2).
+pub fn satisfied_at(db: &Database, world: &World, q: &Query, t: u32) -> Result<bool, QueryError> {
+    Ok(eval_query(db, world, q)?.iter().any(|e| e.t == t))
+}
+
+/// The possible-world oracle: `μ(q@t) = Σ_{W ⊨ q@t} μ(W)`
+/// (Definition 2.3). Exponential; test-sized databases only.
+pub fn prob_at(db: &Database, q: &Query, t: u32) -> Result<f64, QueryError> {
+    let mut total = 0.0;
+    for (world, p) in db.enumerate_worlds() {
+        if satisfied_at(db, &world, q, t)? {
+            total += p;
+        }
+    }
+    Ok(total)
+}
+
+/// The oracle for every timestep `0 .. horizon` in one world enumeration.
+pub fn prob_series(db: &Database, q: &Query) -> Result<Vec<f64>, QueryError> {
+    let horizon = db.horizon();
+    let mut out = vec![0.0; horizon as usize];
+    for (world, p) in db.enumerate_worlds() {
+        let results = eval_query(db, &world, q)?;
+        let mut hit = vec![false; horizon as usize];
+        for e in &results {
+            if (e.t as usize) < hit.len() {
+                hit[e.t as usize] = true;
+            }
+        }
+        for (slot, h) in out.iter_mut().zip(hit) {
+            if h {
+                *slot += p;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Term};
+    use lahar_model::{tuple, Value};
+
+    /// Builds the deterministic world of Ex 3.11: R(a)@1, R(c)@2, R(b)@3.
+    fn ex311() -> (Database, World) {
+        let mut db = Database::new();
+        db.declare_stream("R", &[], &["y"]).unwrap();
+        let i = db.interner().clone();
+        let ev = |val: &str, t: u32| lahar_model::GroundEvent {
+            stream_type: i.intern("R"),
+            key: tuple(Vec::<Value>::new()),
+            values: tuple([i.intern(val)]),
+            t,
+        };
+        let world = World::new(vec![ev("a", 1), ev("c", 2), ev("b", 3)], 3);
+        (db, world)
+    }
+
+    fn r_goal(db: &Database, term: Term) -> BaseQuery {
+        BaseQuery::Goal {
+            goal: Subgoal {
+                stream_type: db.interner().intern("R"),
+                args: vec![term],
+            },
+            cond: Cond::True,
+        }
+    }
+
+    #[test]
+    fn example_3_11_qf_vs_qs() {
+        let (db, w) = ex311();
+        let i = db.interner().clone();
+        let a = Term::Const(Value::Str(i.intern("a")));
+        let b = Term::Const(Value::Str(i.intern("b")));
+        let y = Var(i.intern("y"));
+
+        // q_f = R(a); R(b): successor search restricted to R(b) events.
+        let qf = Query::Base(r_goal(&db, a)).then(r_goal(&db, b));
+        assert!(satisfied_at(&db, &w, &qf, 3).unwrap());
+        assert!(!satisfied_at(&db, &w, &qf, 2).unwrap());
+
+        // q_s = σ_{y='b'}(R(a); R(y)): successor is R(c)@2, which then
+        // fails the selection — never satisfied.
+        let qs = Query::Base(r_goal(&db, a))
+            .then(r_goal(&db, Term::Var(y)))
+            .select(Cond::Cmp {
+                op: CmpOp::Eq,
+                lhs: Term::Var(y),
+                rhs: Term::Const(Value::Str(i.intern("b"))),
+            });
+        for t in 0..4 {
+            assert!(
+                !satisfied_at(&db, &w, &qs, t).unwrap(),
+                "q_s must never be satisfied (t = {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn goal_returns_all_matches() {
+        let (db, w) = ex311();
+        let i = db.interner().clone();
+        let y = Var(i.intern("y"));
+        let q = Query::Base(r_goal(&db, Term::Var(y)));
+        let r = eval_query(&db, &w, &q).unwrap();
+        assert_eq!(r.len(), 3);
+        let ts: BTreeSet<u32> = r.iter().map(|e| e.t).collect();
+        assert_eq!(ts, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn sequence_takes_earliest_successor_only() {
+        let (db, w) = ex311();
+        let i = db.interner().clone();
+        let a = Term::Const(Value::Str(i.intern("a")));
+        let y = Var(i.intern("y"));
+        // R(a); R(y): the only successor of R(a)@1 is R(c)@2.
+        let q = Query::Base(r_goal(&db, a)).then(r_goal(&db, Term::Var(y)));
+        let r = eval_query(&db, &w, &q).unwrap();
+        assert_eq!(r.len(), 1);
+        let e = r.iter().next().unwrap();
+        assert_eq!(e.t, 2);
+        assert_eq!(e.binding[&y], Value::Str(i.intern("c")));
+    }
+
+    #[test]
+    fn kleene_unfolds_and_projects() {
+        let (db, w) = ex311();
+        let i = db.interner().clone();
+        let y = Var(i.intern("y"));
+        // (R(y))+<> : matches at t=1 (one unfolding), t=2 (one or two), t=3.
+        let q = Query::Base(BaseQuery::Kleene {
+            goal: Subgoal {
+                stream_type: i.intern("R"),
+                args: vec![Term::Var(y)],
+            },
+            cond: Cond::True,
+            shared: vec![],
+            each: Cond::True,
+        });
+        let r = eval_query(&db, &w, &q).unwrap();
+        let ts: BTreeSet<u32> = r.iter().map(|e| e.t).collect();
+        assert_eq!(ts, BTreeSet::from([1, 2, 3]));
+        // Bindings are projected away (V = ∅).
+        assert!(r.iter().all(|e| e.binding.is_empty()));
+    }
+
+    #[test]
+    fn kleene_shared_variable_constrains_repetitions() {
+        let mut db = Database::new();
+        db.declare_stream("At", &["p"], &["l"]).unwrap();
+        let i = db.interner().clone();
+        let ev = |p: &str, l: &str, t: u32| lahar_model::GroundEvent {
+            stream_type: i.intern("At"),
+            key: tuple([i.intern(p)]),
+            values: tuple([i.intern(l)]),
+            t,
+        };
+        // joe@h1(1), sue@h2(2), joe@h3(3).
+        let w = World::new(vec![ev("joe", "h1", 1), ev("sue", "h2", 2), ev("joe", "h3", 3)], 3);
+        let p = Var(i.intern("p"));
+        let l = Var(i.intern("l"));
+        let q = Query::Base(BaseQuery::Kleene {
+            goal: Subgoal {
+                stream_type: i.intern("At"),
+                args: vec![Term::Var(p), Term::Var(l)],
+            },
+            cond: Cond::True,
+            shared: vec![p],
+            each: Cond::True,
+        });
+        let r = eval_query(&db, &w, &q).unwrap();
+        // Unfoldings: singletons at t=1,2,3; joe-chain 1->3... but the
+        // successor of joe@1 among At(joe, l') is At(joe,h3)@3 — sue@2 does
+        // not block because p is bound to joe. Also sue@2 alone.
+        let joe = Value::Str(i.intern("joe"));
+        assert!(r.contains(&ResultEvent {
+            binding: Binding::from([(p, joe)]),
+            t: 3
+        }));
+        assert_eq!(r.len(), 3, "{r:?}");
+    }
+
+    #[test]
+    fn select_filters_on_free_vars() {
+        let (db, w) = ex311();
+        let i = db.interner().clone();
+        let y = Var(i.intern("y"));
+        let q = Query::Base(r_goal(&db, Term::Var(y))).select(Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Term::Var(y),
+            rhs: Term::Const(Value::Str(i.intern("c"))),
+        });
+        let r = eval_query(&db, &w, &q).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().t, 2);
+    }
+
+    #[test]
+    fn prob_oracle_on_tiny_probabilistic_db() {
+        use lahar_model::StreamBuilder;
+        let mut db = Database::new();
+        db.declare_stream("R", &["k"], &["y"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "R", &["k1"], &["a", "b"]);
+        let m0 = b.marginal(&[("a", 0.5), ("b", 0.5)]).unwrap();
+        let m1 = b.marginal(&[("b", 0.4)]).unwrap();
+        let s = b.independent(vec![m0, m1]).unwrap();
+        db.add_stream(s).unwrap();
+
+        // q = R(k, 'b') — true at t=0 with prob 0.5, at t=1 with prob 0.4.
+        let k = Var(i.intern("k"));
+        let q = Query::Base(BaseQuery::Goal {
+            goal: Subgoal {
+                stream_type: i.intern("R"),
+                args: vec![Term::Var(k), Term::Const(Value::Str(i.intern("b")))],
+            },
+            cond: Cond::True,
+        });
+        assert!((prob_at(&db, &q, 0).unwrap() - 0.5).abs() < 1e-9);
+        assert!((prob_at(&db, &q, 1).unwrap() - 0.4).abs() < 1e-9);
+        let series = prob_series(&db, &q).unwrap();
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 0.5).abs() < 1e-9);
+        assert!((series[1] - 0.4).abs() < 1e-9);
+    }
+}

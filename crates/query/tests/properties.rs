@@ -1,0 +1,293 @@
+//! Property tests for the query crate: parser round-trips, normalization
+//! equivalence against the reference semantics, and classification
+//! consistency with the planner.
+
+use lahar_model::{tuple, Database, GroundEvent, Interner, Value, World};
+use lahar_query::{
+    classify, compile_safe_plan, eval_query, parse_query, BaseQuery, Cond, NormalQuery, Query,
+    QueryClass, Subgoal, Term, Var,
+};
+use proptest::prelude::*;
+
+const STREAMS: [&str; 2] = ["At", "Go"];
+const CONSTS: [&str; 3] = ["a", "b", "c"];
+const VARS: [&str; 3] = ["x", "y", "z"];
+const RELS: [&str; 2] = ["Hall", "Room"];
+
+fn interner() -> Interner {
+    Interner::new()
+}
+
+#[derive(Debug, Clone)]
+enum TermSpec {
+    Var(usize),
+    Const(usize),
+}
+
+fn term_spec() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(TermSpec::Var),
+        (0..CONSTS.len()).prop_map(TermSpec::Const),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GoalSpec {
+    stream: usize,
+    args: Vec<TermSpec>,
+}
+
+fn goal_spec() -> impl Strategy<Value = GoalSpec> {
+    (0..STREAMS.len(), prop::collection::vec(term_spec(), 2))
+        .prop_map(|(stream, args)| GoalSpec { stream, args })
+}
+
+#[derive(Debug, Clone)]
+enum CondSpec {
+    True,
+    Rel(usize, TermSpec),
+    Eq(TermSpec, TermSpec),
+    And(Box<CondSpec>, Box<CondSpec>),
+    Not(Box<CondSpec>),
+}
+
+fn cond_spec() -> impl Strategy<Value = CondSpec> {
+    let leaf = prop_oneof![
+        Just(CondSpec::True),
+        ((0..RELS.len()), term_spec()).prop_map(|(r, t)| CondSpec::Rel(r, t)),
+        (term_spec(), term_spec()).prop_map(|(a, b)| CondSpec::Eq(a, b)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CondSpec::And(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| CondSpec::Not(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+#[derive(Debug, Clone)]
+enum ItemSpec {
+    Goal(GoalSpec, CondSpec),
+    Kleene(GoalSpec, Vec<usize>),
+}
+
+fn item_spec() -> impl Strategy<Value = ItemSpec> {
+    prop_oneof![
+        (goal_spec(), cond_spec()).prop_map(|(g, c)| ItemSpec::Goal(g, c)),
+        (goal_spec(), prop::collection::vec(0..VARS.len(), 0..2))
+            .prop_map(|(g, v)| ItemSpec::Kleene(g, v)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    items: Vec<ItemSpec>,
+    select: Option<CondSpec>,
+}
+
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::collection::vec(item_spec(), 1..4),
+        prop::option::of(cond_spec()),
+    )
+        .prop_map(|(items, select)| QuerySpec { items, select })
+}
+
+fn build_term(i: &Interner, t: &TermSpec) -> Term {
+    match t {
+        TermSpec::Var(v) => Term::Var(Var(i.intern(VARS[*v]))),
+        TermSpec::Const(c) => Term::Const(Value::Str(i.intern(CONSTS[*c]))),
+    }
+}
+
+fn build_cond(i: &Interner, c: &CondSpec) -> Cond {
+    match c {
+        CondSpec::True => Cond::True,
+        CondSpec::Rel(r, t) => Cond::Rel {
+            name: i.intern(RELS[*r]),
+            args: vec![build_term(i, t)],
+        },
+        CondSpec::Eq(a, b) => Cond::Cmp {
+            op: lahar_query::CmpOp::Eq,
+            lhs: build_term(i, a),
+            rhs: build_term(i, b),
+        },
+        // The smart constructor collapses `true` operands, matching what
+        // the parser produces — keeps generated conditions canonical.
+        CondSpec::And(a, b) => build_cond(i, a).and(build_cond(i, b)),
+        CondSpec::Not(a) => Cond::Not(Box::new(build_cond(i, a))),
+    }
+}
+
+fn build_goal(i: &Interner, g: &GoalSpec) -> Subgoal {
+    Subgoal {
+        stream_type: i.intern(STREAMS[g.stream]),
+        args: g.args.iter().map(|t| build_term(i, t)).collect(),
+    }
+}
+
+/// Builds a syntactically well-formed query from a spec, skipping invalid
+/// combinations (Kleene shared vars must occur in the goal; select vars
+/// must be free).
+fn build_query(i: &Interner, spec: &QuerySpec) -> Option<Query> {
+    let mut q: Option<Query> = None;
+    for item in &spec.items {
+        let base = match item {
+            ItemSpec::Goal(g, c) => {
+                let goal = build_goal(i, g);
+                let cond = build_cond(i, c);
+                // Inner condition variables must be covered by the goal.
+                let gv = goal.vars();
+                if !cond.vars().iter().all(|v| gv.contains(v)) {
+                    return None;
+                }
+                BaseQuery::Goal { goal, cond }
+            }
+            ItemSpec::Kleene(g, shared_idx) => {
+                let goal = build_goal(i, g);
+                let gv = goal.vars();
+                let shared: Vec<Var> = shared_idx
+                    .iter()
+                    .map(|&v| Var(i.intern(VARS[v])))
+                    .collect();
+                if !shared.iter().all(|v| gv.contains(v)) {
+                    return None;
+                }
+                BaseQuery::Kleene {
+                    goal,
+                    cond: Cond::True,
+                    shared,
+                    each: Cond::True,
+                }
+            }
+        };
+        q = Some(match q {
+            None => Query::Base(base),
+            Some(prev) => prev.then(base),
+        });
+    }
+    let mut q = q?;
+    if let Some(c) = &spec.select {
+        let cond = build_cond(i, c);
+        let free = q.free_vars();
+        if !cond.vars().iter().all(|v| free.contains(v)) {
+            return None;
+        }
+        q = q.select(cond);
+    }
+    Some(q)
+}
+
+fn test_db(i: &Interner) -> Database {
+    // Shares the interner through cloned handles: Database::new creates its
+    // own, so instead intern names through the db's interner by re-building.
+    let mut db = Database::new();
+    for st in STREAMS {
+        db.declare_stream(st, &["k"], &["v"]).unwrap();
+    }
+    for r in RELS {
+        db.declare_relation(r, 1).unwrap();
+    }
+    let dbi = db.interner().clone();
+    db.insert_relation_tuple("Hall", tuple([dbi.intern("a")])).unwrap();
+    db.insert_relation_tuple("Room", tuple([dbi.intern("b")])).unwrap();
+    // Keep the external interner aligned.
+    for s in STREAMS.iter().chain(RELS.iter()).chain(CONSTS.iter()).chain(VARS.iter()) {
+        i.intern(s);
+        dbi.intern(s);
+    }
+    db
+}
+
+/// A small random deterministic world over the two stream types.
+fn world_strategy() -> impl Strategy<Value = Vec<(usize, usize, usize, u32)>> {
+    // (stream, key-const, value-const, t)
+    prop::collection::vec(
+        (0..STREAMS.len(), 0..CONSTS.len(), 0..CONSTS.len(), 0u32..5),
+        0..8,
+    )
+}
+
+fn build_world(i: &Interner, events: &[(usize, usize, usize, u32)]) -> World {
+    let evs: Vec<GroundEvent> = events
+        .iter()
+        .map(|&(s, k, v, t)| GroundEvent {
+            stream_type: i.intern(STREAMS[s]),
+            key: tuple([i.intern(CONSTS[k])]),
+            values: tuple([i.intern(CONSTS[v])]),
+            t,
+        })
+        .collect();
+    World::new(evs, 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// display() output re-parses to the identical AST (anonymous-variable
+    /// free queries).
+    #[test]
+    fn display_parse_round_trip(spec in query_spec()) {
+        let i = interner();
+        let Some(q) = build_query(&i, &spec) else { return Ok(()); };
+        let text = q.display(&i);
+        let parsed = parse_query(&i, &text)
+            .unwrap_or_else(|e| panic!("reparsing {text:?}: {e}"));
+        prop_assert_eq!(parsed, q, "{}", text);
+    }
+
+    /// Normalization (selection push-down) preserves the denotational
+    /// semantics on random worlds.
+    #[test]
+    fn normalization_preserves_semantics(
+        spec in query_spec(),
+        events in world_strategy(),
+    ) {
+        let i = interner();
+        let db = test_db(&i);
+        let Some(q) = build_query(&db.interner().clone(), &spec) else { return Ok(()); };
+        let world = build_world(db.interner(), &events);
+        let nq = NormalQuery::from_query(&q);
+        let back = nq.to_query();
+        let orig = eval_query(&db, &world, &q);
+        let norm = eval_query(&db, &world, &back);
+        match (orig, norm) {
+            (Ok(a), Ok(b)) => {
+                let ta: std::collections::BTreeSet<u32> = a.iter().map(|e| e.t).collect();
+                let tb: std::collections::BTreeSet<u32> = b.iter().map(|e| e.t).collect();
+                prop_assert_eq!(ta, tb, "query {}", q.display(db.interner()));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "one side errored: {:?} vs {:?} for {}",
+                a, b, q.display(db.interner())
+            ),
+        }
+    }
+
+    /// Algorithm 1 succeeds on everything classified Regular or Extended
+    /// Regular (they sit inside Safe), and whenever it succeeds on a
+    /// Safe-classified query the plan's leaf is well-formed.
+    #[test]
+    fn planner_consistent_with_classification(spec in query_spec()) {
+        let i = interner();
+        let db = test_db(&i);
+        let Some(q) = build_query(&db.interner().clone(), &spec) else { return Ok(()); };
+        let nq = NormalQuery::from_query(&q);
+        let class = classify(db.catalog(), &nq);
+        let plan = compile_safe_plan(db.catalog(), &nq);
+        match class {
+            QueryClass::Regular | QueryClass::ExtendedRegular => {
+                prop_assert!(plan.is_ok(), "{} classified {class} but no plan", q.display(db.interner()));
+            }
+            QueryClass::Safe => { /* planner may refuse shapes the exact
+                                     algebra cannot run (Kleene tails) */ }
+            QueryClass::Unsafe => {
+                prop_assert!(plan.is_err(), "{} classified unsafe but planned", q.display(db.interner()));
+            }
+        }
+    }
+}

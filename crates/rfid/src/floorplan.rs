@@ -1,0 +1,350 @@
+//! Building floor plans: typed locations, adjacency, and antenna layout.
+//!
+//! Mirrors the environment of the paper's deployment (Fig 1, Fig 8(a)): an
+//! office building whose hallways are instrumented with RFID antennas
+//! while offices and meeting rooms are not — the *granularity mismatch*
+//! that makes inference necessary.
+
+use std::collections::VecDeque;
+
+/// What kind of place a location is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoomKind {
+    /// A hallway segment (antenna-instrumented corridor).
+    Hallway,
+    /// A private office (no sensors inside).
+    Office,
+    /// A coffee room.
+    CoffeeRoom,
+    /// A lecture/meeting room.
+    LectureRoom,
+    /// A stairwell or elevator connecting floors.
+    Stairs,
+}
+
+impl RoomKind {
+    /// True for enclosed rooms (anything that is not a hallway/stairs).
+    pub fn is_room(self) -> bool {
+        matches!(
+            self,
+            RoomKind::Office | RoomKind::CoffeeRoom | RoomKind::LectureRoom
+        )
+    }
+}
+
+/// A location in the building.
+#[derive(Debug, Clone)]
+pub struct Location {
+    /// Unique name, e.g. `f0-h3` or `f1-office12`.
+    pub name: String,
+    /// The kind of place.
+    pub kind: RoomKind,
+    /// Which floor it is on.
+    pub floor: usize,
+}
+
+/// An RFID antenna.
+#[derive(Debug, Clone)]
+pub struct Antenna {
+    /// Unique name, e.g. `ant-f0-h3`.
+    pub name: String,
+    /// Location ids covered by the antenna's read field.
+    pub covers: Vec<usize>,
+}
+
+/// A building floor plan.
+#[derive(Debug, Clone)]
+pub struct FloorPlan {
+    locations: Vec<Location>,
+    /// Adjacency lists over location ids.
+    adjacency: Vec<Vec<usize>>,
+    antennas: Vec<Antenna>,
+}
+
+impl FloorPlan {
+    /// All locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// All antennas.
+    pub fn antennas(&self) -> &[Antenna] {
+        &self.antennas
+    }
+
+    /// Number of locations.
+    pub fn n_locations(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Neighbors of a location.
+    pub fn neighbors(&self, loc: usize) -> &[usize] {
+        &self.adjacency[loc]
+    }
+
+    /// Id of the location with the given name.
+    pub fn location_id(&self, name: &str) -> Option<usize> {
+        self.locations.iter().position(|l| l.name == name)
+    }
+
+    /// Ids of every location of a kind.
+    pub fn of_kind(&self, kind: RoomKind) -> Vec<usize> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Antennas covering a location.
+    pub fn antennas_covering(&self, loc: usize) -> Vec<usize> {
+        self.antennas
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.covers.contains(&loc))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Breadth-first shortest path between two locations (inclusive of both
+    /// endpoints); `None` when disconnected.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.locations.len()];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = from;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the parametric office building used throughout the
+    /// experiments: `floors` floors, each with `hall_len` hallway segments
+    /// in a line, two offices per segment, a coffee room at one end and a
+    /// lecture room at the other, stairs linking the floors, and one
+    /// antenna per `antenna_every` hallway segments.
+    pub fn office_building(floors: usize, hall_len: usize, antenna_every: usize) -> Self {
+        assert!(floors >= 1 && hall_len >= 2 && antenna_every >= 1);
+        let mut locations = Vec::new();
+        let mut adjacency: Vec<Vec<usize>> = Vec::new();
+        let mut antennas = Vec::new();
+        let add = |locations: &mut Vec<Location>,
+                       adjacency: &mut Vec<Vec<usize>>,
+                       name: String,
+                       kind: RoomKind,
+                       floor: usize| {
+            locations.push(Location { name, kind, floor });
+            adjacency.push(Vec::new());
+            locations.len() - 1
+        };
+        let connect = |adjacency: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        };
+
+        let mut stairs_prev: Option<usize> = None;
+        for f in 0..floors {
+            let halls: Vec<usize> = (0..hall_len)
+                .map(|i| {
+                    add(
+                        &mut locations,
+                        &mut adjacency,
+                        format!("f{f}-h{i}"),
+                        RoomKind::Hallway,
+                        f,
+                    )
+                })
+                .collect();
+            for w in halls.windows(2) {
+                connect(&mut adjacency, w[0], w[1]);
+            }
+            // Two offices per hallway segment, except the end segments,
+            // which are dedicated to the coffee and lecture rooms (keeps
+            // "disappeared near the end of the hall" informative, as in a
+            // real building where the break room sits at the corridor end).
+            for (i, &h) in halls.iter().enumerate() {
+                if i == 0 || i + 1 == hall_len {
+                    continue;
+                }
+                for side in 0..2 {
+                    let o = add(
+                        &mut locations,
+                        &mut adjacency,
+                        format!("f{f}-office{}{}", i, if side == 0 { "a" } else { "b" }),
+                        RoomKind::Office,
+                        f,
+                    );
+                    connect(&mut adjacency, h, o);
+                }
+            }
+            // Coffee room at the start, lecture room at the end.
+            let coffee = add(
+                &mut locations,
+                &mut adjacency,
+                format!("f{f}-coffee"),
+                RoomKind::CoffeeRoom,
+                f,
+            );
+            connect(&mut adjacency, coffee, halls[0]);
+            let lecture = add(
+                &mut locations,
+                &mut adjacency,
+                format!("f{f}-lecture"),
+                RoomKind::LectureRoom,
+                f,
+            );
+            connect(&mut adjacency, lecture, *halls.last().expect("non-empty"));
+            // Stairs in the middle of the hallway.
+            let stairs = add(
+                &mut locations,
+                &mut adjacency,
+                format!("f{f}-stairs"),
+                RoomKind::Stairs,
+                f,
+            );
+            connect(&mut adjacency, stairs, halls[hall_len / 2]);
+            if let Some(prev) = stairs_prev {
+                connect(&mut adjacency, stairs, prev);
+            }
+            stairs_prev = Some(stairs);
+            // Antennas on every `antenna_every`-th hallway segment; each
+            // covers its segment and spills into the neighboring segments
+            // (conflicting-readings source).
+            for (i, &h) in halls.iter().enumerate() {
+                if i % antenna_every == 0 {
+                    let mut covers = vec![h];
+                    if i > 0 {
+                        covers.push(halls[i - 1]);
+                    }
+                    if i + 1 < hall_len {
+                        covers.push(halls[i + 1]);
+                    }
+                    antennas.push(Antenna {
+                        name: format!("ant-f{f}-h{i}"),
+                        covers,
+                    });
+                }
+            }
+        }
+        Self {
+            locations,
+            adjacency,
+            antennas,
+        }
+    }
+
+    /// The default two-floor deployment approximating the paper's
+    /// environment (Fig 8(a)): ~50 locations, hallway antennas, offices
+    /// without coverage.
+    pub fn office_two_floor() -> Self {
+        Self::office_building(2, 8, 2)
+    }
+
+    /// A tiny single-floor plan for tests and the quickstart example.
+    pub fn small_office() -> Self {
+        Self::office_building(1, 3, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_building_shape() {
+        let plan = FloorPlan::office_two_floor();
+        // Per floor: 8 halls + 12 offices + coffee + lecture + stairs = 23.
+        assert_eq!(plan.n_locations(), 46);
+        assert_eq!(plan.of_kind(RoomKind::CoffeeRoom).len(), 2);
+        assert_eq!(plan.of_kind(RoomKind::LectureRoom).len(), 2);
+        assert_eq!(plan.of_kind(RoomKind::Office).len(), 24);
+        // 4 antennas per floor (every 2nd of 8 segments).
+        assert_eq!(plan.antennas().len(), 8);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let plan = FloorPlan::office_two_floor();
+        for u in 0..plan.n_locations() {
+            for &v in plan.neighbors(u) {
+                assert!(plan.neighbors(v).contains(&u), "{u} -> {v} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn offices_attach_only_to_hallways() {
+        let plan = FloorPlan::office_two_floor();
+        for o in plan.of_kind(RoomKind::Office) {
+            assert_eq!(plan.neighbors(o).len(), 1);
+            let h = plan.neighbors(o)[0];
+            assert_eq!(plan.locations()[h].kind, RoomKind::Hallway);
+        }
+    }
+
+    #[test]
+    fn building_is_connected() {
+        let plan = FloorPlan::office_two_floor();
+        for u in 1..plan.n_locations() {
+            let p = plan.shortest_path(0, u);
+            assert!(p.is_some(), "location {u} unreachable");
+            let p = p.unwrap();
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), u);
+            // Path edges respect adjacency.
+            for w in p.windows(2) {
+                assert!(plan.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_floor_paths_use_stairs() {
+        let plan = FloorPlan::office_two_floor();
+        let c0 = plan.location_id("f0-coffee").unwrap();
+        let l1 = plan.location_id("f1-lecture").unwrap();
+        let path = plan.shortest_path(c0, l1).unwrap();
+        assert!(path
+            .iter()
+            .any(|&l| plan.locations()[l].kind == RoomKind::Stairs));
+    }
+
+    #[test]
+    fn antennas_cover_only_hallways() {
+        let plan = FloorPlan::office_two_floor();
+        for a in plan.antennas() {
+            for &l in &a.covers {
+                assert_eq!(plan.locations()[l].kind, RoomKind::Hallway);
+            }
+        }
+        // Offices have no coverage — the granularity mismatch.
+        for o in plan.of_kind(RoomKind::Office) {
+            assert!(plan.antennas_covering(o).is_empty());
+        }
+    }
+
+    #[test]
+    fn shortest_path_identity() {
+        let plan = FloorPlan::small_office();
+        assert_eq!(plan.shortest_path(3, 3), Some(vec![3]));
+    }
+}

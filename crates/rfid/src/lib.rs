@@ -1,0 +1,30 @@
+//! # lahar-rfid — synthetic building-wide RFID deployment
+//!
+//! The data substrate for the Lahar experiments, replacing the paper's
+//! (unavailable) UW RFID Ecosystem traces with a synthetic deployment that
+//! exercises the same inference and query code paths:
+//!
+//! * [`FloorPlan`] — typed locations (hallways, offices, coffee and
+//!   lecture rooms), adjacency, and hallway-mounted antennas;
+//! * [`simulate_person`]/[`simulate_object`] — goal-driven ground-truth
+//!   movement;
+//! * [`observe`]/[`emission_matrix`] — the reader model with missed and
+//!   conflicting readings (read rates 10–90%, paper §1.1);
+//! * [`Deployment`] — the end-to-end pipeline producing filtered
+//!   (independent) and smoothed (Markovian) probabilistic event databases,
+//!   plus ground-truth and Viterbi-MAP worlds for the competitors.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
+
+mod floorplan;
+mod movement;
+mod pipeline;
+mod sensing;
+
+pub use floorplan::{Antenna, FloorPlan, Location, RoomKind};
+pub use movement::{simulate_object, simulate_person, MovementConfig, Object, Person};
+pub use pipeline::{build_location_hmm, Deployment, DeploymentConfig};
+pub use sensing::{
+    detection_rate, emission_matrix, no_reading_symbol, observe, SensingConfig,
+};

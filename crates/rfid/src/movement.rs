@@ -1,0 +1,233 @@
+//! Goal-driven movement simulation: people walking around the building
+//! and the objects they carry.
+//!
+//! Trajectories are the *ground truth* of every quality experiment: the
+//! sensing layer derives noisy observations from them, and query results
+//! are scored against events detected on the true trajectories.
+
+use crate::floorplan::{FloorPlan, RoomKind};
+use rand::Rng;
+
+/// Movement model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MovementConfig {
+    /// Expected dwell time (ticks) once a destination is reached.
+    pub dwell_mean: f64,
+    /// Probability that a finished dwell is followed by a coffee trip.
+    pub p_coffee: f64,
+    /// Probability of heading to a lecture room instead.
+    pub p_lecture: f64,
+    /// Probability of visiting a colleague's office instead.
+    pub p_visit: f64,
+    // Remaining mass returns to the agent's own office.
+}
+
+impl Default for MovementConfig {
+    fn default() -> Self {
+        Self {
+            dwell_mean: 12.0,
+            p_coffee: 0.30,
+            p_lecture: 0.15,
+            p_visit: 0.20,
+        }
+    }
+}
+
+/// A tagged person.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Tag/person name, e.g. `person0`.
+    pub name: String,
+    /// Location id of the person's own office.
+    pub office: usize,
+}
+
+/// A tagged object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Tag/object name, e.g. `object7`.
+    pub name: String,
+    /// Index (into the people list) of the owner.
+    pub owner: usize,
+    /// Where the object lives when not carried.
+    pub home: usize,
+    /// Whether the owner carries it around (as with a badge or laptop) or
+    /// it stays in the office (as with a mug left behind).
+    pub carried: bool,
+}
+
+/// Simulates one person's ground-truth trajectory: location id per tick.
+pub fn simulate_person<R: Rng + ?Sized>(
+    plan: &FloorPlan,
+    person: &Person,
+    all_offices: &[usize],
+    ticks: usize,
+    config: &MovementConfig,
+    rng: &mut R,
+) -> Vec<usize> {
+    let coffee_rooms = plan.of_kind(RoomKind::CoffeeRoom);
+    let lecture_rooms = plan.of_kind(RoomKind::LectureRoom);
+    let mut traj = Vec::with_capacity(ticks);
+    let mut current = person.office;
+    let mut pending_path: Vec<usize> = Vec::new();
+    let mut dwell_left = sample_dwell(config.dwell_mean, rng);
+
+    while traj.len() < ticks {
+        if !pending_path.is_empty() {
+            current = pending_path.remove(0);
+            traj.push(current);
+            if pending_path.is_empty() {
+                dwell_left = sample_dwell(config.dwell_mean, rng);
+            }
+            continue;
+        }
+        if dwell_left > 0 {
+            traj.push(current);
+            dwell_left -= 1;
+            continue;
+        }
+        // Pick the next destination.
+        let u: f64 = rng.gen();
+        let dest = if u < config.p_coffee && !coffee_rooms.is_empty() {
+            coffee_rooms[rng.gen_range(0..coffee_rooms.len())]
+        } else if u < config.p_coffee + config.p_lecture && !lecture_rooms.is_empty() {
+            lecture_rooms[rng.gen_range(0..lecture_rooms.len())]
+        } else if u < config.p_coffee + config.p_lecture + config.p_visit
+            && all_offices.len() > 1
+        {
+            loop {
+                let o = all_offices[rng.gen_range(0..all_offices.len())];
+                if o != person.office {
+                    break o;
+                }
+            }
+        } else {
+            person.office
+        };
+        if dest == current {
+            dwell_left = sample_dwell(config.dwell_mean, rng);
+            continue;
+        }
+        let path = plan
+            .shortest_path(current, dest)
+            .expect("building is connected");
+        // Skip the starting location; walk one hop per tick.
+        pending_path = path[1..].to_vec();
+    }
+    traj
+}
+
+/// Simulates an object's trajectory given its owner's.
+pub fn simulate_object(object: &Object, owner_traj: &[usize]) -> Vec<usize> {
+    if object.carried {
+        owner_traj.to_vec()
+    } else {
+        vec![object.home; owner_traj.len()]
+    }
+}
+
+fn sample_dwell<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+    // Geometric dwell with the given mean (at least 1 tick).
+    let p = 1.0 / mean.max(1.0);
+    let mut n = 1;
+    while rng.gen::<f64>() > p && n < 10_000 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FloorPlan, Person, Vec<usize>) {
+        let plan = FloorPlan::office_two_floor();
+        let offices = plan.of_kind(RoomKind::Office);
+        let person = Person {
+            name: "p0".into(),
+            office: offices[0],
+        };
+        (plan, person, offices)
+    }
+
+    #[test]
+    fn trajectory_has_requested_length_and_respects_adjacency() {
+        let (plan, person, offices) = setup();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let traj = simulate_person(
+            &plan,
+            &person,
+            &offices,
+            500,
+            &MovementConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(traj.len(), 500);
+        for w in traj.windows(2) {
+            assert!(
+                w[0] == w[1] || plan.neighbors(w[0]).contains(&w[1]),
+                "teleport {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn person_eventually_gets_coffee() {
+        let (plan, person, offices) = setup();
+        let coffee = plan.of_kind(RoomKind::CoffeeRoom);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let traj = simulate_person(
+            &plan,
+            &person,
+            &offices,
+            2000,
+            &MovementConfig::default(),
+            &mut rng,
+        );
+        assert!(traj.iter().any(|l| coffee.contains(l)));
+    }
+
+    #[test]
+    fn carried_object_follows_owner_static_object_stays() {
+        let (plan, person, offices) = setup();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let traj = simulate_person(
+            &plan,
+            &person,
+            &offices,
+            200,
+            &MovementConfig::default(),
+            &mut rng,
+        );
+        let carried = Object {
+            name: "laptop".into(),
+            owner: 0,
+            home: person.office,
+            carried: true,
+        };
+        let parked = Object {
+            name: "mug".into(),
+            owner: 0,
+            home: person.office,
+            carried: false,
+        };
+        assert_eq!(simulate_object(&carried, &traj), traj);
+        let static_traj = simulate_object(&parked, &traj);
+        assert!(static_traj.iter().all(|&l| l == person.office));
+        let _ = plan;
+    }
+
+    #[test]
+    fn dwell_times_cluster_near_mean() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mean = 10.0;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_dwell(mean, &mut rng)).sum();
+        let empirical = total as f64 / n as f64;
+        assert!((empirical - mean).abs() < 0.5, "{empirical}");
+    }
+}

@@ -1,0 +1,524 @@
+//! End-to-end deployment pipeline: simulate → sense → infer → build
+//! probabilistic event databases.
+//!
+//! Mirrors the paper's two scenarios (§2.4):
+//!
+//! * **real-time** — particle-filter marginals become *independent*
+//!   streams ([`Deployment::filtered_database`]);
+//! * **archived** — forward–backward smoothing yields smoothed marginals
+//!   plus CPTs, becoming *Markovian* streams
+//!   ([`Deployment::smoothed_database`]).
+//!
+//! Deterministic competitors and ground truth are materialized as
+//! [`World`]s: the MLE stream (argmax marginal per step), the Viterbi MAP
+//! path, and the true trajectories.
+
+use crate::floorplan::{FloorPlan, RoomKind};
+use crate::movement::{simulate_object, simulate_person, MovementConfig, Object, Person};
+use crate::sensing::{emission_matrix, observe, SensingConfig};
+use lahar_hmm::{Hmm, ParticleFilter};
+use lahar_model::{
+    tuple, Cpt, Database, Domain, GroundEvent, Marginal, Stream, StreamId, World,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Full deployment configuration.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Number of floors.
+    pub floors: usize,
+    /// Hallway segments per floor.
+    pub hall_len: usize,
+    /// One antenna per this many hallway segments.
+    pub antenna_every: usize,
+    /// Number of tagged people.
+    pub n_people: usize,
+    /// Number of tagged objects.
+    pub n_objects: usize,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Reader model.
+    pub sensing: SensingConfig,
+    /// Movement model.
+    pub movement: MovementConfig,
+    /// Particle count for real-time inference.
+    pub n_particles: usize,
+    /// RNG seed for the whole pipeline.
+    pub seed: u64,
+    /// HMM prior: probability of staying put in a room.
+    pub stay_room: f64,
+    /// HMM prior: probability of staying put in a hallway segment.
+    pub stay_hall: f64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self {
+            floors: 2,
+            hall_len: 8,
+            antenna_every: 2,
+            n_people: 8,
+            n_objects: 12,
+            ticks: 600,
+            sensing: SensingConfig::default(),
+            movement: MovementConfig::default(),
+            n_particles: 400,
+            seed: 0x5eed,
+            stay_room: 0.85,
+            stay_hall: 0.35,
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// A small configuration for unit tests and examples.
+    pub fn small() -> Self {
+        Self {
+            floors: 1,
+            hall_len: 3,
+            antenna_every: 1,
+            n_people: 2,
+            n_objects: 2,
+            ticks: 120,
+            n_particles: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// A simulated deployment: ground truth, observations, and the inference
+/// model, ready to produce event databases.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The building.
+    pub plan: FloorPlan,
+    /// Tagged people.
+    pub people: Vec<Person>,
+    /// Tagged objects.
+    pub objects: Vec<Object>,
+    /// Ground-truth trajectories, people first then objects.
+    pub truth: Vec<Vec<usize>>,
+    /// Observation sequences (same order as `truth`).
+    pub observations: Vec<Vec<usize>>,
+    /// The location HMM shared by every tag.
+    pub hmm: Hmm,
+    /// The configuration used.
+    pub config: DeploymentConfig,
+}
+
+impl Deployment {
+    /// Runs the full simulation.
+    pub fn simulate(config: DeploymentConfig) -> Self {
+        let plan = FloorPlan::office_building(config.floors, config.hall_len, config.antenna_every);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let offices = plan.of_kind(RoomKind::Office);
+        assert!(
+            config.n_people <= offices.len(),
+            "more people than offices"
+        );
+        let people: Vec<Person> = (0..config.n_people)
+            .map(|i| Person {
+                name: format!("person{i}"),
+                office: offices[i],
+            })
+            .collect();
+        let objects: Vec<Object> = (0..config.n_objects)
+            .map(|i| {
+                let owner = i % config.n_people.max(1);
+                Object {
+                    name: format!("object{i}"),
+                    owner,
+                    home: people[owner].office,
+                    carried: rng.gen::<f64>() < 0.5,
+                }
+            })
+            .collect();
+
+        let mut truth = Vec::with_capacity(people.len() + objects.len());
+        for p in &people {
+            truth.push(simulate_person(
+                &plan,
+                p,
+                &offices[..config.n_people],
+                config.ticks,
+                &config.movement,
+                &mut rng,
+            ));
+        }
+        for o in &objects {
+            let owner_traj = truth[o.owner].clone();
+            truth.push(simulate_object(o, &owner_traj));
+        }
+
+        let observations = truth
+            .iter()
+            .map(|traj| observe(&plan, &config.sensing, traj, &mut rng))
+            .collect();
+
+        let hmm = build_location_hmm(&plan, &config);
+        Self {
+            plan,
+            people,
+            objects,
+            truth,
+            observations,
+            hmm,
+            config,
+        }
+    }
+
+    /// Names of all tags (people then objects).
+    pub fn tag_names(&self) -> Vec<String> {
+        self.people
+            .iter()
+            .map(|p| p.name.clone())
+            .chain(self.objects.iter().map(|o| o.name.clone()))
+            .collect()
+    }
+
+    /// A database holding only catalog and relations (no streams) — the
+    /// deterministic context every variant shares.
+    pub fn base_database(&self) -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["tag"], &["loc"]).unwrap();
+        for (rel, arity) in [
+            ("Person", 1),
+            ("Object", 1),
+            ("Hallway", 1),
+            ("CoffeeRoom", 1),
+            ("LectureRoom", 1),
+            ("Room", 1),
+            ("NotRoom", 1),
+            ("Office", 2),
+        ] {
+            db.declare_relation(rel, arity).unwrap();
+        }
+        let i = db.interner().clone();
+        for p in &self.people {
+            db.insert_relation_tuple("Person", tuple([i.intern(&p.name)]))
+                .unwrap();
+            let office = &self.plan.locations()[p.office].name;
+            db.insert_relation_tuple("Office", tuple([i.intern(&p.name), i.intern(office)]))
+                .unwrap();
+        }
+        for o in &self.objects {
+            db.insert_relation_tuple("Object", tuple([i.intern(&o.name)]))
+                .unwrap();
+        }
+        for loc in self.plan.locations() {
+            let sym = tuple([i.intern(&loc.name)]);
+            match loc.kind {
+                RoomKind::Hallway => {
+                    db.insert_relation_tuple("Hallway", sym.clone()).unwrap();
+                }
+                RoomKind::CoffeeRoom => {
+                    db.insert_relation_tuple("CoffeeRoom", sym.clone()).unwrap();
+                }
+                RoomKind::LectureRoom => {
+                    db.insert_relation_tuple("LectureRoom", sym.clone()).unwrap();
+                }
+                RoomKind::Office | RoomKind::Stairs => {}
+            }
+            if loc.kind.is_room() {
+                db.insert_relation_tuple("Room", sym).unwrap();
+            } else {
+                db.insert_relation_tuple("NotRoom", sym).unwrap();
+            }
+        }
+        db
+    }
+
+    fn location_domain(&self, db: &Database) -> Arc<Domain> {
+        let i = db.interner();
+        let tuples = self
+            .plan
+            .locations()
+            .iter()
+            .map(|l| tuple([i.intern(&l.name)]))
+            .collect();
+        Domain::new(1, tuples).expect("distinct location names")
+    }
+
+    fn stream_id(&self, db: &Database, tag: &str) -> StreamId {
+        StreamId {
+            stream_type: db.interner().intern("At"),
+            key: tuple([db.interner().intern(tag)]),
+        }
+    }
+
+    /// Real-time scenario: per-tag particle-filter marginals as
+    /// independent streams.
+    pub fn filtered_database(&self) -> Database {
+        let mut db = self.base_database();
+        let domain = self.location_domain(&db);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0xf117e5);
+        for (tag, obs) in self.tag_names().iter().zip(&self.observations) {
+            let mut pf = ParticleFilter::new(self.hmm.clone(), self.config.n_particles);
+            let marginals = pf
+                .run(obs, &mut rng)
+                .expect("observations are within the alphabet");
+            let marginals = marginals
+                .into_iter()
+                .map(|m| location_marginal(&domain, &m))
+                .collect();
+            let stream = Stream::independent(self.stream_id(&db, tag), domain.clone(), marginals)
+                .expect("valid marginals");
+            db.add_stream(stream).unwrap();
+        }
+        db
+    }
+
+    /// Archived scenario: forward–backward smoothed marginals + CPTs as
+    /// Markovian streams.
+    pub fn smoothed_database(&self) -> Database {
+        let mut db = self.base_database();
+        let domain = self.location_domain(&db);
+        for (tag, obs) in self.tag_names().iter().zip(&self.observations) {
+            let sm = self.hmm.smooth(obs).expect("valid observations");
+            let initial = location_marginal(&domain, &sm.marginals[0]);
+            let n = self.plan.n_locations();
+            let cpts = sm
+                .cpts
+                .iter()
+                .map(|c| location_cpt(&domain, n, c))
+                .collect();
+            let stream = Stream::markov(self.stream_id(&db, tag), domain.clone(), initial, cpts)
+                .expect("valid CPTs");
+            db.add_stream(stream).unwrap();
+        }
+        db
+    }
+
+    /// The same smoothing output with correlations *discarded*: smoothed
+    /// marginals as independent streams (the paper's ablation showing the
+    /// value of tracking correlations, §4.2.1).
+    pub fn smoothed_independent_database(&self) -> Database {
+        let mut db = self.base_database();
+        let domain = self.location_domain(&db);
+        for (tag, obs) in self.tag_names().iter().zip(&self.observations) {
+            let sm = self.hmm.smooth(obs).expect("valid observations");
+            let marginals = sm
+                .marginals
+                .iter()
+                .map(|m| location_marginal(&domain, m))
+                .collect();
+            let stream = Stream::independent(self.stream_id(&db, tag), domain.clone(), marginals)
+                .expect("valid marginals");
+            db.add_stream(stream).unwrap();
+        }
+        db
+    }
+
+    /// The ground-truth world: one `At(tag, loc)` event per tag per tick.
+    pub fn truth_world(&self, db: &Database) -> World {
+        self.world_from_paths(db, &self.truth)
+    }
+
+    /// The Viterbi MAP world (the paper's archived competitor).
+    pub fn viterbi_world(&self, db: &Database) -> World {
+        let paths: Vec<Vec<usize>> = self
+            .observations
+            .iter()
+            .map(|obs| self.hmm.viterbi(obs).expect("valid observations"))
+            .collect();
+        self.world_from_paths(db, &paths)
+    }
+
+    /// Total number of tuples in the Viterbi paths (Fig 8(b) row).
+    pub fn viterbi_tuple_count(&self) -> usize {
+        self.truth.iter().map(Vec::len).sum()
+    }
+
+    fn world_from_paths(&self, db: &Database, paths: &[Vec<usize>]) -> World {
+        let i = db.interner();
+        let at = i.intern("At");
+        let mut events = Vec::new();
+        for (tag, path) in self.tag_names().iter().zip(paths) {
+            let key = tuple([i.intern(tag)]);
+            for (t, &loc) in path.iter().enumerate() {
+                events.push(GroundEvent {
+                    stream_type: at,
+                    key: key.clone(),
+                    values: tuple([i.intern(&self.plan.locations()[loc].name)]),
+                    t: t as u32,
+                });
+            }
+        }
+        World::new(events, self.config.ticks.saturating_sub(1) as u32)
+    }
+}
+
+/// Builds the shared location HMM from the floor plan: sticky self-loops
+/// (stickier in rooms than hallways), uniform moves to neighbors, and the
+/// reader model as emission matrix.
+pub fn build_location_hmm(plan: &FloorPlan, config: &DeploymentConfig) -> Hmm {
+    let n = plan.n_locations();
+    let mut trans = vec![0.0; n * n];
+    for l in 0..n {
+        let stay = match plan.locations()[l].kind {
+            RoomKind::Hallway => config.stay_hall,
+            RoomKind::Stairs => config.stay_hall,
+            _ => config.stay_room,
+        };
+        let neighbors = plan.neighbors(l);
+        trans[l * n + l] = stay;
+        let share = (1.0 - stay) / neighbors.len() as f64;
+        for &m in neighbors {
+            trans[l * n + m] = share;
+        }
+    }
+    // Uniform prior over locations.
+    let initial = vec![1.0 / n as f64; n];
+    let emit = emission_matrix(plan, &config.sensing);
+    Hmm::new(initial, trans, emit, plan.antennas().len() + 1).expect("valid by construction")
+}
+
+fn location_marginal(domain: &Domain, probs: &[f64]) -> Marginal {
+    // The HMM always places the tag somewhere: ⊥ mass is 0.
+    let mut v = probs.to_vec();
+    v.push(0.0);
+    Marginal::new(domain, v).expect("HMM marginals are normalized")
+}
+
+fn location_cpt(domain: &Domain, n: usize, cpt_row_major: &[f64]) -> Cpt {
+    // HMM CPTs are row-major P[next | prev]; model CPTs are indexed
+    // (next, prev) with an extra ⊥ state that is never entered.
+    let dim = domain.len();
+    let mut data = vec![0.0; dim * dim];
+    for prev in 0..n {
+        for next in 0..n {
+            data[next * dim + prev] = cpt_row_major[prev * n + next];
+        }
+    }
+    // ⊥ stays ⊥ (unreachable, but the matrix must be column-stochastic).
+    data[(dim - 1) * dim + (dim - 1)] = 1.0;
+    Cpt::new(dim, data).expect("HMM CPT rows are stochastic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::Value;
+
+    fn small() -> Deployment {
+        Deployment::simulate(DeploymentConfig::small())
+    }
+
+    #[test]
+    fn simulation_produces_consistent_sizes() {
+        let d = small();
+        assert_eq!(d.truth.len(), 4);
+        assert_eq!(d.observations.len(), 4);
+        for (t, o) in d.truth.iter().zip(&d.observations) {
+            assert_eq!(t.len(), d.config.ticks);
+            assert_eq!(o.len(), d.config.ticks);
+        }
+    }
+
+    #[test]
+    fn filtered_database_has_independent_streams() {
+        let d = small();
+        let db = d.filtered_database();
+        assert_eq!(db.streams().len(), 4);
+        assert!(db.streams().iter().all(|s| !s.is_markov()));
+        assert_eq!(db.horizon(), d.config.ticks as u32);
+        // Every marginal is a distribution with no bottom mass.
+        let s = &db.streams()[0];
+        let m = s.marginal_at(10);
+        assert!(m.prob(s.domain().bottom()) < 1e-12);
+    }
+
+    #[test]
+    fn smoothed_database_has_markov_streams() {
+        let d = small();
+        let db = d.smoothed_database();
+        assert!(db.streams().iter().all(|s| s.is_markov()));
+        assert_eq!(db.streams()[0].len(), d.config.ticks);
+        // Smoothed marginals from the stream must match the HMM smoother.
+        let sm = d.hmm.smooth(&d.observations[0]).unwrap();
+        let stream = &db.streams()[0];
+        let all = stream.all_marginals();
+        for (t, g) in sm.marginals.iter().enumerate().step_by(17) {
+            for (i, &p) in g.iter().enumerate() {
+                assert!(
+                    (all[t].prob(i) - p).abs() < 1e-6,
+                    "t={t} loc={i}: {} vs {p}",
+                    all[t].prob(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truth_world_tracks_trajectories() {
+        let d = small();
+        let db = d.base_database();
+        let w = d.truth_world(&db);
+        assert_eq!(w.len(), 4 * d.config.ticks);
+        // Every event names a real location.
+        let i = db.interner();
+        for e in w.events().iter().take(50) {
+            let name = match e.values[0] {
+                Value::Str(s) => i.resolve(s).unwrap(),
+                other => panic!("unexpected value {other:?}"),
+            };
+            assert!(d.plan.location_id(&name).is_some());
+        }
+    }
+
+    #[test]
+    fn viterbi_world_is_deterministic_and_full_length() {
+        let d = small();
+        let db = d.base_database();
+        let w = d.viterbi_world(&db);
+        assert_eq!(w.len(), 4 * d.config.ticks);
+    }
+
+    #[test]
+    fn relations_are_populated() {
+        let d = small();
+        let db = d.base_database();
+        let i = db.interner().clone();
+        assert_eq!(db.relation(i.intern("Person")).unwrap().len(), 2);
+        assert_eq!(db.relation(i.intern("Object")).unwrap().len(), 2);
+        assert!(!db.relation(i.intern("CoffeeRoom")).unwrap().is_empty());
+        assert!(db.relation(i.intern("Hallway")).unwrap().len() >= 3);
+        assert_eq!(db.relation(i.intern("Office")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn smoothing_beats_filtering_on_truth_likelihood() {
+        // Sanity: the smoothed marginal assigns at least as much mass to
+        // the true location, on average, as the filtered one.
+        let d = small();
+        let filtered = d.filtered_database();
+        let smoothed = d.smoothed_database();
+        let score = |db: &Database| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for (s, truth) in db.streams().iter().zip(&d.truth) {
+                let all = s.all_marginals();
+                for (t, &loc) in truth.iter().enumerate() {
+                    total += all[t].prob(loc);
+                    count += 1.0;
+                }
+            }
+            total / count
+        };
+        let f = score(&filtered);
+        let s = score(&smoothed);
+        assert!(
+            s > f - 0.02,
+            "smoothed {s} should not be worse than filtered {f}"
+        );
+    }
+
+    #[test]
+    fn hmm_shared_across_tags_is_valid() {
+        let d = small();
+        assert_eq!(d.hmm.n_states(), d.plan.n_locations());
+        assert_eq!(d.hmm.n_obs(), d.plan.antennas().len() + 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The RFID reader model: noisy, incomplete observations of tag locations.
+//!
+//! Real deployments detect only 10–90% of tags in range (paper §1.1); we
+//! model each antenna as reading a covered tag with `read_rate` in its
+//! primary segment and `spill_rate` in neighboring segments (the source of
+//! *conflicting readings*). At most one antenna reports per tick; the
+//! antennas covering a location fire in a fixed order and the first wins,
+//! which keeps the generative model and the HMM emission matrix in exact
+//! agreement.
+
+use crate::floorplan::FloorPlan;
+use rand::Rng;
+
+/// Reader model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SensingConfig {
+    /// Detection probability in an antenna's primary segment.
+    pub read_rate: f64,
+    /// Detection probability in the spill-over segments.
+    pub spill_rate: f64,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        Self {
+            read_rate: 0.6,
+            spill_rate: 0.15,
+        }
+    }
+}
+
+/// The observation symbol meaning "no antenna read the tag".
+pub fn no_reading_symbol(plan: &FloorPlan) -> usize {
+    plan.antennas().len()
+}
+
+/// Detection probability of antenna `a` for a tag at location `loc`.
+pub fn detection_rate(plan: &FloorPlan, config: &SensingConfig, a: usize, loc: usize) -> f64 {
+    let covers = &plan.antennas()[a].covers;
+    match covers.iter().position(|&l| l == loc) {
+        Some(0) => config.read_rate,
+        Some(_) => config.spill_rate,
+        None => 0.0,
+    }
+}
+
+/// The emission matrix of the location HMM: `emit[l][o]` for
+/// `o ∈ 0..n_antennas` plus the trailing no-reading symbol.
+pub fn emission_matrix(plan: &FloorPlan, config: &SensingConfig) -> Vec<f64> {
+    let n_loc = plan.n_locations();
+    let n_obs = plan.antennas().len() + 1;
+    let mut emit = vec![0.0; n_loc * n_obs];
+    for l in 0..n_loc {
+        let row = &mut emit[l * n_obs..(l + 1) * n_obs];
+        let mut none = 1.0;
+        for a in 0..plan.antennas().len() {
+            let rate = detection_rate(plan, config, a, l);
+            // First-to-fire-wins ordering.
+            row[a] = rate * none;
+            none *= 1.0 - rate;
+        }
+        row[n_obs - 1] = none;
+    }
+    emit
+}
+
+/// Generates the observation sequence for one ground-truth trajectory.
+pub fn observe<R: Rng + ?Sized>(
+    plan: &FloorPlan,
+    config: &SensingConfig,
+    traj: &[usize],
+    rng: &mut R,
+) -> Vec<usize> {
+    let none = no_reading_symbol(plan);
+    traj.iter()
+        .map(|&loc| {
+            for a in 0..plan.antennas().len() {
+                let rate = detection_rate(plan, config, a, loc);
+                if rate > 0.0 && rng.gen::<f64>() < rate {
+                    return a;
+                }
+            }
+            none
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn emission_rows_are_stochastic() {
+        let plan = FloorPlan::office_two_floor();
+        let emit = emission_matrix(&plan, &SensingConfig::default());
+        let n_obs = plan.antennas().len() + 1;
+        for l in 0..plan.n_locations() {
+            let sum: f64 = emit[l * n_obs..(l + 1) * n_obs].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "location {l}");
+        }
+    }
+
+    #[test]
+    fn offices_always_produce_no_reading() {
+        let plan = FloorPlan::office_two_floor();
+        let emit = emission_matrix(&plan, &SensingConfig::default());
+        let n_obs = plan.antennas().len() + 1;
+        for o in plan.of_kind(crate::floorplan::RoomKind::Office) {
+            assert_eq!(emit[o * n_obs + n_obs - 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn observation_frequencies_match_emission_matrix() {
+        let plan = FloorPlan::office_two_floor();
+        let config = SensingConfig::default();
+        let emit = emission_matrix(&plan, &config);
+        let n_obs = plan.antennas().len() + 1;
+        // A tag parked in a covered hallway segment.
+        let hall = plan.antennas()[0].covers[0];
+        let traj = vec![hall; 50_000];
+        let mut rng = SmallRng::seed_from_u64(9);
+        let obs = observe(&plan, &config, &traj, &mut rng);
+        let mut counts = vec![0usize; n_obs];
+        for o in &obs {
+            counts[*o] += 1;
+        }
+        for o in 0..n_obs {
+            let freq = counts[o] as f64 / traj.len() as f64;
+            let want = emit[hall * n_obs + o];
+            assert!(
+                (freq - want).abs() < 0.01,
+                "obs {o}: {freq} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn spill_gives_conflicting_readings() {
+        let plan = FloorPlan::office_two_floor();
+        let config = SensingConfig {
+            read_rate: 0.9,
+            spill_rate: 0.5,
+        };
+        // A segment covered by two antennas (own + neighbor spill) can be
+        // read by either.
+        let covered_by_two: Vec<usize> = (0..plan.n_locations())
+            .filter(|&l| plan.antennas_covering(l).len() >= 2)
+            .collect();
+        assert!(!covered_by_two.is_empty());
+        let l = covered_by_two[0];
+        let ants = plan.antennas_covering(l);
+        let traj = vec![l; 10_000];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let obs = observe(&plan, &config, &traj, &mut rng);
+        for &a in &ants {
+            assert!(obs.contains(&a), "antenna {a} never fired");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A tour of Lahar's static analysis: classify every query from the paper
+//! and show the compiled safe plans (Algorithm 1).
+//!
+//! Run with: `cargo run --release --example planner_tour`
+
+use lahar::model::Database;
+use lahar::query::{
+    classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass,
+};
+
+fn main() {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    db.declare_stream("Carries", &["person", "object"], &["loc"]).unwrap();
+    db.declare_stream("R", &["k"], &["v"]).unwrap();
+    db.declare_stream("S", &["k"], &["v"]).unwrap();
+    db.declare_stream("T", &["k"], &["v"]).unwrap();
+    for (rel, arity) in [
+        ("Hallway", 1),
+        ("Person", 1),
+        ("Laptop", 1),
+        ("Office", 2),
+        ("CRoom", 1),
+        ("LectureRoom", 1),
+    ] {
+        db.declare_relation(rel, arity).unwrap();
+    }
+
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "q_JoeCoffee (Ex 2.2): Joe got coffee",
+            "At('Joe','220') ; At('Joe', l)[CRoom(l)] ; At('Joe','220')".to_owned(),
+        ),
+        (
+            "q_AnyCoffee (Ex 2.2): anyone straight to coffee",
+            "sigma[Person(p) AND Office(p, l1) AND CRoom(l3)]\
+             ( At(p, l1) ; (At(p, l2))+{p | Hallway(l2)} ; At(p, l3) )"
+                .to_owned(),
+        ),
+        (
+            "q_Joe,hall (Ex 3.2): Joe a -> hallways -> c",
+            "At('Joe','a') ; (At('Joe', l))+{| Hallway(l)} ; At('Joe','c')".to_owned(),
+        ),
+        (
+            "q_hall (Ex 3.6): any person a -> hallways -> c",
+            "sigma[Person(x)](At(x,'a') ; (At(x, l2))+{x | Hallway(l2)} ; At(x,'c'))".to_owned(),
+        ),
+        (
+            "q_talk (Ex 3.9): person+laptop to a lecture room",
+            "sigma[Person(x) AND Laptop(y) AND Office(x, z) AND LectureRoom(u)]\
+             ( Carries(x, y, z) ; (Carries(x, y, _))+{x, y} ; At(x, u) )"
+                .to_owned(),
+        ),
+        (
+            "Fig 6: R(x); S(x); T('a', y)",
+            "R(x, _) ; S(x, _) ; T('a', y)".to_owned(),
+        ),
+        (
+            "h1 (Prop 3.18): non-local predicate",
+            "sigma[x = y](R(x, _) ; S(y, _))".to_owned(),
+        ),
+        (
+            "h2 (Prop 3.18): ungrounded Kleene sharing",
+            "R('r', _) ; (S(x, _))+{x}".to_owned(),
+        ),
+        (
+            "h3 (Prop 3.19): R(); S(x); T(x)",
+            "R('r', _) ; S(x, _) ; T(x, _)".to_owned(),
+        ),
+        (
+            "h4 (Prop 3.19): R(x); S(); T(x)",
+            "R(x, _) ; S('s', _) ; T(x, _)".to_owned(),
+        ),
+    ];
+
+    for (label, src) in queries {
+        println!("== {label}");
+        println!("   {src}");
+        let q = match parse_and_validate(db.catalog(), db.interner(), &src) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("   parse/validation error: {e}\n");
+                continue;
+            }
+        };
+        let nq = NormalQuery::from_query(&q);
+        let class = classify(db.catalog(), &nq);
+        println!("   class: {class}");
+        match class {
+            QueryClass::Unsafe => {
+                println!("   evaluation: Monte Carlo sampling (#P-hard in general)\n");
+            }
+            _ => match compile_safe_plan(db.catalog(), &nq) {
+                Ok(plan) => {
+                    println!("   safe plan:");
+                    for line in plan.display(db.interner()).lines() {
+                        println!("     {line}");
+                    }
+                    println!();
+                }
+                Err(e) => println!("   planner: {e}\n"),
+            },
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! `lahar` — command-line interface to the Lahar engine.
+//!
+//! ```text
+//! lahar simulate --out DIR [--ticks N] [--people N] [--objects N]
+//!                [--seed N] [--archived]     generate a deployment, save streams
+//! lahar classify --manifest DIR QUERY        classify a query and show its plan
+//! lahar query    --manifest DIR QUERY        evaluate μ(q@t) over saved streams
+//! lahar demo                                 built-in end-to-end walkthrough
+//! ```
+//!
+//! `simulate` writes a `manifest.txt` (schema + relations) and one
+//! `<stream>.lstream` binary image per stream; `classify`/`query` load
+//! them back. The on-disk format is `lahar_model::encode_stream`.
+
+use lahar::core::Lahar;
+use lahar::model::{decode_stream, encode_stream, tuple, Database};
+use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
+use lahar::rfid::{Deployment, DeploymentConfig};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "lahar — event queries on correlated probabilistic streams\n\n\
+         USAGE:\n  \
+         lahar simulate --out DIR [--ticks N] [--people N] [--objects N] [--seed N] [--archived]\n  \
+         lahar classify --manifest DIR 'QUERY'\n  \
+         lahar query    --manifest DIR 'QUERY'\n  \
+         lahar demo\n\n\
+         QUERY SYNTAX (see README):\n  \
+         At('joe','a') ; (At('joe', l))+{{| Hallway(l)}} ; At('joe','c')\n  \
+         sigma[Person(p)](At(p,'a') ; At(p,'c'))"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            // Boolean flags take no value when followed by another flag or
+            // nothing.
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_owned(), it.next().unwrap().clone());
+                }
+                _ => {
+                    flags.insert(name.to_owned(), "true".to_owned());
+                }
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let out = PathBuf::from(
+        flags
+            .get("out")
+            .ok_or("simulate requires --out DIR".to_owned())?,
+    );
+    let config = DeploymentConfig {
+        ticks: get_usize(&flags, "ticks", 300)?,
+        n_people: get_usize(&flags, "people", 4)?,
+        n_objects: get_usize(&flags, "objects", 0)?,
+        seed: get_usize(&flags, "seed", 42)? as u64,
+        ..DeploymentConfig::default()
+    };
+    let archived = flags.contains_key("archived");
+    eprintln!(
+        "simulating {} ticks, {} people, {} objects ({}) ...",
+        config.ticks,
+        config.n_people,
+        config.n_objects,
+        if archived { "archived/smoothed" } else { "real-time/filtered" }
+    );
+    let dep = Deployment::simulate(config);
+    let db = if archived {
+        dep.smoothed_database()
+    } else {
+        dep.filtered_database()
+    };
+    fs::create_dir_all(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    write_manifest(&out, &db, &dep)?;
+    for (i, stream) in db.streams().iter().enumerate() {
+        let bytes = encode_stream(db.interner(), stream);
+        let name = stream.id().display(db.interner());
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = out.join(format!("{i:03}_{safe}.lstream"));
+        fs::write(&path, &bytes).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    println!(
+        "wrote {} streams ({} relational tuples) to {}",
+        db.streams().len(),
+        db.relational_tuple_count(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn write_manifest(out: &Path, db: &Database, dep: &Deployment) -> Result<(), String> {
+    let mut manifest = String::new();
+    let i = db.interner();
+    for schema in db.catalog().streams() {
+        let name = i.resolve(schema.name).unwrap_or_default();
+        let attrs: Vec<String> = schema
+            .attrs
+            .iter()
+            .map(|a| i.resolve(*a).unwrap_or_default())
+            .collect();
+        let (keys, vals) = attrs.split_at(schema.key_arity);
+        manifest.push_str(&format!(
+            "stream {name} {} | {}\n",
+            keys.join(" "),
+            vals.join(" ")
+        ));
+    }
+    for schema in db.catalog().relations() {
+        let name = i.resolve(schema.name).unwrap_or_default();
+        if let Some(rel) = db.relation(schema.name) {
+            for t in rel.iter() {
+                let vals: Vec<String> = t
+                    .iter()
+                    .map(|v| match v {
+                        lahar::model::Value::Str(s) => i.resolve(*s).unwrap_or_default(),
+                        lahar::model::Value::Int(n) => n.to_string(),
+                        lahar::model::Value::Bool(b) => b.to_string(),
+                    })
+                    .collect();
+                manifest.push_str(&format!("tuple {name} {}\n", vals.join(" ")));
+            }
+            manifest.push_str(&format!("relation {name} {}\n", schema.arity));
+        }
+    }
+    manifest.push_str(&format!("# people: {}\n", dep.people.len()));
+    let path = out.join("manifest.txt");
+    fs::write(&path, manifest).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn load_database(dir: &Path) -> Result<Database, String> {
+    let manifest = fs::read_to_string(dir.join("manifest.txt"))
+        .map_err(|e| format!("reading manifest in {}: {e}", dir.display()))?;
+    let mut db = Database::new();
+    // Declarations first (relation lines may follow their tuples).
+    let mut pending_tuples: Vec<(String, Vec<String>)> = Vec::new();
+    for line in manifest.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("stream") => {
+                let name = parts.next().ok_or("bad stream line")?;
+                let rest: Vec<&str> = parts.collect();
+                let split = rest
+                    .iter()
+                    .position(|&s| s == "|")
+                    .ok_or("stream line missing '|'")?;
+                let keys: Vec<&str> = rest[..split].to_vec();
+                let vals: Vec<&str> = rest[split + 1..].to_vec();
+                db.declare_stream(name, &keys, &vals)
+                    .map_err(|e| e.to_string())?;
+            }
+            Some("relation") => {
+                let name = parts.next().ok_or("bad relation line")?;
+                let arity: usize = parts
+                    .next()
+                    .ok_or("relation line missing arity")?
+                    .parse()
+                    .map_err(|_| "bad relation arity")?;
+                db.declare_relation(name, arity).map_err(|e| e.to_string())?;
+            }
+            Some("tuple") => {
+                let name = parts.next().ok_or("bad tuple line")?.to_owned();
+                pending_tuples.push((name, parts.map(str::to_owned).collect()));
+            }
+            _ => {}
+        }
+    }
+    let interner = db.interner().clone();
+    for (rel, vals) in pending_tuples {
+        let t = tuple(vals.iter().map(|v| interner.intern(v)));
+        db.insert_relation_tuple(&rel, t).map_err(|e| e.to_string())?;
+    }
+    // Stream images.
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lstream"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let stream = decode_stream(&interner, bytes.into())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        db.add_stream(stream).map_err(|e| e.to_string())?;
+    }
+    Ok(db)
+}
+
+fn manifest_db(args: &[String]) -> Result<(Database, String), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("requires --manifest DIR".to_owned())?,
+    );
+    let query = positional
+        .first()
+        .ok_or("requires a query argument".to_owned())?
+        .clone();
+    Ok((load_database(&dir)?, query))
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let (db, src) = manifest_db(args)?;
+    let q = parse_and_validate(db.catalog(), db.interner(), &src).map_err(|e| e.to_string())?;
+    let nq = NormalQuery::from_query(&q);
+    let class = classify(db.catalog(), &nq);
+    println!("query:  {src}");
+    println!("class:  {class}");
+    match class {
+        QueryClass::Unsafe => {
+            println!("plan:   none (provably #P-hard; the engine samples)");
+        }
+        _ => match compile_safe_plan(db.catalog(), &nq) {
+            Ok(plan) => {
+                println!("plan:");
+                for line in plan.display(db.interner()).lines() {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => println!("plan:   {e}"),
+        },
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (db, src) = manifest_db(args)?;
+    let compiled = Lahar::compile(&db, &src).map_err(|e| e.to_string())?;
+    let algorithm = compiled.algorithm();
+    let series = compiled
+        .prob_series(db.horizon())
+        .map_err(|e| e.to_string())?;
+    eprintln!("algorithm: {algorithm}");
+    println!("t,probability");
+    for (t, p) in series.iter().enumerate() {
+        println!("{t},{p:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("lahar-demo");
+    let _ = fs::remove_dir_all(&dir);
+    cmd_simulate(&[
+        "--out".to_owned(),
+        dir.display().to_string(),
+        "--ticks".to_owned(),
+        "120".to_owned(),
+        "--people".to_owned(),
+        "2".to_owned(),
+    ])?;
+    println!("\n--- classify ---");
+    cmd_classify(&[
+        "--manifest".to_owned(),
+        dir.display().to_string(),
+        "At('person0', l1)[NotRoom(l1)] ; At('person0', l2)[CoffeeRoom(l2)]".to_owned(),
+    ])?;
+    println!("\n--- query (first 10 rows) ---");
+    let (db, src) = manifest_db(&[
+        "--manifest".to_owned(),
+        dir.display().to_string(),
+        "At(p, l1)[NotRoom(l1)] ; At(p, l2)[CoffeeRoom(l2)]".to_owned(),
+    ])?;
+    let series = Lahar::prob_series(&db, &src).map_err(|e| e.to_string())?;
+    for (t, p) in series.iter().take(10).enumerate() {
+        println!("t={t}: {p:.4}");
+    }
+    println!("...\ndemo data left in {}", dir.display());
+    Ok(())
+}

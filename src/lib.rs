@@ -1,0 +1,41 @@
+//! # Lahar — event queries on correlated probabilistic streams
+//!
+//! A faithful, from-scratch Rust implementation of the Lahar system from
+//! *Event Queries on Correlated Probabilistic Streams* (Ré, Letchner,
+//! Balazinska, Suciu — SIGMOD 2008): a complex-event-processing engine
+//! whose inputs are **probabilistic** event streams (per-timestep
+//! distributions over event values, optionally with Markovian correlations
+//! encoded as conditional probability tables) and whose answers are
+//! probabilities `μ(q@t)` over possible worlds.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`model`] — the probabilistic event data model and possible-world
+//!   semantics;
+//! * [`query`] — the Cayuga-subset query language, denotational semantics,
+//!   static analysis (Regular / Extended Regular / Safe / Unsafe), and the
+//!   Algorithm-1 safe-plan compiler;
+//! * [`automata`] — symbolic regexes and NFAs over set-predicate alphabets;
+//! * [`core`] — the evaluators: streaming Markov chains, per-key chains,
+//!   the safe-plan interval algebra, and the bitvector Monte Carlo sampler;
+//! * [`hmm`] — HMM inference: filtering, smoothing (with CPT extraction),
+//!   Viterbi, and particle filtering;
+//! * [`rfid`] — the synthetic building-wide RFID deployment that stands in
+//!   for the paper's UW RFID Ecosystem traces;
+//! * [`baselines`] — the MLE and MAP (Viterbi) deterministic competitors;
+//! * [`metrics`] — skew-tolerant precision/recall/F1.
+//!
+//! Start with [`core::Lahar`] and the `examples/` directory.
+
+pub use lahar_automata as automata;
+pub use lahar_baselines as baselines;
+pub use lahar_core as core;
+pub use lahar_hmm as hmm;
+pub use lahar_metrics as metrics;
+pub use lahar_model as model;
+pub use lahar_query as query;
+pub use lahar_rfid as rfid;
+
+pub use lahar_core::{Algorithm, CompiledQuery, EngineError, Lahar};
+pub use lahar_model::{Database, StreamBuilder};
+pub use lahar_query::QueryClass;

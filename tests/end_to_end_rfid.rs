@@ -1,0 +1,146 @@
+//! End-to-end integration: the full RFID pipeline (simulate → sense →
+//! infer → query → score) reproduces the paper's headline quality claims
+//! as *tests*, not just benchmark printouts.
+
+use lahar::baselines::{detect_series, mle_world};
+use lahar::core::Lahar;
+use lahar::metrics::{episodes, score_per_key, threshold, Episode};
+use lahar::rfid::{Deployment, DeploymentConfig};
+
+fn coffee_query(person: &str) -> String {
+    format!(
+        "At('{person}', l1)[NotRoom(l1)] ; At('{person}', l2)[NotRoom(l2)] ; \
+         At('{person}', l3)[CoffeeRoom(l3)]"
+    )
+}
+
+fn deployment() -> Deployment {
+    Deployment::simulate(DeploymentConfig {
+        ticks: 300,
+        n_people: 4,
+        n_objects: 0,
+        seed: 1234,
+        ..DeploymentConfig::default()
+    })
+}
+
+#[test]
+fn realtime_lahar_beats_mle_on_f1() {
+    let dep = deployment();
+    let base = dep.base_database();
+    let truth_world = dep.truth_world(&base);
+    let filtered = dep.filtered_database();
+    let mle = mle_world(&filtered);
+    let d = 15;
+    let rho = 0.15;
+
+    let mut lahar_pairs = Vec::new();
+    let mut mle_pairs = Vec::new();
+    let mut any_truth = false;
+    for p in &dep.people {
+        let q = coffee_query(&p.name);
+        let truth_eps = episodes(&detect_series(&base, &truth_world, &q).unwrap());
+        any_truth |= !truth_eps.is_empty();
+        let probs = Lahar::prob_series(&filtered, &q).unwrap();
+        lahar_pairs.push((episodes(&threshold(&probs, rho)), truth_eps.clone()));
+        mle_pairs.push((
+            episodes(&detect_series(&base, &mle, &q).unwrap()),
+            truth_eps,
+        ));
+    }
+    assert!(any_truth, "the trace must contain coffee events");
+    let lahar_q = score_per_key(&lahar_pairs, d);
+    let mle_q = score_per_key(&mle_pairs, d);
+    assert!(
+        lahar_q.f1 >= mle_q.f1,
+        "Lahar must not lose to MLE on F1 (lahar {:.3} vs mle {:.3})",
+        lahar_q.f1,
+        mle_q.f1
+    );
+    assert!(lahar_q.recall > 0.3, "recall unexpectedly low: {lahar_q:?}");
+}
+
+#[test]
+fn archived_lahar_beats_viterbi_on_f1() {
+    let dep = deployment();
+    let base = dep.base_database();
+    let truth_world = dep.truth_world(&base);
+    let smoothed = dep.smoothed_database();
+    let viterbi = dep.viterbi_world(&base);
+    let d = 15;
+    let rho = 0.1;
+
+    let mut lahar_pairs = Vec::new();
+    let mut vit_pairs = Vec::new();
+    for p in &dep.people {
+        let q = coffee_query(&p.name);
+        let truth_eps = episodes(&detect_series(&base, &truth_world, &q).unwrap());
+        let probs = Lahar::prob_series(&smoothed, &q).unwrap();
+        lahar_pairs.push((episodes(&threshold(&probs, rho)), truth_eps.clone()));
+        vit_pairs.push((
+            episodes(&detect_series(&base, &viterbi, &q).unwrap()),
+            truth_eps,
+        ));
+    }
+    let lahar_q = score_per_key(&lahar_pairs, d);
+    let vit_q = score_per_key(&vit_pairs, d);
+    assert!(
+        lahar_q.f1 > vit_q.f1,
+        "Lahar(Markov) must beat Viterbi MAP on F1 (lahar {:.3} vs viterbi {:.3})",
+        lahar_q.f1,
+        vit_q.f1
+    );
+}
+
+#[test]
+fn coffee_query_is_regular_and_runs_on_both_scenarios() {
+    let dep = Deployment::simulate(DeploymentConfig::small());
+    let filtered = dep.filtered_database();
+    let smoothed = dep.smoothed_database();
+    let q = coffee_query("person0");
+    assert_eq!(
+        Lahar::classify(&filtered, &q).unwrap(),
+        lahar::query::QueryClass::Regular
+    );
+    for db in [&filtered, &smoothed] {
+        let series = Lahar::prob_series(db, &q).unwrap();
+        assert_eq!(series.len(), db.horizon() as usize);
+        assert!(series.iter().all(|p| (0.0..=1.0 + 1e-9).contains(p)));
+    }
+}
+
+/// The per-episode detection pipeline is deterministic given the seed.
+#[test]
+fn pipeline_is_reproducible() {
+    let a = Deployment::simulate(DeploymentConfig::small());
+    let b = Deployment::simulate(DeploymentConfig::small());
+    assert_eq!(a.truth, b.truth);
+    assert_eq!(a.observations, b.observations);
+    let qa = Lahar::prob_series(&a.filtered_database(), &coffee_query("person0")).unwrap();
+    let qb = Lahar::prob_series(&b.filtered_database(), &coffee_query("person0")).unwrap();
+    assert_eq!(qa, qb);
+}
+
+/// Ground-truth detection finds at least one event per person who
+/// actually visited the coffee room (sanity of the metric pipeline).
+#[test]
+fn truth_detection_agrees_with_trajectories() {
+    let dep = deployment();
+    let base = dep.base_database();
+    let truth_world = dep.truth_world(&base);
+    let coffee_ids = dep.plan.of_kind(lahar::rfid::RoomKind::CoffeeRoom);
+    for (p, traj) in dep.people.iter().zip(&dep.truth) {
+        let visited = traj.iter().any(|l| coffee_ids.contains(l));
+        let eps: Vec<Episode> =
+            episodes(&detect_series(&base, &truth_world, &coffee_query(&p.name)).unwrap());
+        if visited {
+            assert!(
+                !eps.is_empty(),
+                "{} visited the coffee room but no event was detected",
+                p.name
+            );
+        } else {
+            assert!(eps.is_empty());
+        }
+    }
+}

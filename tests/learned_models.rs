@@ -1,0 +1,92 @@
+//! Integration of HMM training with the deployment pipeline: the paper
+//! assumes the location model is given; here we learn it from raw antenna
+//! readings and verify the learned model is a better fit than a perturbed
+//! prior — and that the query pipeline runs unchanged on top of it.
+
+use lahar::core::Lahar;
+use lahar::hmm::{baum_welch, log_likelihood, Hmm, TrainOptions};
+use lahar::rfid::{build_location_hmm, Deployment, DeploymentConfig};
+
+fn deployment() -> Deployment {
+    Deployment::simulate(DeploymentConfig {
+        ticks: 250,
+        n_people: 3,
+        n_objects: 0,
+        seed: 99,
+        floors: 1,
+        hall_len: 4,
+        antenna_every: 1,
+        ..DeploymentConfig::default()
+    })
+}
+
+/// A deliberately mis-specified prior: uniform transitions.
+fn flat_prior(reference: &Hmm) -> Hmm {
+    let n = reference.n_states();
+    let m = reference.n_obs();
+    let uniform_row = |len: usize| vec![1.0 / len as f64; len];
+    let mut trans = Vec::with_capacity(n * n);
+    for _ in 0..n {
+        trans.extend(uniform_row(n));
+    }
+    // Keep the emission structure (the antenna geometry) but flatten it
+    // halfway toward uniform.
+    let mut emit = Vec::with_capacity(n * m);
+    for i in 0..n {
+        for o in 0..m {
+            emit.push(0.5 * reference.emit(i, o) + 0.5 / m as f64);
+        }
+    }
+    Hmm::new(uniform_row(n), trans, emit, m).unwrap()
+}
+
+#[test]
+fn training_improves_fit_over_flat_prior() {
+    let dep = deployment();
+    let prior = flat_prior(&dep.hmm);
+    let before = log_likelihood(&prior, &dep.observations).unwrap();
+    let trained = baum_welch(
+        &prior,
+        &dep.observations,
+        TrainOptions {
+            max_iters: 15,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        trained.log_likelihood > before + 1.0,
+        "EM must improve the fit: {} -> {}",
+        before,
+        trained.log_likelihood
+    );
+    // The hand-specified deployment model is a decent fit too; the learned
+    // model should be at least competitive with the flat prior's start.
+    let hand = log_likelihood(&dep.hmm, &dep.observations).unwrap();
+    assert!(trained.log_likelihood > hand - (hand.abs() * 0.2));
+}
+
+#[test]
+fn query_pipeline_runs_on_a_learned_model() {
+    let mut dep = deployment();
+    let prior = build_location_hmm(&dep.plan, &dep.config);
+    let trained = baum_welch(
+        &prior,
+        &dep.observations,
+        TrainOptions {
+            max_iters: 5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Swap the learned model into the pipeline and rebuild both databases.
+    dep.hmm = trained.hmm;
+    let filtered = dep.filtered_database();
+    let smoothed = dep.smoothed_database();
+    let q = "At('person0', l1)[NotRoom(l1)] ; At('person0', l2)[CoffeeRoom(l2)]";
+    for db in [&filtered, &smoothed] {
+        let series = Lahar::prob_series(db, q).unwrap();
+        assert_eq!(series.len(), db.horizon() as usize);
+        assert!(series.iter().all(|p| (0.0..=1.0 + 1e-9).contains(p)));
+    }
+}

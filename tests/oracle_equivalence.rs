@@ -1,0 +1,211 @@
+//! The backbone correctness suite: every evaluation path in the engine
+//! must agree with the possible-world oracle (Definition 2.3) on random
+//! small databases.
+//!
+//! Databases are kept tiny (2 keys × ≤2 values × ≤5 ticks) so the oracle's
+//! exponential world enumeration stays fast; queries cover all four
+//! classes and both stream representations.
+
+use lahar::core::Lahar;
+use lahar::model::{Cpt, Database, Domain, Marginal, Stream, StreamId};
+use lahar::query::{parse_query, prob_series};
+use proptest::prelude::*;
+
+const TICKS: usize = 4;
+
+/// Strategy: one stream's probabilistic content over a 2-value domain.
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    markov: bool,
+    /// For independent: per-tick (p_a, p_b); for markov: initial plus rows.
+    rows: Vec<(f64, f64)>,
+}
+
+fn stream_spec() -> impl Strategy<Value = StreamSpec> {
+    (
+        any::<bool>(),
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), TICKS + 2 * (TICKS - 1)),
+    )
+        .prop_map(|(markov, raw)| StreamSpec {
+            markov,
+            rows: raw
+                .into_iter()
+                .map(|(a, b)| {
+                    // Normalize so a + b <= 1 (the rest is bottom mass).
+                    let total = a + b;
+                    if total > 1.0 {
+                        (a / total * 0.95, b / total * 0.95)
+                    } else {
+                        (a, b)
+                    }
+                })
+                .collect(),
+        })
+}
+
+fn build_stream(db: &Database, key: &str, spec: &StreamSpec) -> Stream {
+    let i = db.interner();
+    let domain = Domain::new(
+        1,
+        vec![
+            lahar::model::tuple([i.intern("a")]),
+            lahar::model::tuple([i.intern("b")]),
+        ],
+    )
+    .unwrap();
+    let id = StreamId {
+        stream_type: i.intern("At"),
+        key: lahar::model::tuple([i.intern(key)]),
+    };
+    let marginal = |&(a, b): &(f64, f64)| {
+        Marginal::new(&domain, vec![a, b, (1.0 - a - b).max(0.0)]).unwrap()
+    };
+    if spec.markov {
+        let initial = marginal(&spec.rows[0]);
+        let cpts = (0..TICKS - 1)
+            .map(|t| {
+                // Two rows per step: transitions from a and from b; from
+                // bottom stay bottom.
+                let ra = spec.rows[TICKS + 2 * t];
+                let rb = spec.rows[TICKS + 2 * t + 1];
+                let col = |r: (f64, f64)| [r.0, r.1, (1.0 - r.0 - r.1).max(0.0)];
+                let ca = col(ra);
+                let cb = col(rb);
+                let mut data = vec![0.0; 9];
+                for next in 0..3 {
+                    data[next * 3] = ca[next];
+                    data[next * 3 + 1] = cb[next];
+                }
+                data[2 * 3 + 2] = 1.0;
+                Cpt::new(3, data).unwrap()
+            })
+            .collect();
+        Stream::markov(id, domain, initial, cpts).unwrap()
+    } else {
+        let marginals = spec.rows[..TICKS].iter().map(marginal).collect();
+        Stream::independent(id, domain, marginals).unwrap()
+    }
+}
+
+fn build_db(s1: &StreamSpec, s2: &StreamSpec) -> Database {
+    let mut db = Database::new();
+    db.declare_stream("At", &["p"], &["l"]).unwrap();
+    db.declare_relation("IsA", 1).unwrap();
+    let i = db.interner().clone();
+    db.insert_relation_tuple("IsA", lahar::model::tuple([i.intern("a")]))
+        .unwrap();
+    db.add_stream(build_stream(&db, "joe", s1)).unwrap();
+    db.add_stream(build_stream(&db, "sue", s2)).unwrap();
+    db
+}
+
+/// Queries spanning all classes (the engine dispatches per class).
+const QUERIES: &[&str] = &[
+    // Regular.
+    "At('joe', 'a')",
+    "At('joe', 'a') ; At('joe', 'b')",
+    "At('joe', 'a') ; At('sue', 'b')",
+    "At('joe', l)[IsA(l)] ; At('joe', 'b')",
+    "sigma[l = 'b'](At('joe', 'a') ; At('joe', l))",
+    "At('joe','a') ; (At('joe', l))+{} ; At('joe','b')",
+    "(At('joe', l))+{| IsA(l)}",
+    // Extended regular.
+    "At(p, 'a') ; At(p, 'b')",
+    "sigma[l2 = 'b'](At(p, 'a') ; At(p, l2))",
+    "(At(p, l))+{p | IsA(l)}",
+];
+
+fn assert_engine_matches_oracle(db: &Database, src: &str) {
+    let got = Lahar::prob_series(db, src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"));
+    let q = parse_query(db.interner(), src).unwrap();
+    let want = prob_series(db, &q).unwrap();
+    for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() < 1e-9,
+            "{src} at t={t}: engine {g} vs oracle {w}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_evaluators_match_oracle(s1 in stream_spec(), s2 in stream_spec()) {
+        let db = build_db(&s1, &s2);
+        for src in QUERIES {
+            assert_engine_matches_oracle(&db, src);
+        }
+    }
+
+    /// Safe queries with a seq split: prefix over R/S, witness over T.
+    #[test]
+    fn safe_plans_match_oracle(
+        s1 in stream_spec(),
+        s2 in stream_spec(),
+        witness in stream_spec(),
+    ) {
+        let mut db = Database::new();
+        db.declare_stream("R", &["k"], &["v"]).unwrap();
+        db.declare_stream("T", &["k"], &["v"]).unwrap();
+        let i = db.interner().clone();
+        // Reuse the At-stream builder under different type names.
+        let mut tmp = Database::new();
+        tmp.declare_stream("At", &["p"], &["l"]).unwrap();
+        for (key, spec, st) in [("k1", &s1, "R"), ("k2", &s2, "R"), ("w", &witness, "T")] {
+            let s = build_stream(&tmp, key, spec);
+            let domain = s.domain().clone();
+            let id = StreamId {
+                stream_type: i.intern(st),
+                key: lahar::model::tuple([i.intern(key)]),
+            };
+            let rebuilt = match s.data() {
+                lahar::model::StreamData::Independent(ms) => {
+                    Stream::independent(id, domain, ms.clone()).unwrap()
+                }
+                lahar::model::StreamData::Markov { initial, cpts } => {
+                    Stream::markov(id, domain, initial.clone(), cpts.clone()).unwrap()
+                }
+            };
+            db.add_stream(rebuilt).unwrap();
+        }
+        for src in [
+            "R(x, 'a') ; R(x, 'b') ; T('w', y)",
+            "R(x, _) ; R(x, _) ; T('w', 'b')",
+        ] {
+            let q = parse_query(db.interner(), src).unwrap();
+            let compiled = Lahar::compile_query(&db, &q).unwrap();
+            let got = compiled.prob_series(db.horizon()).unwrap();
+            let want = prob_series(&db, &q).unwrap();
+            for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+                prop_assert!(
+                    (g - w).abs() < 1e-9,
+                    "{} at t={}: engine {} vs oracle {}", src, t, g, w
+                );
+            }
+        }
+    }
+}
+
+// The deterministic CEP baseline must agree with the reference semantics
+// on sampled worlds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn deterministic_cep_matches_reference(s1 in stream_spec(), s2 in stream_spec(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let db = build_db(&s1, &s2);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let world = db.sample_world(&mut rng);
+        for src in ["At('joe','a') ; At('joe','b')", "At(p,'a') ; At(p,'b')"] {
+            let got = lahar::baselines::detect_series(&db, &world, src).unwrap();
+            let q = parse_query(db.interner(), src).unwrap();
+            for (t, g) in got.iter().enumerate() {
+                let want = lahar::query::satisfied_at(&db, &world, &q, t as u32).unwrap();
+                prop_assert_eq!(*g, want, "{} at t={}", src, t);
+            }
+        }
+    }
+}
