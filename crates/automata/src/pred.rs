@@ -174,13 +174,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Pred::any().to_string(), ".");
-        assert_eq!(
-            Pred::Superset(SymbolSet::singleton(2)).to_string(),
-            "{2}"
-        );
-        assert_eq!(
-            Pred::Disjoint(SymbolSet::singleton(1)).to_string(),
-            "¬{1}"
-        );
+        assert_eq!(Pred::Superset(SymbolSet::singleton(2)).to_string(), "{2}");
+        assert_eq!(Pred::Disjoint(SymbolSet::singleton(1)).to_string(), "¬{1}");
     }
 }

@@ -108,10 +108,12 @@ impl Regex {
                 }),
             },
             Regex::Alt(xs) => xs.iter().any(|x| x.matches_word(word)),
-            Regex::Plus(x) => (1..=word.len()).any(|k| {
-                x.matches_word(&word[..k])
-                    && (word.len() == k || Regex::Plus(x.clone()).matches_word(&word[k..]))
-            }) || (x.nullable() && word.is_empty()),
+            Regex::Plus(x) => {
+                (1..=word.len()).any(|k| {
+                    x.matches_word(&word[..k])
+                        && (word.len() == k || Regex::Plus(x.clone()).matches_word(&word[k..]))
+                }) || (x.nullable() && word.is_empty())
+            }
             Regex::Star(x) => {
                 word.is_empty()
                     || (1..=word.len()).any(|k| {

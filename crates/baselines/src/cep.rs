@@ -55,8 +55,7 @@ impl DeterministicCep {
                 let mut sym = lahar_automata::SymbolSet::EMPTY;
                 for event in world.events_at(t as u32) {
                     sym = sym.union(
-                        lahar_core::symbols_for_event(db, event, items)
-                            .map_err(engine_to_query)?,
+                        lahar_core::symbols_for_event(db, event, items).map_err(engine_to_query)?,
                     );
                 }
                 nfa.step_into(&cur, sym, &mut next);
@@ -134,11 +133,7 @@ fn enumerate_world_bindings(
 }
 
 /// Convenience: detection series for a textual query.
-pub fn detect_series(
-    db: &Database,
-    world: &World,
-    src: &str,
-) -> Result<Vec<bool>, QueryError> {
+pub fn detect_series(db: &Database, world: &World, src: &str) -> Result<Vec<bool>, QueryError> {
     let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), src)?;
     let nq = NormalQuery::from_query(&q);
     DeterministicCep::new(db, world, &nq)?.detect(db, world)

@@ -63,7 +63,9 @@ mod tests {
         let i = db.interner().clone();
         let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
         let init = b.marginal(&[("a", 1.0)]).unwrap();
-        let cpt = b.cpt(&[("a", "b", 0.9), ("a", "a", 0.1), ("b", "b", 1.0)]).unwrap();
+        let cpt = b
+            .cpt(&[("a", "b", 0.9), ("a", "a", 0.1), ("b", "b", 1.0)])
+            .unwrap();
         db.add_stream(b.markov(init, vec![cpt]).unwrap()).unwrap();
         let w = mle_world(&db);
         let e0 = w.events_at(0).next().unwrap();

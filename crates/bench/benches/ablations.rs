@@ -13,7 +13,7 @@
 //!    (hidden × automaton) representation.
 
 use lahar_bench::*;
-use lahar_core::{Sampler, SamplerConfig, SafePlanExecutor};
+use lahar_core::{SafePlanExecutor, Sampler, SamplerConfig};
 use lahar_model::{Cpt, Database, Marginal, Stream, StreamBuilder, StreamData, StreamId};
 use lahar_query::{compile_safe_plan, NormalQuery};
 use rand::rngs::SmallRng;

@@ -34,7 +34,11 @@ fn main() {
         lahar_series.push(Lahar::prob_series(&filtered, &q).unwrap());
         mle_eps.push(episodes(&detect_series(&base, &mle, &q).unwrap()));
     }
-    println!("{} ground-truth coffee events across {} people", total_truth, dep.people.len());
+    println!(
+        "{} ground-truth coffee events across {} people",
+        total_truth,
+        dep.people.len()
+    );
 
     let mle_pairs: Vec<(Vec<Episode>, Vec<Episode>)> = mle_eps
         .iter()
@@ -45,7 +49,15 @@ fn main() {
 
     header(
         "Fig 9: real-time quality vs ρ (baseline MLE is ρ-independent)",
-        &["rho", "P(lahar)", "R(lahar)", "F1(lahar)", "P(mle)", "R(mle)", "F1(mle)"],
+        &[
+            "rho",
+            "P(lahar)",
+            "R(lahar)",
+            "F1(lahar)",
+            "P(mle)",
+            "R(mle)",
+            "F1(mle)",
+        ],
     );
     let rhos = [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
     let mut beats_both_somewhere = false;
@@ -59,7 +71,15 @@ fn main() {
         let q = score_per_key(&pairs, d);
         row(
             &format!("{rho:.2}"),
-            &[rho, q.precision, q.recall, q.f1, mle_q.precision, mle_q.recall, mle_q.f1],
+            &[
+                rho,
+                q.precision,
+                q.recall,
+                q.f1,
+                mle_q.precision,
+                mle_q.recall,
+                mle_q.f1,
+            ],
         );
         if (0.1..=0.5).contains(&rho) && q.precision >= mle_q.precision && q.recall >= mle_q.recall
         {

@@ -38,7 +38,11 @@ fn main() {
         indep_series.push(Lahar::prob_series(&smoothed_indep, &q).unwrap());
         viterbi_eps.push(episodes(&detect_series(&base, &viterbi, &q).unwrap()));
     }
-    println!("{} ground-truth coffee events across {} people", total_truth, dep.people.len());
+    println!(
+        "{} ground-truth coffee events across {} people",
+        total_truth,
+        dep.people.len()
+    );
 
     let vit_pairs: Vec<(Vec<Episode>, Vec<Episode>)> = viterbi_eps
         .iter()

@@ -21,7 +21,10 @@ fn main() {
         &[1, 10, 25, 50, 75, 100]
     };
 
-    for (qname, extended) in [("Q1 (regular selection)", false), ("Q2 (ext. regular seq)", true)] {
+    for (qname, extended) in [
+        ("Q1 (regular selection)", false),
+        ("Q2 (ext. regular seq)", true),
+    ] {
         header(
             &format!("Fig 12: real-time throughput, {qname}"),
             &["tags", "lahar t/s", "mle t/s", "sampling t/s", "lahar/mle"],
@@ -34,20 +37,17 @@ fn main() {
             // Lahar.
             let (_, lahar_secs) = timed(|| {
                 if extended {
-                    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), q2())
-                        .unwrap();
+                    let q =
+                        lahar_query::parse_and_validate(db.catalog(), db.interner(), q2()).unwrap();
                     let nq = NormalQuery::from_query(&q);
                     let eval = ExtendedRegularEvaluator::new(&db, &nq).unwrap();
                     let s = eval.prob_series(&db, db.horizon());
                     std::hint::black_box(s);
                 } else {
                     for tag in &tags {
-                        let q = lahar_query::parse_and_validate(
-                            db.catalog(),
-                            db.interner(),
-                            &q1(tag),
-                        )
-                        .unwrap();
+                        let q =
+                            lahar_query::parse_and_validate(db.catalog(), db.interner(), &q1(tag))
+                                .unwrap();
                         let nq = NormalQuery::from_query(&q);
                         let eval = RegularEvaluator::new(&db, &nq).unwrap();
                         std::hint::black_box(eval.prob_series(&db, db.horizon()));
@@ -59,19 +59,16 @@ fn main() {
             let (_, mle_secs) = timed(|| {
                 let world = mle_world(&db);
                 if extended {
-                    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), q2())
-                        .unwrap();
+                    let q =
+                        lahar_query::parse_and_validate(db.catalog(), db.interner(), q2()).unwrap();
                     let nq = NormalQuery::from_query(&q);
                     let cep = DeterministicCep::new(&db, &world, &nq).unwrap();
                     std::hint::black_box(cep.detect(&db, &world).unwrap());
                 } else {
                     for tag in &tags {
-                        let q = lahar_query::parse_and_validate(
-                            db.catalog(),
-                            db.interner(),
-                            &q1(tag),
-                        )
-                        .unwrap();
+                        let q =
+                            lahar_query::parse_and_validate(db.catalog(), db.interner(), &q1(tag))
+                                .unwrap();
                         let nq = NormalQuery::from_query(&q);
                         let cep = DeterministicCep::new(&db, &world, &nq).unwrap();
                         std::hint::black_box(cep.detect(&db, &world).unwrap());
@@ -83,19 +80,16 @@ fn main() {
             let (_, sampling_secs) = timed(|| {
                 let config = SamplerConfig::default();
                 if extended {
-                    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), q2())
-                        .unwrap();
+                    let q =
+                        lahar_query::parse_and_validate(db.catalog(), db.interner(), q2()).unwrap();
                     let nq = NormalQuery::from_query(&q);
                     let s = Sampler::with_config(&db, &nq, config).unwrap();
                     std::hint::black_box(s.prob_series(&db, db.horizon()));
                 } else {
                     for tag in &tags {
-                        let q = lahar_query::parse_and_validate(
-                            db.catalog(),
-                            db.interner(),
-                            &q1(tag),
-                        )
-                        .unwrap();
+                        let q =
+                            lahar_query::parse_and_validate(db.catalog(), db.interner(), &q1(tag))
+                                .unwrap();
                         let nq = NormalQuery::from_query(&q);
                         let s = Sampler::with_config(&db, &nq, config).unwrap();
                         std::hint::black_box(s.prob_series(&db, db.horizon()));

@@ -26,10 +26,19 @@ fn main() {
     let mut rt_eff_sample = 0.0f64;
     let mut ar_eff_sample = 0.0f64;
 
-    for (qname, extended) in [("Q1 (regular selection)", false), ("Q2 (ext. regular seq)", true)] {
+    for (qname, extended) in [
+        ("Q1 (regular selection)", false),
+        ("Q2 (ext. regular seq)", true),
+    ] {
         header(
             &format!("Fig 13: archived throughput, {qname}"),
-            &["tags", "lahar t/s", "viterbi t/s", "sampling t/s", "eff obj/s"],
+            &[
+                "tags",
+                "lahar t/s",
+                "viterbi t/s",
+                "sampling t/s",
+                "eff obj/s",
+            ],
         );
         for &n in tag_counts {
             let dep = perf_deployment(n, ticks, 7);
@@ -39,19 +48,16 @@ fn main() {
 
             let (_, lahar_secs) = timed(|| {
                 if extended {
-                    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), q2())
-                        .unwrap();
+                    let q =
+                        lahar_query::parse_and_validate(db.catalog(), db.interner(), q2()).unwrap();
                     let nq = NormalQuery::from_query(&q);
                     let eval = ExtendedRegularEvaluator::new(&db, &nq).unwrap();
                     std::hint::black_box(eval.prob_series(&db, db.horizon()));
                 } else {
                     for tag in &tags {
-                        let q = lahar_query::parse_and_validate(
-                            db.catalog(),
-                            db.interner(),
-                            &q1(tag),
-                        )
-                        .unwrap();
+                        let q =
+                            lahar_query::parse_and_validate(db.catalog(), db.interner(), &q1(tag))
+                                .unwrap();
                         let nq = NormalQuery::from_query(&q);
                         let eval = RegularEvaluator::new(&db, &nq).unwrap();
                         std::hint::black_box(eval.prob_series(&db, db.horizon()));
@@ -86,19 +92,16 @@ fn main() {
             let (_, sampling_secs) = timed(|| {
                 let config = SamplerConfig::default();
                 if extended {
-                    let q = lahar_query::parse_and_validate(db.catalog(), db.interner(), q2())
-                        .unwrap();
+                    let q =
+                        lahar_query::parse_and_validate(db.catalog(), db.interner(), q2()).unwrap();
                     let nq = NormalQuery::from_query(&q);
                     let s = Sampler::with_config(&db, &nq, config).unwrap();
                     std::hint::black_box(s.prob_series(&db, db.horizon()));
                 } else {
                     for tag in &tags {
-                        let q = lahar_query::parse_and_validate(
-                            db.catalog(),
-                            db.interner(),
-                            &q1(tag),
-                        )
-                        .unwrap();
+                        let q =
+                            lahar_query::parse_and_validate(db.catalog(), db.interner(), &q1(tag))
+                                .unwrap();
                         let nq = NormalQuery::from_query(&q);
                         let s = Sampler::with_config(&db, &nq, config).unwrap();
                         std::hint::black_box(s.prob_series(&db, db.horizon()));

@@ -17,7 +17,7 @@
 //! and decays far more slowly (the paper's observation).
 
 use lahar_bench::*;
-use lahar_core::{Sampler, SamplerConfig, SafePlanExecutor};
+use lahar_core::{SafePlanExecutor, Sampler, SamplerConfig};
 use lahar_model::{Database, Marginal, StreamBuilder};
 use lahar_query::{compile_safe_plan, NormalQuery};
 use rand::rngs::SmallRng;

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lahar_bench::{perf_deployment, q1, q2};
-use lahar_core::{
-    ChainEvaluator, ExtendedRegularEvaluator, IntervalChain, Sampler, SamplerConfig,
-};
+use lahar_core::{ChainEvaluator, ExtendedRegularEvaluator, IntervalChain, Sampler, SamplerConfig};
 use lahar_query::{parse_and_validate, NormalQuery};
 use std::hint::black_box;
 

@@ -16,7 +16,11 @@ fn chain_query(n_subgoals: usize) -> String {
     for i in 0..n_subgoals - 1 {
         parts.push(format!("At(p, l{i})[Hallway(l{i})]"));
     }
-    parts.push(format!("At(p, l{})[CoffeeRoom(l{})]", n_subgoals - 1, n_subgoals - 1));
+    parts.push(format!(
+        "At(p, l{})[CoffeeRoom(l{})]",
+        n_subgoals - 1,
+        n_subgoals - 1
+    ));
     parts.join(" ; ")
 }
 
@@ -29,7 +33,13 @@ fn main() {
 
     header(
         &format!("Query complexity at {n_tags} tags (throughput in tuples/s)"),
-        &["subgoals", "realtime t/s", "markov t/s", "rt secs", "mk secs"],
+        &[
+            "subgoals",
+            "realtime t/s",
+            "markov t/s",
+            "rt secs",
+            "mk secs",
+        ],
     );
     // n = 1 has no shared variable (it is plain Q1 territory, Fig 12);
     // the sweep starts where the join machinery kicks in.

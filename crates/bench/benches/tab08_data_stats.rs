@@ -42,21 +42,29 @@ fn main() {
     println!("\n=== Table 8(b): data streams (relational tuple counts) ===");
     println!("{:<22} {:>14} {:>18}", "data", "tuples", "paper");
     let rows_b = [
-        ("filtered probs", filtered.relational_tuple_count(), "5.2M (190MB)"),
+        (
+            "filtered probs",
+            filtered.relational_tuple_count(),
+            "5.2M (190MB)",
+        ),
         (
             "smoothed probs",
             smoothed_indep.relational_tuple_count(),
             "5.2M (190MB)",
         ),
-        ("smoothed CPTs", smoothed.relational_tuple_count(), "509M (26G)"),
+        (
+            "smoothed CPTs",
+            smoothed.relational_tuple_count(),
+            "509M (26G)",
+        ),
         ("viterbi paths", viterbi_tuples, "75k (2MB)"),
     ];
     for (label, measured, paper) in rows_b {
         println!("{label:<22} {measured:>14} {paper:>18}");
     }
 
-    let cpt_blowup = smoothed.relational_tuple_count() as f64
-        / smoothed_indep.relational_tuple_count() as f64;
+    let cpt_blowup =
+        smoothed.relational_tuple_count() as f64 / smoothed_indep.relational_tuple_count() as f64;
     println!(
         "\nCPT/marginal blow-up: {cpt_blowup:.1}x (paper: 509M/5.2M ≈ 98x; \
          scales with the per-timestep support size)"

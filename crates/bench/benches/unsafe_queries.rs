@@ -75,9 +75,7 @@ fn main() {
             .zip(&exact)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        println!(
-            "{name}: {src}"
-        );
+        println!("{name}: {src}");
         row("", &[1.0, max_err, secs, n as f64]);
         assert!(
             max_err < 3.0 * config.epsilon,

@@ -30,8 +30,8 @@
 use crate::error::EngineError;
 use crate::translate::{build_regex, relevant_streams, symbol_table};
 use lahar_automata::{BitSet, Nfa, SymbolSet};
-use lahar_model::{Database, Stream, StreamData};
-use lahar_query::NormalItem;
+use lahar_model::{Database, Marginal, Stream, StreamData};
+use lahar_query::{NormalItem, QueryError};
 use std::collections::HashMap;
 
 /// Default cap on the joint hidden state space.
@@ -108,6 +108,15 @@ enum Mode {
     Markov,
 }
 
+/// Where an independent-mode step reads this tick's marginals from.
+enum MarginalSource<'a> {
+    /// `marginal_at(t)` of each relevant stream (batch evaluation).
+    Db(&'a Database),
+    /// Pre-staged marginals indexed like `db.streams()` (session tick
+    /// on a worker thread, where the database is not shareable).
+    Staged(&'a [Marginal]),
+}
+
 /// Exact streaming evaluator for a grounded regular query.
 #[derive(Debug, Clone)]
 pub struct ChainEvaluator {
@@ -141,11 +150,7 @@ impl ChainEvaluator {
     }
 
     /// Builds an evaluator with an explicit joint-state cap.
-    pub fn with_cap(
-        db: &Database,
-        items: &[NormalItem],
-        cap: usize,
-    ) -> Result<Self, EngineError> {
+    pub fn with_cap(db: &Database, items: &[NormalItem], cap: usize) -> Result<Self, EngineError> {
         let regex = build_regex(items);
         let nfa = Nfa::compile(&regex);
         let streams = relevant_streams(db, items);
@@ -245,8 +250,10 @@ impl ChainEvaluator {
             .filter(|(q, _)| self.dfa.is_accepting(*q as u32))
             .map(|(_, v)| v.iter().sum::<f64>())
             .sum();
-        // Guard against -1e-18-style float dust.
-        p.clamp(0.0, 1.0)
+        // Guard against -1e-18-style float dust; the `+ 0.0` also
+        // normalizes -0.0 (which clamp passes through) to +0.0 so
+        // reported probabilities never render as "-0.000000".
+        p.clamp(0.0, 1.0) + 0.0
     }
 
     /// Removes and returns the accepting mass (interval-probability mode).
@@ -263,28 +270,57 @@ impl ChainEvaluator {
         drained
     }
 
+    /// True when the evaluator runs in the real-time (independent)
+    /// representation — the only mode [`crate::RealTimeSession`] uses.
+    pub fn is_independent(&self) -> bool {
+        matches!(self.mode, Mode::Independent)
+    }
+
     /// Consumes timestep `t = next_t()`: evolves the hidden chain, feeds
     /// the induced symbol to the automaton, and returns the probability
     /// that the query is satisfied at `t`.
     pub fn step(&mut self, db: &Database) -> f64 {
         match self.mode {
-            Mode::Independent => self.step_independent(db),
+            Mode::Independent => self.step_independent(MarginalSource::Db(db)),
             Mode::Markov => self.step_markov(db),
         }
         self.t += 1;
         self.accept_prob()
     }
 
-    fn step_independent(&mut self, db: &Database) {
+    /// Consumes timestep `t = next_t()` of an independent-mode evaluator
+    /// using this tick's marginals directly (indexed like
+    /// `db.streams()`), without touching the database. This is how the
+    /// session's parallel tick path steps shards on worker threads: the
+    /// arithmetic is shared with [`ChainEvaluator::step`], so both paths
+    /// produce the same result for the same inputs.
+    pub fn step_with_marginals(&mut self, marginals: &[Marginal]) -> Result<f64, EngineError> {
+        if !self.is_independent() {
+            return Err(EngineError::Query(QueryError::NotInClass(
+                "step_with_marginals requires an independent-mode chain".to_owned(),
+            )));
+        }
+        self.step_independent(MarginalSource::Staged(marginals));
+        self.t += 1;
+        Ok(self.accept_prob())
+    }
+
+    fn step_independent(&mut self, source: MarginalSource<'_>) {
         // Distribution over symbol sets at time t, combining independent
         // streams by union-convolution.
         let mut sym_dist: HashMap<SymbolSet, f64> = HashMap::from([(SymbolSet::EMPTY, 1.0)]);
         for (s, &si) in self.streams.iter().enumerate() {
-            let stream = &db.streams()[si];
-            let marginal = stream.marginal_at(self.t);
+            let owned;
+            let probs: &[f64] = match source {
+                MarginalSource::Db(db) => {
+                    owned = db.streams()[si].marginal_at(self.t);
+                    owned.probs()
+                }
+                MarginalSource::Staged(ms) => ms[si].probs(),
+            };
             let mut next: HashMap<SymbolSet, f64> = HashMap::new();
             for (sym_so_far, p) in &sym_dist {
-                for (d, &pd) in marginal.probs().iter().enumerate() {
+                for (d, &pd) in probs.iter().enumerate() {
                     if pd == 0.0 {
                         continue;
                     }

@@ -13,9 +13,10 @@ use crate::extended::ExtendedRegularEvaluator;
 use crate::regular::RegularEvaluator;
 use crate::safeplan::SafePlanExecutor;
 use crate::sampler::{Sampler, SamplerConfig};
+use crate::stats::EngineStats;
 use lahar_model::Database;
 use lahar_query::{
-    classify, compile_safe_plan, parse_and_validate, NormalQuery, Query, QueryClass,
+    classify, compile_safe_plan, parse_and_validate, NormalQuery, Query, QueryClass, QueryError,
 };
 
 /// Which algorithm a compiled query uses.
@@ -101,10 +102,13 @@ impl CompiledQuery<'_> {
         }
     }
 
-    /// `μ(q@t)` for every `t` in `0..horizon`.
+    /// The next `horizon` values of `μ(q@t)`, starting from the current
+    /// cursor (`t = 0` for a freshly compiled query).
     pub fn prob_series(mut self, horizon: u32) -> Result<Vec<f64>, EngineError> {
         match &mut self {
-            CompiledQuery::Safe { exec, .. } => exec.prob_series(horizon),
+            // The batch interval-algebra path is only equivalent from a
+            // fresh cursor; a stepped executor must continue from `t`.
+            CompiledQuery::Safe { exec, t: 0 } => exec.prob_series(horizon),
             _ => (0..horizon).map(|_| self.step()).collect(),
         }
     }
@@ -115,10 +119,7 @@ pub struct Lahar;
 
 impl Lahar {
     /// Parses, validates, classifies, and compiles a textual query.
-    pub fn compile<'db>(
-        db: &'db Database,
-        src: &str,
-    ) -> Result<CompiledQuery<'db>, EngineError> {
+    pub fn compile<'db>(db: &'db Database, src: &str) -> Result<CompiledQuery<'db>, EngineError> {
         let q = parse_and_validate(db.catalog(), db.interner(), src)?;
         Self::compile_query(db, &q)
     }
@@ -137,6 +138,37 @@ impl Lahar {
         q: &Query,
         sampler_config: SamplerConfig,
     ) -> Result<CompiledQuery<'db>, EngineError> {
+        Self::compile_inner(db, q, sampler_config, None)
+    }
+
+    /// Like [`Lahar::compile_with_sampler_config`], additionally
+    /// recording sampler world counts and exact-path→sampler fallbacks
+    /// (with their reasons) into `stats`.
+    pub fn compile_instrumented<'db>(
+        db: &'db Database,
+        q: &Query,
+        sampler_config: SamplerConfig,
+        stats: &EngineStats,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        Self::compile_inner(db, q, sampler_config, Some(stats))
+    }
+
+    fn compile_inner<'db>(
+        db: &'db Database,
+        q: &Query,
+        sampler_config: SamplerConfig,
+        stats: Option<&EngineStats>,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        let sample = |nq: &NormalQuery, fallback_reason: Option<&str>| {
+            if let (Some(stats), Some(reason)) = (stats, fallback_reason) {
+                stats.record_fallback(reason);
+            }
+            let eval = Sampler::with_config(db, nq, sampler_config)?;
+            if let Some(stats) = stats {
+                stats.record_sampler(eval.n_samples() as u64);
+            }
+            Ok(CompiledQuery::Sampled { db, eval })
+        };
         let nq = NormalQuery::from_query(q);
         match classify(db.catalog(), &nq) {
             QueryClass::Regular => match RegularEvaluator::new(db, &nq) {
@@ -145,39 +177,37 @@ impl Lahar {
                 // joint hidden chain exponential in the number of streams;
                 // the sampler simulates the same product space world by
                 // world instead.
-                Err(EngineError::StateSpaceTooLarge { .. }) => Ok(CompiledQuery::Sampled {
-                    db,
-                    eval: Sampler::with_config(db, &nq, sampler_config)?,
-                }),
+                Err(e @ EngineError::StateSpaceTooLarge { .. }) => {
+                    sample(&nq, Some(&format!("regular: {e}")))
+                }
                 Err(e) => Err(e),
             },
             QueryClass::ExtendedRegular => match ExtendedRegularEvaluator::new(db, &nq) {
                 Ok(eval) => Ok(CompiledQuery::Extended { db, eval }),
-                Err(EngineError::StateSpaceTooLarge { .. }) => Ok(CompiledQuery::Sampled {
-                    db,
-                    eval: Sampler::with_config(db, &nq, sampler_config)?,
-                }),
+                Err(e @ EngineError::StateSpaceTooLarge { .. }) => {
+                    sample(&nq, Some(&format!("extended: {e}")))
+                }
                 Err(e) => Err(e),
             },
             QueryClass::Safe => {
                 // A classified-safe query can still fall outside the exact
-                // algebra (planner refusal or unsupported seq shape); the
-                // sampler is the documented fallback.
+                // algebra (planner refusal or unsupported seq shape), which
+                // the planner and executor report as `NotInClass`; only
+                // those documented refusals fall back to the sampler.
+                // Anything else (model errors, caps) is a real failure and
+                // propagates.
                 match compile_safe_plan(db.catalog(), &nq)
                     .map_err(EngineError::from)
                     .and_then(|plan| SafePlanExecutor::new(db, &plan))
                 {
                     Ok(exec) => Ok(CompiledQuery::Safe { exec, t: 0 }),
-                    Err(_) => Ok(CompiledQuery::Sampled {
-                        db,
-                        eval: Sampler::with_config(db, &nq, sampler_config)?,
-                    }),
+                    Err(EngineError::Query(QueryError::NotInClass(reason))) => {
+                        sample(&nq, Some(&reason))
+                    }
+                    Err(e) => Err(e),
                 }
             }
-            QueryClass::Unsafe => Ok(CompiledQuery::Sampled {
-                db,
-                eval: Sampler::with_config(db, &nq, sampler_config)?,
-            }),
+            QueryClass::Unsafe => sample(&nq, None),
         }
     }
 
@@ -233,14 +263,8 @@ mod tests {
         let cases = [
             ("At('joe','a') ; At('joe','c')", Algorithm::Regular),
             ("At(p,'a') ; At(p,'c')", Algorithm::ExtendedRegular),
-            (
-                "At(p,'a') ; At(p,'h') ; Door('d1', s)",
-                Algorithm::SafePlan,
-            ),
-            (
-                "sigma[x = y](At(x,'a') ; At(y,'c'))",
-                Algorithm::Sampling,
-            ),
+            ("At(p,'a') ; At(p,'h') ; Door('d1', s)", Algorithm::SafePlan),
+            ("sigma[x = y](At(x,'a') ; At(y,'c'))", Algorithm::Sampling),
         ];
         for (src, algo) in cases {
             let c = Lahar::compile(&db, src).unwrap();
@@ -283,5 +307,49 @@ mod tests {
         let db = db();
         assert!(Lahar::compile(&db, "Nope(x)").is_err());
         assert!(Lahar::compile(&db, "At(x").is_err());
+    }
+
+    /// Instrumented compilation records sampler use, and distinguishes
+    /// genuinely unsafe queries (no fallback — sampling is the plan)
+    /// from exact-path refusals (fallback, with the documented reason).
+    #[test]
+    fn instrumented_compilation_records_fallbacks() {
+        let mut db = db();
+        let i = db.interner().clone();
+        db.declare_relation("OpenState", 1).unwrap();
+        db.insert_relation_tuple("OpenState", lahar_model::tuple([i.intern("open")]))
+            .unwrap();
+
+        let stats = EngineStats::new();
+        let q = parse_and_validate(
+            db.catalog(),
+            db.interner(),
+            "sigma[x = y](At(x,'a') ; At(y,'c'))",
+        )
+        .unwrap();
+        let c = Lahar::compile_instrumented(&db, &q, SamplerConfig::default(), &stats).unwrap();
+        assert_eq!(c.algorithm(), Algorithm::Sampling);
+        let snap = stats.snapshot();
+        assert_eq!(snap.fallbacks, 0, "unsafe is not a fallback");
+        assert_eq!(snap.sampler_compilations, 1);
+        assert!(snap.sampler_worlds > 0);
+
+        // Classified safe, but the outer selection associates a predicate
+        // with the seq-appended item, a shape the exact algebra does not
+        // cover: falls back, and the reason lands in the snapshot.
+        let stats = EngineStats::new();
+        let src = "sigma[OpenState(s)](At(p,'a') ; At(p,'h') ; Door('d1', s))";
+        let q = parse_and_validate(db.catalog(), db.interner(), src).unwrap();
+        assert_eq!(
+            classify(db.catalog(), &NormalQuery::from_query(&q)),
+            QueryClass::Safe
+        );
+        let c = Lahar::compile_instrumented(&db, &q, SamplerConfig::default(), &stats).unwrap();
+        assert_eq!(c.algorithm(), Algorithm::Sampling);
+        let snap = stats.snapshot();
+        assert_eq!(snap.fallbacks, 1);
+        let (reason, count) = snap.fallback_reasons.iter().next().unwrap();
+        assert_eq!(*count, 1);
+        assert!(reason.contains("seq with associated predicate"), "{reason}");
     }
 }

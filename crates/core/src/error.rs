@@ -28,6 +28,9 @@ pub enum EngineError {
     },
     /// The query references no stream present in the database.
     NoRelevantStreams,
+    /// A parallel worker thread panicked; the payload is the panic
+    /// message when one was available.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +46,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::NoRelevantStreams => {
                 write!(f, "no stream in the database can match the query")
+            }
+            EngineError::WorkerPanicked(msg) => {
+                write!(f, "parallel worker thread panicked: {msg}")
             }
         }
     }
@@ -60,4 +66,19 @@ impl From<ModelError> for EngineError {
     fn from(e: ModelError) -> Self {
         EngineError::Model(e)
     }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned())
+}
+
+/// Converts a payload caught from a panicking worker thread into
+/// [`EngineError::WorkerPanicked`].
+pub(crate) fn worker_panic(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+    EngineError::WorkerPanicked(panic_message(payload))
 }

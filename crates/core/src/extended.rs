@@ -45,6 +45,13 @@ impl ExtendedRegularEvaluator {
         self.chains.len()
     }
 
+    /// Decomposes into the per-binding chains, in canonical binding
+    /// order (the session's sharded tick path owns chains directly and
+    /// recombines with `1 − Π(1 − pᵢ)` in this same order).
+    pub(crate) fn into_chains(self) -> Vec<(Binding, ChainEvaluator)> {
+        self.chains
+    }
+
     /// The timestep the next [`Self::step`] will consume.
     pub fn next_t(&self) -> u32 {
         self.t
@@ -82,18 +89,22 @@ impl ExtendedRegularEvaluator {
     /// Evaluates the series with chains partitioned across `n_threads`
     /// worker threads (each chain is an independent Markov computation, so
     /// this parallelizes embarrassingly — used by the throughput harness).
+    ///
+    /// A panicking worker surfaces as [`EngineError::WorkerPanicked`]
+    /// rather than aborting the caller; the remaining workers still run
+    /// to completion before the error is returned.
     pub fn prob_series_parallel(
         self,
         db: &Database,
         horizon: u32,
         n_threads: usize,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, EngineError> {
         let chunk = self.chains.len().div_ceil(n_threads.max(1));
         let mut chains = self.chains;
-        let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<Result<Vec<f64>, EngineError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for slice in chains.chunks_mut(chunk.max(1)) {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut none = vec![1.0f64; horizon as usize];
                     for (_, chain) in slice.iter_mut() {
                         for slot in none.iter_mut().take(horizon as usize) {
@@ -103,16 +114,18 @@ impl ExtendedRegularEvaluator {
                     none
                 }));
             }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("worker threads do not panic");
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(crate::error::worker_panic))
+                .collect()
+        });
         let mut out = vec![1.0f64; horizon as usize];
         for partial in partials {
-            for (o, p) in out.iter_mut().zip(partial) {
+            for (o, p) in out.iter_mut().zip(partial?) {
                 *o *= p;
             }
         }
-        out.iter().map(|p| 1.0 - p).collect()
+        Ok(out.iter().map(|p| 1.0 - p).collect())
     }
 }
 
@@ -158,10 +171,7 @@ mod tests {
         let got = eval.prob_series(db, db.horizon());
         let want = prob_series(db, &q).unwrap();
         for (t, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() < 1e-9,
-                "{src} at t={t}: {g} vs oracle {w}"
-            );
+            assert!((g - w).abs() < 1e-9, "{src} at t={t}: {g} vs oracle {w}");
         }
     }
 
@@ -211,7 +221,8 @@ mod tests {
             .prob_series(&db, db.horizon());
         let par = ExtendedRegularEvaluator::new(&db, &nq)
             .unwrap()
-            .prob_series_parallel(&db, db.horizon(), 2);
+            .prob_series_parallel(&db, db.horizon(), 2)
+            .unwrap();
         for (a, b) in seq.iter().zip(&par) {
             assert!((a - b).abs() < 1e-12);
         }

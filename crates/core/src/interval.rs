@@ -107,7 +107,12 @@ mod tests {
         let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "c"]);
         let init = b.marginal(&[("a", 0.6), ("c", 0.2)]).unwrap();
         let cpt = b
-            .cpt(&[("a", "a", 0.5), ("a", "c", 0.3), ("c", "c", 0.6), ("c", "a", 0.2)])
+            .cpt(&[
+                ("a", "a", 0.5),
+                ("a", "c", 0.3),
+                ("c", "c", 0.6),
+                ("c", "a", 0.2),
+            ])
             .unwrap();
         db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
             .unwrap();
@@ -125,8 +130,7 @@ mod tests {
     fn oracle_interval(db: &Database, q: &lahar_query::Query, ts: u32, tf: u32) -> f64 {
         let mut total = 0.0;
         for (world, p) in db.enumerate_worlds() {
-            let sat = (ts..=tf)
-                .any(|t| lahar_query::satisfied_at(db, &world, q, t).unwrap());
+            let sat = (ts..=tf).any(|t| lahar_query::satisfied_at(db, &world, q, t).unwrap());
             if sat {
                 total += p;
             }
@@ -153,10 +157,7 @@ mod tests {
             for tf in ts..4u32 {
                 let got = ic.prob(&db, ts, tf);
                 let want = oracle_interval(&db, &q, ts, tf);
-                assert!(
-                    (got - want).abs() < 1e-9,
-                    "[{ts},{tf}]: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-9, "[{ts},{tf}]: {got} vs {want}");
             }
         }
     }

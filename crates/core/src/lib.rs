@@ -46,6 +46,7 @@ mod regular;
 mod safeplan;
 mod sampler;
 mod session;
+mod stats;
 mod translate;
 
 pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
@@ -57,7 +58,8 @@ pub use occurrence::{OccurrenceModel, TpTw};
 pub use regular::RegularEvaluator;
 pub use safeplan::SafePlanExecutor;
 pub use sampler::{Sampler, SamplerConfig};
-pub use session::{Alert, QueryId, RealTimeSession};
+pub use session::{Alert, QueryId, RealTimeSession, SessionConfig, TickMode};
+pub use stats::{EngineStats, LatencySnapshot, StatsSnapshot};
 pub use translate::{
     a_bit, build_regex, candidate_values, enumerate_bindings, m_bit, relevant_streams,
     stream_relevant, substitute_cond, substitute_items, symbol_table, symbols_for_event,

@@ -87,10 +87,7 @@ impl OccurrenceModel {
     /// per-timestep-independence treatment even on Markovian streams
     /// (marginals only). Used by the ablation bench to quantify the error
     /// the exact joint (Tp, Tw) extension removes.
-    pub fn new_independence_approx(
-        db: &Database,
-        item: &NormalItem,
-    ) -> Result<Self, EngineError> {
+    pub fn new_independence_approx(db: &Database, item: &NormalItem) -> Result<Self, EngineError> {
         let mut model = Self::new(db, item)?;
         if let Model::MarkovSingle {
             stream_idx,
@@ -489,7 +486,12 @@ mod tests {
         let b = StreamBuilder::new(&i, "R", &["k1"], &["x", "y"]);
         let init = b.marginal(&[("x", 0.4), ("y", 0.3)]).unwrap();
         let cpt = b
-            .cpt(&[("x", "x", 0.6), ("x", "y", 0.2), ("y", "y", 0.5), ("y", "x", 0.3)])
+            .cpt(&[
+                ("x", "x", 0.6),
+                ("x", "y", 0.2),
+                ("y", "y", 0.5),
+                ("y", "x", 0.3),
+            ])
             .unwrap();
         db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
             .unwrap();
@@ -497,7 +499,12 @@ mod tests {
     }
 
     /// Brute-force (Tp, Tw) joint from world enumeration.
-    fn oracle_tp_tw(db: &Database, item: &NormalItem, ts: u32, tf: u32) -> Vec<(Option<u32>, u32, f64)> {
+    fn oracle_tp_tw(
+        db: &Database,
+        item: &NormalItem,
+        ts: u32,
+        tf: u32,
+    ) -> Vec<(Option<u32>, u32, f64)> {
         use std::collections::HashMap;
         let items = std::slice::from_ref(item);
         let mut acc: HashMap<(Option<u32>, Option<u32>), f64> = HashMap::new();

@@ -33,6 +33,12 @@ impl RegularEvaluator {
         self.chain.step(db)
     }
 
+    /// Decomposes into the underlying chain (the session's sharded tick
+    /// path owns chains directly).
+    pub(crate) fn into_chain(self) -> ChainEvaluator {
+        self.chain
+    }
+
     /// Evaluates `μ(q@t)` for every `t` in `0..horizon`.
     pub fn prob_series(mut self, db: &Database, horizon: u32) -> Vec<f64> {
         (0..horizon).map(|_| self.step(db)).collect()
@@ -123,15 +129,9 @@ mod tests {
     fn inner_vs_outer_selection_differ_and_match_oracle() {
         // Ex 3.11 on probabilistic data: q_f vs q_s.
         assert_matches_oracle(&indep_db(), "At('joe','a') ; At('joe','c')");
-        assert_matches_oracle(
-            &indep_db(),
-            "sigma[l = 'c'](At('joe','a') ; At('joe', l))",
-        );
+        assert_matches_oracle(&indep_db(), "sigma[l = 'c'](At('joe','a') ; At('joe', l))");
         let (qf, _) = series(&indep_db(), "At('joe','a') ; At('joe','c')");
-        let (qs, _) = series(
-            &indep_db(),
-            "sigma[l = 'c'](At('joe','a') ; At('joe', l))",
-        );
+        let (qs, _) = series(&indep_db(), "sigma[l = 'c'](At('joe','a') ; At('joe', l))");
         assert!(qf.iter().zip(&qs).any(|(a, b)| (a - b).abs() > 1e-9));
     }
 
@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn three_step_sequence_matches_oracle() {
         assert_matches_oracle(&indep_db(), "At('joe','a') ; At('joe','h') ; At('joe','c')");
-        assert_matches_oracle(&markov_db(), "At('joe','a') ; At('joe','h') ; At('joe','c')");
+        assert_matches_oracle(
+            &markov_db(),
+            "At('joe','a') ; At('joe','h') ; At('joe','c')",
+        );
     }
 
     #[test]
@@ -181,7 +184,9 @@ mod tests {
         let i = db.interner().clone();
         let b = StreamBuilder::new(&i, "At", &["sue"], &["a", "c"]);
         let init = b.marginal(&[("a", 0.5), ("c", 0.3)]).unwrap();
-        let cpt = b.cpt(&[("a", "c", 0.6), ("a", "a", 0.2), ("c", "c", 0.9)]).unwrap();
+        let cpt = b
+            .cpt(&[("a", "c", 0.6), ("a", "a", 0.2), ("c", "c", 0.9)])
+            .unwrap();
         db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
             .unwrap();
         assert_matches_oracle(&db, "At('joe','a') ; At('sue','c')");

@@ -88,12 +88,26 @@ impl<'db> SafePlanExecutor<'db> {
 
     /// `μ(q@t)` — the point probability at `t`.
     pub fn prob_at(&mut self, t: u32) -> Result<f64, EngineError> {
-        eval(self.db, &mut self.root, &Binding::new(), t, t, self.approx_seq)
+        eval(
+            self.db,
+            &mut self.root,
+            &Binding::new(),
+            t,
+            t,
+            self.approx_seq,
+        )
     }
 
     /// `P[q[ts, tf]]` — the interval probability.
     pub fn prob_interval(&mut self, ts: u32, tf: u32) -> Result<f64, EngineError> {
-        eval(self.db, &mut self.root, &Binding::new(), ts, tf, self.approx_seq)
+        eval(
+            self.db,
+            &mut self.root,
+            &Binding::new(),
+            ts,
+            tf,
+            self.approx_seq,
+        )
     }
 
     /// `μ(q@t)` for every `t` in `0..horizon`.
@@ -154,7 +168,11 @@ fn build(db: &Database, plan: &SafePlan, bound: &mut Vec<Var>) -> Result<Node, E
 
 fn key_of(binding: &Binding, vars: &[Var]) -> Vec<Value> {
     vars.iter()
-        .map(|v| *binding.get(v).expect("env variable bound by projection above"))
+        .map(|v| {
+            *binding
+                .get(v)
+                .expect("env variable bound by projection above")
+        })
         .collect()
 }
 
@@ -248,7 +266,8 @@ mod tests {
         for key in ["k1", "k2"] {
             let b = StreamBuilder::new(&i, "R", &[key], &["r"]);
             let ms = vec![
-                b.marginal(&[("r", if key == "k1" { 0.6 } else { 0.3 })]).unwrap(),
+                b.marginal(&[("r", if key == "k1" { 0.6 } else { 0.3 })])
+                    .unwrap(),
                 b.marginal(&[("r", 0.2)]).unwrap(),
                 b.marginal(&[]).unwrap(),
                 b.marginal(&[]).unwrap(),
@@ -257,7 +276,8 @@ mod tests {
             let b = StreamBuilder::new(&i, "S", &[key], &["s"]);
             let ms = vec![
                 b.marginal(&[]).unwrap(),
-                b.marginal(&[("s", if key == "k1" { 0.7 } else { 0.4 })]).unwrap(),
+                b.marginal(&[("s", if key == "k1" { 0.7 } else { 0.4 })])
+                    .unwrap(),
                 b.marginal(&[("s", 0.5)]).unwrap(),
                 b.marginal(&[]).unwrap(),
             ];

@@ -14,9 +14,7 @@
 //! `μ(q@t)` with probability at least `1 − δ` (additive Hoeffding bound).
 
 use crate::error::EngineError;
-use crate::translate::{
-    build_regex, enumerate_bindings, relevant_streams, substitute_items,
-};
+use crate::translate::{build_regex, enumerate_bindings, relevant_streams, substitute_items};
 use lahar_automata::{Nfa, Pred, SymbolSet};
 use lahar_model::{Database, StreamData};
 use lahar_query::{eval_cond, Binding, NormalQuery, Var};
@@ -263,8 +261,8 @@ impl Sampler {
             let mut sat = Vec::with_capacity(n);
             for _ in 0..n {
                 let world = db.sample_world(&mut rng);
-                let results = lahar_query::eval_query(db, &world, &query)
-                    .map_err(EngineError::Query)?;
+                let results =
+                    lahar_query::eval_query(db, &world, &query).map_err(EngineError::Query)?;
                 let mut hit = vec![false; horizon];
                 for e in results {
                     if (e.t as usize) < horizon {
@@ -316,7 +314,10 @@ impl Sampler {
         if let Some(sat) = &self.fallback {
             let t = self.t as usize;
             self.t += 1;
-            let hits = sat.iter().filter(|h| h.get(t).copied().unwrap_or(false)).count();
+            let hits = sat
+                .iter()
+                .filter(|h| h.get(t).copied().unwrap_or(false))
+                .count();
             return hits as f64 / self.n as f64;
         }
         // 1. Sample stream outcomes for each world.

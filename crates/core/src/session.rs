@@ -7,6 +7,26 @@
 //! regular — the streaming classes of Theorems 3.3/3.7) query advances by
 //! exactly one step, emitting `μ(q@t)` as the tick closes.
 //!
+//! # Sharded parallel ticks
+//!
+//! Internally the session owns every registered query's per-key chains
+//! directly, partitioned into contiguous, balanced *shards*. A tick can
+//! advance the shards either in place (sequential) or on a persistent
+//! pool of worker threads (parallel), one shard per worker: the tick's
+//! marginals are shared with the workers behind an `Arc`, each worker
+//! steps its owned shard through [`crate::ChainEvaluator`] and sends it
+//! back with the per-chain probabilities, and the session recombines
+//! per-query answers on the caller's thread in canonical binding order
+//! (`1 − Π(1 − pᵢ)` for extended regular queries — Theorem 3.7's
+//! combination, applied identically on both paths, so parallel ticks
+//! reproduce sequential answers). [`SessionConfig`] picks the path:
+//! [`TickMode::Auto`] engages the pool once the session tracks at least
+//! `parallel_threshold` chains and more than one worker is available.
+//!
+//! Sessions also keep [`EngineStats`]: per-tick latency histograms,
+//! chains-stepped/bindings-grounded counters, and alert counts, all
+//! snapshotable as JSON via [`crate::StatsSnapshot::to_json`].
+//!
 //! ```
 //! use lahar_core::RealTimeSession;
 //! use lahar_model::{Database, StreamBuilder};
@@ -28,13 +48,16 @@
 //! assert!((alerts[0].probability - 0.54).abs() < 1e-9);
 //! ```
 
-use crate::error::EngineError;
+use crate::chain::ChainEvaluator;
+use crate::error::{panic_message, EngineError};
 use crate::extended::ExtendedRegularEvaluator;
 use crate::regular::RegularEvaluator;
+use crate::stats::EngineStats;
 use lahar_model::{Database, Marginal, StreamData};
-use lahar_query::{
-    classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError,
-};
+use lahar_query::{classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Identifier of a registered query within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,15 +76,139 @@ pub struct Alert {
     pub probability: f64,
 }
 
-#[allow(clippy::large_enum_variant)] // one per registered query
-enum SessionEval {
-    Regular(RegularEvaluator),
-    Extended(ExtendedRegularEvaluator),
+/// Which tick path a session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickMode {
+    /// Parallel once the session tracks at least
+    /// [`SessionConfig::parallel_threshold`] chains and more than one
+    /// worker is available; sequential below that.
+    #[default]
+    Auto,
+    /// Always step chains in place on the caller's thread.
+    Sequential,
+    /// Always step shards on the worker pool.
+    Parallel,
+}
+
+/// Tuning knobs for [`RealTimeSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Which tick path to use.
+    pub tick_mode: TickMode,
+    /// Worker threads for the parallel path; `0` means one per
+    /// available core.
+    pub n_workers: usize,
+    /// Minimum total chain count for [`TickMode::Auto`] to engage the
+    /// parallel path. Below it, per-tick work is too small to amortize
+    /// the cross-thread handoff.
+    pub parallel_threshold: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            tick_mode: TickMode::Auto,
+            n_workers: 0,
+            parallel_threshold: 256,
+        }
+    }
+}
+
+/// How a registered query recombines its chains' probabilities.
+enum QueryKind {
+    /// Single chain; its accept probability is the answer.
+    Regular,
+    /// Per-key chains combined as `1 − Π(1 − pᵢ)` (Thm 3.7).
+    Extended,
 }
 
 struct Registered {
     name: String,
-    eval: SessionEval,
+    kind: QueryKind,
+    /// Global chain-sequence index of this query's first chain.
+    first_chain: usize,
+    n_chains: usize,
+}
+
+/// A contiguous run of chains, owned by the session between ticks and
+/// shipped to a worker during a parallel tick.
+struct Shard {
+    /// Global sequence index of `chains[0]`.
+    start: usize,
+    /// `(query index, evaluator)` in global sequence order.
+    chains: Vec<(usize, ChainEvaluator)>,
+}
+
+/// One parallel tick's work order for a worker.
+struct Job {
+    shard: Shard,
+    marginals: Arc<Vec<Marginal>>,
+}
+
+/// `(worker index, stepped shard + per-chain probabilities | panic message)`.
+type Reply = (usize, Result<(Shard, Vec<f64>), String>);
+
+fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
+    while let Ok(job) = jobs.recv() {
+        let Job { shard, marginals } = job;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut shard = shard;
+            let mut probs = Vec::with_capacity(shard.chains.len());
+            for (_, chain) in &mut shard.chains {
+                probs.push(chain.step_with_marginals(&marginals)?);
+            }
+            Ok::<_, EngineError>((shard, probs))
+        }));
+        let reply = match outcome {
+            Ok(Ok(done)) => Ok(done),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(panic_message(payload)),
+        };
+        if replies.send((index, reply)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Persistent worker threads, one per shard. Dropping the pool closes
+/// the job channels, which ends every worker loop.
+struct WorkerPool {
+    jobs: Vec<Sender<Job>>,
+    replies: Receiver<Reply>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(n_workers: usize) -> Self {
+        let (reply_tx, replies) = channel();
+        let mut jobs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for index in 0..n_workers {
+            let (job_tx, job_rx) = channel();
+            let reply_tx = reply_tx.clone();
+            jobs.push(job_tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lahar-tick-{index}"))
+                    .spawn(move || worker_loop(index, job_rx, reply_tx))
+                    .expect("spawning a session worker thread"),
+            );
+        }
+        Self {
+            jobs,
+            replies,
+            handles,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// A push-based session over independent (real-time) streams.
@@ -75,6 +222,15 @@ pub struct RealTimeSession {
     db: Database,
     staged: Vec<Option<Marginal>>,
     queries: Vec<Registered>,
+    /// All chains of all queries, contiguous in global sequence order.
+    shards: Vec<Option<Shard>>,
+    total_chains: usize,
+    config: SessionConfig,
+    pool: Option<WorkerPool>,
+    /// Set when a worker panicked mid-tick: its shard is lost, so the
+    /// session can no longer advance.
+    poisoned: bool,
+    stats: EngineStats,
     t: u32,
 }
 
@@ -82,6 +238,11 @@ impl RealTimeSession {
     /// Creates a session over a database whose streams are all independent
     /// and empty (relations and catalog are used as-is).
     pub fn new(db: Database) -> Result<Self, EngineError> {
+        Self::with_config(db, SessionConfig::default())
+    }
+
+    /// Creates a session with explicit tick-path tuning.
+    pub fn with_config(db: Database, config: SessionConfig) -> Result<Self, EngineError> {
         for s in db.streams() {
             if !matches!(s.data(), StreamData::Independent(ms) if ms.is_empty()) {
                 return Err(EngineError::Query(QueryError::NotInClass(
@@ -94,6 +255,15 @@ impl RealTimeSession {
             db,
             staged,
             queries: Vec::new(),
+            shards: vec![Some(Shard {
+                start: 0,
+                chains: Vec::new(),
+            })],
+            total_chains: 0,
+            config,
+            pool: None,
+            poisoned: false,
+            stats: EngineStats::new(),
             t: 0,
         })
     }
@@ -108,6 +278,39 @@ impl RealTimeSession {
         &self.db
     }
 
+    /// The session's metrics handle (cloneable; see
+    /// [`EngineStats::snapshot`]).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Total per-key chains across all registered queries.
+    pub fn n_chains(&self) -> usize {
+        self.total_chains
+    }
+
+    /// Worker count the parallel path would use.
+    fn effective_workers(&self) -> usize {
+        if self.config.n_workers > 0 {
+            self.config.n_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Whether the next tick runs on the worker pool.
+    fn parallel_tick(&self) -> bool {
+        match self.config.tick_mode {
+            TickMode::Sequential => false,
+            TickMode::Parallel => true,
+            TickMode::Auto => {
+                self.effective_workers() > 1 && self.total_chains >= self.config.parallel_threshold
+            }
+        }
+    }
+
     /// Registers a textual query; it must be in one of the streaming
     /// classes (regular or extended regular). Queries registered after
     /// ticks have closed are fast-forwarded through the recorded history
@@ -119,35 +322,107 @@ impl RealTimeSession {
 
     /// Registers an AST query.
     pub fn register_query(&mut self, name: &str, q: &Query) -> Result<QueryId, EngineError> {
+        self.ensure_live()?;
         let nq = NormalQuery::from_query(q);
-        let eval = match classify(self.db.catalog(), &nq) {
-            QueryClass::Regular => SessionEval::Regular(RegularEvaluator::new(&self.db, &nq)?),
-            QueryClass::ExtendedRegular => {
-                SessionEval::Extended(ExtendedRegularEvaluator::new(&self.db, &nq)?)
-            }
-            other => {
-                return Err(EngineError::Query(QueryError::NotInClass(format!(
-                    "streaming (regular or extended regular); query is {other}"
-                ))))
-            }
-        };
-        let mut reg = Registered {
-            name: name.to_owned(),
-            eval,
-        };
-        // Fast-forward through already-closed ticks.
-        for _ in 0..self.t {
-            match &mut reg.eval {
-                SessionEval::Regular(e) => {
-                    e.step(&self.db);
+        let (kind, mut new_chains): (QueryKind, Vec<ChainEvaluator>) =
+            match classify(self.db.catalog(), &nq) {
+                QueryClass::Regular => (
+                    QueryKind::Regular,
+                    vec![RegularEvaluator::new(&self.db, &nq)?.into_chain()],
+                ),
+                QueryClass::ExtendedRegular => (
+                    QueryKind::Extended,
+                    ExtendedRegularEvaluator::new(&self.db, &nq)?
+                        .into_chains()
+                        .into_iter()
+                        .map(|(_, chain)| chain)
+                        .collect(),
+                ),
+                other => {
+                    return Err(EngineError::Query(QueryError::NotInClass(format!(
+                        "streaming (regular or extended regular); query is {other}"
+                    ))))
                 }
-                SessionEval::Extended(e) => {
-                    e.step(&self.db);
-                }
+            };
+        // Fast-forward through already-closed ticks so the new query's
+        // clock matches the session's.
+        for chain in &mut new_chains {
+            for _ in 0..self.t {
+                chain.step(&self.db);
             }
         }
-        self.queries.push(reg);
-        Ok(QueryId(self.queries.len() - 1))
+        let query_index = self.queries.len();
+        self.queries.push(Registered {
+            name: name.to_owned(),
+            kind,
+            first_chain: self.total_chains,
+            n_chains: new_chains.len(),
+        });
+        self.total_chains += new_chains.len();
+        self.stats.record_grounding(new_chains.len() as u64);
+        self.repartition(new_chains.into_iter().map(|c| (query_index, c)).collect());
+        Ok(QueryId(query_index))
+    }
+
+    /// Rebalances all chains (plus `appended`, which go at the end of the
+    /// global order) into contiguous shards, one per slot.
+    fn repartition(&mut self, appended: Vec<(usize, ChainEvaluator)>) {
+        let n_shards = self.shards.len();
+        let mut all: Vec<(usize, ChainEvaluator)> = Vec::with_capacity(self.total_chains);
+        for slot in &mut self.shards {
+            let shard = slot.take().expect("repartition requires all shards home");
+            all.extend(shard.chains);
+        }
+        all.extend(appended);
+        debug_assert_eq!(all.len(), self.total_chains);
+        let base = all.len() / n_shards;
+        let extra = all.len() % n_shards;
+        let mut rest = all;
+        let mut start = 0;
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            let take = base + usize::from(i < extra);
+            let tail = rest.split_off(take);
+            *slot = Some(Shard {
+                start,
+                chains: rest,
+            });
+            start += take;
+            rest = tail;
+        }
+    }
+
+    /// Grows the shard count to match the worker pool, spawning it on
+    /// first use.
+    fn ensure_pool(&mut self) {
+        if self.pool.is_some() {
+            return;
+        }
+        let n_workers = self.effective_workers();
+        if self.shards.len() != n_workers {
+            // Re-home every chain across the new shard count.
+            let have: usize = self.shards.len();
+            self.shards.extend((have..n_workers).map(|_| None));
+            for slot in &mut self.shards {
+                if slot.is_none() {
+                    *slot = Some(Shard {
+                        start: 0,
+                        chains: Vec::new(),
+                    });
+                }
+            }
+            self.shards.truncate(n_workers);
+            self.repartition(Vec::new());
+        }
+        self.pool = Some(WorkerPool::spawn(n_workers));
+    }
+
+    fn ensure_live(&self) -> Result<(), EngineError> {
+        if self.poisoned {
+            return Err(EngineError::WorkerPanicked(
+                "session poisoned by an earlier worker panic".to_owned(),
+            ));
+        }
+        Ok(())
     }
 
     /// Stages the current tick's marginal for stream `stream_index`
@@ -159,42 +434,142 @@ impl RealTimeSession {
         }
         let domain = self.db.streams()[stream_index].domain().clone();
         if marginal.probs().len() != domain.len() {
-            return Err(EngineError::Model(lahar_model::ModelError::DimensionMismatch {
-                expected: domain.len(),
-                got: marginal.probs().len(),
-            }));
+            return Err(EngineError::Model(
+                lahar_model::ModelError::DimensionMismatch {
+                    expected: domain.len(),
+                    got: marginal.probs().len(),
+                },
+            ));
         }
         self.staged[stream_index] = Some(marginal);
         Ok(())
     }
 
     /// Closes the tick: appends every staged marginal (⊥ for unstaged
-    /// streams), advances all registered queries one step, and returns
-    /// their alerts for the closed timestep.
+    /// streams), advances all registered queries one step — in place or
+    /// across the worker pool, per [`SessionConfig`] — and returns their
+    /// alerts for the closed timestep.
     pub fn tick(&mut self) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_live()?;
+        let started = Instant::now();
+        let mut tick_marginals = Vec::with_capacity(self.staged.len());
         for idx in 0..self.staged.len() {
             let marginal = self.staged[idx]
                 .take()
                 .unwrap_or_else(|| Marginal::all_bottom(self.db.streams()[idx].domain()));
             let id = self.db.streams()[idx].id().clone();
-            self.db.push_marginal(&id, marginal)?;
+            self.db.push_marginal(&id, marginal.clone())?;
+            tick_marginals.push(marginal);
         }
+        let parallel = self.parallel_tick();
+        let probs = if parallel {
+            self.step_chains_parallel(tick_marginals)?
+        } else {
+            self.step_chains_sequential()
+        };
         let t = self.t;
-        let mut alerts = Vec::with_capacity(self.queries.len());
-        for (i, reg) in self.queries.iter_mut().enumerate() {
-            let probability = match &mut reg.eval {
-                SessionEval::Regular(e) => e.step(&self.db),
-                SessionEval::Extended(e) => e.step(&self.db),
-            };
-            alerts.push(Alert {
-                query: QueryId(i),
-                name: reg.name.clone(),
-                t,
-                probability,
-            });
-        }
+        let alerts: Vec<Alert> = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, reg)| {
+                let chains = &probs[reg.first_chain..reg.first_chain + reg.n_chains];
+                let probability = match reg.kind {
+                    QueryKind::Regular => chains[0],
+                    // Thm 3.7: per-key instances are independent, so
+                    // their combination is 1 − Π(1 − pᵢ), multiplied in
+                    // canonical binding order for reproducibility.
+                    QueryKind::Extended => {
+                        1.0 - chains.iter().fold(1.0, |none, p| none * (1.0 - p))
+                    }
+                };
+                Alert {
+                    query: QueryId(i),
+                    name: reg.name.clone(),
+                    t,
+                    probability,
+                }
+            })
+            .collect();
         self.t += 1;
+        self.stats
+            .record_tick(started.elapsed(), self.total_chains as u64, parallel);
+        self.stats.record_alerts(alerts.len() as u64);
         Ok(alerts)
+    }
+
+    /// Steps every chain in place, returning per-chain probabilities in
+    /// global sequence order.
+    fn step_chains_sequential(&mut self) -> Vec<f64> {
+        let mut probs = vec![0.0; self.total_chains];
+        for slot in &mut self.shards {
+            let shard = slot.as_mut().expect("all shards home between ticks");
+            for (offset, (_, chain)) in shard.chains.iter_mut().enumerate() {
+                probs[shard.start + offset] = chain.step(&self.db);
+            }
+        }
+        probs
+    }
+
+    /// Ships each shard to its worker with this tick's marginals and
+    /// reassembles the per-chain probabilities in global sequence order.
+    fn step_chains_parallel(
+        &mut self,
+        tick_marginals: Vec<Marginal>,
+    ) -> Result<Vec<f64>, EngineError> {
+        self.ensure_pool();
+        let marginals = Arc::new(tick_marginals);
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        let mut in_flight = 0usize;
+        for (w, slot) in self.shards.iter_mut().enumerate() {
+            let shard = slot.take().expect("all shards home between ticks");
+            if shard.chains.is_empty() {
+                *slot = Some(shard);
+                continue;
+            }
+            if pool.jobs[w]
+                .send(Job {
+                    shard,
+                    marginals: marginals.clone(),
+                })
+                .is_err()
+            {
+                // The worker is gone; its channel only closes when the
+                // thread exited, which the reply loop below reports.
+                self.poisoned = true;
+                return Err(EngineError::WorkerPanicked(format!(
+                    "session worker {w} exited before the tick"
+                )));
+            }
+            in_flight += 1;
+        }
+        let mut probs = vec![0.0; self.total_chains];
+        let mut first_error: Option<EngineError> = None;
+        for _ in 0..in_flight {
+            match pool.replies.recv() {
+                Ok((w, Ok((shard, shard_probs)))) => {
+                    probs[shard.start..shard.start + shard_probs.len()]
+                        .copy_from_slice(&shard_probs);
+                    self.shards[w] = Some(shard);
+                }
+                Ok((_, Err(msg))) => {
+                    first_error.get_or_insert(EngineError::WorkerPanicked(msg));
+                }
+                Err(_) => {
+                    first_error.get_or_insert_with(|| {
+                        EngineError::WorkerPanicked("session worker pool disconnected".to_owned())
+                    });
+                    break;
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            // A lost shard means lost chain state: refuse further ticks
+            // instead of silently answering from half the chains.
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(probs)
     }
 }
 
@@ -213,8 +588,10 @@ mod tests {
             .unwrap();
         let joe = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
         let sue = StreamBuilder::new(&i, "At", &["sue"], &["a", "h", "c"]);
-        db.add_stream(joe.clone().independent(vec![]).unwrap()).unwrap();
-        db.add_stream(sue.clone().independent(vec![]).unwrap()).unwrap();
+        db.add_stream(joe.clone().independent(vec![]).unwrap())
+            .unwrap();
+        db.add_stream(sue.clone().independent(vec![]).unwrap())
+            .unwrap();
         (db, joe, sue)
     }
 
@@ -223,8 +600,12 @@ mod tests {
     fn incremental_equals_batch() {
         let (db, joe, sue) = schema_db();
         let mut session = RealTimeSession::new(db).unwrap();
-        session.register("regular", "At('joe','a') ; At('joe','c')").unwrap();
-        session.register("extended", "At(p,'a') ; At(p,'c')").unwrap();
+        session
+            .register("regular", "At('joe','a') ; At('joe','c')")
+            .unwrap();
+        session
+            .register("extended", "At(p,'a') ; At(p,'c')")
+            .unwrap();
 
         let joe_ticks = [
             joe.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
@@ -264,7 +645,9 @@ mod tests {
         let (db, joe, _) = schema_db();
         let mut session = RealTimeSession::new(db).unwrap();
         let q = session.register("q", "At('joe','a')").unwrap();
-        session.stage(0, joe.marginal(&[("a", 0.5)]).unwrap()).unwrap();
+        session
+            .stage(0, joe.marginal(&[("a", 0.5)]).unwrap())
+            .unwrap();
         let alerts = session.tick().unwrap();
         assert!((alerts[q.0].probability - 0.5).abs() < 1e-12);
         // Nothing staged: the tick closes with no events anywhere.
@@ -281,13 +664,10 @@ mod tests {
             .register("bad", "sigma[x = y](At(x,'a') ; At(y,'c'))")
             .is_err());
         // Wrong-dimension marginal.
-        let other = StreamBuilder::new(
-            session.database().interner(),
-            "At",
-            &["zz"],
-            &["only"],
-        );
-        assert!(session.stage(0, other.marginal(&[("only", 1.0)]).unwrap()).is_err());
+        let other = StreamBuilder::new(session.database().interner(), "At", &["zz"], &["only"]);
+        assert!(session
+            .stage(0, other.marginal(&[("only", 1.0)]).unwrap())
+            .is_err());
         // Out-of-range stream index.
         assert!(session.stage(9, joe.marginal(&[]).unwrap()).is_err());
     }
@@ -299,8 +679,12 @@ mod tests {
         db.declare_stream("At", &["person"], &["loc"]).unwrap();
         let i = db.interner().clone();
         let b = StreamBuilder::new(&i, "At", &["joe"], &["a"]);
-        db.add_stream(b.clone().independent(vec![b.marginal(&[]).unwrap()]).unwrap())
-            .unwrap();
+        db.add_stream(
+            b.clone()
+                .independent(vec![b.marginal(&[]).unwrap()])
+                .unwrap(),
+        )
+        .unwrap();
         assert!(RealTimeSession::new(db).is_err());
         let _ = joe;
     }
@@ -309,16 +693,128 @@ mod tests {
     fn late_registration_fast_forwards_through_history() {
         let (db, joe, _) = schema_db();
         let mut session = RealTimeSession::new(db).unwrap();
-        session.stage(0, joe.marginal(&[("a", 1.0)]).unwrap()).unwrap();
+        session
+            .stage(0, joe.marginal(&[("a", 1.0)]).unwrap())
+            .unwrap();
         session.tick().unwrap();
         // Registered after one tick: replays the recorded history so its
         // first alert is the true μ(q@1) over the full stream.
         let q = session
             .register("late", "At('joe','a') ; At('joe','c')")
             .unwrap();
-        session.stage(0, joe.marginal(&[("c", 0.8)]).unwrap()).unwrap();
+        session
+            .stage(0, joe.marginal(&[("c", 0.8)]).unwrap())
+            .unwrap();
         let alerts = session.tick().unwrap();
         assert_eq!(alerts[q.0].t, 1);
         assert!((alerts[q.0].probability - 0.8).abs() < 1e-12);
+    }
+
+    /// Forced-parallel ticks answer exactly like a forced-sequential
+    /// session fed the same marginals.
+    #[test]
+    fn parallel_ticks_match_sequential() {
+        let mk = |mode| {
+            let (db, joe, sue) = schema_db();
+            let session = RealTimeSession::with_config(
+                db,
+                SessionConfig {
+                    tick_mode: mode,
+                    n_workers: 3,
+                    ..SessionConfig::default()
+                },
+            )
+            .unwrap();
+            (session, joe, sue)
+        };
+        let (mut seq, joe, sue) = mk(TickMode::Sequential);
+        let (mut par, _, _) = mk(TickMode::Parallel);
+        for s in [&mut seq, &mut par] {
+            s.register("r", "At('joe','a') ; At('joe','c')").unwrap();
+            s.register("x", "At(p,'a') ; At(p,'c')").unwrap();
+            s.register("h", "At(p, l)[Hallway(l)]").unwrap();
+        }
+        let ticks = [
+            vec![(0, joe.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap())],
+            vec![
+                (0, joe.marginal(&[("c", 0.5)]).unwrap()),
+                (1, sue.marginal(&[("a", 0.8)]).unwrap()),
+            ],
+            vec![(1, sue.marginal(&[("c", 0.9), ("h", 0.05)]).unwrap())],
+        ];
+        for staged in &ticks {
+            for (idx, m) in staged {
+                seq.stage(*idx, m.clone()).unwrap();
+                par.stage(*idx, m.clone()).unwrap();
+            }
+            let a = seq.tick().unwrap();
+            let b = par.tick().unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.t, y.t);
+                assert!(
+                    (x.probability - y.probability).abs() < 1e-12,
+                    "{}: {} vs {}",
+                    x.name,
+                    x.probability,
+                    y.probability
+                );
+            }
+        }
+        let snap = par.stats().snapshot();
+        assert_eq!(snap.ticks, 3);
+        assert_eq!(snap.parallel_ticks, 3);
+        assert_eq!(seq.stats().snapshot().parallel_ticks, 0);
+    }
+
+    /// Chains partition into contiguous balanced shards covering every
+    /// registered chain exactly once.
+    #[test]
+    fn shards_stay_contiguous_and_balanced() {
+        let (db, _, _) = schema_db();
+        let mut session = RealTimeSession::with_config(
+            db,
+            SessionConfig {
+                tick_mode: TickMode::Parallel,
+                n_workers: 3,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        session.register("a", "At(p,'h') ; At(p,'a')").unwrap(); // 2 chains
+        session.register("b", "At('joe','a')").unwrap(); // 1 chain
+        session.register("c", "At(p,'a') ; At(p,'c')").unwrap(); // 2 chains
+        session.tick().unwrap(); // forces the pool + repartition
+        assert_eq!(session.n_chains(), 5);
+        let shards = &session.shards;
+        assert_eq!(shards.len(), 3);
+        let mut covered = 0;
+        for slot in shards {
+            let shard = slot.as_ref().unwrap();
+            assert_eq!(shard.start, covered);
+            covered += shard.chains.len();
+            assert!((1..=2).contains(&shard.chains.len()));
+        }
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn stats_record_ticks_and_groundings() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        session.register("x", "At(p,'a') ; At(p,'c')").unwrap();
+        session
+            .stage(0, joe.marginal(&[("a", 0.4)]).unwrap())
+            .unwrap();
+        session.tick().unwrap();
+        session.tick().unwrap();
+        let snap = session.stats().snapshot();
+        assert_eq!(snap.ticks, 2);
+        assert_eq!(snap.bindings_grounded, 2);
+        assert_eq!(snap.chains_stepped, 4);
+        assert_eq!(snap.alerts_emitted, 2);
+        assert_eq!(snap.tick_latency.count, 2);
+        let json = snap.to_json();
+        assert!(json.contains("\"ticks\":2"));
     }
 }

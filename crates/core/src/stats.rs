@@ -1,0 +1,383 @@
+//! Engine observability: tick-latency histograms, throughput counters,
+//! sampler world counts, and safe-plan→sampler fallback accounting.
+//!
+//! [`EngineStats`] is a cheaply cloneable handle (an `Arc` over atomics)
+//! shared between the engine, the [`crate::RealTimeSession`] tick loop,
+//! and its parallel workers. [`EngineStats::snapshot`] freezes a
+//! consistent-enough view for dashboards; [`StatsSnapshot::to_json`]
+//! renders it as a JSON document without any serialization dependency.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^{i+1})` nanoseconds; the last bucket is open-ended).
+const N_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct Histogram {
+    counts: [u64; N_BUCKETS],
+    n: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; N_BUCKETS],
+            n: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, ns: u64) {
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.counts[bucket.min(N_BUCKETS - 1)] += 1;
+        self.n += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Upper-bound estimate of quantile `q` from the bucket boundaries.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let rank = ((self.n as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1).min(63)).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ticks: AtomicU64,
+    parallel_ticks: AtomicU64,
+    chains_stepped: AtomicU64,
+    bindings_grounded: AtomicU64,
+    alerts_emitted: AtomicU64,
+    sampler_compilations: AtomicU64,
+    sampler_worlds: AtomicU64,
+    fallbacks: AtomicU64,
+    tick_latency: Mutex<Histogram>,
+    fallback_reasons: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Shared, thread-safe engine metrics. Cloning yields another handle to
+/// the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    inner: Arc<Inner>,
+}
+
+impl EngineStats {
+    /// A fresh, zeroed set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed session tick: its wall-clock latency, how
+    /// many per-binding chains were stepped, and whether the sharded
+    /// parallel path ran it.
+    pub fn record_tick(&self, latency: Duration, chains_stepped: u64, parallel: bool) {
+        self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+        if parallel {
+            self.inner.parallel_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner
+            .chains_stepped
+            .fetch_add(chains_stepped, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.inner.tick_latency.lock().unwrap().record(ns);
+    }
+
+    /// Records chains grounded for a newly registered query.
+    pub fn record_grounding(&self, bindings: u64) {
+        self.inner
+            .bindings_grounded
+            .fetch_add(bindings, Ordering::Relaxed);
+    }
+
+    /// Records alerts emitted by a tick.
+    pub fn record_alerts(&self, n: u64) {
+        self.inner.alerts_emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a Monte Carlo compilation simulating `worlds` sampled
+    /// worlds.
+    pub fn record_sampler(&self, worlds: u64) {
+        self.inner
+            .sampler_compilations
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .sampler_worlds
+            .fetch_add(worlds, Ordering::Relaxed);
+    }
+
+    /// Records an exact-path→sampler fallback and why it happened.
+    pub fn record_fallback(&self, reason: &str) {
+        self.inner.fallbacks.fetch_add(1, Ordering::Relaxed);
+        *self
+            .inner
+            .fallback_reasons
+            .lock()
+            .unwrap()
+            .entry(reason.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// Freezes the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let i = &self.inner;
+        let hist = i.tick_latency.lock().unwrap();
+        let buckets = hist
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (1u64 << b, c))
+            .collect();
+        let latency = LatencySnapshot {
+            count: hist.n,
+            min_ns: if hist.n == 0 { 0 } else { hist.min_ns },
+            max_ns: hist.max_ns,
+            mean_ns: if hist.n == 0 {
+                0.0
+            } else {
+                hist.sum_ns as f64 / hist.n as f64
+            },
+            p50_ns: hist.quantile_ns(0.50),
+            p95_ns: hist.quantile_ns(0.95),
+            p99_ns: hist.quantile_ns(0.99),
+            buckets,
+        };
+        drop(hist);
+        StatsSnapshot {
+            ticks: i.ticks.load(Ordering::Relaxed),
+            parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
+            chains_stepped: i.chains_stepped.load(Ordering::Relaxed),
+            bindings_grounded: i.bindings_grounded.load(Ordering::Relaxed),
+            alerts_emitted: i.alerts_emitted.load(Ordering::Relaxed),
+            sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
+            sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
+            fallbacks: i.fallbacks.load(Ordering::Relaxed),
+            fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
+            tick_latency: latency,
+        }
+    }
+}
+
+/// Tick-latency summary inside a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySnapshot {
+    /// Ticks recorded.
+    pub count: u64,
+    /// Fastest tick, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest tick, nanoseconds.
+    pub max_ns: u64,
+    /// Mean tick latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Median estimate (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile estimate, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile estimate, nanoseconds.
+    pub p99_ns: u64,
+    /// Non-empty `(bucket_lower_bound_ns, count)` pairs; bucket `b`
+    /// covers `[b, 2b)` nanoseconds.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A frozen view of [`EngineStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Session ticks processed.
+    pub ticks: u64,
+    /// Ticks that ran on the sharded parallel path.
+    pub parallel_ticks: u64,
+    /// Per-binding chains stepped across all ticks.
+    pub chains_stepped: u64,
+    /// Per-key chains grounded at query registration.
+    pub bindings_grounded: u64,
+    /// Alerts emitted by ticks.
+    pub alerts_emitted: u64,
+    /// Monte Carlo compilations.
+    pub sampler_compilations: u64,
+    /// Total sampled worlds across those compilations.
+    pub sampler_worlds: u64,
+    /// Exact-path→sampler fallbacks.
+    pub fallbacks: u64,
+    /// Fallback reason → occurrence count.
+    pub fallback_reasons: BTreeMap<String, u64>,
+    /// Tick-latency histogram summary.
+    pub tick_latency: LatencySnapshot,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(512);
+        write!(
+            out,
+            "{{\"ticks\":{},\"parallel_ticks\":{},\"chains_stepped\":{},\
+             \"bindings_grounded\":{},\"alerts_emitted\":{},\
+             \"sampler\":{{\"compilations\":{},\"worlds\":{}}},",
+            self.ticks,
+            self.parallel_ticks,
+            self.chains_stepped,
+            self.bindings_grounded,
+            self.alerts_emitted,
+            self.sampler_compilations,
+            self.sampler_worlds,
+        )
+        .unwrap();
+        write!(
+            out,
+            "\"fallbacks\":{{\"count\":{},\"reasons\":{{",
+            self.fallbacks
+        )
+        .unwrap();
+        for (i, (reason, count)) in self.fallback_reasons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, reason);
+            write!(out, ":{count}").unwrap();
+        }
+        let l = &self.tick_latency;
+        write!(
+            out,
+            "}}}},\"tick_latency_ns\":{{\"count\":{},\"min\":{},\"max\":{},\
+             \"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            l.count, l.min_ns, l.max_ns, l.mean_ns, l.p50_ns, l.p95_ns, l.p99_ns,
+        )
+        .unwrap();
+        for (i, (lower, count)) in l.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "[{lower},{count}]").unwrap();
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let stats = EngineStats::new();
+        let clone = stats.clone();
+        stats.record_tick(Duration::from_micros(10), 5, false);
+        clone.record_tick(Duration::from_micros(20), 7, true);
+        stats.record_grounding(3);
+        stats.record_alerts(2);
+        stats.record_sampler(1024);
+        stats.record_fallback("safe: no safe plan exists");
+        stats.record_fallback("safe: no safe plan exists");
+        let snap = stats.snapshot();
+        assert_eq!(snap.ticks, 2);
+        assert_eq!(snap.parallel_ticks, 1);
+        assert_eq!(snap.chains_stepped, 12);
+        assert_eq!(snap.bindings_grounded, 3);
+        assert_eq!(snap.alerts_emitted, 2);
+        assert_eq!(snap.sampler_compilations, 1);
+        assert_eq!(snap.sampler_worlds, 1024);
+        assert_eq!(snap.fallbacks, 2);
+        assert_eq!(
+            snap.fallback_reasons.get("safe: no safe plan exists"),
+            Some(&2)
+        );
+        assert_eq!(snap.tick_latency.count, 2);
+        assert!(snap.tick_latency.min_ns <= snap.tick_latency.max_ns);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let stats = EngineStats::new();
+        for us in [1u64, 2, 4, 8, 100, 200, 400, 800, 1600, 10_000] {
+            stats.record_tick(Duration::from_micros(us), 1, false);
+        }
+        let l = stats.snapshot().tick_latency;
+        assert_eq!(l.count, 10);
+        assert!(l.p50_ns >= l.min_ns);
+        assert!(l.p95_ns >= l.p50_ns);
+        assert!(l.p99_ns >= l.p95_ns);
+        assert!(l.p99_ns <= l.max_ns);
+        assert_eq!(l.buckets.iter().map(|(_, c)| c).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let stats = EngineStats::new();
+        stats.record_tick(Duration::from_micros(42), 9, true);
+        stats.record_fallback("needs \"quoting\"\n");
+        let json = stats.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ticks\":1"));
+        assert!(json.contains("\"chains_stepped\":9"));
+        assert!(json.contains("\\\"quoting\\\"\\n"));
+        // Balanced braces/brackets outside of strings.
+        let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+        for c in json.chars() {
+            match (in_str, esc, c) {
+                (true, true, _) => esc = false,
+                (true, false, '\\') => esc = true,
+                (true, false, '"') => in_str = false,
+                (true, _, _) => {}
+                (false, _, '"') => in_str = true,
+                (false, _, '{') | (false, _, '[') => depth += 1,
+                (false, _, '}') | (false, _, ']') => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = EngineStats::new().snapshot();
+        assert_eq!(snap.ticks, 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"count\":0"));
+        assert!(json.contains("\"buckets\":[]"));
+    }
+}

@@ -47,20 +47,10 @@ pub fn build_regex(items: &[NormalItem]) -> Regex {
             // successor competition.
             e = e.then(Regex::superset(a));
             if is_kleene {
-                e = e.then(
-                    Regex::disjoint(ma)
-                        .star()
-                        .then(Regex::superset(a))
-                        .star(),
-                );
+                e = e.then(Regex::disjoint(ma).star().then(Regex::superset(a)).star());
             }
         } else if is_kleene {
-            e = e.then(
-                Regex::disjoint(ma)
-                    .star()
-                    .then(Regex::superset(a))
-                    .plus(),
-            );
+            e = e.then(Regex::disjoint(ma).star().then(Regex::superset(a)).plus());
         } else {
             e = e.then(Regex::disjoint(ma).star()).then(Regex::superset(a));
         }
@@ -108,7 +98,11 @@ fn substitute_base(base: &BaseQuery, binding: &Binding) -> BaseQuery {
 fn substitute_goal(goal: &Subgoal, binding: &Binding) -> Subgoal {
     Subgoal {
         stream_type: goal.stream_type,
-        args: goal.args.iter().map(|t| substitute_term(t, binding)).collect(),
+        args: goal
+            .args
+            .iter()
+            .map(|t| substitute_term(t, binding))
+            .collect(),
     }
 }
 
@@ -226,11 +220,7 @@ pub fn symbols_for_event(
 /// Candidate constants for grounding a variable: the values observed at
 /// `x`'s positions across the database's streams, intersected over the
 /// subgoals in which `x` occurs.
-pub fn candidate_values(
-    db: &Database,
-    items: &[NormalItem],
-    x: Var,
-) -> Vec<lahar_model::Value> {
+pub fn candidate_values(db: &Database, items: &[NormalItem], x: Var) -> Vec<lahar_model::Value> {
     use std::collections::BTreeSet;
     let mut candidates: Option<BTreeSet<lahar_model::Value>> = None;
     for item in items {
@@ -265,7 +255,9 @@ pub fn candidate_values(
             Some(prev) => prev.intersection(&here).copied().collect(),
         });
     }
-    candidates.map(|s| s.into_iter().collect()).unwrap_or_default()
+    candidates
+        .map(|s| s.into_iter().collect())
+        .unwrap_or_default()
 }
 
 /// Grounds a tuple of variables over their candidate sets, returning every
@@ -336,10 +328,7 @@ mod tests {
         // Goal then kleene then goal.
         let it = items(&db, "At('joe','a') ; (At('joe', l))+{} ; At('joe','c')");
         let e = build_regex(&it);
-        assert_eq!(
-            e.to_string(),
-            "(.*, {1}, (¬{2,3}*, {3})+, ¬{4,5}*, {5})"
-        );
+        assert_eq!(e.to_string(), "(.*, {1}, (¬{2,3}*, {3})+, ¬{4,5}*, {5})");
         // Kleene first.
         let it = items(&db, "(At('joe', l))+{}");
         let e = build_regex(&it);
@@ -353,9 +342,7 @@ mod tests {
         db.declare_stream("R", &[], &["y"]).unwrap();
         let i = db.interner().clone();
         let b = StreamBuilder::new(&i, "R", &[], &["a", "b", "c"]);
-        let s = b
-            .deterministic(&[Some("a"), Some("c"), Some("b")])
-            .unwrap();
+        let s = b.deterministic(&[Some("a"), Some("c"), Some("b")]).unwrap();
         db.add_stream(s).unwrap();
         let stream = &db.streams()[0];
 

@@ -40,7 +40,8 @@ fn deterministic_streams_give_zero_one_answers() {
     let mut db = empty_db();
     let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["a", "b"]);
     db.add_stream(
-        b.deterministic(&[Some("a"), None, Some("b"), Some("a")]).unwrap(),
+        b.deterministic(&[Some("a"), None, Some("b"), Some("a")])
+            .unwrap(),
     )
     .unwrap();
     let series = Lahar::prob_series(&db, "At('joe','a') ; At('joe','b')").unwrap();
@@ -51,7 +52,8 @@ fn deterministic_streams_give_zero_one_answers() {
 fn certain_event_every_step_saturates_kleene() {
     let mut db = empty_db();
     let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["a"]);
-    db.add_stream(b.deterministic(&[Some("a"); 5]).unwrap()).unwrap();
+    db.add_stream(b.deterministic(&[Some("a"); 5]).unwrap())
+        .unwrap();
     let series = Lahar::prob_series(&db, "(At('joe', l))+{}").unwrap();
     assert_eq!(series, vec![1.0; 5]);
 }
@@ -62,9 +64,15 @@ fn probabilities_remain_normalized_under_long_runs() {
     let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["a", "b"]);
     let init = b.marginal(&[("a", 0.5), ("b", 0.5)]).unwrap();
     let cpt = b
-        .cpt(&[("a", "a", 0.5), ("a", "b", 0.5), ("b", "b", 0.5), ("b", "a", 0.5)])
+        .cpt(&[
+            ("a", "a", 0.5),
+            ("a", "b", 0.5),
+            ("b", "b", 0.5),
+            ("b", "a", 0.5),
+        ])
         .unwrap();
-    db.add_stream(b.markov(init, vec![cpt; 200]).unwrap()).unwrap();
+    db.add_stream(b.markov(init, vec![cpt; 200]).unwrap())
+        .unwrap();
     for p in Lahar::prob_series(&db, "At('joe','a') ; At('joe','b')").unwrap() {
         assert!((0.0..=1.0).contains(&p), "{p}");
     }
@@ -93,7 +101,8 @@ fn sampler_on_empty_database_returns_zeroes() {
 fn queries_at_the_32_subgoal_limit_are_rejected() {
     let mut db = empty_db();
     let b = StreamBuilder::new(db.interner(), "At", &["joe"], &["a"]);
-    db.add_stream(b.deterministic(&[Some("a")]).unwrap()).unwrap();
+    db.add_stream(b.deterministic(&[Some("a")]).unwrap())
+        .unwrap();
     let big = vec!["At('joe','a')"; 33].join(" ; ");
     assert!(Lahar::compile(&db, &big).is_err());
     let ok = vec!["At('joe','a')"; 32].join(" ; ");
@@ -107,8 +116,12 @@ fn conflicting_simultaneous_streams_combine() {
     let mut db = empty_db();
     for (p, pr) in [("joe", 0.5), ("sue", 0.5)] {
         let b = StreamBuilder::new(db.interner(), "At", &[p], &["a"]);
-        db.add_stream(b.clone().independent(vec![b.marginal(&[("a", pr)]).unwrap()]).unwrap())
-            .unwrap();
+        db.add_stream(
+            b.clone()
+                .independent(vec![b.marginal(&[("a", pr)]).unwrap()])
+                .unwrap(),
+        )
+        .unwrap();
     }
     let series = Lahar::prob_series(&db, "At(p, 'a')").unwrap();
     assert!((series[0] - 0.75).abs() < 1e-12);

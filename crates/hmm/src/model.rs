@@ -65,7 +65,12 @@ impl std::error::Error for HmmError {}
 
 const EPS: f64 = 1e-6;
 
-fn check_stochastic(what: &'static str, rows: usize, cols: usize, data: &[f64]) -> Result<(), HmmError> {
+fn check_stochastic(
+    what: &'static str,
+    rows: usize,
+    cols: usize,
+    data: &[f64],
+) -> Result<(), HmmError> {
     if data.len() != rows * cols {
         return Err(HmmError::Dimension {
             what,

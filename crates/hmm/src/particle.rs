@@ -43,11 +43,7 @@ impl ParticleFilter {
 
     /// Advances one timestep on `obs`, returning the estimated marginal
     /// `P[X_t | o_{1..t}]` as particle frequencies.
-    pub fn step<R: Rng + ?Sized>(
-        &mut self,
-        obs: usize,
-        rng: &mut R,
-    ) -> Result<Vec<f64>, HmmError> {
+    pub fn step<R: Rng + ?Sized>(&mut self, obs: usize, rng: &mut R) -> Result<Vec<f64>, HmmError> {
         if obs >= self.hmm.n_obs() {
             return Err(HmmError::BadObservation {
                 obs,
@@ -203,19 +199,12 @@ mod tests {
         // repeated no-readings leave the population drifting, so the
         // estimated marginal fluctuates between steps — the phenomenon the
         // paper blames for low-threshold precision loss (§4.2.1).
-        let hmm = Hmm::new(
-            vec![0.5, 0.5],
-            vec![0.5, 0.5, 0.5, 0.5],
-            vec![1.0, 1.0],
-            1,
-        )
-        .unwrap();
+        let hmm = Hmm::new(vec![0.5, 0.5], vec![0.5, 0.5, 0.5, 0.5], vec![1.0, 1.0], 1).unwrap();
         let mut pf = ParticleFilter::new(hmm, 50);
         let mut rng = SmallRng::seed_from_u64(5);
         let series: Vec<f64> = (0..40).map(|_| pf.step(0, &mut rng).unwrap()[0]).collect();
         let mean = series.iter().sum::<f64>() / series.len() as f64;
-        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / series.len() as f64;
         assert!(var > 1e-4, "expected churn, got variance {var}");
     }
 }

@@ -45,10 +45,7 @@ pub struct Trained {
 
 /// Scaled forward/backward pass returning (alphas, betas, scales).
 #[allow(clippy::type_complexity)]
-fn forward_backward_scaled(
-    hmm: &Hmm,
-    obs: &[usize],
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>) {
+fn forward_backward_scaled(hmm: &Hmm, obs: &[usize]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>) {
     let n = hmm.n_states();
     let len = obs.len();
     let mut alphas = vec![vec![0.0; n]; len];
@@ -264,10 +261,7 @@ mod tests {
             lls.push(log_likelihood(&model, &data).unwrap());
         }
         for w in lls.windows(2) {
-            assert!(
-                w[1] >= w[0] - 1e-6,
-                "EM decreased the likelihood: {lls:?}"
-            );
+            assert!(w[1] >= w[0] - 1e-6, "EM decreased the likelihood: {lls:?}");
         }
     }
 
@@ -317,7 +311,9 @@ mod tests {
         for i in 0..n {
             let t_sum: f64 = (0..n).map(|j| trained.hmm.trans(i, j)).sum();
             assert!((t_sum - 1.0).abs() < 1e-9);
-            let e_sum: f64 = (0..trained.hmm.n_obs()).map(|o| trained.hmm.emit(i, o)).sum();
+            let e_sum: f64 = (0..trained.hmm.n_obs())
+                .map(|o| trained.hmm.emit(i, o))
+                .sum();
             assert!((e_sum - 1.0).abs() < 1e-9);
         }
     }

@@ -24,7 +24,9 @@ impl Episode {
     pub fn distance(&self, other: &Episode) -> u32 {
         if other.start > self.end {
             other.start - self.end
-        } else { self.start.saturating_sub(other.end) }
+        } else {
+            self.start.saturating_sub(other.end)
+        }
     }
 }
 
@@ -184,10 +186,7 @@ mod tests {
             ]
         );
         assert!(episodes(&[]).is_empty());
-        assert_eq!(
-            episodes(&[true, true]),
-            vec![Episode { start: 0, end: 1 }]
-        );
+        assert_eq!(episodes(&[true, true]), vec![Episode { start: 0, end: 1 }]);
     }
 
     #[test]

@@ -163,7 +163,9 @@ mod tests {
         let i = Interner::new();
         let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "b"]);
         let init = b.marginal(&[("a", 1.0)]).unwrap();
-        let cpt = b.cpt(&[("a", "a", 0.5), ("a", "b", 0.5), ("b", "b", 1.0)]).unwrap();
+        let cpt = b
+            .cpt(&[("a", "a", 0.5), ("a", "b", 0.5), ("b", "b", 1.0)])
+            .unwrap();
         let s = b.markov(init, vec![cpt]).unwrap();
         assert!(s.is_markov());
         assert_eq!(s.len(), 2);

@@ -103,9 +103,7 @@ impl Database {
 
     /// Declares a standard relation and returns a handle for inserting.
     pub fn declare_relation(&mut self, name: &str, arity: usize) -> Result<(), CatalogError> {
-        let schema = self
-            .catalog
-            .declare_relation(&self.interner, name, arity)?;
+        let schema = self.catalog.declare_relation(&self.interner, name, arity)?;
         self.relations.insert(schema.name, Relation::new(arity));
         Ok(())
     }
@@ -170,12 +168,19 @@ impl Database {
 
     /// The horizon: one past the last recorded timestep across all streams.
     pub fn horizon(&self) -> u32 {
-        self.streams.iter().map(|s| s.len() as u32).max().unwrap_or(0)
+        self.streams
+            .iter()
+            .map(|s| s.len() as u32)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total relational tuple count across all streams (paper Fig 8(b)).
     pub fn relational_tuple_count(&self) -> usize {
-        self.streams.iter().map(Stream::relational_tuple_count).sum()
+        self.streams
+            .iter()
+            .map(Stream::relational_tuple_count)
+            .sum()
     }
 
     /// Materializes the world induced by one trajectory per stream

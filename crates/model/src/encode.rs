@@ -5,22 +5,20 @@
 //! `E(ID, T, A1..Ak, P)` — one row per non-zero marginal entry — and a
 //! Markovian stream in `E(ID, T, A′1..A′k, A1..Ak, P)` — one row per
 //! non-zero CPT entry (Fig 3(d)). This module materializes those rows
-//! (serde-serializable, for interchange with external tools) and provides
-//! a compact binary codec used to persist whole databases.
+//! and provides a compact binary codec used to persist whole databases.
 
 use crate::database::Database;
 use crate::dist::{Cpt, Domain, Marginal};
 use crate::stream::{Stream, StreamData, StreamId};
 use crate::value::{Interner, Tuple, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// One row of the paper's relational stream encoding.
 ///
 /// For independent streams `prev` is `None`; for Markov streams the row
 /// encodes `P[e(t) = values | e(t-1) = prev]`. The ⊥ outcome is encoded
 /// as an empty attribute list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamRow {
     /// Stream type name.
     pub stream_type: String,
@@ -211,7 +209,9 @@ pub fn encode_stream(interner: &Interner, stream: &Stream) -> Bytes {
     buf.put_u32_le(MAGIC);
     put_str(
         &mut buf,
-        &interner.resolve(stream.id().stream_type).unwrap_or_default(),
+        &interner
+            .resolve(stream.id().stream_type)
+            .unwrap_or_default(),
     );
     put_tuple(&mut buf, interner, &stream.id().key);
     let dom = stream.domain();
@@ -259,8 +259,9 @@ pub fn decode_stream(interner: &Interner, mut buf: Bytes) -> Result<Stream, Deco
     }
     let arity = buf.get_u32_le() as usize;
     let support = buf.get_u32_le() as usize;
-    let tuples: Result<Vec<Tuple>, _> =
-        (0..support).map(|_| get_tuple(&mut buf, interner)).collect();
+    let tuples: Result<Vec<Tuple>, _> = (0..support)
+        .map(|_| get_tuple(&mut buf, interner))
+        .collect();
     let domain = Domain::new(arity, tuples?).map_err(|_| DecodeError::Truncated)?;
     let dim = domain.len();
     let get_f64s = |n: usize, buf: &mut Bytes| -> Result<Vec<f64>, DecodeError> {
@@ -389,7 +390,7 @@ mod tests {
     }
 
     #[test]
-    fn markov_rows_have_prev_columns_after_t0(){
+    fn markov_rows_have_prev_columns_after_t0() {
         let (i, streams) = sample_streams();
         let rows = stream_rows(&i, &streams[1]);
         for r in &rows {
@@ -400,5 +401,4 @@ mod tests {
             }
         }
     }
-
 }

@@ -185,7 +185,8 @@ mod tests {
     fn declare_and_lookup_stream() {
         let i = Interner::new();
         let mut c = Catalog::new();
-        c.declare_stream(&i, "At", &["person"], &["location"]).unwrap();
+        c.declare_stream(&i, "At", &["person"], &["location"])
+            .unwrap();
         let at = c.stream(i.intern("At")).unwrap();
         assert_eq!(at.arity(), 2);
         assert_eq!(at.key_arity, 1);

@@ -45,11 +45,7 @@ impl std::fmt::Display for QueryClass {
 /// Validates a query against a catalog: declared stream types and
 /// relations, correct arities, bound condition variables, well-formed
 /// Kleene exports, and the subgoal-count limit.
-pub fn validate(
-    catalog: &Catalog,
-    interner: &Interner,
-    q: &Query,
-) -> Result<(), QueryError> {
+pub fn validate(catalog: &Catalog, interner: &Interner, q: &Query) -> Result<(), QueryError> {
     let bases = q.base_queries();
     if bases.len() > MAX_SUBGOALS {
         return Err(QueryError::TooManySubgoals(bases.len()));
@@ -67,7 +63,10 @@ pub fn validate(
                 got: goal.args.len(),
             });
         }
-        if let BaseQuery::Kleene { shared, goal, each, .. } = base {
+        if let BaseQuery::Kleene {
+            shared, goal, each, ..
+        } = base
+        {
             let gv = goal.vars();
             for v in shared {
                 if !gv.contains(v) {
@@ -318,9 +317,11 @@ pub fn cannot_unify(items: &[NormalItem], goal: &Subgoal) -> bool {
         if g.stream_type != goal.stream_type {
             continue;
         }
-        let clash = g.args.iter().zip(&goal.args).any(|(a, b)| {
-            matches!((a, b), (Term::Const(ca), Term::Const(cb)) if ca != cb)
-        });
+        let clash = g
+            .args
+            .iter()
+            .zip(&goal.args)
+            .any(|(a, b)| matches!((a, b), (Term::Const(ca), Term::Const(cb)) if ca != cb));
         if !clash {
             return false;
         }
@@ -477,21 +478,18 @@ mod tests {
         let f = fixture();
         let (x, y, z, u) = (f.var("x"), f.var("y"), f.var("z"), f.var("u"));
         let anon = f.var("_0");
-        let q = Query::Base(f.goal(
-            "Carries",
-            vec![Term::Var(x), Term::Var(y), Term::Var(z)],
-        ))
-        .then(BaseQuery::Kleene {
-            goal: Subgoal {
-                stream_type: f.interner.intern("Carries"),
-                args: vec![Term::Var(x), Term::Var(y), Term::Var(anon)],
-            },
-            cond: Cond::True,
-            shared: vec![x, y],
-            each: Cond::True,
-        })
-        .then(f.goal("At", vec![Term::Var(x), Term::Var(u)]))
-        .select(f.rel("LectureRoom", u));
+        let q = Query::Base(f.goal("Carries", vec![Term::Var(x), Term::Var(y), Term::Var(z)]))
+            .then(BaseQuery::Kleene {
+                goal: Subgoal {
+                    stream_type: f.interner.intern("Carries"),
+                    args: vec![Term::Var(x), Term::Var(y), Term::Var(anon)],
+                },
+                cond: Cond::True,
+                shared: vec![x, y],
+                each: Cond::True,
+            })
+            .then(f.goal("At", vec![Term::Var(x), Term::Var(u)]))
+            .select(f.rel("LectureRoom", u));
         assert_eq!(f.classify(&q), QueryClass::Safe);
     }
 
@@ -578,10 +576,8 @@ mod tests {
     #[test]
     fn cannot_unify_requires_constant_clash() {
         let f = fixture();
-        let items = NormalQuery::from_query(&Query::Base(
-            f.goal("At", vec![f.s("joe"), f.s("a")]),
-        ))
-        .items;
+        let items =
+            NormalQuery::from_query(&Query::Base(f.goal("At", vec![f.s("joe"), f.s("a")]))).items;
         // Same type, distinct constant in position 1: cannot unify.
         let g2 = Subgoal {
             stream_type: f.interner.intern("At"),

@@ -234,20 +234,16 @@ impl Cond {
 
     /// Rebuilds a condition from conjuncts.
     pub fn from_conjuncts<I: IntoIterator<Item = Cond>>(conjuncts: I) -> Cond {
-        conjuncts
-            .into_iter()
-            .fold(Cond::True, |acc, c| acc.and(c))
+        conjuncts.into_iter().fold(Cond::True, |acc, c| acc.and(c))
     }
 
     /// Renders the condition.
     pub fn display(&self, interner: &Interner) -> String {
         match self {
             Cond::True => "true".to_owned(),
-            Cond::Cmp { op, lhs, rhs } => format!(
-                "{} {op} {}",
-                lhs.display(interner),
-                rhs.display(interner)
-            ),
+            Cond::Cmp { op, lhs, rhs } => {
+                format!("{} {op} {}", lhs.display(interner), rhs.display(interner))
+            }
             Cond::Rel { name, args } => {
                 let n = interner.resolve(*name).unwrap_or_default();
                 let args: Vec<String> = args.iter().map(|t| t.display(interner)).collect();
@@ -344,7 +340,11 @@ impl BaseQuery {
                 if each.is_true() {
                     format!("({inner})+{{{}}}", vars.join(", "))
                 } else {
-                    format!("({inner})+{{{} | {}}}", vars.join(", "), each.display(interner))
+                    format!(
+                        "({inner})+{{{} | {}}}",
+                        vars.join(", "),
+                        each.display(interner)
+                    )
                 }
             }
         }
@@ -415,7 +415,10 @@ impl Query {
 
     /// All subgoals, in left-to-right sequence order (paper: `goal(q)`).
     pub fn subgoals(&self) -> Vec<&Subgoal> {
-        self.base_queries().into_iter().map(BaseQuery::goal).collect()
+        self.base_queries()
+            .into_iter()
+            .map(BaseQuery::goal)
+            .collect()
     }
 
     /// All conditions anywhere in the query (inner, per-repetition, and
@@ -552,7 +555,13 @@ mod tests {
         let i = Interner::new();
         let x = v(&i, "x");
         let q = Query::Base(BaseQuery::Goal {
-            goal: at(&i, vec![Term::Var(x), Term::Const(lahar_model::Value::Str(i.intern("a")))]),
+            goal: at(
+                &i,
+                vec![
+                    Term::Var(x),
+                    Term::Const(lahar_model::Value::Str(i.intern("a"))),
+                ],
+            ),
             cond: Cond::True,
         });
         assert_eq!(q.display(&i), "At(x, 'a')");

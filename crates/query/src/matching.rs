@@ -53,10 +53,16 @@ impl fmt::Display for QueryError {
                 got,
             } => write!(f, "{atom}: expected {expected} arguments, got {got}"),
             QueryError::BadKleeneVar(v) => {
-                write!(f, "Kleene-shared variable {v} does not occur in its subgoal")
+                write!(
+                    f,
+                    "Kleene-shared variable {v} does not occur in its subgoal"
+                )
             }
             QueryError::TooManySubgoals(n) => {
-                write!(f, "query has {n} subgoals; the translation supports at most 32")
+                write!(
+                    f,
+                    "query has {n} subgoals; the translation supports at most 32"
+                )
             }
             QueryError::Parse { offset, message } => {
                 write!(f, "parse error at byte {offset}: {message}")
@@ -134,9 +140,7 @@ pub fn eval_cond(db: &Database, cond: &Cond, binding: &Binding) -> Result<bool, 
         }
         Cond::Rel { name, args } => {
             let rel = db.relation(*name).ok_or_else(|| {
-                QueryError::UnknownRelation(
-                    db.interner().resolve(*name).unwrap_or_default(),
-                )
+                QueryError::UnknownRelation(db.interner().resolve(*name).unwrap_or_default())
             })?;
             let vals: Result<Vec<Value>, _> = args.iter().map(|t| resolve(t, binding)).collect();
             Ok(rel.contains(&vals?))
@@ -208,7 +212,9 @@ mod tests {
         let e = event(&db, "joe", "h1", 1);
         assert!(match_event(&db, &g, &Cond::True, &e, &b).unwrap().is_none());
         let e2 = event(&db, "sue", "h1", 1);
-        assert!(match_event(&db, &g, &Cond::True, &e2, &b).unwrap().is_some());
+        assert!(match_event(&db, &g, &Cond::True, &e2, &b)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

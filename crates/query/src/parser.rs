@@ -87,7 +87,9 @@ impl<'a> Lexer<'a> {
                 return Ok((start, Tok::Punct(op)));
             }
         }
-        for op in [";", "(", ")", "[", "]", "{", "}", "+", ",", "|", "=", "<", ">", "_"] {
+        for op in [
+            ";", "(", ")", "[", "]", "{", "}", "+", ",", "|", "=", "<", ">", "_",
+        ] {
             if c == op.as_bytes()[0] {
                 self.pos += 1;
                 return Ok((start, Tok::Punct(op)));
@@ -129,16 +131,16 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            let s = std::str::from_utf8(&self.src[begin..self.pos]).unwrap().to_owned();
+            let s = std::str::from_utf8(&self.src[begin..self.pos])
+                .unwrap()
+                .to_owned();
             return Ok((start, Tok::Ident(s)));
         }
         Err(self.error(format!("unexpected character {:?}", c as char)))
     }
 
     fn peek_digit(&self) -> bool {
-        self.src
-            .get(self.pos + 1)
-            .is_some_and(u8::is_ascii_digit)
+        self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
     }
 }
 
@@ -389,7 +391,9 @@ impl<'a> Parser<'a> {
             Tok::Punct("<=") => CmpOp::Le,
             Tok::Punct(">") => CmpOp::Gt,
             Tok::Punct(">=") => CmpOp::Ge,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         let rhs = self.term()?;
         Ok(Cond::Cmp { op, lhs, rhs })
@@ -484,11 +488,7 @@ mod tests {
     #[test]
     fn parses_comparisons_and_booleans() {
         let i = interner();
-        let q = parse_query(
-            &i,
-            "sigma[y > 20 AND (NOT Hall(z) OR y != 30)](R(y, z))",
-        )
-        .unwrap();
+        let q = parse_query(&i, "sigma[y > 20 AND (NOT Hall(z) OR y != 30)](R(y, z))").unwrap();
         match q {
             Query::Select(c, _) => {
                 assert_eq!(c.conjuncts().len(), 2);
@@ -554,10 +554,7 @@ mod tests {
             "sigma[x ~ 3](R(x))",
         ] {
             let err = parse_query(&i, bad).unwrap_err();
-            assert!(
-                matches!(err, QueryError::Parse { .. }),
-                "{bad}: {err:?}"
-            );
+            assert!(matches!(err, QueryError::Parse { .. }), "{bad}: {err:?}");
         }
     }
 

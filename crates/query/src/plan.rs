@@ -99,10 +99,7 @@ impl SafePlan {
 
 /// Compiles a safe plan for a normalized query (Algorithm 1), or fails
 /// with [`QueryError::NotInClass`] when the query is unsafe.
-pub fn compile_safe_plan(
-    catalog: &Catalog,
-    nq: &NormalQuery,
-) -> Result<SafePlan, QueryError> {
+pub fn compile_safe_plan(catalog: &Catalog, nq: &NormalQuery) -> Result<SafePlan, QueryError> {
     if !nq.is_local() {
         return Err(QueryError::NotInClass(
             "safe: query has non-local predicates".to_owned(),
@@ -113,20 +110,17 @@ pub fn compile_safe_plan(
         .ok_or_else(|| QueryError::NotInClass("safe: no safe plan exists".to_owned()))
 }
 
-fn plan(
-    catalog: &Catalog,
-    env: &BTreeSet<Var>,
-    items: &[NormalItem],
-) -> Option<SafePlan> {
+fn plan(catalog: &Catalog, env: &BTreeSet<Var>, items: &[NormalItem]) -> Option<SafePlan> {
     // Line 1: all shared variables eliminated — regular leaf.
     let shared = shared_vars(items);
     if shared.iter().all(|v| env.contains(v)) {
         // Keep only the env variables that actually occur in the leaf.
-        let leaf_vars: BTreeSet<Var> = items
+        let leaf_vars: BTreeSet<Var> = items.iter().flat_map(|i| i.base.goal().vars()).collect();
+        let env_vec: Vec<Var> = env
             .iter()
-            .flat_map(|i| i.base.goal().vars())
+            .copied()
+            .filter(|v| leaf_vars.contains(v))
             .collect();
-        let env_vec: Vec<Var> = env.iter().copied().filter(|v| leaf_vars.contains(v)).collect();
         return Some(SafePlan::Reg {
             env: env_vec,
             items: items.to_vec(),
@@ -151,10 +145,7 @@ fn plan(
     if items.len() >= 2 && !items[items.len() - 1].base.is_kleene() {
         let (prefix, last) = items.split_at(items.len() - 1);
         let last = &last[0];
-        let prefix_vars: BTreeSet<Var> = prefix
-            .iter()
-            .flat_map(|i| i.base.goal().vars())
-            .collect();
+        let prefix_vars: BTreeSet<Var> = prefix.iter().flat_map(|i| i.base.goal().vars()).collect();
         let last_vars = last.base.goal().vars();
         let common_in_env = prefix_vars
             .intersection(&last_vars)
@@ -202,13 +193,21 @@ mod tests {
         let c = catalog(&i);
         let x = Var(i.intern("x"));
         let y = Var(i.intern("y"));
-        let q = Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
-            .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
-            .then(goal(
-                &i,
-                "T",
-                vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
-            ));
+        let q = Query::Base(goal(
+            &i,
+            "R",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_1")))],
+        ))
+        .then(goal(
+            &i,
+            "S",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_2")))],
+        ))
+        .then(goal(
+            &i,
+            "T",
+            vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
+        ));
         let nq = NormalQuery::from_query(&q);
         assert_eq!(classify(&c, &nq), QueryClass::Safe);
         let plan = compile_safe_plan(&c, &nq).unwrap();
@@ -261,8 +260,16 @@ mod tests {
         let i = Interner::new();
         let c = catalog(&i);
         let x = Var(i.intern("x"));
-        let q = Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
-            .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]));
+        let q = Query::Base(goal(
+            &i,
+            "R",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_1")))],
+        ))
+        .then(goal(
+            &i,
+            "S",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_2")))],
+        ));
         let plan = compile_safe_plan(&c, &NormalQuery::from_query(&q)).unwrap();
         match plan {
             SafePlan::Project { var, input } => {
@@ -288,8 +295,16 @@ mod tests {
                 Term::Var(Var(i.intern("_1"))),
             ],
         ))
-        .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
-        .then(goal(&i, "T", vec![Term::Var(x), Term::Var(Var(i.intern("_3")))]));
+        .then(goal(
+            &i,
+            "S",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_2")))],
+        ))
+        .then(goal(
+            &i,
+            "T",
+            vec![Term::Var(x), Term::Var(Var(i.intern("_3")))],
+        ));
         assert!(compile_safe_plan(&c, &NormalQuery::from_query(&q)).is_err());
     }
 
@@ -303,24 +318,40 @@ mod tests {
         let y = Var(i.intern("y"));
         let queries = vec![
             // Safe (Fig 6).
-            Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
-                .then(goal(&i, "S", vec![Term::Var(x), Term::Var(Var(i.intern("_2")))]))
-                .then(goal(
-                    &i,
-                    "T",
-                    vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
-                )),
+            Query::Base(goal(
+                &i,
+                "R",
+                vec![Term::Var(x), Term::Var(Var(i.intern("_1")))],
+            ))
+            .then(goal(
+                &i,
+                "S",
+                vec![Term::Var(x), Term::Var(Var(i.intern("_2")))],
+            ))
+            .then(goal(
+                &i,
+                "T",
+                vec![Term::Const(Value::Str(i.intern("a"))), Term::Var(y)],
+            )),
             // Unsafe (h4).
-            Query::Base(goal(&i, "R", vec![Term::Var(x), Term::Var(Var(i.intern("_1")))]))
-                .then(goal(
-                    &i,
-                    "S",
-                    vec![
-                        Term::Const(Value::Str(i.intern("s"))),
-                        Term::Var(Var(i.intern("_2"))),
-                    ],
-                ))
-                .then(goal(&i, "T", vec![Term::Var(x), Term::Var(Var(i.intern("_3")))])),
+            Query::Base(goal(
+                &i,
+                "R",
+                vec![Term::Var(x), Term::Var(Var(i.intern("_1")))],
+            ))
+            .then(goal(
+                &i,
+                "S",
+                vec![
+                    Term::Const(Value::Str(i.intern("s"))),
+                    Term::Var(Var(i.intern("_2"))),
+                ],
+            ))
+            .then(goal(
+                &i,
+                "T",
+                vec![Term::Var(x), Term::Var(Var(i.intern("_3")))],
+            )),
         ];
         for q in &queries {
             let nq = NormalQuery::from_query(q);

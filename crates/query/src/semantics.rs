@@ -358,7 +358,10 @@ mod tests {
             t,
         };
         // joe@h1(1), sue@h2(2), joe@h3(3).
-        let w = World::new(vec![ev("joe", "h1", 1), ev("sue", "h2", 2), ev("joe", "h3", 3)], 3);
+        let w = World::new(
+            vec![ev("joe", "h1", 1), ev("sue", "h2", 2), ev("joe", "h3", 3)],
+            3,
+        );
         let p = Var(i.intern("p"));
         let l = Var(i.intern("l"));
         let q = Query::Base(BaseQuery::Kleene {

@@ -148,10 +148,7 @@ fn build_query(i: &Interner, spec: &QuerySpec) -> Option<Query> {
             ItemSpec::Kleene(g, shared_idx) => {
                 let goal = build_goal(i, g);
                 let gv = goal.vars();
-                let shared: Vec<Var> = shared_idx
-                    .iter()
-                    .map(|&v| Var(i.intern(VARS[v])))
-                    .collect();
+                let shared: Vec<Var> = shared_idx.iter().map(|&v| Var(i.intern(VARS[v]))).collect();
                 if !shared.iter().all(|v| gv.contains(v)) {
                     return None;
                 }
@@ -191,10 +188,17 @@ fn test_db(i: &Interner) -> Database {
         db.declare_relation(r, 1).unwrap();
     }
     let dbi = db.interner().clone();
-    db.insert_relation_tuple("Hall", tuple([dbi.intern("a")])).unwrap();
-    db.insert_relation_tuple("Room", tuple([dbi.intern("b")])).unwrap();
+    db.insert_relation_tuple("Hall", tuple([dbi.intern("a")]))
+        .unwrap();
+    db.insert_relation_tuple("Room", tuple([dbi.intern("b")]))
+        .unwrap();
     // Keep the external interner aligned.
-    for s in STREAMS.iter().chain(RELS.iter()).chain(CONSTS.iter()).chain(VARS.iter()) {
+    for s in STREAMS
+        .iter()
+        .chain(RELS.iter())
+        .chain(CONSTS.iter())
+        .chain(VARS.iter())
+    {
         i.intern(s);
         dbi.intern(s);
     }

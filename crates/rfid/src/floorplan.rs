@@ -148,10 +148,10 @@ impl FloorPlan {
         let mut adjacency: Vec<Vec<usize>> = Vec::new();
         let mut antennas = Vec::new();
         let add = |locations: &mut Vec<Location>,
-                       adjacency: &mut Vec<Vec<usize>>,
-                       name: String,
-                       kind: RoomKind,
-                       floor: usize| {
+                   adjacency: &mut Vec<Vec<usize>>,
+                   name: String,
+                   kind: RoomKind,
+                   floor: usize| {
             locations.push(Location { name, kind, floor });
             adjacency.push(Vec::new());
             locations.len() - 1

@@ -25,6 +25,4 @@ mod sensing;
 pub use floorplan::{Antenna, FloorPlan, Location, RoomKind};
 pub use movement::{simulate_object, simulate_person, MovementConfig, Object, Person};
 pub use pipeline::{build_location_hmm, Deployment, DeploymentConfig};
-pub use sensing::{
-    detection_rate, emission_matrix, no_reading_symbol, observe, SensingConfig,
-};
+pub use sensing::{detection_rate, emission_matrix, no_reading_symbol, observe, SensingConfig};

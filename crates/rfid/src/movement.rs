@@ -92,9 +92,7 @@ pub fn simulate_person<R: Rng + ?Sized>(
             coffee_rooms[rng.gen_range(0..coffee_rooms.len())]
         } else if u < config.p_coffee + config.p_lecture && !lecture_rooms.is_empty() {
             lecture_rooms[rng.gen_range(0..lecture_rooms.len())]
-        } else if u < config.p_coffee + config.p_lecture + config.p_visit
-            && all_offices.len() > 1
-        {
+        } else if u < config.p_coffee + config.p_lecture + config.p_visit && all_offices.len() > 1 {
             loop {
                 let o = all_offices[rng.gen_range(0..all_offices.len())];
                 if o != person.office {

@@ -17,9 +17,7 @@ use crate::floorplan::{FloorPlan, RoomKind};
 use crate::movement::{simulate_object, simulate_person, MovementConfig, Object, Person};
 use crate::sensing::{emission_matrix, observe, SensingConfig};
 use lahar_hmm::{Hmm, ParticleFilter};
-use lahar_model::{
-    tuple, Cpt, Database, Domain, GroundEvent, Marginal, Stream, StreamId, World,
-};
+use lahar_model::{tuple, Cpt, Database, Domain, GroundEvent, Marginal, Stream, StreamId, World};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -114,10 +112,7 @@ impl Deployment {
         let plan = FloorPlan::office_building(config.floors, config.hall_len, config.antenna_every);
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let offices = plan.of_kind(RoomKind::Office);
-        assert!(
-            config.n_people <= offices.len(),
-            "more people than offices"
-        );
+        assert!(config.n_people <= offices.len(), "more people than offices");
         let people: Vec<Person> = (0..config.n_people)
             .map(|i| Person {
                 name: format!("person{i}"),
@@ -217,7 +212,8 @@ impl Deployment {
                     db.insert_relation_tuple("CoffeeRoom", sym.clone()).unwrap();
                 }
                 RoomKind::LectureRoom => {
-                    db.insert_relation_tuple("LectureRoom", sym.clone()).unwrap();
+                    db.insert_relation_tuple("LectureRoom", sym.clone())
+                        .unwrap();
                 }
                 RoomKind::Office | RoomKind::Stairs => {}
             }

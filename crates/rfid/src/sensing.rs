@@ -130,10 +130,7 @@ mod tests {
         for o in 0..n_obs {
             let freq = counts[o] as f64 / traj.len() as f64;
             let want = emit[hall * n_obs + o];
-            assert!(
-                (freq - want).abs() < 0.01,
-                "obs {o}: {freq} vs {want}"
-            );
+            assert!((freq - want).abs() < 0.01, "obs {o}: {freq} vs {want}");
         }
     }
 

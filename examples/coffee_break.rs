@@ -30,7 +30,10 @@ fn main() {
         n_objects: 0,
         ..DeploymentConfig::default()
     };
-    println!("simulating deployment ({} ticks, {} people)...", config.ticks, config.n_people);
+    println!(
+        "simulating deployment ({} ticks, {} people)...",
+        config.ticks, config.n_people
+    );
     let dep = Deployment::simulate(config);
 
     let base = dep.base_database();
@@ -68,7 +71,10 @@ fn main() {
     }
 
     println!("\n{total_truth} ground-truth coffee-room events\n");
-    println!("{:<28} {:>10} {:>8} {:>8}", "approach", "precision", "recall", "F1");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "approach", "precision", "recall", "F1"
+    );
     let report = |name: &str, pairs: &[(Vec<Episode>, Vec<Episode>)]| {
         let q = score_per_key(pairs, d);
         println!(

@@ -12,14 +12,7 @@ use lahar::model::{Database, StreamBuilder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-const ACTIVITIES: [&str; 6] = [
-    "sleeping",
-    "cooking",
-    "eating",
-    "medicine",
-    "teeth",
-    "tv",
-];
+const ACTIVITIES: [&str; 6] = ["sleeping", "cooking", "eating", "medicine", "teeth", "tv"];
 
 /// Sensor alphabet: bed pressure, kitchen motion, bathroom motion,
 /// living-room motion, and silence.
@@ -72,11 +65,16 @@ fn main() {
     let smoothed = hmm.smooth(&obs).unwrap();
 
     let mut db = Database::new();
-    db.declare_stream("Doing", &["person"], &["activity"]).unwrap();
+    db.declare_stream("Doing", &["person"], &["activity"])
+        .unwrap();
     let i = db.interner().clone();
     let b = StreamBuilder::new(&i, "Doing", &["grandma"], &ACTIVITIES);
     let to_marginal = |probs: &Vec<f64>| {
-        let pairs: Vec<(&str, f64)> = ACTIVITIES.iter().copied().zip(probs.iter().copied()).collect();
+        let pairs: Vec<(&str, f64)> = ACTIVITIES
+            .iter()
+            .copied()
+            .zip(probs.iter().copied())
+            .collect();
         b.marginal(&pairs).unwrap()
     };
     let initial = to_marginal(&smoothed.marginals[0]);
@@ -97,7 +95,8 @@ fn main() {
             b.cpt(&triples).unwrap()
         })
         .collect();
-    db.add_stream(b.clone().markov(initial, cpts).unwrap()).unwrap();
+    db.add_stream(b.clone().markov(initial, cpts).unwrap())
+        .unwrap();
 
     let queries = [
         (

@@ -4,14 +4,13 @@
 //! Run with: `cargo run --release --example planner_tour`
 
 use lahar::model::Database;
-use lahar::query::{
-    classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass,
-};
+use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 
 fn main() {
     let mut db = Database::new();
     db.declare_stream("At", &["person"], &["loc"]).unwrap();
-    db.declare_stream("Carries", &["person", "object"], &["loc"]).unwrap();
+    db.declare_stream("Carries", &["person", "object"], &["loc"])
+        .unwrap();
     db.declare_stream("R", &["k"], &["v"]).unwrap();
     db.declare_stream("S", &["k"], &["v"]).unwrap();
     db.declare_stream("T", &["k"], &["v"]).unwrap();

@@ -20,8 +20,11 @@ fn main() {
         db.insert_relation_tuple("Hallway", lahar::model::tuple([interner.intern(h)]))
             .unwrap();
     }
-    db.insert_relation_tuple("CoffeeRoom", lahar::model::tuple([interner.intern("Coffee")]))
-        .unwrap();
+    db.insert_relation_tuple(
+        "CoffeeRoom",
+        lahar::model::tuple([interner.intern("Coffee")]),
+    )
+    .unwrap();
 
     let locations = ["O2", "H1", "H2", "H3", "Coffee"];
 

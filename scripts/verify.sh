@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   scripts/verify.sh          # build + tests + clippy + fmt
+#   scripts/verify.sh --quick  # skip clippy/fmt (fast local loop)
+#
+# The workspace vendors its external dependencies under vendor/, so all
+# steps run with --offline and need no network access.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+fi
+
+echo "==> OK"

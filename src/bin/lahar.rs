@@ -84,7 +84,9 @@ fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>
 fn get_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
     }
 }
 
@@ -108,7 +110,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         config.ticks,
         config.n_people,
         config.n_objects,
-        if archived { "archived/smoothed" } else { "real-time/filtered" }
+        if archived {
+            "archived/smoothed"
+        } else {
+            "real-time/filtered"
+        }
     );
     let dep = Deployment::simulate(config);
     let db = if archived {
@@ -204,7 +210,8 @@ fn load_database(dir: &Path) -> Result<Database, String> {
                     .ok_or("relation line missing arity")?
                     .parse()
                     .map_err(|_| "bad relation arity")?;
-                db.declare_relation(name, arity).map_err(|e| e.to_string())?;
+                db.declare_relation(name, arity)
+                    .map_err(|e| e.to_string())?;
             }
             Some("tuple") => {
                 let name = parts.next().ok_or("bad tuple line")?.to_owned();
@@ -216,7 +223,8 @@ fn load_database(dir: &Path) -> Result<Database, String> {
     let interner = db.interner().clone();
     for (rel, vals) in pending_tuples {
         let t = tuple(vals.iter().map(|v| interner.intern(v)));
-        db.insert_relation_tuple(&rel, t).map_err(|e| e.to_string())?;
+        db.insert_relation_tuple(&rel, t)
+            .map_err(|e| e.to_string())?;
     }
     // Stream images.
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)

@@ -36,6 +36,9 @@ pub use lahar_model as model;
 pub use lahar_query as query;
 pub use lahar_rfid as rfid;
 
-pub use lahar_core::{Algorithm, CompiledQuery, EngineError, Lahar};
+pub use lahar_core::{
+    Alert, Algorithm, CompiledQuery, EngineError, EngineStats, Lahar, QueryId, RealTimeSession,
+    SessionConfig, StatsSnapshot, TickMode,
+};
 pub use lahar_model::{Database, StreamBuilder};
 pub use lahar_query::QueryClass;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5c7b108aa87c3a31.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5c7b108aa87c3a31: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

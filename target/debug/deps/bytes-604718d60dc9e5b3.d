@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-604718d60dc9e5b3.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-604718d60dc9e5b3: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

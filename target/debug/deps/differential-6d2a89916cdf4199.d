@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-6d2a89916cdf4199.d: crates/automata/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-6d2a89916cdf4199.rmeta: crates/automata/tests/differential.rs Cargo.toml
+
+crates/automata/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

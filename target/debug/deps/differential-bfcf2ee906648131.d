@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-bfcf2ee906648131.d: crates/automata/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-bfcf2ee906648131: crates/automata/tests/differential.rs
+
+crates/automata/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-c6767f35d5692351.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-c6767f35d5692351: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_rfid-def81b7103d261cf.d: tests/end_to_end_rfid.rs
+
+/root/repo/target/debug/deps/end_to_end_rfid-def81b7103d261cf: tests/end_to_end_rfid.rs
+
+tests/end_to_end_rfid.rs:

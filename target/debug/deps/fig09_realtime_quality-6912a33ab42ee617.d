@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_realtime_quality-6912a33ab42ee617.d: crates/bench/benches/fig09_realtime_quality.rs
+
+/root/repo/target/debug/deps/fig09_realtime_quality-6912a33ab42ee617: crates/bench/benches/fig09_realtime_quality.rs
+
+crates/bench/benches/fig09_realtime_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_realtime_quality-a06f3bf7d8e9298c.d: crates/bench/benches/fig09_realtime_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_realtime_quality-a06f3bf7d8e9298c.rmeta: crates/bench/benches/fig09_realtime_quality.rs Cargo.toml
+
+crates/bench/benches/fig09_realtime_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_archived_quality-e7659de627bc6240.d: crates/bench/benches/fig10_archived_quality.rs
+
+/root/repo/target/debug/deps/fig10_archived_quality-e7659de627bc6240: crates/bench/benches/fig10_archived_quality.rs
+
+crates/bench/benches/fig10_archived_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_room_occupancy-30c55ae2276feba2.d: crates/bench/benches/fig11_room_occupancy.rs
+
+/root/repo/target/debug/deps/fig11_room_occupancy-30c55ae2276feba2: crates/bench/benches/fig11_room_occupancy.rs
+
+crates/bench/benches/fig11_room_occupancy.rs:

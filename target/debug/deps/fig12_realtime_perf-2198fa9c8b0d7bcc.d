@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_realtime_perf-2198fa9c8b0d7bcc.d: crates/bench/benches/fig12_realtime_perf.rs
+
+/root/repo/target/debug/deps/fig12_realtime_perf-2198fa9c8b0d7bcc: crates/bench/benches/fig12_realtime_perf.rs
+
+crates/bench/benches/fig12_realtime_perf.rs:

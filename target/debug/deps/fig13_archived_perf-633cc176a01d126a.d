@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_archived_perf-633cc176a01d126a.d: crates/bench/benches/fig13_archived_perf.rs
+
+/root/repo/target/debug/deps/fig13_archived_perf-633cc176a01d126a: crates/bench/benches/fig13_archived_perf.rs
+
+crates/bench/benches/fig13_archived_perf.rs:

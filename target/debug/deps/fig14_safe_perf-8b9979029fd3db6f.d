@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_safe_perf-8b9979029fd3db6f.d: crates/bench/benches/fig14_safe_perf.rs
+
+/root/repo/target/debug/deps/fig14_safe_perf-8b9979029fd3db6f: crates/bench/benches/fig14_safe_perf.rs
+
+crates/bench/benches/fig14_safe_perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-24a13afd72ca16ca.d: src/bin/lahar.rs
+
+/root/repo/target/debug/deps/lahar-24a13afd72ca16ca: src/bin/lahar.rs
+
+src/bin/lahar.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lahar-2f388e7c7cf2ffac.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblahar-2f388e7c7cf2ffac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblahar-2f388e7c7cf2ffac.rmeta: src/lib.rs
+
+src/lib.rs:

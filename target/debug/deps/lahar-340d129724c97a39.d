@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-340d129724c97a39.d: src/lib.rs
+
+/root/repo/target/debug/deps/lahar-340d129724c97a39: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-5cc11dc8b183c70d.d: src/bin/lahar.rs
+
+/root/repo/target/debug/deps/lahar-5cc11dc8b183c70d: src/bin/lahar.rs
+
+src/bin/lahar.rs:

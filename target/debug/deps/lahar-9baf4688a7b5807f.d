@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar-9baf4688a7b5807f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar-9baf4688a7b5807f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_automata-732409bd91975cef.d: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/debug/deps/lahar_automata-732409bd91975cef: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/pred.rs:
+crates/automata/src/regex.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lahar_automata-90f5ae298136b5d0.d: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_automata-90f5ae298136b5d0.rmeta: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs Cargo.toml
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/pred.rs:
+crates/automata/src/regex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lahar_automata-aba9d9ac31f68390.d: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/debug/deps/liblahar_automata-aba9d9ac31f68390.rlib: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/debug/deps/liblahar_automata-aba9d9ac31f68390.rmeta: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/pred.rs:
+crates/automata/src/regex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lahar_baselines-61c7dcfbfe456bf8.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/debug/deps/lahar_baselines-61c7dcfbfe456bf8: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:

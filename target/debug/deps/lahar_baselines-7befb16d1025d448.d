@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_baselines-7befb16d1025d448.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/debug/deps/liblahar_baselines-7befb16d1025d448.rlib: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/debug/deps/liblahar_baselines-7befb16d1025d448.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar_bench-2e5ee1af4fc34a57.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lahar_bench-2e5ee1af4fc34a57: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

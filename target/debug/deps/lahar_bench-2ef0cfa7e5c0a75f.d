@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lahar_bench-2ef0cfa7e5c0a75f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblahar_bench-2ef0cfa7e5c0a75f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblahar_bench-2ef0cfa7e5c0a75f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lahar_hmm-3bc53103f6589914.d: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/debug/deps/liblahar_hmm-3bc53103f6589914.rlib: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/debug/deps/liblahar_hmm-3bc53103f6589914.rmeta: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/model.rs:
+crates/hmm/src/particle.rs:
+crates/hmm/src/train.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lahar_hmm-c2c834ecb575dd79.d: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/debug/deps/lahar_hmm-c2c834ecb575dd79: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/model.rs:
+crates/hmm/src/particle.rs:
+crates/hmm/src/train.rs:

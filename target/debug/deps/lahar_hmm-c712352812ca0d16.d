@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lahar_hmm-c712352812ca0d16.d: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_hmm-c712352812ca0d16.rmeta: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs Cargo.toml
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/model.rs:
+crates/hmm/src/particle.rs:
+crates/hmm/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

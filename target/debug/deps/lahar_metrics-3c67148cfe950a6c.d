@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_metrics-3c67148cfe950a6c.d: crates/metrics/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_metrics-3c67148cfe950a6c.rmeta: crates/metrics/src/lib.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar_metrics-7726da8aa1ea5fe4.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/lahar_metrics-7726da8aa1ea5fe4: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

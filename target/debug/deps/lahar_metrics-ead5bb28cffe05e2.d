@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lahar_metrics-ead5bb28cffe05e2.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/liblahar_metrics-ead5bb28cffe05e2.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/liblahar_metrics-ead5bb28cffe05e2.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lahar_model-44430a1637a4bf2e.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/lahar_model-44430a1637a4bf2e: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/database.rs:
+crates/model/src/dist.rs:
+crates/model/src/encode.rs:
+crates/model/src/schema.rs:
+crates/model/src/stream.rs:
+crates/model/src/value.rs:
+crates/model/src/world.rs:

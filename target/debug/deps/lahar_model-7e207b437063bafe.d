@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lahar_model-7e207b437063bafe.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/liblahar_model-7e207b437063bafe.rlib: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/liblahar_model-7e207b437063bafe.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/database.rs:
+crates/model/src/dist.rs:
+crates/model/src/encode.rs:
+crates/model/src/schema.rs:
+crates/model/src/stream.rs:
+crates/model/src/value.rs:
+crates/model/src/world.rs:

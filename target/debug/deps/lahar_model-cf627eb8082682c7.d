@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lahar_model-cf627eb8082682c7.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_model-cf627eb8082682c7.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/database.rs:
+crates/model/src/dist.rs:
+crates/model/src/encode.rs:
+crates/model/src/schema.rs:
+crates/model/src/stream.rs:
+crates/model/src/value.rs:
+crates/model/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

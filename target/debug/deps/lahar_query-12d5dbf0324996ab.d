@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lahar_query-12d5dbf0324996ab.d: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+/root/repo/target/debug/deps/liblahar_query-12d5dbf0324996ab.rlib: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+/root/repo/target/debug/deps/liblahar_query-12d5dbf0324996ab.rmeta: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+crates/query/src/lib.rs:
+crates/query/src/analysis.rs:
+crates/query/src/ast.rs:
+crates/query/src/matching.rs:
+crates/query/src/normalize.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/semantics.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lahar_query-1dc4aa6fffdb03c5.d: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_query-1dc4aa6fffdb03c5.rmeta: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/analysis.rs:
+crates/query/src/ast.rs:
+crates/query/src/matching.rs:
+crates/query/src/normalize.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

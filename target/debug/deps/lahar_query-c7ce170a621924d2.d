@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lahar_query-c7ce170a621924d2.d: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+/root/repo/target/debug/deps/lahar_query-c7ce170a621924d2: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+crates/query/src/lib.rs:
+crates/query/src/analysis.rs:
+crates/query/src/ast.rs:
+crates/query/src/matching.rs:
+crates/query/src/normalize.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_rfid-578af6652b5fdc12.d: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/debug/deps/lahar_rfid-578af6652b5fdc12: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+crates/rfid/src/lib.rs:
+crates/rfid/src/floorplan.rs:
+crates/rfid/src/movement.rs:
+crates/rfid/src/pipeline.rs:
+crates/rfid/src/sensing.rs:

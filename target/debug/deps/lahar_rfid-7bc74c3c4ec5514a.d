@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lahar_rfid-7bc74c3c4ec5514a.d: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_rfid-7bc74c3c4ec5514a.rmeta: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs Cargo.toml
+
+crates/rfid/src/lib.rs:
+crates/rfid/src/floorplan.rs:
+crates/rfid/src/movement.rs:
+crates/rfid/src/pipeline.rs:
+crates/rfid/src/sensing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

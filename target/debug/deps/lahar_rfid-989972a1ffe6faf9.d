@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lahar_rfid-989972a1ffe6faf9.d: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/debug/deps/liblahar_rfid-989972a1ffe6faf9.rlib: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/debug/deps/liblahar_rfid-989972a1ffe6faf9.rmeta: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+crates/rfid/src/lib.rs:
+crates/rfid/src/floorplan.rs:
+crates/rfid/src/movement.rs:
+crates/rfid/src/pipeline.rs:
+crates/rfid/src/sensing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learned_models-33908a6fd9bb94bb.d: tests/learned_models.rs
+
+/root/repo/target/debug/deps/learned_models-33908a6fd9bb94bb: tests/learned_models.rs
+
+tests/learned_models.rs:

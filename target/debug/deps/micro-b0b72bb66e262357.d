@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-b0b72bb66e262357.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-b0b72bb66e262357: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_equivalence-fa34c437690e61c3.d: tests/oracle_equivalence.rs
+
+/root/repo/target/debug/deps/oracle_equivalence-fa34c437690e61c3: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

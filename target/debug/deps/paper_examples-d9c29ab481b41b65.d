@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-d9c29ab481b41b65.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-d9c29ab481b41b65: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-9d224ca367435498.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-9d224ca367435498: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

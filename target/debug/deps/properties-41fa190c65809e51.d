@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-41fa190c65809e51.d: crates/query/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-41fa190c65809e51: crates/query/tests/properties.rs
+
+crates/query/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-dfcf1e2f4d1c34bd.d: crates/query/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dfcf1e2f4d1c34bd.rmeta: crates/query/tests/properties.rs Cargo.toml
+
+crates/query/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

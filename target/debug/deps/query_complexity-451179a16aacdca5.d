@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_complexity-451179a16aacdca5.d: crates/bench/benches/query_complexity.rs
+
+/root/repo/target/debug/deps/query_complexity-451179a16aacdca5: crates/bench/benches/query_complexity.rs
+
+crates/bench/benches/query_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_session-0257f4a9a491afcf.d: tests/streaming_session.rs
+
+/root/repo/target/debug/deps/streaming_session-0257f4a9a491afcf: tests/streaming_session.rs
+
+tests/streaming_session.rs:

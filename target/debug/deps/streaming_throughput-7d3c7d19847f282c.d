@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_throughput-7d3c7d19847f282c.d: crates/bench/benches/streaming_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_throughput-7d3c7d19847f282c.rmeta: crates/bench/benches/streaming_throughput.rs Cargo.toml
+
+crates/bench/benches/streaming_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab08_data_stats-6d95e2cdd7d46d8c.d: crates/bench/benches/tab08_data_stats.rs
+
+/root/repo/target/debug/deps/tab08_data_stats-6d95e2cdd7d46d8c: crates/bench/benches/tab08_data_stats.rs
+
+crates/bench/benches/tab08_data_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unsafe_queries-9de01dda07d71da0.d: crates/bench/benches/unsafe_queries.rs
+
+/root/repo/target/debug/deps/unsafe_queries-9de01dda07d71da0: crates/bench/benches/unsafe_queries.rs
+
+crates/bench/benches/unsafe_queries.rs:

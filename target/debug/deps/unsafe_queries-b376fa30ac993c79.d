@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unsafe_queries-b376fa30ac993c79.d: crates/bench/benches/unsafe_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunsafe_queries-b376fa30ac993c79.rmeta: crates/bench/benches/unsafe_queries.rs Cargo.toml
+
+crates/bench/benches/unsafe_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

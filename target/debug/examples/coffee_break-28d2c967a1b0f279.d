@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coffee_break-28d2c967a1b0f279.d: examples/coffee_break.rs
+
+/root/repo/target/debug/examples/coffee_break-28d2c967a1b0f279: examples/coffee_break.rs
+
+examples/coffee_break.rs:

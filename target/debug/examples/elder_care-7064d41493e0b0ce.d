@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/elder_care-7064d41493e0b0ce.d: examples/elder_care.rs
+
+/root/repo/target/debug/examples/elder_care-7064d41493e0b0ce: examples/elder_care.rs
+
+examples/elder_care.rs:

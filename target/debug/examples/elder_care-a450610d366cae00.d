@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/elder_care-a450610d366cae00.d: examples/elder_care.rs Cargo.toml
+
+/root/repo/target/debug/examples/libelder_care-a450610d366cae00.rmeta: examples/elder_care.rs Cargo.toml
+
+examples/elder_care.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_tour-b6733aaf8b436650.d: examples/planner_tour.rs
+
+/root/repo/target/debug/examples/planner_tour-b6733aaf8b436650: examples/planner_tour.rs
+
+examples/planner_tour.rs:

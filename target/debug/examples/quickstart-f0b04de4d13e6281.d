@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f0b04de4d13e6281.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f0b04de4d13e6281: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_dashboard-4de08dea26464809.d: examples/streaming_dashboard.rs
+
+/root/repo/target/debug/examples/streaming_dashboard-4de08dea26464809: examples/streaming_dashboard.rs
+
+examples/streaming_dashboard.rs:

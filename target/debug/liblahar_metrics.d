@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblahar_metrics.rlib: /root/repo/crates/metrics/src/lib.rs

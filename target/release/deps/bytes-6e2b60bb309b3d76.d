@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-6e2b60bb309b3d76.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6e2b60bb309b3d76.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6e2b60bb309b3d76.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

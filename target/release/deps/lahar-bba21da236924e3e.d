@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar-bba21da236924e3e.d: src/lib.rs
+
+/root/repo/target/release/deps/liblahar-bba21da236924e3e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblahar-bba21da236924e3e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lahar-f30910ca99f398f3.d: src/bin/lahar.rs
+
+/root/repo/target/release/deps/lahar-f30910ca99f398f3: src/bin/lahar.rs
+
+src/bin/lahar.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lahar_automata-3aab118b976b4bcb.d: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/release/deps/liblahar_automata-3aab118b976b4bcb.rlib: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/release/deps/liblahar_automata-3aab118b976b4bcb.rmeta: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/pred.rs:
+crates/automata/src/regex.rs:

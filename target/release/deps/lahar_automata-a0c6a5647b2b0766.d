@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lahar_automata-a0c6a5647b2b0766.d: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/release/deps/liblahar_automata-a0c6a5647b2b0766.rlib: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+/root/repo/target/release/deps/liblahar_automata-a0c6a5647b2b0766.rmeta: crates/automata/src/lib.rs crates/automata/src/bitset.rs crates/automata/src/nfa.rs crates/automata/src/pred.rs crates/automata/src/regex.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/pred.rs:
+crates/automata/src/regex.rs:

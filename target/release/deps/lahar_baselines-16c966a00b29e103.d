@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lahar_baselines-16c966a00b29e103.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/release/deps/liblahar_baselines-16c966a00b29e103.rlib: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/release/deps/liblahar_baselines-16c966a00b29e103.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar_bench-2c0ee648f6b6424d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-2c0ee648f6b6424d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-2c0ee648f6b6424d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

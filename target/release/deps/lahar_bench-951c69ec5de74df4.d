@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar_bench-951c69ec5de74df4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-951c69ec5de74df4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-951c69ec5de74df4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

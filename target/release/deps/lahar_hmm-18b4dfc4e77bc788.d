@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lahar_hmm-18b4dfc4e77bc788.d: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/release/deps/liblahar_hmm-18b4dfc4e77bc788.rlib: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/release/deps/liblahar_hmm-18b4dfc4e77bc788.rmeta: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/model.rs:
+crates/hmm/src/particle.rs:
+crates/hmm/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lahar_hmm-75343963362ce9ce.d: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/release/deps/liblahar_hmm-75343963362ce9ce.rlib: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+/root/repo/target/release/deps/liblahar_hmm-75343963362ce9ce.rmeta: crates/hmm/src/lib.rs crates/hmm/src/model.rs crates/hmm/src/particle.rs crates/hmm/src/train.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/model.rs:
+crates/hmm/src/particle.rs:
+crates/hmm/src/train.rs:

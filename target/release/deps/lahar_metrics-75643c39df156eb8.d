@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar_metrics-75643c39df156eb8.d: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_metrics-75643c39df156eb8.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_metrics-75643c39df156eb8.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar_metrics-c92b3317e1e70bda.d: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_metrics-c92b3317e1e70bda.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_metrics-c92b3317e1e70bda.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lahar_model-0c5ccf94ada7ef32.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+/root/repo/target/release/deps/liblahar_model-0c5ccf94ada7ef32.rlib: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+/root/repo/target/release/deps/liblahar_model-0c5ccf94ada7ef32.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/database.rs crates/model/src/dist.rs crates/model/src/encode.rs crates/model/src/schema.rs crates/model/src/stream.rs crates/model/src/value.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/database.rs:
+crates/model/src/dist.rs:
+crates/model/src/encode.rs:
+crates/model/src/schema.rs:
+crates/model/src/stream.rs:
+crates/model/src/value.rs:
+crates/model/src/world.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lahar_query-7e34f83ed4fc4c78.d: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+/root/repo/target/release/deps/liblahar_query-7e34f83ed4fc4c78.rlib: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+/root/repo/target/release/deps/liblahar_query-7e34f83ed4fc4c78.rmeta: crates/query/src/lib.rs crates/query/src/analysis.rs crates/query/src/ast.rs crates/query/src/matching.rs crates/query/src/normalize.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/semantics.rs
+
+crates/query/src/lib.rs:
+crates/query/src/analysis.rs:
+crates/query/src/ast.rs:
+crates/query/src/matching.rs:
+crates/query/src/normalize.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/semantics.rs:

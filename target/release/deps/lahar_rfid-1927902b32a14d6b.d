@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lahar_rfid-1927902b32a14d6b.d: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/release/deps/liblahar_rfid-1927902b32a14d6b.rlib: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/release/deps/liblahar_rfid-1927902b32a14d6b.rmeta: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+crates/rfid/src/lib.rs:
+crates/rfid/src/floorplan.rs:
+crates/rfid/src/movement.rs:
+crates/rfid/src/pipeline.rs:
+crates/rfid/src/sensing.rs:

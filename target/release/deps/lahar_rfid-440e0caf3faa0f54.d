@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lahar_rfid-440e0caf3faa0f54.d: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/release/deps/liblahar_rfid-440e0caf3faa0f54.rlib: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+/root/repo/target/release/deps/liblahar_rfid-440e0caf3faa0f54.rmeta: crates/rfid/src/lib.rs crates/rfid/src/floorplan.rs crates/rfid/src/movement.rs crates/rfid/src/pipeline.rs crates/rfid/src/sensing.rs
+
+crates/rfid/src/lib.rs:
+crates/rfid/src/floorplan.rs:
+crates/rfid/src/movement.rs:
+crates/rfid/src/pipeline.rs:
+crates/rfid/src/sensing.rs:

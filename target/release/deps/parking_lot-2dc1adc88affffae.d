@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2dc1adc88affffae.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2dc1adc88affffae.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2dc1adc88affffae.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

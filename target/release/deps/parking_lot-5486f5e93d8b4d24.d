@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-5486f5e93d8b4d24.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5486f5e93d8b4d24.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5486f5e93d8b4d24.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/streaming_throughput-d0b050d84ddf2782.d: crates/bench/benches/streaming_throughput.rs
+
+/root/repo/target/release/deps/streaming_throughput-d0b050d84ddf2782: crates/bench/benches/streaming_throughput.rs
+
+crates/bench/benches/streaming_throughput.rs:

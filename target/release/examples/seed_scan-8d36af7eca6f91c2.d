@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-8d36af7eca6f91c2.d: examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-8d36af7eca6f91c2: examples/seed_scan.rs
+
+examples/seed_scan.rs:

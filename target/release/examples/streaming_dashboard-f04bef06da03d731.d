@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_dashboard-f04bef06da03d731.d: examples/streaming_dashboard.rs
+
+/root/repo/target/release/examples/streaming_dashboard-f04bef06da03d731: examples/streaming_dashboard.rs
+
+examples/streaming_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe_tmp-50317fda458f11be.d: examples/verify_probe_tmp.rs
+
+/root/repo/target/release/examples/verify_probe_tmp-50317fda458f11be: examples/verify_probe_tmp.rs
+
+examples/verify_probe_tmp.rs:

@@ -19,7 +19,7 @@ fn deployment() -> Deployment {
         ticks: 300,
         n_people: 4,
         n_objects: 0,
-        seed: 1234,
+        seed: 7,
         ..DeploymentConfig::default()
     })
 }

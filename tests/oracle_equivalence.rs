@@ -57,9 +57,8 @@ fn build_stream(db: &Database, key: &str, spec: &StreamSpec) -> Stream {
         stream_type: i.intern("At"),
         key: lahar::model::tuple([i.intern(key)]),
     };
-    let marginal = |&(a, b): &(f64, f64)| {
-        Marginal::new(&domain, vec![a, b, (1.0 - a - b).max(0.0)]).unwrap()
-    };
+    let marginal =
+        |&(a, b): &(f64, f64)| Marginal::new(&domain, vec![a, b, (1.0 - a - b).max(0.0)]).unwrap();
     if spec.markov {
         let initial = marginal(&spec.rows[0]);
         let cpts = (0..TICKS - 1)
@@ -116,8 +115,7 @@ const QUERIES: &[&str] = &[
 ];
 
 fn assert_engine_matches_oracle(db: &Database, src: &str) {
-    let got = Lahar::prob_series(db, src)
-        .unwrap_or_else(|e| panic!("{src}: {e}"));
+    let got = Lahar::prob_series(db, src).unwrap_or_else(|e| panic!("{src}: {e}"));
     let q = parse_query(db.interner(), src).unwrap();
     let want = prob_series(db, &q).unwrap();
     for (t, (g, w)) in got.iter().zip(&want).enumerate() {

@@ -3,9 +3,7 @@
 
 use lahar::core::{Algorithm, Lahar};
 use lahar::model::{Database, StreamBuilder};
-use lahar::query::{
-    classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass,
-};
+use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 
 fn paper_db() -> Database {
     let mut db = Database::new();
@@ -124,7 +122,10 @@ fn dispatch_per_class() {
     for key in ["k1", "k2"] {
         for st in ["R", "S", "T"] {
             let b = StreamBuilder::new(&i, st, &[key], &["a", "b"]);
-            let ms = vec![b.marginal(&[("a", 0.5)]).unwrap(), b.marginal(&[("b", 0.5)]).unwrap()];
+            let ms = vec![
+                b.marginal(&[("a", 0.5)]).unwrap(),
+                b.marginal(&[("b", 0.5)]).unwrap(),
+            ];
             db.add_stream(b.independent(ms).unwrap()).unwrap();
         }
     }
@@ -150,7 +151,9 @@ fn evaluator_state_scaling() {
     let i = db.interner().clone();
     for key in ["p1", "p2", "p3", "p4"] {
         let b = StreamBuilder::new(&i, "At", &[key], &["a", "b"]);
-        let ms = (0..6).map(|_| b.marginal(&[("a", 0.4), ("b", 0.4)]).unwrap()).collect();
+        let ms = (0..6)
+            .map(|_| b.marginal(&[("a", 0.4), ("b", 0.4)]).unwrap())
+            .collect();
         db.add_stream(b.independent(ms).unwrap()).unwrap();
     }
     let q = parse_and_validate(db.catalog(), db.interner(), "At(p,'a') ; At(p,'b')").unwrap();

@@ -1,0 +1,291 @@
+//! Streaming-deployment regression suite: the incremental APIs
+//! ([`CompiledQuery::step`], [`RealTimeSession::tick`]) must agree with
+//! their batch and sequential counterparts on every algorithm path.
+
+use lahar::core::ExtendedRegularEvaluator;
+use lahar::model::{Database, Marginal, StreamBuilder};
+use lahar::query::NormalQuery;
+use lahar::{Lahar, RealTimeSession, SessionConfig, TickMode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A mixed database exercising all four compilation targets.
+fn four_class_db() -> Database {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    db.declare_stream("Door", &["id"], &["state"]).unwrap();
+    db.declare_relation("Hallway", 1).unwrap();
+    let i = db.interner().clone();
+    db.insert_relation_tuple("Hallway", lahar::model::tuple([i.intern("h")]))
+        .unwrap();
+    for (p, pa) in [("joe", 0.5), ("sue", 0.3)] {
+        let b = StreamBuilder::new(&i, "At", &[p], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("a", pa)]).unwrap(),
+            b.marginal(&[("h", 0.6)]).unwrap(),
+            b.marginal(&[("c", 0.5), ("h", 0.1)]).unwrap(),
+            b.marginal(&[("c", 0.2), ("a", 0.3)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+    }
+    let b = StreamBuilder::new(&i, "Door", &["d1"], &["open", "closed"]);
+    let ms = vec![
+        b.marginal(&[("closed", 0.9)]).unwrap(),
+        b.marginal(&[("open", 0.4)]).unwrap(),
+        b.marginal(&[("open", 0.7)]).unwrap(),
+        b.marginal(&[("closed", 0.5)]).unwrap(),
+    ];
+    db.add_stream(b.independent(ms).unwrap()).unwrap();
+    db
+}
+
+/// One query per algorithm class over [`four_class_db`].
+fn one_query_per_class() -> [(&'static str, lahar::Algorithm); 4] {
+    use lahar::Algorithm::*;
+    [
+        ("At('joe','a') ; At('joe','c')", Regular),
+        ("At(p,'a') ; At(p,'c')", ExtendedRegular),
+        ("At(p,'a') ; At(p,'h') ; Door('d1', s)", SafePlan),
+        ("sigma[x = y](At(x,'a') ; At(y,'c'))", Sampling),
+    ]
+}
+
+/// Stepping a compiled query and then asking for the remaining series
+/// must continue from the cursor — not restart from t = 0 — on every
+/// algorithm path (the safe-plan path used to ignore the cursor).
+#[test]
+fn step_then_prob_series_continues_from_cursor() {
+    let db = four_class_db();
+    let horizon = db.horizon();
+    for (src, algo) in one_query_per_class() {
+        let full = Lahar::compile(&db, src)
+            .unwrap()
+            .prob_series(horizon)
+            .unwrap();
+        for k in 1..horizon {
+            let mut c = Lahar::compile(&db, src).unwrap();
+            assert_eq!(c.algorithm(), algo, "{src}");
+            let mut got = Vec::with_capacity(horizon as usize);
+            for _ in 0..k {
+                got.push(c.step().unwrap());
+            }
+            got.extend(c.prob_series(horizon - k).unwrap());
+            assert_eq!(got.len(), full.len(), "{src} k={k}");
+            for (t, (g, w)) in got.iter().zip(&full).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-12,
+                    "{src} (k={k}) t={t}: stepped {g} vs batch {w}"
+                );
+            }
+        }
+    }
+}
+
+/// A random per-tick marginal over `domain` (with some mass usually left
+/// on ⊥ so sequences do not saturate).
+fn random_marginal(b: &StreamBuilder, domain: &[&str], rng: &mut SmallRng) -> Marginal {
+    let raw: Vec<f64> = domain.iter().map(|_| rng.gen::<f64>()).collect();
+    let slack = 0.25 + rng.gen::<f64>();
+    let total: f64 = raw.iter().sum::<f64>() + slack;
+    let pairs: Vec<(&str, f64)> = domain
+        .iter()
+        .zip(&raw)
+        .map(|(v, p)| (*v, p / total))
+        .collect();
+    b.marginal(&pairs).unwrap()
+}
+
+/// Forced-parallel and forced-sequential sessions fed identical random
+/// marginals must emit identical alerts, tick for tick.
+#[test]
+fn randomized_parallel_session_matches_sequential() {
+    const PEOPLE: [&str; 4] = ["p0", "p1", "p2", "p3"];
+    const DOMAIN: [&str; 3] = ["a", "h", "c"];
+    const TICKS: usize = 8;
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+        let build = || {
+            let mut db = Database::new();
+            db.declare_stream("At", &["person"], &["loc"]).unwrap();
+            db.declare_relation("Hallway", 1).unwrap();
+            let i = db.interner().clone();
+            db.insert_relation_tuple("Hallway", lahar::model::tuple([i.intern("h")]))
+                .unwrap();
+            let mut builders = Vec::new();
+            for p in PEOPLE {
+                let b = StreamBuilder::new(&i, "At", &[p], &DOMAIN);
+                db.add_stream(b.clone().independent(vec![]).unwrap())
+                    .unwrap();
+                builders.push(b);
+            }
+            (db, builders)
+        };
+        let (db_seq, builders) = build();
+        let (db_par, _) = build();
+        let mut seq = RealTimeSession::with_config(
+            db_seq,
+            SessionConfig {
+                tick_mode: TickMode::Sequential,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let mut par = RealTimeSession::with_config(
+            db_par,
+            SessionConfig {
+                tick_mode: TickMode::Parallel,
+                n_workers: 3,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        for s in [&mut seq, &mut par] {
+            s.register("reg", "At('p0','a') ; At('p0','c')").unwrap();
+            s.register("ext", "At(p,'a') ; At(p,'c')").unwrap();
+            s.register(
+                "hall",
+                "At(p,'a') ; (At(p, l))+{p | Hallway(l)} ; At(p,'c')",
+            )
+            .unwrap();
+            s.register("single", "At(p, l)[Hallway(l)]").unwrap();
+        }
+        for _ in 0..TICKS {
+            for (idx, b) in builders.iter().enumerate() {
+                // Leave some streams unstaged so the ⊥ default runs on
+                // both paths too.
+                if rng.gen::<f64>() < 0.8 {
+                    let m = random_marginal(b, &DOMAIN, &mut rng);
+                    seq.stage(idx, m.clone()).unwrap();
+                    par.stage(idx, m).unwrap();
+                }
+            }
+            let a = seq.tick().unwrap();
+            let b = par.tick().unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!(
+                    (x.probability - y.probability).abs() < 1e-12,
+                    "seed {seed} t={}: {} sequential {} vs parallel {}",
+                    x.t,
+                    x.name,
+                    x.probability,
+                    y.probability
+                );
+            }
+        }
+        let snap = par.stats().snapshot();
+        assert_eq!(snap.ticks, TICKS as u64);
+        assert_eq!(snap.parallel_ticks, TICKS as u64);
+        assert!(snap.chains_stepped >= (TICKS * PEOPLE.len()) as u64);
+    }
+}
+
+/// The evaluator-level parallel series must also match on Markov
+/// (correlated) streams, where chain stepping exercises the CPT path.
+#[test]
+fn parallel_series_matches_sequential_on_markov_streams() {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    let i = db.interner().clone();
+    let mut rng = SmallRng::seed_from_u64(42);
+    for p in ["p0", "p1", "p2", "p3", "p4"] {
+        let b = StreamBuilder::new(&i, "At", &[p], &["a", "c"]);
+        let init = b
+            .marginal(&[("a", 0.3 + 0.4 * rng.gen::<f64>()), ("c", 0.1)])
+            .unwrap();
+        let stay = 0.2 + 0.6 * rng.gen::<f64>();
+        let cpt = b
+            .cpt(&[("a", "a", stay), ("a", "c", 0.9 - stay), ("c", "c", 0.7)])
+            .unwrap();
+        db.add_stream(b.markov(init, vec![cpt.clone(), cpt.clone(), cpt]).unwrap())
+            .unwrap();
+    }
+    let q = lahar::query::parse_query(db.interner(), "At(p,'a') ; At(p,'c')").unwrap();
+    let nq = NormalQuery::from_query(&q);
+    let sequential = ExtendedRegularEvaluator::new(&db, &nq)
+        .unwrap()
+        .prob_series(&db, db.horizon());
+    for n_threads in [1, 2, 4, 7] {
+        let parallel = ExtendedRegularEvaluator::new(&db, &nq)
+            .unwrap()
+            .prob_series_parallel(&db, db.horizon(), n_threads)
+            .unwrap();
+        for (t, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert!(
+                (s - p).abs() < 1e-12,
+                "{n_threads} threads, t={t}: {s} vs {p}"
+            );
+        }
+    }
+}
+
+/// A query registered mid-session — after ticks carrying real (non-⊥)
+/// marginals — must catch up through the recorded history and then agree
+/// exactly with a session that had it from the start.
+#[test]
+fn late_registration_catches_up_after_staged_history() {
+    const DOMAIN: [&str; 3] = ["a", "h", "c"];
+    let build = || {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        let joe = StreamBuilder::new(&i, "At", &["joe"], &DOMAIN);
+        let sue = StreamBuilder::new(&i, "At", &["sue"], &DOMAIN);
+        db.add_stream(joe.clone().independent(vec![]).unwrap())
+            .unwrap();
+        db.add_stream(sue.clone().independent(vec![]).unwrap())
+            .unwrap();
+        (db, joe, sue)
+    };
+    let (db_a, joe, sue) = build();
+    let (db_b, _, _) = build();
+    let mut early = RealTimeSession::new(db_a).unwrap();
+    let mut late = RealTimeSession::new(db_b).unwrap();
+    let src = "At(p,'a') ; At(p,'c')";
+    let q_early = early.register("q", src).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut staged: Vec<Vec<Marginal>> = Vec::new();
+    for _ in 0..3 {
+        let ms = vec![
+            random_marginal(&joe, &DOMAIN, &mut rng),
+            random_marginal(&sue, &DOMAIN, &mut rng),
+        ];
+        staged.push(ms);
+    }
+    for ms in &staged {
+        for (s, m) in [(&mut early, ms), (&mut late, ms)] {
+            s.stage(0, m[0].clone()).unwrap();
+            s.stage(1, m[1].clone()).unwrap();
+            s.tick().unwrap();
+        }
+    }
+    // Register after three substantive ticks; the replayed history must
+    // put the late query on the same footing.
+    let q_late = late.register("q", src).unwrap();
+    for _ in 0..3 {
+        let ms = [
+            random_marginal(&joe, &DOMAIN, &mut rng),
+            random_marginal(&sue, &DOMAIN, &mut rng),
+        ];
+        let mut probs = [0.0f64; 2];
+        for (which, (s, q)) in [(&mut early, q_early), (&mut late, q_late)]
+            .into_iter()
+            .enumerate()
+        {
+            s.stage(0, ms[0].clone()).unwrap();
+            s.stage(1, ms[1].clone()).unwrap();
+            let alerts = s.tick().unwrap();
+            probs[which] = alerts[q.0].probability;
+        }
+        assert!(
+            (probs[0] - probs[1]).abs() < 1e-12,
+            "early {} vs late {}",
+            probs[0],
+            probs[1]
+        );
+    }
+    // And both must equal the batch answer over the accumulated database.
+    let batch = Lahar::prob_series(late.database(), src).unwrap();
+    assert_eq!(batch.len(), 6);
+}

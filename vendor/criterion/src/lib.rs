@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the Lahar benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `criterion_group!`,
+//! `criterion_main!` — as a plain wall-clock harness. Each benchmark
+//! runs a warm-up pass, then `sample_size` timed samples, and prints
+//! mean / median / min per-iteration times. There is no statistical
+//! regression analysis or HTML report.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility, the
+/// stand-in times one routine call per setup regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warm-up pass (untimed) so lazy allocations and caches settle.
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            samples.push(bencher.per_iter);
+        }
+        samples.sort();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<48} mean {:>12?}  median {:>12?}  min {:>12?}  ({} samples)",
+            mean,
+            median,
+            samples[0],
+            samples.len()
+        );
+        self
+    }
+
+    /// No-op in the stand-in; the real crate persists results here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times the routine under measurement for one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, recording mean per-call time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate iteration count so each sample runs ~10ms, bounded
+        // to keep pathological routines from stalling the harness.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u32;
+        while total < Duration::from_millis(10) && iters < 10_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.per_iter = total / iters.max(1);
+    }
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(0x9E37_79B9))
+    }
+
+    fn bench_iter(c: &mut Criterion) {
+        c.bench_function("sum_to_1000", |b| b.iter(|| sum_to(black_box(1000))));
+    }
+
+    fn bench_batched(c: &mut Criterion) {
+        c.bench_function("sum_vec", |b| {
+            b.iter_batched(
+                || (0..100u64).collect::<Vec<_>>(),
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_iter, bench_batched
+    }
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn shorthand_group_compiles() {
+        criterion_group!(quick, bench_iter);
+        quick();
+    }
+}

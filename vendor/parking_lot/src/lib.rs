@@ -1,0 +1,82 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning API
+//! (guards are returned directly, a poisoned lock panics the accessor).
+//! Performance characteristics are those of std, which is fine for the
+//! interner and any other light contention in this workspace.
+
+#![warn(missing_docs)]
+
+use std::sync;
+
+/// A reader-writer lock whose accessors return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutual-exclusion lock whose accessor returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}
