@@ -1,0 +1,162 @@
+//! Session resilience costs: checkpoint capture, JSON encode/decode,
+//! cold restore, and auto-checkpointing tick overhead, across session
+//! scales. With `--features failpoints` it also times the full
+//! poison-then-recover path after an injected mid-tick worker panic.
+//!
+//! These are deployment-tuning numbers: `SessionConfig::checkpoint_interval`
+//! trades the steady-state overhead column against the recovery replay
+//! bound (at most `interval` ticks re-stepped per lost chain).
+
+use lahar_bench::{header, quick_mode, row, timed};
+use lahar_core::{Checkpoint, RealTimeSession, SessionConfig};
+use lahar_model::{Database, Marginal, StreamBuilder};
+
+const DOMAIN: [&str; 3] = ["a", "h", "c"];
+/// Chains per person: the two registered extended queries below.
+const QUERIES_PER_KEY: usize = 2;
+
+fn schema_db(n_people: usize) -> Database {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    let i = db.interner().clone();
+    for p in 0..n_people {
+        let b = StreamBuilder::new(&i, "At", &[&format!("p{p}")], &DOMAIN);
+        db.add_stream(b.independent(vec![]).unwrap()).unwrap();
+    }
+    db
+}
+
+fn build_session(n_people: usize, config: SessionConfig) -> (RealTimeSession, Vec<Vec<Marginal>>) {
+    let db = schema_db(n_people);
+    let i = db.interner().clone();
+    let mut ticks: Vec<Vec<Marginal>> = Vec::with_capacity(n_people);
+    for p in 0..n_people {
+        let b = StreamBuilder::new(&i, "At", &[&format!("p{p}")], &DOMAIN);
+        let phase = p % 3;
+        ticks.push(vec![
+            b.marginal(&[(DOMAIN[phase], 0.7), (DOMAIN[(phase + 1) % 3], 0.2)])
+                .unwrap(),
+            b.marginal(&[(DOMAIN[(phase + 1) % 3], 0.5)]).unwrap(),
+            b.marginal(&[(DOMAIN[(phase + 2) % 3], 0.6), (DOMAIN[phase], 0.1)])
+                .unwrap(),
+        ]);
+    }
+    let mut session = RealTimeSession::with_config(db, config).unwrap();
+    session.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();
+    session.register("q_hc", "At(p,'h') ; At(p,'c')").unwrap();
+    assert_eq!(session.n_chains(), n_people * QUERIES_PER_KEY);
+    (session, ticks)
+}
+
+fn run_ticks(session: &mut RealTimeSession, ticks: &[Vec<Marginal>], n_ticks: usize) {
+    for t in 0..n_ticks {
+        for (idx, per_key) in ticks.iter().enumerate() {
+            session
+                .stage(idx, per_key[t % per_key.len()].clone())
+                .unwrap();
+        }
+        std::hint::black_box(session.tick().unwrap());
+    }
+}
+
+fn main() {
+    let (people_counts, n_ticks): (&[usize], usize) = if quick_mode() {
+        (&[40, 350], 8)
+    } else {
+        (&[40, 120, 350, 700], 20)
+    };
+
+    header(
+        "Checkpoint lifecycle (capture → encode → decode → restore)",
+        &["chains", "capture ms", "json KB", "decode ms", "restore ms"],
+    );
+    for &n_people in people_counts {
+        let (mut session, ticks) = build_session(n_people, SessionConfig::default());
+        run_ticks(&mut session, &ticks, n_ticks);
+        let (ckpt, capture_secs) = timed(|| session.checkpoint().unwrap());
+        let json = ckpt.to_json();
+        let (parsed, decode_secs) = timed(|| Checkpoint::from_json(&json).unwrap());
+        let (restored, restore_secs) =
+            timed(|| RealTimeSession::restore(schema_db(n_people), &parsed).unwrap());
+        assert_eq!(restored.now(), session.now());
+        row(
+            &format!("{}", n_people * QUERIES_PER_KEY),
+            &[
+                capture_secs * 1e3,
+                json.len() as f64 / 1024.0,
+                decode_secs * 1e3,
+                restore_secs * 1e3,
+            ],
+        );
+    }
+
+    header(
+        "Auto-checkpointing tick overhead (interval 4 vs off)",
+        &["chains", "plain ticks/s", "ckpt ticks/s", "overhead x"],
+    );
+    for &n_people in people_counts {
+        let (mut plain, ticks) = build_session(n_people, SessionConfig::default());
+        let (_, plain_secs) = timed(|| run_ticks(&mut plain, &ticks, n_ticks));
+        let (mut ckpt, ticks) = build_session(
+            n_people,
+            SessionConfig {
+                checkpoint_interval: 4,
+                ..SessionConfig::default()
+            },
+        );
+        let (_, ckpt_secs) = timed(|| run_ticks(&mut ckpt, &ticks, n_ticks));
+        assert!(ckpt.last_checkpoint().is_some());
+        row(
+            &format!("{}", n_people * QUERIES_PER_KEY),
+            &[
+                n_ticks as f64 / plain_secs,
+                n_ticks as f64 / ckpt_secs,
+                ckpt_secs / plain_secs,
+            ],
+        );
+    }
+
+    #[cfg(feature = "failpoints")]
+    recovery_bench(people_counts, n_ticks);
+    #[cfg(not(feature = "failpoints"))]
+    println!("\n(recovery path: rerun with --features failpoints to time recover())");
+}
+
+/// Times recover() after an injected worker panic: the dominant cost is
+/// replaying the lost shard's chains from the last checkpoint.
+#[cfg(feature = "failpoints")]
+fn recovery_bench(people_counts: &[usize], n_ticks: usize) {
+    use lahar_core::failpoint::{self, FailAction, Schedule};
+    use lahar_core::TickMode;
+
+    header(
+        "Recovery after injected worker panic",
+        &["chains", "recover ms", "replayed ticks"],
+    );
+    for &n_people in people_counts {
+        let (mut session, ticks) = build_session(
+            n_people,
+            SessionConfig {
+                tick_mode: TickMode::Parallel,
+                checkpoint_interval: 4,
+                ..SessionConfig::default()
+            },
+        );
+        run_ticks(&mut session, &ticks, n_ticks);
+        failpoint::configure("worker_step", FailAction::Panic, Schedule::Once { at: 0 });
+        for (idx, per_key) in ticks.iter().enumerate() {
+            session
+                .stage(idx, per_key[n_ticks % per_key.len()].clone())
+                .unwrap();
+        }
+        session.tick().unwrap_err();
+        failpoint::clear_all();
+        let replayed = (session.now() + 1) - session.last_checkpoint().map_or(0, |ckpt| ckpt.t());
+        let (alerts, recover_secs) = timed(|| session.recover().unwrap());
+        assert_eq!(alerts.len(), 2);
+        row(
+            &format!("{}", n_people * QUERIES_PER_KEY),
+            &[recover_secs * 1e3, replayed as f64],
+        );
+    }
+}

@@ -77,6 +77,60 @@ impl DfaCache {
         self.accepting[q as usize]
     }
 
+    /// Exports the discovered DFA state sets in discovery order, each as
+    /// the sorted NFA state indices it contains. Discovery order is what
+    /// assigns dense state ids, so replaying this list through
+    /// [`DfaCache::import_sets`] reproduces identical ids — the property
+    /// session checkpoints rely on for bit-identical restores.
+    pub(crate) fn export_sets(&self) -> Vec<Vec<u32>> {
+        self.sets
+            .iter()
+            .map(|s| s.iter().map(|i| i as u32).collect())
+            .collect()
+    }
+
+    /// Re-interns checkpointed state sets (in their original discovery
+    /// order) into this freshly built cache. Transition memos are *not*
+    /// restored; they re-memoize lazily with identical results since the
+    /// underlying NFA is deterministic in its inputs.
+    pub(crate) fn import_sets(&mut self, sets: &[Vec<u32>]) -> Result<(), String> {
+        let n_nfa = self.nfa.n_states();
+        let mut rebuilt: Vec<BitSet> = Vec::with_capacity(sets.len());
+        for (idx, states) in sets.iter().enumerate() {
+            let mut bs = BitSet::new(n_nfa);
+            for &s in states {
+                if s as usize >= n_nfa {
+                    return Err(format!(
+                        "DFA set {idx} references NFA state {s} but the automaton has {n_nfa}"
+                    ));
+                }
+                bs.insert(s as usize);
+            }
+            rebuilt.push(bs);
+        }
+        match rebuilt.first() {
+            Some(first) if *first == *self.nfa.initial() => {}
+            _ => {
+                return Err(
+                    "checkpointed DFA sets do not start with this automaton's initial set"
+                        .to_owned(),
+                )
+            }
+        }
+        self.ids = rebuilt
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        if self.ids.len() != rebuilt.len() {
+            return Err("checkpointed DFA sets contain duplicates".to_owned());
+        }
+        self.accepting = rebuilt.iter().map(|s| self.nfa.is_accepting(s)).collect();
+        self.sets = rebuilt;
+        self.trans.clear();
+        Ok(())
+    }
+
     /// The memoized transition `δ(q, sym)`.
     pub fn step(&mut self, q: u32, sym: SymbolSet) -> u32 {
         if let Some(&q2) = self.trans.get(&(q, sym)) {
@@ -115,6 +169,20 @@ enum MarginalSource<'a> {
     /// Pre-staged marginals indexed like `db.streams()` (session tick
     /// on a worker thread, where the database is not shareable).
     Staged(&'a [Marginal]),
+}
+
+/// Serializable forward state of an independent-mode [`ChainEvaluator`]:
+/// everything `O(1)`-space in the stream length (§3's real-time
+/// scenario), which is exactly what makes session checkpoints cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChainState {
+    /// Next timestep the chain will consume.
+    pub(crate) t: u32,
+    /// Tracked mass per discovered DFA state (independent mode keeps a
+    /// single scalar per state).
+    pub(crate) dist: Vec<f64>,
+    /// Discovered DFA state sets in discovery order (NFA state indices).
+    pub(crate) dfa_sets: Vec<Vec<u32>>,
 }
 
 /// Exact streaming evaluator for a grounded regular query.
@@ -274,6 +342,47 @@ impl ChainEvaluator {
     /// representation — the only mode [`crate::RealTimeSession`] uses.
     pub fn is_independent(&self) -> bool {
         matches!(self.mode, Mode::Independent)
+    }
+
+    /// Exports the forward state (timestep, per-DFA-state mass, and the
+    /// DFA discovery order) of an independent-mode evaluator.
+    pub(crate) fn export_state(&self) -> Result<ChainState, EngineError> {
+        if !self.is_independent() {
+            return Err(EngineError::CheckpointUnsupported(
+                "only independent-mode chains can be checkpointed".to_owned(),
+            ));
+        }
+        Ok(ChainState {
+            t: self.t,
+            dist: self.dist.iter().map(|v| v[0]).collect(),
+            dfa_sets: self.dfa.export_sets(),
+        })
+    }
+
+    /// Restores checkpointed forward state into a structurally rebuilt
+    /// evaluator (same query, same database schema). After this call the
+    /// evaluator is bit-identical to the one that exported the state:
+    /// the DFA discovery order is replayed so state ids line up, and
+    /// future steps therefore accumulate in the same float order.
+    pub(crate) fn restore_state(&mut self, state: &ChainState) -> Result<(), EngineError> {
+        if !self.is_independent() {
+            return Err(EngineError::CheckpointUnsupported(
+                "only independent-mode chains can be restored".to_owned(),
+            ));
+        }
+        self.dfa
+            .import_sets(&state.dfa_sets)
+            .map_err(EngineError::CheckpointCorrupt)?;
+        if state.dist.len() > self.dfa.n_states() {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "chain mass vector covers {} DFA states but only {} were discovered",
+                state.dist.len(),
+                self.dfa.n_states()
+            )));
+        }
+        self.dist = state.dist.iter().map(|&m| vec![m]).collect();
+        self.t = state.t;
+        Ok(())
     }
 
     /// Consumes timestep `t = next_t()`: evolves the hidden chain, feeds

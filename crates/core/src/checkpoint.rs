@@ -1,0 +1,548 @@
+//! Versioned snapshots of a [`crate::RealTimeSession`].
+//!
+//! The real-time path is an `O(1)`-space forward computation per chain
+//! (§3 of the paper), so the *complete* session state — per-chain
+//! forward distributions and automaton cursors, registered queries,
+//! staged marginals, the recorded marginal history, the timestep, and
+//! stats — is small and cheap to capture. A [`Checkpoint`] is that
+//! capture; [`Checkpoint::to_json`] / [`Checkpoint::from_json`] move it
+//! through a versioned, hand-rolled JSON document (the repo convention —
+//! no serde), with every float in shortest round-trip form so a restore
+//! is **bit-identical**: a session rebuilt with
+//! [`crate::RealTimeSession::restore`] produces exactly the alerts the
+//! original would have for the same future ticks.
+//!
+//! Checkpoints also anchor in-place recovery: the session keeps its
+//! latest checkpoint plus a bounded replay log of marginals appended
+//! since, and [`crate::RealTimeSession::recover`] rebuilds shards lost
+//! to a fault from those instead of from the full history.
+
+use crate::chain::ChainState;
+use crate::error::EngineError;
+use crate::json::{self, JsonValue};
+use crate::session::{SessionConfig, TickMode};
+use crate::stats::{HistogramState, StatsState};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Document-type marker embedded in every checkpoint.
+const FORMAT: &str = "lahar-checkpoint";
+
+/// One registered query as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QueryMeta {
+    /// Registered name.
+    pub(crate) name: String,
+    /// Source text (required: structural restore re-compiles it).
+    pub(crate) source: String,
+    /// True for extended-regular recombination (`1 − Π(1 − pᵢ)`).
+    pub(crate) extended: bool,
+    /// Per-key chain count at capture time (validated on restore).
+    pub(crate) n_chains: usize,
+}
+
+/// A complete, versioned snapshot of a [`crate::RealTimeSession`].
+///
+/// Produced by [`crate::RealTimeSession::checkpoint`], consumed by
+/// [`crate::RealTimeSession::restore`]. Serializable with
+/// [`Checkpoint::to_json`] and [`Checkpoint::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    pub(crate) version: u32,
+    /// Ticks closed when the snapshot was taken.
+    pub(crate) t: u32,
+    pub(crate) config: SessionConfig,
+    /// Staged (not yet ticked) marginal probabilities per stream.
+    pub(crate) staged: Vec<Option<Vec<f64>>>,
+    pub(crate) queries: Vec<QueryMeta>,
+    /// Per-chain forward state in global chain-sequence order.
+    pub(crate) chains: Vec<ChainState>,
+    /// `history[stream][tick][outcome]` — the full recorded marginal
+    /// history, so a cold restore rebuilds an identical database.
+    pub(crate) history: Vec<Vec<Vec<f64>>>,
+    pub(crate) stats: StatsState,
+}
+
+impl Checkpoint {
+    /// The format version of this checkpoint.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The session clock (ticks closed) at capture time.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Number of registered queries captured.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of per-key chains captured.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The session configuration captured with the snapshot (the
+    /// default configuration [`crate::RealTimeSession::restore`] resumes
+    /// under).
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Serializes the checkpoint as a versioned JSON document. All
+    /// floats are written in shortest round-trip form, so
+    /// [`Checkpoint::from_json`] reproduces this checkpoint bit for bit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"format\":");
+        json::push_string(&mut out, FORMAT);
+        out.push_str(&format!(",\"version\":{},\"t\":{},", self.version, self.t));
+        out.push_str("\"config\":");
+        push_config(&mut out, &self.config);
+        out.push_str(",\"staged\":[");
+        for (i, staged) in self.staged.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match staged {
+                None => out.push_str("null"),
+                Some(probs) => push_f64_array(&mut out, probs),
+            }
+        }
+        out.push_str("],\"queries\":[");
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::push_string(&mut out, &q.name);
+            out.push_str(",\"source\":");
+            json::push_string(&mut out, &q.source);
+            out.push_str(&format!(
+                ",\"extended\":{},\"n_chains\":{}}}",
+                q.extended, q.n_chains
+            ));
+        }
+        out.push_str("],\"chains\":[");
+        for (i, c) in self.chains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"t\":{},\"dist\":", c.t));
+            push_f64_array(&mut out, &c.dist);
+            out.push_str(",\"dfa_sets\":[");
+            for (j, set) in c.dfa_sets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_u64_array(&mut out, set.iter().map(|&s| u64::from(s)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"history\":[");
+        for (i, stream) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, tick) in stream.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_f64_array(&mut out, tick);
+            }
+            out.push(']');
+        }
+        out.push_str("],\"stats\":");
+        push_stats(&mut out, &self.stats);
+        out.push('}');
+        out
+    }
+
+    /// Parses a checkpoint produced by [`Checkpoint::to_json`]. Any
+    /// structural problem — wrong document type, unsupported version,
+    /// missing or mistyped fields — is reported as
+    /// [`EngineError::CheckpointCorrupt`].
+    pub fn from_json(input: &str) -> Result<Self, EngineError> {
+        let doc = json::parse(input).map_err(|e| EngineError::CheckpointCorrupt(e.to_string()))?;
+        if doc.get("format").and_then(JsonValue::as_str) != Some(FORMAT) {
+            return Err(corrupt("not a lahar-checkpoint document"));
+        }
+        let version = get_u64(&doc, "version")? as u32;
+        if version != CHECKPOINT_VERSION {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "unsupported checkpoint version {version} (this build reads version {CHECKPOINT_VERSION})"
+            )));
+        }
+        let t = get_u64(&doc, "t")? as u32;
+        let config = parse_config(get(&doc, "config")?)?;
+        let staged = get_array(&doc, "staged")?
+            .iter()
+            .map(|v| match v {
+                JsonValue::Null => Ok(None),
+                other => f64_array(other, "staged marginal").map(Some),
+            })
+            .collect::<Result<_, _>>()?;
+        let queries = get_array(&doc, "queries")?
+            .iter()
+            .map(|v| {
+                Ok(QueryMeta {
+                    name: get_str(v, "name")?,
+                    source: get_str(v, "source")?,
+                    extended: get_bool(v, "extended")?,
+                    n_chains: get_u64(v, "n_chains")? as usize,
+                })
+            })
+            .collect::<Result<_, EngineError>>()?;
+        let chains = get_array(&doc, "chains")?
+            .iter()
+            .map(|v| {
+                let dfa_sets = get_array(v, "dfa_sets")?
+                    .iter()
+                    .map(|set| {
+                        Ok(u64_array(set, "dfa set")?
+                            .into_iter()
+                            .map(|s| s as u32)
+                            .collect())
+                    })
+                    .collect::<Result<_, EngineError>>()?;
+                Ok(ChainState {
+                    t: get_u64(v, "t")? as u32,
+                    dist: f64_array(get(v, "dist")?, "chain dist")?,
+                    dfa_sets,
+                })
+            })
+            .collect::<Result<_, EngineError>>()?;
+        let history = get_array(&doc, "history")?
+            .iter()
+            .map(|stream| {
+                stream
+                    .as_array()
+                    .ok_or_else(|| corrupt("stream history is not an array"))?
+                    .iter()
+                    .map(|tick| f64_array(tick, "history marginal"))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, EngineError>>()?;
+        let stats = parse_stats(get(&doc, "stats")?)?;
+        Ok(Self {
+            version,
+            t,
+            config,
+            staged,
+            queries,
+            chains,
+            history,
+            stats,
+        })
+    }
+}
+
+fn push_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn push_u64_array(out: &mut String, values: impl IntoIterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_config(out: &mut String, c: &SessionConfig) {
+    let mode = match c.tick_mode {
+        TickMode::Auto => "auto",
+        TickMode::Sequential => "sequential",
+        TickMode::Parallel => "parallel",
+    };
+    out.push_str("{\"tick_mode\":");
+    json::push_string(out, mode);
+    out.push_str(&format!(
+        ",\"n_workers\":{},\"parallel_threshold\":{},\"checkpoint_interval\":{},\"tick_deadline_ns\":",
+        c.n_workers, c.parallel_threshold, c.checkpoint_interval
+    ));
+    match c.tick_deadline {
+        None => out.push_str("null"),
+        Some(d) => out.push_str(&u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).to_string()),
+    }
+    out.push('}');
+}
+
+fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
+    let tick_mode = match get_str(v, "tick_mode")?.as_str() {
+        "auto" => TickMode::Auto,
+        "sequential" => TickMode::Sequential,
+        "parallel" => TickMode::Parallel,
+        other => {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "unknown tick mode '{other}'"
+            )))
+        }
+    };
+    let tick_deadline = match get(v, "tick_deadline_ns")? {
+        JsonValue::Null => None,
+        other => {
+            Some(Duration::from_nanos(other.as_u64().ok_or_else(|| {
+                corrupt("tick_deadline_ns is not an integer")
+            })?))
+        }
+    };
+    Ok(SessionConfig {
+        tick_mode,
+        n_workers: get_u64(v, "n_workers")? as usize,
+        parallel_threshold: get_u64(v, "parallel_threshold")? as usize,
+        checkpoint_interval: get_u64(v, "checkpoint_interval")? as usize,
+        tick_deadline,
+    })
+}
+
+fn push_stats(out: &mut String, s: &StatsState) {
+    out.push_str(&format!(
+        "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\"recoveries\":{},\
+         \"checkpoints_taken\":{},\"chains_stepped\":{},\"bindings_grounded\":{},\
+         \"alerts_emitted\":{},\"sampler_compilations\":{},\"sampler_worlds\":{},\
+         \"fallbacks\":{},\"fallback_reasons\":{{",
+        s.ticks,
+        s.parallel_ticks,
+        s.degraded_ticks,
+        s.recoveries,
+        s.checkpoints_taken,
+        s.chains_stepped,
+        s.bindings_grounded,
+        s.alerts_emitted,
+        s.sampler_compilations,
+        s.sampler_worlds,
+        s.fallbacks,
+    ));
+    for (i, (reason, count)) in s.fallback_reasons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_string(out, reason);
+        out.push_str(&format!(":{count}"));
+    }
+    let h = &s.tick_latency;
+    out.push_str("},\"tick_latency\":{\"counts\":");
+    push_u64_array(out, h.counts.iter().copied());
+    out.push_str(&format!(
+        ",\"n\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}}}}}",
+        h.n, h.sum_ns, h.min_ns, h.max_ns
+    ));
+}
+
+fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
+    let reasons = get(v, "fallback_reasons")?
+        .as_object()
+        .ok_or_else(|| corrupt("fallback_reasons is not an object"))?;
+    let mut fallback_reasons = BTreeMap::new();
+    for (k, count) in reasons {
+        fallback_reasons.insert(
+            k.clone(),
+            count
+                .as_u64()
+                .ok_or_else(|| corrupt("fallback count is not an integer"))?,
+        );
+    }
+    let h = get(v, "tick_latency")?;
+    let tick_latency = HistogramState {
+        counts: u64_array(get(h, "counts")?, "histogram counts")?,
+        n: get_u64(h, "n")?,
+        sum_ns: get_u64(h, "sum_ns")?,
+        min_ns: get_u64(h, "min_ns")?,
+        max_ns: get_u64(h, "max_ns")?,
+    };
+    Ok(StatsState {
+        ticks: get_u64(v, "ticks")?,
+        parallel_ticks: get_u64(v, "parallel_ticks")?,
+        degraded_ticks: get_u64(v, "degraded_ticks")?,
+        recoveries: get_u64(v, "recoveries")?,
+        checkpoints_taken: get_u64(v, "checkpoints_taken")?,
+        chains_stepped: get_u64(v, "chains_stepped")?,
+        bindings_grounded: get_u64(v, "bindings_grounded")?,
+        alerts_emitted: get_u64(v, "alerts_emitted")?,
+        sampler_compilations: get_u64(v, "sampler_compilations")?,
+        sampler_worlds: get_u64(v, "sampler_worlds")?,
+        fallbacks: get_u64(v, "fallbacks")?,
+        fallback_reasons,
+        tick_latency,
+    })
+}
+
+fn corrupt(msg: &str) -> EngineError {
+    EngineError::CheckpointCorrupt(msg.to_owned())
+}
+
+fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, EngineError> {
+    v.get(key)
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("missing field '{key}'")))
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, EngineError> {
+    get(v, key)?
+        .as_u64()
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("field '{key}' is not an integer")))
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, EngineError> {
+    Ok(get(v, key)?
+        .as_str()
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("field '{key}' is not a string")))?
+        .to_owned())
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, EngineError> {
+    match get(v, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(EngineError::CheckpointCorrupt(format!(
+            "field '{key}' is not a boolean"
+        ))),
+    }
+}
+
+fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], EngineError> {
+    get(v, key)?
+        .as_array()
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("field '{key}' is not an array")))
+}
+
+fn f64_array(v: &JsonValue, what: &str) -> Result<Vec<f64>, EngineError> {
+    v.as_array()
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("{what} is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| EngineError::CheckpointCorrupt(format!("{what} holds a non-number")))
+        })
+        .collect()
+}
+
+fn u64_array(v: &JsonValue, what: &str) -> Result<Vec<u64>, EngineError> {
+    v.as_array()
+        .ok_or_else(|| EngineError::CheckpointCorrupt(format!("{what} is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64().ok_or_else(|| {
+                EngineError::CheckpointCorrupt(format!("{what} holds a non-integer"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            t: 3,
+            config: SessionConfig {
+                tick_mode: TickMode::Parallel,
+                n_workers: 4,
+                parallel_threshold: 128,
+                checkpoint_interval: 8,
+                tick_deadline: Some(Duration::from_millis(250)),
+            },
+            staged: vec![None, Some(vec![0.1, 0.2, 0.7])],
+            queries: vec![QueryMeta {
+                name: "q \"quoted\"".to_owned(),
+                source: "At(p,'a') ; At(p,'c')".to_owned(),
+                extended: true,
+                n_chains: 2,
+            }],
+            chains: vec![ChainState {
+                t: 3,
+                dist: vec![0.1 + 0.2, 1.0 / 3.0, 5e-324],
+                dfa_sets: vec![vec![0], vec![1, 2]],
+            }],
+            history: vec![
+                vec![
+                    vec![0.5, 0.5, 0.0],
+                    vec![0.0, 0.0, 1.0],
+                    vec![0.25, 0.25, 0.5],
+                ],
+                vec![vec![1.0, 0.0, 0.0]; 3],
+            ],
+            stats: StatsState {
+                ticks: 3,
+                parallel_ticks: 2,
+                degraded_ticks: 1,
+                recoveries: 1,
+                checkpoints_taken: 1,
+                chains_stepped: 9,
+                bindings_grounded: 2,
+                alerts_emitted: 3,
+                sampler_compilations: 0,
+                sampler_worlds: 0,
+                fallbacks: 1,
+                fallback_reasons: BTreeMap::from([("why\n".to_owned(), 1)]),
+                tick_latency: HistogramState {
+                    counts: vec![0, 2, 1],
+                    n: 3,
+                    sum_ns: 12_345,
+                    min_ns: 1_000,
+                    max_ns: 9_000,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ckpt = sample();
+        let doc = ckpt.to_json();
+        let parsed = Checkpoint::from_json(&doc).unwrap();
+        assert_eq!(parsed, ckpt);
+        // Exactness down to the bit pattern of every float.
+        for (a, b) in ckpt.chains[0].dist.iter().zip(&parsed.chains[0].dist) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Stable serialization: same document on re-encode.
+        assert_eq!(parsed.to_json(), doc);
+    }
+
+    #[test]
+    fn empty_histogram_sentinels_round_trip() {
+        let mut ckpt = sample();
+        ckpt.stats.tick_latency = HistogramState {
+            counts: vec![0; 64],
+            n: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        };
+        let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed.stats.tick_latency.min_ns, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_corrupt_documents() {
+        assert!(Checkpoint::from_json("not json").is_err());
+        assert!(Checkpoint::from_json("{}").is_err());
+        assert!(Checkpoint::from_json("{\"format\":\"other\"}").is_err());
+        let mut wrong_version = sample();
+        wrong_version.version = CHECKPOINT_VERSION + 1;
+        let doc = wrong_version.to_json();
+        let err = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(matches!(err, EngineError::CheckpointCorrupt(_)));
+        // Truncated document.
+        let doc = sample().to_json();
+        assert!(Checkpoint::from_json(&doc[..doc.len() - 2]).is_err());
+    }
+}

@@ -3,6 +3,7 @@
 use lahar_model::ModelError;
 use lahar_query::QueryError;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised by the Lahar engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,9 +29,51 @@ pub enum EngineError {
     },
     /// The query references no stream present in the database.
     NoRelevantStreams,
-    /// A parallel worker thread panicked; the payload is the panic
-    /// message when one was available.
-    WorkerPanicked(String),
+    /// A parallel worker thread panicked. Sessions hit by this fault can
+    /// be repaired with [`crate::RealTimeSession::recover`].
+    WorkerPanicked {
+        /// Index of the worker (= shard) that panicked, when known.
+        worker: Option<usize>,
+        /// The panic message when one was available.
+        message: String,
+    },
+    /// A parallel tick exceeded the session's configured
+    /// [`crate::SessionConfig::tick_deadline`]. The session is poisoned
+    /// but recoverable; after [`crate::RealTimeSession::recover`] it runs
+    /// in degraded (sequential) mode.
+    TickTimeout {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// An operation was attempted on a poisoned session; call
+    /// [`crate::RealTimeSession::recover`] first.
+    SessionPoisoned,
+    /// An error injected by the fault-injection harness (the named fail
+    /// point is in the payload). Only produced with the `failpoints`
+    /// feature enabled.
+    FaultInjected(String),
+    /// [`crate::RealTimeSession::recover`] could not rebuild the session.
+    RecoveryFailed(String),
+    /// The session cannot be checkpointed (e.g. a query was registered
+    /// from an AST without source text).
+    CheckpointUnsupported(String),
+    /// A checkpoint document failed to parse or validate on restore.
+    CheckpointCorrupt(String),
+}
+
+impl EngineError {
+    /// Whether a poisoned session hit by this fault can be repaired with
+    /// [`crate::RealTimeSession::recover`] (as opposed to a
+    /// configuration or data error the caller must fix).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::WorkerPanicked { .. }
+                | EngineError::TickTimeout { .. }
+                | EngineError::SessionPoisoned
+                | EngineError::FaultInjected(_)
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -47,8 +90,27 @@ impl fmt::Display for EngineError {
             EngineError::NoRelevantStreams => {
                 write!(f, "no stream in the database can match the query")
             }
-            EngineError::WorkerPanicked(msg) => {
-                write!(f, "parallel worker thread panicked: {msg}")
+            EngineError::WorkerPanicked { worker, message } => match worker {
+                Some(w) => write!(f, "parallel worker {w} panicked: {message}"),
+                None => write!(f, "parallel worker thread panicked: {message}"),
+            },
+            EngineError::TickTimeout { deadline } => {
+                write!(f, "parallel tick exceeded deadline of {deadline:?}")
+            }
+            EngineError::SessionPoisoned => {
+                write!(f, "session is poisoned; call recover() first")
+            }
+            EngineError::FaultInjected(point) => {
+                write!(f, "fault injected at fail point '{point}'")
+            }
+            EngineError::RecoveryFailed(msg) => {
+                write!(f, "session recovery failed: {msg}")
+            }
+            EngineError::CheckpointUnsupported(msg) => {
+                write!(f, "session cannot be checkpointed: {msg}")
+            }
+            EngineError::CheckpointCorrupt(msg) => {
+                write!(f, "checkpoint is corrupt: {msg}")
             }
         }
     }
@@ -78,7 +140,33 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Converts a payload caught from a panicking worker thread into
-/// [`EngineError::WorkerPanicked`].
+/// [`EngineError::WorkerPanicked`] (with no worker attribution).
 pub(crate) fn worker_panic(payload: Box<dyn std::any::Any + Send>) -> EngineError {
-    EngineError::WorkerPanicked(panic_message(payload))
+    EngineError::WorkerPanicked {
+        worker: None,
+        message: panic_message(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(EngineError::WorkerPanicked {
+            worker: Some(2),
+            message: "boom".into()
+        }
+        .is_recoverable());
+        assert!(EngineError::TickTimeout {
+            deadline: Duration::from_millis(5)
+        }
+        .is_recoverable());
+        assert!(EngineError::SessionPoisoned.is_recoverable());
+        assert!(EngineError::FaultInjected("worker_step".into()).is_recoverable());
+        assert!(!EngineError::NoRelevantStreams.is_recoverable());
+        assert!(!EngineError::StateSpaceTooLarge { size: 10, cap: 5 }.is_recoverable());
+        assert!(!EngineError::CheckpointCorrupt("bad".into()).is_recoverable());
+    }
 }

@@ -37,10 +37,13 @@
 #![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
 
 mod chain;
+mod checkpoint;
 mod engine;
 mod error;
 mod extended;
+pub mod failpoint;
 mod interval;
+pub mod json;
 mod occurrence;
 mod regular;
 mod safeplan;
@@ -50,6 +53,7 @@ mod stats;
 mod translate;
 
 pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{Algorithm, CompiledQuery, Lahar};
 pub use error::EngineError;
 pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};

@@ -181,6 +181,7 @@ impl Sampler {
         nq: &NormalQuery,
         config: SamplerConfig,
     ) -> Result<Self, EngineError> {
+        crate::failpoint::check("sampler")?;
         // Variables that must be grounded: shared variables plus every
         // variable of a residual (non-local) condition.
         let mut to_ground: BTreeSet<Var> = lahar_query::shared_vars(&nq.items);

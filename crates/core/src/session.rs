@@ -49,15 +49,16 @@
 //! ```
 
 use crate::chain::ChainEvaluator;
+use crate::checkpoint::{Checkpoint, QueryMeta, CHECKPOINT_VERSION};
 use crate::error::{panic_message, EngineError};
 use crate::extended::ExtendedRegularEvaluator;
 use crate::regular::RegularEvaluator;
 use crate::stats::EngineStats;
 use lahar_model::{Database, Marginal, StreamData};
 use lahar_query::{classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifier of a registered query within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +103,18 @@ pub struct SessionConfig {
     /// parallel path. Below it, per-tick work is too small to amortize
     /// the cross-thread handoff.
     pub parallel_threshold: usize,
+    /// Take an automatic [`RealTimeSession::checkpoint`] every this many
+    /// closed ticks (`0` disables auto-checkpointing). Auto-checkpoints
+    /// bound the recovery replay log to at most this many ticks.
+    pub checkpoint_interval: usize,
+    /// Watchdog deadline for a parallel tick. When the worker pool takes
+    /// longer than this to return every shard, the tick fails with
+    /// [`EngineError::TickTimeout`] and — after
+    /// [`RealTimeSession::recover`] — the session runs *degraded*,
+    /// forcing the sequential path until
+    /// [`RealTimeSession::clear_degraded`]. `None` disables the
+    /// watchdog.
+    pub tick_deadline: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -110,11 +123,14 @@ impl Default for SessionConfig {
             tick_mode: TickMode::Auto,
             n_workers: 0,
             parallel_threshold: 256,
+            checkpoint_interval: 0,
+            tick_deadline: None,
         }
     }
 }
 
 /// How a registered query recombines its chains' probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QueryKind {
     /// Single chain; its accept probability is the answer.
     Regular,
@@ -125,6 +141,12 @@ enum QueryKind {
 struct Registered {
     name: String,
     kind: QueryKind,
+    /// The query's source text, kept for structural rebuilds during
+    /// [`RealTimeSession::recover`] and for checkpoints. `None` when the
+    /// query was registered from an AST
+    /// ([`RealTimeSession::register_query`]), which makes the session
+    /// non-checkpointable and the query non-recoverable.
+    source: Option<String>,
     /// Global chain-sequence index of this query's first chain.
     first_chain: usize,
     n_chains: usize,
@@ -145,8 +167,8 @@ struct Job {
     marginals: Arc<Vec<Marginal>>,
 }
 
-/// `(worker index, stepped shard + per-chain probabilities | panic message)`.
-type Reply = (usize, Result<(Shard, Vec<f64>), String>);
+/// `(worker index, stepped shard + per-chain probabilities | fault)`.
+type Reply = (usize, Result<(Shard, Vec<f64>), EngineError>);
 
 fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
     while let Ok(job) = jobs.recv() {
@@ -155,14 +177,18 @@ fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
             let mut shard = shard;
             let mut probs = Vec::with_capacity(shard.chains.len());
             for (_, chain) in &mut shard.chains {
+                crate::failpoint::check("worker_step")?;
                 probs.push(chain.step_with_marginals(&marginals)?);
             }
             Ok::<_, EngineError>((shard, probs))
         }));
         let reply = match outcome {
             Ok(Ok(done)) => Ok(done),
-            Ok(Err(e)) => Err(e.to_string()),
-            Err(payload) => Err(panic_message(payload)),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(EngineError::WorkerPanicked {
+                worker: Some(index),
+                message: panic_message(payload),
+            }),
         };
         if replies.send((index, reply)).is_err() {
             return;
@@ -227,9 +253,28 @@ pub struct RealTimeSession {
     total_chains: usize,
     config: SessionConfig,
     pool: Option<WorkerPool>,
-    /// Set when a worker panicked mid-tick: its shard is lost, so the
-    /// session can no longer advance.
+    /// Set when a tick fault lost chain state (worker panic, injected
+    /// error, watchdog timeout, or sequential-path panic). A poisoned
+    /// session refuses every mutating entry point until
+    /// [`RealTimeSession::recover`] repairs it.
     poisoned: bool,
+    /// Set by a watchdog timeout: the pool is considered unreliable, so
+    /// every future tick takes the sequential path (and is counted as a
+    /// degraded tick) until [`RealTimeSession::clear_degraded`].
+    degraded: bool,
+    /// The most recent checkpoint (manual or automatic); the fast
+    /// restore base for [`RealTimeSession::recover`].
+    last_checkpoint: Option<Checkpoint>,
+    /// Marginals of every tick closed since `last_checkpoint`
+    /// (`replay_log[i]` belongs to tick `replay_base + i`, including the
+    /// currently failed tick when poisoned). Truncated at each
+    /// checkpoint, so auto-checkpointing bounds it to
+    /// [`SessionConfig::checkpoint_interval`] entries. Only maintained
+    /// once a checkpoint exists: before that, recovery replays from the
+    /// database's recorded history instead.
+    replay_log: Vec<Arc<Vec<Marginal>>>,
+    /// Tick index of `replay_log[0]`.
+    replay_base: u32,
     stats: EngineStats,
     t: u32,
 }
@@ -263,6 +308,10 @@ impl RealTimeSession {
             config,
             pool: None,
             poisoned: false,
+            degraded: false,
+            last_checkpoint: None,
+            replay_log: Vec::new(),
+            replay_base: 0,
             stats: EngineStats::new(),
             t: 0,
         })
@@ -289,6 +338,34 @@ impl RealTimeSession {
         self.total_chains
     }
 
+    /// True when a tick fault has poisoned the session. Every mutating
+    /// entry point ([`RealTimeSession::stage`],
+    /// [`RealTimeSession::register`], [`RealTimeSession::tick`],
+    /// [`RealTimeSession::checkpoint`]) fails with
+    /// [`EngineError::SessionPoisoned`] until
+    /// [`RealTimeSession::recover`] succeeds.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// True when a watchdog timeout has forced the session onto the
+    /// sequential path (see [`SessionConfig::tick_deadline`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Re-enables the parallel path after degraded mode (e.g. once the
+    /// load spike that tripped the watchdog has passed).
+    pub fn clear_degraded(&mut self) {
+        self.degraded = false;
+    }
+
+    /// The most recent checkpoint taken (manually or automatically), if
+    /// any.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
     /// Worker count the parallel path would use.
     fn effective_workers(&self) -> usize {
         if self.config.n_workers > 0 {
@@ -300,8 +377,13 @@ impl RealTimeSession {
         }
     }
 
-    /// Whether the next tick runs on the worker pool.
+    /// Whether the next tick runs on the worker pool. Degraded mode
+    /// overrides every [`TickMode`]: after a watchdog timeout the pool
+    /// is not trusted until [`RealTimeSession::clear_degraded`].
     fn parallel_tick(&self) -> bool {
+        if self.degraded {
+            return false;
+        }
         match self.config.tick_mode {
             TickMode::Sequential => false,
             TickMode::Parallel => true,
@@ -316,34 +398,27 @@ impl RealTimeSession {
     /// ticks have closed are fast-forwarded through the recorded history
     /// so their answers stay aligned with the session clock.
     pub fn register(&mut self, name: &str, src: &str) -> Result<QueryId, EngineError> {
+        self.ensure_live()?;
         let q = parse_and_validate(self.db.catalog(), self.db.interner(), src)?;
-        self.register_query(name, &q)
+        self.register_impl(name, &q, Some(src.to_owned()))
     }
 
-    /// Registers an AST query.
+    /// Registers an AST query. Because the source text is not available,
+    /// a session holding AST-registered queries cannot be checkpointed
+    /// or structurally recovered — prefer [`RealTimeSession::register`]
+    /// when resilience matters.
     pub fn register_query(&mut self, name: &str, q: &Query) -> Result<QueryId, EngineError> {
         self.ensure_live()?;
-        let nq = NormalQuery::from_query(q);
-        let (kind, mut new_chains): (QueryKind, Vec<ChainEvaluator>) =
-            match classify(self.db.catalog(), &nq) {
-                QueryClass::Regular => (
-                    QueryKind::Regular,
-                    vec![RegularEvaluator::new(&self.db, &nq)?.into_chain()],
-                ),
-                QueryClass::ExtendedRegular => (
-                    QueryKind::Extended,
-                    ExtendedRegularEvaluator::new(&self.db, &nq)?
-                        .into_chains()
-                        .into_iter()
-                        .map(|(_, chain)| chain)
-                        .collect(),
-                ),
-                other => {
-                    return Err(EngineError::Query(QueryError::NotInClass(format!(
-                        "streaming (regular or extended regular); query is {other}"
-                    ))))
-                }
-            };
+        self.register_impl(name, q, None)
+    }
+
+    fn register_impl(
+        &mut self,
+        name: &str,
+        q: &Query,
+        source: Option<String>,
+    ) -> Result<QueryId, EngineError> {
+        let (kind, mut new_chains) = compile_chains(&self.db, q)?;
         // Fast-forward through already-closed ticks so the new query's
         // clock matches the session's.
         for chain in &mut new_chains {
@@ -355,6 +430,7 @@ impl RealTimeSession {
         self.queries.push(Registered {
             name: name.to_owned(),
             kind,
+            source,
             first_chain: self.total_chains,
             n_chains: new_chains.len(),
         });
@@ -418,9 +494,7 @@ impl RealTimeSession {
 
     fn ensure_live(&self) -> Result<(), EngineError> {
         if self.poisoned {
-            return Err(EngineError::WorkerPanicked(
-                "session poisoned by an earlier worker panic".to_owned(),
-            ));
+            return Err(EngineError::SessionPoisoned);
         }
         Ok(())
     }
@@ -429,6 +503,7 @@ impl RealTimeSession {
     /// (the index into `database().streams()`). Unstaged streams default
     /// to all-⊥ ("no event") when the tick closes.
     pub fn stage(&mut self, stream_index: usize, marginal: Marginal) -> Result<(), EngineError> {
+        self.ensure_live()?;
         if stream_index >= self.staged.len() {
             return Err(EngineError::NoRelevantStreams);
         }
@@ -461,15 +536,42 @@ impl RealTimeSession {
             self.db.push_marginal(&id, marginal.clone())?;
             tick_marginals.push(marginal);
         }
+        let marginals = Arc::new(tick_marginals);
+        if self.last_checkpoint.is_some() {
+            // Appended before stepping so the marginals of a tick that
+            // faults mid-step are already available to recover().
+            self.replay_log.push(marginals.clone());
+        }
         let parallel = self.parallel_tick();
         let probs = if parallel {
-            self.step_chains_parallel(tick_marginals)?
+            self.step_chains_parallel(marginals)?
         } else {
-            self.step_chains_sequential()
+            self.step_chains_sequential(&marginals)?
         };
+        let alerts = self.combine_alerts(&probs);
+        self.t += 1;
+        self.stats
+            .record_tick(started.elapsed(), self.total_chains as u64, parallel);
+        if self.degraded {
+            self.stats.record_degraded_tick();
+        }
+        self.stats.record_alerts(alerts.len() as u64);
+        if self.config.checkpoint_interval > 0
+            && (self.t as usize).is_multiple_of(self.config.checkpoint_interval)
+        {
+            // Auto-checkpointing needs every query's source text; with
+            // AST-registered queries this surfaces as a tick error
+            // rather than silently skipping the snapshot.
+            self.checkpoint()?;
+        }
+        Ok(alerts)
+    }
+
+    /// Recombines per-chain probabilities (global sequence order) into
+    /// per-query alerts for the currently closing tick `self.t`.
+    fn combine_alerts(&self, probs: &[f64]) -> Vec<Alert> {
         let t = self.t;
-        let alerts: Vec<Alert> = self
-            .queries
+        self.queries
             .iter()
             .enumerate()
             .map(|(i, reg)| {
@@ -490,36 +592,67 @@ impl RealTimeSession {
                     probability,
                 }
             })
-            .collect();
-        self.t += 1;
-        self.stats
-            .record_tick(started.elapsed(), self.total_chains as u64, parallel);
-        self.stats.record_alerts(alerts.len() as u64);
-        Ok(alerts)
+            .collect()
     }
 
     /// Steps every chain in place, returning per-chain probabilities in
-    /// global sequence order.
-    fn step_chains_sequential(&mut self) -> Vec<f64> {
-        let mut probs = vec![0.0; self.total_chains];
-        for slot in &mut self.shards {
-            let shard = slot.as_mut().expect("all shards home between ticks");
-            for (offset, (_, chain)) in shard.chains.iter_mut().enumerate() {
-                probs[shard.start + offset] = chain.step(&self.db);
+    /// global sequence order. Uses the same staged-marginal arithmetic
+    /// as the worker path ([`ChainEvaluator::step_with_marginals`]), so
+    /// both paths produce bit-identical answers. A panic or injected
+    /// error mid-loop leaves unknown chains half-stepped, so the whole
+    /// chain set is dropped and the session poisoned — recover() then
+    /// rebuilds everything.
+    fn step_chains_sequential(
+        &mut self,
+        tick_marginals: &[Marginal],
+    ) -> Result<Vec<f64>, EngineError> {
+        let n_shards = self.shards.len();
+        let mut shards = std::mem::take(&mut self.shards);
+        let total = self.total_chains;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut probs = vec![0.0; total];
+            for slot in &mut shards {
+                let shard = slot.as_mut().expect("all shards home between ticks");
+                for (offset, (_, chain)) in shard.chains.iter_mut().enumerate() {
+                    crate::failpoint::check("sequential_step")?;
+                    probs[shard.start + offset] = chain.step_with_marginals(tick_marginals)?;
+                }
+            }
+            Ok::<_, EngineError>(probs)
+        }));
+        match outcome {
+            Ok(Ok(probs)) => {
+                self.shards = shards;
+                Ok(probs)
+            }
+            Ok(Err(e)) => {
+                self.shards = (0..n_shards).map(|_| None).collect();
+                self.poisoned = true;
+                Err(e)
+            }
+            Err(payload) => {
+                self.shards = (0..n_shards).map(|_| None).collect();
+                self.poisoned = true;
+                Err(EngineError::WorkerPanicked {
+                    worker: None,
+                    message: panic_message(payload),
+                })
             }
         }
-        probs
     }
 
     /// Ships each shard to its worker with this tick's marginals and
     /// reassembles the per-chain probabilities in global sequence order.
+    /// With [`SessionConfig::tick_deadline`] set, a watchdog bounds how
+    /// long the pool may hold the tick: exceeding it poisons the session
+    /// (recoverable) and flips it into degraded mode.
     fn step_chains_parallel(
         &mut self,
-        tick_marginals: Vec<Marginal>,
+        marginals: Arc<Vec<Marginal>>,
     ) -> Result<Vec<f64>, EngineError> {
         self.ensure_pool();
-        let marginals = Arc::new(tick_marginals);
         let pool = self.pool.as_ref().expect("pool just ensured");
+        let deadline = self.config.tick_deadline.map(|d| (d, Instant::now() + d));
         let mut in_flight = 0usize;
         for (w, slot) in self.shards.iter_mut().enumerate() {
             let shard = slot.take().expect("all shards home between ticks");
@@ -535,29 +668,52 @@ impl RealTimeSession {
                 .is_err()
             {
                 // The worker is gone; its channel only closes when the
-                // thread exited, which the reply loop below reports.
+                // thread exited. The shard it would have stepped is lost
+                // with the rejected job.
                 self.poisoned = true;
-                return Err(EngineError::WorkerPanicked(format!(
-                    "session worker {w} exited before the tick"
-                )));
+                return Err(EngineError::WorkerPanicked {
+                    worker: Some(w),
+                    message: "session worker exited before the tick".to_owned(),
+                });
             }
             in_flight += 1;
         }
         let mut probs = vec![0.0; self.total_chains];
         let mut first_error: Option<EngineError> = None;
         for _ in 0..in_flight {
-            match pool.replies.recv() {
+            let reply = match deadline {
+                None => pool.replies.recv().map_err(|_| None),
+                Some((budget, until)) => {
+                    let remaining = until.saturating_duration_since(Instant::now());
+                    pool.replies.recv_timeout(remaining).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => Some(budget),
+                        RecvTimeoutError::Disconnected => None,
+                    })
+                }
+            };
+            match reply {
                 Ok((w, Ok((shard, shard_probs)))) => {
                     probs[shard.start..shard.start + shard_probs.len()]
                         .copy_from_slice(&shard_probs);
                     self.shards[w] = Some(shard);
                 }
-                Ok((_, Err(msg))) => {
-                    first_error.get_or_insert(EngineError::WorkerPanicked(msg));
+                Ok((_, Err(e))) => {
+                    first_error.get_or_insert(e);
                 }
-                Err(_) => {
-                    first_error.get_or_insert_with(|| {
-                        EngineError::WorkerPanicked("session worker pool disconnected".to_owned())
+                Err(Some(budget)) => {
+                    // Watchdog tripped: shards still in flight are
+                    // treated as lost (their late replies are discarded
+                    // when recover() drops the pool), and the pool is no
+                    // longer trusted until the caller clears degraded
+                    // mode.
+                    self.degraded = true;
+                    first_error.get_or_insert(EngineError::TickTimeout { deadline: budget });
+                    break;
+                }
+                Err(None) => {
+                    first_error.get_or_insert(EngineError::WorkerPanicked {
+                        worker: None,
+                        message: "session worker pool disconnected".to_owned(),
                     });
                     break;
                 }
@@ -570,6 +726,354 @@ impl RealTimeSession {
             return Err(e);
         }
         Ok(probs)
+    }
+
+    /// Snapshots the complete session — per-chain forward distributions
+    /// and automaton cursors, registered queries, staged marginals, the
+    /// recorded marginal history, the timestep, and stats — into a
+    /// versioned [`Checkpoint`] (serializable via
+    /// [`Checkpoint::to_json`]). Also resets the recovery replay log, so
+    /// future [`RealTimeSession::recover`] calls restart from this
+    /// snapshot. Requires every query to have been registered from
+    /// source text.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
+        self.ensure_live()?;
+        let queries = self
+            .queries
+            .iter()
+            .map(|reg| {
+                let source = reg.source.clone().ok_or_else(|| {
+                    EngineError::CheckpointUnsupported(format!(
+                        "query '{}' was registered from an AST without source text",
+                        reg.name
+                    ))
+                })?;
+                Ok(QueryMeta {
+                    name: reg.name.clone(),
+                    source,
+                    extended: matches!(reg.kind, QueryKind::Extended),
+                    n_chains: reg.n_chains,
+                })
+            })
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        let mut chains = vec![None; self.total_chains];
+        for slot in &self.shards {
+            let shard = slot.as_ref().expect("all shards home between ticks");
+            for (offset, (_, chain)) in shard.chains.iter().enumerate() {
+                chains[shard.start + offset] = Some(chain.export_state()?);
+            }
+        }
+        let chains = chains
+            .into_iter()
+            .map(|c| c.expect("shards cover every chain"))
+            .collect();
+        let staged = self
+            .staged
+            .iter()
+            .map(|s| s.as_ref().map(|m| m.probs().to_vec()))
+            .collect();
+        let history = self
+            .db
+            .streams()
+            .iter()
+            .map(|s| {
+                s.marginals()
+                    .expect("session streams are independent")
+                    .iter()
+                    .map(|m| m.probs().to_vec())
+                    .collect()
+            })
+            .collect();
+        self.stats.record_checkpoint();
+        let ckpt = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            t: self.t,
+            config: self.config,
+            staged,
+            queries,
+            chains,
+            history,
+            stats: self.stats.export_state(),
+        };
+        self.last_checkpoint = Some(ckpt.clone());
+        self.replay_log.clear();
+        self.replay_base = self.t;
+        Ok(ckpt)
+    }
+
+    /// Rebuilds a session from a [`Checkpoint`] over a fresh database
+    /// with the same schema (declared streams, relations, catalog) as
+    /// the checkpointed one, using the checkpointed [`SessionConfig`].
+    /// The restored session is bit-identical to the original at the
+    /// checkpoint: the same marginal history, chain states, staged
+    /// marginals, clock, and stats, producing the same alerts for the
+    /// same future ticks.
+    pub fn restore(db: Database, ckpt: &Checkpoint) -> Result<Self, EngineError> {
+        Self::restore_with_config(db, ckpt, ckpt.config)
+    }
+
+    /// [`RealTimeSession::restore`] with an overriding config (e.g. to
+    /// restore onto a machine with a different worker count — the tick
+    /// path never changes answers).
+    pub fn restore_with_config(
+        db: Database,
+        ckpt: &Checkpoint,
+        config: SessionConfig,
+    ) -> Result<Self, EngineError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "unsupported checkpoint version {} (this build reads version {})",
+                ckpt.version, CHECKPOINT_VERSION
+            )));
+        }
+        let mut session = Self::with_config(db, config)?;
+        let n_streams = session.db.streams().len();
+        if ckpt.history.len() != n_streams || ckpt.staged.len() != n_streams {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "checkpoint covers {} streams but the database declares {}",
+                ckpt.history.len(),
+                n_streams
+            )));
+        }
+        for (si, hist) in ckpt.history.iter().enumerate() {
+            if hist.len() != ckpt.t as usize {
+                return Err(EngineError::CheckpointCorrupt(format!(
+                    "stream {si} records {} ticks but the checkpoint clock is {}",
+                    hist.len(),
+                    ckpt.t
+                )));
+            }
+        }
+        let rebuild_marginal = |session: &Self, si: usize, probs: &[f64]| {
+            let domain = session.db.streams()[si].domain();
+            Marginal::new(domain, probs.to_vec()).map_err(|e| {
+                EngineError::CheckpointCorrupt(format!("stream {si} marginal invalid: {e}"))
+            })
+        };
+        for t in 0..ckpt.t as usize {
+            for si in 0..n_streams {
+                let m = rebuild_marginal(&session, si, &ckpt.history[si][t])?;
+                let id = session.db.streams()[si].id().clone();
+                session.db.push_marginal(&id, m)?;
+            }
+        }
+        for si in 0..n_streams {
+            if let Some(probs) = &ckpt.staged[si] {
+                session.staged[si] = Some(rebuild_marginal(&session, si, probs)?);
+            }
+        }
+        session.t = ckpt.t;
+        let mut chain_cursor = 0usize;
+        for meta in &ckpt.queries {
+            let q = parse_and_validate(session.db.catalog(), session.db.interner(), &meta.source)
+                .map_err(|e| {
+                EngineError::CheckpointCorrupt(format!(
+                    "query '{}' failed to re-parse: {e}",
+                    meta.name
+                ))
+            })?;
+            let (kind, mut chains) = compile_chains(&session.db, &q)?;
+            if matches!(kind, QueryKind::Extended) != meta.extended || chains.len() != meta.n_chains
+            {
+                return Err(EngineError::CheckpointCorrupt(format!(
+                    "query '{}' recompiled to a different shape than checkpointed",
+                    meta.name
+                )));
+            }
+            for chain in &mut chains {
+                let state = ckpt.chains.get(chain_cursor).ok_or_else(|| {
+                    EngineError::CheckpointCorrupt("chain state list too short".to_owned())
+                })?;
+                chain.restore_state(state)?;
+                if chain.next_t() != ckpt.t {
+                    return Err(EngineError::CheckpointCorrupt(format!(
+                        "chain {chain_cursor} is at t={} but the checkpoint clock is {}",
+                        chain.next_t(),
+                        ckpt.t
+                    )));
+                }
+                chain_cursor += 1;
+            }
+            let query_index = session.queries.len();
+            session.queries.push(Registered {
+                name: meta.name.clone(),
+                kind,
+                source: Some(meta.source.clone()),
+                first_chain: session.total_chains,
+                n_chains: chains.len(),
+            });
+            session.total_chains += chains.len();
+            session.repartition(chains.into_iter().map(|c| (query_index, c)).collect());
+        }
+        if chain_cursor != ckpt.chains.len() {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "checkpoint carries {} chain states but queries compile to {chain_cursor}",
+                ckpt.chains.len()
+            )));
+        }
+        session.stats = EngineStats::from_state(&ckpt.stats);
+        session.last_checkpoint = Some(ckpt.clone());
+        session.replay_base = ckpt.t;
+        Ok(session)
+    }
+
+    /// Replays a chain forward to `target`: through the in-memory replay
+    /// log where it covers the gap (ticks since the last checkpoint) and
+    /// through the database's recorded history otherwise. Both paths run
+    /// the same arithmetic as live ticks, so the result is bit-identical
+    /// to having never lost the chain.
+    fn replay_chain(&self, chain: &mut ChainEvaluator, target: u32) -> Result<(), EngineError> {
+        while chain.next_t() < target {
+            let t = chain.next_t();
+            let log_entry = t
+                .checked_sub(self.replay_base)
+                .and_then(|d| self.replay_log.get(d as usize));
+            match log_entry {
+                Some(ms) => {
+                    chain.step_with_marginals(ms)?;
+                }
+                None => {
+                    chain.step(&self.db);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repairs a poisoned session and completes the interrupted tick,
+    /// returning that tick's alerts.
+    ///
+    /// Shards lost to the fault (a panicked worker's chains, or every
+    /// chain after a sequential-path fault) are rebuilt structurally
+    /// from their queries' source text, fast-forwarded from the last
+    /// [`RealTimeSession::checkpoint`] plus the bounded replay log —
+    /// or from the database's full recorded history when no checkpoint
+    /// exists — and recombined with the surviving shards' answers. The
+    /// completed tick's alerts, and all subsequent ticks', are
+    /// bit-identical to a run that never faulted. After a
+    /// [`EngineError::TickTimeout`] the session stays in degraded
+    /// (sequential) mode; see [`RealTimeSession::clear_degraded`].
+    pub fn recover(&mut self) -> Result<Vec<Alert>, EngineError> {
+        if !self.poisoned {
+            return Err(EngineError::RecoveryFailed(
+                "session is not poisoned".to_owned(),
+            ));
+        }
+        let started = Instant::now();
+        // Join the pool first: no late reply can race the rebuild, and
+        // replies buffered from the failed tick are discarded with it.
+        self.pool = None;
+        // Every poisoning fault happens inside tick() after the tick's
+        // marginals were recorded, so chains must reach t + 1.
+        let target = self.t + 1;
+        let n_shards = self.shards.len();
+        let mut survivors: Vec<Option<(usize, ChainEvaluator)>> =
+            (0..self.total_chains).map(|_| None).collect();
+        for slot in &mut self.shards {
+            if let Some(shard) = slot.take() {
+                let start = shard.start;
+                for (offset, entry) in shard.chains.into_iter().enumerate() {
+                    survivors[start + offset] = Some(entry);
+                }
+            }
+        }
+        let mut all: Vec<(usize, ChainEvaluator)> = Vec::with_capacity(self.total_chains);
+        for (qi, reg) in self.queries.iter().enumerate() {
+            let any_missing =
+                (0..reg.n_chains).any(|offset| survivors[reg.first_chain + offset].is_none());
+            let mut fresh: Vec<Option<ChainEvaluator>> = if any_missing {
+                let source = reg.source.as_ref().ok_or_else(|| {
+                    EngineError::RecoveryFailed(format!(
+                        "query '{}' was registered from an AST without source text",
+                        reg.name
+                    ))
+                })?;
+                let q = parse_and_validate(self.db.catalog(), self.db.interner(), source).map_err(
+                    |e| {
+                        EngineError::RecoveryFailed(format!(
+                            "query '{}' failed to re-parse: {e}",
+                            reg.name
+                        ))
+                    },
+                )?;
+                let (kind, chains) = compile_chains(&self.db, &q)?;
+                if kind != reg.kind || chains.len() != reg.n_chains {
+                    return Err(EngineError::RecoveryFailed(format!(
+                        "query '{}' recompiled to a different shape",
+                        reg.name
+                    )));
+                }
+                chains.into_iter().map(Some).collect()
+            } else {
+                Vec::new()
+            };
+            for offset in 0..reg.n_chains {
+                let g = reg.first_chain + offset;
+                let entry = match survivors[g].take() {
+                    Some(entry) => entry,
+                    None => {
+                        let mut chain = fresh[offset].take().expect("freshly compiled chain");
+                        if let Some(ckpt) = &self.last_checkpoint {
+                            if let Some(state) = ckpt.chains.get(g) {
+                                chain.restore_state(state)?;
+                            }
+                        }
+                        self.replay_chain(&mut chain, target)?;
+                        (qi, chain)
+                    }
+                };
+                debug_assert_eq!(entry.0, qi);
+                debug_assert_eq!(entry.1.next_t(), target);
+                all.push(entry);
+            }
+        }
+        let probs: Vec<f64> = all.iter().map(|(_, c)| c.accept_prob()).collect();
+        self.shards = (0..n_shards)
+            .map(|_| {
+                Some(Shard {
+                    start: 0,
+                    chains: Vec::new(),
+                })
+            })
+            .collect();
+        self.repartition(all);
+        self.poisoned = false;
+        let alerts = self.combine_alerts(&probs);
+        self.t = target;
+        self.stats
+            .record_tick(started.elapsed(), self.total_chains as u64, false);
+        self.stats.record_alerts(alerts.len() as u64);
+        self.stats.record_recovery();
+        Ok(alerts)
+    }
+}
+
+/// Compiles a streaming query into its recombination kind and per-key
+/// chains in canonical binding order. The result is a pure function of
+/// the query text and the database *schema* (declared streams, keys,
+/// domains, relations) — never of recorded marginals — which is what
+/// makes structural rebuilds during recovery deterministic.
+fn compile_chains(
+    db: &Database,
+    q: &Query,
+) -> Result<(QueryKind, Vec<ChainEvaluator>), EngineError> {
+    let nq = NormalQuery::from_query(q);
+    match classify(db.catalog(), &nq) {
+        QueryClass::Regular => Ok((
+            QueryKind::Regular,
+            vec![RegularEvaluator::new(db, &nq)?.into_chain()],
+        )),
+        QueryClass::ExtendedRegular => Ok((
+            QueryKind::Extended,
+            ExtendedRegularEvaluator::new(db, &nq)?
+                .into_chains()
+                .into_iter()
+                .map(|(_, chain)| chain)
+                .collect(),
+        )),
+        other => Err(EngineError::Query(QueryError::NotInClass(format!(
+            "streaming (regular or extended regular); query is {other}"
+        )))),
     }
 }
 
@@ -796,6 +1300,257 @@ mod tests {
             assert!((1..=2).contains(&shard.chains.len()));
         }
         assert_eq!(covered, 5);
+    }
+
+    /// Regression: `stage()` and `register()` used to succeed on a
+    /// poisoned session because liveness was only checked in `tick()`.
+    #[test]
+    fn poisoned_session_rejects_every_mutating_entry_point() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        session.register("q", "At('joe','a')").unwrap();
+        session.poisoned = true;
+        let staged = session.stage(0, joe.marginal(&[("a", 0.5)]).unwrap());
+        assert_eq!(staged, Err(EngineError::SessionPoisoned));
+        assert_eq!(
+            session.register("late", "At('joe','h')").unwrap_err(),
+            EngineError::SessionPoisoned
+        );
+        let ast = parse_and_validate(
+            session.database().catalog(),
+            session.database().interner(),
+            "At('joe','h')",
+        )
+        .unwrap();
+        assert_eq!(
+            session.register_query("late", &ast).unwrap_err(),
+            EngineError::SessionPoisoned
+        );
+        assert_eq!(session.tick().unwrap_err(), EngineError::SessionPoisoned);
+        assert!(matches!(
+            session.checkpoint().unwrap_err(),
+            EngineError::SessionPoisoned
+        ));
+        assert!(EngineError::SessionPoisoned.is_recoverable());
+        assert!(session.is_poisoned());
+    }
+
+    /// Simulates the state a mid-tick fault leaves behind (marginals
+    /// recorded, every shard lost, clock not advanced) and checks that
+    /// recover() completes the tick bit-identically to a fault-free
+    /// session.
+    #[test]
+    fn recover_rebuilds_lost_shards_bit_identically() {
+        let (db, joe, sue) = schema_db();
+        let mut faulty = RealTimeSession::new(db).unwrap();
+        let (db2, _, _) = schema_db();
+        let mut reference = RealTimeSession::new(db2).unwrap();
+        for s in [&mut faulty, &mut reference] {
+            s.register("x", "At(p,'a') ; At(p,'c')").unwrap();
+            s.register("r", "At('joe','a')").unwrap();
+        }
+        let ticks = [
+            vec![(0usize, joe.marginal(&[("a", 0.6)]).unwrap())],
+            vec![
+                (0, joe.marginal(&[("c", 0.4)]).unwrap()),
+                (1, sue.marginal(&[("a", 0.7)]).unwrap()),
+            ],
+        ];
+        for staged in &ticks {
+            for (idx, m) in staged {
+                faulty.stage(*idx, m.clone()).unwrap();
+                reference.stage(*idx, m.clone()).unwrap();
+            }
+            faulty.tick().unwrap();
+            reference.tick().unwrap();
+        }
+        // Fault injection by hand: the failing tick records its
+        // marginals, then loses every shard before the clock advances —
+        // exactly what a sequential-path panic leaves behind.
+        let fault_tick = vec![(1usize, sue.marginal(&[("c", 0.9)]).unwrap())];
+        for (idx, m) in &fault_tick {
+            faulty.stage(*idx, m.clone()).unwrap();
+            reference.stage(*idx, m.clone()).unwrap();
+        }
+        let reference_alerts = reference.tick().unwrap();
+        for idx in 0..faulty.staged.len() {
+            let marginal = faulty.staged[idx]
+                .take()
+                .unwrap_or_else(|| Marginal::all_bottom(faulty.db.streams()[idx].domain()));
+            let id = faulty.db.streams()[idx].id().clone();
+            faulty.db.push_marginal(&id, marginal).unwrap();
+        }
+        let n_shards = faulty.shards.len();
+        faulty.shards = (0..n_shards).map(|_| None).collect();
+        faulty.poisoned = true;
+
+        let recovered_alerts = faulty.recover().unwrap();
+        assert!(!faulty.is_poisoned());
+        assert_eq!(recovered_alerts.len(), reference_alerts.len());
+        for (a, b) in recovered_alerts.iter().zip(&reference_alerts) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(
+                a.probability.to_bits(),
+                b.probability.to_bits(),
+                "{}: {} vs {}",
+                a.name,
+                a.probability,
+                b.probability
+            );
+        }
+        assert_eq!(faulty.stats().snapshot().recoveries, 1);
+        // Subsequent ticks stay bit-identical too.
+        faulty
+            .stage(0, joe.marginal(&[("c", 0.3)]).unwrap())
+            .unwrap();
+        reference
+            .stage(0, joe.marginal(&[("c", 0.3)]).unwrap())
+            .unwrap();
+        let a = faulty.tick().unwrap();
+        let b = reference.tick().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.probability.to_bits(), y.probability.to_bits());
+        }
+        // Recovering a healthy session is an error.
+        assert!(matches!(
+            faulty.recover().unwrap_err(),
+            EngineError::RecoveryFailed(_)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_to_identical_alerts() {
+        let (db, joe, sue) = schema_db();
+        let mut original = RealTimeSession::new(db).unwrap();
+        original.register("x", "At(p,'a') ; At(p,'c')").unwrap();
+        original.register("r", "At('joe','a')").unwrap();
+        for m in [
+            (0usize, joe.marginal(&[("a", 0.6), ("h", 0.2)]).unwrap()),
+            (1, sue.marginal(&[("a", 0.5)]).unwrap()),
+        ] {
+            original.stage(m.0, m.1).unwrap();
+            original.tick().unwrap();
+        }
+        // Stage something *before* checkpointing: staged state must
+        // survive the round trip.
+        original
+            .stage(1, sue.marginal(&[("c", 0.8)]).unwrap())
+            .unwrap();
+        let ckpt = original.checkpoint().unwrap();
+        assert_eq!(ckpt.t(), 2);
+        assert_eq!(ckpt.n_queries(), 2);
+        assert_eq!(original.stats().snapshot().checkpoints_taken, 1);
+
+        // Serialize → parse → restore over a fresh schema-only database.
+        let ckpt = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        let (fresh_db, _, _) = schema_db();
+        let mut restored = RealTimeSession::restore(fresh_db, &ckpt).unwrap();
+        assert_eq!(restored.now(), original.now());
+        assert_eq!(restored.n_chains(), original.n_chains());
+        assert_eq!(
+            restored.stats().snapshot().checkpoints_taken,
+            original.stats().snapshot().checkpoints_taken
+        );
+
+        // Identical futures: same staged carry-over, same next ticks.
+        for s in [&mut original, &mut restored] {
+            s.stage(0, joe.marginal(&[("c", 0.7)]).unwrap()).unwrap();
+        }
+        let a = original.tick().unwrap();
+        let b = restored.tick().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t, y.t);
+            assert_eq!(x.probability.to_bits(), y.probability.to_bits());
+        }
+        // And the accumulated histories agree with the batch engine.
+        for src in ["At(p,'a') ; At(p,'c')", "At('joe','a')"] {
+            let sa = Lahar::prob_series(original.database(), src).unwrap();
+            let sb = Lahar::prob_series(restored.database(), src).unwrap();
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_requires_source_registered_queries() {
+        let (db, _, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        let ast = parse_and_validate(
+            session.database().catalog(),
+            session.database().interner(),
+            "At('joe','a')",
+        )
+        .unwrap();
+        session.register_query("ast", &ast).unwrap();
+        assert!(matches!(
+            session.checkpoint().unwrap_err(),
+            EngineError::CheckpointUnsupported(_)
+        ));
+    }
+
+    #[test]
+    fn auto_checkpointing_follows_interval_and_bounds_replay_log() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::with_config(
+            db,
+            SessionConfig {
+                checkpoint_interval: 2,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        session.register("q", "At('joe','a')").unwrap();
+        assert!(session.last_checkpoint().is_none());
+        for i in 0..6 {
+            session
+                .stage(0, joe.marginal(&[("a", 0.1 * (i + 1) as f64)]).unwrap())
+                .unwrap();
+            session.tick().unwrap();
+            // The replay log only accumulates ticks since the newest
+            // checkpoint: never more than the interval.
+            assert!(session.replay_log.len() < 2);
+        }
+        let ckpt = session.last_checkpoint().expect("auto-checkpoint taken");
+        assert_eq!(ckpt.t(), 6);
+        assert_eq!(session.stats().snapshot().checkpoints_taken, 3);
+    }
+
+    #[test]
+    fn degraded_mode_forces_sequential_ticks() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::with_config(
+            db,
+            SessionConfig {
+                tick_mode: TickMode::Parallel,
+                n_workers: 2,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        session.register("q", "At(p,'a')").unwrap();
+        session
+            .stage(0, joe.marginal(&[("a", 0.4)]).unwrap())
+            .unwrap();
+        session.tick().unwrap();
+        assert_eq!(session.stats().snapshot().parallel_ticks, 1);
+        // A watchdog trip sets this; simulate it directly.
+        session.degraded = true;
+        assert!(session.is_degraded());
+        session
+            .stage(0, joe.marginal(&[("a", 0.2)]).unwrap())
+            .unwrap();
+        session.tick().unwrap();
+        let snap = session.stats().snapshot();
+        assert_eq!(
+            snap.parallel_ticks, 1,
+            "degraded tick must not use the pool"
+        );
+        assert_eq!(snap.degraded_ticks, 1);
+        session.clear_degraded();
+        session.tick().unwrap();
+        assert_eq!(session.stats().snapshot().parallel_ticks, 2);
     }
 
     #[test]

@@ -38,6 +38,30 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    fn export(&self) -> HistogramState {
+        HistogramState {
+            counts: self.counts.to_vec(),
+            n: self.n,
+            sum_ns: self.sum_ns,
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+        }
+    }
+
+    fn import(state: &HistogramState) -> Self {
+        let mut counts = [0u64; N_BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(state.counts.iter()) {
+            *dst = *src;
+        }
+        Self {
+            counts,
+            n: state.n,
+            sum_ns: state.sum_ns,
+            min_ns: state.min_ns,
+            max_ns: state.max_ns,
+        }
+    }
+
     fn record(&mut self, ns: u64) {
         let bucket = (63 - ns.max(1).leading_zeros()) as usize;
         self.counts[bucket.min(N_BUCKETS - 1)] += 1;
@@ -68,6 +92,9 @@ impl Histogram {
 struct Inner {
     ticks: AtomicU64,
     parallel_ticks: AtomicU64,
+    degraded_ticks: AtomicU64,
+    recoveries: AtomicU64,
+    checkpoints_taken: AtomicU64,
     chains_stepped: AtomicU64,
     bindings_grounded: AtomicU64,
     alerts_emitted: AtomicU64,
@@ -76,6 +103,36 @@ struct Inner {
     fallbacks: AtomicU64,
     tick_latency: Mutex<Histogram>,
     fallback_reasons: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Raw latency-histogram state inside a [`StatsState`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct HistogramState {
+    pub(crate) counts: Vec<u64>,
+    pub(crate) n: u64,
+    pub(crate) sum_ns: u64,
+    pub(crate) min_ns: u64,
+    pub(crate) max_ns: u64,
+}
+
+/// Raw counter values extracted from [`EngineStats`] for inclusion in a
+/// session checkpoint. Unlike [`StatsSnapshot`] this is lossless: the
+/// full histogram is preserved, not just its summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct StatsState {
+    pub(crate) ticks: u64,
+    pub(crate) parallel_ticks: u64,
+    pub(crate) degraded_ticks: u64,
+    pub(crate) recoveries: u64,
+    pub(crate) checkpoints_taken: u64,
+    pub(crate) chains_stepped: u64,
+    pub(crate) bindings_grounded: u64,
+    pub(crate) alerts_emitted: u64,
+    pub(crate) sampler_compilations: u64,
+    pub(crate) sampler_worlds: u64,
+    pub(crate) fallbacks: u64,
+    pub(crate) fallback_reasons: BTreeMap<String, u64>,
+    pub(crate) tick_latency: HistogramState,
 }
 
 /// Shared, thread-safe engine metrics. Cloning yields another handle to
@@ -129,6 +186,22 @@ impl EngineStats {
             .fetch_add(worlds, Ordering::Relaxed);
     }
 
+    /// Records a tick processed in degraded (forced-sequential) mode
+    /// after a watchdog timeout.
+    pub fn record_degraded_tick(&self) {
+        self.inner.degraded_ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful [`crate::RealTimeSession::recover`] call.
+    pub fn record_recovery(&self) {
+        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a checkpoint being taken (manual or automatic).
+    pub fn record_checkpoint(&self) {
+        self.inner.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records an exact-path→sampler fallback and why it happened.
     pub fn record_fallback(&self, reason: &str) {
         self.inner.fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -170,6 +243,9 @@ impl EngineStats {
         StatsSnapshot {
             ticks: i.ticks.load(Ordering::Relaxed),
             parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
+            degraded_ticks: i.degraded_ticks.load(Ordering::Relaxed),
+            recoveries: i.recoveries.load(Ordering::Relaxed),
+            checkpoints_taken: i.checkpoints_taken.load(Ordering::Relaxed),
             chains_stepped: i.chains_stepped.load(Ordering::Relaxed),
             bindings_grounded: i.bindings_grounded.load(Ordering::Relaxed),
             alerts_emitted: i.alerts_emitted.load(Ordering::Relaxed),
@@ -179,6 +255,55 @@ impl EngineStats {
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: latency,
         }
+    }
+
+    /// Extracts the complete raw counter state (lossless, unlike
+    /// [`EngineStats::snapshot`]) for inclusion in a session checkpoint.
+    pub(crate) fn export_state(&self) -> StatsState {
+        let i = &self.inner;
+        StatsState {
+            ticks: i.ticks.load(Ordering::Relaxed),
+            parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
+            degraded_ticks: i.degraded_ticks.load(Ordering::Relaxed),
+            recoveries: i.recoveries.load(Ordering::Relaxed),
+            checkpoints_taken: i.checkpoints_taken.load(Ordering::Relaxed),
+            chains_stepped: i.chains_stepped.load(Ordering::Relaxed),
+            bindings_grounded: i.bindings_grounded.load(Ordering::Relaxed),
+            alerts_emitted: i.alerts_emitted.load(Ordering::Relaxed),
+            sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
+            sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
+            fallbacks: i.fallbacks.load(Ordering::Relaxed),
+            fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
+            tick_latency: i.tick_latency.lock().unwrap().export(),
+        }
+    }
+
+    /// Builds a fresh handle pre-loaded with checkpointed counter state.
+    pub(crate) fn from_state(state: &StatsState) -> Self {
+        let stats = Self::new();
+        let i = &stats.inner;
+        i.ticks.store(state.ticks, Ordering::Relaxed);
+        i.parallel_ticks
+            .store(state.parallel_ticks, Ordering::Relaxed);
+        i.degraded_ticks
+            .store(state.degraded_ticks, Ordering::Relaxed);
+        i.recoveries.store(state.recoveries, Ordering::Relaxed);
+        i.checkpoints_taken
+            .store(state.checkpoints_taken, Ordering::Relaxed);
+        i.chains_stepped
+            .store(state.chains_stepped, Ordering::Relaxed);
+        i.bindings_grounded
+            .store(state.bindings_grounded, Ordering::Relaxed);
+        i.alerts_emitted
+            .store(state.alerts_emitted, Ordering::Relaxed);
+        i.sampler_compilations
+            .store(state.sampler_compilations, Ordering::Relaxed);
+        i.sampler_worlds
+            .store(state.sampler_worlds, Ordering::Relaxed);
+        i.fallbacks.store(state.fallbacks, Ordering::Relaxed);
+        *i.fallback_reasons.lock().unwrap() = state.fallback_reasons.clone();
+        *i.tick_latency.lock().unwrap() = Histogram::import(&state.tick_latency);
+        stats
     }
 }
 
@@ -211,6 +336,13 @@ pub struct StatsSnapshot {
     pub ticks: u64,
     /// Ticks that ran on the sharded parallel path.
     pub parallel_ticks: u64,
+    /// Ticks forced onto the sequential path by degraded mode (after a
+    /// watchdog timeout).
+    pub degraded_ticks: u64,
+    /// Successful session recoveries.
+    pub recoveries: u64,
+    /// Checkpoints taken (manual or automatic).
+    pub checkpoints_taken: u64,
     /// Per-binding chains stepped across all ticks.
     pub chains_stepped: u64,
     /// Per-key chains grounded at query registration.
@@ -252,11 +384,15 @@ impl StatsSnapshot {
         let mut out = String::with_capacity(512);
         write!(
             out,
-            "{{\"ticks\":{},\"parallel_ticks\":{},\"chains_stepped\":{},\
+            "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\
+             \"recoveries\":{},\"checkpoints_taken\":{},\"chains_stepped\":{},\
              \"bindings_grounded\":{},\"alerts_emitted\":{},\
              \"sampler\":{{\"compilations\":{},\"worlds\":{}}},",
             self.ticks,
             self.parallel_ticks,
+            self.degraded_ticks,
+            self.recoveries,
+            self.checkpoints_taken,
             self.chains_stepped,
             self.bindings_grounded,
             self.alerts_emitted,
@@ -278,11 +414,19 @@ impl StatsSnapshot {
             write!(out, ":{count}").unwrap();
         }
         let l = &self.tick_latency;
+        // `{:.1}` renders NaN/inf as bare `NaN`/`inf` tokens, which are
+        // not JSON; an empty histogram (or a hand-built snapshot) must
+        // still produce a parseable document.
+        let mean = if l.mean_ns.is_finite() {
+            l.mean_ns
+        } else {
+            0.0
+        };
         write!(
             out,
             "}}}},\"tick_latency_ns\":{{\"count\":{},\"min\":{},\"max\":{},\
              \"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
-            l.count, l.min_ns, l.max_ns, l.mean_ns, l.p50_ns, l.p95_ns, l.p99_ns,
+            l.count, l.min_ns, l.max_ns, mean, l.p50_ns, l.p95_ns, l.p99_ns,
         )
         .unwrap();
         for (i, (lower, count)) in l.buckets.iter().enumerate() {
@@ -379,5 +523,54 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"count\":0"));
         assert!(json.contains("\"buckets\":[]"));
+    }
+
+    #[test]
+    fn empty_and_populated_snapshots_parse_as_json() {
+        let stats = EngineStats::new();
+        // Empty histogram first — this is the case that used to risk a
+        // bare NaN token for the mean.
+        let doc = crate::json::parse(&stats.snapshot().to_json()).unwrap();
+        let lat = doc.get("tick_latency_ns").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(lat.get("mean").unwrap().as_f64(), Some(0.0));
+
+        stats.record_tick(Duration::from_micros(7), 3, true);
+        stats.record_degraded_tick();
+        stats.record_recovery();
+        stats.record_checkpoint();
+        stats.record_fallback("needs \"quoting\"\n");
+        let doc = crate::json::parse(&stats.snapshot().to_json()).unwrap();
+        assert_eq!(doc.get("degraded_ticks").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("checkpoints_taken").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn non_finite_mean_is_guarded_in_json() {
+        let mut snap = EngineStats::new().snapshot();
+        snap.tick_latency.mean_ns = f64::NAN;
+        let doc = crate::json::parse(&snap.to_json()).expect("NaN mean must not break JSON");
+        let lat = doc.get("tick_latency_ns").unwrap();
+        assert_eq!(lat.get("mean").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn stats_state_round_trips_losslessly() {
+        let stats = EngineStats::new();
+        for us in [3u64, 17, 290, 5_000] {
+            stats.record_tick(Duration::from_micros(us), 4, us % 2 == 0);
+        }
+        stats.record_degraded_tick();
+        stats.record_recovery();
+        stats.record_checkpoint();
+        stats.record_grounding(6);
+        stats.record_alerts(2);
+        stats.record_sampler(512);
+        stats.record_fallback("why");
+        let state = stats.export_state();
+        let restored = EngineStats::from_state(&state);
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.snapshot(), stats.snapshot());
     }
 }

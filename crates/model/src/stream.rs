@@ -171,6 +171,18 @@ impl Stream {
         }
     }
 
+    /// Borrowed view of an independent stream's recorded marginals
+    /// (`None` for Markov streams, whose marginals are derived, not
+    /// stored — use [`Stream::all_marginals`] there). This is the
+    /// allocation-free state-extraction path used by session
+    /// checkpointing.
+    pub fn marginals(&self) -> Option<&[Marginal]> {
+        match &self.data {
+            StreamData::Independent(ms) => Some(ms),
+            StreamData::Markov { .. } => None,
+        }
+    }
+
     /// All marginals `t = 0 .. len-1` in a single forward pass.
     pub fn all_marginals(&self) -> Vec<Marginal> {
         match &self.data {
@@ -453,6 +465,17 @@ mod tests {
         assert!(!indep_stream().is_markov());
         assert_eq!(markov_stream().len(), 3);
         assert!(markov_stream().is_markov());
+    }
+
+    #[test]
+    fn marginals_view_matches_recorded_data() {
+        let s = indep_stream();
+        let view = s.marginals().expect("independent stream exposes marginals");
+        assert_eq!(view.len(), s.len());
+        for (t, m) in view.iter().enumerate() {
+            assert_eq!(m.probs(), s.marginal_at(t as u32).probs());
+        }
+        assert!(markov_stream().marginals().is_none());
     }
 
     #[test]

@@ -19,6 +19,10 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> cargo test --features failpoints (chaos suite)"
+cargo test -q --offline -p lahar-core --features failpoints
+cargo test -q --offline -p lahar --features failpoints
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --offline --workspace --all-targets -- -D warnings

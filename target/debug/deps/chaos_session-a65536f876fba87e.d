@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_session-a65536f876fba87e.d: tests/chaos_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_session-a65536f876fba87e.rmeta: tests/chaos_session.rs Cargo.toml
+
+tests/chaos_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_session-a7da9e86a866e79b.d: tests/chaos_session.rs
+
+/root/repo/target/debug/deps/chaos_session-a7da9e86a866e79b: tests/chaos_session.rs
+
+tests/chaos_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_session-e31cd52fcd95661c.d: tests/chaos_session.rs
+
+/root/repo/target/debug/deps/chaos_session-e31cd52fcd95661c: tests/chaos_session.rs
+
+tests/chaos_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-1e40fcdeea7fb46e.d: tests/checkpoint_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_roundtrip-1e40fcdeea7fb46e.rmeta: tests/checkpoint_roundtrip.rs Cargo.toml
+
+tests/checkpoint_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-33fa17d279da432c.d: tests/checkpoint_roundtrip.rs
+
+/root/repo/target/debug/deps/checkpoint_roundtrip-33fa17d279da432c: tests/checkpoint_roundtrip.rs
+
+tests/checkpoint_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-65310fc22f74a128.d: tests/checkpoint_roundtrip.rs
+
+/root/repo/target/debug/deps/checkpoint_roundtrip-65310fc22f74a128: tests/checkpoint_roundtrip.rs
+
+tests/checkpoint_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-0c9b1a82759371ad.d: crates/core/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-0c9b1a82759371ad.rmeta: crates/core/tests/edge_cases.rs Cargo.toml
+
+crates/core/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-59a8e6f7cea6e209.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-59a8e6f7cea6e209: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

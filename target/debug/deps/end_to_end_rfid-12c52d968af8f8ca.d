@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_rfid-12c52d968af8f8ca.d: tests/end_to_end_rfid.rs
+
+/root/repo/target/debug/deps/end_to_end_rfid-12c52d968af8f8ca: tests/end_to_end_rfid.rs
+
+tests/end_to_end_rfid.rs:

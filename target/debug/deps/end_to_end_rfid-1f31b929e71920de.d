@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_rfid-1f31b929e71920de.d: tests/end_to_end_rfid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_rfid-1f31b929e71920de.rmeta: tests/end_to_end_rfid.rs Cargo.toml
+
+tests/end_to_end_rfid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_realtime_quality-c95fffcdc03eb575.d: crates/bench/benches/fig09_realtime_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_realtime_quality-c95fffcdc03eb575.rmeta: crates/bench/benches/fig09_realtime_quality.rs Cargo.toml
+
+crates/bench/benches/fig09_realtime_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_archived_quality-963c17d63900d989.d: crates/bench/benches/fig10_archived_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_archived_quality-963c17d63900d989.rmeta: crates/bench/benches/fig10_archived_quality.rs Cargo.toml
+
+crates/bench/benches/fig10_archived_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_room_occupancy-3bc14e7740037ebc.d: crates/bench/benches/fig11_room_occupancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_room_occupancy-3bc14e7740037ebc.rmeta: crates/bench/benches/fig11_room_occupancy.rs Cargo.toml
+
+crates/bench/benches/fig11_room_occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

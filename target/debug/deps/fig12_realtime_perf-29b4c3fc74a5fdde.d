@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_realtime_perf-29b4c3fc74a5fdde.d: crates/bench/benches/fig12_realtime_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_realtime_perf-29b4c3fc74a5fdde.rmeta: crates/bench/benches/fig12_realtime_perf.rs Cargo.toml
+
+crates/bench/benches/fig12_realtime_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_archived_perf-51e46e9a6b42a879.d: crates/bench/benches/fig13_archived_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_archived_perf-51e46e9a6b42a879.rmeta: crates/bench/benches/fig13_archived_perf.rs Cargo.toml
+
+crates/bench/benches/fig13_archived_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_safe_perf-1b72ae6881c664ea.d: crates/bench/benches/fig14_safe_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_safe_perf-1b72ae6881c664ea.rmeta: crates/bench/benches/fig14_safe_perf.rs Cargo.toml
+
+crates/bench/benches/fig14_safe_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

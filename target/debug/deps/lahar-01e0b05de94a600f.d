@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-01e0b05de94a600f.d: src/bin/lahar.rs
+
+/root/repo/target/debug/deps/lahar-01e0b05de94a600f: src/bin/lahar.rs
+
+src/bin/lahar.rs:

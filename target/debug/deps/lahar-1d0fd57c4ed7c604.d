@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar-1d0fd57c4ed7c604.d: src/bin/lahar.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar-1d0fd57c4ed7c604.rmeta: src/bin/lahar.rs Cargo.toml
+
+src/bin/lahar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

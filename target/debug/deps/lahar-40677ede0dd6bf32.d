@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar-40677ede0dd6bf32.d: src/bin/lahar.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar-40677ede0dd6bf32.rmeta: src/bin/lahar.rs Cargo.toml
+
+src/bin/lahar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

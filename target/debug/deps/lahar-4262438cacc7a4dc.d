@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-4262438cacc7a4dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/lahar-4262438cacc7a4dc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lahar-c6841678b3589ca8.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblahar-c6841678b3589ca8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblahar-c6841678b3589ca8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar-da9a36d26a00e881.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar-da9a36d26a00e881.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

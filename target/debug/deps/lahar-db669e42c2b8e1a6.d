@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lahar-db669e42c2b8e1a6.d: src/bin/lahar.rs
+
+/root/repo/target/debug/deps/lahar-db669e42c2b8e1a6: src/bin/lahar.rs
+
+src/bin/lahar.rs:

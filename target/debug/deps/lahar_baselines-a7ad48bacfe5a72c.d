@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lahar_baselines-a7ad48bacfe5a72c.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_baselines-a7ad48bacfe5a72c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_baselines-dd1ac60dd149bfaa.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/debug/deps/liblahar_baselines-dd1ac60dd149bfaa.rlib: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/debug/deps/liblahar_baselines-dd1ac60dd149bfaa.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lahar_bench-8ff4283f083018aa.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblahar_bench-8ff4283f083018aa.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,13 +1,16 @@
-/root/repo/target/debug/deps/lahar_core-56f1e518c63ea468.d: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/interval.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs Cargo.toml
+/root/repo/target/debug/deps/lahar_core-56f1e518c63ea468.d: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblahar_core-56f1e518c63ea468.rmeta: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/interval.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs Cargo.toml
+/root/repo/target/debug/deps/liblahar_core-56f1e518c63ea468.rmeta: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/chain.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/engine.rs:
 crates/core/src/error.rs:
 crates/core/src/extended.rs:
+crates/core/src/failpoint.rs:
 crates/core/src/interval.rs:
+crates/core/src/json.rs:
 crates/core/src/occurrence.rs:
 crates/core/src/regular.rs:
 crates/core/src/safeplan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learned_models-297a2b332675d196.d: tests/learned_models.rs
+
+/root/repo/target/debug/deps/learned_models-297a2b332675d196: tests/learned_models.rs
+
+tests/learned_models.rs:

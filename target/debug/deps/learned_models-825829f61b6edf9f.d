@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learned_models-825829f61b6edf9f.d: tests/learned_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearned_models-825829f61b6edf9f.rmeta: tests/learned_models.rs Cargo.toml
+
+tests/learned_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_equivalence-ae1d78b70c9f1de1.d: tests/oracle_equivalence.rs
+
+/root/repo/target/debug/deps/oracle_equivalence-ae1d78b70c9f1de1: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-9f01d111d8dd00be.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-9f01d111d8dd00be: tests/paper_examples.rs
+
+tests/paper_examples.rs:

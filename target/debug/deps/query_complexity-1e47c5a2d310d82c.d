@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_complexity-1e47c5a2d310d82c.d: crates/bench/benches/query_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_complexity-1e47c5a2d310d82c.rmeta: crates/bench/benches/query_complexity.rs Cargo.toml
+
+crates/bench/benches/query_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-28ab40cb6cab5f7f.d: crates/bench/benches/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-28ab40cb6cab5f7f.rmeta: crates/bench/benches/resilience.rs Cargo.toml
+
+crates/bench/benches/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

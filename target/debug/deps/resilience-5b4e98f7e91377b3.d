@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-5b4e98f7e91377b3.d: crates/bench/benches/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-5b4e98f7e91377b3.rmeta: crates/bench/benches/resilience.rs Cargo.toml
+
+crates/bench/benches/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_session-43f21e6fc48bdcb8.d: tests/streaming_session.rs
+
+/root/repo/target/debug/deps/streaming_session-43f21e6fc48bdcb8: tests/streaming_session.rs
+
+tests/streaming_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_session-cca8a62dc47f6fc9.d: tests/streaming_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_session-cca8a62dc47f6fc9.rmeta: tests/streaming_session.rs Cargo.toml
+
+tests/streaming_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_throughput-818e3d198d2a7934.d: crates/bench/benches/streaming_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_throughput-818e3d198d2a7934.rmeta: crates/bench/benches/streaming_throughput.rs Cargo.toml
+
+crates/bench/benches/streaming_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab08_data_stats-d88789a5ca748b31.d: crates/bench/benches/tab08_data_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab08_data_stats-d88789a5ca748b31.rmeta: crates/bench/benches/tab08_data_stats.rs Cargo.toml
+
+crates/bench/benches/tab08_data_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unsafe_queries-4df2df2565b9110d.d: crates/bench/benches/unsafe_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunsafe_queries-4df2df2565b9110d.rmeta: crates/bench/benches/unsafe_queries.rs Cargo.toml
+
+crates/bench/benches/unsafe_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

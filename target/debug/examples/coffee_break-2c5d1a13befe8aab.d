@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coffee_break-2c5d1a13befe8aab.d: examples/coffee_break.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoffee_break-2c5d1a13befe8aab.rmeta: examples/coffee_break.rs Cargo.toml
+
+examples/coffee_break.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

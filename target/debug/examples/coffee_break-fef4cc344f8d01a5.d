@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coffee_break-fef4cc344f8d01a5.d: examples/coffee_break.rs
+
+/root/repo/target/debug/examples/coffee_break-fef4cc344f8d01a5: examples/coffee_break.rs
+
+examples/coffee_break.rs:

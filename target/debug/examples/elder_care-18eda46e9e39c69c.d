@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/elder_care-18eda46e9e39c69c.d: examples/elder_care.rs Cargo.toml
+
+/root/repo/target/debug/examples/libelder_care-18eda46e9e39c69c.rmeta: examples/elder_care.rs Cargo.toml
+
+examples/elder_care.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

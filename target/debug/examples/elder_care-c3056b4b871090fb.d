@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/elder_care-c3056b4b871090fb.d: examples/elder_care.rs
+
+/root/repo/target/debug/examples/elder_care-c3056b4b871090fb: examples/elder_care.rs
+
+examples/elder_care.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_tour-0bd6ff4e55d8938f.d: examples/planner_tour.rs
+
+/root/repo/target/debug/examples/planner_tour-0bd6ff4e55d8938f: examples/planner_tour.rs
+
+examples/planner_tour.rs:

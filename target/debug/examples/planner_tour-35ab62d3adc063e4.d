@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/planner_tour-35ab62d3adc063e4.d: examples/planner_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplanner_tour-35ab62d3adc063e4.rmeta: examples/planner_tour.rs Cargo.toml
+
+examples/planner_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

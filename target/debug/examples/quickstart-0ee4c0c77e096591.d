@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0ee4c0c77e096591.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0ee4c0c77e096591: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_dashboard-5e07d38bcf757519.d: examples/streaming_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_dashboard-5e07d38bcf757519.rmeta: examples/streaming_dashboard.rs Cargo.toml
+
+examples/streaming_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

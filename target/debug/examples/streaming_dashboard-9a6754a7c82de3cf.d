@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_dashboard-9a6754a7c82de3cf.d: examples/streaming_dashboard.rs
+
+/root/repo/target/debug/examples/streaming_dashboard-9a6754a7c82de3cf: examples/streaming_dashboard.rs
+
+examples/streaming_dashboard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lahar_baselines-9dceb20095b00933.d: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/release/deps/liblahar_baselines-9dceb20095b00933.rlib: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+/root/repo/target/release/deps/liblahar_baselines-9dceb20095b00933.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cep.rs crates/baselines/src/determinize.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cep.rs:
+crates/baselines/src/determinize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lahar_bench-e9b0bbf2b2f176d5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-e9b0bbf2b2f176d5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblahar_bench-e9b0bbf2b2f176d5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

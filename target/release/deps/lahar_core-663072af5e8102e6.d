@@ -1,15 +1,18 @@
-/root/repo/target/release/deps/lahar_core-663072af5e8102e6.d: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/interval.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+/root/repo/target/release/deps/lahar_core-663072af5e8102e6.d: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
 
-/root/repo/target/release/deps/liblahar_core-663072af5e8102e6.rlib: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/interval.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+/root/repo/target/release/deps/liblahar_core-663072af5e8102e6.rlib: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
 
-/root/repo/target/release/deps/liblahar_core-663072af5e8102e6.rmeta: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/interval.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+/root/repo/target/release/deps/liblahar_core-663072af5e8102e6.rmeta: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
 
 crates/core/src/lib.rs:
 crates/core/src/chain.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/engine.rs:
 crates/core/src/error.rs:
 crates/core/src/extended.rs:
+crates/core/src/failpoint.rs:
 crates/core/src/interval.rs:
+crates/core/src/json.rs:
 crates/core/src/occurrence.rs:
 crates/core/src/regular.rs:
 crates/core/src/safeplan.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/lahar_core-703557d5dab7788b.d: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+
+/root/repo/target/release/deps/liblahar_core-703557d5dab7788b.rlib: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+
+/root/repo/target/release/deps/liblahar_core-703557d5dab7788b.rmeta: crates/core/src/lib.rs crates/core/src/chain.rs crates/core/src/checkpoint.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/extended.rs crates/core/src/failpoint.rs crates/core/src/interval.rs crates/core/src/json.rs crates/core/src/occurrence.rs crates/core/src/regular.rs crates/core/src/safeplan.rs crates/core/src/sampler.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chain.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/extended.rs:
+crates/core/src/failpoint.rs:
+crates/core/src/interval.rs:
+crates/core/src/json.rs:
+crates/core/src/occurrence.rs:
+crates/core/src/regular.rs:
+crates/core/src/safeplan.rs:
+crates/core/src/sampler.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+crates/core/src/translate.rs:

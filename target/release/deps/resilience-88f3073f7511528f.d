@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-88f3073f7511528f.d: crates/bench/benches/resilience.rs
+
+/root/repo/target/release/deps/resilience-88f3073f7511528f: crates/bench/benches/resilience.rs
+
+crates/bench/benches/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-cf0baa7deb47b9f5.d: crates/bench/benches/resilience.rs
+
+/root/repo/target/release/deps/resilience-cf0baa7deb47b9f5: crates/bench/benches/resilience.rs
+
+crates/bench/benches/resilience.rs:

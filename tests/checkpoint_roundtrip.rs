@@ -1,0 +1,185 @@
+//! Checkpoint property suite: save → serialize → parse → restore must
+//! be lossless. Random marginal scripts check that a restored session
+//! (a) rebuilds a database whose `prob_series` answers are bit-identical
+//! to the original's, and (b) produces bit-identical alerts for every
+//! future tick — including across a tick-mode override at restore time.
+
+use lahar::model::{Database, StreamBuilder};
+use lahar::{Checkpoint, Lahar, RealTimeSession, SessionConfig, TickMode};
+use proptest::prelude::*;
+
+const QUERIES: [(&str, &str); 2] = [("ext", "At(p,'a') ; At(p,'c')"), ("joe", "At('joe','a')")];
+
+fn schema_db() -> (Database, StreamBuilder, StreamBuilder) {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    let i = db.interner().clone();
+    let joe = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+    let sue = StreamBuilder::new(&i, "At", &["sue"], &["a", "h", "c"]);
+    db.add_stream(joe.clone().independent(vec![]).unwrap())
+        .unwrap();
+    db.add_stream(sue.clone().independent(vec![]).unwrap())
+        .unwrap();
+    (db, joe, sue)
+}
+
+fn session(mode: TickMode) -> RealTimeSession {
+    let (db, _, _) = schema_db();
+    let mut s = RealTimeSession::with_config(
+        db,
+        SessionConfig {
+            tick_mode: mode,
+            n_workers: 2,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    for (name, src) in QUERIES {
+        s.register(name, src).unwrap();
+    }
+    s
+}
+
+/// One tick of staged marginals for both streams from a `(p_a, p_c)`
+/// pair per stream (the rest of the mass is ⊥).
+type TickSpec = ((f64, f64), (f64, f64));
+
+fn prob_pair() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, c)| {
+        let total = a + c;
+        if total > 1.0 {
+            (a / total * 0.95, c / total * 0.95)
+        } else {
+            (a, c)
+        }
+    })
+}
+
+fn stage_tick(s: &mut RealTimeSession, joe: &StreamBuilder, sue: &StreamBuilder, spec: &TickSpec) {
+    let jm = joe.marginal(&[("a", spec.0 .0), ("c", spec.0 .1)]).unwrap();
+    let sm = sue.marginal(&[("a", spec.1 .0), ("c", spec.1 .1)]).unwrap();
+    s.stage(0, jm).unwrap();
+    s.stage(1, sm).unwrap();
+}
+
+fn alerts_bits(alerts: &[lahar::core::Alert]) -> Vec<(String, u32, u64)> {
+    alerts
+        .iter()
+        .map(|a| (a.name.clone(), a.t, a.probability.to_bits()))
+        .collect()
+}
+
+fn series_bits(db: &Database, src: &str) -> Vec<u64> {
+    Lahar::prob_series(db, src)
+        .unwrap()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+/// Runs `script[..split]` on one session, checkpoints through a JSON
+/// round trip, restores with `restore_mode` (None = checkpointed
+/// config), and drives both sessions through `script[split..]`,
+/// asserting bit-identical alerts and accumulated `prob_series`.
+fn check_roundtrip(
+    script: &[TickSpec],
+    split: usize,
+    original_mode: TickMode,
+    restore_mode: Option<TickMode>,
+) -> Result<(), TestCaseError> {
+    let (_, joe, sue) = schema_db();
+    let mut original = session(original_mode);
+    for spec in &script[..split] {
+        stage_tick(&mut original, &joe, &sue, spec);
+        original.tick().unwrap();
+    }
+    let ckpt = original.checkpoint().unwrap();
+    let json = ckpt.to_json();
+    let parsed = Checkpoint::from_json(&json).unwrap();
+    prop_assert_eq!(&parsed, &ckpt, "parse(to_json) must be the identity");
+    prop_assert_eq!(
+        parsed.to_json(),
+        json,
+        "re-encoding a parsed checkpoint must be stable"
+    );
+
+    let (fresh, _, _) = schema_db();
+    let mut restored = match restore_mode {
+        None => RealTimeSession::restore(fresh, &parsed).unwrap(),
+        Some(mode) => RealTimeSession::restore_with_config(
+            fresh,
+            &parsed,
+            SessionConfig {
+                tick_mode: mode,
+                ..parsed.config()
+            },
+        )
+        .unwrap(),
+    };
+    prop_assert_eq!(restored.now(), original.now());
+    for (_, src) in QUERIES {
+        prop_assert_eq!(
+            series_bits(restored.database(), src),
+            series_bits(original.database(), src),
+            "restored history diverged for {}",
+            src
+        );
+    }
+    for spec in &script[split..] {
+        stage_tick(&mut original, &joe, &sue, spec);
+        stage_tick(&mut restored, &joe, &sue, spec);
+        let a = original.tick().unwrap();
+        let b = restored.tick().unwrap();
+        prop_assert_eq!(alerts_bits(&a), alerts_bits(&b));
+    }
+    for (_, src) in QUERIES {
+        prop_assert_eq!(
+            series_bits(restored.database(), src),
+            series_bits(original.database(), src),
+            "post-restore ticks diverged for {}",
+            src
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_series_and_future_alerts(
+        script in prop::collection::vec((prob_pair(), prob_pair()), 6),
+        split in 1usize..5,
+    ) {
+        check_roundtrip(&script, split, TickMode::Sequential, None)?;
+    }
+
+    /// Restoring under a different tick mode (sequential checkpoint,
+    /// parallel resume and vice versa) never changes answers.
+    #[test]
+    fn restore_is_tick_mode_independent(
+        script in prop::collection::vec((prob_pair(), prob_pair()), 5),
+        split in 1usize..4,
+        to_parallel in any::<bool>(),
+    ) {
+        let (original, restored) = if to_parallel {
+            (TickMode::Sequential, TickMode::Parallel)
+        } else {
+            (TickMode::Parallel, TickMode::Sequential)
+        };
+        check_roundtrip(&script, split, original, Some(restored))?;
+    }
+}
+
+/// A corrupted serialization never restores silently.
+#[test]
+fn corrupt_checkpoints_are_rejected() {
+    let (_, joe, sue) = schema_db();
+    let mut s = session(TickMode::Sequential);
+    stage_tick(&mut s, &joe, &sue, &((0.4, 0.3), (0.2, 0.5)));
+    s.tick().unwrap();
+    let json = s.checkpoint().unwrap().to_json();
+    assert!(Checkpoint::from_json(&json[..json.len() - 2]).is_err());
+    assert!(Checkpoint::from_json(&json.replace("lahar-checkpoint", "other")).is_err());
+    assert!(Checkpoint::from_json("{}").is_err());
+}
