@@ -107,6 +107,33 @@ fn main() {
             ],
         );
     }
+    // Span-recording overhead: the identical parallel run with the
+    // tracer off (the default — one relaxed atomic load per span site)
+    // and on (per-thread ring-buffer recording). The *off* column is
+    // the deployment-relevant number and must stay in the noise; the
+    // *on* column prices chain-level tracing for when it is needed.
+    let n_people = *people_counts.last().unwrap();
+    println!();
+    header(
+        "Span recording overhead (parallel ticks)",
+        &["chains", "off ticks/s", "on ticks/s", "overhead %"],
+    );
+    let (mut off, ticks) = build_session(n_people, TickMode::Parallel);
+    let (_, off_secs) = timed(|| run_ticks(&mut off, &ticks, n_ticks));
+    lahar_core::trace::enable();
+    let (mut on, ticks) = build_session(n_people, TickMode::Parallel);
+    let (_, on_secs) = timed(|| run_ticks(&mut on, &ticks, n_ticks));
+    lahar_core::trace::disable();
+    lahar_core::trace::clear();
+    row(
+        &format!("{}", n_people * QUERIES_PER_KEY),
+        &[
+            n_ticks as f64 / off_secs,
+            n_ticks as f64 / on_secs,
+            (on_secs / off_secs - 1.0) * 100.0,
+        ],
+    );
+
     // The telemetry snapshot itself, as the deployment-facing JSON.
     let (mut par, ticks) = build_session(people_counts[0], TickMode::Parallel);
     run_ticks(&mut par, &ticks, 3);

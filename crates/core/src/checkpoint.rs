@@ -21,12 +21,16 @@ use crate::chain::ChainState;
 use crate::error::EngineError;
 use crate::json::{self, JsonValue};
 use crate::session::{SessionConfig, TickMode};
-use crate::stats::{HistogramState, StatsState};
+use crate::stats::{HistogramState, QueryState, StatsState};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// The checkpoint format version this build writes and reads.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format (PR 2); 2 — config gained
+/// `metrics_addr`/`trace`, stats gained `marginals_staged` and the
+/// `per_query` registry (this build).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Document-type marker embedded in every checkpoint.
 const FORMAT: &str = "lahar-checkpoint";
@@ -281,7 +285,12 @@ fn push_config(out: &mut String, c: &SessionConfig) {
         None => out.push_str("null"),
         Some(d) => out.push_str(&u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).to_string()),
     }
-    out.push('}');
+    out.push_str(",\"metrics_addr\":");
+    match c.metrics_addr {
+        None => out.push_str("null"),
+        Some(addr) => json::push_string(out, &addr.to_string()),
+    }
+    out.push_str(&format!(",\"trace\":{}}}", c.trace));
 }
 
 fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
@@ -303,21 +312,42 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
             })?))
         }
     };
+    let metrics_addr = match get(v, "metrics_addr")? {
+        JsonValue::Null => None,
+        other => Some(
+            other
+                .as_str()
+                .ok_or_else(|| corrupt("metrics_addr is not a string"))?
+                .parse()
+                .map_err(|_| corrupt("metrics_addr is not a socket address"))?,
+        ),
+    };
     Ok(SessionConfig {
         tick_mode,
         n_workers: get_u64(v, "n_workers")? as usize,
         parallel_threshold: get_u64(v, "parallel_threshold")? as usize,
         checkpoint_interval: get_u64(v, "checkpoint_interval")? as usize,
         tick_deadline,
+        metrics_addr,
+        trace: get_bool(v, "trace")?,
     })
+}
+
+fn push_histogram_state(out: &mut String, h: &HistogramState) {
+    out.push_str("{\"counts\":");
+    push_u64_array(out, h.counts.iter().copied());
+    out.push_str(&format!(
+        ",\"n\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+        h.n, h.sum_ns, h.min_ns, h.max_ns
+    ));
 }
 
 fn push_stats(out: &mut String, s: &StatsState) {
     out.push_str(&format!(
         "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\"recoveries\":{},\
          \"checkpoints_taken\":{},\"chains_stepped\":{},\"bindings_grounded\":{},\
-         \"alerts_emitted\":{},\"sampler_compilations\":{},\"sampler_worlds\":{},\
-         \"fallbacks\":{},\"fallback_reasons\":{{",
+         \"alerts_emitted\":{},\"marginals_staged\":{},\"sampler_compilations\":{},\
+         \"sampler_worlds\":{},\"fallbacks\":{},\"fallback_reasons\":{{",
         s.ticks,
         s.parallel_ticks,
         s.degraded_ticks,
@@ -326,6 +356,7 @@ fn push_stats(out: &mut String, s: &StatsState) {
         s.chains_stepped,
         s.bindings_grounded,
         s.alerts_emitted,
+        s.marginals_staged,
         s.sampler_compilations,
         s.sampler_worlds,
         s.fallbacks,
@@ -337,13 +368,25 @@ fn push_stats(out: &mut String, s: &StatsState) {
         json::push_string(out, reason);
         out.push_str(&format!(":{count}"));
     }
-    let h = &s.tick_latency;
-    out.push_str("},\"tick_latency\":{\"counts\":");
-    push_u64_array(out, h.counts.iter().copied());
-    out.push_str(&format!(
-        ",\"n\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}}}}}",
-        h.n, h.sum_ns, h.min_ns, h.max_ns
-    ));
+    out.push_str("},\"tick_latency\":");
+    push_histogram_state(out, &s.tick_latency);
+    out.push_str(",\"per_query\":[");
+    for (i, q) in s.per_query.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"id\":{},\"name\":", q.id));
+        json::push_string(out, &q.name);
+        out.push_str(&format!(
+            ",\"chains\":{},\"ticks\":{},\"last_probability\":",
+            q.chains, q.ticks
+        ));
+        json::push_f64(out, q.last_probability);
+        out.push_str(",\"step_latency\":");
+        push_histogram_state(out, &q.step_latency);
+        out.push('}');
+    }
+    out.push_str("]}");
 }
 
 fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
@@ -359,14 +402,22 @@ fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
                 .ok_or_else(|| corrupt("fallback count is not an integer"))?,
         );
     }
-    let h = get(v, "tick_latency")?;
-    let tick_latency = HistogramState {
-        counts: u64_array(get(h, "counts")?, "histogram counts")?,
-        n: get_u64(h, "n")?,
-        sum_ns: get_u64(h, "sum_ns")?,
-        min_ns: get_u64(h, "min_ns")?,
-        max_ns: get_u64(h, "max_ns")?,
-    };
+    let tick_latency = parse_histogram_state(get(v, "tick_latency")?)?;
+    let per_query = get_array(v, "per_query")?
+        .iter()
+        .map(|q| {
+            Ok(QueryState {
+                id: get_u64(q, "id")?,
+                name: get_str(q, "name")?,
+                chains: get_u64(q, "chains")?,
+                ticks: get_u64(q, "ticks")?,
+                last_probability: get(q, "last_probability")?
+                    .as_f64()
+                    .ok_or_else(|| corrupt("last_probability is not a number"))?,
+                step_latency: parse_histogram_state(get(q, "step_latency")?)?,
+            })
+        })
+        .collect::<Result<_, EngineError>>()?;
     Ok(StatsState {
         ticks: get_u64(v, "ticks")?,
         parallel_ticks: get_u64(v, "parallel_ticks")?,
@@ -376,11 +427,23 @@ fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
         chains_stepped: get_u64(v, "chains_stepped")?,
         bindings_grounded: get_u64(v, "bindings_grounded")?,
         alerts_emitted: get_u64(v, "alerts_emitted")?,
+        marginals_staged: get_u64(v, "marginals_staged")?,
         sampler_compilations: get_u64(v, "sampler_compilations")?,
         sampler_worlds: get_u64(v, "sampler_worlds")?,
         fallbacks: get_u64(v, "fallbacks")?,
         fallback_reasons,
         tick_latency,
+        per_query,
+    })
+}
+
+fn parse_histogram_state(h: &JsonValue) -> Result<HistogramState, EngineError> {
+    Ok(HistogramState {
+        counts: u64_array(get(h, "counts")?, "histogram counts")?,
+        n: get_u64(h, "n")?,
+        sum_ns: get_u64(h, "sum_ns")?,
+        min_ns: get_u64(h, "min_ns")?,
+        max_ns: get_u64(h, "max_ns")?,
     })
 }
 
@@ -458,6 +521,8 @@ mod tests {
                 parallel_threshold: 128,
                 checkpoint_interval: 8,
                 tick_deadline: Some(Duration::from_millis(250)),
+                metrics_addr: Some("127.0.0.1:9633".parse().unwrap()),
+                trace: true,
             },
             staged: vec![None, Some(vec![0.1, 0.2, 0.7])],
             queries: vec![QueryMeta {
@@ -488,6 +553,7 @@ mod tests {
                 chains_stepped: 9,
                 bindings_grounded: 2,
                 alerts_emitted: 3,
+                marginals_staged: 6,
                 sampler_compilations: 0,
                 sampler_worlds: 0,
                 fallbacks: 1,
@@ -499,6 +565,20 @@ mod tests {
                     min_ns: 1_000,
                     max_ns: 9_000,
                 },
+                per_query: vec![QueryState {
+                    id: 0,
+                    name: "q \"quoted\"".to_owned(),
+                    chains: 2,
+                    ticks: 3,
+                    last_probability: 0.1 + 0.2,
+                    step_latency: HistogramState {
+                        counts: vec![0, 0, 3],
+                        n: 3,
+                        sum_ns: 4_242,
+                        min_ns: 1_111,
+                        max_ns: 2_222,
+                    },
+                }],
             },
         }
     }

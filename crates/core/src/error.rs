@@ -59,6 +59,10 @@ pub enum EngineError {
     CheckpointUnsupported(String),
     /// A checkpoint document failed to parse or validate on restore.
     CheckpointCorrupt(String),
+    /// The metrics endpoint requested via
+    /// [`crate::SessionConfig::metrics_addr`] could not be started
+    /// (bind or thread-spawn failure).
+    MetricsUnavailable(String),
 }
 
 impl EngineError {
@@ -111,6 +115,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::CheckpointCorrupt(msg) => {
                 write!(f, "checkpoint is corrupt: {msg}")
+            }
+            EngineError::MetricsUnavailable(msg) => {
+                write!(f, "metrics endpoint unavailable: {msg}")
             }
         }
     }

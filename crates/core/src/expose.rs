@@ -1,0 +1,526 @@
+//! Metrics exposition: Prometheus text encoding and a minimal scrape
+//! endpoint.
+//!
+//! [`to_prometheus`] renders a [`StatsSnapshot`] — global counters, the
+//! tick-latency histogram, bounded-cardinality fallback reasons, and the
+//! per-query registry — in [Prometheus text format v0.0.4], hand-rolled
+//! with no dependencies. [`MetricsServer`] serves it live over a
+//! blocking [`std::net::TcpListener`] HTTP/1.1 loop (`GET /metrics`,
+//! `GET /healthz`, `GET /trace`), started automatically when
+//! [`crate::SessionConfig::metrics_addr`] is set. [`write_prometheus`]
+//! is the scrape-less dump-to-file mode.
+//!
+//! The server runs on one named thread (`lahar-metrics`) and holds only
+//! a clone of the session's [`EngineStats`] handle, so scrapes never
+//! block a tick: they read atomics and briefly lock the histogram maps.
+//!
+//! [Prometheus text format v0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::error::EngineError;
+use crate::stats::{EngineStats, LatencySnapshot, StatsSnapshot};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+fn push_label_value(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a float the Prometheus parser accepts (shortest round-trip
+/// form; non-finite values use the spec's `NaN`/`+Inf`/`-Inf` spellings).
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        write!(out, "{v:?}").unwrap();
+    }
+}
+
+fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    writeln!(out, "# HELP {name} {help}").unwrap();
+    writeln!(out, "# TYPE {name} {kind}").unwrap();
+}
+
+fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    push_header(out, name, help, "counter");
+    writeln!(out, "{name} {value}").unwrap();
+}
+
+/// Emits one cumulative histogram series (`_bucket`/`_sum`/`_count`)
+/// under `name`, with `labels` (e.g. `query="coffee",id="0"`) spliced
+/// into every sample. Bucket upper bounds come from the power-of-two
+/// layout: a snapshot bucket `(lower, n)` covers `[lower, 2·lower)` ns.
+fn push_histogram(out: &mut String, name: &str, labels: &str, l: &LatencySnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for &(lower_ns, n) in &l.buckets {
+        cumulative += n;
+        let le = (lower_ns.saturating_mul(2)) as f64 / 1e9;
+        write!(out, "{name}_bucket{{{labels}{sep}le=\"").unwrap();
+        push_value(out, le);
+        writeln!(out, "\"}} {cumulative}").unwrap();
+    }
+    writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", l.count).unwrap();
+    // `{}` (an empty label set) is rejected by some scrapers: brace the
+    // _sum/_count samples only when there are labels to carry.
+    let braced = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    write!(out, "{name}_sum{braced} ").unwrap();
+    push_value(out, l.sum_ns as f64 / 1e9);
+    out.push('\n');
+    writeln!(out, "{name}_count{braced} {}", l.count).unwrap();
+}
+
+/// Renders a [`StatsSnapshot`] in Prometheus text format v0.0.4.
+pub fn to_prometheus(snap: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    push_counter(
+        &mut out,
+        "lahar_ticks_total",
+        "Session ticks processed.",
+        snap.ticks,
+    );
+    push_counter(
+        &mut out,
+        "lahar_parallel_ticks_total",
+        "Ticks run on the sharded parallel path.",
+        snap.parallel_ticks,
+    );
+    push_counter(
+        &mut out,
+        "lahar_degraded_ticks_total",
+        "Ticks forced sequential by degraded mode.",
+        snap.degraded_ticks,
+    );
+    push_counter(
+        &mut out,
+        "lahar_recoveries_total",
+        "Successful session recoveries.",
+        snap.recoveries,
+    );
+    push_counter(
+        &mut out,
+        "lahar_checkpoints_total",
+        "Checkpoints taken (manual or automatic).",
+        snap.checkpoints_taken,
+    );
+    push_counter(
+        &mut out,
+        "lahar_chains_stepped_total",
+        "Per-binding Markov chains stepped across all ticks.",
+        snap.chains_stepped,
+    );
+    push_counter(
+        &mut out,
+        "lahar_bindings_grounded_total",
+        "Per-key chains grounded at query registration.",
+        snap.bindings_grounded,
+    );
+    push_counter(
+        &mut out,
+        "lahar_alerts_total",
+        "Alerts emitted by ticks.",
+        snap.alerts_emitted,
+    );
+    push_counter(
+        &mut out,
+        "lahar_marginals_staged_total",
+        "Marginals staged by the inference layer.",
+        snap.marginals_staged,
+    );
+    push_counter(
+        &mut out,
+        "lahar_sampler_compilations_total",
+        "Monte Carlo compilations.",
+        snap.sampler_compilations,
+    );
+    push_counter(
+        &mut out,
+        "lahar_sampler_worlds_total",
+        "Sampled worlds across all Monte Carlo compilations.",
+        snap.sampler_worlds,
+    );
+    push_counter(
+        &mut out,
+        "lahar_fallbacks_total",
+        "Exact-path to sampler fallbacks.",
+        snap.fallbacks,
+    );
+
+    push_header(
+        &mut out,
+        "lahar_fallbacks_by_reason_total",
+        "Fallbacks by reason (bounded cardinality; overflow in \"other\").",
+        "counter",
+    );
+    for (reason, count) in &snap.fallback_reasons {
+        out.push_str("lahar_fallbacks_by_reason_total{reason=");
+        push_label_value(&mut out, reason);
+        writeln!(out, "}} {count}").unwrap();
+    }
+
+    push_header(
+        &mut out,
+        "lahar_tick_latency_seconds",
+        "Wall-clock latency of whole session ticks.",
+        "histogram",
+    );
+    push_histogram(
+        &mut out,
+        "lahar_tick_latency_seconds",
+        "",
+        &snap.tick_latency,
+    );
+
+    push_header(
+        &mut out,
+        "lahar_query_ticks_total",
+        "Ticks closed per registered query.",
+        "counter",
+    );
+    for q in &snap.per_query {
+        write!(out, "lahar_query_ticks_total{{query=").unwrap();
+        push_label_value(&mut out, &q.name);
+        writeln!(out, ",id=\"{}\"}} {}", q.id, q.ticks).unwrap();
+    }
+    push_header(
+        &mut out,
+        "lahar_query_chains",
+        "Per-key chains the query grounds to.",
+        "gauge",
+    );
+    for q in &snap.per_query {
+        write!(out, "lahar_query_chains{{query=").unwrap();
+        push_label_value(&mut out, &q.name);
+        writeln!(out, ",id=\"{}\"}} {}", q.id, q.chains).unwrap();
+    }
+    push_header(
+        &mut out,
+        "lahar_query_probability",
+        "Probability of the query's most recent alert.",
+        "gauge",
+    );
+    for q in &snap.per_query {
+        write!(out, "lahar_query_probability{{query=").unwrap();
+        push_label_value(&mut out, &q.name);
+        write!(out, ",id=\"{}\"}} ", q.id).unwrap();
+        push_value(&mut out, q.last_probability);
+        out.push('\n');
+    }
+    push_header(
+        &mut out,
+        "lahar_query_step_latency_seconds",
+        "Wall-clock time a query's chains take per tick.",
+        "histogram",
+    );
+    for q in &snap.per_query {
+        let mut labels = String::from("query=");
+        push_label_value(&mut labels, &q.name);
+        write!(labels, ",id=\"{}\"", q.id).unwrap();
+        push_histogram(
+            &mut out,
+            "lahar_query_step_latency_seconds",
+            &labels,
+            &q.step_latency,
+        );
+    }
+    out
+}
+
+/// Writes [`to_prometheus`] output for `snap` to `path` (the
+/// dump-to-file exposition mode).
+pub fn write_prometheus(
+    path: impl AsRef<std::path::Path>,
+    snap: &StatsSnapshot,
+) -> std::io::Result<()> {
+    std::fs::write(path, to_prometheus(snap))
+}
+
+/// Content type mandated for Prometheus text format v0.0.4.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A live scrape endpoint for a session's [`EngineStats`].
+///
+/// Binds a [`TcpListener`] and answers `GET /metrics` (Prometheus text),
+/// `GET /healthz` (`ok`), and `GET /trace` (the current
+/// [`crate::trace::chrome_trace_json`] document) from one background
+/// thread. Dropping the server shuts the thread down and releases the
+/// port.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port — see
+    /// [`MetricsServer::addr`] for the resolved one) and starts serving
+    /// `stats`.
+    pub fn start(addr: SocketAddr, stats: EngineStats) -> Result<Self, EngineError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| EngineError::MetricsUnavailable(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| EngineError::MetricsUnavailable(format!("local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("lahar-metrics".to_owned())
+            .spawn(move || serve(listener, stats, flag))
+            .map_err(|e| EngineError::MetricsUnavailable(format!("spawn: {e}")))?;
+        Ok(Self {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, stats: EngineStats, shutdown: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // A stalled client must not wedge the (single-threaded) loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_connection(stream, &stats);
+    }
+}
+
+fn handle_connection(stream: TcpStream, stats: &EngineStats) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (bounded) so well-behaved clients see a clean close.
+    for _ in 0..64 {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            PROMETHEUS_CONTENT_TYPE,
+            to_prometheus(&stats.snapshot()),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        ("GET", "/trace") => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::trace::chrome_trace_json(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn sample_stats() -> EngineStats {
+        let stats = EngineStats::new();
+        stats.record_tick(Duration::from_micros(10), 4, true);
+        stats.record_tick(Duration::from_micros(40), 4, false);
+        stats.record_fallback("safe: no safe plan exists");
+        stats.record_fallback("weird \"reason\"\\with\nescapes");
+        stats.register_query(0, "coffee", 24);
+        stats.record_query_tick(0, Some(1500), 0.25);
+        stats
+    }
+
+    /// Every non-comment line must be `name{labels} value` with a value
+    /// Rust can parse back as a float (Prometheus floats are a superset).
+    fn assert_well_formed(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                series
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+                "bad series start: {line}"
+            );
+            if series.contains('{') {
+                assert!(series.ends_with('}'), "unterminated labels: {line}");
+            }
+            let value = match value {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                v => v
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad value in: {line}")),
+            };
+            let _ = value;
+        }
+    }
+
+    #[test]
+    fn prometheus_text_contains_expected_series() {
+        let text = to_prometheus(&sample_stats().snapshot());
+        assert_well_formed(&text);
+        assert!(text.contains("# TYPE lahar_ticks_total counter"));
+        assert!(text.contains("lahar_ticks_total 2"));
+        assert!(text.contains("lahar_parallel_ticks_total 1"));
+        assert!(text.contains("lahar_fallbacks_total 2"));
+        assert!(text
+            .contains("lahar_fallbacks_by_reason_total{reason=\"safe: no safe plan exists\"} 1"));
+        // Label escaping: backslash, quote, newline.
+        assert!(text.contains("reason=\"weird \\\"reason\\\"\\\\with\\nescapes\""));
+        // Cumulative global histogram with +Inf terminal bucket.
+        assert!(text.contains("# TYPE lahar_tick_latency_seconds histogram"));
+        assert!(text.contains("lahar_tick_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lahar_tick_latency_seconds_count 2"));
+        // Per-query labeled series.
+        assert!(text.contains("lahar_query_ticks_total{query=\"coffee\",id=\"0\"} 1"));
+        assert!(text.contains("lahar_query_chains{query=\"coffee\",id=\"0\"} 24"));
+        assert!(text.contains("lahar_query_probability{query=\"coffee\",id=\"0\"} 0.25"));
+        assert!(
+            text.contains("lahar_query_step_latency_seconds_bucket{query=\"coffee\",id=\"0\",le=")
+        );
+        assert!(
+            text.contains("lahar_query_step_latency_seconds_count{query=\"coffee\",id=\"0\"} 1")
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_cleanly() {
+        let text = to_prometheus(&EngineStats::new().snapshot());
+        assert_well_formed(&text);
+        assert!(text.contains("lahar_ticks_total 0"));
+        assert!(text.contains("lahar_tick_latency_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("lahar_tick_latency_seconds_sum 0.0"));
+        // No per-query samples, but the metadata stays present.
+        assert!(text.contains("# TYPE lahar_query_ticks_total counter"));
+        assert!(!text.contains("lahar_query_ticks_total{"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let stats = EngineStats::new();
+        // Three distinct power-of-two buckets: 1µs, 10µs, 100µs.
+        for us in [1u64, 10, 100] {
+            stats.record_tick(Duration::from_micros(us), 1, false);
+        }
+        let text = to_prometheus(&stats.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lahar_tick_latency_seconds_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn server_serves_metrics_healthz_trace_and_404() {
+        let stats = sample_stats();
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), stats).unwrap();
+        let addr = server.addr();
+
+        let get = |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("lahar_query_ticks_total{query=\"coffee\",id=\"0\"} 1"));
+
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+
+        let trace = get("/trace");
+        assert!(trace.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(trace.contains("\"traceEvents\""));
+
+        let missing = get("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        drop(server);
+        // The port is released once drop returns (join completed).
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn bind_failure_is_reported_not_panicked() {
+        let stats = EngineStats::new();
+        let holder = MetricsServer::start("127.0.0.1:0".parse().unwrap(), stats.clone()).unwrap();
+        let err = MetricsServer::start(holder.addr(), stats).unwrap_err();
+        assert!(matches!(err, EngineError::MetricsUnavailable(_)));
+        assert!(err.to_string().contains("metrics endpoint unavailable"));
+    }
+
+    #[test]
+    fn write_prometheus_dumps_to_file() {
+        let path = std::env::temp_dir().join("lahar_expose_test.prom");
+        write_prometheus(&path, &sample_stats().snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("lahar_ticks_total 2"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

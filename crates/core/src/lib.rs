@@ -40,6 +40,7 @@ mod chain;
 mod checkpoint;
 mod engine;
 mod error;
+pub mod expose;
 mod extended;
 pub mod failpoint;
 mod interval;
@@ -50,12 +51,14 @@ mod safeplan;
 mod sampler;
 mod session;
 mod stats;
+pub mod trace;
 mod translate;
 
 pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{Algorithm, CompiledQuery, Lahar};
 pub use error::EngineError;
+pub use expose::MetricsServer;
 pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};
 pub use interval::IntervalChain;
 pub use occurrence::{OccurrenceModel, TpTw};
@@ -63,7 +66,7 @@ pub use regular::RegularEvaluator;
 pub use safeplan::SafePlanExecutor;
 pub use sampler::{Sampler, SamplerConfig};
 pub use session::{Alert, QueryId, RealTimeSession, SessionConfig, TickMode};
-pub use stats::{EngineStats, LatencySnapshot, StatsSnapshot};
+pub use stats::{EngineStats, LatencySnapshot, QuerySnapshot, StatsSnapshot};
 pub use translate::{
     a_bit, build_regex, candidate_values, enumerate_bindings, m_bit, relevant_streams,
     stream_relevant, substitute_cond, substitute_items, symbol_table, symbols_for_event,

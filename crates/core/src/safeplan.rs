@@ -187,8 +187,14 @@ fn eval(
     if tf < ts {
         return Ok(0.0);
     }
+    // Span taxonomy note: σ has no runtime node — selection predicates
+    // fold into the association conditions at plan compilation, so only
+    // reg / π₋ₓ (project) / seq appear on the timeline.
     match node {
         Node::Reg { env, items, chains } => {
+            let _span = crate::trace::span("safeplan.reg")
+                .with("ts", u64::from(ts))
+                .with("tf", u64::from(tf));
             let key = key_of(binding, env);
             if !chains.contains_key(&key) {
                 let grounded = substitute_items(items, binding);
@@ -202,6 +208,9 @@ fn eval(
             candidates,
             input,
         } => {
+            let _span = crate::trace::span("safeplan.project")
+                .with("candidates", candidates.len() as u64)
+                .with("tf", u64::from(tf));
             let mut none = 1.0;
             for v in candidates.iter() {
                 let mut b2 = binding.clone();
@@ -223,6 +232,9 @@ fn eval(
             if let Some(&p) = memo.get(&memo_key) {
                 return Ok(p);
             }
+            let _span = crate::trace::span("safeplan.seq")
+                .with("ts", u64::from(ts))
+                .with("tf", u64::from(tf));
             let item_key = key_of(binding, item_env);
             if !models.contains_key(&item_key) {
                 let grounded = substitute_items(std::slice::from_ref(item), binding);

@@ -182,6 +182,7 @@ impl Sampler {
         config: SamplerConfig,
     ) -> Result<Self, EngineError> {
         crate::failpoint::check("sampler")?;
+        let _span = crate::trace::span("sampler_compile").with("worlds", config.n_samples() as u64);
         // Variables that must be grounded: shared variables plus every
         // variable of a residual (non-local) condition.
         let mut to_ground: BTreeSet<Var> = lahar_query::shared_vars(&nq.items);
@@ -312,6 +313,9 @@ impl Sampler {
     /// of the `n` worlds, advances all automata, and returns the estimate
     /// of `μ(q@t)`.
     pub fn step(&mut self, db: &Database) -> f64 {
+        let _span = crate::trace::span("sampler_run")
+            .with("t", u64::from(self.t))
+            .with("worlds", self.n as u64);
         if let Some(sat) = &self.fallback {
             let t = self.t as usize;
             self.t += 1;

@@ -56,6 +56,7 @@ use crate::regular::RegularEvaluator;
 use crate::stats::EngineStats;
 use lahar_model::{Database, Marginal, StreamData};
 use lahar_query::{classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError};
+use std::net::SocketAddr;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -115,6 +116,17 @@ pub struct SessionConfig {
     /// [`RealTimeSession::clear_degraded`]. `None` disables the
     /// watchdog.
     pub tick_deadline: Option<Duration>,
+    /// Serve live metrics over HTTP from this address (see
+    /// [`crate::MetricsServer`]): `GET /metrics` (Prometheus text
+    /// format), `GET /healthz`, `GET /trace`. Port `0` picks a free
+    /// port; [`RealTimeSession::metrics_addr`] reports the bound one.
+    /// `None` (the default) serves nothing.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Enable structured span tracing ([`crate::trace`]) when the
+    /// session is created. The tracer is process-global, so this is a
+    /// convenience for [`crate::trace::enable`]; spans export via
+    /// [`crate::trace::chrome_trace_json`] or the `/trace` endpoint.
+    pub trace: bool,
 }
 
 impl Default for SessionConfig {
@@ -125,6 +137,8 @@ impl Default for SessionConfig {
             parallel_threshold: 256,
             checkpoint_interval: 0,
             tick_deadline: None,
+            metrics_addr: None,
+            trace: false,
         }
     }
 }
@@ -167,20 +181,67 @@ struct Job {
     marginals: Arc<Vec<Marginal>>,
 }
 
-/// `(worker index, stepped shard + per-chain probabilities | fault)`.
-type Reply = (usize, Result<(Shard, Vec<f64>), EngineError>);
+/// Per-chain probabilities (shard order) plus wall-clock nanoseconds
+/// attributed to each query index, as produced by [`step_shard`].
+type SteppedShard = (Vec<f64>, Vec<(usize, u64)>);
+
+/// `(worker index, stepped shard + per-chain probabilities + per-query
+/// nanoseconds | fault)`.
+type Reply = (
+    usize,
+    Result<(Shard, Vec<f64>, Vec<(usize, u64)>), EngineError>,
+);
+
+/// Steps every chain in `shard` against the tick's marginals, returning
+/// the per-chain probabilities (shard order) and the wall-clock
+/// nanoseconds attributed to each query index (one entry per contiguous
+/// run of a query's chains — shards hold chains in global sequence
+/// order, so a query appears in at most one run per shard).
+///
+/// This is the single stepping kernel shared by the worker and
+/// sequential paths, so both produce bit-identical arithmetic.
+fn step_shard(
+    shard: &mut Shard,
+    marginals: &[Marginal],
+    failpoint: &'static str,
+) -> Result<SteppedShard, EngineError> {
+    fn elapsed_ns(since: Instant) -> u64 {
+        u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+    let mut probs = Vec::with_capacity(shard.chains.len());
+    let mut query_ns: Vec<(usize, u64)> = Vec::new();
+    let mut run: Option<(usize, Instant)> = None;
+    for (qi, chain) in &mut shard.chains {
+        crate::failpoint::check(failpoint)?;
+        match run {
+            Some((q, started)) if q != *qi => {
+                query_ns.push((q, elapsed_ns(started)));
+                run = Some((*qi, Instant::now()));
+            }
+            None => run = Some((*qi, Instant::now())),
+            _ => {}
+        }
+        let _span = crate::trace::span("chain_step")
+            .with("query", *qi as u64)
+            .with("t", u64::from(chain.next_t()));
+        probs.push(chain.step_with_marginals(marginals)?);
+    }
+    if let Some((q, started)) = run {
+        query_ns.push((q, elapsed_ns(started)));
+    }
+    Ok((probs, query_ns))
+}
 
 fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
     while let Ok(job) = jobs.recv() {
         let Job { shard, marginals } = job;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             let mut shard = shard;
-            let mut probs = Vec::with_capacity(shard.chains.len());
-            for (_, chain) in &mut shard.chains {
-                crate::failpoint::check("worker_step")?;
-                probs.push(chain.step_with_marginals(&marginals)?);
-            }
-            Ok::<_, EngineError>((shard, probs))
+            let _span = crate::trace::span("worker_step")
+                .with("worker", index as u64)
+                .with("chains", shard.chains.len() as u64);
+            let (probs, query_ns) = step_shard(&mut shard, &marginals, "worker_step")?;
+            Ok::<_, EngineError>((shard, probs, query_ns))
         }));
         let reply = match outcome {
             Ok(Ok(done)) => Ok(done),
@@ -276,6 +337,11 @@ pub struct RealTimeSession {
     /// Tick index of `replay_log[0]`.
     replay_base: u32,
     stats: EngineStats,
+    /// Live scrape endpoint, running while the session exists (see
+    /// [`SessionConfig::metrics_addr`]). Holds a clone of `stats`, which
+    /// is why restores load counter state in place rather than swapping
+    /// the handle.
+    metrics_server: Option<crate::expose::MetricsServer>,
     t: u32,
 }
 
@@ -296,6 +362,14 @@ impl RealTimeSession {
             }
         }
         let staged = vec![None; db.streams().len()];
+        if config.trace {
+            crate::trace::enable();
+        }
+        let stats = EngineStats::new();
+        let metrics_server = match config.metrics_addr {
+            Some(addr) => Some(crate::expose::MetricsServer::start(addr, stats.clone())?),
+            None => None,
+        };
         Ok(Self {
             db,
             staged,
@@ -312,7 +386,8 @@ impl RealTimeSession {
             last_checkpoint: None,
             replay_log: Vec::new(),
             replay_base: 0,
-            stats: EngineStats::new(),
+            stats,
+            metrics_server,
             t: 0,
         })
     }
@@ -331,6 +406,13 @@ impl RealTimeSession {
     /// [`EngineStats::snapshot`]).
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// The address the metrics endpoint actually bound (resolves a
+    /// requested port `0`), or `None` when
+    /// [`SessionConfig::metrics_addr`] was unset.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// Total per-key chains across all registered queries.
@@ -436,6 +518,8 @@ impl RealTimeSession {
         });
         self.total_chains += new_chains.len();
         self.stats.record_grounding(new_chains.len() as u64);
+        self.stats
+            .register_query(query_index, name, new_chains.len() as u64);
         self.repartition(new_chains.into_iter().map(|c| (query_index, c)).collect());
         Ok(QueryId(query_index))
     }
@@ -517,6 +601,7 @@ impl RealTimeSession {
             ));
         }
         self.staged[stream_index] = Some(marginal);
+        self.stats.record_staged(1);
         Ok(())
     }
 
@@ -527,6 +612,9 @@ impl RealTimeSession {
     pub fn tick(&mut self) -> Result<Vec<Alert>, EngineError> {
         self.ensure_live()?;
         let started = Instant::now();
+        let _tick_span = crate::trace::span("tick")
+            .with("t", u64::from(self.t))
+            .with("chains", self.total_chains as u64);
         let mut tick_marginals = Vec::with_capacity(self.staged.len());
         for idx in 0..self.staged.len() {
             let marginal = self.staged[idx]
@@ -543,7 +631,7 @@ impl RealTimeSession {
             self.replay_log.push(marginals.clone());
         }
         let parallel = self.parallel_tick();
-        let probs = if parallel {
+        let (probs, query_ns) = if parallel {
             self.step_chains_parallel(marginals)?
         } else {
             self.step_chains_sequential(&marginals)?
@@ -556,6 +644,13 @@ impl RealTimeSession {
             self.stats.record_degraded_tick();
         }
         self.stats.record_alerts(alerts.len() as u64);
+        for alert in &alerts {
+            self.stats.record_query_tick(
+                alert.query.0,
+                query_ns.get(alert.query.0).copied(),
+                alert.probability,
+            );
+        }
         if self.config.checkpoint_interval > 0
             && (self.t as usize).is_multiple_of(self.config.checkpoint_interval)
         {
@@ -605,25 +700,28 @@ impl RealTimeSession {
     fn step_chains_sequential(
         &mut self,
         tick_marginals: &[Marginal],
-    ) -> Result<Vec<f64>, EngineError> {
+    ) -> Result<(Vec<f64>, Vec<u64>), EngineError> {
         let n_shards = self.shards.len();
         let mut shards = std::mem::take(&mut self.shards);
         let total = self.total_chains;
+        let n_queries = self.queries.len();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut probs = vec![0.0; total];
+            let mut query_ns = vec![0u64; n_queries];
             for slot in &mut shards {
                 let shard = slot.as_mut().expect("all shards home between ticks");
-                for (offset, (_, chain)) in shard.chains.iter_mut().enumerate() {
-                    crate::failpoint::check("sequential_step")?;
-                    probs[shard.start + offset] = chain.step_with_marginals(tick_marginals)?;
+                let (shard_probs, shard_ns) = step_shard(shard, tick_marginals, "sequential_step")?;
+                probs[shard.start..shard.start + shard_probs.len()].copy_from_slice(&shard_probs);
+                for (qi, ns) in shard_ns {
+                    query_ns[qi] = query_ns[qi].saturating_add(ns);
                 }
             }
-            Ok::<_, EngineError>(probs)
+            Ok::<_, EngineError>((probs, query_ns))
         }));
         match outcome {
-            Ok(Ok(probs)) => {
+            Ok(Ok(stepped)) => {
                 self.shards = shards;
-                Ok(probs)
+                Ok(stepped)
             }
             Ok(Err(e)) => {
                 self.shards = (0..n_shards).map(|_| None).collect();
@@ -649,7 +747,7 @@ impl RealTimeSession {
     fn step_chains_parallel(
         &mut self,
         marginals: Arc<Vec<Marginal>>,
-    ) -> Result<Vec<f64>, EngineError> {
+    ) -> Result<(Vec<f64>, Vec<u64>), EngineError> {
         self.ensure_pool();
         let pool = self.pool.as_ref().expect("pool just ensured");
         let deadline = self.config.tick_deadline.map(|d| (d, Instant::now() + d));
@@ -679,6 +777,7 @@ impl RealTimeSession {
             in_flight += 1;
         }
         let mut probs = vec![0.0; self.total_chains];
+        let mut query_ns = vec![0u64; self.queries.len()];
         let mut first_error: Option<EngineError> = None;
         for _ in 0..in_flight {
             let reply = match deadline {
@@ -692,9 +791,12 @@ impl RealTimeSession {
                 }
             };
             match reply {
-                Ok((w, Ok((shard, shard_probs)))) => {
+                Ok((w, Ok((shard, shard_probs, shard_ns)))) => {
                     probs[shard.start..shard.start + shard_probs.len()]
                         .copy_from_slice(&shard_probs);
+                    for (qi, ns) in shard_ns {
+                        query_ns[qi] = query_ns[qi].saturating_add(ns);
+                    }
                     self.shards[w] = Some(shard);
                 }
                 Ok((_, Err(e))) => {
@@ -725,7 +827,7 @@ impl RealTimeSession {
             self.poisoned = true;
             return Err(e);
         }
-        Ok(probs)
+        Ok((probs, query_ns))
     }
 
     /// Snapshots the complete session — per-chain forward distributions
@@ -738,6 +840,9 @@ impl RealTimeSession {
     /// source text.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
         self.ensure_live()?;
+        let _span = crate::trace::span("checkpoint")
+            .with("t", u64::from(self.t))
+            .with("chains", self.total_chains as u64);
         let queries = self
             .queries
             .iter()
@@ -911,7 +1016,9 @@ impl RealTimeSession {
                 ckpt.chains.len()
             )));
         }
-        session.stats = EngineStats::from_state(&ckpt.stats);
+        // In place, not a handle swap: a metrics server started by
+        // with_config above already holds a clone of session.stats.
+        session.stats.load_state(&ckpt.stats);
         session.last_checkpoint = Some(ckpt.clone());
         session.replay_base = ckpt.t;
         Ok(session)
@@ -960,6 +1067,9 @@ impl RealTimeSession {
             ));
         }
         let started = Instant::now();
+        let _span = crate::trace::span("recover")
+            .with("t", u64::from(self.t))
+            .with("chains", self.total_chains as u64);
         // Join the pool first: no late reply can race the rebuild, and
         // replies buffered from the failed tick are discarded with it.
         self.pool = None;
@@ -1043,6 +1153,12 @@ impl RealTimeSession {
         self.stats
             .record_tick(started.elapsed(), self.total_chains as u64, false);
         self.stats.record_alerts(alerts.len() as u64);
+        for alert in &alerts {
+            // Per-chain timing was lost with the failed tick; count the
+            // tick without a latency sample.
+            self.stats
+                .record_query_tick(alert.query.0, None, alert.probability);
+        }
         self.stats.record_recovery();
         Ok(alerts)
     }

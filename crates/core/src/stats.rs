@@ -1,11 +1,21 @@
 //! Engine observability: tick-latency histograms, throughput counters,
-//! sampler world counts, and safe-plan→sampler fallback accounting.
+//! sampler world counts, safe-plan→sampler fallback accounting, and a
+//! per-query metrics registry.
 //!
 //! [`EngineStats`] is a cheaply cloneable handle (an `Arc` over atomics)
 //! shared between the engine, the [`crate::RealTimeSession`] tick loop,
-//! and its parallel workers. [`EngineStats::snapshot`] freezes a
-//! consistent-enough view for dashboards; [`StatsSnapshot::to_json`]
-//! renders it as a JSON document without any serialization dependency.
+//! its parallel workers, and — when [`crate::SessionConfig::metrics_addr`]
+//! is set — the [`crate::MetricsServer`] scrape thread.
+//! [`EngineStats::snapshot`] freezes a consistent-enough view for
+//! dashboards; [`StatsSnapshot::to_json`] renders it as a JSON document
+//! and [`crate::expose::to_prometheus`] as Prometheus text, both without
+//! any serialization dependency.
+//!
+//! Global counters aggregate across the whole session; the per-query
+//! registry (one labeled slot per [`crate::QueryId`], carrying a step
+//! latency histogram, tick count, chain count, and the latest alert
+//! probability) is what gives the `/metrics` endpoint its
+//! `{query="...",id="..."}`-labeled series.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +25,16 @@ use std::time::Duration;
 /// Number of power-of-two latency buckets (bucket `i` covers
 /// `[2^i, 2^{i+1})` nanoseconds; the last bucket is open-ended).
 const N_BUCKETS: usize = 64;
+
+/// Upper bound on distinct fallback-reason labels. Once hit, new reasons
+/// are folded into [`FALLBACK_OVERFLOW_LABEL`], so a pathological query
+/// mix cannot grow the reason map (or the exposition's label
+/// cardinality) without limit. The overflow label itself may become the
+/// `MAX_FALLBACK_REASONS + 1`-th entry.
+const MAX_FALLBACK_REASONS: usize = 24;
+
+/// Bucket that absorbs fallback reasons past the cardinality cap.
+const FALLBACK_OVERFLOW_LABEL: &str = "other";
 
 #[derive(Debug)]
 struct Histogram {
@@ -71,21 +91,73 @@ impl Histogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
-    /// Upper-bound estimate of quantile `q` from the bucket boundaries.
+    /// Estimates quantile `q` by locating the rank's bucket and linearly
+    /// interpolating within it (samples are assumed uniform inside a
+    /// bucket). The bucket's range is clamped to the observed
+    /// `[min_ns, max_ns]`, which tightens the first and last non-empty
+    /// buckets to real data instead of power-of-two boundaries.
     fn quantile_ns(&self, q: f64) -> u64 {
         if self.n == 0 {
             return 0;
         }
         let rank = ((self.n as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
             if seen >= rank {
-                return (1u64 << (i + 1).min(63)).min(self.max_ns);
+                let lower = (1u64 << i).max(self.min_ns);
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                }
+                .min(self.max_ns)
+                .max(lower);
+                let fraction = (rank - before) as f64 / c as f64;
+                return lower + (fraction * (upper - lower) as f64).round() as u64;
             }
         }
         self.max_ns
     }
+
+    fn summarize(&self) -> LatencySnapshot {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (1u64 << b, c))
+            .collect();
+        LatencySnapshot {
+            count: self.n,
+            sum_ns: self.sum_ns,
+            min_ns: if self.n == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            mean_ns: if self.n == 0 {
+                0.0
+            } else {
+                self.sum_ns as f64 / self.n as f64
+            },
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Per-query slot in the metrics registry.
+#[derive(Debug, Default)]
+struct QueryMetrics {
+    name: String,
+    chains: u64,
+    ticks: u64,
+    last_probability: f64,
+    step_latency: Histogram,
 }
 
 #[derive(Debug, Default)]
@@ -98,11 +170,13 @@ struct Inner {
     chains_stepped: AtomicU64,
     bindings_grounded: AtomicU64,
     alerts_emitted: AtomicU64,
+    marginals_staged: AtomicU64,
     sampler_compilations: AtomicU64,
     sampler_worlds: AtomicU64,
     fallbacks: AtomicU64,
     tick_latency: Mutex<Histogram>,
     fallback_reasons: Mutex<BTreeMap<String, u64>>,
+    per_query: Mutex<BTreeMap<usize, QueryMetrics>>,
 }
 
 /// Raw latency-histogram state inside a [`StatsState`].
@@ -115,9 +189,20 @@ pub(crate) struct HistogramState {
     pub(crate) max_ns: u64,
 }
 
+/// Raw per-query registry slot inside a [`StatsState`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct QueryState {
+    pub(crate) id: u64,
+    pub(crate) name: String,
+    pub(crate) chains: u64,
+    pub(crate) ticks: u64,
+    pub(crate) last_probability: f64,
+    pub(crate) step_latency: HistogramState,
+}
+
 /// Raw counter values extracted from [`EngineStats`] for inclusion in a
 /// session checkpoint. Unlike [`StatsSnapshot`] this is lossless: the
-/// full histogram is preserved, not just its summary.
+/// full histograms are preserved, not just their summaries.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub(crate) struct StatsState {
     pub(crate) ticks: u64,
@@ -128,11 +213,14 @@ pub(crate) struct StatsState {
     pub(crate) chains_stepped: u64,
     pub(crate) bindings_grounded: u64,
     pub(crate) alerts_emitted: u64,
+    pub(crate) marginals_staged: u64,
     pub(crate) sampler_compilations: u64,
     pub(crate) sampler_worlds: u64,
     pub(crate) fallbacks: u64,
     pub(crate) fallback_reasons: BTreeMap<String, u64>,
     pub(crate) tick_latency: HistogramState,
+    /// Per-query registry slots in ascending id order.
+    pub(crate) per_query: Vec<QueryState>,
 }
 
 /// Shared, thread-safe engine metrics. Cloning yields another handle to
@@ -175,6 +263,12 @@ impl EngineStats {
         self.inner.alerts_emitted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records marginals staged into a session (one per
+    /// [`crate::RealTimeSession::stage`] call).
+    pub fn record_staged(&self, n: u64) {
+        self.inner.marginals_staged.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a Monte Carlo compilation simulating `worlds` sampled
     /// worlds.
     pub fn record_sampler(&self, worlds: u64) {
@@ -202,44 +296,63 @@ impl EngineStats {
         self.inner.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records an exact-path→sampler fallback and why it happened.
+    /// Records an exact-path→sampler fallback and why it happened. At
+    /// most [`MAX_FALLBACK_REASONS`](self) distinct reason strings are
+    /// kept; later novel reasons count against the `"other"` bucket.
     pub fn record_fallback(&self, reason: &str) {
         self.inner.fallbacks.fetch_add(1, Ordering::Relaxed);
-        *self
-            .inner
-            .fallback_reasons
-            .lock()
-            .unwrap()
-            .entry(reason.to_owned())
-            .or_insert(0) += 1;
+        let mut reasons = self.inner.fallback_reasons.lock().unwrap();
+        let label = if reasons.contains_key(reason) || reasons.len() < MAX_FALLBACK_REASONS {
+            reason
+        } else {
+            FALLBACK_OVERFLOW_LABEL
+        };
+        *reasons.entry(label.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Creates (or re-labels) the per-query registry slot for query
+    /// `id`. Counters already accumulated under the id survive, which
+    /// makes re-registration during checkpoint restore and recovery a
+    /// no-op.
+    pub fn register_query(&self, id: usize, name: &str, chains: u64) {
+        let mut reg = self.inner.per_query.lock().unwrap();
+        let slot = reg.entry(id).or_default();
+        slot.name = name.to_owned();
+        slot.chains = chains;
+    }
+
+    /// Records one closed tick for query `id`: the wall-clock
+    /// nanoseconds its chains took this tick (`None` when unknown, e.g.
+    /// a tick completed by [`crate::RealTimeSession::recover`]) and the
+    /// alert probability it produced.
+    pub fn record_query_tick(&self, id: usize, step_ns: Option<u64>, probability: f64) {
+        let mut reg = self.inner.per_query.lock().unwrap();
+        let slot = reg.entry(id).or_default();
+        slot.ticks += 1;
+        slot.last_probability = probability;
+        if let Some(ns) = step_ns {
+            slot.step_latency.record(ns);
+        }
     }
 
     /// Freezes the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = &self.inner;
-        let hist = i.tick_latency.lock().unwrap();
-        let buckets = hist
-            .counts
+        let latency = i.tick_latency.lock().unwrap().summarize();
+        let per_query = i
+            .per_query
+            .lock()
+            .unwrap()
             .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(b, &c)| (1u64 << b, c))
+            .map(|(&id, q)| QuerySnapshot {
+                id,
+                name: q.name.clone(),
+                chains: q.chains,
+                ticks: q.ticks,
+                last_probability: q.last_probability,
+                step_latency: q.step_latency.summarize(),
+            })
             .collect();
-        let latency = LatencySnapshot {
-            count: hist.n,
-            min_ns: if hist.n == 0 { 0 } else { hist.min_ns },
-            max_ns: hist.max_ns,
-            mean_ns: if hist.n == 0 {
-                0.0
-            } else {
-                hist.sum_ns as f64 / hist.n as f64
-            },
-            p50_ns: hist.quantile_ns(0.50),
-            p95_ns: hist.quantile_ns(0.95),
-            p99_ns: hist.quantile_ns(0.99),
-            buckets,
-        };
-        drop(hist);
         StatsSnapshot {
             ticks: i.ticks.load(Ordering::Relaxed),
             parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
@@ -249,11 +362,13 @@ impl EngineStats {
             chains_stepped: i.chains_stepped.load(Ordering::Relaxed),
             bindings_grounded: i.bindings_grounded.load(Ordering::Relaxed),
             alerts_emitted: i.alerts_emitted.load(Ordering::Relaxed),
+            marginals_staged: i.marginals_staged.load(Ordering::Relaxed),
             sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
             sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: latency,
+            per_query,
         }
     }
 
@@ -261,6 +376,20 @@ impl EngineStats {
     /// [`EngineStats::snapshot`]) for inclusion in a session checkpoint.
     pub(crate) fn export_state(&self) -> StatsState {
         let i = &self.inner;
+        let per_query = i
+            .per_query
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, q)| QueryState {
+                id: id as u64,
+                name: q.name.clone(),
+                chains: q.chains,
+                ticks: q.ticks,
+                last_probability: q.last_probability,
+                step_latency: q.step_latency.export(),
+            })
+            .collect();
         StatsState {
             ticks: i.ticks.load(Ordering::Relaxed),
             parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
@@ -270,18 +399,22 @@ impl EngineStats {
             chains_stepped: i.chains_stepped.load(Ordering::Relaxed),
             bindings_grounded: i.bindings_grounded.load(Ordering::Relaxed),
             alerts_emitted: i.alerts_emitted.load(Ordering::Relaxed),
+            marginals_staged: i.marginals_staged.load(Ordering::Relaxed),
             sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
             sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: i.tick_latency.lock().unwrap().export(),
+            per_query,
         }
     }
 
-    /// Builds a fresh handle pre-loaded with checkpointed counter state.
-    pub(crate) fn from_state(state: &StatsState) -> Self {
-        let stats = Self::new();
-        let i = &stats.inner;
+    /// Overwrites this handle's counters in place with checkpointed
+    /// state. In-place (rather than swapping in a fresh handle) so every
+    /// clone of the handle — worker threads, a running
+    /// [`crate::MetricsServer`] — observes the restored values.
+    pub(crate) fn load_state(&self, state: &StatsState) {
+        let i = &self.inner;
         i.ticks.store(state.ticks, Ordering::Relaxed);
         i.parallel_ticks
             .store(state.parallel_ticks, Ordering::Relaxed);
@@ -296,6 +429,8 @@ impl EngineStats {
             .store(state.bindings_grounded, Ordering::Relaxed);
         i.alerts_emitted
             .store(state.alerts_emitted, Ordering::Relaxed);
+        i.marginals_staged
+            .store(state.marginals_staged, Ordering::Relaxed);
         i.sampler_compilations
             .store(state.sampler_compilations, Ordering::Relaxed);
         i.sampler_worlds
@@ -303,22 +438,48 @@ impl EngineStats {
         i.fallbacks.store(state.fallbacks, Ordering::Relaxed);
         *i.fallback_reasons.lock().unwrap() = state.fallback_reasons.clone();
         *i.tick_latency.lock().unwrap() = Histogram::import(&state.tick_latency);
+        *i.per_query.lock().unwrap() = state
+            .per_query
+            .iter()
+            .map(|q| {
+                (
+                    q.id as usize,
+                    QueryMetrics {
+                        name: q.name.clone(),
+                        chains: q.chains,
+                        ticks: q.ticks,
+                        last_probability: q.last_probability,
+                        step_latency: Histogram::import(&q.step_latency),
+                    },
+                )
+            })
+            .collect();
+    }
+
+    /// Builds a fresh handle pre-loaded with checkpointed counter state.
+    #[cfg(test)]
+    pub(crate) fn from_state(state: &StatsState) -> Self {
+        let stats = Self::new();
+        stats.load_state(state);
         stats
     }
 }
 
-/// Tick-latency summary inside a [`StatsSnapshot`].
+/// Latency-histogram summary inside a [`StatsSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencySnapshot {
-    /// Ticks recorded.
+    /// Samples recorded.
     pub count: u64,
-    /// Fastest tick, nanoseconds.
+    /// Total recorded time, nanoseconds (saturating).
+    pub sum_ns: u64,
+    /// Fastest sample, nanoseconds.
     pub min_ns: u64,
-    /// Slowest tick, nanoseconds.
+    /// Slowest sample, nanoseconds.
     pub max_ns: u64,
-    /// Mean tick latency, nanoseconds.
+    /// Mean latency, nanoseconds.
     pub mean_ns: f64,
-    /// Median estimate (bucket upper bound), nanoseconds.
+    /// Median estimate (within-bucket linear interpolation),
+    /// nanoseconds.
     pub p50_ns: u64,
     /// 95th-percentile estimate, nanoseconds.
     pub p95_ns: u64,
@@ -327,6 +488,23 @@ pub struct LatencySnapshot {
     /// Non-empty `(bucket_lower_bound_ns, count)` pairs; bucket `b`
     /// covers `[b, 2b)` nanoseconds.
     pub buckets: Vec<(u64, u64)>,
+}
+
+/// One query's slot in a [`StatsSnapshot`]'s per-query registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySnapshot {
+    /// The registered [`crate::QueryId`]'s index.
+    pub id: usize,
+    /// The registered name.
+    pub name: String,
+    /// Per-key chains the query grounds to.
+    pub chains: u64,
+    /// Ticks this query has closed.
+    pub ticks: u64,
+    /// The probability of the query's most recent alert.
+    pub last_probability: f64,
+    /// Wall-clock time this query's chains take per tick.
+    pub step_latency: LatencySnapshot,
 }
 
 /// A frozen view of [`EngineStats`].
@@ -349,44 +527,33 @@ pub struct StatsSnapshot {
     pub bindings_grounded: u64,
     /// Alerts emitted by ticks.
     pub alerts_emitted: u64,
+    /// Marginals staged by the inference layer.
+    pub marginals_staged: u64,
     /// Monte Carlo compilations.
     pub sampler_compilations: u64,
     /// Total sampled worlds across those compilations.
     pub sampler_worlds: u64,
     /// Exact-path→sampler fallbacks.
     pub fallbacks: u64,
-    /// Fallback reason → occurrence count.
+    /// Fallback reason → occurrence count (bounded cardinality; overflow
+    /// lands in `"other"`).
     pub fallback_reasons: BTreeMap<String, u64>,
     /// Tick-latency histogram summary.
     pub tick_latency: LatencySnapshot,
-}
-
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    /// Per-query registry slots in ascending id order.
+    pub per_query: Vec<QuerySnapshot>,
 }
 
 impl StatsSnapshot {
     /// Renders the snapshot as a self-contained JSON object.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
-        let mut out = String::with_capacity(512);
+        let mut out = String::with_capacity(1024);
         write!(
             out,
             "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\
              \"recoveries\":{},\"checkpoints_taken\":{},\"chains_stepped\":{},\
-             \"bindings_grounded\":{},\"alerts_emitted\":{},\
+             \"bindings_grounded\":{},\"alerts_emitted\":{},\"marginals_staged\":{},\
              \"sampler\":{{\"compilations\":{},\"worlds\":{}}},",
             self.ticks,
             self.parallel_ticks,
@@ -396,6 +563,7 @@ impl StatsSnapshot {
             self.chains_stepped,
             self.bindings_grounded,
             self.alerts_emitted,
+            self.marginals_staged,
             self.sampler_compilations,
             self.sampler_worlds,
         )
@@ -410,34 +578,58 @@ impl StatsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            push_json_string(&mut out, reason);
+            crate::json::push_string(&mut out, reason);
             write!(out, ":{count}").unwrap();
         }
-        let l = &self.tick_latency;
-        // `{:.1}` renders NaN/inf as bare `NaN`/`inf` tokens, which are
-        // not JSON; an empty histogram (or a hand-built snapshot) must
-        // still produce a parseable document.
-        let mean = if l.mean_ns.is_finite() {
-            l.mean_ns
-        } else {
-            0.0
-        };
-        write!(
-            out,
-            "}}}},\"tick_latency_ns\":{{\"count\":{},\"min\":{},\"max\":{},\
-             \"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
-            l.count, l.min_ns, l.max_ns, mean, l.p50_ns, l.p95_ns, l.p99_ns,
-        )
-        .unwrap();
-        for (i, (lower, count)) in l.buckets.iter().enumerate() {
+        out.push_str("}},\"tick_latency_ns\":");
+        push_latency(&mut out, &self.tick_latency);
+        out.push_str(",\"queries\":[");
+        for (i, q) in self.per_query.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            write!(out, "[{lower},{count}]").unwrap();
+            write!(out, "{{\"id\":{},\"name\":", q.id).unwrap();
+            crate::json::push_string(&mut out, &q.name);
+            write!(
+                out,
+                ",\"chains\":{},\"ticks\":{},\"last_probability\":",
+                q.chains, q.ticks
+            )
+            .unwrap();
+            crate::json::push_f64(&mut out, q.last_probability);
+            out.push_str(",\"step_latency_ns\":");
+            push_latency(&mut out, &q.step_latency);
+            out.push('}');
         }
-        out.push_str("]}}");
+        out.push_str("]}");
         out
     }
+}
+
+fn push_latency(out: &mut String, l: &LatencySnapshot) {
+    use std::fmt::Write;
+    // A non-finite mean (possible in a hand-built snapshot) would emit a
+    // bare NaN/inf token, which is not JSON; push_f64 guards it to 0.
+    write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+        l.count, l.sum_ns, l.min_ns, l.max_ns
+    )
+    .unwrap();
+    crate::json::push_f64(out, l.mean_ns);
+    write!(
+        out,
+        ",\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+        l.p50_ns, l.p95_ns, l.p99_ns
+    )
+    .unwrap();
+    for (i, (lower, count)) in l.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "[{lower},{count}]").unwrap();
+    }
+    out.push_str("]}");
 }
 
 #[cfg(test)]
@@ -452,6 +644,7 @@ mod tests {
         clone.record_tick(Duration::from_micros(20), 7, true);
         stats.record_grounding(3);
         stats.record_alerts(2);
+        stats.record_staged(4);
         stats.record_sampler(1024);
         stats.record_fallback("safe: no safe plan exists");
         stats.record_fallback("safe: no safe plan exists");
@@ -461,6 +654,7 @@ mod tests {
         assert_eq!(snap.chains_stepped, 12);
         assert_eq!(snap.bindings_grounded, 3);
         assert_eq!(snap.alerts_emitted, 2);
+        assert_eq!(snap.marginals_staged, 4);
         assert_eq!(snap.sampler_compilations, 1);
         assert_eq!(snap.sampler_worlds, 1024);
         assert_eq!(snap.fallbacks, 2);
@@ -487,11 +681,89 @@ mod tests {
         assert_eq!(l.buckets.iter().map(|(_, c)| c).sum::<u64>(), 10);
     }
 
+    /// Pins the within-bucket linear interpolation: four samples landing
+    /// in the `[1024, 2048)` bucket with observed min 1100 and max 1900
+    /// put the median halfway through the clamped bucket range.
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let stats = EngineStats::new();
+        for ns in [1100u64, 1300, 1700, 1900] {
+            stats.record_tick(Duration::from_nanos(ns), 1, false);
+        }
+        let l = stats.snapshot().tick_latency;
+        // rank(p50) = 2 of 4 → fraction 0.5 of [1100, 1900].
+        assert_eq!(l.p50_ns, 1500);
+        // rank(p95) = rank(p99) = 4 → the top of the clamped range,
+        // which is the true max, not the 2048 bucket boundary.
+        assert_eq!(l.p95_ns, 1900);
+        assert_eq!(l.p99_ns, 1900);
+
+        // Across buckets: 2 samples in [1024, 2048), 2 in [4096, 8192).
+        let stats = EngineStats::new();
+        for ns in [1024u64, 2000, 5000, 6000] {
+            stats.record_tick(Duration::from_nanos(ns), 1, false);
+        }
+        let l = stats.snapshot().tick_latency;
+        // rank(p50) = 2 → top of the first bucket, clamped nowhere
+        // below 2048 but capped by nothing: lower = 1024, upper = 2048.
+        assert_eq!(l.p50_ns, 2048);
+        // rank(p95) = 4 → top of [4096, 8192) clamped to max = 6000.
+        assert_eq!(l.p95_ns, 6000);
+    }
+
+    #[test]
+    fn fallback_reason_cardinality_is_bounded() {
+        let stats = EngineStats::new();
+        for i in 0..MAX_FALLBACK_REASONS + 5 {
+            stats.record_fallback(&format!("reason {i}"));
+        }
+        // A repeat of an already-tracked reason still lands on its own
+        // label.
+        stats.record_fallback("reason 0");
+        let snap = stats.snapshot();
+        assert_eq!(snap.fallbacks, (MAX_FALLBACK_REASONS + 6) as u64);
+        assert_eq!(snap.fallback_reasons.len(), MAX_FALLBACK_REASONS + 1);
+        assert_eq!(snap.fallback_reasons.get(FALLBACK_OVERFLOW_LABEL), Some(&5));
+        assert_eq!(snap.fallback_reasons.get("reason 0"), Some(&2));
+        assert!(!snap
+            .fallback_reasons
+            .contains_key(&format!("reason {MAX_FALLBACK_REASONS}")));
+    }
+
+    #[test]
+    fn per_query_registry_tracks_latency_and_probability() {
+        let stats = EngineStats::new();
+        stats.register_query(0, "coffee", 24);
+        stats.register_query(1, "wandering", 24);
+        stats.record_query_tick(0, Some(1000), 0.25);
+        stats.record_query_tick(0, Some(3000), 0.75);
+        stats.record_query_tick(1, None, 0.5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_query.len(), 2);
+        let q0 = &snap.per_query[0];
+        assert_eq!((q0.id, q0.name.as_str(), q0.chains), (0, "coffee", 24));
+        assert_eq!(q0.ticks, 2);
+        assert_eq!(q0.last_probability, 0.75);
+        assert_eq!(q0.step_latency.count, 2);
+        assert_eq!(q0.step_latency.sum_ns, 4000);
+        // A None latency (recovery-completed tick) counts the tick but
+        // not a histogram sample.
+        let q1 = &snap.per_query[1];
+        assert_eq!(q1.ticks, 1);
+        assert_eq!(q1.step_latency.count, 0);
+        // Re-registration preserves accumulated counters.
+        stats.register_query(0, "coffee", 24);
+        let again = stats.snapshot();
+        assert_eq!(again.per_query[0].ticks, 2);
+    }
+
     #[test]
     fn json_snapshot_is_well_formed() {
         let stats = EngineStats::new();
         stats.record_tick(Duration::from_micros(42), 9, true);
         stats.record_fallback("needs \"quoting\"\n");
+        stats.register_query(0, "q \"uoted\"", 1);
+        stats.record_query_tick(0, Some(500), 0.5);
         let json = stats.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"ticks\":1"));
@@ -523,6 +795,7 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"count\":0"));
         assert!(json.contains("\"buckets\":[]"));
+        assert!(json.contains("\"queries\":[]"));
     }
 
     #[test]
@@ -539,11 +812,28 @@ mod tests {
         stats.record_degraded_tick();
         stats.record_recovery();
         stats.record_checkpoint();
+        stats.record_staged(2);
         stats.record_fallback("needs \"quoting\"\n");
+        stats.register_query(3, "q", 2);
+        stats.record_query_tick(3, Some(1234), 0.1 + 0.2);
         let doc = crate::json::parse(&stats.snapshot().to_json()).unwrap();
         assert_eq!(doc.get("degraded_ticks").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("recoveries").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("checkpoints_taken").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("marginals_staged").unwrap().as_u64(), Some(2));
+        let queries = doc.get("queries").unwrap().as_array().unwrap();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].get("id").unwrap().as_u64(), Some(3));
+        // Bit-exact float through the hand-rolled writer and parser.
+        assert_eq!(
+            queries[0]
+                .get("last_probability")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
     }
 
     #[test]
@@ -566,11 +856,29 @@ mod tests {
         stats.record_checkpoint();
         stats.record_grounding(6);
         stats.record_alerts(2);
+        stats.record_staged(8);
         stats.record_sampler(512);
         stats.record_fallback("why");
+        stats.register_query(0, "q0", 3);
+        stats.record_query_tick(0, Some(777), 0.5400000000000001);
         let state = stats.export_state();
         let restored = EngineStats::from_state(&state);
         assert_eq!(restored.export_state(), state);
         assert_eq!(restored.snapshot(), stats.snapshot());
+    }
+
+    /// `load_state` must restore counters through existing clones of the
+    /// handle — the property a live scrape endpoint depends on across a
+    /// checkpoint restore.
+    #[test]
+    fn load_state_is_visible_through_existing_handles() {
+        let stats = EngineStats::new();
+        let observer = stats.clone();
+        let donor = EngineStats::new();
+        donor.record_tick(Duration::from_micros(10), 2, false);
+        donor.register_query(1, "restored", 2);
+        stats.load_state(&donor.export_state());
+        assert_eq!(observer.snapshot(), donor.snapshot());
+        assert_eq!(observer.snapshot().per_query[0].name, "restored");
     }
 }

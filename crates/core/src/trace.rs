@@ -1,0 +1,411 @@
+//! Lock-cheap structured tracing with Chrome Trace Event export.
+//!
+//! The engine's hot paths — the session tick loop, per-shard worker
+//! steps, per-chain steps, the safe-plan operators, sampler runs, and
+//! checkpoint/recover — are bracketed by [`span`] guards. Each completed
+//! span is one fixed-size record appended to a **per-thread ring
+//! buffer**: recording takes two monotonic-clock reads plus one push
+//! into a thread-local ring whose mutex is uncontended except during
+//! export, and when tracing is disabled a span is a single relaxed
+//! atomic load with no clock reads at all — the instrumentation is free
+//! on production ticks.
+//!
+//! The collected spans export as [Chrome Trace Event Format] JSON
+//! ([`chrome_trace_json`] / [`write_chrome_trace`], written with the
+//! crate's hand-rolled [`crate::json`] encoder — no serde), so a run
+//! opens directly in `chrome://tracing` or [Perfetto]. Rings have fixed
+//! capacity: once full, the oldest events are overwritten and counted in
+//! [`dropped`], so tracing never grows memory without bound.
+//!
+//! The tracer is **process-global** (like [`crate::failpoint`]): enabling
+//! it via [`enable`] or [`crate::SessionConfig::trace`] affects every
+//! session in the process, and rings persist for a thread's lifetime.
+//!
+//! [Chrome Trace Event Format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+//!
+//! ```
+//! use lahar_core::trace;
+//!
+//! trace::enable();
+//! {
+//!     let _span = trace::span("tick").with("t", 7);
+//!     // ... work ...
+//! }
+//! let json = trace::chrome_trace_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! trace::disable();
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+use std::time::Instant;
+
+/// Per-thread ring capacity in events. At ~80 bytes per event this
+/// bounds each thread's trace memory to ~1.3 MB.
+const RING_CAPACITY: usize = 16_384;
+
+/// Maximum key/value arguments a span carries.
+const MAX_ARGS: usize = 3;
+
+/// One completed span, fixed-size so ring slots never allocate.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    name: &'static str,
+    tid: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    args: [(&'static str, u64); MAX_ARGS],
+    n_args: u8,
+}
+
+/// Fixed-capacity overwrite-oldest event buffer for one thread.
+struct Ring {
+    tid: u64,
+    thread_name: String,
+    events: Vec<Event>,
+    /// Slot the next event goes into once `events` is at capacity.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Single monotonic origin for every span timestamp in the process, so
+/// events from different threads share one timeline.
+static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static REGISTRY: LazyLock<Mutex<Vec<Arc<Mutex<Ring>>>>> =
+        LazyLock::new(|| Mutex::new(Vec::new()));
+    &REGISTRY
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            thread_name: std::thread::current()
+                .name()
+                .unwrap_or("unnamed")
+                .to_owned(),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }));
+        registry().lock().unwrap().push(ring.clone());
+        ring
+    };
+}
+
+/// Turns span recording on for the whole process.
+pub fn enable() {
+    // Pin the epoch before the first span so timestamps are small.
+    LazyLock::force(&EPOCH);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns span recording off. Already-recorded events are kept until
+/// [`clear`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether spans are currently being recorded.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discards every recorded event and resets the drop counters. Rings
+/// stay registered (they belong to live threads).
+pub fn clear() {
+    for ring in registry().lock().unwrap().iter() {
+        let mut ring = ring.lock().unwrap();
+        ring.events.clear();
+        ring.head = 0;
+        ring.dropped = 0;
+    }
+}
+
+/// Total events overwritten across all rings since the last [`clear`].
+pub fn dropped() -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|r| r.lock().unwrap().dropped)
+        .sum()
+}
+
+/// An in-flight span; records itself into the current thread's ring when
+/// dropped. Created by [`span`].
+#[must_use = "a span records on drop; binding it to _ discards it immediately"]
+pub struct Span {
+    /// `None` when tracing was disabled at creation: the drop is free.
+    live: Option<SpanData>,
+}
+
+struct SpanData {
+    name: &'static str,
+    start: Instant,
+    args: [(&'static str, u64); MAX_ARGS],
+    n_args: u8,
+}
+
+/// Opens a span named `name` covering the enclosing scope. When tracing
+/// is disabled this is one relaxed atomic load and the returned guard
+/// does nothing.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span { live: None };
+    }
+    Span {
+        live: Some(SpanData {
+            name,
+            start: Instant::now(),
+            args: [("", 0); MAX_ARGS],
+            n_args: 0,
+        }),
+    }
+}
+
+impl Span {
+    /// Attaches a numeric argument (query id, shard, timestep, ...).
+    /// At most [`MAX_ARGS`](self) arguments are kept; extras are ignored.
+    #[inline]
+    pub fn with(mut self, key: &'static str, value: u64) -> Self {
+        if let Some(data) = &mut self.live {
+            let i = data.n_args as usize;
+            if i < MAX_ARGS {
+                data.args[i] = (key, value);
+                data.n_args += 1;
+            }
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        let Some(data) = self.live.take() else {
+            return;
+        };
+        let end = Instant::now();
+        let epoch = *EPOCH;
+        let start_ns = u64::try_from((data.start - epoch).as_nanos()).unwrap_or(u64::MAX);
+        let dur_ns = u64::try_from((end - data.start).as_nanos()).unwrap_or(u64::MAX);
+        LOCAL_RING.with(|ring| {
+            let mut ring = ring.lock().unwrap();
+            let tid = ring.tid;
+            ring.push(Event {
+                name: data.name,
+                tid,
+                start_ns,
+                dur_ns,
+                args: data.args,
+                n_args: data.n_args,
+            });
+        });
+    }
+}
+
+/// Renders everything recorded so far as a Chrome Trace Event Format
+/// document (`{"traceEvents":[...]}`, complete events `ph:"X"` with
+/// microsecond timestamps, plus one `thread_name` metadata event per
+/// ring). The output parses with [`crate::json::parse`] and loads in
+/// `chrome://tracing`/Perfetto.
+pub fn chrome_trace_json() -> String {
+    use std::fmt::Write;
+    let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().unwrap().clone();
+    let mut events: Vec<Event> = Vec::new();
+    let mut threads: Vec<(u64, String)> = Vec::new();
+    let mut total_dropped = 0u64;
+    for ring in &rings {
+        let ring = ring.lock().unwrap();
+        if ring.events.is_empty() {
+            continue;
+        }
+        threads.push((ring.tid, ring.thread_name.clone()));
+        // Oldest-first: the slice after `head` predates the slice before
+        // it once the ring has wrapped.
+        events.extend_from_slice(&ring.events[ring.head..]);
+        events.extend_from_slice(&ring.events[..ring.head]);
+        total_dropped += ring.dropped;
+    }
+    events.sort_by_key(|e| e.start_ns);
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, name) in &threads {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+        )
+        .unwrap();
+        crate::json::push_string(&mut out, name);
+        out.push_str("}}");
+    }
+    for e in &events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        crate::json::push_string(&mut out, e.name);
+        write!(out, ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":", e.tid).unwrap();
+        crate::json::push_f64(&mut out, e.start_ns as f64 / 1e3);
+        out.push_str(",\"dur\":");
+        crate::json::push_f64(&mut out, e.dur_ns as f64 / 1e3);
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args[..e.n_args as usize].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_string(&mut out, k);
+            write!(out, ":{v}").unwrap();
+        }
+        out.push_str("}}");
+    }
+    write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{total_dropped}}}}}"
+    )
+    .unwrap();
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracer is process-global and unit tests in this binary run
+    /// concurrently: serialize the tests that toggle it.
+    fn lock_tracer() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = lock_tracer();
+        disable();
+        clear();
+        {
+            let _s = span("trace_test_disabled").with("k", 1);
+        }
+        assert!(!chrome_trace_json().contains("trace_test_disabled"));
+    }
+
+    #[test]
+    fn enabled_spans_export_as_valid_chrome_trace() {
+        let _gate = lock_tracer();
+        clear();
+        enable();
+        {
+            let _outer = span("trace_test_outer").with("t", 3).with("chains", 7);
+            let _inner = span("trace_test_inner");
+        }
+        disable();
+        let json = chrome_trace_json();
+        let doc = crate::json::parse(&json).expect("chrome trace must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        let outer = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("trace_test_outer"))
+            .expect("outer span recorded");
+        assert_eq!(outer.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(
+            outer.get("args").unwrap().get("t").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            outer.get("args").unwrap().get("chains").unwrap().as_u64(),
+            Some(7)
+        );
+        assert!(outer.get("ts").unwrap().as_f64().is_some());
+        assert!(outer.get("dur").unwrap().as_f64().is_some());
+        // The inner span nests within the outer one on the timeline.
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("trace_test_inner"))
+            .expect("inner span recorded");
+        assert!(
+            inner.get("ts").unwrap().as_f64().unwrap()
+                >= outer.get("ts").unwrap().as_f64().unwrap()
+        );
+        // A thread_name metadata event accompanies the ring.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
+    }
+
+    #[test]
+    fn extra_args_are_ignored_not_panicking() {
+        let _gate = lock_tracer();
+        clear();
+        enable();
+        {
+            let _s = span("trace_test_many_args")
+                .with("a", 1)
+                .with("b", 2)
+                .with("c", 3)
+                .with("d", 4);
+        }
+        disable();
+        let json = chrome_trace_json();
+        assert!(json.contains("\"c\":3"));
+        assert!(!json.contains("\"d\":4"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _gate = lock_tracer();
+        // A dedicated thread gets its own fresh ring, so the capacity
+        // arithmetic is exact regardless of what other tests recorded.
+        clear();
+        enable();
+        let handle = std::thread::spawn(|| {
+            for _ in 0..RING_CAPACITY + 10 {
+                let _s = span("trace_test_overflow");
+            }
+            LOCAL_RING.with(|ring| {
+                let ring = ring.lock().unwrap();
+                (ring.events.len(), ring.dropped)
+            })
+        });
+        let (len, dropped) = handle.join().unwrap();
+        disable();
+        assert_eq!(len, RING_CAPACITY);
+        assert_eq!(dropped, 10);
+        clear();
+    }
+}

@@ -23,6 +23,22 @@ echo "==> cargo test --features failpoints (chaos suite)"
 cargo test -q --offline -p lahar-core --features failpoints
 cargo test -q --offline -p lahar --features failpoints
 
+echo "==> observability smoke (live /metrics scrape + chrome trace)"
+trace_out="$(mktemp -t lahar-smoke-XXXXXX.trace.json)"
+dash_out="$(cargo run -q --release --offline --example streaming_dashboard -- \
+    --trace-out "$trace_out")"
+rm -f "$trace_out"
+for needle in \
+    'healthz: ok' \
+    'lahar_query_ticks_total{query="coffee"' \
+    'chrome trace: '; do
+    if ! grep -qF "$needle" <<<"$dash_out"; then
+        echo "observability smoke failed: missing $needle" >&2
+        echo "$dash_out" >&2
+        exit 1
+    fi
+done
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --offline --workspace --all-targets -- -D warnings

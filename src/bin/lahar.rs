@@ -5,6 +5,9 @@
 //!                [--seed N] [--archived]     generate a deployment, save streams
 //! lahar classify --manifest DIR QUERY        classify a query and show its plan
 //! lahar query    --manifest DIR QUERY        evaluate μ(q@t) over saved streams
+//! lahar replay   --manifest DIR QUERY        replay saved streams tick by tick
+//!                [--metrics-addr IP:PORT] [--metrics-out FILE]
+//!                [--trace-out FILE] [--threshold P]
 //! lahar demo                                 built-in end-to-end walkthrough
 //! ```
 //!
@@ -13,9 +16,10 @@
 //! them back. The on-disk format is `lahar_model::encode_stream`.
 
 use lahar::core::Lahar;
-use lahar::model::{decode_stream, encode_stream, tuple, Database};
+use lahar::model::{decode_stream, encode_stream, tuple, Database, Stream};
 use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 use lahar::rfid::{Deployment, DeploymentConfig};
+use lahar::{RealTimeSession, SessionConfig};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -50,6 +55,8 @@ fn print_usage() {
          lahar simulate --out DIR [--ticks N] [--people N] [--objects N] [--seed N] [--archived]\n  \
          lahar classify --manifest DIR 'QUERY'\n  \
          lahar query    --manifest DIR 'QUERY'\n  \
+         lahar replay   --manifest DIR 'QUERY' [--metrics-addr IP:PORT] [--metrics-out FILE]\n  \
+         \x20               [--trace-out FILE] [--threshold P]\n  \
          lahar demo\n\n\
          QUERY SYNTAX (see README):\n  \
          At('joe','a') ; (At('joe', l))+{{| Hallway(l)}} ; At('joe','c')\n  \
@@ -183,6 +190,14 @@ fn write_manifest(out: &Path, db: &Database, dep: &Deployment) -> Result<(), Str
 }
 
 fn load_database(dir: &Path) -> Result<Database, String> {
+    load_database_impl(dir, true)
+}
+
+/// Loads a saved deployment. With `with_data` false the streams come
+/// back *empty* (schema, keys, and domains only) — the shape
+/// [`RealTimeSession`] requires, since a session is fed marginals tick
+/// by tick rather than reading recorded ones.
+fn load_database_impl(dir: &Path, with_data: bool) -> Result<Database, String> {
     let manifest = fs::read_to_string(dir.join("manifest.txt"))
         .map_err(|e| format!("reading manifest in {}: {e}", dir.display()))?;
     let mut db = Database::new();
@@ -237,6 +252,12 @@ fn load_database(dir: &Path) -> Result<Database, String> {
         let bytes = fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         let stream = decode_stream(&interner, bytes.into())
             .map_err(|e| format!("{}: {e}", path.display()))?;
+        let stream = if with_data {
+            stream
+        } else {
+            Stream::independent(stream.id().clone(), stream.domain().clone(), Vec::new())
+                .map_err(|e| e.to_string())?
+        };
         db.add_stream(stream).map_err(|e| e.to_string())?;
     }
     Ok(db)
@@ -292,6 +313,79 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     for (t, p) in series.iter().enumerate() {
         println!("{t},{p:.6}");
     }
+    Ok(())
+}
+
+/// Replays a saved deployment through a [`RealTimeSession`] tick by
+/// tick — the observability showcase: `--metrics-addr` serves live
+/// Prometheus metrics while the replay runs, `--metrics-out` dumps the
+/// final scrape to a file, and `--trace-out` records every tick's spans
+/// as a Chrome Trace Event file.
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("replay requires --manifest DIR".to_owned())?,
+    );
+    let src = positional
+        .first()
+        .ok_or("replay requires a query argument".to_owned())?;
+    let threshold: f64 = match flags.get("threshold") {
+        None => 0.5,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--threshold expects a probability, got {v:?}"))?,
+    };
+    let mut config = SessionConfig::default();
+    if let Some(addr) = flags.get("metrics-addr") {
+        config.metrics_addr = Some(
+            addr.parse()
+                .map_err(|_| format!("--metrics-addr expects IP:PORT, got {addr:?}"))?,
+        );
+    }
+    if flags.contains_key("trace-out") {
+        config.trace = true;
+    }
+
+    let full = load_database_impl(&dir, true)?;
+    let session_db = load_database_impl(&dir, false)?;
+    let mut session =
+        RealTimeSession::with_config(session_db, config).map_err(|e| e.to_string())?;
+    if let Some(addr) = session.metrics_addr() {
+        eprintln!("metrics: http://{addr}/metrics (healthz, trace)");
+    }
+    session.register("replay", src).map_err(|e| e.to_string())?;
+
+    println!("t,probability");
+    for t in 0..full.horizon() {
+        for si in 0..full.streams().len() {
+            session
+                .stage(si, full.streams()[si].marginal_at(t))
+                .map_err(|e| e.to_string())?;
+        }
+        for alert in session.tick().map_err(|e| e.to_string())? {
+            println!("{},{:.6}", alert.t, alert.probability);
+            if alert.probability >= threshold {
+                eprintln!(
+                    "ALERT t={} {} p={:.4}",
+                    alert.t, alert.name, alert.probability
+                );
+            }
+        }
+    }
+
+    let snap = session.stats().snapshot();
+    if let Some(path) = flags.get("metrics-out") {
+        lahar::core::expose::write_prometheus(path, &snap)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Prometheus dump to {path}");
+    }
+    if let Some(path) = flags.get("trace-out") {
+        lahar::core::trace::write_chrome_trace(path).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    eprintln!("{}", snap.to_json());
     Ok(())
 }
 

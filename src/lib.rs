@@ -37,8 +37,9 @@ pub use lahar_query as query;
 pub use lahar_rfid as rfid;
 
 pub use lahar_core::{
-    Alert, Algorithm, Checkpoint, CompiledQuery, EngineError, EngineStats, Lahar, QueryId,
-    RealTimeSession, SessionConfig, StatsSnapshot, TickMode, CHECKPOINT_VERSION,
+    Alert, Algorithm, Checkpoint, CompiledQuery, EngineError, EngineStats, Lahar, LatencySnapshot,
+    MetricsServer, QueryId, QuerySnapshot, RealTimeSession, SessionConfig, StatsSnapshot, TickMode,
+    CHECKPOINT_VERSION,
 };
 pub use lahar_model::{Database, StreamBuilder};
 pub use lahar_query::QueryClass;

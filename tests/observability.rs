@@ -1,0 +1,314 @@
+//! Observability integration suite: the live Prometheus endpoint, the
+//! Chrome-trace exporter, and their behaviour on degraded sessions.
+//!
+//! These tests exercise the full stack end to end — a real
+//! [`RealTimeSession`] over a real TCP socket — rather than the encoder
+//! units (those live in `lahar-core`). The tracer is process-global, so
+//! the tests that enable it serialize on a local mutex.
+
+use lahar::model::{Database, Marginal, StreamBuilder};
+use lahar::{RealTimeSession, SessionConfig, TickMode};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that touch the process-global tracer.
+fn lock_tracer() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn schema_db() -> (Database, Vec<StreamBuilder>) {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    let i = db.interner().clone();
+    let mut builders = Vec::new();
+    for p in ["joe", "sue", "ann"] {
+        let b = StreamBuilder::new(&i, "At", &[p], &["a", "h", "c"]);
+        db.add_stream(b.clone().independent(vec![]).unwrap())
+            .unwrap();
+        builders.push(b);
+    }
+    (db, builders)
+}
+
+/// A live parallel session with the metrics endpoint bound to a free
+/// port, two registered queries, and `ticks` substantive ticks played.
+fn live_session(ticks: usize, trace: bool) -> RealTimeSession {
+    let (db, builders) = schema_db();
+    let mut session = RealTimeSession::with_config(
+        db,
+        SessionConfig {
+            tick_mode: TickMode::Parallel,
+            n_workers: 2,
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            trace,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    session.register("reach", "At(p,'a') ; At(p,'c')").unwrap();
+    session
+        .register("joe", "At('joe','a') ; At('joe','c')")
+        .unwrap();
+    feed(&mut session, &builders, 0..ticks);
+    session
+}
+
+/// Plays deterministic marginals for the tick range and closes each tick.
+fn feed(session: &mut RealTimeSession, builders: &[StreamBuilder], ticks: std::ops::Range<usize>) {
+    for t in ticks {
+        for (idx, b) in builders.iter().enumerate() {
+            session.stage(idx, marginal_at(b, t, idx)).unwrap();
+        }
+        session.tick().unwrap();
+    }
+}
+
+fn marginal_at(b: &StreamBuilder, t: usize, idx: usize) -> Marginal {
+    let vals = ["a", "h", "c"];
+    let v = vals[(t + idx) % 3];
+    b.marginal(&[(v, 0.7), (vals[(t + idx + 1) % 3], 0.2)])
+        .unwrap()
+}
+
+/// Raw `GET {path}` over plain TCP; returns (status line, body).
+fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connecting to metrics endpoint");
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let (headers, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+    let status = headers.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+/// Structural validator for the Prometheus text exposition format: every
+/// sample line must be `name{labels} value` with a parseable value, and
+/// every sampled metric family must have been declared by `# TYPE`.
+fn assert_prometheus_well_formed(text: &str) {
+    let mut declared: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("# TYPE has a metric name");
+            let kind = parts.next().expect("# TYPE has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram" | "summary"),
+                "unknown metric kind in {line:?}"
+            );
+            declared.push(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        // Histogram samples append _bucket/_sum/_count to the family name.
+        assert!(
+            declared.iter().any(|d| {
+                name == d
+                    || name == format!("{d}_bucket")
+                    || name == format!("{d}_sum")
+                    || name == format!("{d}_count")
+            }),
+            "sample {name} has no preceding # TYPE declaration"
+        );
+        if series.contains('{') {
+            assert!(series.ends_with('}'), "unterminated label set in {line:?}");
+        }
+        assert!(
+            matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+    assert!(!declared.is_empty(), "no metric families declared");
+}
+
+/// Extracts `le -> cumulative count` pairs for one histogram series
+/// filtered by a label fragment, in exposition order.
+fn bucket_counts(text: &str, family: &str, label_fragment: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter(|l| l.starts_with(&format!("{family}_bucket{{")) && l.contains(label_fragment))
+        .map(|l| {
+            let le = l
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("bucket has le label")
+                .to_owned();
+            let count: u64 = l.rsplit_once(' ').unwrap().1.parse().unwrap();
+            (le, count)
+        })
+        .collect()
+}
+
+/// The live endpoint must serve well-formed Prometheus text with
+/// per-query-labeled series, a healthz probe, and a 404 fallback.
+#[test]
+fn live_endpoint_serves_per_query_prometheus_series() {
+    const TICKS: usize = 6;
+    let session = live_session(TICKS, false);
+    let addr = session.metrics_addr().expect("endpoint started");
+
+    let (status, body) = scrape(addr, "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, metrics) = scrape(addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_prometheus_well_formed(&metrics);
+
+    // Engine-wide counters reflect the session's actual work.
+    assert!(metrics.contains(&format!("lahar_ticks_total {TICKS}")));
+    assert!(metrics.contains(&format!("lahar_parallel_ticks_total {TICKS}")));
+    assert!(metrics.contains(&format!("lahar_tick_latency_seconds_count {TICKS}")));
+
+    // Per-query series carry both the name and the stable id label.
+    for (name, id) in [("reach", 0), ("joe", 1)] {
+        let labels = format!("{{query=\"{name}\",id=\"{id}\"}}");
+        assert!(
+            metrics.contains(&format!("lahar_query_ticks_total{labels} {TICKS}")),
+            "missing per-query tick counter for {name}:\n{metrics}"
+        );
+        assert!(metrics.contains(&format!("lahar_query_probability{labels} ")));
+        let buckets = bucket_counts(&metrics, "lahar_query_step_latency_seconds", name);
+        assert!(!buckets.is_empty(), "no latency buckets for {name}");
+        // Buckets are cumulative and end at +Inf == _count.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        let (last_le, last_count) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf");
+        assert_eq!(*last_count, TICKS as u64);
+    }
+
+    let (status, _) = scrape(addr, "/nope");
+    assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+}
+
+/// A traced parallel run must export valid Chrome Trace Event JSON —
+/// parseable by our own parser, with complete events carrying numeric
+/// timestamps and the tick/worker/chain span taxonomy present.
+#[test]
+fn chrome_trace_from_parallel_session_is_valid() {
+    let _gate = lock_tracer();
+    lahar::core::trace::clear();
+    let session = live_session(4, true);
+
+    // The /trace route serves the same document the exporter writes.
+    let addr = session.metrics_addr().expect("endpoint started");
+    let (status, raw) = scrape(addr, "/trace");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+
+    let doc = lahar::core::json::parse(&raw).expect("trace parses as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut names = std::collections::BTreeSet::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        assert!(e.get("pid").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+        let name = e.get("name").and_then(|v| v.as_str()).expect("name field");
+        match ph {
+            "X" => {
+                assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+                names.insert(name.to_owned());
+            }
+            "M" => assert_eq!(name, "thread_name"),
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    for expected in ["tick", "worker_step", "chain_step"] {
+        assert!(names.contains(expected), "no {expected} span in {names:?}");
+    }
+
+    drop(session);
+    lahar::core::trace::disable();
+    lahar::core::trace::clear();
+}
+
+/// Metric snapshots round-trip through a checkpoint: a restored session
+/// re-serves the same per-query counters from its endpoint.
+#[test]
+fn restored_session_reserves_per_query_metrics() {
+    let (db, builders) = schema_db();
+    let mut session = live_session(5, false);
+    let ckpt = session.checkpoint().unwrap();
+    drop(session);
+    drop(builders);
+
+    let restored = RealTimeSession::restore_with_config(
+        db,
+        &ckpt,
+        SessionConfig {
+            tick_mode: TickMode::Parallel,
+            n_workers: 2,
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = restored.metrics_addr().expect("endpoint restarted");
+    let (status, metrics) = scrape(addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_prometheus_well_formed(&metrics);
+    assert!(metrics.contains("lahar_ticks_total 5"));
+    assert!(metrics.contains("lahar_query_ticks_total{query=\"reach\",id=\"0\"} 5"));
+    assert!(metrics.contains("lahar_query_step_latency_seconds_count{query=\"reach\",id=\"0\"} 5"));
+}
+
+/// A poisoned session must stay observable: the endpoint keeps serving
+/// /healthz and /metrics mid-fault, and after recover() the recovery
+/// shows up in the scraped counters.
+#[cfg(feature = "failpoints")]
+#[test]
+fn poisoned_session_remains_scrapeable_and_reports_recovery() {
+    use lahar::core::failpoint::{self, FailAction, Schedule};
+
+    let _gate = lock_tracer(); // failpoint registry is process-global too
+    failpoint::clear_all();
+    let (_db, builders) = schema_db();
+    let mut session = live_session(3, false);
+    let addr = session.metrics_addr().expect("endpoint started");
+
+    failpoint::configure("worker_step", FailAction::Error, Schedule::Once { at: 0 });
+    for (idx, b) in builders.iter().enumerate() {
+        session.stage(idx, marginal_at(b, 3, idx)).unwrap();
+    }
+    assert!(session.tick().is_err());
+    assert!(session.is_poisoned());
+
+    // Observability survives the fault.
+    let (status, body) = scrape(addr, "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_eq!(body, "ok\n");
+    let (status, metrics) = scrape(addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_prometheus_well_formed(&metrics);
+    assert!(metrics.contains("lahar_recoveries_total 0"));
+
+    session.recover().unwrap();
+    let (_, metrics) = scrape(addr, "/metrics");
+    assert!(metrics.contains("lahar_recoveries_total 1"));
+    assert!(metrics.contains("lahar_ticks_total 4"));
+    failpoint::clear_all();
+}
