@@ -7,6 +7,7 @@
 //! trades the steady-state overhead column against the recovery replay
 //! bound (at most `interval` ticks re-stepped per lost chain).
 
+use lahar_bench::report::{self, num, text};
 use lahar_bench::{header, quick_mode, row, timed};
 use lahar_core::{Checkpoint, RealTimeSession, SessionConfig};
 use lahar_model::{Database, Marginal, StreamBuilder};
@@ -70,6 +71,7 @@ fn main() {
         "Checkpoint lifecycle (capture → encode → decode → restore)",
         &["chains", "capture ms", "json KB", "decode ms", "restore ms"],
     );
+    let mut headline: Option<(usize, f64, f64)> = None;
     for &n_people in people_counts {
         let (mut session, ticks) = build_session(n_people, SessionConfig::default());
         run_ticks(&mut session, &ticks, n_ticks);
@@ -79,6 +81,11 @@ fn main() {
         let (restored, restore_secs) =
             timed(|| RealTimeSession::restore(schema_db(n_people), &parsed).unwrap());
         assert_eq!(restored.now(), session.now());
+        headline = Some((
+            n_people * QUERIES_PER_KEY,
+            capture_secs * 1e3,
+            restore_secs * 1e3,
+        ));
         row(
             &format!("{}", n_people * QUERIES_PER_KEY),
             &[
@@ -115,6 +122,17 @@ fn main() {
             ],
         );
     }
+
+    let (chains, capture_ms, restore_ms) = headline.expect("at least one workload ran");
+    report::write_section(
+        "resilience",
+        vec![
+            ("mode", text(if quick_mode() { "quick" } else { "full" })),
+            ("chains", num(chains as f64)),
+            ("checkpoint_capture_ms", num(capture_ms)),
+            ("restore_ms", num(restore_ms)),
+        ],
+    );
 
     #[cfg(feature = "failpoints")]
     recovery_bench(people_counts, n_ticks);

@@ -9,6 +9,7 @@
 //! overhead instead. Also prints the session's own latency telemetry
 //! (`EngineStats` snapshot) for the parallel run.
 
+use lahar_bench::report::{self, num, text};
 use lahar_bench::{header, quick_mode, row, timed};
 use lahar_core::{RealTimeSession, SessionConfig, TickMode};
 use lahar_model::{Database, Marginal, StreamBuilder};
@@ -85,6 +86,9 @@ fn main() {
             "par p50 ms",
         ],
     );
+    // Headline numbers for BENCH_streaming.json, taken at the largest
+    // workload of the sweep.
+    let mut headline: Option<(usize, f64, f64, f64, f64)> = None;
     for &n_people in people_counts {
         let (mut seq, ticks) = build_session(n_people, TickMode::Sequential);
         let (_, seq_secs) = timed(|| run_ticks(&mut seq, &ticks, n_ticks));
@@ -97,8 +101,24 @@ fn main() {
         // Both paths answered every query: spot-check agreement via the
         // latency histogram being fully populated.
         assert_eq!(snap.tick_latency.count, n_ticks as u64);
+        let n_chains = n_people * QUERIES_PER_KEY;
+        let seq_snap = seq.stats().snapshot();
+        let kernel_total =
+            seq_snap.kernel_fast_steps + seq_snap.kernel_frozen_steps + seq_snap.kernel_slow_steps;
+        let hit_rate = if kernel_total > 0 {
+            (seq_snap.kernel_fast_steps + seq_snap.kernel_frozen_steps) as f64 / kernel_total as f64
+        } else {
+            0.0
+        };
+        headline = Some((
+            n_chains,
+            n_ticks as f64 / seq_secs,
+            n_ticks as f64 / par_secs,
+            seq_secs * 1e9 / (n_ticks * n_chains) as f64,
+            hit_rate,
+        ));
         row(
-            &format!("{}", n_people * QUERIES_PER_KEY),
+            &format!("{n_chains}"),
             &[
                 n_ticks as f64 / seq_secs,
                 n_ticks as f64 / par_secs,
@@ -107,6 +127,59 @@ fn main() {
             ],
         );
     }
+
+    // Compiled kernels vs the interpreter, single-threaded, on the
+    // largest workload: force_interpreter(true) pins every chain to the
+    // mutex interpreter path (answers are bit-identical either way).
+    let n_people = *people_counts.last().unwrap();
+    header(
+        "Kernel vs interpreter (sequential ticks)",
+        &[
+            "chains",
+            "kern ticks/s",
+            "intp ticks/s",
+            "speedup",
+            "hit rate",
+        ],
+    );
+    let (mut kern, ticks) = build_session(n_people, TickMode::Sequential);
+    let (_, kern_secs) = timed(|| run_ticks(&mut kern, &ticks, n_ticks));
+    let ksnap = kern.stats().snapshot();
+    let ktotal = ksnap.kernel_fast_steps + ksnap.kernel_frozen_steps + ksnap.kernel_slow_steps;
+    let kernel_hit_rate = if ktotal > 0 {
+        (ksnap.kernel_fast_steps + ksnap.kernel_frozen_steps) as f64 / ktotal as f64
+    } else {
+        0.0
+    };
+    let (mut intp, ticks) = build_session(n_people, TickMode::Sequential);
+    intp.force_interpreter(true);
+    let (_, intp_secs) = timed(|| run_ticks(&mut intp, &ticks, n_ticks));
+    row(
+        &format!("{}", n_people * QUERIES_PER_KEY),
+        &[
+            n_ticks as f64 / kern_secs,
+            n_ticks as f64 / intp_secs,
+            intp_secs / kern_secs,
+            kernel_hit_rate,
+        ],
+    );
+
+    let (chains, seq_tps, par_tps, ns_per_chain_step, hit_rate) =
+        headline.expect("at least one workload ran");
+    report::write_section(
+        "streaming_throughput",
+        vec![
+            ("mode", text(if quick_mode() { "quick" } else { "full" })),
+            ("chains", num(chains as f64)),
+            ("ticks", num(n_ticks as f64)),
+            ("seq_ticks_per_sec", num(seq_tps)),
+            ("par_ticks_per_sec", num(par_tps)),
+            ("ns_per_chain_step", num(ns_per_chain_step)),
+            ("kernel_hit_rate", num(hit_rate)),
+            ("interpreter_ticks_per_sec", num(n_ticks as f64 / intp_secs)),
+            ("kernel_speedup_vs_interpreter", num(intp_secs / kern_secs)),
+        ],
+    );
     // Span-recording overhead: the identical parallel run with the
     // tracer off (the default — one relaxed atomic load per span site)
     // and on (per-thread ring-buffer recording). The *off* column is

@@ -12,6 +12,8 @@ use lahar_model::Database;
 use lahar_rfid::{Deployment, DeploymentConfig, MovementConfig};
 use std::time::Instant;
 
+pub mod report;
+
 /// Returns true when `LAHAR_BENCH_QUICK` is set: benches shrink their
 /// sweeps for smoke-testing.
 pub fn quick_mode() -> bool {

@@ -1,0 +1,174 @@
+//! Machine-readable benchmark results.
+//!
+//! Benches append their headline numbers to `BENCH_streaming.json` at
+//! the repository root so the perf trajectory is tracked across PRs.
+//! The file is one JSON object keyed by section name (one section per
+//! bench target); [`write_section`] does a read-modify-write, so the
+//! throughput and resilience benches can each own a section without
+//! clobbering the other's.
+//!
+//! Uses the workspace's dependency-free JSON support
+//! ([`lahar_core::json`]) — parse the existing document, replace one
+//! section, re-encode the whole tree with sorted keys and two-space
+//! indentation (stable output → reviewable diffs).
+
+use lahar_core::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// `BENCH_streaming.json` at the repository root (resolved relative to
+/// this crate's manifest, so it works from any working directory).
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_streaming.json")
+}
+
+/// A number value for [`write_section`] fields.
+pub fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+/// A string value for [`write_section`] fields.
+pub fn text(v: &str) -> JsonValue {
+    JsonValue::String(v.to_owned())
+}
+
+/// Replaces section `name` of the report at `path` with `fields`
+/// (read-modify-write; other sections survive). A missing or unreadable
+/// document starts fresh. Returns the path written.
+pub fn write_section_at(
+    path: &Path,
+    name: &str,
+    fields: Vec<(&str, JsonValue)>,
+) -> std::io::Result<()> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| match v {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let section: BTreeMap<String, JsonValue> =
+        fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    doc.insert(name.to_owned(), JsonValue::Object(section));
+    std::fs::write(path, render(&JsonValue::Object(doc)))
+}
+
+/// [`write_section_at`] against [`default_path`], logging (not failing)
+/// on I/O errors so a read-only checkout never breaks a bench run.
+pub fn write_section(name: &str, fields: Vec<(&str, JsonValue)>) {
+    let path = default_path();
+    match write_section_at(&path, name, fields) {
+        Ok(()) => println!("\nwrote section '{name}' to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}
+
+/// Renders a [`JsonValue`] tree with two-space indentation, sorted
+/// object keys, and shortest-round-trip floats.
+pub fn render(v: &JsonValue) -> String {
+    let mut out = String::with_capacity(1024);
+    render_into(&mut out, v, 0);
+    out.push('\n');
+    out
+}
+
+fn render_into(out: &mut String, v: &JsonValue, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => json::push_f64(out, *n),
+        JsonValue::String(s) => json::push_string(out, s),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, depth + 1);
+                render_into(out, item, depth + 1);
+            }
+            newline_indent(out, depth);
+            out.push(']');
+        }
+        JsonValue::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, depth + 1);
+                json::push_string(out, k);
+                out.push_str(": ");
+                render_into(out, item, depth + 1);
+            }
+            newline_indent(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_survive_read_modify_write() {
+        let path = std::env::temp_dir().join("lahar_bench_report_test.json");
+        let _ = std::fs::remove_file(&path);
+        write_section_at(
+            &path,
+            "throughput",
+            vec![("ticks_per_sec", num(1234.5)), ("mode", text("quick"))],
+        )
+        .unwrap();
+        write_section_at(&path, "resilience", vec![("checkpoint_ms", num(0.5))]).unwrap();
+        // Overwriting a section replaces only that section.
+        write_section_at(&path, "throughput", vec![("ticks_per_sec", num(2000.0))]).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("throughput")
+                .unwrap()
+                .get("ticks_per_sec")
+                .unwrap()
+                .as_f64(),
+            Some(2000.0)
+        );
+        assert!(doc.get("throughput").unwrap().get("mode").is_none());
+        assert_eq!(
+            doc.get("resilience")
+                .unwrap()
+                .get("checkpoint_ms")
+                .unwrap()
+                .as_f64(),
+            Some(0.5)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = JsonValue::Object(BTreeMap::from([
+            ("a".to_owned(), num(0.1 + 0.2)),
+            ("b".to_owned(), JsonValue::Array(vec![num(1.0), text("x")])),
+            ("empty".to_owned(), JsonValue::Object(BTreeMap::new())),
+        ]));
+        let text = render(&doc);
+        assert_eq!(json::parse(&text).unwrap(), doc);
+    }
+}

@@ -17,10 +17,15 @@
 //! * **Markov** (archived): the hidden value is carried in the state and
 //!   evolved through the per-stream CPTs (a tensor contraction per axis, so
 //!   a step costs `O(n_dfa · n_joint · Σ_s k_s)` rather than
-//!   `O(n_dfa · n_joint²)`).
+//!   `O(n_dfa · n_joint²)`). Runs on a private [`DfaCache`].
 //! * **Independent** (real-time): "the next letter seen by the automaton is
 //!   independent of the previously seen letters", so only the distribution
-//!   over automaton states is kept — the paper's "smaller automaton".
+//!   over automaton states is kept — the paper's "smaller automaton". This
+//!   is the hot path, and it runs on the compiled kernels of
+//!   [`crate::kernel`]: an `Arc`-shared automaton with per-chain dense
+//!   transition tables, flat double-buffered mass vectors, and a cached
+//!   accepting-mass scalar, so a steady-state step allocates nothing and
+//!   touches no hash map.
 //!
 //! The evaluator also supports *draining*: removing the accepting mass
 //! after each step turns the tracked mass into `P[h, Q ∧ not accepted
@@ -28,17 +33,21 @@
 //! `P[q[ts, tf]]` are computed for safe plans (§3.3.1).
 
 use crate::error::EngineError;
+use crate::kernel::{self, KernelCounters, LocalDfa, SigKey, SymCache};
 use crate::translate::{build_regex, relevant_streams, symbol_table};
 use lahar_automata::{BitSet, Nfa, SymbolSet};
 use lahar_model::{Database, Marginal, Stream, StreamData};
 use lahar_query::{NormalItem, QueryError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default cap on the joint hidden state space.
 pub const DEFAULT_STATE_CAP: usize = 1 << 14;
 
 /// On-the-fly determinization: NFA state sets interned to dense ids with
-/// memoized transitions.
+/// memoized transitions. Used by Markov-mode chains (each owns a private
+/// cache); independent-mode chains share a [`crate::kernel::SharedAutomaton`]
+/// instead.
 #[derive(Debug, Clone)]
 pub struct DfaCache {
     nfa: Nfa,
@@ -77,60 +86,6 @@ impl DfaCache {
         self.accepting[q as usize]
     }
 
-    /// Exports the discovered DFA state sets in discovery order, each as
-    /// the sorted NFA state indices it contains. Discovery order is what
-    /// assigns dense state ids, so replaying this list through
-    /// [`DfaCache::import_sets`] reproduces identical ids — the property
-    /// session checkpoints rely on for bit-identical restores.
-    pub(crate) fn export_sets(&self) -> Vec<Vec<u32>> {
-        self.sets
-            .iter()
-            .map(|s| s.iter().map(|i| i as u32).collect())
-            .collect()
-    }
-
-    /// Re-interns checkpointed state sets (in their original discovery
-    /// order) into this freshly built cache. Transition memos are *not*
-    /// restored; they re-memoize lazily with identical results since the
-    /// underlying NFA is deterministic in its inputs.
-    pub(crate) fn import_sets(&mut self, sets: &[Vec<u32>]) -> Result<(), String> {
-        let n_nfa = self.nfa.n_states();
-        let mut rebuilt: Vec<BitSet> = Vec::with_capacity(sets.len());
-        for (idx, states) in sets.iter().enumerate() {
-            let mut bs = BitSet::new(n_nfa);
-            for &s in states {
-                if s as usize >= n_nfa {
-                    return Err(format!(
-                        "DFA set {idx} references NFA state {s} but the automaton has {n_nfa}"
-                    ));
-                }
-                bs.insert(s as usize);
-            }
-            rebuilt.push(bs);
-        }
-        match rebuilt.first() {
-            Some(first) if *first == *self.nfa.initial() => {}
-            _ => {
-                return Err(
-                    "checkpointed DFA sets do not start with this automaton's initial set"
-                        .to_owned(),
-                )
-            }
-        }
-        self.ids = rebuilt
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i as u32))
-            .collect();
-        if self.ids.len() != rebuilt.len() {
-            return Err("checkpointed DFA sets contain duplicates".to_owned());
-        }
-        self.accepting = rebuilt.iter().map(|s| self.nfa.is_accepting(s)).collect();
-        self.sets = rebuilt;
-        self.trans.clear();
-        Ok(())
-    }
-
     /// The memoized transition `δ(q, sym)`.
     pub fn step(&mut self, q: u32, sym: SymbolSet) -> u32 {
         if let Some(&q2) = self.trans.get(&(q, sym)) {
@@ -152,18 +107,8 @@ impl DfaCache {
     }
 }
 
-/// Which representation the evaluator uses for the hidden chain.
-#[derive(Debug, Clone)]
-enum Mode {
-    /// Real-time scenario: hidden value forgotten between steps.
-    Independent,
-    /// Archived scenario: `dist[q]` carries a vector over joint hidden
-    /// values.
-    Markov,
-}
-
 /// Where an independent-mode step reads this tick's marginals from.
-enum MarginalSource<'a> {
+pub(crate) enum MarginalSource<'a> {
     /// `marginal_at(t)` of each relevant stream (batch evaluation).
     Db(&'a Database),
     /// Pre-staged marginals indexed like `db.streams()` (session tick
@@ -185,10 +130,46 @@ pub(crate) struct ChainState {
     pub(crate) dfa_sets: Vec<Vec<u32>>,
 }
 
+/// Markov-mode (archived scenario) representation: `dist[q]` carries a
+/// vector over joint hidden values, stepped through a private DFA cache.
+#[derive(Debug, Clone)]
+struct MarkovChain {
+    dfa: DfaCache,
+    dist: Vec<Vec<f64>>,
+    scratch: Vec<f64>,
+    scratch2: Vec<f64>,
+}
+
+/// Independent-mode (real-time scenario) representation: the compiled
+/// kernel. `mass[q]` is the probability mass in local automaton state
+/// `q`; `next_mass` is the reused double buffer; `accept` caches the
+/// accepting mass so [`ChainEvaluator::accept_prob`] is `O(1)`.
+#[derive(Debug, Clone)]
+struct IndepChain {
+    local: LocalDfa,
+    mass: Vec<f64>,
+    next_mass: Vec<f64>,
+    accept: f64,
+    sig: SigKey,
+    /// Per-tick `(local slot, probability)` scratch.
+    slots: Vec<(u32, f64)>,
+    /// Symbol-distribution buffers for cache-less stepping.
+    dist_buf: Vec<(SymbolSet, f64)>,
+    tmp_buf: Vec<(SymbolSet, f64)>,
+}
+
+/// Which representation the evaluator uses for the hidden chain.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Real-time scenario: hidden value forgotten between steps.
+    Indep(IndepChain),
+    /// Archived scenario: joint hidden value carried in the state.
+    Markov(MarkovChain),
+}
+
 /// Exact streaming evaluator for a grounded regular query.
 #[derive(Debug, Clone)]
 pub struct ChainEvaluator {
-    dfa: DfaCache,
     /// Indices into `db.streams()` of the relevant streams.
     streams: Vec<usize>,
     /// Domain size (including ⊥) per relevant stream.
@@ -200,14 +181,9 @@ pub struct ChainEvaluator {
     syms: Vec<Vec<SymbolSet>>,
     /// Joint symbol per joint hidden outcome (Markov mode).
     joint_syms: Vec<SymbolSet>,
-    mode: Mode,
-    /// `dist[q]` — Markov: vector over joint hidden values; Independent:
-    /// single-element vector (total mass in automaton state `q`).
-    dist: Vec<Vec<f64>>,
+    repr: Repr,
     /// Next timestep to consume.
     t: u32,
-    scratch: Vec<f64>,
-    scratch2: Vec<f64>,
 }
 
 impl ChainEvaluator {
@@ -220,7 +196,6 @@ impl ChainEvaluator {
     /// Builds an evaluator with an explicit joint-state cap.
     pub fn with_cap(db: &Database, items: &[NormalItem], cap: usize) -> Result<Self, EngineError> {
         let regex = build_regex(items);
-        let nfa = Nfa::compile(&regex);
         let streams = relevant_streams(db, items);
         let mut sizes = Vec::with_capacity(streams.len());
         let mut syms = Vec::with_capacity(streams.len());
@@ -235,8 +210,8 @@ impl ChainEvaluator {
         // independent mode tracks automaton states alone, so many relevant
         // streams are fine there. The product is overflow-checked: dozens
         // of Markov streams would overflow long before being representable.
-        let (n_joint, mode) = if any_markov {
-            let n = sizes
+        let (n_joint, joint_syms, repr) = if any_markov {
+            let n_joint = sizes
                 .iter()
                 .try_fold(1usize, |acc, &k| acc.checked_mul(k))
                 .ok_or(EngineError::StateSpaceTooLarge {
@@ -244,52 +219,64 @@ impl ChainEvaluator {
                     cap,
                 })?
                 .max(1);
-            if n > cap {
-                return Err(EngineError::StateSpaceTooLarge { size: n, cap });
+            if n_joint > cap {
+                return Err(EngineError::StateSpaceTooLarge { size: n_joint, cap });
             }
-            (n, Mode::Markov)
-        } else {
-            (1, Mode::Independent)
-        };
-        let joint_syms = match mode {
-            Mode::Markov => {
-                let mut js = vec![SymbolSet::EMPTY; n_joint];
-                for (h, slot) in js.iter_mut().enumerate() {
-                    let mut rem = h;
-                    let mut set = SymbolSet::EMPTY;
-                    for (s, &k) in sizes.iter().enumerate() {
-                        let d = rem % k;
-                        rem /= k;
-                        set = set.union(syms[s][d]);
-                    }
-                    *slot = set;
+            let mut js = vec![SymbolSet::EMPTY; n_joint];
+            for (h, slot) in js.iter_mut().enumerate() {
+                let mut rem = h;
+                let mut set = SymbolSet::EMPTY;
+                for (s, &k) in sizes.iter().enumerate() {
+                    let d = rem % k;
+                    rem /= k;
+                    set = set.union(syms[s][d]);
                 }
-                js
+                *slot = set;
             }
-            Mode::Independent => Vec::new(),
+            let dfa = DfaCache::new(Nfa::compile(&regex));
+            // All mass starts in the initial automaton state; the hidden
+            // part is filled lazily on the first step (the hidden value at
+            // t = 0 is drawn fresh from the initial marginals).
+            let mut dist = vec![vec![0.0; n_joint]];
+            dist[0][0] = 1.0;
+            let markov = MarkovChain {
+                dfa,
+                dist,
+                scratch: vec![0.0; n_joint],
+                scratch2: vec![0.0; n_joint],
+            };
+            (n_joint, js, Repr::Markov(markov))
+        } else {
+            // All grounded bindings of one query structure compile the
+            // same regex (constants only shift symbol *tables*, not the
+            // automaton), so the shared-automaton registry collapses them
+            // to one compiled DFA. The NFA is only compiled on a registry
+            // miss.
+            let key = format!("{regex:?}");
+            let (automaton, _reused) = kernel::shared_automaton(&key, || Nfa::compile(&regex));
+            let local = LocalDfa::new(automaton);
+            let mass = vec![1.0];
+            let accept = accept_scan(&mass, local.accepting_mask());
+            let indep = IndepChain {
+                sig: SigKey::new(&streams, &syms),
+                local,
+                mass,
+                next_mass: Vec::new(),
+                accept,
+                slots: Vec::new(),
+                dist_buf: Vec::new(),
+                tmp_buf: Vec::new(),
+            };
+            (1, Vec::new(), Repr::Indep(indep))
         };
-        let dfa = DfaCache::new(nfa);
-        let hidden_dim = match mode {
-            Mode::Markov => n_joint,
-            Mode::Independent => 1,
-        };
-        let mut dist = vec![vec![0.0; hidden_dim]];
-        // All mass starts in the initial automaton state; in Markov mode
-        // the hidden part is filled lazily on the first step (the hidden
-        // value at t = 0 is drawn fresh from the initial marginals).
-        dist[0][0] = 1.0;
         Ok(Self {
-            dfa,
             streams,
             sizes,
             n_joint,
             syms,
             joint_syms,
-            mode,
-            dist,
+            repr,
             t: 0,
-            scratch: vec![0.0; hidden_dim],
-            scratch2: vec![0.0; hidden_dim],
         })
     }
 
@@ -298,89 +285,150 @@ impl ChainEvaluator {
         self.t
     }
 
-    /// Number of DFA states discovered so far.
+    /// Number of DFA states discovered so far (by this chain).
     pub fn n_dfa_states(&self) -> usize {
-        self.dfa.n_states()
+        match &self.repr {
+            Repr::Markov(m) => m.dfa.n_states(),
+            Repr::Indep(k) => k.local.n_states(),
+        }
     }
 
     /// Total probability mass currently tracked (1.0 unless draining).
     pub fn tracked_mass(&self) -> f64 {
-        self.dist.iter().map(|v| v.iter().sum::<f64>()).sum()
+        match &self.repr {
+            Repr::Markov(m) => m.dist.iter().map(|v| v.iter().sum::<f64>()).sum(),
+            Repr::Indep(k) => k.mass.iter().sum(),
+        }
     }
 
     /// Probability mass currently in accepting automaton states — the
-    /// query's probability at the last consumed timestep.
+    /// query's probability at the last consumed timestep. `O(1)` for
+    /// independent-mode chains (the kernel tracks it incrementally).
     pub fn accept_prob(&self) -> f64 {
-        let p: f64 = self
-            .dist
-            .iter()
-            .enumerate()
-            .filter(|(q, _)| self.dfa.is_accepting(*q as u32))
-            .map(|(_, v)| v.iter().sum::<f64>())
-            .sum();
-        // Guard against -1e-18-style float dust; the `+ 0.0` also
-        // normalizes -0.0 (which clamp passes through) to +0.0 so
-        // reported probabilities never render as "-0.000000".
-        p.clamp(0.0, 1.0) + 0.0
+        match &self.repr {
+            Repr::Markov(m) => {
+                let p: f64 = m
+                    .dist
+                    .iter()
+                    .enumerate()
+                    .filter(|(q, _)| m.dfa.is_accepting(*q as u32))
+                    .map(|(_, v)| v.iter().sum::<f64>())
+                    .sum();
+                // Guard against -1e-18-style float dust; the `+ 0.0` also
+                // normalizes -0.0 (which clamp passes through) to +0.0 so
+                // reported probabilities never render as "-0.000000".
+                p.clamp(0.0, 1.0) + 0.0
+            }
+            Repr::Indep(k) => k.accept,
+        }
     }
 
     /// Removes and returns the accepting mass (interval-probability mode).
     pub fn drain_accepting(&mut self) -> f64 {
-        let mut drained = 0.0;
-        for (q, v) in self.dist.iter_mut().enumerate() {
-            if self.dfa.is_accepting(q as u32) {
-                for slot in v.iter_mut() {
-                    drained += *slot;
-                    *slot = 0.0;
+        match &mut self.repr {
+            Repr::Markov(m) => {
+                let mut drained = 0.0;
+                for (q, v) in m.dist.iter_mut().enumerate() {
+                    if m.dfa.is_accepting(q as u32) {
+                        for slot in v.iter_mut() {
+                            drained += *slot;
+                            *slot = 0.0;
+                        }
+                    }
                 }
+                drained
+            }
+            Repr::Indep(k) => {
+                let mut drained = 0.0;
+                for (q, slot) in k.mass.iter_mut().enumerate() {
+                    if k.local.is_accepting(q as u32) {
+                        drained += *slot;
+                        *slot = 0.0;
+                    }
+                }
+                k.accept = 0.0;
+                drained
             }
         }
-        drained
     }
 
     /// True when the evaluator runs in the real-time (independent)
     /// representation — the only mode [`crate::RealTimeSession`] uses.
     pub fn is_independent(&self) -> bool {
-        matches!(self.mode, Mode::Independent)
+        matches!(self.repr, Repr::Indep(_))
+    }
+
+    /// Test/bench hook: route every transition of an independent-mode
+    /// chain through the shared automaton's interpreter, bypassing the
+    /// per-chain dense table and the frozen table. Results are identical
+    /// (the interpreter and the compiled tables answer from the same
+    /// determinization); only the speed differs. No-op for Markov chains.
+    pub fn force_interpreter(&mut self, on: bool) {
+        if let Repr::Indep(k) = &mut self.repr {
+            k.local.set_force_interpreter(on);
+        }
+    }
+
+    /// Drains the kernel-path counters accumulated since the last call
+    /// (all zeros for Markov chains).
+    pub(crate) fn take_kernel_counters(&mut self) -> KernelCounters {
+        match &mut self.repr {
+            Repr::Indep(k) => k.local.take_counters(),
+            Repr::Markov(_) => KernelCounters::default(),
+        }
+    }
+
+    /// Identity of the shared automaton this chain is attached to
+    /// (pointer-stable for the automaton's lifetime), for telemetry.
+    pub(crate) fn automaton_id(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Indep(k) => Some(Arc::as_ptr(k.local.automaton()) as usize),
+            Repr::Markov(_) => None,
+        }
     }
 
     /// Exports the forward state (timestep, per-DFA-state mass, and the
     /// DFA discovery order) of an independent-mode evaluator.
     pub(crate) fn export_state(&self) -> Result<ChainState, EngineError> {
-        if !self.is_independent() {
-            return Err(EngineError::CheckpointUnsupported(
+        match &self.repr {
+            Repr::Markov(_) => Err(EngineError::CheckpointUnsupported(
                 "only independent-mode chains can be checkpointed".to_owned(),
-            ));
+            )),
+            Repr::Indep(k) => Ok(ChainState {
+                t: self.t,
+                dist: k.mass.clone(),
+                dfa_sets: k.local.export_sets(),
+            }),
         }
-        Ok(ChainState {
-            t: self.t,
-            dist: self.dist.iter().map(|v| v[0]).collect(),
-            dfa_sets: self.dfa.export_sets(),
-        })
     }
 
     /// Restores checkpointed forward state into a structurally rebuilt
     /// evaluator (same query, same database schema). After this call the
     /// evaluator is bit-identical to the one that exported the state:
-    /// the DFA discovery order is replayed so state ids line up, and
-    /// future steps therefore accumulate in the same float order.
+    /// the DFA discovery order is replayed so local state ids line up,
+    /// and future steps therefore accumulate in the same float order.
     pub(crate) fn restore_state(&mut self, state: &ChainState) -> Result<(), EngineError> {
-        if !self.is_independent() {
-            return Err(EngineError::CheckpointUnsupported(
-                "only independent-mode chains can be restored".to_owned(),
-            ));
-        }
-        self.dfa
+        let k = match &mut self.repr {
+            Repr::Markov(_) => {
+                return Err(EngineError::CheckpointUnsupported(
+                    "only independent-mode chains can be restored".to_owned(),
+                ))
+            }
+            Repr::Indep(k) => k,
+        };
+        k.local
             .import_sets(&state.dfa_sets)
             .map_err(EngineError::CheckpointCorrupt)?;
-        if state.dist.len() > self.dfa.n_states() {
+        if state.dist.len() > k.local.n_states() {
             return Err(EngineError::CheckpointCorrupt(format!(
                 "chain mass vector covers {} DFA states but only {} were discovered",
                 state.dist.len(),
-                self.dfa.n_states()
+                k.local.n_states()
             )));
         }
-        self.dist = state.dist.iter().map(|&m| vec![m]).collect();
+        k.mass.clear();
+        k.mass.extend_from_slice(&state.dist);
+        k.accept = accept_scan(&k.mass, k.local.accepting_mask());
         self.t = state.t;
         Ok(())
     }
@@ -389,9 +437,9 @@ impl ChainEvaluator {
     /// the induced symbol to the automaton, and returns the probability
     /// that the query is satisfied at `t`.
     pub fn step(&mut self, db: &Database) -> f64 {
-        match self.mode {
-            Mode::Independent => self.step_independent(MarginalSource::Db(db)),
-            Mode::Markov => self.step_markov(db),
+        match self.repr {
+            Repr::Indep(_) => self.step_independent(&MarginalSource::Db(db), None),
+            Repr::Markov(_) => self.step_markov(db),
         }
         self.t += 1;
         self.accept_prob()
@@ -404,67 +452,98 @@ impl ChainEvaluator {
     /// arithmetic is shared with [`ChainEvaluator::step`], so both paths
     /// produce the same result for the same inputs.
     pub fn step_with_marginals(&mut self, marginals: &[Marginal]) -> Result<f64, EngineError> {
+        self.step_with_cache(marginals, None)
+    }
+
+    /// [`ChainEvaluator::step_with_marginals`] with a per-tick symbol
+    /// distribution cache: chains sharing a `(streams, syms)` signature
+    /// reuse one union-convolution per tick. The caller must clear the
+    /// cache between ticks ([`SymCache::begin_tick`]); all chains served
+    /// by one cache generation must be at the same timestep.
+    pub(crate) fn step_with_cache(
+        &mut self,
+        marginals: &[Marginal],
+        cache: Option<&mut SymCache>,
+    ) -> Result<f64, EngineError> {
         if !self.is_independent() {
             return Err(EngineError::Query(QueryError::NotInClass(
                 "step_with_marginals requires an independent-mode chain".to_owned(),
             )));
         }
-        self.step_independent(MarginalSource::Staged(marginals));
+        self.step_independent(&MarginalSource::Staged(marginals), cache);
         self.t += 1;
         Ok(self.accept_prob())
     }
 
-    fn step_independent(&mut self, source: MarginalSource<'_>) {
-        // Distribution over symbol sets at time t, combining independent
-        // streams by union-convolution.
-        let mut sym_dist: HashMap<SymbolSet, f64> = HashMap::from([(SymbolSet::EMPTY, 1.0)]);
-        for (s, &si) in self.streams.iter().enumerate() {
-            let owned;
-            let probs: &[f64] = match source {
-                MarginalSource::Db(db) => {
-                    owned = db.streams()[si].marginal_at(self.t);
-                    owned.probs()
-                }
-                MarginalSource::Staged(ms) => ms[si].probs(),
-            };
-            let mut next: HashMap<SymbolSet, f64> = HashMap::new();
-            for (sym_so_far, p) in &sym_dist {
-                for (d, &pd) in probs.iter().enumerate() {
-                    if pd == 0.0 {
-                        continue;
-                    }
-                    *next.entry(sym_so_far.union(self.syms[s][d])).or_insert(0.0) += p * pd;
-                }
-            }
-            sym_dist = next;
-        }
-        // Sorted application keeps floating-point accumulation order (and
+    fn step_independent(&mut self, source: &MarginalSource<'_>, cache: Option<&mut SymCache>) {
+        let streams = &self.streams;
+        let syms = &self.syms;
+        let t = self.t;
+        let k = match &mut self.repr {
+            Repr::Indep(k) => k,
+            Repr::Markov(_) => unreachable!("step_independent on a Markov chain"),
+        };
+        // This tick's distribution over symbol sets: cached per signature
+        // when a per-tick cache is supplied, recomputed into the chain's
+        // reusable buffers otherwise. Either way a flat sorted vector —
+        // sorted application keeps floating-point accumulation order (and
         // therefore the engine's output) fully deterministic.
-        let mut sym_dist: Vec<(SymbolSet, f64)> = sym_dist.into_iter().collect();
-        sym_dist.sort_unstable_by_key(|(s, _)| s.0);
-        let n_q = self.dist.len();
-        let mut new_dist: Vec<Vec<f64>> = vec![vec![0.0; 1]; n_q];
+        let dist: &[(SymbolSet, f64)] = match cache {
+            Some(c) => {
+                let idx = match c.lookup(&k.sig) {
+                    Some(idx) => idx,
+                    None => c.insert_with(k.sig.clone(), |out, tmp| {
+                        union_convolution(streams, syms, source, t, out, tmp)
+                    }),
+                };
+                c.dist(idx)
+            }
+            None => {
+                union_convolution(streams, syms, source, t, &mut k.dist_buf, &mut k.tmp_buf);
+                &k.dist_buf
+            }
+        };
+        // Resolve each symbol set to its local slot once per tick…
+        k.slots.clear();
+        for &(sym, p) in dist {
+            k.slots.push((k.local.slot_of(sym), p));
+        }
+        // …then route mass through the dense table into the double buffer.
+        let n_q = k.mass.len();
+        k.next_mass.clear();
+        k.next_mass.resize(k.local.n_states(), 0.0);
         for q in 0..n_q {
-            let mass = self.dist[q][0];
+            let mass = k.mass[q];
             if mass == 0.0 {
                 continue;
             }
-            for &(sym, p) in &sym_dist {
-                let q2 = self.dfa.step(q as u32, sym) as usize;
-                if q2 >= new_dist.len() {
-                    new_dist.resize(q2 + 1, vec![0.0; 1]);
+            for i in 0..k.slots.len() {
+                let (slot, p) = k.slots[i];
+                let q2 = k.local.step(q as u32, slot) as usize;
+                if q2 >= k.next_mass.len() {
+                    k.next_mass.resize(q2 + 1, 0.0);
                 }
-                new_dist[q2][0] += mass * p;
+                k.next_mass[q2] += mass * p;
             }
         }
-        self.dist = new_dist;
+        std::mem::swap(&mut k.mass, &mut k.next_mass);
+        k.accept = accept_scan(&k.mass, k.local.accepting_mask());
     }
 
     fn step_markov(&mut self, db: &Database) {
-        let n_q = self.dist.len();
-        let mut new_dist: Vec<Vec<f64>> = vec![vec![0.0; self.n_joint]; n_q];
+        let streams = &self.streams;
+        let sizes = &self.sizes;
+        let n_joint = self.n_joint;
+        let joint_syms = &self.joint_syms;
+        let t = self.t;
+        let m = match &mut self.repr {
+            Repr::Markov(m) => m,
+            Repr::Indep(_) => unreachable!("step_markov on an independent chain"),
+        };
+        let n_q = m.dist.len();
+        let mut new_dist: Vec<Vec<f64>> = vec![vec![0.0; n_joint]; n_q];
         for q in 0..n_q {
-            let total: f64 = self.dist[q].iter().sum();
+            let total: f64 = m.dist[q].iter().sum();
             if total == 0.0 {
                 continue;
             }
@@ -472,41 +551,110 @@ impl ChainEvaluator {
             // t = 0 the hidden values are drawn fresh from the initial
             // marginals (the pre-initial hidden component is a dummy
             // scalar in slot 0).
-            if self.t == 0 {
-                self.fill_initial_hidden(db, q);
+            if t == 0 {
+                m.fill_initial_hidden(db, q, streams, sizes, n_joint);
             } else {
-                self.evolve_hidden(db, q);
+                m.evolve_hidden(db, q, t, streams, sizes, n_joint);
             }
             // Route each hidden value's mass through the automaton.
-            let scratch = std::mem::take(&mut self.scratch);
+            let scratch = std::mem::take(&mut m.scratch);
             for (h, &mass) in scratch.iter().enumerate() {
                 if mass == 0.0 {
                     continue;
                 }
-                let q2 = self.dfa.step(q as u32, self.joint_syms[h]) as usize;
+                let q2 = m.dfa.step(q as u32, joint_syms[h]) as usize;
                 if q2 >= new_dist.len() {
-                    new_dist.resize(q2 + 1, vec![0.0; self.n_joint]);
+                    new_dist.resize(q2 + 1, vec![0.0; n_joint]);
                 }
                 new_dist[q2][h] += mass;
             }
-            self.scratch = scratch;
+            m.scratch = scratch;
         }
-        self.dist = new_dist;
+        m.dist = new_dist;
     }
+}
 
+/// Accepting mass of a flat state-mass vector, in ascending state order
+/// (the accumulation order the interpreted path used, so cached values
+/// are bit-identical to a fresh scan).
+fn accept_scan(mass: &[f64], accepting: &[bool]) -> f64 {
+    let mut p = 0.0;
+    for (q, &m) in mass.iter().enumerate() {
+        if accepting[q] {
+            p += m;
+        }
+    }
+    // Guard against -1e-18-style float dust; the `+ 0.0` also normalizes
+    // -0.0 (which clamp passes through) to +0.0 so reported probabilities
+    // never render as "-0.000000".
+    p.clamp(0.0, 1.0) + 0.0
+}
+
+/// Distribution over symbol sets at one timestep, combining independent
+/// streams by union-convolution into a flat vector sorted by symbol set.
+/// Duplicate keys are merged in generation order (stable sort), which for
+/// single-stream chains reproduces the accumulation order of the original
+/// hash-map implementation exactly.
+pub(crate) fn union_convolution(
+    streams: &[usize],
+    syms: &[Vec<SymbolSet>],
+    source: &MarginalSource<'_>,
+    t: u32,
+    out: &mut Vec<(SymbolSet, f64)>,
+    tmp: &mut Vec<(SymbolSet, f64)>,
+) {
+    out.clear();
+    out.push((SymbolSet::EMPTY, 1.0));
+    for (s, &si) in streams.iter().enumerate() {
+        let owned;
+        let probs: &[f64] = match *source {
+            MarginalSource::Db(db) => {
+                owned = db.streams()[si].marginal_at(t);
+                owned.probs()
+            }
+            MarginalSource::Staged(ms) => ms[si].probs(),
+        };
+        tmp.clear();
+        for &(sym, p) in out.iter() {
+            for (d, &pd) in probs.iter().enumerate() {
+                if pd == 0.0 {
+                    continue;
+                }
+                tmp.push((sym.union(syms[s][d]), p * pd));
+            }
+        }
+        tmp.sort_by_key(|&(sym, _)| sym.0);
+        out.clear();
+        for &(sym, p) in tmp.iter() {
+            match out.last_mut() {
+                Some(last) if last.0 == sym => last.1 += p,
+                _ => out.push((sym, p)),
+            }
+        }
+    }
+}
+
+impl MarkovChain {
     /// Fills `self.scratch` with the product of the relevant streams'
     /// initial marginals, scaled by the mass in `dist[q]` (a scalar at
     /// t = 0).
-    fn fill_initial_hidden(&mut self, db: &Database, q: usize) {
+    fn fill_initial_hidden(
+        &mut self,
+        db: &Database,
+        q: usize,
+        streams: &[usize],
+        sizes: &[usize],
+        n_joint: usize,
+    ) {
         let mass = self.dist[q][0];
         self.scratch.fill(0.0);
-        for h in 0..self.n_joint {
+        for h in 0..n_joint {
             let mut rem = h;
             let mut p = mass;
-            for (s, &k) in self.sizes.iter().enumerate() {
+            for (s, &k) in sizes.iter().enumerate() {
                 let d = rem % k;
                 rem /= k;
-                let stream = &db.streams()[self.streams[s]];
+                let stream = &db.streams()[streams[s]];
                 p *= stream.marginal_at(0).prob(d);
                 if p == 0.0 {
                     break;
@@ -518,14 +666,21 @@ impl ChainEvaluator {
 
     /// Evolves `dist[q]` one step through the joint CPT into
     /// `self.scratch` (tensor contraction, one axis per stream).
-    fn evolve_hidden(&mut self, db: &Database, q: usize) {
+    fn evolve_hidden(
+        &mut self,
+        db: &Database,
+        q: usize,
+        t: u32,
+        streams: &[usize],
+        sizes: &[usize],
+        n_joint: usize,
+    ) {
         self.scratch.copy_from_slice(&self.dist[q]);
-        let t = self.t;
-        for (s, &si) in self.streams.iter().enumerate() {
+        for (s, &si) in streams.iter().enumerate() {
             let stream = &db.streams()[si];
-            let k = self.sizes[s];
-            let stride: usize = self.sizes[..s].iter().product();
-            let outer: usize = self.n_joint / (k * stride);
+            let k = sizes[s];
+            let stride: usize = sizes[..s].iter().product();
+            let outer: usize = n_joint / (k * stride);
             self.scratch2.fill(0.0);
             match stream.data() {
                 StreamData::Independent(_) => {

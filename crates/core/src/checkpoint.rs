@@ -29,8 +29,10 @@ use std::time::Duration;
 ///
 /// Version history: 1 — initial format (PR 2); 2 — config gained
 /// `metrics_addr`/`trace`, stats gained `marginals_staged` and the
-/// `per_query` registry (this build).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// `per_query` registry; 3 — stats gained the kernel-path counters
+/// (`kernel_*_steps`, `sym_cache_*`) and shared-automaton gauges (this
+/// build).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Document-type marker embedded in every checkpoint.
 const FORMAT: &str = "lahar-checkpoint";
@@ -347,7 +349,10 @@ fn push_stats(out: &mut String, s: &StatsState) {
         "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\"recoveries\":{},\
          \"checkpoints_taken\":{},\"chains_stepped\":{},\"bindings_grounded\":{},\
          \"alerts_emitted\":{},\"marginals_staged\":{},\"sampler_compilations\":{},\
-         \"sampler_worlds\":{},\"fallbacks\":{},\"fallback_reasons\":{{",
+         \"sampler_worlds\":{},\"fallbacks\":{},\"kernel_fast_steps\":{},\
+         \"kernel_frozen_steps\":{},\"kernel_slow_steps\":{},\"sym_cache_hits\":{},\
+         \"sym_cache_misses\":{},\"automata_shared\":{},\"automata_attached\":{},\
+         \"fallback_reasons\":{{",
         s.ticks,
         s.parallel_ticks,
         s.degraded_ticks,
@@ -360,6 +365,13 @@ fn push_stats(out: &mut String, s: &StatsState) {
         s.sampler_compilations,
         s.sampler_worlds,
         s.fallbacks,
+        s.kernel_fast_steps,
+        s.kernel_frozen_steps,
+        s.kernel_slow_steps,
+        s.sym_cache_hits,
+        s.sym_cache_misses,
+        s.automata_shared,
+        s.automata_attached,
     ));
     for (i, (reason, count)) in s.fallback_reasons.iter().enumerate() {
         if i > 0 {
@@ -431,6 +443,13 @@ fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
         sampler_compilations: get_u64(v, "sampler_compilations")?,
         sampler_worlds: get_u64(v, "sampler_worlds")?,
         fallbacks: get_u64(v, "fallbacks")?,
+        kernel_fast_steps: get_u64(v, "kernel_fast_steps")?,
+        kernel_frozen_steps: get_u64(v, "kernel_frozen_steps")?,
+        kernel_slow_steps: get_u64(v, "kernel_slow_steps")?,
+        sym_cache_hits: get_u64(v, "sym_cache_hits")?,
+        sym_cache_misses: get_u64(v, "sym_cache_misses")?,
+        automata_shared: get_u64(v, "automata_shared")?,
+        automata_attached: get_u64(v, "automata_attached")?,
         fallback_reasons,
         tick_latency,
         per_query,
@@ -557,6 +576,13 @@ mod tests {
                 sampler_compilations: 0,
                 sampler_worlds: 0,
                 fallbacks: 1,
+                kernel_fast_steps: 120,
+                kernel_frozen_steps: 30,
+                kernel_slow_steps: 9,
+                sym_cache_hits: 40,
+                sym_cache_misses: 11,
+                automata_shared: 1,
+                automata_attached: 2,
                 fallback_reasons: BTreeMap::from([("why\n".to_owned(), 1)]),
                 tick_latency: HistogramState {
                     counts: vec![0, 2, 1],

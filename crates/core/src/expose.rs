@@ -171,6 +171,56 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
 
     push_header(
         &mut out,
+        "lahar_kernel_steps_total",
+        "Chain transitions by kernel path (fast = local dense table, \
+         frozen = shared frozen table, slow = interpreter).",
+        "counter",
+    );
+    for (path, value) in [
+        ("fast", snap.kernel_fast_steps),
+        ("frozen", snap.kernel_frozen_steps),
+        ("slow", snap.kernel_slow_steps),
+    ] {
+        writeln!(out, "lahar_kernel_steps_total{{path=\"{path}\"}} {value}").unwrap();
+    }
+    push_header(
+        &mut out,
+        "lahar_kernel_sym_cache_total",
+        "Per-tick symbol-distribution cache lookups by result.",
+        "counter",
+    );
+    for (result, value) in [
+        ("hit", snap.sym_cache_hits),
+        ("miss", snap.sym_cache_misses),
+    ] {
+        writeln!(
+            out,
+            "lahar_kernel_sym_cache_total{{result=\"{result}\"}} {value}"
+        )
+        .unwrap();
+    }
+    push_header(
+        &mut out,
+        "lahar_kernel_automata_shared",
+        "Distinct shared compiled automata backing the session's chains.",
+        "gauge",
+    );
+    writeln!(out, "lahar_kernel_automata_shared {}", snap.automata_shared).unwrap();
+    push_header(
+        &mut out,
+        "lahar_kernel_automata_attached_chains",
+        "Chains attached to a shared compiled automaton.",
+        "gauge",
+    );
+    writeln!(
+        out,
+        "lahar_kernel_automata_attached_chains {}",
+        snap.automata_attached
+    )
+    .unwrap();
+
+    push_header(
+        &mut out,
         "lahar_fallbacks_by_reason_total",
         "Fallbacks by reason (bounded cardinality; overflow in \"other\").",
         "counter",
@@ -423,6 +473,16 @@ mod tests {
         assert!(text.contains("lahar_ticks_total 2"));
         assert!(text.contains("lahar_parallel_ticks_total 1"));
         assert!(text.contains("lahar_fallbacks_total 2"));
+        // Kernel telemetry is always present (zero-valued when the
+        // session never ticked a compiled chain).
+        assert!(text.contains("# TYPE lahar_kernel_steps_total counter"));
+        assert!(text.contains("lahar_kernel_steps_total{path=\"fast\"}"));
+        assert!(text.contains("lahar_kernel_steps_total{path=\"frozen\"}"));
+        assert!(text.contains("lahar_kernel_steps_total{path=\"slow\"}"));
+        assert!(text.contains("lahar_kernel_sym_cache_total{result=\"hit\"}"));
+        assert!(text.contains("lahar_kernel_sym_cache_total{result=\"miss\"}"));
+        assert!(text.contains("lahar_kernel_automata_shared "));
+        assert!(text.contains("lahar_kernel_automata_attached_chains "));
         assert!(text
             .contains("lahar_fallbacks_by_reason_total{reason=\"safe: no safe plan exists\"} 1"));
         // Label escaping: backslash, quote, newline.

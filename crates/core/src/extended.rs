@@ -67,15 +67,38 @@ impl ExtendedRegularEvaluator {
         1.0 - none
     }
 
+    /// Test/bench hook: pin every per-binding chain to the shared
+    /// automaton's interpreter path (see
+    /// [`ChainEvaluator::force_interpreter`]); answers are identical,
+    /// only the transition-resolution speed differs.
+    pub fn force_interpreter(&mut self, on: bool) {
+        for (_, chain) in &mut self.chains {
+            chain.force_interpreter(on);
+        }
+    }
+
+    /// The grounded binding at index `i` of the canonical order (the
+    /// order [`Self::step_detailed`] reports probabilities in).
+    pub fn binding(&self, i: usize) -> &Binding {
+        &self.chains[i].0
+    }
+
+    /// The grounded bindings in canonical order.
+    pub fn bindings(&self) -> impl Iterator<Item = &Binding> {
+        self.chains.iter().map(|(b, _)| b)
+    }
+
     /// Consumes one timestep and additionally reports each binding's
-    /// probability (for per-key alerting).
-    pub fn step_detailed(&mut self, db: &Database) -> (f64, Vec<(Binding, f64)>) {
+    /// probability (for per-key alerting), indexed in canonical binding
+    /// order — resolve an index to its key with [`Self::binding`]. No
+    /// bindings are cloned per tick.
+    pub fn step_detailed(&mut self, db: &Database) -> (f64, Vec<f64>) {
         let mut none = 1.0;
         let mut detail = Vec::with_capacity(self.chains.len());
-        for (binding, chain) in &mut self.chains {
+        for (_, chain) in &mut self.chains {
             let p = chain.step(db);
             none *= 1.0 - p;
-            detail.push((binding.clone(), p));
+            detail.push(p);
         }
         self.t += 1;
         (1.0 - none, detail)
@@ -207,7 +230,13 @@ mod tests {
         eval.step(&db);
         let (total, detail) = eval.step_detailed(&db);
         assert_eq!(detail.len(), 2);
-        let none: f64 = detail.iter().map(|(_, p)| 1.0 - p).product();
+        // Indices align with the canonical binding order.
+        assert_eq!(eval.bindings().count(), 2);
+        assert_ne!(
+            format!("{:?}", eval.binding(0)),
+            format!("{:?}", eval.binding(1))
+        );
+        let none: f64 = detail.iter().map(|p| 1.0 - p).product();
         assert!((total - (1.0 - none)).abs() < 1e-12);
     }
 

@@ -45,6 +45,7 @@ mod extended;
 pub mod failpoint;
 mod interval;
 pub mod json;
+mod kernel;
 mod occurrence;
 mod regular;
 mod safeplan;

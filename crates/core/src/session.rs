@@ -52,6 +52,7 @@ use crate::chain::ChainEvaluator;
 use crate::checkpoint::{Checkpoint, QueryMeta, CHECKPOINT_VERSION};
 use crate::error::{panic_message, EngineError};
 use crate::extended::ExtendedRegularEvaluator;
+use crate::kernel::{KernelTickStats, SymCache};
 use crate::regular::RegularEvaluator;
 use crate::stats::EngineStats;
 use lahar_model::{Database, Marginal, StreamData};
@@ -70,8 +71,9 @@ pub struct QueryId(pub usize);
 pub struct Alert {
     /// Which query.
     pub query: QueryId,
-    /// The registered name.
-    pub name: String,
+    /// The registered name. Shared (`Arc<str>`) so emitting an alert per
+    /// query per tick never allocates.
+    pub name: Arc<str>,
     /// The closed timestep.
     pub t: u32,
     /// `μ(q@t)`.
@@ -153,7 +155,7 @@ enum QueryKind {
 }
 
 struct Registered {
-    name: String,
+    name: Arc<str>,
     kind: QueryKind,
     /// The query's source text, kept for structural rebuilds during
     /// [`RealTimeSession::recover`] and for checkpoints. `None` when the
@@ -182,27 +184,36 @@ struct Job {
 }
 
 /// Per-chain probabilities (shard order) plus wall-clock nanoseconds
-/// attributed to each query index, as produced by [`step_shard`].
-type SteppedShard = (Vec<f64>, Vec<(usize, u64)>);
+/// attributed to each query index plus kernel-path telemetry, as
+/// produced by [`step_shard`].
+type SteppedShard = (Vec<f64>, Vec<(usize, u64)>, KernelTickStats);
 
 /// `(worker index, stepped shard + per-chain probabilities + per-query
-/// nanoseconds | fault)`.
+/// nanoseconds + kernel telemetry | fault)`.
 type Reply = (
     usize,
-    Result<(Shard, Vec<f64>, Vec<(usize, u64)>), EngineError>,
+    Result<(Shard, Vec<f64>, Vec<(usize, u64)>, KernelTickStats), EngineError>,
 );
 
 /// Steps every chain in `shard` against the tick's marginals, returning
-/// the per-chain probabilities (shard order) and the wall-clock
+/// the per-chain probabilities (shard order), the wall-clock
 /// nanoseconds attributed to each query index (one entry per contiguous
 /// run of a query's chains — shards hold chains in global sequence
-/// order, so a query appears in at most one run per shard).
+/// order, so a query appears in at most one run per shard), and the
+/// kernel-path counters accumulated while stepping.
+///
+/// `cache` is this tick's symbol-distribution cache: chains with equal
+/// `(streams, syms)` signatures share one union-convolution per tick.
+/// The caller clears it once per tick ([`SymCache::begin_tick`]); the
+/// sequential path threads one cache across all shards, each worker
+/// owns one.
 ///
 /// This is the single stepping kernel shared by the worker and
 /// sequential paths, so both produce bit-identical arithmetic.
 fn step_shard(
     shard: &mut Shard,
     marginals: &[Marginal],
+    cache: &mut SymCache,
     failpoint: &'static str,
 ) -> Result<SteppedShard, EngineError> {
     fn elapsed_ns(since: Instant) -> u64 {
@@ -210,6 +221,7 @@ fn step_shard(
     }
     let mut probs = Vec::with_capacity(shard.chains.len());
     let mut query_ns: Vec<(usize, u64)> = Vec::new();
+    let mut kernel = KernelTickStats::default();
     let mut run: Option<(usize, Instant)> = None;
     for (qi, chain) in &mut shard.chains {
         crate::failpoint::check(failpoint)?;
@@ -224,24 +236,34 @@ fn step_shard(
         let _span = crate::trace::span("chain_step")
             .with("query", *qi as u64)
             .with("t", u64::from(chain.next_t()));
-        probs.push(chain.step_with_marginals(marginals)?);
+        probs.push(chain.step_with_cache(marginals, Some(cache))?);
+        kernel.steps.add(chain.take_kernel_counters());
     }
     if let Some((q, started)) = run {
         query_ns.push((q, elapsed_ns(started)));
     }
-    Ok((probs, query_ns))
+    let (sym_hits, sym_misses) = cache.take_counters();
+    kernel.sym_hits += sym_hits;
+    kernel.sym_misses += sym_misses;
+    Ok((probs, query_ns, kernel))
 }
 
 fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
+    // Per-worker symbol-distribution cache, reused (cleared, not freed)
+    // across this worker's ticks.
+    let mut cache = SymCache::new();
     while let Ok(job) = jobs.recv() {
         let Job { shard, marginals } = job;
+        let cache = &mut cache;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             let mut shard = shard;
+            cache.begin_tick();
             let _span = crate::trace::span("worker_step")
                 .with("worker", index as u64)
                 .with("chains", shard.chains.len() as u64);
-            let (probs, query_ns) = step_shard(&mut shard, &marginals, "worker_step")?;
-            Ok::<_, EngineError>((shard, probs, query_ns))
+            let (probs, query_ns, kernel) =
+                step_shard(&mut shard, &marginals, cache, "worker_step")?;
+            Ok::<_, EngineError>((shard, probs, query_ns, kernel))
         }));
         let reply = match outcome {
             Ok(Ok(done)) => Ok(done),
@@ -342,6 +364,9 @@ pub struct RealTimeSession {
     /// is why restores load counter state in place rather than swapping
     /// the handle.
     metrics_server: Option<crate::expose::MetricsServer>,
+    /// Symbol-distribution cache for the sequential tick path (workers
+    /// own their own); cleared once per tick, arena reused across ticks.
+    sym_cache: SymCache,
     t: u32,
 }
 
@@ -388,6 +413,7 @@ impl RealTimeSession {
             replay_base: 0,
             stats,
             metrics_server,
+            sym_cache: SymCache::new(),
             t: 0,
         })
     }
@@ -446,6 +472,20 @@ impl RealTimeSession {
     /// any.
     pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
         self.last_checkpoint.as_ref()
+    }
+
+    /// Forces every chain onto the interpreted (mutex) transition path,
+    /// bypassing the dense compiled tables. Answers are bit-identical
+    /// either way; this exists so benchmarks and differential tests can
+    /// measure/verify the compiled kernels against the interpreter.
+    pub fn force_interpreter(&mut self, on: bool) {
+        for slot in &mut self.shards {
+            if let Some(shard) = slot.as_mut() {
+                for (_, chain) in &mut shard.chains {
+                    chain.force_interpreter(on);
+                }
+            }
+        }
     }
 
     /// Worker count the parallel path would use.
@@ -510,7 +550,7 @@ impl RealTimeSession {
         }
         let query_index = self.queries.len();
         self.queries.push(Registered {
-            name: name.to_owned(),
+            name: Arc::from(name),
             kind,
             source,
             first_chain: self.total_chains,
@@ -521,7 +561,27 @@ impl RealTimeSession {
         self.stats
             .register_query(query_index, name, new_chains.len() as u64);
         self.repartition(new_chains.into_iter().map(|c| (query_index, c)).collect());
+        self.record_automata_stats();
         Ok(QueryId(query_index))
+    }
+
+    /// Recounts how many chains run on a shared compiled automaton and
+    /// how many distinct automata back them, publishing both gauges.
+    fn record_automata_stats(&self) {
+        let mut ids: Vec<usize> = Vec::new();
+        let mut attached = 0u64;
+        for slot in &self.shards {
+            let Some(shard) = slot.as_ref() else { continue };
+            for (_, chain) in &shard.chains {
+                if let Some(id) = chain.automaton_id() {
+                    attached += 1;
+                    if !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        self.stats.record_automata(ids.len() as u64, attached);
     }
 
     /// Rebalances all chains (plus `appended`, which go at the end of the
@@ -620,8 +680,7 @@ impl RealTimeSession {
             let marginal = self.staged[idx]
                 .take()
                 .unwrap_or_else(|| Marginal::all_bottom(self.db.streams()[idx].domain()));
-            let id = self.db.streams()[idx].id().clone();
-            self.db.push_marginal(&id, marginal.clone())?;
+            self.db.push_marginal_at(idx, marginal.clone())?;
             tick_marginals.push(marginal);
         }
         let marginals = Arc::new(tick_marginals);
@@ -631,11 +690,12 @@ impl RealTimeSession {
             self.replay_log.push(marginals.clone());
         }
         let parallel = self.parallel_tick();
-        let (probs, query_ns) = if parallel {
+        let (probs, query_ns, kernel) = if parallel {
             self.step_chains_parallel(marginals)?
         } else {
             self.step_chains_sequential(&marginals)?
         };
+        self.stats.record_kernel(&kernel);
         let alerts = self.combine_alerts(&probs);
         self.t += 1;
         self.stats
@@ -700,23 +760,31 @@ impl RealTimeSession {
     fn step_chains_sequential(
         &mut self,
         tick_marginals: &[Marginal],
-    ) -> Result<(Vec<f64>, Vec<u64>), EngineError> {
+    ) -> Result<(Vec<f64>, Vec<u64>, KernelTickStats), EngineError> {
         let n_shards = self.shards.len();
         let mut shards = std::mem::take(&mut self.shards);
         let total = self.total_chains;
         let n_queries = self.queries.len();
+        let cache = &mut self.sym_cache;
+        // One cache generation per tick, shared by every shard: within a
+        // tick all chains step against the same staged marginals, so
+        // equal signatures mean equal distributions across shards too.
+        cache.begin_tick();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut probs = vec![0.0; total];
             let mut query_ns = vec![0u64; n_queries];
+            let mut kernel = KernelTickStats::default();
             for slot in &mut shards {
                 let shard = slot.as_mut().expect("all shards home between ticks");
-                let (shard_probs, shard_ns) = step_shard(shard, tick_marginals, "sequential_step")?;
+                let (shard_probs, shard_ns, shard_kernel) =
+                    step_shard(shard, tick_marginals, cache, "sequential_step")?;
                 probs[shard.start..shard.start + shard_probs.len()].copy_from_slice(&shard_probs);
                 for (qi, ns) in shard_ns {
                     query_ns[qi] = query_ns[qi].saturating_add(ns);
                 }
+                kernel.add(&shard_kernel);
             }
-            Ok::<_, EngineError>((probs, query_ns))
+            Ok::<_, EngineError>((probs, query_ns, kernel))
         }));
         match outcome {
             Ok(Ok(stepped)) => {
@@ -747,7 +815,7 @@ impl RealTimeSession {
     fn step_chains_parallel(
         &mut self,
         marginals: Arc<Vec<Marginal>>,
-    ) -> Result<(Vec<f64>, Vec<u64>), EngineError> {
+    ) -> Result<(Vec<f64>, Vec<u64>, KernelTickStats), EngineError> {
         self.ensure_pool();
         let pool = self.pool.as_ref().expect("pool just ensured");
         let deadline = self.config.tick_deadline.map(|d| (d, Instant::now() + d));
@@ -778,6 +846,7 @@ impl RealTimeSession {
         }
         let mut probs = vec![0.0; self.total_chains];
         let mut query_ns = vec![0u64; self.queries.len()];
+        let mut kernel = KernelTickStats::default();
         let mut first_error: Option<EngineError> = None;
         for _ in 0..in_flight {
             let reply = match deadline {
@@ -791,12 +860,13 @@ impl RealTimeSession {
                 }
             };
             match reply {
-                Ok((w, Ok((shard, shard_probs, shard_ns)))) => {
+                Ok((w, Ok((shard, shard_probs, shard_ns, shard_kernel)))) => {
                     probs[shard.start..shard.start + shard_probs.len()]
                         .copy_from_slice(&shard_probs);
                     for (qi, ns) in shard_ns {
                         query_ns[qi] = query_ns[qi].saturating_add(ns);
                     }
+                    kernel.add(&shard_kernel);
                     self.shards[w] = Some(shard);
                 }
                 Ok((_, Err(e))) => {
@@ -827,7 +897,7 @@ impl RealTimeSession {
             self.poisoned = true;
             return Err(e);
         }
-        Ok((probs, query_ns))
+        Ok((probs, query_ns, kernel))
     }
 
     /// Snapshots the complete session — per-chain forward distributions
@@ -854,7 +924,7 @@ impl RealTimeSession {
                     ))
                 })?;
                 Ok(QueryMeta {
-                    name: reg.name.clone(),
+                    name: reg.name.to_string(),
                     source,
                     extended: matches!(reg.kind, QueryKind::Extended),
                     n_chains: reg.n_chains,
@@ -1001,7 +1071,7 @@ impl RealTimeSession {
             }
             let query_index = session.queries.len();
             session.queries.push(Registered {
-                name: meta.name.clone(),
+                name: Arc::from(meta.name.as_str()),
                 kind,
                 source: Some(meta.source.clone()),
                 first_chain: session.total_chains,
@@ -1019,6 +1089,8 @@ impl RealTimeSession {
         // In place, not a handle swap: a metrics server started by
         // with_config above already holds a clone of session.stats.
         session.stats.load_state(&ckpt.stats);
+        // Gauges describe the rebuilt chains, not the checkpointed ones.
+        session.record_automata_stats();
         session.last_checkpoint = Some(ckpt.clone());
         session.replay_base = ckpt.t;
         Ok(session)
@@ -1147,6 +1219,18 @@ impl RealTimeSession {
             })
             .collect();
         self.repartition(all);
+        // Replays stepped chains outside step_shard; harvest the kernel
+        // counters they accumulated so per-path totals stay complete.
+        let mut kernel = KernelTickStats::default();
+        for slot in &mut self.shards {
+            if let Some(shard) = slot.as_mut() {
+                for (_, chain) in &mut shard.chains {
+                    kernel.steps.add(chain.take_kernel_counters());
+                }
+            }
+        }
+        self.stats.record_kernel(&kernel);
+        self.record_automata_stats();
         self.poisoned = false;
         let alerts = self.combine_alerts(&probs);
         self.t = target;

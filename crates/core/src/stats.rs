@@ -174,6 +174,13 @@ struct Inner {
     sampler_compilations: AtomicU64,
     sampler_worlds: AtomicU64,
     fallbacks: AtomicU64,
+    kernel_fast_steps: AtomicU64,
+    kernel_frozen_steps: AtomicU64,
+    kernel_slow_steps: AtomicU64,
+    sym_cache_hits: AtomicU64,
+    sym_cache_misses: AtomicU64,
+    automata_shared: AtomicU64,
+    automata_attached: AtomicU64,
     tick_latency: Mutex<Histogram>,
     fallback_reasons: Mutex<BTreeMap<String, u64>>,
     per_query: Mutex<BTreeMap<usize, QueryMetrics>>,
@@ -217,6 +224,13 @@ pub(crate) struct StatsState {
     pub(crate) sampler_compilations: u64,
     pub(crate) sampler_worlds: u64,
     pub(crate) fallbacks: u64,
+    pub(crate) kernel_fast_steps: u64,
+    pub(crate) kernel_frozen_steps: u64,
+    pub(crate) kernel_slow_steps: u64,
+    pub(crate) sym_cache_hits: u64,
+    pub(crate) sym_cache_misses: u64,
+    pub(crate) automata_shared: u64,
+    pub(crate) automata_attached: u64,
     pub(crate) fallback_reasons: BTreeMap<String, u64>,
     pub(crate) tick_latency: HistogramState,
     /// Per-query registry slots in ascending id order.
@@ -296,6 +310,33 @@ impl EngineStats {
         self.inner.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records kernel-path telemetry for one tick: how many chain
+    /// transitions were served by each path (local dense table / shared
+    /// frozen table / mutex interpreter) and the per-tick
+    /// symbol-distribution cache's hit/miss counts.
+    pub(crate) fn record_kernel(&self, k: &crate::kernel::KernelTickStats) {
+        let i = &self.inner;
+        i.kernel_fast_steps
+            .fetch_add(k.steps.fast, Ordering::Relaxed);
+        i.kernel_frozen_steps
+            .fetch_add(k.steps.frozen, Ordering::Relaxed);
+        i.kernel_slow_steps
+            .fetch_add(k.steps.slow, Ordering::Relaxed);
+        i.sym_cache_hits.fetch_add(k.sym_hits, Ordering::Relaxed);
+        i.sym_cache_misses
+            .fetch_add(k.sym_misses, Ordering::Relaxed);
+    }
+
+    /// Publishes the shared-automaton gauges: how many distinct compiled
+    /// automata back the session's chains and how many chains are
+    /// attached to one.
+    pub(crate) fn record_automata(&self, shared: u64, attached: u64) {
+        self.inner.automata_shared.store(shared, Ordering::Relaxed);
+        self.inner
+            .automata_attached
+            .store(attached, Ordering::Relaxed);
+    }
+
     /// Records an exact-path→sampler fallback and why it happened. At
     /// most [`MAX_FALLBACK_REASONS`](self) distinct reason strings are
     /// kept; later novel reasons count against the `"other"` bucket.
@@ -366,6 +407,13 @@ impl EngineStats {
             sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
             sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
+            kernel_fast_steps: i.kernel_fast_steps.load(Ordering::Relaxed),
+            kernel_frozen_steps: i.kernel_frozen_steps.load(Ordering::Relaxed),
+            kernel_slow_steps: i.kernel_slow_steps.load(Ordering::Relaxed),
+            sym_cache_hits: i.sym_cache_hits.load(Ordering::Relaxed),
+            sym_cache_misses: i.sym_cache_misses.load(Ordering::Relaxed),
+            automata_shared: i.automata_shared.load(Ordering::Relaxed),
+            automata_attached: i.automata_attached.load(Ordering::Relaxed),
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: latency,
             per_query,
@@ -403,6 +451,13 @@ impl EngineStats {
             sampler_compilations: i.sampler_compilations.load(Ordering::Relaxed),
             sampler_worlds: i.sampler_worlds.load(Ordering::Relaxed),
             fallbacks: i.fallbacks.load(Ordering::Relaxed),
+            kernel_fast_steps: i.kernel_fast_steps.load(Ordering::Relaxed),
+            kernel_frozen_steps: i.kernel_frozen_steps.load(Ordering::Relaxed),
+            kernel_slow_steps: i.kernel_slow_steps.load(Ordering::Relaxed),
+            sym_cache_hits: i.sym_cache_hits.load(Ordering::Relaxed),
+            sym_cache_misses: i.sym_cache_misses.load(Ordering::Relaxed),
+            automata_shared: i.automata_shared.load(Ordering::Relaxed),
+            automata_attached: i.automata_attached.load(Ordering::Relaxed),
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: i.tick_latency.lock().unwrap().export(),
             per_query,
@@ -436,6 +491,20 @@ impl EngineStats {
         i.sampler_worlds
             .store(state.sampler_worlds, Ordering::Relaxed);
         i.fallbacks.store(state.fallbacks, Ordering::Relaxed);
+        i.kernel_fast_steps
+            .store(state.kernel_fast_steps, Ordering::Relaxed);
+        i.kernel_frozen_steps
+            .store(state.kernel_frozen_steps, Ordering::Relaxed);
+        i.kernel_slow_steps
+            .store(state.kernel_slow_steps, Ordering::Relaxed);
+        i.sym_cache_hits
+            .store(state.sym_cache_hits, Ordering::Relaxed);
+        i.sym_cache_misses
+            .store(state.sym_cache_misses, Ordering::Relaxed);
+        i.automata_shared
+            .store(state.automata_shared, Ordering::Relaxed);
+        i.automata_attached
+            .store(state.automata_attached, Ordering::Relaxed);
         *i.fallback_reasons.lock().unwrap() = state.fallback_reasons.clone();
         *i.tick_latency.lock().unwrap() = Histogram::import(&state.tick_latency);
         *i.per_query.lock().unwrap() = state
@@ -535,6 +604,22 @@ pub struct StatsSnapshot {
     pub sampler_worlds: u64,
     /// Exact-path→sampler fallbacks.
     pub fallbacks: u64,
+    /// Chain transitions served by a chain's local dense table (the
+    /// lock-free compiled-kernel fast path).
+    pub kernel_fast_steps: u64,
+    /// Chain transitions served by a shared frozen transition table.
+    pub kernel_frozen_steps: u64,
+    /// Chain transitions resolved by the on-the-fly (mutex) interpreter.
+    pub kernel_slow_steps: u64,
+    /// Per-tick symbol-distribution cache hits (distribution reused).
+    pub sym_cache_hits: u64,
+    /// Per-tick symbol-distribution cache misses (distribution built).
+    pub sym_cache_misses: u64,
+    /// Distinct shared compiled automata backing the session's chains
+    /// (gauge).
+    pub automata_shared: u64,
+    /// Chains attached to a shared compiled automaton (gauge).
+    pub automata_attached: u64,
     /// Fallback reason → occurrence count (bounded cardinality; overflow
     /// lands in `"other"`).
     pub fallback_reasons: BTreeMap<String, u64>,
@@ -566,6 +651,20 @@ impl StatsSnapshot {
             self.marginals_staged,
             self.sampler_compilations,
             self.sampler_worlds,
+        )
+        .unwrap();
+        write!(
+            out,
+            "\"kernel\":{{\"fast_steps\":{},\"frozen_steps\":{},\"slow_steps\":{},\
+             \"sym_cache_hits\":{},\"sym_cache_misses\":{},\
+             \"automata_shared\":{},\"automata_attached\":{}}},",
+            self.kernel_fast_steps,
+            self.kernel_frozen_steps,
+            self.kernel_slow_steps,
+            self.sym_cache_hits,
+            self.sym_cache_misses,
+            self.automata_shared,
+            self.automata_attached,
         )
         .unwrap();
         write!(
@@ -837,6 +936,38 @@ mod tests {
     }
 
     #[test]
+    fn kernel_counters_accumulate_and_render() {
+        let stats = EngineStats::new();
+        let tick = crate::kernel::KernelTickStats {
+            steps: crate::kernel::KernelCounters {
+                fast: 100,
+                frozen: 20,
+                slow: 5,
+            },
+            sym_hits: 40,
+            sym_misses: 10,
+        };
+        stats.record_kernel(&tick);
+        stats.record_kernel(&tick);
+        stats.record_automata(3, 12);
+        // Gauges overwrite, counters accumulate.
+        stats.record_automata(4, 16);
+        let snap = stats.snapshot();
+        assert_eq!(snap.kernel_fast_steps, 200);
+        assert_eq!(snap.kernel_frozen_steps, 40);
+        assert_eq!(snap.kernel_slow_steps, 10);
+        assert_eq!(snap.sym_cache_hits, 80);
+        assert_eq!(snap.sym_cache_misses, 20);
+        assert_eq!(snap.automata_shared, 4);
+        assert_eq!(snap.automata_attached, 16);
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let kernel = doc.get("kernel").unwrap();
+        assert_eq!(kernel.get("fast_steps").unwrap().as_u64(), Some(200));
+        assert_eq!(kernel.get("sym_cache_hits").unwrap().as_u64(), Some(80));
+        assert_eq!(kernel.get("automata_shared").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
     fn non_finite_mean_is_guarded_in_json() {
         let mut snap = EngineStats::new().snapshot();
         snap.tick_latency.mean_ns = f64::NAN;
@@ -859,6 +990,16 @@ mod tests {
         stats.record_staged(8);
         stats.record_sampler(512);
         stats.record_fallback("why");
+        stats.record_kernel(&crate::kernel::KernelTickStats {
+            steps: crate::kernel::KernelCounters {
+                fast: 10,
+                frozen: 4,
+                slow: 2,
+            },
+            sym_hits: 7,
+            sym_misses: 3,
+        });
+        stats.record_automata(2, 6);
         stats.register_query(0, "q0", 3);
         stats.record_query_tick(0, Some(777), 0.5400000000000001);
         let state = stats.export_state();

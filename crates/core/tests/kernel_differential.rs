@@ -1,0 +1,273 @@
+//! Differential property tests for the compiled kernel path
+//! ([`lahar_core::kernel`]): on random databases, random queries, and
+//! random tick schedules, the dense-table/frozen-table path must produce
+//! **bit-identical** probabilities to the mutex-interpreter path — both
+//! well inside the 1e-12 agreement the engine promises — including
+//! across a mid-stream checkpoint/restore and across the sequential vs
+//! parallel tick paths.
+
+use lahar_core::{Checkpoint, ExtendedRegularEvaluator, RealTimeSession, SessionConfig, TickMode};
+use lahar_model::{Database, Marginal, StreamBuilder};
+use lahar_query::{parse_query, NormalQuery};
+use proptest::prelude::*;
+
+const DOMAIN: [&str; 3] = ["a", "h", "c"];
+
+/// The query pool: per-key extended sequences, a Kleene-plus shape with
+/// a relation-conditioned body, and a fully grounded (regular) query.
+const QUERIES: [&str; 4] = [
+    "At(p,'a') ; At(p,'c')",
+    "At(p,'h') ; At(p,'c')",
+    "At(p,'a') ; (At(p, l))+{p | Hallway(l)} ; At(p,'c')",
+    "At('p0','a') ; At('p0','c')",
+];
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_people: usize,
+    /// Indices into [`QUERIES`]; registered as q0, q1, … in order.
+    queries: Vec<usize>,
+    /// `ticks[t][person]` = raw weights over [`DOMAIN`] (⊥ absorbs the rest).
+    ticks: Vec<Vec<(f64, f64, f64)>>,
+    /// Tick index after which the kernel session is checkpointed and a
+    /// restored twin continues alongside it.
+    split: usize,
+    /// Run the kernel session on the sharded worker pool (the restored
+    /// and interpreter sessions stay sequential — answers must still be
+    /// bit-identical, worker interleaving is never observable).
+    parallel: bool,
+}
+
+fn weights() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64)
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    // The vendored proptest has no flat-map, so dependent shapes are
+    // derived in the map: rows carry the maximum of 3 people and are
+    // truncated to `n_people`; the split point is a seed reduced modulo
+    // the generated tick count.
+    (
+        1..4usize,
+        prop::collection::vec(0..QUERIES.len(), 1..4),
+        prop::collection::vec(prop::collection::vec(weights(), 3), 2..7),
+        0..1_000_000usize,
+        any::<bool>(),
+    )
+        .prop_map(|(n_people, queries, ticks, split_seed, parallel)| {
+            let split = 1 + split_seed % (ticks.len() - 1);
+            let ticks = ticks
+                .into_iter()
+                .map(|mut row| {
+                    row.truncate(n_people);
+                    row
+                })
+                .collect();
+            Scenario {
+                n_people,
+                queries,
+                ticks,
+                split,
+                parallel,
+            }
+        })
+}
+
+fn schema_db(n_people: usize) -> Database {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    db.declare_relation("Hallway", 1).unwrap();
+    let i = db.interner().clone();
+    db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+        .unwrap();
+    for p in 0..n_people {
+        let b = StreamBuilder::new(&i, "At", &[&format!("p{p}")], &DOMAIN);
+        db.add_stream(b.independent(vec![]).unwrap()).unwrap();
+    }
+    db
+}
+
+fn build_session(s: &Scenario, mode: TickMode, forced: bool) -> RealTimeSession {
+    let db = schema_db(s.n_people);
+    let mut session = RealTimeSession::with_config(
+        db,
+        SessionConfig {
+            tick_mode: mode,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    for (i, &q) in s.queries.iter().enumerate() {
+        session.register(&format!("q{i}"), QUERIES[q]).unwrap();
+    }
+    if forced {
+        session.force_interpreter(true);
+    }
+    session
+}
+
+/// One tick's marginal for a person: weights scaled so the named
+/// outcomes sum below 1 (⊥ absorbs the remainder). Built once per tick
+/// and cloned into every session, so all sessions see identical bits.
+fn tick_marginal(db_interner: &lahar_model::Interner, p: usize, w: (f64, f64, f64)) -> Marginal {
+    let b = StreamBuilder::new(db_interner, "At", &[&format!("p{p}")], &DOMAIN);
+    let scale = 1.0 / (w.0 + w.1 + w.2 + 1.0);
+    b.marginal(&[
+        (DOMAIN[0], w.0 * scale),
+        (DOMAIN[1], w.1 * scale),
+        (DOMAIN[2], w.2 * scale),
+    ])
+    .unwrap()
+}
+
+/// Alerts reduced to comparable bits: (query name, tick, probability bits).
+fn bits(alerts: &[lahar_core::Alert]) -> Vec<(String, u32, u64)> {
+    alerts
+        .iter()
+        .map(|a| (a.name.to_string(), a.t, a.probability.to_bits()))
+        .collect()
+}
+
+fn run_tick(
+    session: &mut RealTimeSession,
+    interner: &lahar_model::Interner,
+    row: &[(f64, f64, f64)],
+) -> Vec<lahar_core::Alert> {
+    for (p, &w) in row.iter().enumerate() {
+        session.stage(p, tick_marginal(interner, p, w)).unwrap();
+    }
+    session.tick().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Kernel vs interpreter vs checkpoint-restored sessions: the same
+    /// staged marginals must yield bit-identical alerts on every tick.
+    #[test]
+    fn kernel_interpreter_and_restore_agree(s in scenario()) {
+        let mode = if s.parallel { TickMode::Parallel } else { TickMode::Sequential };
+        let mut kern = build_session(&s, mode, false);
+        let mut intp = build_session(&s, TickMode::Sequential, true);
+        let interner = kern.database().interner().clone();
+
+        for row in &s.ticks[..s.split] {
+            let ka = run_tick(&mut kern, &interner, row);
+            let ia = run_tick(&mut intp, &interner, row);
+            prop_assert_eq!(bits(&ka), bits(&ia));
+        }
+
+        // Mid-stream checkpoint, JSON round-trip, restore into a fresh
+        // sequential session over a bare schema database.
+        let ckpt = kern.checkpoint().unwrap();
+        let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        let mut restored = RealTimeSession::restore(schema_db(s.n_people), &parsed).unwrap();
+        prop_assert_eq!(restored.now(), kern.now());
+
+        for row in &s.ticks[s.split..] {
+            let ka = run_tick(&mut kern, &interner, row);
+            let ia = run_tick(&mut intp, &interner, row);
+            let ra = run_tick(&mut restored, &interner, row);
+            let kb = bits(&ka);
+            prop_assert_eq!(&kb, &bits(&ia));
+            prop_assert_eq!(&kb, &bits(&ra));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: independent *and* Markov databases
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct BatchScenario {
+    markov: bool,
+    query: usize,
+    /// `series[person][t]` = raw weights (independent: marginal at `t`;
+    /// Markov: row `t` seeds the initial marginal / CPT rows).
+    series: Vec<Vec<(f64, f64, f64)>>,
+}
+
+fn batch_scenario() -> impl Strategy<Value = BatchScenario> {
+    // The possible-worlds oracle is exponential (4^(streams × horizon)
+    // worlds), so batch scenarios stay oracle-sized: ≤ 2 streams × 3
+    // ticks = 4096 worlds. Per-person series lengths vary independently
+    // (unequal stream lengths ⊥-pad to the horizon).
+    (
+        any::<bool>(),
+        0..QUERIES.len(),
+        prop::collection::vec(prop::collection::vec(weights(), 2..4), 1..3),
+    )
+        .prop_map(|(markov, query, series)| BatchScenario {
+            markov,
+            query,
+            series,
+        })
+}
+
+fn batch_db(s: &BatchScenario) -> Database {
+    let mut db = schema_db(0);
+    let i = db.interner().clone();
+    for (p, rows) in s.series.iter().enumerate() {
+        let b = StreamBuilder::new(&i, "At", &[&format!("p{p}")], &DOMAIN);
+        let stream = if s.markov {
+            // Row 0 seeds the initial marginal; each later row seeds one
+            // CPT (every from-outcome gets the same scaled target row,
+            // which keeps the chain correlated but trivially valid).
+            let init = tick_marginal(&i, p, rows[0]);
+            let cpts = rows[1..]
+                .iter()
+                .map(|&w| {
+                    let scale = 1.0 / (w.0 + w.1 + w.2 + 1.0);
+                    let mut entries = Vec::new();
+                    for from in DOMAIN {
+                        entries.push((from, DOMAIN[0], w.0 * scale));
+                        entries.push((from, DOMAIN[1], w.1 * scale));
+                        entries.push((from, DOMAIN[2], w.2 * scale));
+                    }
+                    b.cpt(&entries).unwrap()
+                })
+                .collect();
+            b.markov(init, cpts).unwrap()
+        } else {
+            let ms = rows.iter().map(|&w| tick_marginal(&i, p, w)).collect();
+            b.independent(ms).unwrap()
+        };
+        db.add_stream(stream).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch evaluation over independent and Markov databases: the
+    /// kernel-backed evaluator, the forced-interpreter evaluator, and
+    /// the reference possible-worlds oracle must agree — the first two
+    /// bit-for-bit, the oracle within float-reassociation tolerance.
+    #[test]
+    fn batch_kernel_matches_interpreter_and_oracle(s in batch_scenario()) {
+        let db = batch_db(&s);
+        let q = parse_query(db.interner(), QUERIES[s.query]).unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let horizon = db.horizon();
+
+        let kern = ExtendedRegularEvaluator::new(&db, &nq).unwrap()
+            .prob_series(&db, horizon);
+        let mut forced_eval = ExtendedRegularEvaluator::new(&db, &nq).unwrap();
+        forced_eval.force_interpreter(true);
+        let forced = forced_eval.prob_series(&db, horizon);
+        prop_assert_eq!(kern.len(), forced.len());
+        for (t, (k, f)) in kern.iter().zip(&forced).enumerate() {
+            prop_assert_eq!(k.to_bits(), f.to_bits(), "t={} kern={} forced={}", t, k, f);
+        }
+
+        // The oracle sums worlds in enumeration order, so agreement is up
+        // to float reassociation over ≤ 4096 terms, not bit-identity.
+        let oracle = lahar_query::prob_series(&db, &q).unwrap();
+        prop_assert_eq!(kern.len(), oracle.len());
+        for (t, (k, o)) in kern.iter().zip(&oracle).enumerate() {
+            prop_assert!((k - o).abs() <= 1e-9, "t={} kern={} oracle={}", t, k, o);
+        }
+    }
+}

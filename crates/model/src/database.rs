@@ -154,6 +154,22 @@ impl Database {
         self.streams[idx].push_marginal(marginal)
     }
 
+    /// [`Database::push_marginal`] addressed by stream index (position in
+    /// [`Database::streams`]) — the per-tick ingestion hot path, where the
+    /// caller already resolved the index and an id lookup per append would
+    /// be pure overhead.
+    pub fn push_marginal_at(
+        &mut self,
+        idx: usize,
+        marginal: crate::dist::Marginal,
+    ) -> Result<(), ModelError> {
+        let stream = self
+            .streams
+            .get_mut(idx)
+            .ok_or_else(|| ModelError::UnknownTuple(format!("stream index {idx}")))?;
+        stream.push_marginal(marginal)
+    }
+
     /// Looks up a stream by identity.
     pub fn stream(&self, id: &StreamId) -> Option<&Stream> {
         self.by_id.get(id).map(|&i| &self.streams[i])

@@ -140,12 +140,16 @@ fn main() {
     let metrics = scrape(endpoint, "/metrics");
     assert!(metrics.contains("lahar_query_ticks_total{query=\"coffee\""));
     assert!(metrics.contains("lahar_query_step_latency_seconds_bucket{query=\"wandering\""));
+    assert!(metrics.contains("lahar_kernel_steps_total{path=\"fast\"}"));
     println!("\nscraped per-query series from /metrics:");
     for line in metrics.lines().filter(|l| {
         l.starts_with("lahar_query_ticks_total{")
             || l.starts_with("lahar_query_probability{")
             || l.starts_with("lahar_query_step_latency_seconds_count{")
             || l.starts_with("lahar_tick_latency_seconds_count")
+            || l.starts_with("lahar_kernel_steps_total{")
+            || l.starts_with("lahar_kernel_sym_cache_total{")
+            || l.starts_with("lahar_kernel_automata_")
     }) {
         println!("  {line}");
     }

@@ -31,6 +31,8 @@ rm -f "$trace_out"
 for needle in \
     'healthz: ok' \
     'lahar_query_ticks_total{query="coffee"' \
+    'lahar_kernel_steps_total{path="fast"}' \
+    'lahar_kernel_automata_shared' \
     'chrome trace: '; do
     if ! grep -qF "$needle" <<<"$dash_out"; then
         echo "observability smoke failed: missing $needle" >&2
@@ -40,6 +42,16 @@ for needle in \
 done
 
 if [[ "$quick" -eq 0 ]]; then
+    echo "==> bench smoke (quick mode, writes BENCH_streaming.json)"
+    LAHAR_BENCH_QUICK=1 cargo bench --offline -p lahar-bench \
+        --bench streaming_throughput >/dev/null
+    for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"'; do
+        if ! grep -qF "$key" BENCH_streaming.json; then
+            echo "bench smoke failed: $key missing from BENCH_streaming.json" >&2
+            exit 1
+        fi
+    done
+
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --offline --workspace --all-targets -- -D warnings
 

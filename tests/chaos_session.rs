@@ -117,7 +117,7 @@ fn reference_alerts(ticks: &[Vec<(usize, Marginal)>]) -> Vec<Vec<(String, u32, u
                 .tick()
                 .unwrap()
                 .into_iter()
-                .map(|a| (a.name, a.t, a.probability.to_bits()))
+                .map(|a| (a.name.to_string(), a.t, a.probability.to_bits()))
                 .collect()
         })
         .collect()
@@ -126,7 +126,7 @@ fn reference_alerts(ticks: &[Vec<(usize, Marginal)>]) -> Vec<Vec<(String, u32, u
 fn assert_tick_matches(got: &[lahar::core::Alert], want: &[(String, u32, u64)]) {
     assert_eq!(got.len(), want.len());
     for (a, (name, t, bits)) in got.iter().zip(want) {
-        assert_eq!(&a.name, name);
+        assert_eq!(&*a.name, name);
         assert_eq!(a.t, *t);
         assert_eq!(
             a.probability.to_bits(),

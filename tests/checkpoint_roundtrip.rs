@@ -65,7 +65,7 @@ fn stage_tick(s: &mut RealTimeSession, joe: &StreamBuilder, sue: &StreamBuilder,
 fn alerts_bits(alerts: &[lahar::core::Alert]) -> Vec<(String, u32, u64)> {
     alerts
         .iter()
-        .map(|a| (a.name.clone(), a.t, a.probability.to_bits()))
+        .map(|a| (a.name.to_string(), a.t, a.probability.to_bits()))
         .collect()
 }
 
