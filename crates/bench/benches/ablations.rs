@@ -14,7 +14,7 @@
 
 use lahar_bench::*;
 use lahar_core::{SafePlanExecutor, Sampler, SamplerConfig};
-use lahar_model::{Cpt, Database, Marginal, Stream, StreamBuilder, StreamData, StreamId};
+use lahar_model::{Cpt, Database, Marginal, Stream, StreamBuilder, StreamData, StreamKey};
 use lahar_query::{compile_safe_plan, NormalQuery};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -143,7 +143,7 @@ fn ablation_independent_fast_path() {
         joint_db
             .add_stream(
                 Stream::markov(
-                    StreamId {
+                    StreamKey {
                         stream_type: s.id().stream_type,
                         key: s.id().key.clone(),
                     },

@@ -14,7 +14,7 @@
 use lahar_baselines::{detect_series, mle_world};
 use lahar_core::IntervalChain;
 use lahar_hmm::ParticleFilter;
-use lahar_model::{Database, Marginal, Stream, StreamId};
+use lahar_model::{Database, Marginal, Stream, StreamKey};
 use lahar_rfid::{build_location_hmm, Deployment, DeploymentConfig, FloorPlan, RoomKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -139,7 +139,7 @@ fn main() {
         .collect();
     db.add_stream(
         Stream::independent(
-            StreamId {
+            StreamKey {
                 stream_type: interner.intern("At"),
                 key: lahar_model::tuple([interner.intern("person0")]),
             },

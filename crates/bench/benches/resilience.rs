@@ -51,11 +51,15 @@ fn build_session(n_people: usize, config: SessionConfig) -> (RealTimeSession, Ve
 
 fn run_ticks(session: &mut RealTimeSession, ticks: &[Vec<Marginal>], n_ticks: usize) {
     for t in 0..n_ticks {
-        for (idx, per_key) in ticks.iter().enumerate() {
-            session
-                .stage(idx, per_key[t % per_key.len()].clone())
-                .unwrap();
-        }
+        let batch: Vec<_> = ticks
+            .iter()
+            .enumerate()
+            .map(|(idx, per_key)| {
+                let id = session.database().stream_id_at(idx).unwrap();
+                (id, per_key[t % per_key.len()].clone())
+            })
+            .collect();
+        session.stage_batch(batch).unwrap();
         std::hint::black_box(session.tick().unwrap());
     }
 }
@@ -106,10 +110,10 @@ fn main() {
         let (_, plain_secs) = timed(|| run_ticks(&mut plain, &ticks, n_ticks));
         let (mut ckpt, ticks) = build_session(
             n_people,
-            SessionConfig {
-                checkpoint_interval: 4,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .checkpoint_interval(4)
+                .build()
+                .unwrap(),
         );
         let (_, ckpt_secs) = timed(|| run_ticks(&mut ckpt, &ticks, n_ticks));
         assert!(ckpt.last_checkpoint().is_some());
@@ -154,17 +158,18 @@ fn recovery_bench(people_counts: &[usize], n_ticks: usize) {
     for &n_people in people_counts {
         let (mut session, ticks) = build_session(
             n_people,
-            SessionConfig {
-                tick_mode: TickMode::Parallel,
-                checkpoint_interval: 4,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .checkpoint_interval(4)
+                .build()
+                .unwrap(),
         );
         run_ticks(&mut session, &ticks, n_ticks);
         failpoint::configure("worker_step", FailAction::Panic, Schedule::Once { at: 0 });
         for (idx, per_key) in ticks.iter().enumerate() {
+            let id = session.database().stream_id_at(idx).unwrap();
             session
-                .stage(idx, per_key[n_ticks % per_key.len()].clone())
+                .stage(id, per_key[n_ticks % per_key.len()].clone())
                 .unwrap();
         }
         session.tick().unwrap_err();

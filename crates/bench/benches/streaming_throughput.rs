@@ -39,14 +39,8 @@ fn build_session(n_people: usize, mode: TickMode) -> (RealTimeSession, Vec<Vec<M
         ]);
         db.add_stream(b.independent(vec![]).unwrap()).unwrap();
     }
-    let mut session = RealTimeSession::with_config(
-        db,
-        SessionConfig {
-            tick_mode: mode,
-            ..SessionConfig::default()
-        },
-    )
-    .unwrap();
+    let config = SessionConfig::builder().tick_mode(mode).build().unwrap();
+    let mut session = RealTimeSession::with_config(db, config).unwrap();
     session.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();
     session.register("q_hc", "At(p,'h') ; At(p,'c')").unwrap();
     session
@@ -61,11 +55,14 @@ fn build_session(n_people: usize, mode: TickMode) -> (RealTimeSession, Vec<Vec<M
 
 fn run_ticks(session: &mut RealTimeSession, ticks: &[Vec<Marginal>], n_ticks: usize) {
     for t in 0..n_ticks {
-        for (idx, per_key) in ticks.iter().enumerate() {
-            session
-                .stage(idx, per_key[t % per_key.len()].clone())
-                .unwrap();
-        }
+        let batch = ticks.iter().enumerate().map(|(idx, per_key)| {
+            let id = session.database().stream_id_at(idx).unwrap();
+            (id, per_key[t % per_key.len()].clone())
+        });
+        // Collected first: `stage_batch` borrows the session mutably
+        // while `database()` borrows it shared.
+        let batch: Vec<_> = batch.collect();
+        session.stage_batch(batch).unwrap();
         std::hint::black_box(session.tick().unwrap());
     }
 }

@@ -30,9 +30,9 @@ use std::time::Duration;
 /// Version history: 1 — initial format (PR 2); 2 — config gained
 /// `metrics_addr`/`trace`, stats gained `marginals_staged` and the
 /// `per_query` registry; 3 — stats gained the kernel-path counters
-/// (`kernel_*_steps`, `sym_cache_*`) and shared-automaton gauges (this
-/// build).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// (`kernel_*_steps`, `sym_cache_*`) and shared-automaton gauges;
+/// 4 — config gained `serve_addr` (this build).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Document-type marker embedded in every checkpoint.
 const FORMAT: &str = "lahar-checkpoint";
@@ -292,6 +292,11 @@ fn push_config(out: &mut String, c: &SessionConfig) {
         None => out.push_str("null"),
         Some(addr) => json::push_string(out, &addr.to_string()),
     }
+    out.push_str(",\"serve_addr\":");
+    match c.serve_addr {
+        None => out.push_str("null"),
+        Some(addr) => json::push_string(out, &addr.to_string()),
+    }
     out.push_str(&format!(",\"trace\":{}}}", c.trace));
 }
 
@@ -324,6 +329,16 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
                 .map_err(|_| corrupt("metrics_addr is not a socket address"))?,
         ),
     };
+    let serve_addr = match get(v, "serve_addr")? {
+        JsonValue::Null => None,
+        other => Some(
+            other
+                .as_str()
+                .ok_or_else(|| corrupt("serve_addr is not a string"))?
+                .parse()
+                .map_err(|_| corrupt("serve_addr is not a socket address"))?,
+        ),
+    };
     Ok(SessionConfig {
         tick_mode,
         n_workers: get_u64(v, "n_workers")? as usize,
@@ -331,6 +346,7 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
         checkpoint_interval: get_u64(v, "checkpoint_interval")? as usize,
         tick_deadline,
         metrics_addr,
+        serve_addr,
         trace: get_bool(v, "trace")?,
     })
 }
@@ -541,6 +557,7 @@ mod tests {
                 checkpoint_interval: 8,
                 tick_deadline: Some(Duration::from_millis(250)),
                 metrics_addr: Some("127.0.0.1:9633".parse().unwrap()),
+                serve_addr: Some("127.0.0.1:9634".parse().unwrap()),
                 trace: true,
             },
             staged: vec![None, Some(vec![0.1, 0.2, 0.7])],

@@ -1,0 +1,216 @@
+//! Blocking client for a [`crate::server::LaharServer`].
+//!
+//! [`LaharClient`] speaks the newline-delimited JSON protocol of
+//! [`crate::protocol`] over one [`TcpStream`]. Commands are strictly
+//! request/response, so a client is usable from one thread at a time;
+//! open one client per thread for concurrency.
+//!
+//! Error mapping: transport failures become
+//! [`EngineError::ServerUnavailable`], malformed frames become
+//! [`EngineError::Protocol`], and server-side `Error` responses become
+//! [`EngineError::Remote`] — including the `overloaded` backpressure
+//! code, which callers are expected to match on and retry:
+//!
+//! ```ignore
+//! match client.stage_tick(&marginals) {
+//!     Err(EngineError::Remote { code, .. }) if code == "overloaded" => retry_later(),
+//!     other => other?,
+//! }
+//! ```
+
+use crate::error::EngineError;
+use crate::protocol::{encode_command, parse_response, Command, Response, WireAlert, WireMarginal};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to a `lahar serve` endpoint, bound to one
+/// named session (except [`LaharClient::ping`] and
+/// [`LaharClient::shutdown_server`], which are server-level).
+#[derive(Debug)]
+pub struct LaharClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    session: String,
+}
+
+fn transport(op: &str, e: std::io::Error) -> EngineError {
+    EngineError::ServerUnavailable(format!("{op}: {e}"))
+}
+
+impl LaharClient {
+    /// Connects to `addr` and binds this client to `session` (created or
+    /// restored server-side on first use).
+    pub fn connect(addr: SocketAddr, session: &str) -> Result<Self, EngineError> {
+        Self::connect_timeout(addr, session, Duration::from_secs(5))
+    }
+
+    /// [`LaharClient::connect`] with an explicit connect timeout.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        session: &str,
+        timeout: Duration,
+    ) -> Result<Self, EngineError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| transport(&format!("connect {addr}"), e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| transport("set_nodelay", e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| transport("clone", e))?);
+        Ok(Self {
+            writer: stream,
+            reader,
+            session: session.to_owned(),
+        })
+    }
+
+    /// The session name this client addresses.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Sends one command and blocks for its response. Server-side
+    /// `Error` responses are returned as `Ok(Response::Error { .. })`;
+    /// use the typed helpers to get them as [`EngineError::Remote`].
+    pub fn request(&mut self, cmd: &Command) -> Result<Response, EngineError> {
+        let mut frame = encode_command(cmd);
+        frame.push('\n');
+        self.writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| transport("send", e))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| transport("recv", e))?;
+        if n == 0 {
+            return Err(EngineError::ServerUnavailable(
+                "connection closed by server".to_owned(),
+            ));
+        }
+        parse_response(line.trim_end())
+    }
+
+    /// As [`LaharClient::request`], but lifts `Error` responses into
+    /// [`EngineError::Remote`].
+    fn call(&mut self, cmd: &Command) -> Result<Response, EngineError> {
+        match self.request(cmd)? {
+            Response::Error { code, message } => Err(EngineError::Remote { code, message }),
+            ok => Ok(ok),
+        }
+    }
+
+    fn unexpected(response: &Response) -> EngineError {
+        EngineError::Protocol(format!("unexpected response {response:?}"))
+    }
+
+    /// Health check; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u32, EngineError> {
+        match self.call(&Command::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Opens (creates or restores) the session; returns `(t, restored)`
+    /// where `t` is the session's current timestep.
+    pub fn open(&mut self) -> Result<(u32, bool), EngineError> {
+        let cmd = Command::Open {
+            session: self.session.clone(),
+        };
+        match self.call(&cmd)? {
+            Response::Opened { t, restored } => Ok((t, restored)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Registers a named query; returns its registration index.
+    pub fn register(&mut self, name: &str, query: &str) -> Result<usize, EngineError> {
+        let cmd = Command::Register {
+            session: self.session.clone(),
+            name: name.to_owned(),
+            query: query.to_owned(),
+        };
+        match self.call(&cmd)? {
+            Response::Registered { query } => Ok(query),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Stages a batch of marginals for the upcoming tick without
+    /// closing it; returns the number staged.
+    pub fn stage(&mut self, marginals: &[WireMarginal]) -> Result<usize, EngineError> {
+        let cmd = Command::Stage {
+            session: self.session.clone(),
+            marginals: marginals.to_vec(),
+            tick: false,
+        };
+        match self.call(&cmd)? {
+            Response::Staged { staged } => Ok(staged),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Stages a batch and closes the tick in one round trip; returns
+    /// the alerts of the closed tick.
+    pub fn stage_tick(
+        &mut self,
+        marginals: &[WireMarginal],
+    ) -> Result<Vec<WireAlert>, EngineError> {
+        let cmd = Command::Stage {
+            session: self.session.clone(),
+            marginals: marginals.to_vec(),
+            tick: true,
+        };
+        match self.call(&cmd)? {
+            Response::Ticked { alerts, .. } => Ok(alerts),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Closes the current tick with whatever is staged.
+    pub fn tick(&mut self) -> Result<Vec<WireAlert>, EngineError> {
+        let cmd = Command::Tick {
+            session: self.session.clone(),
+        };
+        match self.call(&cmd)? {
+            Response::Ticked { alerts, .. } => Ok(alerts),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches `μ(q@t)` for `t = 0..now` of a registered query — the
+    /// same series [`crate::Lahar::prob_series`] would compute offline.
+    pub fn series(&mut self, query: &str) -> Result<Vec<f64>, EngineError> {
+        let cmd = Command::Series {
+            session: self.session.clone(),
+            query: query.to_owned(),
+        };
+        match self.call(&cmd)? {
+            Response::Series { series, .. } => Ok(series),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Forces a checkpoint of the session now; returns the
+    /// checkpointed timestep.
+    pub fn checkpoint(&mut self) -> Result<u32, EngineError> {
+        let cmd = Command::Checkpoint {
+            session: self.session.clone(),
+        };
+        match self.call(&cmd)? {
+            Response::Checkpointed { t } => Ok(t),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (checkpointing every
+    /// hosted session). The server acknowledges before tearing down.
+    pub fn shutdown_server(&mut self) -> Result<(), EngineError> {
+        match self.call(&Command::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}

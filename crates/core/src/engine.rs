@@ -1,6 +1,6 @@
 //! The top-level Lahar engine: classify, compile, evaluate.
 //!
-//! [`Lahar::compile`] runs the static analysis (§3) and picks the cheapest
+//! [`Lahar::compile_with`] runs the static analysis (§3) and picks the cheapest
 //! exact algorithm for the query's class — streaming Markov chains for
 //! Regular queries, per-key chains for Extended Regular queries, the
 //! interval algebra for Safe queries — and falls back to the (ε, δ) Monte
@@ -114,43 +114,140 @@ impl CompiledQuery<'_> {
     }
 }
 
+/// A query handed to [`Lahar::compile_with`]: either source text (parsed
+/// and validated against the database) or an already-validated AST.
+/// Usually built implicitly via `Into`:
+///
+/// ```ignore
+/// Lahar::compile_with(&db, "At('joe','a')", CompileOptions::new())?;
+/// Lahar::compile_with(&db, &ast, CompileOptions::new())?;
+/// ```
+pub enum QuerySource<'a> {
+    /// Query source text, parsed and validated at compile time.
+    Text(&'a str),
+    /// An already-validated AST.
+    Ast(&'a Query),
+}
+
+impl<'a> From<&'a str> for QuerySource<'a> {
+    fn from(src: &'a str) -> Self {
+        QuerySource::Text(src)
+    }
+}
+
+impl<'a> From<&'a Query> for QuerySource<'a> {
+    fn from(q: &'a Query) -> Self {
+        QuerySource::Ast(q)
+    }
+}
+
+/// Options for [`Lahar::compile_with`]. The default is equivalent to the
+/// old zero-argument `compile`: default sampler configuration, no
+/// instrumentation.
+#[derive(Clone, Copy, Default)]
+pub struct CompileOptions<'s> {
+    sampler: SamplerConfig,
+    stats: Option<&'s EngineStats>,
+}
+
+impl<'s> CompileOptions<'s> {
+    /// Default options: default [`SamplerConfig`], no instrumentation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses `config` when compilation lands on (or falls back to) the
+    /// Monte Carlo sampler.
+    pub fn sampler_config(mut self, config: SamplerConfig) -> Self {
+        self.sampler = config;
+        self
+    }
+
+    /// Records sampler world counts and exact-path→sampler fallbacks
+    /// (with their reasons) into `stats`.
+    pub fn instrument(mut self, stats: &'s EngineStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+}
+
 /// The Lahar engine facade.
 pub struct Lahar;
 
 impl Lahar {
+    /// Classifies and compiles a query — text or AST — under `options`.
+    ///
+    /// This is the single compilation entry point; the historical
+    /// `compile` / `compile_query` / `compile_with_sampler_config` /
+    /// `compile_instrumented` names forward here and are deprecated.
+    pub fn compile_with<'db, 'a>(
+        db: &'db Database,
+        query: impl Into<QuerySource<'a>>,
+        options: CompileOptions<'_>,
+    ) -> Result<CompiledQuery<'db>, EngineError> {
+        let parsed;
+        let q = match query.into() {
+            QuerySource::Text(src) => {
+                parsed = parse_and_validate(db.catalog(), db.interner(), src)?;
+                &parsed
+            }
+            QuerySource::Ast(q) => q,
+        };
+        Self::compile_inner(db, q, options.sampler, options.stats)
+    }
+
     /// Parses, validates, classifies, and compiles a textual query.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Lahar::compile_with(db, src, CompileOptions::new())`"
+    )]
     pub fn compile<'db>(db: &'db Database, src: &str) -> Result<CompiledQuery<'db>, EngineError> {
-        let q = parse_and_validate(db.catalog(), db.interner(), src)?;
-        Self::compile_query(db, &q)
+        Self::compile_with(db, src, CompileOptions::new())
     }
 
     /// Classifies and compiles an AST query.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Lahar::compile_with(db, query, CompileOptions::new())`"
+    )]
     pub fn compile_query<'db>(
         db: &'db Database,
         q: &Query,
     ) -> Result<CompiledQuery<'db>, EngineError> {
-        Self::compile_with_sampler_config(db, q, SamplerConfig::default())
+        Self::compile_with(db, q, CompileOptions::new())
     }
 
     /// Full-control compilation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Lahar::compile_with(db, query, CompileOptions::new().sampler_config(config))`"
+    )]
     pub fn compile_with_sampler_config<'db>(
         db: &'db Database,
         q: &Query,
         sampler_config: SamplerConfig,
     ) -> Result<CompiledQuery<'db>, EngineError> {
-        Self::compile_inner(db, q, sampler_config, None)
+        Self::compile_with(db, q, CompileOptions::new().sampler_config(sampler_config))
     }
 
-    /// Like [`Lahar::compile_with_sampler_config`], additionally
-    /// recording sampler world counts and exact-path→sampler fallbacks
-    /// (with their reasons) into `stats`.
+    /// Compilation with sampler statistics recorded into `stats`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Lahar::compile_with(db, query, CompileOptions::new().sampler_config(config).instrument(stats))`"
+    )]
     pub fn compile_instrumented<'db>(
         db: &'db Database,
         q: &Query,
         sampler_config: SamplerConfig,
         stats: &EngineStats,
     ) -> Result<CompiledQuery<'db>, EngineError> {
-        Self::compile_inner(db, q, sampler_config, Some(stats))
+        Self::compile_with(
+            db,
+            q,
+            CompileOptions::new()
+                .sampler_config(sampler_config)
+                .instrument(stats),
+        )
     }
 
     fn compile_inner<'db>(
@@ -214,7 +311,7 @@ impl Lahar {
     /// One-shot: the full probability series of a textual query.
     pub fn prob_series(db: &Database, src: &str) -> Result<Vec<f64>, EngineError> {
         let horizon = db.horizon();
-        Self::compile(db, src)?.prob_series(horizon)
+        Self::compile_with(db, src, CompileOptions::new())?.prob_series(horizon)
     }
 
     /// The class a textual query falls into (parse + classify only).
@@ -267,7 +364,7 @@ mod tests {
             ("sigma[x = y](At(x,'a') ; At(y,'c'))", Algorithm::Sampling),
         ];
         for (src, algo) in cases {
-            let c = Lahar::compile(&db, src).unwrap();
+            let c = Lahar::compile_with(&db, src, CompileOptions::new()).unwrap();
             assert_eq!(c.algorithm(), algo, "{src}");
         }
     }
@@ -305,8 +402,8 @@ mod tests {
     #[test]
     fn invalid_queries_surface_errors() {
         let db = db();
-        assert!(Lahar::compile(&db, "Nope(x)").is_err());
-        assert!(Lahar::compile(&db, "At(x").is_err());
+        assert!(Lahar::compile_with(&db, "Nope(x)", CompileOptions::new()).is_err());
+        assert!(Lahar::compile_with(&db, "At(x", CompileOptions::new()).is_err());
     }
 
     /// Instrumented compilation records sampler use, and distinguishes
@@ -327,7 +424,7 @@ mod tests {
             "sigma[x = y](At(x,'a') ; At(y,'c'))",
         )
         .unwrap();
-        let c = Lahar::compile_instrumented(&db, &q, SamplerConfig::default(), &stats).unwrap();
+        let c = Lahar::compile_with(&db, &q, CompileOptions::new().instrument(&stats)).unwrap();
         assert_eq!(c.algorithm(), Algorithm::Sampling);
         let snap = stats.snapshot();
         assert_eq!(snap.fallbacks, 0, "unsafe is not a fallback");
@@ -344,7 +441,7 @@ mod tests {
             classify(db.catalog(), &NormalQuery::from_query(&q)),
             QueryClass::Safe
         );
-        let c = Lahar::compile_instrumented(&db, &q, SamplerConfig::default(), &stats).unwrap();
+        let c = Lahar::compile_with(&db, &q, CompileOptions::new().instrument(&stats)).unwrap();
         assert_eq!(c.algorithm(), Algorithm::Sampling);
         let snap = stats.snapshot();
         assert_eq!(snap.fallbacks, 1);

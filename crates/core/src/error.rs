@@ -63,6 +63,22 @@ pub enum EngineError {
     /// [`crate::SessionConfig::metrics_addr`] could not be started
     /// (bind or thread-spawn failure).
     MetricsUnavailable(String),
+    /// A configuration value rejected at build time (see
+    /// [`crate::SessionConfig::builder`]).
+    InvalidConfig(String),
+    /// The serving endpoint could not be started or reached (bind,
+    /// connect, or I/O failure on the wire).
+    ServerUnavailable(String),
+    /// A wire frame violated the serving protocol (malformed JSON,
+    /// missing fields, unsupported version).
+    Protocol(String),
+    /// The server answered a client request with an error response.
+    Remote {
+        /// Machine-readable error code from the server.
+        code: String,
+        /// Human-readable message from the server.
+        message: String,
+    },
 }
 
 impl EngineError {
@@ -118,6 +134,18 @@ impl fmt::Display for EngineError {
             }
             EngineError::MetricsUnavailable(msg) => {
                 write!(f, "metrics endpoint unavailable: {msg}")
+            }
+            EngineError::InvalidConfig(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
+            EngineError::ServerUnavailable(msg) => {
+                write!(f, "server unavailable: {msg}")
+            }
+            EngineError::Protocol(msg) => {
+                write!(f, "protocol violation: {msg}")
+            }
+            EngineError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
             }
         }
     }

@@ -26,6 +26,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One row of the counter exposition table: metric name, help text, and
+/// the accessor that pulls the value out of a snapshot.
+type CounterRow = (&'static str, &'static str, fn(&StatsSnapshot) -> u64);
+
 /// Escapes a label value per the Prometheus text format: backslash,
 /// double quote, and newline.
 fn push_label_value(out: &mut String, value: &str) {
@@ -60,11 +64,6 @@ fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
     writeln!(out, "# TYPE {name} {kind}").unwrap();
 }
 
-fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
-    push_header(out, name, help, "counter");
-    writeln!(out, "{name} {value}").unwrap();
-}
-
 /// Emits one cumulative histogram series (`_bucket`/`_sum`/`_count`)
 /// under `name`, with `labels` (e.g. `query="coffee",id="0"`) spliced
 /// into every sample. Bucket upper bounds come from the power-of-two
@@ -93,81 +92,113 @@ fn push_histogram(out: &mut String, name: &str, labels: &str, l: &LatencySnapsho
     writeln!(out, "{name}_count{braced} {}", l.count).unwrap();
 }
 
+/// Joins a session label fragment with metric-specific labels.
+fn joined(session: &str, rest: &str) -> String {
+    match (session.is_empty(), rest.is_empty()) {
+        (true, _) => rest.to_owned(),
+        (false, true) => session.to_owned(),
+        (false, false) => format!("{session},{rest}"),
+    }
+}
+
+/// Writes one `name{labels} value` sample, omitting the braces for an
+/// empty label set.
+fn push_sample(out: &mut String, name: &str, labels: &str, value: &str) {
+    if labels.is_empty() {
+        writeln!(out, "{name} {value}").unwrap();
+    } else {
+        writeln!(out, "{name}{{{labels}}} {value}").unwrap();
+    }
+}
+
 /// Renders a [`StatsSnapshot`] in Prometheus text format v0.0.4.
 pub fn to_prometheus(snap: &StatsSnapshot) -> String {
-    let mut out = String::with_capacity(4096);
-    push_counter(
-        &mut out,
-        "lahar_ticks_total",
-        "Session ticks processed.",
-        snap.ticks,
-    );
-    push_counter(
-        &mut out,
-        "lahar_parallel_ticks_total",
-        "Ticks run on the sharded parallel path.",
-        snap.parallel_ticks,
-    );
-    push_counter(
-        &mut out,
-        "lahar_degraded_ticks_total",
-        "Ticks forced sequential by degraded mode.",
-        snap.degraded_ticks,
-    );
-    push_counter(
-        &mut out,
-        "lahar_recoveries_total",
-        "Successful session recoveries.",
-        snap.recoveries,
-    );
-    push_counter(
-        &mut out,
-        "lahar_checkpoints_total",
-        "Checkpoints taken (manual or automatic).",
-        snap.checkpoints_taken,
-    );
-    push_counter(
-        &mut out,
-        "lahar_chains_stepped_total",
-        "Per-binding Markov chains stepped across all ticks.",
-        snap.chains_stepped,
-    );
-    push_counter(
-        &mut out,
-        "lahar_bindings_grounded_total",
-        "Per-key chains grounded at query registration.",
-        snap.bindings_grounded,
-    );
-    push_counter(
-        &mut out,
-        "lahar_alerts_total",
-        "Alerts emitted by ticks.",
-        snap.alerts_emitted,
-    );
-    push_counter(
-        &mut out,
-        "lahar_marginals_staged_total",
-        "Marginals staged by the inference layer.",
-        snap.marginals_staged,
-    );
-    push_counter(
-        &mut out,
-        "lahar_sampler_compilations_total",
-        "Monte Carlo compilations.",
-        snap.sampler_compilations,
-    );
-    push_counter(
-        &mut out,
-        "lahar_sampler_worlds_total",
-        "Sampled worlds across all Monte Carlo compilations.",
-        snap.sampler_worlds,
-    );
-    push_counter(
-        &mut out,
-        "lahar_fallbacks_total",
-        "Exact-path to sampler fallbacks.",
-        snap.fallbacks,
-    );
+    to_prometheus_sessions(&[("", snap)])
+}
+
+/// Renders several sessions' snapshots as one exposition document:
+/// HELP/TYPE metadata once per metric, one sample per session labelled
+/// `session="<name>"`. An empty name attaches no `session` label — the
+/// single-session [`to_prometheus`] path delegates here with one unnamed
+/// entry, so its output shape is unchanged.
+pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
+    let mut out = String::with_capacity(4096 * sessions.len().max(1));
+    // Pre-rendered `session="..."` fragment per entry.
+    let entries: Vec<(String, &StatsSnapshot)> = sessions
+        .iter()
+        .map(|(name, snap)| {
+            if name.is_empty() {
+                (String::new(), *snap)
+            } else {
+                let mut l = String::from("session=");
+                push_label_value(&mut l, name);
+                (l, *snap)
+            }
+        })
+        .collect();
+
+    let counters: [CounterRow; 12] = [
+        ("lahar_ticks_total", "Session ticks processed.", |s| s.ticks),
+        (
+            "lahar_parallel_ticks_total",
+            "Ticks run on the sharded parallel path.",
+            |s| s.parallel_ticks,
+        ),
+        (
+            "lahar_degraded_ticks_total",
+            "Ticks forced sequential by degraded mode.",
+            |s| s.degraded_ticks,
+        ),
+        (
+            "lahar_recoveries_total",
+            "Successful session recoveries.",
+            |s| s.recoveries,
+        ),
+        (
+            "lahar_checkpoints_total",
+            "Checkpoints taken (manual or automatic).",
+            |s| s.checkpoints_taken,
+        ),
+        (
+            "lahar_chains_stepped_total",
+            "Per-binding Markov chains stepped across all ticks.",
+            |s| s.chains_stepped,
+        ),
+        (
+            "lahar_bindings_grounded_total",
+            "Per-key chains grounded at query registration.",
+            |s| s.bindings_grounded,
+        ),
+        ("lahar_alerts_total", "Alerts emitted by ticks.", |s| {
+            s.alerts_emitted
+        }),
+        (
+            "lahar_marginals_staged_total",
+            "Marginals staged by the inference layer.",
+            |s| s.marginals_staged,
+        ),
+        (
+            "lahar_sampler_compilations_total",
+            "Monte Carlo compilations.",
+            |s| s.sampler_compilations,
+        ),
+        (
+            "lahar_sampler_worlds_total",
+            "Sampled worlds across all Monte Carlo compilations.",
+            |s| s.sampler_worlds,
+        ),
+        (
+            "lahar_fallbacks_total",
+            "Exact-path to sampler fallbacks.",
+            |s| s.fallbacks,
+        ),
+    ];
+    for (name, help, value) in counters {
+        push_header(&mut out, name, help, "counter");
+        for (label, snap) in &entries {
+            push_sample(&mut out, name, label, &value(snap).to_string());
+        }
+    }
 
     push_header(
         &mut out,
@@ -176,12 +207,20 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
          frozen = shared frozen table, slow = interpreter).",
         "counter",
     );
-    for (path, value) in [
-        ("fast", snap.kernel_fast_steps),
-        ("frozen", snap.kernel_frozen_steps),
-        ("slow", snap.kernel_slow_steps),
-    ] {
-        writeln!(out, "lahar_kernel_steps_total{{path=\"{path}\"}} {value}").unwrap();
+    for (label, snap) in &entries {
+        for (path, value) in [
+            ("fast", snap.kernel_fast_steps),
+            ("frozen", snap.kernel_frozen_steps),
+            ("slow", snap.kernel_slow_steps),
+        ] {
+            let labels = joined(label, &format!("path=\"{path}\""));
+            push_sample(
+                &mut out,
+                "lahar_kernel_steps_total",
+                &labels,
+                &value.to_string(),
+            );
+        }
     }
     push_header(
         &mut out,
@@ -189,15 +228,19 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Per-tick symbol-distribution cache lookups by result.",
         "counter",
     );
-    for (result, value) in [
-        ("hit", snap.sym_cache_hits),
-        ("miss", snap.sym_cache_misses),
-    ] {
-        writeln!(
-            out,
-            "lahar_kernel_sym_cache_total{{result=\"{result}\"}} {value}"
-        )
-        .unwrap();
+    for (label, snap) in &entries {
+        for (result, value) in [
+            ("hit", snap.sym_cache_hits),
+            ("miss", snap.sym_cache_misses),
+        ] {
+            let labels = joined(label, &format!("result=\"{result}\""));
+            push_sample(
+                &mut out,
+                "lahar_kernel_sym_cache_total",
+                &labels,
+                &value.to_string(),
+            );
+        }
     }
     push_header(
         &mut out,
@@ -205,19 +248,28 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Distinct shared compiled automata backing the session's chains.",
         "gauge",
     );
-    writeln!(out, "lahar_kernel_automata_shared {}", snap.automata_shared).unwrap();
+    for (label, snap) in &entries {
+        push_sample(
+            &mut out,
+            "lahar_kernel_automata_shared",
+            label,
+            &snap.automata_shared.to_string(),
+        );
+    }
     push_header(
         &mut out,
         "lahar_kernel_automata_attached_chains",
         "Chains attached to a shared compiled automaton.",
         "gauge",
     );
-    writeln!(
-        out,
-        "lahar_kernel_automata_attached_chains {}",
-        snap.automata_attached
-    )
-    .unwrap();
+    for (label, snap) in &entries {
+        push_sample(
+            &mut out,
+            "lahar_kernel_automata_attached_chains",
+            label,
+            &snap.automata_attached.to_string(),
+        );
+    }
 
     push_header(
         &mut out,
@@ -225,10 +277,17 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Fallbacks by reason (bounded cardinality; overflow in \"other\").",
         "counter",
     );
-    for (reason, count) in &snap.fallback_reasons {
-        out.push_str("lahar_fallbacks_by_reason_total{reason=");
-        push_label_value(&mut out, reason);
-        writeln!(out, "}} {count}").unwrap();
+    for (label, snap) in &entries {
+        for (reason, count) in &snap.fallback_reasons {
+            let mut rest = String::from("reason=");
+            push_label_value(&mut rest, reason);
+            push_sample(
+                &mut out,
+                "lahar_fallbacks_by_reason_total",
+                &joined(label, &rest),
+                &count.to_string(),
+            );
+        }
     }
 
     push_header(
@@ -237,12 +296,14 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Wall-clock latency of whole session ticks.",
         "histogram",
     );
-    push_histogram(
-        &mut out,
-        "lahar_tick_latency_seconds",
-        "",
-        &snap.tick_latency,
-    );
+    for (label, snap) in &entries {
+        push_histogram(
+            &mut out,
+            "lahar_tick_latency_seconds",
+            label,
+            &snap.tick_latency,
+        );
+    }
 
     push_header(
         &mut out,
@@ -250,10 +311,18 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Ticks closed per registered query.",
         "counter",
     );
-    for q in &snap.per_query {
-        write!(out, "lahar_query_ticks_total{{query=").unwrap();
-        push_label_value(&mut out, &q.name);
-        writeln!(out, ",id=\"{}\"}} {}", q.id, q.ticks).unwrap();
+    for (label, snap) in &entries {
+        for q in &snap.per_query {
+            let mut rest = String::from("query=");
+            push_label_value(&mut rest, &q.name);
+            write!(rest, ",id=\"{}\"", q.id).unwrap();
+            push_sample(
+                &mut out,
+                "lahar_query_ticks_total",
+                &joined(label, &rest),
+                &q.ticks.to_string(),
+            );
+        }
     }
     push_header(
         &mut out,
@@ -261,10 +330,18 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Per-key chains the query grounds to.",
         "gauge",
     );
-    for q in &snap.per_query {
-        write!(out, "lahar_query_chains{{query=").unwrap();
-        push_label_value(&mut out, &q.name);
-        writeln!(out, ",id=\"{}\"}} {}", q.id, q.chains).unwrap();
+    for (label, snap) in &entries {
+        for q in &snap.per_query {
+            let mut rest = String::from("query=");
+            push_label_value(&mut rest, &q.name);
+            write!(rest, ",id=\"{}\"", q.id).unwrap();
+            push_sample(
+                &mut out,
+                "lahar_query_chains",
+                &joined(label, &rest),
+                &q.chains.to_string(),
+            );
+        }
     }
     push_header(
         &mut out,
@@ -272,12 +349,20 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Probability of the query's most recent alert.",
         "gauge",
     );
-    for q in &snap.per_query {
-        write!(out, "lahar_query_probability{{query=").unwrap();
-        push_label_value(&mut out, &q.name);
-        write!(out, ",id=\"{}\"}} ", q.id).unwrap();
-        push_value(&mut out, q.last_probability);
-        out.push('\n');
+    for (label, snap) in &entries {
+        for q in &snap.per_query {
+            let mut rest = String::from("query=");
+            push_label_value(&mut rest, &q.name);
+            write!(rest, ",id=\"{}\"", q.id).unwrap();
+            let mut value = String::new();
+            push_value(&mut value, q.last_probability);
+            push_sample(
+                &mut out,
+                "lahar_query_probability",
+                &joined(label, &rest),
+                &value,
+            );
+        }
     }
     push_header(
         &mut out,
@@ -285,16 +370,18 @@ pub fn to_prometheus(snap: &StatsSnapshot) -> String {
         "Wall-clock time a query's chains take per tick.",
         "histogram",
     );
-    for q in &snap.per_query {
-        let mut labels = String::from("query=");
-        push_label_value(&mut labels, &q.name);
-        write!(labels, ",id=\"{}\"", q.id).unwrap();
-        push_histogram(
-            &mut out,
-            "lahar_query_step_latency_seconds",
-            &labels,
-            &q.step_latency,
-        );
+    for (label, snap) in &entries {
+        for q in &snap.per_query {
+            let mut rest = String::from("query=");
+            push_label_value(&mut rest, &q.name);
+            write!(rest, ",id=\"{}\"", q.id).unwrap();
+            push_histogram(
+                &mut out,
+                "lahar_query_step_latency_seconds",
+                &joined(label, &rest),
+                &q.step_latency,
+            );
+        }
     }
     out
 }
@@ -318,11 +405,21 @@ const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8"
 /// [`crate::trace::chrome_trace_json`] document) from one background
 /// thread. Dropping the server shuts the thread down and releases the
 /// port.
-#[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// What a [`MetricsServer`] renders on each `GET /metrics` scrape.
+pub type MetricsRenderer = Arc<dyn Fn() -> String + Send + Sync>;
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MetricsServer {
@@ -330,6 +427,17 @@ impl MetricsServer {
     /// [`MetricsServer::addr`] for the resolved one) and starts serving
     /// `stats`.
     pub fn start(addr: SocketAddr, stats: EngineStats) -> Result<Self, EngineError> {
+        Self::start_with_renderer(addr, Arc::new(move || to_prometheus(&stats.snapshot())))
+    }
+
+    /// Like [`MetricsServer::start`], but `GET /metrics` answers with
+    /// whatever `render` produces at scrape time. The serving layer uses
+    /// this to expose every hosted session (plus its own queue gauges)
+    /// from one endpoint.
+    pub fn start_with_renderer(
+        addr: SocketAddr,
+        render: MetricsRenderer,
+    ) -> Result<Self, EngineError> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| EngineError::MetricsUnavailable(format!("bind {addr}: {e}")))?;
         let local = listener
@@ -339,7 +447,7 @@ impl MetricsServer {
         let flag = shutdown.clone();
         let handle = std::thread::Builder::new()
             .name("lahar-metrics".to_owned())
-            .spawn(move || serve(listener, stats, flag))
+            .spawn(move || serve(listener, render, flag))
             .map_err(|e| EngineError::MetricsUnavailable(format!("spawn: {e}")))?;
         Ok(Self {
             addr: local,
@@ -365,7 +473,7 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve(listener: TcpListener, stats: EngineStats, shutdown: Arc<AtomicBool>) {
+fn serve(listener: TcpListener, render: MetricsRenderer, shutdown: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -374,11 +482,11 @@ fn serve(listener: TcpListener, stats: EngineStats, shutdown: Arc<AtomicBool>) {
         // A stalled client must not wedge the (single-threaded) loop.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &stats);
+        let _ = handle_connection(stream, &render);
     }
 }
 
-fn handle_connection(stream: TcpStream, stats: &EngineStats) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, render: &MetricsRenderer) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -393,11 +501,7 @@ fn handle_connection(stream: TcpStream, stats: &EngineStats) -> std::io::Result<
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            PROMETHEUS_CONTENT_TYPE,
-            to_prometheus(&stats.snapshot()),
-        ),
+        ("GET", "/metrics") => ("200 OK", PROMETHEUS_CONTENT_TYPE, render()),
         ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
         ("GET", "/trace") => (
             "200 OK",
@@ -501,6 +605,25 @@ mod tests {
         assert!(
             text.contains("lahar_query_step_latency_seconds_count{query=\"coffee\",id=\"0\"} 1")
         );
+    }
+
+    /// Multi-session rendering: metadata once per metric, every sample
+    /// carrying its session label (escaped like any label value).
+    #[test]
+    fn multi_session_rendering_labels_every_sample() {
+        let a = sample_stats().snapshot();
+        let b = EngineStats::new().snapshot();
+        let text = to_prometheus_sessions(&[("alpha", &a), ("beta \"x\"", &b)]);
+        assert_well_formed(&text);
+        assert_eq!(text.matches("# TYPE lahar_ticks_total counter").count(), 1);
+        assert!(text.contains("lahar_ticks_total{session=\"alpha\"} 2"));
+        assert!(text.contains("lahar_ticks_total{session=\"beta \\\"x\\\"\"} 0"));
+        assert!(text.contains("lahar_kernel_steps_total{session=\"alpha\",path=\"fast\"}"));
+        assert!(
+            text.contains("lahar_query_ticks_total{session=\"alpha\",query=\"coffee\",id=\"0\"} 1")
+        );
+        assert!(text.contains("lahar_tick_latency_seconds_bucket{session=\"alpha\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lahar_tick_latency_seconds_count{session=\"alpha\"} 2"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod chain;
 mod checkpoint;
+mod client;
 mod engine;
 mod error;
 pub mod expose;
@@ -47,9 +48,11 @@ mod interval;
 pub mod json;
 mod kernel;
 mod occurrence;
+pub mod protocol;
 mod regular;
 mod safeplan;
 mod sampler;
+mod server;
 mod session;
 mod stats;
 pub mod trace;
@@ -57,16 +60,18 @@ mod translate;
 
 pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
-pub use engine::{Algorithm, CompiledQuery, Lahar};
+pub use client::LaharClient;
+pub use engine::{Algorithm, CompileOptions, CompiledQuery, Lahar, QuerySource};
 pub use error::EngineError;
-pub use expose::MetricsServer;
+pub use expose::{MetricsRenderer, MetricsServer};
 pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};
 pub use interval::IntervalChain;
 pub use occurrence::{OccurrenceModel, TpTw};
 pub use regular::RegularEvaluator;
 pub use safeplan::SafePlanExecutor;
 pub use sampler::{Sampler, SamplerConfig};
-pub use session::{Alert, QueryId, RealTimeSession, SessionConfig, TickMode};
+pub use server::{LaharServer, ServerConfig};
+pub use session::{Alert, QueryId, RealTimeSession, SessionConfig, SessionConfigBuilder, TickMode};
 pub use stats::{EngineStats, LatencySnapshot, QuerySnapshot, StatsSnapshot};
 pub use translate::{
     a_bit, build_regex, candidate_values, enumerate_bindings, m_bit, relevant_streams,

@@ -1,0 +1,649 @@
+//! Wire protocol of `lahar serve` (see `PROTOCOL.md` at the repo root).
+//!
+//! Frames are newline-delimited JSON: one request object per line from
+//! the client, one response object per line from the server, answered in
+//! order. The encoding is hand-rolled over [`crate::json`] — the same
+//! dependency-free writer/parser the checkpoint format uses — so
+//! probabilities survive the wire **bit-identically** (shortest
+//! round-trip `f64` form on both directions).
+//!
+//! Requests carry a `"cmd"` tag, responses a `"type"` tag. An optional
+//! `"v"` field on any request pins the protocol version; the server
+//! rejects frames whose version it does not speak. The module is used by
+//! both sides ([`crate::server`] and [`crate::client`]) and by the
+//! round-trip proptests, so the two implementations cannot drift.
+
+use crate::error::EngineError;
+use crate::json::{self, JsonValue};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A stream identity plus one tick's marginal, as carried on the wire.
+///
+/// `probs` lists the full distribution in domain order — including the
+/// ⊥ ("no event") outcome — exactly as
+/// [`lahar_model::Marginal::probs`] stores it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMarginal {
+    /// The stream type (a declared stream schema name).
+    pub stream_type: String,
+    /// The stream key (string-valued key attributes only).
+    pub key: Vec<String>,
+    /// The distribution over the stream's domain, ⊥ included.
+    pub probs: Vec<f64>,
+}
+
+/// One query alert, as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAlert {
+    /// Index of the query within its session.
+    pub query: usize,
+    /// The query's registered name.
+    pub name: String,
+    /// The timestep the alert closes.
+    pub t: u32,
+    /// μ(q@t).
+    pub probability: f64,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness / version probe. Needs no session.
+    Ping,
+    /// Ensures the named session exists (restoring it from the server's
+    /// checkpoint directory when a snapshot is on disk).
+    Open {
+        /// The session name.
+        session: String,
+    },
+    /// Registers a named query from source text.
+    Register {
+        /// The session name.
+        session: String,
+        /// The query's name (unique per session).
+        name: String,
+        /// Query source text.
+        query: String,
+    },
+    /// Stages one tick's marginals; with `tick: true` also closes the
+    /// tick in the same frame (the batched ingest path).
+    Stage {
+        /// The session name.
+        session: String,
+        /// Marginals to stage, one per stream.
+        marginals: Vec<WireMarginal>,
+        /// Close the tick after staging.
+        tick: bool,
+    },
+    /// Closes the current tick (unstaged streams read ⊥).
+    Tick {
+        /// The session name.
+        session: String,
+    },
+    /// The full accumulated probability series of a registered query.
+    Series {
+        /// The session name.
+        session: String,
+        /// The query's registered name.
+        query: String,
+    },
+    /// Takes a checkpoint now (also written to the server's checkpoint
+    /// directory when one is configured).
+    Checkpoint {
+        /// The session name.
+        session: String,
+    },
+    /// Gracefully stops the whole server: every hosted session writes a
+    /// final checkpoint, then the process-level serve loop exits.
+    Shutdown,
+}
+
+impl Command {
+    /// The session a command routes to (`None` for server-level ones).
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Command::Ping | Command::Shutdown => None,
+            Command::Open { session }
+            | Command::Register { session, .. }
+            | Command::Stage { session, .. }
+            | Command::Tick { session }
+            | Command::Series { session, .. }
+            | Command::Checkpoint { session } => Some(session),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Command::Ping`].
+    Pong {
+        /// The protocol version the server speaks.
+        version: u32,
+    },
+    /// Answer to [`Command::Open`].
+    Opened {
+        /// The session's current timestep.
+        t: u32,
+        /// Whether the session was restored from a checkpoint on disk.
+        restored: bool,
+    },
+    /// Answer to [`Command::Register`].
+    Registered {
+        /// Index of the query within its session.
+        query: usize,
+    },
+    /// Answer to [`Command::Stage`] with `tick: false`.
+    Staged {
+        /// How many marginals were staged.
+        staged: usize,
+    },
+    /// Answer to [`Command::Tick`] (and to [`Command::Stage`] with
+    /// `tick: true`).
+    Ticked {
+        /// The session's timestep after the tick.
+        t: u32,
+        /// One alert per registered query, in query-index order.
+        alerts: Vec<WireAlert>,
+    },
+    /// Answer to [`Command::Series`].
+    Series {
+        /// The query's registered name.
+        query: String,
+        /// μ(q@t) for t = 0..now, bit-identical to the session's alerts.
+        series: Vec<f64>,
+    },
+    /// Answer to [`Command::Checkpoint`].
+    Checkpointed {
+        /// The timestep the checkpoint captures.
+        t: u32,
+    },
+    /// Answer to [`Command::Shutdown`]; the connection closes after it.
+    ShuttingDown,
+    /// Any failure. `code` is machine-readable; `overloaded` means the
+    /// target shard's bounded queue was full and the client should back
+    /// off and retry — the frame was **not** enqueued.
+    Error {
+        /// Machine-readable error code (`overloaded`, `bad_request`,
+        /// `unknown_query`, `engine`, `shutting_down`, `protocol`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error code for backpressure rejections.
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push(',');
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    json::push_string(out, value);
+}
+
+fn push_marginals(out: &mut String, marginals: &[WireMarginal]) {
+    out.push_str(",\"marginals\":[");
+    for (i, m) in marginals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"type\":");
+        json::push_string(out, &m.stream_type);
+        out.push_str(",\"key\":[");
+        for (j, k) in m.key.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::push_string(out, k);
+        }
+        out.push_str("],\"probs\":[");
+        for (j, p) in m.probs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::push_f64(out, *p);
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+}
+
+/// Encodes a command as one JSON line (no trailing newline). The output
+/// never contains a raw newline: [`json::push_string`] escapes them, so
+/// the frame boundary is unambiguous.
+pub fn encode_command(c: &Command) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"v\":");
+    out.push_str(&PROTOCOL_VERSION.to_string());
+    out.push_str(",\"cmd\":");
+    match c {
+        Command::Ping => out.push_str("\"ping\""),
+        Command::Shutdown => out.push_str("\"shutdown\""),
+        Command::Open { session } => {
+            out.push_str("\"open\"");
+            push_str_field(&mut out, "session", session);
+        }
+        Command::Register {
+            session,
+            name,
+            query,
+        } => {
+            out.push_str("\"register\"");
+            push_str_field(&mut out, "session", session);
+            push_str_field(&mut out, "name", name);
+            push_str_field(&mut out, "query", query);
+        }
+        Command::Stage {
+            session,
+            marginals,
+            tick,
+        } => {
+            out.push_str("\"stage\"");
+            push_str_field(&mut out, "session", session);
+            push_marginals(&mut out, marginals);
+            out.push_str(",\"tick\":");
+            out.push_str(if *tick { "true" } else { "false" });
+        }
+        Command::Tick { session } => {
+            out.push_str("\"tick\"");
+            push_str_field(&mut out, "session", session);
+        }
+        Command::Series { session, query } => {
+            out.push_str("\"series\"");
+            push_str_field(&mut out, "session", session);
+            push_str_field(&mut out, "query", query);
+        }
+        Command::Checkpoint { session } => {
+            out.push_str("\"checkpoint\"");
+            push_str_field(&mut out, "session", session);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    let mut out = String::with_capacity(128);
+    match r {
+        Response::Pong { version } => {
+            out.push_str("{\"type\":\"pong\",\"ok\":true,\"version\":");
+            out.push_str(&version.to_string());
+            out.push('}');
+        }
+        Response::Opened { t, restored } => {
+            out.push_str("{\"type\":\"opened\",\"ok\":true,\"t\":");
+            out.push_str(&t.to_string());
+            out.push_str(",\"restored\":");
+            out.push_str(if *restored { "true" } else { "false" });
+            out.push('}');
+        }
+        Response::Registered { query } => {
+            out.push_str("{\"type\":\"registered\",\"ok\":true,\"query\":");
+            out.push_str(&query.to_string());
+            out.push('}');
+        }
+        Response::Staged { staged } => {
+            out.push_str("{\"type\":\"staged\",\"ok\":true,\"staged\":");
+            out.push_str(&staged.to_string());
+            out.push('}');
+        }
+        Response::Ticked { t, alerts } => {
+            out.push_str("{\"type\":\"ticked\",\"ok\":true,\"t\":");
+            out.push_str(&t.to_string());
+            out.push_str(",\"alerts\":[");
+            for (i, a) in alerts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"query\":");
+                out.push_str(&a.query.to_string());
+                out.push_str(",\"name\":");
+                json::push_string(&mut out, &a.name);
+                out.push_str(",\"t\":");
+                out.push_str(&a.t.to_string());
+                out.push_str(",\"probability\":");
+                json::push_f64(&mut out, a.probability);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        Response::Series { query, series } => {
+            out.push_str("{\"type\":\"series\",\"ok\":true,\"query\":");
+            json::push_string(&mut out, query);
+            out.push_str(",\"series\":[");
+            for (i, p) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_f64(&mut out, *p);
+            }
+            out.push_str("]}");
+        }
+        Response::Checkpointed { t } => {
+            out.push_str("{\"type\":\"checkpointed\",\"ok\":true,\"t\":");
+            out.push_str(&t.to_string());
+            out.push('}');
+        }
+        Response::ShuttingDown => {
+            out.push_str("{\"type\":\"shutting_down\",\"ok\":true}");
+        }
+        Response::Error { code, message } => {
+            out.push_str("{\"type\":\"error\",\"ok\":false,\"code\":");
+            json::push_string(&mut out, code);
+            out.push_str(",\"message\":");
+            json::push_string(&mut out, message);
+            out.push('}');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn proto_err(msg: impl Into<String>) -> EngineError {
+    EngineError::Protocol(msg.into())
+}
+
+fn req_str(v: &JsonValue, field: &str) -> Result<String, EngineError> {
+    v.get(field)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| proto_err(format!("missing or non-string field '{field}'")))
+}
+
+fn req_u64(v: &JsonValue, field: &str) -> Result<u64, EngineError> {
+    v.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| proto_err(format!("missing or non-integer field '{field}'")))
+}
+
+fn req_bool(v: &JsonValue, field: &str) -> Result<bool, EngineError> {
+    match v.get(field) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(proto_err(format!("missing or non-boolean field '{field}'"))),
+    }
+}
+
+fn f64_array(v: &JsonValue, what: &str) -> Result<Vec<f64>, EngineError> {
+    v.as_array()
+        .ok_or_else(|| proto_err(format!("{what} is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| proto_err(format!("{what} contains a non-number")))
+        })
+        .collect()
+}
+
+fn parse_marginals(v: &JsonValue) -> Result<Vec<WireMarginal>, EngineError> {
+    v.get("marginals")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| proto_err("missing 'marginals' array"))?
+        .iter()
+        .map(|m| {
+            let key = m
+                .get("key")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| proto_err("marginal key is not an array"))?
+                .iter()
+                .map(|k| {
+                    k.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| proto_err("marginal key element is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WireMarginal {
+                stream_type: req_str(m, "type")?,
+                key,
+                probs: f64_array(
+                    m.get("probs").ok_or_else(|| proto_err("missing 'probs'"))?,
+                    "probs",
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// Parses one request line. Rejects frames whose `"v"` field names a
+/// version this build does not speak (frames without `"v"` are assumed
+/// current).
+pub fn parse_command(line: &str) -> Result<Command, EngineError> {
+    let v = json::parse(line).map_err(|e| proto_err(format!("bad frame: {e}")))?;
+    if let Some(ver) = v.get("v") {
+        let ver = ver
+            .as_u64()
+            .ok_or_else(|| proto_err("'v' is not an integer"))?;
+        if ver != u64::from(PROTOCOL_VERSION) {
+            return Err(proto_err(format!(
+                "unsupported protocol version {ver} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+    }
+    match req_str(&v, "cmd")?.as_str() {
+        "ping" => Ok(Command::Ping),
+        "shutdown" => Ok(Command::Shutdown),
+        "open" => Ok(Command::Open {
+            session: req_str(&v, "session")?,
+        }),
+        "register" => Ok(Command::Register {
+            session: req_str(&v, "session")?,
+            name: req_str(&v, "name")?,
+            query: req_str(&v, "query")?,
+        }),
+        "stage" => Ok(Command::Stage {
+            session: req_str(&v, "session")?,
+            marginals: parse_marginals(&v)?,
+            tick: req_bool(&v, "tick")?,
+        }),
+        "tick" => Ok(Command::Tick {
+            session: req_str(&v, "session")?,
+        }),
+        "series" => Ok(Command::Series {
+            session: req_str(&v, "session")?,
+            query: req_str(&v, "query")?,
+        }),
+        "checkpoint" => Ok(Command::Checkpoint {
+            session: req_str(&v, "session")?,
+        }),
+        other => Err(proto_err(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Parses one response line.
+pub fn parse_response(line: &str) -> Result<Response, EngineError> {
+    let v = json::parse(line).map_err(|e| proto_err(format!("bad frame: {e}")))?;
+    match req_str(&v, "type")?.as_str() {
+        "pong" => Ok(Response::Pong {
+            version: req_u64(&v, "version")? as u32,
+        }),
+        "opened" => Ok(Response::Opened {
+            t: req_u64(&v, "t")? as u32,
+            restored: req_bool(&v, "restored")?,
+        }),
+        "registered" => Ok(Response::Registered {
+            query: req_u64(&v, "query")? as usize,
+        }),
+        "staged" => Ok(Response::Staged {
+            staged: req_u64(&v, "staged")? as usize,
+        }),
+        "ticked" => {
+            let alerts = v
+                .get("alerts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| proto_err("missing 'alerts' array"))?
+                .iter()
+                .map(|a| {
+                    Ok(WireAlert {
+                        query: req_u64(a, "query")? as usize,
+                        name: req_str(a, "name")?,
+                        t: req_u64(a, "t")? as u32,
+                        probability: a
+                            .get("probability")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| proto_err("missing 'probability'"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, EngineError>>()?;
+            Ok(Response::Ticked {
+                t: req_u64(&v, "t")? as u32,
+                alerts,
+            })
+        }
+        "series" => Ok(Response::Series {
+            query: req_str(&v, "query")?,
+            series: f64_array(
+                v.get("series")
+                    .ok_or_else(|| proto_err("missing 'series'"))?,
+                "series",
+            )?,
+        }),
+        "checkpointed" => Ok(Response::Checkpointed {
+            t: req_u64(&v, "t")? as u32,
+        }),
+        "shutting_down" => Ok(Response::ShuttingDown),
+        "error" => Ok(Response::Error {
+            code: req_str(&v, "code")?,
+            message: req_str(&v, "message")?,
+        }),
+        other => Err(proto_err(format!("unknown response type '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commands() -> Vec<Command> {
+        vec![
+            Command::Ping,
+            Command::Shutdown,
+            Command::Open {
+                session: "s \"q\"\nnewline".into(),
+            },
+            Command::Register {
+                session: "s".into(),
+                name: "coffee".into(),
+                query: "At('joe','office') ; At('joe','coffee')".into(),
+            },
+            Command::Stage {
+                session: "s".into(),
+                marginals: vec![WireMarginal {
+                    stream_type: "At".into(),
+                    key: vec!["joe".into(), "2".into()],
+                    probs: vec![0.1 + 0.2, 1.0 / 3.0, 0.5400000000000001],
+                }],
+                tick: true,
+            },
+            Command::Tick {
+                session: "s".into(),
+            },
+            Command::Series {
+                session: "s".into(),
+                query: "coffee".into(),
+            },
+            Command::Checkpoint {
+                session: "s".into(),
+            },
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Opened {
+                t: 7,
+                restored: true,
+            },
+            Response::Registered { query: 3 },
+            Response::Staged { staged: 2 },
+            Response::Ticked {
+                t: 8,
+                alerts: vec![WireAlert {
+                    query: 0,
+                    name: "coffee ⊥".into(),
+                    t: 7,
+                    probability: 0.5400000000000001,
+                }],
+            },
+            Response::Series {
+                query: "coffee".into(),
+                series: vec![0.0, 0.1 + 0.2, 5e-324],
+            },
+            Response::Checkpointed { t: 8 },
+            Response::ShuttingDown,
+            Response::Error {
+                code: "overloaded".into(),
+                message: "shard 2 queue full\ndetail".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn commands_round_trip_as_single_lines() {
+        for c in commands() {
+            let line = encode_command(&c);
+            assert!(!line.contains('\n'), "frame has a raw newline: {line}");
+            assert_eq!(parse_command(&line).unwrap(), c, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        for r in responses() {
+            let line = encode_response(&r);
+            assert!(!line.contains('\n'), "frame has a raw newline: {line}");
+            let back = parse_response(&line).unwrap();
+            assert_eq!(back, r, "{line}");
+        }
+        // Bit-exactness of probabilities specifically.
+        let r = Response::Series {
+            query: "q".into(),
+            series: vec![0.1 + 0.2],
+        };
+        match parse_response(&encode_response(&r)).unwrap() {
+            Response::Series { series, .. } => {
+                assert_eq!(series[0].to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut line = encode_command(&Command::Ping);
+        line = line.replace("\"v\":1", "\"v\":999");
+        let err = parse_command(&line).unwrap_err();
+        assert!(matches!(err, EngineError::Protocol(_)), "{err}");
+        // Frames without a version field are assumed current.
+        assert_eq!(parse_command("{\"cmd\":\"ping\"}").unwrap(), Command::Ping);
+    }
+
+    #[test]
+    fn malformed_frames_are_protocol_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"cmd\":\"nope\"}",
+            "{\"cmd\":\"open\"}",
+            "{\"cmd\":\"stage\",\"session\":\"s\"}",
+            "{\"type\":\"mystery\"}",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?}");
+        }
+        assert!(parse_response("{\"type\":\"mystery\"}").is_err());
+    }
+}

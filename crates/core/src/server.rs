@@ -1,0 +1,841 @@
+//! `lahar serve`: a sharded multi-session network service.
+//!
+//! [`LaharServer`] binds a [`std::net::TcpListener`] and hosts any
+//! number of named [`crate::RealTimeSession`]s over the newline-delimited
+//! JSON protocol of [`crate::protocol`] (spec: `PROTOCOL.md`). The
+//! threading model is deliberately boring, matching the zero-dependency
+//! style of [`crate::expose::MetricsServer`]:
+//!
+//! * one **acceptor** thread (`lahar-serve`) accepts connections and
+//!   spawns a blocking reader thread per client;
+//! * `n_shards` **shard worker** threads (`lahar-shard-N`) each own the
+//!   sessions that hash to them — a session lives on exactly one shard,
+//!   so session state is single-threaded and needs no locking;
+//! * connection threads route each command to its session's shard over a
+//!   **bounded** [`std::sync::mpsc::sync_channel`]. When a shard's queue
+//!   is full the command is rejected *immediately* with an `overloaded`
+//!   response — the server never buffers without bound, and the client
+//!   decides whether to back off and retry.
+//!
+//! Integration with the rest of the engine:
+//!
+//! * staging uses [`crate::RealTimeSession::stage_batch`], so one wire
+//!   frame feeds the kernel fast path with a whole tick's marginals;
+//! * every hosted session's stats merge into one `/metrics` exposition
+//!   (label `session="<name>"`) together with the server's own queue
+//!   gauges, served by a [`MetricsServer`] with a custom renderer;
+//! * recoverable tick faults (worker panics, tick timeouts, injected
+//!   failpoints) trigger [`crate::RealTimeSession::recover`] instead of
+//!   killing the server — the interrupted tick completes bit-identically
+//!   and its alerts still extend the query series;
+//! * graceful shutdown writes a final checkpoint per session into
+//!   [`ServerConfig::checkpoint_dir`], and [`Command::Open`] restores
+//!   from that file on restart, so a serve → shutdown → serve cycle
+//!   continues the same series bit-identically.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::EngineError;
+use crate::expose::{to_prometheus_sessions, MetricsServer};
+use crate::protocol::{
+    encode_response, parse_command, Command, Response, WireAlert, WireMarginal, CODE_OVERLOADED,
+    PROTOCOL_VERSION,
+};
+use crate::session::{Alert, RealTimeSession, SessionConfig};
+use crate::stats::{EngineStats, StatsSnapshot};
+use lahar_model::{Database, Marginal, StreamKey, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of [`LaharServer`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Address to listen on (port 0 picks a free port; see
+    /// [`LaharServer::addr`] for the resolved one).
+    pub addr: SocketAddr,
+    /// Metrics endpoint for the merged per-session exposition (`None`
+    /// disables it). Must differ from `addr`.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Number of shard worker threads (0 = one per available core).
+    pub n_shards: usize,
+    /// Bound of each shard's command queue; a full queue answers
+    /// `overloaded` instead of buffering.
+    pub queue_cap: usize,
+    /// Where shutdown checkpoints are written and restarts restore from
+    /// (`None` disables persistence).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Template configuration for hosted sessions. `metrics_addr` and
+    /// `serve_addr` are ignored here — the server owns both endpoints.
+    pub session_config: SessionConfig,
+    /// Artificial per-command processing delay in every shard worker — a
+    /// test/ops knob for driving the backpressure path deterministically.
+    pub shard_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("valid literal"),
+            metrics_addr: None,
+            n_shards: 0,
+            queue_cap: 64,
+            checkpoint_dir: None,
+            session_config: SessionConfig::default(),
+            shard_delay: None,
+        }
+    }
+}
+
+/// One command in flight to a shard worker.
+struct Job {
+    session: String,
+    cmd: Command,
+    reply: SyncSender<Response>,
+}
+
+enum ShardMsg {
+    Job(Job),
+    /// Checkpoint every hosted session and exit.
+    Shutdown,
+}
+
+struct Shard {
+    sender: SyncSender<ShardMsg>,
+    /// Commands currently queued (approximate; the `/metrics` gauge).
+    depth: Arc<AtomicUsize>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    /// The *resolved* serve address (never port 0): the self-connect
+    /// that unblocks `accept` during shutdown must target this, not
+    /// `config.addr`.
+    addr: SocketAddr,
+    template: Database,
+    shards: Vec<Shard>,
+    shutting_down: AtomicBool,
+    /// Commands rejected with `overloaded`.
+    overloaded_total: AtomicU64,
+    /// Stats handle per hosted session, for the merged exposition.
+    registry: Mutex<Vec<(String, EngineStats)>>,
+}
+
+/// The serve-loop handle. Dropping it (or calling
+/// [`LaharServer::shutdown`]) stops the service gracefully,
+/// checkpointing every hosted session first.
+pub struct LaharServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
+}
+
+impl LaharServer {
+    /// Binds the configured address and starts serving sessions created
+    /// from (schema-only clones of) `template`.
+    pub fn start(config: ServerConfig, template: Database) -> Result<Self, EngineError> {
+        if config.queue_cap == 0 {
+            return Err(EngineError::InvalidConfig(
+                "queue_cap must be non-zero (a zero-capacity queue rejects everything)".to_owned(),
+            ));
+        }
+        // Two port-0 addresses never collide — the OS picks distinct
+        // free ports for each bind.
+        if config.metrics_addr == Some(config.addr) && config.addr.port() != 0 {
+            return Err(EngineError::InvalidConfig(
+                "metrics_addr collides with the serve addr".to_owned(),
+            ));
+        }
+        for stream in template.streams() {
+            if !stream.is_empty() {
+                return Err(EngineError::InvalidConfig(
+                    "the server template database must be schema-only (no recorded marginals)"
+                        .to_owned(),
+                ));
+            }
+        }
+        let n_shards = if config.n_shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.n_shards
+        };
+        let listener = TcpListener::bind(config.addr)
+            .map_err(|e| EngineError::ServerUnavailable(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| EngineError::ServerUnavailable(format!("local_addr: {e}")))?;
+
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut receivers = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = sync_channel(config.queue_cap);
+            shards.push(Shard {
+                sender: tx,
+                depth: Arc::new(AtomicUsize::new(0)),
+            });
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            config,
+            addr,
+            template,
+            shards,
+            shutting_down: AtomicBool::new(false),
+            overloaded_total: AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+        });
+
+        let mut workers = Vec::with_capacity(n_shards);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let shared = shared.clone();
+            let depth = shared.shards[i].depth.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("lahar-shard-{i}"))
+                .spawn(move || shard_worker(&shared, rx, &depth))
+                .map_err(|e| EngineError::ServerUnavailable(format!("spawn shard {i}: {e}")))?;
+            workers.push(handle);
+        }
+
+        let metrics = match shared.config.metrics_addr {
+            None => None,
+            Some(maddr) => {
+                let shared = shared.clone();
+                Some(MetricsServer::start_with_renderer(
+                    maddr,
+                    Arc::new(move || render_metrics(&shared)),
+                )?)
+            }
+        };
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lahar-serve".to_owned())
+                .spawn(move || accept_loop(listener, shared))
+                .map_err(|e| EngineError::ServerUnavailable(format!("spawn acceptor: {e}")))?
+        };
+
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            metrics,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The resolved metrics address, when exposition is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
+    }
+
+    /// Blocks until the serve loop exits — i.e. until a client sends
+    /// `shutdown` (or another thread calls [`LaharServer::shutdown`] via
+    /// a clone of the handle's internals). Joins every thread; hosted
+    /// sessions have been checkpointed when this returns.
+    pub fn join(mut self) -> Result<(), EngineError> {
+        self.join_inner();
+        Ok(())
+    }
+
+    /// Initiates graceful shutdown (idempotent) and waits for it to
+    /// finish: every shard checkpoints its sessions, all threads join.
+    pub fn shutdown(mut self) -> Result<(), EngineError> {
+        initiate_shutdown(&self.shared);
+        self.join_inner();
+        Ok(())
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Drop the metrics endpoint last so `/metrics` stays scrapable
+        // while sessions flush their final checkpoints.
+        self.metrics = None;
+    }
+}
+
+impl Drop for LaharServer {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        self.join_inner();
+    }
+}
+
+/// Starts graceful shutdown: flags the acceptor down, enqueues the
+/// checkpoint-and-exit sentinel on every shard, and unblocks `accept`.
+fn initiate_shutdown(shared: &Arc<Shared>) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    for shard in &shared.shards {
+        // Blocking send: the sentinel must arrive even when the queue is
+        // momentarily full. Workers drain queued commands first, so
+        // accepted work is never silently dropped.
+        let _ = shard.sender.send(ShardMsg::Shutdown);
+    }
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = shared.clone();
+        // Connection readers are detached: they exit when the client
+        // hangs up or when they observe the shutdown flag (bounded by
+        // the read timeout below).
+        let _ = std::thread::Builder::new()
+            .name("lahar-conn".to_owned())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared);
+            });
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(shared, line.trim_end());
+        let closing = matches!(response, Response::ShuttingDown);
+        writer.write_all(encode_response(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if closing {
+            // Tear down only after the ack is flushed: connection
+            // threads are detached, and once shutdown starts the main
+            // thread may exit the process before this thread runs again
+            // — the client must already hold the response by then.
+            initiate_shutdown(shared);
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one frame: protocol errors and server-level commands are
+/// answered inline; session commands go to their shard's bounded queue.
+fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
+    let cmd = match parse_command(line) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            return Response::Error {
+                code: "protocol".to_owned(),
+                message: e.to_string(),
+            }
+        }
+    };
+    let session = match &cmd {
+        Command::Ping => {
+            return Response::Pong {
+                version: PROTOCOL_VERSION,
+            }
+        }
+        Command::Shutdown => {
+            // No side effects here: the connection loop initiates the
+            // teardown after this ack has been written and flushed.
+            return Response::ShuttingDown;
+        }
+        other => other.session().expect("session command").to_owned(),
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: "shutting_down".to_owned(),
+            message: "server is shutting down".to_owned(),
+        };
+    }
+    let shard = &shared.shards[shard_of(&session, shared.shards.len())];
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = ShardMsg::Job(Job {
+        session,
+        cmd,
+        reply: reply_tx,
+    });
+    match shard.sender.try_send(job) {
+        Ok(()) => {
+            shard.depth.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.overloaded_total.fetch_add(1, Ordering::SeqCst);
+            return Response::Error {
+                code: CODE_OVERLOADED.to_owned(),
+                message: format!(
+                    "shard queue full ({} pending); back off and retry",
+                    shared.config.queue_cap
+                ),
+            };
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Response::Error {
+                code: "shutting_down".to_owned(),
+                message: "server is shutting down".to_owned(),
+            };
+        }
+    }
+    reply_rx.recv().unwrap_or(Response::Error {
+        code: "shutting_down".to_owned(),
+        message: "server shut down before the command was processed".to_owned(),
+    })
+}
+
+/// Stable session→shard placement (stable across restarts too, though
+/// only checkpoints — not shard placement — need to survive those).
+fn shard_of(session: &str, n_shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    session.hash(&mut hasher);
+    (hasher.finish() % n_shards as u64) as usize
+}
+
+/// The checkpoint file for a session: a sanitized name for readability
+/// plus a stable hash for uniqueness (session names come off the wire
+/// and must not traverse paths).
+fn checkpoint_filename(session: &str) -> String {
+    let mut hasher = DefaultHasher::new();
+    session.hash(&mut hasher);
+    let safe: String = session
+        .chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{:016x}.ckpt.json", hasher.finish())
+}
+
+// ---------------------------------------------------------------------
+// Shard workers
+// ---------------------------------------------------------------------
+
+/// One hosted session plus the live per-query series the `series`
+/// command answers from.
+struct Hosted {
+    session: RealTimeSession,
+    /// Query name → index.
+    by_name: HashMap<String, usize>,
+    /// Per query index: source text (for restore-time backfill).
+    sources: Vec<String>,
+    /// Per query index: μ(q@t) for t = 0..now, accumulated from alerts.
+    series: Vec<Vec<f64>>,
+}
+
+impl Hosted {
+    fn record_alerts(&mut self, alerts: &[Alert]) {
+        for alert in alerts {
+            let idx = alert.query.index();
+            if let Some(series) = self.series.get_mut(idx) {
+                series.push(alert.probability);
+            }
+        }
+    }
+}
+
+fn shard_worker(shared: &Arc<Shared>, rx: Receiver<ShardMsg>, depth: &Arc<AtomicUsize>) {
+    let mut sessions: HashMap<String, Hosted> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Shutdown => break,
+            ShardMsg::Job(job) => {
+                depth.fetch_sub(1, Ordering::SeqCst);
+                if let Some(delay) = shared.config.shard_delay {
+                    std::thread::sleep(delay);
+                }
+                let response = handle_command(shared, &mut sessions, &job.session, &job.cmd);
+                // The client may have hung up; its problem, not ours.
+                let _ = job.reply.send(response);
+            }
+        }
+    }
+    // Graceful exit: flush a final checkpoint per hosted session.
+    for (name, hosted) in &mut sessions {
+        if let Err(e) = write_checkpoint(shared, name, hosted) {
+            eprintln!("lahar-serve: final checkpoint for session '{name}' failed: {e}");
+        }
+    }
+}
+
+/// Takes a checkpoint and persists it when a checkpoint dir is set.
+fn write_checkpoint(
+    shared: &Shared,
+    name: &str,
+    hosted: &mut Hosted,
+) -> Result<Checkpoint, EngineError> {
+    let ckpt = hosted.session.checkpoint()?;
+    if let Some(dir) = &shared.config.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(checkpoint_filename(name)), ckpt.to_json()))
+            .map_err(|e| EngineError::CheckpointUnsupported(format!("persist: {e}")))?;
+    }
+    Ok(ckpt)
+}
+
+/// The session config hosted sessions actually run under: the template,
+/// minus the endpoints the server itself owns.
+fn hosted_config(shared: &Shared) -> SessionConfig {
+    let mut config = shared.config.session_config;
+    config.metrics_addr = None;
+    config.serve_addr = None;
+    config
+}
+
+/// Fetches or creates/restores the named session on this shard.
+fn open_session<'m>(
+    shared: &Shared,
+    sessions: &'m mut HashMap<String, Hosted>,
+    name: &str,
+) -> Result<(&'m mut Hosted, bool), EngineError> {
+    // Entry-style would borrow `sessions` for the whole call; a plain
+    // contains_key keeps the construction path readable.
+    if !sessions.contains_key(name) {
+        let config = hosted_config(shared);
+        let ckpt_path = shared
+            .config
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(checkpoint_filename(name)));
+        let restored = match ckpt_path.as_ref().filter(|p| p.exists()) {
+            None => None,
+            Some(path) => {
+                let doc = std::fs::read_to_string(path)
+                    .map_err(|e| EngineError::CheckpointCorrupt(format!("read {path:?}: {e}")))?;
+                let ckpt = Checkpoint::from_json(&doc)?;
+                let session =
+                    RealTimeSession::restore_with_config(shared.template.clone(), &ckpt, config)?;
+                let mut by_name = HashMap::new();
+                let mut sources = Vec::new();
+                let mut series = Vec::new();
+                for (idx, q) in ckpt.queries.iter().enumerate() {
+                    by_name.insert(q.name.clone(), idx);
+                    // Backfill the pre-restart prefix from the restored
+                    // history; post-restart ticks extend it live.
+                    series.push(crate::Lahar::prob_series(session.database(), &q.source)?);
+                    sources.push(q.source.clone());
+                }
+                Some(Hosted {
+                    session,
+                    by_name,
+                    sources,
+                    series,
+                })
+            }
+        };
+        let (hosted, was_restored) = match restored {
+            Some(hosted) => (hosted, true),
+            None => (
+                Hosted {
+                    session: RealTimeSession::with_config(shared.template.clone(), config)?,
+                    by_name: HashMap::new(),
+                    sources: Vec::new(),
+                    series: Vec::new(),
+                },
+                false,
+            ),
+        };
+        shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .push((name.to_owned(), hosted.session.stats().clone()));
+        sessions.insert(name.to_owned(), hosted);
+        return Ok((sessions.get_mut(name).expect("just inserted"), was_restored));
+    }
+    Ok((sessions.get_mut(name).expect("checked"), false))
+}
+
+/// Ticks the session, auto-recovering from recoverable faults (worker
+/// panics, tick deadlines, injected failpoints) so one bad tick never
+/// takes the server down. Recovery completes the interrupted tick
+/// bit-identically, so the returned alerts are the real μ(q@t).
+fn tick_with_recovery(hosted: &mut Hosted) -> Result<Vec<Alert>, EngineError> {
+    let alerts = match hosted.session.tick() {
+        Ok(alerts) => alerts,
+        Err(e) if e.is_recoverable() => hosted.session.recover()?,
+        Err(e) => return Err(e),
+    };
+    hosted.record_alerts(&alerts);
+    Ok(alerts)
+}
+
+fn wire_alerts(alerts: &[Alert]) -> Vec<WireAlert> {
+    alerts
+        .iter()
+        .map(|a| WireAlert {
+            query: a.query.index(),
+            name: a.name.to_string(),
+            t: a.t,
+            probability: a.probability,
+        })
+        .collect()
+}
+
+/// Resolves a wire marginal to a `(StreamId, Marginal)` staging pair.
+fn resolve_marginal(
+    db: &Database,
+    m: &WireMarginal,
+) -> Result<(lahar_model::StreamId, Marginal), EngineError> {
+    let interner = db.interner();
+    let stream_type = interner
+        .lookup(&m.stream_type)
+        .ok_or_else(|| EngineError::Protocol(format!("unknown stream type '{}'", m.stream_type)))?;
+    let key = StreamKey {
+        stream_type,
+        key: m
+            .key
+            .iter()
+            .map(|k| Value::Str(interner.intern(k)))
+            .collect(),
+    };
+    let id = db.stream_id(&key).ok_or_else(|| {
+        EngineError::Protocol(format!("unknown stream {}", key.display(interner)))
+    })?;
+    let marginal = Marginal::new(db.streams()[id.index()].domain(), m.probs.clone())?;
+    Ok((id, marginal))
+}
+
+fn engine_error(e: EngineError) -> Response {
+    let code = match &e {
+        EngineError::Protocol(_) => "bad_request",
+        EngineError::SessionPoisoned => "poisoned",
+        _ => "engine",
+    };
+    Response::Error {
+        code: code.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+fn handle_command(
+    shared: &Shared,
+    sessions: &mut HashMap<String, Hosted>,
+    session_name: &str,
+    cmd: &Command,
+) -> Response {
+    // Session ops can panic (they also run user-ish query compilation);
+    // a panic must poison one command, not the shard thread.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_command_inner(shared, sessions, session_name, cmd)
+    }));
+    match result {
+        Ok(response) => response,
+        Err(payload) => Response::Error {
+            code: "engine".to_owned(),
+            message: format!(
+                "command handler panicked: {}",
+                crate::error::panic_message(payload)
+            ),
+        },
+    }
+}
+
+fn handle_command_inner(
+    shared: &Shared,
+    sessions: &mut HashMap<String, Hosted>,
+    session_name: &str,
+    cmd: &Command,
+) -> Response {
+    let (hosted, restored) = match open_session(shared, sessions, session_name) {
+        Ok(pair) => pair,
+        Err(e) => return engine_error(e),
+    };
+    // A session poisoned by an earlier fault heals before the next
+    // command; the recovered tick's alerts still extend the series.
+    if hosted.session.is_poisoned() {
+        match hosted.session.recover() {
+            Ok(alerts) => hosted.record_alerts(&alerts),
+            Err(e) => return engine_error(e),
+        }
+    }
+    match cmd {
+        Command::Open { .. } => Response::Opened {
+            t: hosted.session.now(),
+            restored,
+        },
+        Command::Register { name, query, .. } => {
+            if hosted.by_name.contains_key(name) {
+                return Response::Error {
+                    code: "bad_request".to_owned(),
+                    message: format!("query '{name}' is already registered"),
+                };
+            }
+            let id = match hosted.session.register(name, query) {
+                Ok(id) => id,
+                Err(e) => return engine_error(e),
+            };
+            let idx = id.index();
+            // Late registration fast-forwards through history; the
+            // pre-registration prefix comes from the batch engine so
+            // `series` always starts at t = 0.
+            let prefix = if hosted.session.now() > 0 {
+                match crate::Lahar::prob_series(hosted.session.database(), query) {
+                    Ok(series) => series,
+                    Err(e) => return engine_error(e),
+                }
+            } else {
+                Vec::new()
+            };
+            debug_assert_eq!(idx, hosted.series.len());
+            hosted.by_name.insert(name.clone(), idx);
+            hosted.sources.push(query.clone());
+            hosted.series.push(prefix);
+            Response::Registered { query: idx }
+        }
+        Command::Stage {
+            marginals, tick, ..
+        } => {
+            let mut staged = Vec::with_capacity(marginals.len());
+            for m in marginals {
+                match resolve_marginal(hosted.session.database(), m) {
+                    Ok(pair) => staged.push(pair),
+                    Err(e) => return engine_error(e),
+                }
+            }
+            let n = staged.len();
+            if let Err(e) = hosted.session.stage_batch(staged) {
+                return engine_error(e);
+            }
+            if !tick {
+                return Response::Staged { staged: n };
+            }
+            match tick_with_recovery(hosted) {
+                Ok(alerts) => Response::Ticked {
+                    t: hosted.session.now(),
+                    alerts: wire_alerts(&alerts),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Command::Tick { .. } => match tick_with_recovery(hosted) {
+            Ok(alerts) => Response::Ticked {
+                t: hosted.session.now(),
+                alerts: wire_alerts(&alerts),
+            },
+            Err(e) => engine_error(e),
+        },
+        Command::Series { query, .. } => match hosted.by_name.get(query) {
+            None => Response::Error {
+                code: "unknown_query".to_owned(),
+                message: format!("no query named '{query}' in session '{session_name}'"),
+            },
+            Some(&idx) => Response::Series {
+                query: query.clone(),
+                series: hosted.series[idx].clone(),
+            },
+        },
+        Command::Checkpoint { .. } => match write_checkpoint(shared, session_name, hosted) {
+            Ok(ckpt) => Response::Checkpointed { t: ckpt.t() },
+            Err(e) => engine_error(e),
+        },
+        Command::Ping | Command::Shutdown => Response::Error {
+            code: "bad_request".to_owned(),
+            message: "server-level command routed to a shard".to_owned(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// Renders every hosted session's snapshot (label `session="..."`) plus
+/// the server's own queue/backpressure gauges.
+fn render_metrics(shared: &Shared) -> String {
+    let snaps: Vec<(String, StatsSnapshot)> = {
+        let registry = shared.registry.lock().expect("registry lock");
+        registry
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats.snapshot()))
+            .collect()
+    };
+    let refs: Vec<(&str, &StatsSnapshot)> = snaps
+        .iter()
+        .map(|(name, snap)| (name.as_str(), snap))
+        .collect();
+    let mut out = to_prometheus_sessions(&refs);
+    writeln!(
+        out,
+        "# HELP lahar_server_queue_depth Commands queued per shard.\n\
+         # TYPE lahar_server_queue_depth gauge"
+    )
+    .unwrap();
+    for (i, shard) in shared.shards.iter().enumerate() {
+        writeln!(
+            out,
+            "lahar_server_queue_depth{{shard=\"{i}\"}} {}",
+            shard.depth.load(Ordering::SeqCst)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# HELP lahar_server_queue_cap Bound of each shard's command queue.\n\
+         # TYPE lahar_server_queue_cap gauge\n\
+         lahar_server_queue_cap {}",
+        shared.config.queue_cap
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_overloaded_total Commands rejected with an overloaded response.\n\
+         # TYPE lahar_server_overloaded_total counter\n\
+         lahar_server_overloaded_total {}",
+        shared.overloaded_total.load(Ordering::SeqCst)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_sessions Sessions hosted across all shards.\n\
+         # TYPE lahar_server_sessions gauge\n\
+         lahar_server_sessions {}",
+        shared.registry.lock().expect("registry lock").len()
+    )
+    .unwrap();
+    out
+}

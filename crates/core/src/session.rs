@@ -40,10 +40,11 @@
 //! let q = session
 //!     .register("coffee", "At('joe','office') ; At('joe','coffee')")
 //!     .unwrap();
-//! session.stage(0, b.marginal(&[("office", 0.9)]).unwrap()).unwrap();
+//! let at_joe = session.stream_id(b.key()).unwrap();
+//! session.stage(at_joe, b.marginal(&[("office", 0.9)]).unwrap()).unwrap();
 //! let alerts = session.tick().unwrap();
 //! assert_eq!(alerts[0].query, q);
-//! session.stage(0, b.marginal(&[("coffee", 0.6)]).unwrap()).unwrap();
+//! session.stage(at_joe, b.marginal(&[("coffee", 0.6)]).unwrap()).unwrap();
 //! let alerts = session.tick().unwrap();
 //! assert!((alerts[0].probability - 0.54).abs() < 1e-9);
 //! ```
@@ -55,16 +56,28 @@ use crate::extended::ExtendedRegularEvaluator;
 use crate::kernel::{KernelTickStats, SymCache};
 use crate::regular::RegularEvaluator;
 use crate::stats::EngineStats;
-use lahar_model::{Database, Marginal, StreamData};
+use lahar_model::{Database, Marginal, StreamData, StreamId, StreamKey};
 use lahar_query::{classify, parse_and_validate, NormalQuery, Query, QueryClass, QueryError};
 use std::net::SocketAddr;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Identifier of a registered query within a session.
+/// Opaque identifier of a registered query within a session.
+///
+/// Produced by [`RealTimeSession::register`]; the only thing callers can
+/// do with it is compare it, hash it, or read its registration order via
+/// [`QueryId::index`] (queries are numbered `0, 1, …` in registration
+/// order, which is also the order of [`Alert`]s within a tick).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct QueryId(pub usize);
+pub struct QueryId(pub(crate) usize);
+
+impl QueryId {
+    /// The query's registration index (0-based, registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// One query's answer for the tick that just closed.
 #[derive(Debug, Clone)]
@@ -95,7 +108,13 @@ pub enum TickMode {
 }
 
 /// Tuning knobs for [`RealTimeSession`].
+///
+/// Construct via [`SessionConfig::builder`] (validated) or start from
+/// [`SessionConfig::default`] and adjust fields. The struct is
+/// `#[non_exhaustive]`: downstream code cannot use struct-literal
+/// construction, so fields can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SessionConfig {
     /// Which tick path to use.
     pub tick_mode: TickMode,
@@ -129,6 +148,12 @@ pub struct SessionConfig {
     /// convenience for [`crate::trace::enable`]; spans export via
     /// [`crate::trace::chrome_trace_json`] or the `/trace` endpoint.
     pub trace: bool,
+    /// Address the serving layer (`lahar serve`, see
+    /// [`crate::LaharServer`]) listens on when this configuration is
+    /// used as a server's per-session template. A standalone
+    /// [`RealTimeSession`] ignores it. `None` (the default) means "not
+    /// served".
+    pub serve_addr: Option<SocketAddr>,
 }
 
 impl Default for SessionConfig {
@@ -141,7 +166,144 @@ impl Default for SessionConfig {
             tick_deadline: None,
             metrics_addr: None,
             trace: false,
+            serve_addr: None,
         }
+    }
+}
+
+impl SessionConfig {
+    /// A validating builder — the recommended way to construct a config.
+    ///
+    /// ```
+    /// use lahar_core::{SessionConfig, TickMode};
+    /// let config = SessionConfig::builder()
+    ///     .tick_mode(TickMode::Parallel)
+    ///     .n_workers(4)
+    ///     .checkpoint_interval(64)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.n_workers, 4);
+    /// ```
+    pub fn builder() -> SessionConfigBuilder {
+        SessionConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SessionConfig`] with build-time validation.
+///
+/// Setters record *explicit* choices; fields left unset keep their
+/// [`SessionConfig::default`] values. [`SessionConfigBuilder::build`]
+/// rejects contradictions a raw struct would silently accept:
+///
+/// * an explicit `checkpoint_interval(0)` — `0` is the "disabled"
+///   sentinel, which you get by not calling the setter;
+/// * an explicit `n_workers(0)` — `0` is the "one per core" sentinel,
+///   which you get by not calling the setter;
+/// * a metrics address equal to the serve address — the scrape endpoint
+///   and the ingestion service cannot share one socket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionConfigBuilder {
+    tick_mode: Option<TickMode>,
+    n_workers: Option<usize>,
+    parallel_threshold: Option<usize>,
+    checkpoint_interval: Option<usize>,
+    tick_deadline: Option<Duration>,
+    metrics_addr: Option<SocketAddr>,
+    trace: Option<bool>,
+    serve_addr: Option<SocketAddr>,
+}
+
+impl SessionConfigBuilder {
+    /// Sets [`SessionConfig::tick_mode`].
+    pub fn tick_mode(mut self, mode: TickMode) -> Self {
+        self.tick_mode = Some(mode);
+        self
+    }
+
+    /// Sets [`SessionConfig::n_workers`]. Must be non-zero: the "one
+    /// worker per core" default is chosen by *not* calling this.
+    pub fn n_workers(mut self, n: usize) -> Self {
+        self.n_workers = Some(n);
+        self
+    }
+
+    /// Sets [`SessionConfig::parallel_threshold`].
+    pub fn parallel_threshold(mut self, chains: usize) -> Self {
+        self.parallel_threshold = Some(chains);
+        self
+    }
+
+    /// Sets [`SessionConfig::checkpoint_interval`]. Must be non-zero:
+    /// auto-checkpointing is disabled by *not* calling this.
+    pub fn checkpoint_interval(mut self, ticks: usize) -> Self {
+        self.checkpoint_interval = Some(ticks);
+        self
+    }
+
+    /// Sets [`SessionConfig::tick_deadline`].
+    pub fn tick_deadline(mut self, deadline: Duration) -> Self {
+        self.tick_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets [`SessionConfig::metrics_addr`].
+    pub fn metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
+        self
+    }
+
+    /// Sets [`SessionConfig::trace`].
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
+
+    /// Sets [`SessionConfig::serve_addr`].
+    pub fn serve_addr(mut self, addr: SocketAddr) -> Self {
+        self.serve_addr = Some(addr);
+        self
+    }
+
+    /// Validates the explicit choices and produces the config.
+    pub fn build(self) -> Result<SessionConfig, EngineError> {
+        if self.checkpoint_interval == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "checkpoint_interval must be non-zero (omit the setter to \
+                 disable auto-checkpointing)"
+                    .to_owned(),
+            ));
+        }
+        if self.n_workers == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "n_workers must be non-zero (omit the setter for one worker \
+                 per core)"
+                    .to_owned(),
+            ));
+        }
+        if let (Some(metrics), Some(serve)) = (self.metrics_addr, self.serve_addr) {
+            if metrics == serve {
+                return Err(EngineError::InvalidConfig(format!(
+                    "metrics_addr and serve_addr both bind {metrics}; the \
+                     scrape endpoint and the ingestion service need distinct \
+                     sockets"
+                )));
+            }
+        }
+        let defaults = SessionConfig::default();
+        Ok(SessionConfig {
+            tick_mode: self.tick_mode.unwrap_or(defaults.tick_mode),
+            n_workers: self.n_workers.unwrap_or(defaults.n_workers),
+            parallel_threshold: self
+                .parallel_threshold
+                .unwrap_or(defaults.parallel_threshold),
+            checkpoint_interval: self
+                .checkpoint_interval
+                .unwrap_or(defaults.checkpoint_interval),
+            tick_deadline: self.tick_deadline,
+            metrics_addr: self.metrics_addr,
+            trace: self.trace.unwrap_or(defaults.trace),
+            serve_addr: self.serve_addr,
+        })
     }
 }
 
@@ -643,11 +805,22 @@ impl RealTimeSession {
         Ok(())
     }
 
-    /// Stages the current tick's marginal for stream `stream_index`
-    /// (the index into `database().streams()`). Unstaged streams default
-    /// to all-⊥ ("no event") when the tick closes.
-    pub fn stage(&mut self, stream_index: usize, marginal: Marginal) -> Result<(), EngineError> {
+    /// Resolves the opaque [`StreamId`] handle for a declared stream's
+    /// identity key — shorthand for `database().stream_id(key)`.
+    pub fn stream_id(&self, key: &StreamKey) -> Option<StreamId> {
+        self.db.stream_id(key)
+    }
+
+    /// Stages the current tick's marginal for the identified stream.
+    /// Unstaged streams default to all-⊥ ("no event") when the tick
+    /// closes.
+    ///
+    /// The handle must come from this session's database (see
+    /// [`RealTimeSession::stream_id`]) or a schema-identical clone of
+    /// it, such as the manifest the session was loaded from.
+    pub fn stage(&mut self, stream: StreamId, marginal: Marginal) -> Result<(), EngineError> {
         self.ensure_live()?;
+        let stream_index = stream.index();
         if stream_index >= self.staged.len() {
             return Err(EngineError::NoRelevantStreams);
         }
@@ -663,6 +836,38 @@ impl RealTimeSession {
         self.staged[stream_index] = Some(marginal);
         self.stats.record_staged(1);
         Ok(())
+    }
+
+    /// Stages one tick's marginals for several streams at once — the
+    /// batched ingestion entry point the serving layer uses, so one
+    /// network frame can carry a whole tick's worth of staging. Stops at
+    /// the first error; earlier entries stay staged.
+    pub fn stage_batch(
+        &mut self,
+        marginals: impl IntoIterator<Item = (StreamId, Marginal)>,
+    ) -> Result<(), EngineError> {
+        for (stream, marginal) in marginals {
+            self.stage(stream, marginal)?;
+        }
+        Ok(())
+    }
+
+    /// [`RealTimeSession::stage`] addressed by raw stream index.
+    #[deprecated(
+        since = "0.1.0",
+        note = "address streams with the opaque `StreamId` handle: \
+                `session.stage(session.stream_id(key).unwrap(), marginal)`"
+    )]
+    pub fn stage_at_index(
+        &mut self,
+        stream_index: usize,
+        marginal: Marginal,
+    ) -> Result<(), EngineError> {
+        let id = self
+            .db
+            .stream_id_at(stream_index)
+            .ok_or(EngineError::NoRelevantStreams)?;
+        self.stage(id, marginal)
     }
 
     /// Closes the tick: appends every staged marginal (⊥ for unstaged
@@ -1299,6 +1504,11 @@ mod tests {
         (db, joe, sue)
     }
 
+    /// Test shorthand: the opaque handle for the stream at `idx`.
+    fn sid(s: &RealTimeSession, idx: usize) -> StreamId {
+        s.database().stream_id_at(idx).unwrap()
+    }
+
     /// The streaming session must produce exactly the batch answers.
     #[test]
     fn incremental_equals_batch() {
@@ -1321,13 +1531,14 @@ mod tests {
             sue.marginal(&[("c", 0.4)]).unwrap(),
             sue.marginal(&[("c", 0.2), ("h", 0.3)]).unwrap(),
         ];
+        let (joe_id, sue_id) = (sid(&session, 0), sid(&session, 1));
         let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); 2];
         for t in 0..3 {
-            session.stage(0, joe_ticks[t].clone()).unwrap();
-            session.stage(1, sue_ticks[t].clone()).unwrap();
+            session.stage(joe_id, joe_ticks[t].clone()).unwrap();
+            session.stage(sue_id, sue_ticks[t].clone()).unwrap();
             for alert in session.tick().unwrap() {
                 assert_eq!(alert.t, t as u32);
-                streamed[alert.query.0].push(alert.probability);
+                streamed[alert.query.index()].push(alert.probability);
             }
         }
 
@@ -1350,13 +1561,13 @@ mod tests {
         let mut session = RealTimeSession::new(db).unwrap();
         let q = session.register("q", "At('joe','a')").unwrap();
         session
-            .stage(0, joe.marginal(&[("a", 0.5)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("a", 0.5)]).unwrap())
             .unwrap();
         let alerts = session.tick().unwrap();
-        assert!((alerts[q.0].probability - 0.5).abs() < 1e-12);
+        assert!((alerts[q.index()].probability - 0.5).abs() < 1e-12);
         // Nothing staged: the tick closes with no events anywhere.
         let alerts = session.tick().unwrap();
-        assert_eq!(alerts[q.0].probability, 0.0);
+        assert_eq!(alerts[q.index()].probability, 0.0);
     }
 
     #[test]
@@ -1370,10 +1581,88 @@ mod tests {
         // Wrong-dimension marginal.
         let other = StreamBuilder::new(session.database().interner(), "At", &["zz"], &["only"]);
         assert!(session
-            .stage(0, other.marginal(&[("only", 1.0)]).unwrap())
+            .stage(sid(&session, 0), other.marginal(&[("only", 1.0)]).unwrap())
             .is_err());
-        // Out-of-range stream index.
-        assert!(session.stage(9, joe.marginal(&[]).unwrap()).is_err());
+        // Unknown stream identity resolves to no handle.
+        assert!(session.stream_id(other.key()).is_none());
+        let _ = joe;
+    }
+
+    /// The config builder rejects values that would otherwise fail (or
+    /// silently disable features) deep inside the session.
+    #[test]
+    fn config_builder_validates_at_build_time() {
+        let ok = SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(4)
+            .checkpoint_interval(64)
+            .build()
+            .unwrap();
+        assert_eq!(ok.n_workers, 4);
+        assert_eq!(ok.checkpoint_interval, 64);
+        // Defaults flow through untouched fields.
+        assert_eq!(
+            ok.parallel_threshold,
+            SessionConfig::default().parallel_threshold
+        );
+        assert!(matches!(
+            SessionConfig::builder().checkpoint_interval(0).build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SessionConfig::builder().n_workers(0).build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let addr: std::net::SocketAddr = "127.0.0.1:9633".parse().unwrap();
+        assert!(matches!(
+            SessionConfig::builder()
+                .metrics_addr(addr)
+                .serve_addr(addr)
+                .build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        // Distinct ports are fine.
+        SessionConfig::builder()
+            .metrics_addr("127.0.0.1:9633".parse().unwrap())
+            .serve_addr("127.0.0.1:9634".parse().unwrap())
+            .build()
+            .unwrap();
+    }
+
+    /// Batched staging is equivalent to staging one at a time.
+    #[test]
+    fn stage_batch_matches_individual_staging() {
+        let (db, joe, sue) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        let q = session.register("x", "At(p,'a')").unwrap();
+        session
+            .stage_batch([
+                (sid(&session, 0), joe.marginal(&[("a", 0.5)]).unwrap()),
+                (sid(&session, 1), sue.marginal(&[("a", 0.25)]).unwrap()),
+            ])
+            .unwrap();
+        let alerts = session.tick().unwrap();
+        let expect = 1.0 - (1.0 - 0.5) * (1.0 - 0.25);
+        assert!((alerts[q.index()].probability - expect).abs() < 1e-12);
+    }
+
+    /// The deprecated index-addressed shim forwards to the handle path
+    /// and rejects out-of-range indices.
+    #[test]
+    #[allow(deprecated)]
+    fn stage_at_index_shim_forwards_and_bounds_checks() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::new(db).unwrap();
+        let q = session.register("q", "At('joe','a')").unwrap();
+        session
+            .stage_at_index(0, joe.marginal(&[("a", 0.5)]).unwrap())
+            .unwrap();
+        let alerts = session.tick().unwrap();
+        assert!((alerts[q.index()].probability - 0.5).abs() < 1e-12);
+        assert_eq!(
+            session.stage_at_index(9, joe.marginal(&[]).unwrap()),
+            Err(EngineError::NoRelevantStreams)
+        );
     }
 
     #[test]
@@ -1398,7 +1687,7 @@ mod tests {
         let (db, joe, _) = schema_db();
         let mut session = RealTimeSession::new(db).unwrap();
         session
-            .stage(0, joe.marginal(&[("a", 1.0)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("a", 1.0)]).unwrap())
             .unwrap();
         session.tick().unwrap();
         // Registered after one tick: replays the recorded history so its
@@ -1407,11 +1696,11 @@ mod tests {
             .register("late", "At('joe','a') ; At('joe','c')")
             .unwrap();
         session
-            .stage(0, joe.marginal(&[("c", 0.8)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("c", 0.8)]).unwrap())
             .unwrap();
         let alerts = session.tick().unwrap();
-        assert_eq!(alerts[q.0].t, 1);
-        assert!((alerts[q.0].probability - 0.8).abs() < 1e-12);
+        assert_eq!(alerts[q.index()].t, 1);
+        assert!((alerts[q.index()].probability - 0.8).abs() < 1e-12);
     }
 
     /// Forced-parallel ticks answer exactly like a forced-sequential
@@ -1422,11 +1711,11 @@ mod tests {
             let (db, joe, sue) = schema_db();
             let session = RealTimeSession::with_config(
                 db,
-                SessionConfig {
-                    tick_mode: mode,
-                    n_workers: 3,
-                    ..SessionConfig::default()
-                },
+                SessionConfig::builder()
+                    .tick_mode(mode)
+                    .n_workers(3)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             (session, joe, sue)
@@ -1448,8 +1737,8 @@ mod tests {
         ];
         for staged in &ticks {
             for (idx, m) in staged {
-                seq.stage(*idx, m.clone()).unwrap();
-                par.stage(*idx, m.clone()).unwrap();
+                seq.stage(sid(&seq, *idx), m.clone()).unwrap();
+                par.stage(sid(&par, *idx), m.clone()).unwrap();
             }
             let a = seq.tick().unwrap();
             let b = par.tick().unwrap();
@@ -1478,11 +1767,11 @@ mod tests {
         let (db, _, _) = schema_db();
         let mut session = RealTimeSession::with_config(
             db,
-            SessionConfig {
-                tick_mode: TickMode::Parallel,
-                n_workers: 3,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .n_workers(3)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         session.register("a", "At(p,'h') ; At(p,'a')").unwrap(); // 2 chains
@@ -1510,7 +1799,7 @@ mod tests {
         let mut session = RealTimeSession::new(db).unwrap();
         session.register("q", "At('joe','a')").unwrap();
         session.poisoned = true;
-        let staged = session.stage(0, joe.marginal(&[("a", 0.5)]).unwrap());
+        let staged = session.stage(sid(&session, 0), joe.marginal(&[("a", 0.5)]).unwrap());
         assert_eq!(staged, Err(EngineError::SessionPoisoned));
         assert_eq!(
             session.register("late", "At('joe','h')").unwrap_err(),
@@ -1558,8 +1847,8 @@ mod tests {
         ];
         for staged in &ticks {
             for (idx, m) in staged {
-                faulty.stage(*idx, m.clone()).unwrap();
-                reference.stage(*idx, m.clone()).unwrap();
+                faulty.stage(sid(&faulty, *idx), m.clone()).unwrap();
+                reference.stage(sid(&reference, *idx), m.clone()).unwrap();
             }
             faulty.tick().unwrap();
             reference.tick().unwrap();
@@ -1569,8 +1858,8 @@ mod tests {
         // exactly what a sequential-path panic leaves behind.
         let fault_tick = vec![(1usize, sue.marginal(&[("c", 0.9)]).unwrap())];
         for (idx, m) in &fault_tick {
-            faulty.stage(*idx, m.clone()).unwrap();
-            reference.stage(*idx, m.clone()).unwrap();
+            faulty.stage(sid(&faulty, *idx), m.clone()).unwrap();
+            reference.stage(sid(&reference, *idx), m.clone()).unwrap();
         }
         let reference_alerts = reference.tick().unwrap();
         for idx in 0..faulty.staged.len() {
@@ -1601,10 +1890,10 @@ mod tests {
         assert_eq!(faulty.stats().snapshot().recoveries, 1);
         // Subsequent ticks stay bit-identical too.
         faulty
-            .stage(0, joe.marginal(&[("c", 0.3)]).unwrap())
+            .stage(sid(&faulty, 0), joe.marginal(&[("c", 0.3)]).unwrap())
             .unwrap();
         reference
-            .stage(0, joe.marginal(&[("c", 0.3)]).unwrap())
+            .stage(sid(&reference, 0), joe.marginal(&[("c", 0.3)]).unwrap())
             .unwrap();
         let a = faulty.tick().unwrap();
         let b = reference.tick().unwrap();
@@ -1628,13 +1917,13 @@ mod tests {
             (0usize, joe.marginal(&[("a", 0.6), ("h", 0.2)]).unwrap()),
             (1, sue.marginal(&[("a", 0.5)]).unwrap()),
         ] {
-            original.stage(m.0, m.1).unwrap();
+            original.stage(sid(&original, m.0), m.1).unwrap();
             original.tick().unwrap();
         }
         // Stage something *before* checkpointing: staged state must
         // survive the round trip.
         original
-            .stage(1, sue.marginal(&[("c", 0.8)]).unwrap())
+            .stage(sid(&original, 1), sue.marginal(&[("c", 0.8)]).unwrap())
             .unwrap();
         let ckpt = original.checkpoint().unwrap();
         assert_eq!(ckpt.t(), 2);
@@ -1654,7 +1943,8 @@ mod tests {
 
         // Identical futures: same staged carry-over, same next ticks.
         for s in [&mut original, &mut restored] {
-            s.stage(0, joe.marginal(&[("c", 0.7)]).unwrap()).unwrap();
+            let id = sid(s, 0);
+            s.stage(id, joe.marginal(&[("c", 0.7)]).unwrap()).unwrap();
         }
         let a = original.tick().unwrap();
         let b = restored.tick().unwrap();
@@ -1695,17 +1985,20 @@ mod tests {
         let (db, joe, _) = schema_db();
         let mut session = RealTimeSession::with_config(
             db,
-            SessionConfig {
-                checkpoint_interval: 2,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .checkpoint_interval(2)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         session.register("q", "At('joe','a')").unwrap();
         assert!(session.last_checkpoint().is_none());
         for i in 0..6 {
             session
-                .stage(0, joe.marginal(&[("a", 0.1 * (i + 1) as f64)]).unwrap())
+                .stage(
+                    sid(&session, 0),
+                    joe.marginal(&[("a", 0.1 * (i + 1) as f64)]).unwrap(),
+                )
                 .unwrap();
             session.tick().unwrap();
             // The replay log only accumulates ticks since the newest
@@ -1722,16 +2015,16 @@ mod tests {
         let (db, joe, _) = schema_db();
         let mut session = RealTimeSession::with_config(
             db,
-            SessionConfig {
-                tick_mode: TickMode::Parallel,
-                n_workers: 2,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .n_workers(2)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         session.register("q", "At(p,'a')").unwrap();
         session
-            .stage(0, joe.marginal(&[("a", 0.4)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("a", 0.4)]).unwrap())
             .unwrap();
         session.tick().unwrap();
         assert_eq!(session.stats().snapshot().parallel_ticks, 1);
@@ -1739,7 +2032,7 @@ mod tests {
         session.degraded = true;
         assert!(session.is_degraded());
         session
-            .stage(0, joe.marginal(&[("a", 0.2)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("a", 0.2)]).unwrap())
             .unwrap();
         session.tick().unwrap();
         let snap = session.stats().snapshot();
@@ -1759,7 +2052,7 @@ mod tests {
         let mut session = RealTimeSession::new(db).unwrap();
         session.register("x", "At(p,'a') ; At(p,'c')").unwrap();
         session
-            .stage(0, joe.marginal(&[("a", 0.4)]).unwrap())
+            .stage(sid(&session, 0), joe.marginal(&[("a", 0.4)]).unwrap())
             .unwrap();
         session.tick().unwrap();
         session.tick().unwrap();

@@ -1,7 +1,7 @@
 //! Engine edge cases: degenerate databases, empty streams, deterministic
 //! inputs, and boundary conditions around the horizon.
 
-use lahar_core::{EngineError, Lahar, RegularEvaluator, Sampler, SamplerConfig};
+use lahar_core::{CompileOptions, EngineError, Lahar, RegularEvaluator, Sampler, SamplerConfig};
 use lahar_model::{Database, StreamBuilder};
 use lahar_query::{parse_and_validate, NormalQuery};
 
@@ -81,7 +81,7 @@ fn probabilities_remain_normalized_under_long_runs() {
 #[test]
 fn unknown_stream_type_is_a_validation_error() {
     let db = empty_db();
-    match Lahar::compile(&db, "Missing('x')") {
+    match Lahar::compile_with(&db, "Missing('x')", CompileOptions::new()) {
         Err(EngineError::Query(_)) => {}
         other => panic!("expected validation error, got {:?}", other.map(|_| ())),
     }
@@ -104,9 +104,9 @@ fn queries_at_the_32_subgoal_limit_are_rejected() {
     db.add_stream(b.deterministic(&[Some("a")]).unwrap())
         .unwrap();
     let big = vec!["At('joe','a')"; 33].join(" ; ");
-    assert!(Lahar::compile(&db, &big).is_err());
+    assert!(Lahar::compile_with(&db, big.as_str(), CompileOptions::new()).is_err());
     let ok = vec!["At('joe','a')"; 32].join(" ; ");
-    assert!(Lahar::compile(&db, &ok).is_ok());
+    assert!(Lahar::compile_with(&db, ok.as_str(), CompileOptions::new()).is_ok());
 }
 
 #[test]

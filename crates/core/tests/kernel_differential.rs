@@ -89,14 +89,8 @@ fn schema_db(n_people: usize) -> Database {
 
 fn build_session(s: &Scenario, mode: TickMode, forced: bool) -> RealTimeSession {
     let db = schema_db(s.n_people);
-    let mut session = RealTimeSession::with_config(
-        db,
-        SessionConfig {
-            tick_mode: mode,
-            ..SessionConfig::default()
-        },
-    )
-    .unwrap();
+    let config = SessionConfig::builder().tick_mode(mode).build().unwrap();
+    let mut session = RealTimeSession::with_config(db, config).unwrap();
     for (i, &q) in s.queries.iter().enumerate() {
         session.register(&format!("q{i}"), QUERIES[q]).unwrap();
     }
@@ -134,7 +128,8 @@ fn run_tick(
     row: &[(f64, f64, f64)],
 ) -> Vec<lahar_core::Alert> {
     for (p, &w) in row.iter().enumerate() {
-        session.stage(p, tick_marginal(interner, p, w)).unwrap();
+        let id = session.database().stream_id_at(p).unwrap();
+        session.stage(id, tick_marginal(interner, p, w)).unwrap();
     }
     session.tick().unwrap()
 }

@@ -1,0 +1,246 @@
+//! Property tests for the `lahar serve` wire protocol: every command and
+//! response must survive encode → arbitrary transport re-chunking →
+//! decode losslessly, with probabilities bit-identical, and the decoder
+//! must reject malformed frames instead of guessing.
+
+use lahar_core::protocol::{
+    encode_command, encode_response, parse_command, parse_response, Command, Response, WireAlert,
+    WireMarginal, PROTOCOL_VERSION,
+};
+use lahar_core::EngineError;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read};
+
+// -- generators -------------------------------------------------------
+
+/// Strings that stress JSON escaping: quotes, backslashes, newlines,
+/// unicode, and the empty string. (The vendored proptest has no regex
+/// string strategy, so strings come from an indexed pool plus a
+/// generated alphanumeric suffix.)
+fn wire_string() -> impl Strategy<Value = String> {
+    const POOL: [&str; 6] = [
+        "plain-name_0",
+        "with \"quotes\" and \\backslashes\\",
+        "line\nbreak\ttab",
+        "ünïcode — λahar",
+        "",
+        "{\"json\":[looking]}",
+    ];
+    (0..POOL.len(), 0..1_000_000usize).prop_map(|(i, salt)| {
+        if salt % 3 == 0 {
+            format!("{}-{salt}", POOL[i])
+        } else {
+            POOL[i].to_owned()
+        }
+    })
+}
+
+/// Probabilities including awkward but finite values.
+fn prob() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0..1.0f64,
+        Just(0.1 + 0.2),
+        Just(f64::MIN_POSITIVE),
+        Just(1.0 - f64::EPSILON),
+        Just(0.0),
+        Just(1.0),
+    ]
+}
+
+fn wire_marginal() -> impl Strategy<Value = WireMarginal> {
+    (
+        wire_string(),
+        prop::collection::vec(wire_string(), 0..3),
+        prop::collection::vec(prob(), 1..5),
+    )
+        .prop_map(|(stream_type, key, probs)| WireMarginal {
+            stream_type,
+            key,
+            probs,
+        })
+}
+
+fn wire_alert() -> impl Strategy<Value = WireAlert> {
+    (0..8usize, wire_string(), 0..1000u32, prob()).prop_map(|(query, name, t, probability)| {
+        WireAlert {
+            query,
+            name,
+            t,
+            probability,
+        }
+    })
+}
+
+fn command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        Just(Command::Ping),
+        Just(Command::Shutdown),
+        wire_string().prop_map(|session| Command::Open { session }),
+        (wire_string(), wire_string(), wire_string()).prop_map(|(session, name, query)| {
+            Command::Register {
+                session,
+                name,
+                query,
+            }
+        }),
+        (
+            wire_string(),
+            prop::collection::vec(wire_marginal(), 0..4),
+            any::<bool>()
+        )
+            .prop_map(|(session, marginals, tick)| Command::Stage {
+                session,
+                marginals,
+                tick
+            }),
+        wire_string().prop_map(|session| Command::Tick { session }),
+        (wire_string(), wire_string())
+            .prop_map(|(session, query)| Command::Series { session, query }),
+        wire_string().prop_map(|session| Command::Checkpoint { session }),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong {
+            version: PROTOCOL_VERSION
+        }),
+        Just(Response::ShuttingDown),
+        (0..100u32, any::<bool>()).prop_map(|(t, restored)| Response::Opened { t, restored }),
+        (0..8usize).prop_map(|query| Response::Registered { query }),
+        (0..64usize).prop_map(|staged| Response::Staged { staged }),
+        (0..100u32, prop::collection::vec(wire_alert(), 0..4))
+            .prop_map(|(t, alerts)| Response::Ticked { t, alerts }),
+        (wire_string(), prop::collection::vec(prob(), 0..6))
+            .prop_map(|(query, series)| Response::Series { query, series }),
+        (0..100u32).prop_map(|t| Response::Checkpointed { t }),
+        (wire_string(), wire_string())
+            .prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+// -- transport re-chunking --------------------------------------------
+
+/// A reader that hands out the underlying bytes in caller-chosen chunk
+/// sizes, mimicking arbitrary TCP segmentation.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks[self.turn % self.chunks.len()].max(1);
+        self.turn += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for commands, and every frame is
+    /// a single line (no raw newlines survive escaping).
+    #[test]
+    fn commands_round_trip(cmd in command()) {
+        let line = encode_command(&cmd);
+        prop_assert!(!line.contains('\n'), "frame not single-line: {line}");
+        prop_assert_eq!(parse_command(&line).unwrap(), cmd);
+    }
+
+    /// encode → decode is the identity for responses, including f64
+    /// bit patterns.
+    #[test]
+    fn responses_round_trip(r in response()) {
+        let line = encode_response(&r);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(parse_response(&line).unwrap(), r);
+    }
+
+    /// A pipelined stream of frames split across arbitrary read-chunk
+    /// boundaries reassembles into exactly the sent commands — the
+    /// framing layer (BufRead::read_line over newline-delimited frames)
+    /// is agnostic to TCP segmentation.
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        cmds in prop::collection::vec(command(), 1..8),
+        chunks in prop::collection::vec(1..23usize, 1..6),
+    ) {
+        let mut wire = Vec::new();
+        for cmd in &cmds {
+            wire.extend_from_slice(encode_command(cmd).as_bytes());
+            wire.push(b'\n');
+        }
+        let mut reader = BufReader::with_capacity(
+            7, // tiny buffer so refills interleave with chunk boundaries
+            Chunked { data: wire, pos: 0, chunks, turn: 0 },
+        );
+        let mut got = Vec::new();
+        let mut line = String::new();
+        while {
+            line.clear();
+            reader.read_line(&mut line).unwrap() > 0
+        } {
+            got.push(parse_command(line.trim_end()).unwrap());
+        }
+        prop_assert_eq!(got, cmds);
+    }
+
+    /// Truncating a frame at any byte boundary never parses as valid —
+    /// it is a protocol error, not a silent mis-read. (Truncations that
+    /// happen to end on a complete JSON object of the same shape do not
+    /// exist because the object closes only at the final brace.)
+    #[test]
+    fn truncated_frames_are_rejected(cmd in command(), cut in 0.0..1.0f64) {
+        let line = encode_command(&cmd);
+        let at = 1 + ((line.len() - 1) as f64 * cut) as usize;
+        if at < line.len() {
+            // Cut on a char boundary at or below `at`.
+            let mut at = at;
+            while !line.is_char_boundary(at) {
+                at -= 1;
+            }
+            if at > 0 {
+                let err = parse_command(&line[..at]);
+                prop_assert!(
+                    matches!(err, Err(EngineError::Protocol(_))),
+                    "truncated frame parsed: {:?} from {}",
+                    err,
+                    &line[..at]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_frames_are_protocol_errors() {
+    for bad in [
+        "",
+        "not json",
+        "42",
+        "[]",
+        "{}",
+        r#"{"cmd":"no_such_command"}"#,
+        r#"{"type":"pong"}"#,               // a response is not a command
+        r#"{"cmd":"open"}"#,                // missing session
+        r#"{"cmd":"stage","session":"s"}"#, // missing marginals
+    ] {
+        assert!(
+            matches!(parse_command(bad), Err(EngineError::Protocol(_))),
+            "accepted: {bad}"
+        );
+        assert!(
+            matches!(parse_response(bad), Err(EngineError::Protocol(_))),
+            "response parser accepted: {bad}"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! constructors directly.
 
 use crate::dist::{Cpt, Domain, Marginal, ModelError};
-use crate::stream::{Stream, StreamId};
+use crate::stream::{Stream, StreamKey};
 use crate::value::{tuple, Interner, Value};
 use std::sync::Arc;
 
@@ -14,7 +14,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct StreamBuilder {
     interner: Interner,
-    id: StreamId,
+    id: StreamKey,
     domain: Arc<Domain>,
 }
 
@@ -26,7 +26,7 @@ impl StreamBuilder {
         let domain = Domain::new(1, tuples).expect("distinct single-attribute values");
         Self {
             interner: interner.clone(),
-            id: StreamId {
+            id: StreamKey {
                 stream_type: interner.intern(stream_type),
                 key: key.iter().map(|k| Value::Str(interner.intern(k))).collect(),
             },
@@ -37,6 +37,12 @@ impl StreamBuilder {
     /// The domain under construction.
     pub fn domain(&self) -> &Arc<Domain> {
         &self.domain
+    }
+
+    /// The identity (type + key) streams built by this builder carry —
+    /// what [`crate::Database::stream_id`] resolves to an opaque handle.
+    pub fn key(&self) -> &StreamKey {
+        &self.id
     }
 
     /// Outcome index of `value` in the domain.

@@ -7,7 +7,7 @@
 
 use crate::dist::ModelError;
 use crate::schema::{Catalog, CatalogError};
-use crate::stream::{Stream, StreamId};
+use crate::stream::{Stream, StreamKey};
 use crate::value::{Interner, Symbol, Tuple, Value};
 use crate::world::{GroundEvent, World};
 use rand::Rng;
@@ -63,13 +63,31 @@ impl Relation {
     }
 }
 
+/// Opaque handle to one stream of one [`Database`].
+///
+/// A `StreamId` is obtained from [`Database::stream_id`] (lookup by
+/// [`StreamKey`]) or [`Database::stream_id_at`] (lookup by position) and
+/// is only meaningful for the database — or a schema-identical clone,
+/// such as a checkpoint-restored session database — that produced it.
+/// It exists so per-tick hot paths (staging, ingestion) can address
+/// streams in `O(1)` without the caller juggling raw `usize` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// The position of the stream in [`Database::streams`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// A probabilistic event database: streams + relations + catalog.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     interner: Interner,
     catalog: Catalog,
     streams: Vec<Stream>,
-    by_id: HashMap<StreamId, usize>,
+    by_id: HashMap<StreamKey, usize>,
     relations: HashMap<Symbol, Relation>,
 }
 
@@ -144,7 +162,7 @@ impl Database {
     /// stream — the real-time ingestion path.
     pub fn push_marginal(
         &mut self,
-        id: &StreamId,
+        id: &StreamKey,
         marginal: crate::dist::Marginal,
     ) -> Result<(), ModelError> {
         let idx = *self
@@ -171,8 +189,25 @@ impl Database {
     }
 
     /// Looks up a stream by identity.
-    pub fn stream(&self, id: &StreamId) -> Option<&Stream> {
+    pub fn stream(&self, id: &StreamKey) -> Option<&Stream> {
         self.by_id.get(id).map(|&i| &self.streams[i])
+    }
+
+    /// Resolves a stream's opaque [`StreamId`] handle from its identity
+    /// key — the typed replacement for addressing streams by raw index.
+    pub fn stream_id(&self, key: &StreamKey) -> Option<StreamId> {
+        self.by_id.get(key).copied().map(StreamId)
+    }
+
+    /// The [`StreamId`] of the stream at `index` (its position in
+    /// [`Database::streams`]), when one exists.
+    pub fn stream_id_at(&self, index: usize) -> Option<StreamId> {
+        (index < self.streams.len()).then_some(StreamId(index))
+    }
+
+    /// Handles for every stream, in insertion order.
+    pub fn stream_ids(&self) -> impl Iterator<Item = StreamId> {
+        (0..self.streams.len()).map(StreamId)
     }
 
     /// Streams of a given type.
@@ -283,7 +318,7 @@ mod tests {
         db.declare_stream("At", &["person"], &["loc"]).unwrap();
         let i = db.interner().clone();
         let dom = Domain::new(1, vec![tuple([i.intern("a")]), tuple([i.intern("b")])]).unwrap();
-        let id = StreamId {
+        let id = StreamKey {
             stream_type: i.intern("At"),
             key: tuple([i.intern("joe")]),
         };
@@ -361,7 +396,7 @@ mod tests {
         let mut db = tiny_db();
         let i = db.interner().clone();
         let dom = Domain::new(1, vec![tuple([i.intern("a")])]).unwrap();
-        let id = StreamId {
+        let id = StreamKey {
             stream_type: i.intern("At"),
             key: tuple([i.intern("sue")]),
         };

@@ -9,7 +9,7 @@
 
 use crate::database::Database;
 use crate::dist::{Cpt, Domain, Marginal};
-use crate::stream::{Stream, StreamData, StreamId};
+use crate::stream::{Stream, StreamData, StreamKey};
 use crate::value::{Interner, Tuple, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -278,7 +278,7 @@ pub fn decode_stream(interner: &Interner, mut buf: Bytes) -> Result<Stream, Deco
     if count > 1 << 24 {
         return Err(DecodeError::Truncated);
     }
-    let id = StreamId { stream_type, key };
+    let id = StreamKey { stream_type, key };
     match kind {
         0 => {
             let marginals: Result<Vec<Marginal>, DecodeError> = (0..count)

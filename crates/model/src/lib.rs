@@ -32,12 +32,12 @@ mod value;
 mod world;
 
 pub use builder::StreamBuilder;
-pub use database::{Database, Relation};
+pub use database::{Database, Relation, StreamId};
 pub use dist::{validate_dist, Cpt, Domain, Marginal, ModelError, PROB_EPS};
 pub use encode::{
     decode_stream, encode_stream, encode_streams, stream_rows, DecodeError, StreamRow,
 };
 pub use schema::{Catalog, CatalogError, RelationSchema, StreamSchema};
-pub use stream::{Stream, StreamData, StreamId};
+pub use stream::{Stream, StreamData, StreamKey};
 pub use value::{display_tuple, tuple, Interner, Symbol, Tuple, Value};
 pub use world::{GroundEvent, World};

@@ -22,14 +22,14 @@ use std::sync::Arc;
 
 /// Identity of a stream: its type name plus its event key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct StreamId {
+pub struct StreamKey {
     /// The stream type (a [`crate::StreamSchema`] name).
     pub stream_type: crate::value::Symbol,
     /// The event key shared by every event in the stream.
     pub key: Tuple,
 }
 
-impl StreamId {
+impl StreamKey {
     /// Renders e.g. `At('Joe')`.
     pub fn display(&self, interner: &Interner) -> String {
         let name = interner
@@ -56,7 +56,7 @@ pub enum StreamData {
 /// A probabilistic event stream.
 #[derive(Debug, Clone)]
 pub struct Stream {
-    id: StreamId,
+    id: StreamKey,
     domain: Arc<Domain>,
     data: StreamData,
 }
@@ -64,7 +64,7 @@ pub struct Stream {
 impl Stream {
     /// Builds an independent stream from per-timestep marginals.
     pub fn independent(
-        id: StreamId,
+        id: StreamKey,
         domain: Arc<Domain>,
         marginals: Vec<Marginal>,
     ) -> Result<Self, ModelError> {
@@ -85,7 +85,7 @@ impl Stream {
 
     /// Builds a Markovian stream from an initial marginal and per-step CPTs.
     pub fn markov(
-        id: StreamId,
+        id: StreamKey,
         domain: Arc<Domain>,
         initial: Marginal,
         cpts: Vec<Cpt>,
@@ -112,7 +112,7 @@ impl Stream {
     }
 
     /// The stream identity (type + key).
-    pub fn id(&self) -> &StreamId {
+    pub fn id(&self) -> &StreamKey {
         &self.id
     }
 
@@ -389,7 +389,7 @@ impl Stream {
     }
 }
 
-impl fmt::Display for StreamId {
+impl fmt::Display for StreamKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "stream#{}/{:?}", self.stream_type.0, self.key)
     }
@@ -420,8 +420,8 @@ mod tests {
         Domain::new(1, vec![tuple([1i64]), tuple([2i64])]).unwrap()
     }
 
-    fn id(i: &Interner) -> StreamId {
-        StreamId {
+    fn id(i: &Interner) -> StreamKey {
+        StreamKey {
             stream_type: i.intern("At"),
             key: tuple([i.intern("joe")]),
         }

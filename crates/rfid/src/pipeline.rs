@@ -17,7 +17,7 @@ use crate::floorplan::{FloorPlan, RoomKind};
 use crate::movement::{simulate_object, simulate_person, MovementConfig, Object, Person};
 use crate::sensing::{emission_matrix, observe, SensingConfig};
 use lahar_hmm::{Hmm, ParticleFilter};
-use lahar_model::{tuple, Cpt, Database, Domain, GroundEvent, Marginal, Stream, StreamId, World};
+use lahar_model::{tuple, Cpt, Database, Domain, GroundEvent, Marginal, Stream, StreamKey, World};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -237,8 +237,8 @@ impl Deployment {
         Domain::new(1, tuples).expect("distinct location names")
     }
 
-    fn stream_id(&self, db: &Database, tag: &str) -> StreamId {
-        StreamId {
+    fn stream_key(&self, db: &Database, tag: &str) -> StreamKey {
+        StreamKey {
             stream_type: db.interner().intern("At"),
             key: tuple([db.interner().intern(tag)]),
         }
@@ -259,7 +259,7 @@ impl Deployment {
                 .into_iter()
                 .map(|m| location_marginal(&domain, &m))
                 .collect();
-            let stream = Stream::independent(self.stream_id(&db, tag), domain.clone(), marginals)
+            let stream = Stream::independent(self.stream_key(&db, tag), domain.clone(), marginals)
                 .expect("valid marginals");
             db.add_stream(stream).unwrap();
         }
@@ -280,7 +280,7 @@ impl Deployment {
                 .iter()
                 .map(|c| location_cpt(&domain, n, c))
                 .collect();
-            let stream = Stream::markov(self.stream_id(&db, tag), domain.clone(), initial, cpts)
+            let stream = Stream::markov(self.stream_key(&db, tag), domain.clone(), initial, cpts)
                 .expect("valid CPTs");
             db.add_stream(stream).unwrap();
         }
@@ -300,7 +300,7 @@ impl Deployment {
                 .iter()
                 .map(|m| location_marginal(&domain, m))
                 .collect();
-            let stream = Stream::independent(self.stream_id(&db, tag), domain.clone(), marginals)
+            let stream = Stream::independent(self.stream_key(&db, tag), domain.clone(), marginals)
                 .expect("valid marginals");
             db.add_stream(stream).unwrap();
         }

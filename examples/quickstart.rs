@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lahar::core::Lahar;
+use lahar::core::{CompileOptions, Lahar};
 use lahar::model::{Database, StreamBuilder};
 
 fn main() {
@@ -91,7 +91,7 @@ fn main() {
 
     for (label, src) in queries {
         let class = Lahar::classify(&db, src).unwrap();
-        let compiled = Lahar::compile(&db, src).unwrap();
+        let compiled = Lahar::compile_with(&db, src, CompileOptions::new()).unwrap();
         let algo = compiled.algorithm();
         let series = compiled.prob_series(db.horizon()).unwrap();
         println!("{label}\n  query: {src}\n  class: {class}   algorithm: {algo}");

@@ -84,12 +84,12 @@ fn main() {
     // auto threshold; a real deployment would leave `Auto` in place.
     let mut session = RealTimeSession::with_config(
         db,
-        SessionConfig {
-            tick_mode: TickMode::Parallel,
-            metrics_addr: Some(metrics_addr),
-            trace: trace_out.is_some(),
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .metrics_addr(metrics_addr)
+            .trace(trace_out.is_some())
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let endpoint = session.metrics_addr().expect("metrics endpoint started");
@@ -119,7 +119,8 @@ fn main() {
             let m = b
                 .marginal(&[(LOCS[phase], 0.75), (LOCS[(phase + 1) % 4], 0.15)])
                 .unwrap();
-            session.stage(idx, m).unwrap();
+            let id = session.database().stream_id_at(idx).unwrap();
+            session.stage(id, m).unwrap();
         }
         for alert in session.tick().unwrap() {
             if alert.probability > 0.5 {

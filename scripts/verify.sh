@@ -41,6 +41,56 @@ for needle in \
     fi
 done
 
+echo "==> serve smoke (TCP ingest + restart restore vs offline query)"
+dep="$(mktemp -d -t lahar-serve-XXXXXX)"
+serve_query="At(p, l1)[Room(l1)] ; At(p, l2)[CoffeeRoom(l2)]"
+./target/release/lahar simulate --out "$dep" --ticks 10 --people 3 --seed 11 >/dev/null
+./target/release/lahar query --manifest "$dep" "$serve_query" >"$dep/offline.csv" 2>/dev/null
+
+start_serve() {
+    # Starts a server on free ports; sets serve_pid/serve_addr/serve_maddr.
+    local log="$1"
+    ./target/release/lahar serve --manifest "$dep" --addr 127.0.0.1:0 \
+        --metrics-addr 127.0.0.1:0 --checkpoint-dir "$dep/ckpt" 2>"$log" &
+    serve_pid=$!
+    serve_addr=""
+    serve_maddr=""
+    for _ in $(seq 1 100); do
+        serve_addr="$(sed -n 's/^serving on //p' "$log")"
+        serve_maddr="$(sed -n 's|^metrics: http://\(.*\)/metrics$|\1|p' "$log")"
+        [[ -n "$serve_addr" && -n "$serve_maddr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$serve_addr" || -z "$serve_maddr" ]]; then
+        echo "serve did not start" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+# First half of the stream, then a graceful shutdown (checkpoints).
+start_serve "$dep/serve1.log"
+./target/release/lahar ingest --manifest "$dep" --addr "$serve_addr" \
+    --session smoke --ticks 5 --shutdown "$serve_query" >/dev/null 2>&1
+wait "$serve_pid"
+test -n "$(ls "$dep/ckpt/"*.ckpt.json)" || { echo "no shutdown checkpoint written" >&2; exit 1; }
+
+# Restarted server restores the session; the continued series must be
+# byte-identical to the offline batch engine over the full stream.
+start_serve "$dep/serve2.log"
+./target/release/lahar ingest --manifest "$dep" --addr "$serve_addr" \
+    --session smoke --scrape "http://$serve_maddr/metrics" --shutdown "$serve_query" \
+    >"$dep/served.csv" 2>"$dep/ingest2.log"
+wait "$serve_pid"
+if ! cmp -s "$dep/offline.csv" "$dep/served.csv"; then
+    echo "serve smoke failed: served series != offline series" >&2
+    diff "$dep/offline.csv" "$dep/served.csv" >&2 || true
+    exit 1
+fi
+grep -q "restored" "$dep/ingest2.log" || { echo "restart did not restore the session" >&2; exit 1; }
+grep -q 'session="smoke"' "$dep/ingest2.log" || { echo "scrape missing session label" >&2; exit 1; }
+rm -rf "$dep"
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> bench smoke (quick mode, writes BENCH_streaming.json)"
     LAHAR_BENCH_QUICK=1 cargo bench --offline -p lahar-bench \

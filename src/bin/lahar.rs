@@ -15,13 +15,15 @@
 //! `<stream>.lstream` binary image per stream; `classify`/`query` load
 //! them back. The on-disk format is `lahar_model::encode_stream`.
 
-use lahar::core::Lahar;
-use lahar::model::{decode_stream, encode_stream, tuple, Database, Stream};
+use lahar::core::protocol::WireMarginal;
+use lahar::core::{CompileOptions, Lahar};
+use lahar::model::{decode_stream, encode_stream, tuple, Database, Stream, Value};
 use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 use lahar::rfid::{Deployment, DeploymentConfig};
-use lahar::{RealTimeSession, SessionConfig};
+use lahar::{EngineError, LaharClient, LaharServer, RealTimeSession, ServerConfig, SessionConfig};
 use std::collections::BTreeMap;
 use std::fs;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,6 +34,8 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -57,6 +61,10 @@ fn print_usage() {
          lahar query    --manifest DIR 'QUERY'\n  \
          lahar replay   --manifest DIR 'QUERY' [--metrics-addr IP:PORT] [--metrics-out FILE]\n  \
          \x20               [--trace-out FILE] [--threshold P]\n  \
+         lahar serve    --manifest DIR --addr IP:PORT [--metrics-addr IP:PORT] [--shards N]\n  \
+         \x20               [--queue-cap N] [--checkpoint-dir DIR]\n  \
+         lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
+         \x20               [--scrape URL] [--shutdown]\n  \
          lahar demo\n\n\
          QUERY SYNTAX (see README):\n  \
          At('joe','a') ; (At('joe', l))+{{| Hallway(l)}} ; At('joe','c')\n  \
@@ -65,16 +73,21 @@ fn print_usage() {
 }
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// Flags that never take a value — without this list a trailing
+/// positional (e.g. the query after `--shutdown`) would be swallowed
+/// as the flag's value.
+const BOOL_FLAGS: [&str; 2] = ["archived", "shutdown"];
+
 fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            // Boolean flags take no value when followed by another flag or
-            // nothing.
+            // Boolean flags take no value; other flags take one when
+            // followed by anything that isn't itself a flag.
             match it.peek() {
-                Some(v) if !v.starts_with("--") => {
+                Some(v) if !v.starts_with("--") && !BOOL_FLAGS.contains(&name) => {
                     flags.insert(name.to_owned(), it.next().unwrap().clone());
                 }
                 _ => {
@@ -303,7 +316,8 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (db, src) = manifest_db(args)?;
-    let compiled = Lahar::compile(&db, &src).map_err(|e| e.to_string())?;
+    let compiled =
+        Lahar::compile_with(&db, src.as_str(), CompileOptions::new()).map_err(|e| e.to_string())?;
     let algorithm = compiled.algorithm();
     let series = compiled
         .prob_series(db.horizon())
@@ -337,16 +351,17 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--threshold expects a probability, got {v:?}"))?,
     };
-    let mut config = SessionConfig::default();
+    let mut builder = SessionConfig::builder();
     if let Some(addr) = flags.get("metrics-addr") {
-        config.metrics_addr = Some(
+        builder = builder.metrics_addr(
             addr.parse()
                 .map_err(|_| format!("--metrics-addr expects IP:PORT, got {addr:?}"))?,
         );
     }
     if flags.contains_key("trace-out") {
-        config.trace = true;
+        builder = builder.trace(true);
     }
+    let config = builder.build().map_err(|e| e.to_string())?;
 
     let full = load_database_impl(&dir, true)?;
     let session_db = load_database_impl(&dir, false)?;
@@ -360,8 +375,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     println!("t,probability");
     for t in 0..full.horizon() {
         for si in 0..full.streams().len() {
+            let id = session
+                .database()
+                .stream_id_at(si)
+                .ok_or_else(|| format!("stream {si} missing from session database"))?;
             session
-                .stage(si, full.streams()[si].marginal_at(t))
+                .stage(id, full.streams()[si].marginal_at(t))
                 .map_err(|e| e.to_string())?;
         }
         for alert in session.tick().map_err(|e| e.to_string())? {
@@ -387,6 +406,176 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     }
     eprintln!("{}", snap.to_json());
     Ok(())
+}
+
+/// Hosts the manifest's schema as a multi-session network service:
+/// clients create named sessions, stream marginals, and read series over
+/// the newline-delimited JSON protocol (see PROTOCOL.md). Blocks until a
+/// client sends `shutdown`; every hosted session is checkpointed into
+/// `--checkpoint-dir` on the way down and restored on the next start.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("serve requires --manifest DIR".to_owned())?,
+    );
+    let template = load_database_impl(&dir, false)?;
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = parse_addr("addr", addr)?;
+    }
+    if let Some(addr) = flags.get("metrics-addr") {
+        config.metrics_addr = Some(parse_addr("metrics-addr", addr)?);
+    }
+    config.n_shards = get_usize(&flags, "shards", config.n_shards)?;
+    config.queue_cap = get_usize(&flags, "queue-cap", config.queue_cap)?;
+    if let Some(d) = flags.get("checkpoint-dir") {
+        config.checkpoint_dir = Some(PathBuf::from(d));
+    }
+    let server = LaharServer::start(config, template).map_err(|e| e.to_string())?;
+    eprintln!("serving on {}", server.addr());
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("metrics: http://{maddr}/metrics");
+    }
+    server.join().map_err(|e| e.to_string())
+}
+
+/// One wire frame per tick: every stream's marginal at `t`, addressed by
+/// stream type and key strings.
+fn wire_tick(db: &Database, t: u32) -> Result<Vec<WireMarginal>, String> {
+    let interner = db.interner();
+    db.streams()
+        .iter()
+        .map(|stream| {
+            let id = stream.id();
+            let stream_type = interner
+                .resolve(id.stream_type)
+                .ok_or("unresolvable stream type symbol")?;
+            let key = id
+                .key
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => interner
+                        .resolve(*s)
+                        .ok_or_else(|| "unresolvable key symbol".to_owned()),
+                    other => Err(format!("non-string stream key {other:?} cannot be sent")),
+                })
+                .collect::<Result<Vec<String>, String>>()?;
+            Ok(WireMarginal {
+                stream_type,
+                key,
+                probs: stream.marginal_at(t).probs().to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// Streams the manifest's recorded marginals into a served session tick
+/// by tick, then prints the server-computed series as CSV. `overloaded`
+/// responses are retried with backoff — the client side of the server's
+/// backpressure contract.
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("ingest requires --manifest DIR".to_owned())?,
+    );
+    let addr = parse_addr(
+        "addr",
+        flags.get("addr").ok_or("ingest requires --addr IP:PORT")?,
+    )?;
+    let src = positional
+        .first()
+        .ok_or("ingest requires a query argument".to_owned())?;
+    let session = flags.get("session").map_or("default", String::as_str);
+    let db = load_database_impl(&dir, true)?;
+    let ticks = match flags.get("ticks") {
+        None => db.horizon(),
+        Some(_) => get_usize(&flags, "ticks", 0)?.min(db.horizon() as usize) as u32,
+    };
+
+    let mut client = LaharClient::connect(addr, session).map_err(|e| e.to_string())?;
+    let (t0, restored) = client.open().map_err(|e| e.to_string())?;
+    eprintln!(
+        "session '{session}' at t={t0}{}",
+        if restored { " (restored)" } else { "" }
+    );
+    let query_name = "q";
+    match client.register(query_name, src) {
+        Ok(_) => {}
+        // Re-running against a restored session: the query is already there.
+        Err(EngineError::Remote { code, message }) if code == "bad_request" => {
+            eprintln!("note: {message}");
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+
+    // Resume where the session already is (t0 > 0 after a restore), so
+    // re-running the same ingest never double-stages a tick.
+    for t in t0..ticks {
+        let frame = wire_tick(&db, t)?;
+        loop {
+            match client.stage_tick(&frame) {
+                Ok(_) => break,
+                Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    let series = client.series(query_name).map_err(|e| e.to_string())?;
+    println!("t,probability");
+    for (t, p) in series.iter().enumerate() {
+        println!("{t},{p:.6}");
+    }
+
+    if let Some(url) = flags.get("scrape") {
+        let body = http_get(url)?;
+        let interesting: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("lahar_") && l.contains("session="))
+            .take(20)
+            .collect();
+        eprintln!("--- scraped {url} ({} bytes) ---", body.len());
+        for line in interesting {
+            eprintln!("{line}");
+        }
+    }
+    if flags.contains_key("shutdown") {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        eprintln!("server shutting down");
+    }
+    Ok(())
+}
+
+fn parse_addr(flag: &str, value: &str) -> Result<SocketAddr, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{flag} expects IP:PORT, got {value:?}"))
+}
+
+/// Minimal HTTP/1.0 GET (no external tooling needed in CI smoke tests).
+fn http_get(url: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("--scrape expects an http:// URL, got {url:?}"))?;
+    let (host, path) = rest.split_once('/').unwrap_or((rest, ""));
+    let mut stream = std::net::TcpStream::connect(host).map_err(|e| format!("{host}: {e}"))?;
+    write!(stream, "GET /{path} HTTP/1.0\r\nHost: {host}\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    Ok(body.to_owned())
 }
 
 fn cmd_demo() -> Result<(), String> {

@@ -37,9 +37,10 @@ pub use lahar_query as query;
 pub use lahar_rfid as rfid;
 
 pub use lahar_core::{
-    Alert, Algorithm, Checkpoint, CompiledQuery, EngineError, EngineStats, Lahar, LatencySnapshot,
-    MetricsServer, QueryId, QuerySnapshot, RealTimeSession, SessionConfig, StatsSnapshot, TickMode,
+    Alert, Algorithm, Checkpoint, CompileOptions, CompiledQuery, EngineError, EngineStats, Lahar,
+    LaharClient, LaharServer, LatencySnapshot, MetricsServer, QueryId, QuerySnapshot, QuerySource,
+    RealTimeSession, ServerConfig, SessionConfig, SessionConfigBuilder, StatsSnapshot, TickMode,
     CHECKPOINT_VERSION,
 };
-pub use lahar_model::{Database, StreamBuilder};
+pub use lahar_model::{Database, StreamBuilder, StreamId, StreamKey};
 pub use lahar_query::QueryClass;

@@ -82,13 +82,18 @@ fn register_all(session: &mut RealTimeSession) {
     session.register("sue_h", "At('sue','h')").unwrap();
 }
 
+/// Resolves a raw script index to the session's opaque stream handle.
+fn sid(session: &RealTimeSession, idx: usize) -> lahar::StreamId {
+    session.database().stream_id_at(idx).unwrap()
+}
+
 fn parallel_session(config_patch: impl FnOnce(&mut SessionConfig)) -> RealTimeSession {
     let (db, _, _) = schema_db();
-    let mut config = SessionConfig {
-        tick_mode: TickMode::Parallel,
-        n_workers: 3,
-        ..SessionConfig::default()
-    };
+    let mut config = SessionConfig::builder()
+        .tick_mode(TickMode::Parallel)
+        .n_workers(3)
+        .build()
+        .unwrap();
     config_patch(&mut config);
     let mut session = RealTimeSession::with_config(db, config).unwrap();
     register_all(&mut session);
@@ -100,10 +105,10 @@ fn reference_alerts(ticks: &[Vec<(usize, Marginal)>]) -> Vec<Vec<(String, u32, u
     let (db, _, _) = schema_db();
     let mut session = RealTimeSession::with_config(
         db,
-        SessionConfig {
-            tick_mode: TickMode::Sequential,
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(TickMode::Sequential)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     register_all(&mut session);
@@ -111,7 +116,7 @@ fn reference_alerts(ticks: &[Vec<(usize, Marginal)>]) -> Vec<Vec<(String, u32, u
         .iter()
         .map(|staged| {
             for (idx, m) in staged {
-                session.stage(*idx, m.clone()).unwrap();
+                session.stage(sid(&session, *idx), m.clone()).unwrap();
             }
             session
                 .tick()
@@ -158,7 +163,7 @@ fn run_fault_recover_script(
     let (mut arm, mut expect_err) = (Some(arm), Some(expect_err));
     for (t, staged) in ticks.iter().enumerate() {
         for (idx, m) in staged {
-            session.stage(*idx, m.clone()).unwrap();
+            session.stage(sid(&session, *idx), m.clone()).unwrap();
         }
         if t == fault_at {
             (arm.take().expect("single fault tick"))();
@@ -236,10 +241,10 @@ fn sequential_path_panic_recovers_bit_identically() {
     let (db, _, _) = schema_db();
     let mut session = RealTimeSession::with_config(
         db,
-        SessionConfig {
-            tick_mode: TickMode::Sequential,
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(TickMode::Sequential)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     register_all(&mut session);
@@ -275,7 +280,7 @@ fn tick_timeout_degrades_to_sequential_then_recovers() {
 
     for t in 0..2 {
         for (idx, m) in &ticks[t] {
-            session.stage(*idx, m.clone()).unwrap();
+            session.stage(sid(&session, *idx), m.clone()).unwrap();
         }
         assert_tick_matches(&session.tick().unwrap(), &reference[t]);
     }
@@ -288,7 +293,7 @@ fn tick_timeout_degrades_to_sequential_then_recovers() {
         Schedule::EveryNth { n: 1 },
     );
     for (idx, m) in &ticks[2] {
-        session.stage(*idx, m.clone()).unwrap();
+        session.stage(sid(&session, *idx), m.clone()).unwrap();
     }
     let err = session.tick().unwrap_err();
     assert!(
@@ -306,7 +311,7 @@ fn tick_timeout_degrades_to_sequential_then_recovers() {
     // Degraded mode: later ticks avoid the pool but stay bit-identical.
     for t in 3..6 {
         for (idx, m) in &ticks[t] {
-            session.stage(*idx, m.clone()).unwrap();
+            session.stage(sid(&session, *idx), m.clone()).unwrap();
         }
         assert_tick_matches(&session.tick().unwrap(), &reference[t]);
     }
@@ -322,7 +327,7 @@ fn tick_timeout_degrades_to_sequential_then_recovers() {
     session.clear_degraded();
     for t in 6..8 {
         for (idx, m) in &ticks[t] {
-            session.stage(*idx, m.clone()).unwrap();
+            session.stage(sid(&session, *idx), m.clone()).unwrap();
         }
         assert_tick_matches(&session.tick().unwrap(), &reference[t]);
     }
@@ -342,13 +347,13 @@ fn poisoned_window_rejects_mutations_until_recovered() {
     let (_, joe, sue) = schema_db();
     let ticks = script(&joe, &sue);
     for (idx, m) in &ticks[0] {
-        session.stage(*idx, m.clone()).unwrap();
+        session.stage(sid(&session, *idx), m.clone()).unwrap();
     }
     failpoint::configure("worker_step", FailAction::Panic, Schedule::Once { at: 0 });
     session.tick().unwrap_err();
     failpoint::clear_all();
 
-    let staged = session.stage(0, joe.marginal(&[("a", 0.5)]).unwrap());
+    let staged = session.stage(sid(&session, 0), joe.marginal(&[("a", 0.5)]).unwrap());
     assert_eq!(staged, Err(EngineError::SessionPoisoned));
     assert_eq!(
         session.register("late", "At('sue','a')").unwrap_err(),
@@ -357,11 +362,12 @@ fn poisoned_window_rejects_mutations_until_recovered() {
     assert_eq!(session.tick().unwrap_err(), EngineError::SessionPoisoned);
 
     session.recover().unwrap();
+    let (id0, id1) = (sid(&session, 0), sid(&session, 1));
     session
-        .stage(0, joe.marginal(&[("a", 0.5)]).unwrap())
+        .stage(id0, joe.marginal(&[("a", 0.5)]).unwrap())
         .unwrap();
     session
-        .stage(1, sue.marginal(&[("h", 0.4)]).unwrap())
+        .stage(id1, sue.marginal(&[("h", 0.4)]).unwrap())
         .unwrap();
     session.tick().unwrap();
 }

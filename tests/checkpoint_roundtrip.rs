@@ -27,11 +27,11 @@ fn session(mode: TickMode) -> RealTimeSession {
     let (db, _, _) = schema_db();
     let mut s = RealTimeSession::with_config(
         db,
-        SessionConfig {
-            tick_mode: mode,
-            n_workers: 2,
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(mode)
+            .n_workers(2)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     for (name, src) in QUERIES {
@@ -58,8 +58,12 @@ fn prob_pair() -> impl Strategy<Value = (f64, f64)> {
 fn stage_tick(s: &mut RealTimeSession, joe: &StreamBuilder, sue: &StreamBuilder, spec: &TickSpec) {
     let jm = joe.marginal(&[("a", spec.0 .0), ("c", spec.0 .1)]).unwrap();
     let sm = sue.marginal(&[("a", spec.1 .0), ("c", spec.1 .1)]).unwrap();
-    s.stage(0, jm).unwrap();
-    s.stage(1, sm).unwrap();
+    let (j, u) = (
+        s.database().stream_id_at(0).unwrap(),
+        s.database().stream_id_at(1).unwrap(),
+    );
+    s.stage(j, jm).unwrap();
+    s.stage(u, sm).unwrap();
 }
 
 fn alerts_bits(alerts: &[lahar::core::Alert]) -> Vec<(String, u32, u64)> {
@@ -106,15 +110,11 @@ fn check_roundtrip(
     let (fresh, _, _) = schema_db();
     let mut restored = match restore_mode {
         None => RealTimeSession::restore(fresh, &parsed).unwrap(),
-        Some(mode) => RealTimeSession::restore_with_config(
-            fresh,
-            &parsed,
-            SessionConfig {
-                tick_mode: mode,
-                ..parsed.config()
-            },
-        )
-        .unwrap(),
+        Some(mode) => {
+            let mut config = parsed.config();
+            config.tick_mode = mode;
+            RealTimeSession::restore_with_config(fresh, &parsed, config).unwrap()
+        }
     };
     prop_assert_eq!(restored.now(), original.now());
     for (_, src) in QUERIES {

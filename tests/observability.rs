@@ -38,13 +38,13 @@ fn live_session(ticks: usize, trace: bool) -> RealTimeSession {
     let (db, builders) = schema_db();
     let mut session = RealTimeSession::with_config(
         db,
-        SessionConfig {
-            tick_mode: TickMode::Parallel,
-            n_workers: 2,
-            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
-            trace,
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(2)
+            .metrics_addr("127.0.0.1:0".parse().unwrap())
+            .trace(trace)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     session.register("reach", "At(p,'a') ; At(p,'c')").unwrap();
@@ -59,7 +59,8 @@ fn live_session(ticks: usize, trace: bool) -> RealTimeSession {
 fn feed(session: &mut RealTimeSession, builders: &[StreamBuilder], ticks: std::ops::Range<usize>) {
     for t in ticks {
         for (idx, b) in builders.iter().enumerate() {
-            session.stage(idx, marginal_at(b, t, idx)).unwrap();
+            let id = session.database().stream_id_at(idx).unwrap();
+            session.stage(id, marginal_at(b, t, idx)).unwrap();
         }
         session.tick().unwrap();
     }
@@ -259,12 +260,12 @@ fn restored_session_reserves_per_query_metrics() {
     let restored = RealTimeSession::restore_with_config(
         db,
         &ckpt,
-        SessionConfig {
-            tick_mode: TickMode::Parallel,
-            n_workers: 2,
-            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
-            ..SessionConfig::default()
-        },
+        SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(2)
+            .metrics_addr("127.0.0.1:0".parse().unwrap())
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let addr = restored.metrics_addr().expect("endpoint restarted");
@@ -292,7 +293,8 @@ fn poisoned_session_remains_scrapeable_and_reports_recovery() {
 
     failpoint::configure("worker_step", FailAction::Error, Schedule::Once { at: 0 });
     for (idx, b) in builders.iter().enumerate() {
-        session.stage(idx, marginal_at(b, 3, idx)).unwrap();
+        let id = session.database().stream_id_at(idx).unwrap();
+        session.stage(id, marginal_at(b, 3, idx)).unwrap();
     }
     assert!(session.tick().is_err());
     assert!(session.is_poisoned());

@@ -6,8 +6,8 @@
 //! exponential world enumeration stays fast; queries cover all four
 //! classes and both stream representations.
 
-use lahar::core::Lahar;
-use lahar::model::{Cpt, Database, Domain, Marginal, Stream, StreamId};
+use lahar::core::{CompileOptions, Lahar};
+use lahar::model::{Cpt, Database, Domain, Marginal, Stream, StreamKey};
 use lahar::query::{parse_query, prob_series};
 use proptest::prelude::*;
 
@@ -53,7 +53,7 @@ fn build_stream(db: &Database, key: &str, spec: &StreamSpec) -> Stream {
         ],
     )
     .unwrap();
-    let id = StreamId {
+    let id = StreamKey {
         stream_type: i.intern("At"),
         key: lahar::model::tuple([i.intern(key)]),
     };
@@ -154,7 +154,7 @@ proptest! {
         for (key, spec, st) in [("k1", &s1, "R"), ("k2", &s2, "R"), ("w", &witness, "T")] {
             let s = build_stream(&tmp, key, spec);
             let domain = s.domain().clone();
-            let id = StreamId {
+            let id = StreamKey {
                 stream_type: i.intern(st),
                 key: lahar::model::tuple([i.intern(key)]),
             };
@@ -173,7 +173,7 @@ proptest! {
             "R(x, _) ; R(x, _) ; T('w', 'b')",
         ] {
             let q = parse_query(db.interner(), src).unwrap();
-            let compiled = Lahar::compile_query(&db, &q).unwrap();
+            let compiled = Lahar::compile_with(&db, &q, CompileOptions::new()).unwrap();
             let got = compiled.prob_series(db.horizon()).unwrap();
             let want = prob_series(&db, &q).unwrap();
             for (t, (g, w)) in got.iter().zip(&want).enumerate() {

@@ -1,7 +1,7 @@
 //! Regression tests pinned to the paper's own examples: every named query
 //! must parse, classify, and behave exactly as the paper describes.
 
-use lahar::core::{Algorithm, Lahar};
+use lahar::core::{Algorithm, CompileOptions, Lahar};
 use lahar::model::{Database, StreamBuilder};
 use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 
@@ -136,7 +136,7 @@ fn dispatch_per_class() {
         ("sigma[x = y](R(x, _) ; S(y, _))", Algorithm::Sampling),
     ];
     for (src, algo) in cases {
-        let compiled = Lahar::compile(&db, src).unwrap();
+        let compiled = Lahar::compile_with(&db, src, CompileOptions::new()).unwrap();
         assert_eq!(compiled.algorithm(), algo, "{src}");
     }
 }

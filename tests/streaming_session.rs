@@ -5,7 +5,7 @@
 use lahar::core::ExtendedRegularEvaluator;
 use lahar::model::{Database, Marginal, StreamBuilder};
 use lahar::query::NormalQuery;
-use lahar::{Lahar, RealTimeSession, SessionConfig, TickMode};
+use lahar::{CompileOptions, Lahar, RealTimeSession, SessionConfig, TickMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,12 +58,12 @@ fn step_then_prob_series_continues_from_cursor() {
     let db = four_class_db();
     let horizon = db.horizon();
     for (src, algo) in one_query_per_class() {
-        let full = Lahar::compile(&db, src)
+        let full = Lahar::compile_with(&db, src, CompileOptions::new())
             .unwrap()
             .prob_series(horizon)
             .unwrap();
         for k in 1..horizon {
-            let mut c = Lahar::compile(&db, src).unwrap();
+            let mut c = Lahar::compile_with(&db, src, CompileOptions::new()).unwrap();
             assert_eq!(c.algorithm(), algo, "{src}");
             let mut got = Vec::with_capacity(horizon as usize);
             for _ in 0..k {
@@ -124,19 +124,19 @@ fn randomized_parallel_session_matches_sequential() {
         let (db_par, _) = build();
         let mut seq = RealTimeSession::with_config(
             db_seq,
-            SessionConfig {
-                tick_mode: TickMode::Sequential,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .tick_mode(TickMode::Sequential)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut par = RealTimeSession::with_config(
             db_par,
-            SessionConfig {
-                tick_mode: TickMode::Parallel,
-                n_workers: 3,
-                ..SessionConfig::default()
-            },
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .n_workers(3)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         for s in [&mut seq, &mut par] {
@@ -155,8 +155,10 @@ fn randomized_parallel_session_matches_sequential() {
                 // both paths too.
                 if rng.gen::<f64>() < 0.8 {
                     let m = random_marginal(b, &DOMAIN, &mut rng);
-                    seq.stage(idx, m.clone()).unwrap();
-                    par.stage(idx, m).unwrap();
+                    let seq_id = seq.database().stream_id_at(idx).unwrap();
+                    let par_id = par.database().stream_id_at(idx).unwrap();
+                    seq.stage(seq_id, m.clone()).unwrap();
+                    par.stage(par_id, m).unwrap();
                 }
             }
             let a = seq.tick().unwrap();
@@ -255,8 +257,12 @@ fn late_registration_catches_up_after_staged_history() {
     }
     for ms in &staged {
         for (s, m) in [(&mut early, ms), (&mut late, ms)] {
-            s.stage(0, m[0].clone()).unwrap();
-            s.stage(1, m[1].clone()).unwrap();
+            let ids = [
+                s.database().stream_id_at(0).unwrap(),
+                s.database().stream_id_at(1).unwrap(),
+            ];
+            s.stage(ids[0], m[0].clone()).unwrap();
+            s.stage(ids[1], m[1].clone()).unwrap();
             s.tick().unwrap();
         }
     }
@@ -273,10 +279,14 @@ fn late_registration_catches_up_after_staged_history() {
             .into_iter()
             .enumerate()
         {
-            s.stage(0, ms[0].clone()).unwrap();
-            s.stage(1, ms[1].clone()).unwrap();
+            let ids = [
+                s.database().stream_id_at(0).unwrap(),
+                s.database().stream_id_at(1).unwrap(),
+            ];
+            s.stage(ids[0], ms[0].clone()).unwrap();
+            s.stage(ids[1], ms[1].clone()).unwrap();
             let alerts = s.tick().unwrap();
-            probs[which] = alerts[q.0].probability;
+            probs[which] = alerts[q.index()].probability;
         }
         assert!(
             (probs[0] - probs[1]).abs() < 1e-12,
