@@ -39,8 +39,10 @@ fn transport(op: &str, e: std::io::Error) -> EngineError {
 }
 
 impl LaharClient {
-    /// Connects to `addr` and binds this client to `session` (created or
-    /// restored server-side on first use).
+    /// Connects to `addr` and binds this client to `session`. The
+    /// session must be created (or restored) with [`LaharClient::open`]
+    /// before any other session command; the server answers
+    /// `unknown_session` otherwise.
     pub fn connect(addr: SocketAddr, session: &str) -> Result<Self, EngineError> {
         Self::connect_timeout(addr, session, Duration::from_secs(5))
     }

@@ -167,7 +167,8 @@ pub enum Response {
     /// off and retry — the frame was **not** enqueued.
     Error {
         /// Machine-readable error code (`overloaded`, `bad_request`,
-        /// `unknown_query`, `engine`, `shutting_down`, `protocol`).
+        /// `unknown_query`, `unknown_session`, `session_limit`,
+        /// `engine`, `shutting_down`, `protocol`).
         code: String,
         /// Human-readable detail.
         message: String,
@@ -176,6 +177,14 @@ pub enum Response {
 
 /// Error code for backpressure rejections.
 pub const CODE_OVERLOADED: &str = "overloaded";
+
+/// Error code for a session-addressed command whose session has not
+/// been opened on this server (sessions are created only by `open`).
+pub const CODE_UNKNOWN_SESSION: &str = "unknown_session";
+
+/// Error code answering `open` when the server already hosts its
+/// configured maximum number of sessions.
+pub const CODE_SESSION_LIMIT: &str = "session_limit";
 
 // ---------------------------------------------------------------------
 // Encoding

@@ -38,15 +38,13 @@ use crate::error::EngineError;
 use crate::expose::{to_prometheus_sessions, MetricsServer};
 use crate::protocol::{
     encode_response, parse_command, Command, Response, WireAlert, WireMarginal, CODE_OVERLOADED,
-    PROTOCOL_VERSION,
+    CODE_SESSION_LIMIT, CODE_UNKNOWN_SESSION, PROTOCOL_VERSION,
 };
 use crate::session::{Alert, RealTimeSession, SessionConfig};
 use crate::stats::{EngineStats, StatsSnapshot};
 use lahar_model::{Database, Marginal, StreamKey, Value};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -71,6 +69,12 @@ pub struct ServerConfig {
     /// Bound of each shard's command queue; a full queue answers
     /// `overloaded` instead of buffering.
     pub queue_cap: usize,
+    /// Maximum number of hosted sessions across all shards; an `open`
+    /// beyond this answers a `session_limit` error. Sessions are created
+    /// only by `open` (other commands answer `unknown_session`), so
+    /// arbitrary wire-supplied names cannot grow server state without
+    /// bound.
+    pub max_sessions: usize,
     /// Where shutdown checkpoints are written and restarts restore from
     /// (`None` disables persistence).
     pub checkpoint_dir: Option<PathBuf>,
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             n_shards: 0,
             queue_cap: 64,
+            max_sessions: 1024,
             checkpoint_dir: None,
             session_config: SessionConfig::default(),
             shard_delay: None,
@@ -148,6 +153,11 @@ impl LaharServer {
         if config.queue_cap == 0 {
             return Err(EngineError::InvalidConfig(
                 "queue_cap must be non-zero (a zero-capacity queue rejects everything)".to_owned(),
+            ));
+        }
+        if config.max_sessions == 0 {
+            return Err(EngineError::InvalidConfig(
+                "max_sessions must be non-zero (a zero cap rejects every open)".to_owned(),
             ));
         }
         // Two port-0 addresses never collide — the OS picks distinct
@@ -322,7 +332,6 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client hung up
             Ok(_) => {}
@@ -332,6 +341,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // The timeout may fire after read_line already consumed
+                // part of a frame into `line` (slow link, frame split
+                // across writes). Keep the partial bytes and resume
+                // appending — clearing here would corrupt the frame.
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return Ok(());
                 }
@@ -339,10 +352,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             }
             Err(e) => return Err(e),
         }
-        if line.trim().is_empty() {
+        let frame = std::mem::take(&mut line);
+        if frame.trim().is_empty() {
             continue;
         }
-        let response = dispatch(shared, line.trim_end());
+        let response = dispatch(shared, frame.trim_end());
         let closing = matches!(response, Response::ShuttingDown);
         writer.write_all(encode_response(&response).as_bytes())?;
         writer.write_all(b"\n")?;
@@ -396,11 +410,14 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
         cmd,
         reply: reply_tx,
     });
+    // Count the enqueue *before* try_send: the worker decrements on
+    // dequeue, and incrementing afterwards would let a fast dequeue's
+    // fetch_sub land first and wrap the gauge below zero.
+    shard.depth.fetch_add(1, Ordering::SeqCst);
     match shard.sender.try_send(job) {
-        Ok(()) => {
-            shard.depth.fetch_add(1, Ordering::SeqCst);
-        }
+        Ok(()) => {}
         Err(TrySendError::Full(_)) => {
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
             shared.overloaded_total.fetch_add(1, Ordering::SeqCst);
             return Response::Error {
                 code: CODE_OVERLOADED.to_owned(),
@@ -411,6 +428,7 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
             };
         }
         Err(TrySendError::Disconnected(_)) => {
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
             return Response::Error {
                 code: "shutting_down".to_owned(),
                 message: "server is shutting down".to_owned(),
@@ -423,20 +441,30 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
     })
 }
 
+/// FNV-1a over the session name. Checkpoint filenames (and shard
+/// placement) must be a fixed function of the session string across
+/// builds — std's `DefaultHasher` algorithm is explicitly unspecified,
+/// and a toolchain upgrade changing it would make every existing
+/// checkpoint silently unfindable on restart.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Stable session→shard placement (stable across restarts too, though
 /// only checkpoints — not shard placement — need to survive those).
 fn shard_of(session: &str, n_shards: usize) -> usize {
-    let mut hasher = DefaultHasher::new();
-    session.hash(&mut hasher);
-    (hasher.finish() % n_shards as u64) as usize
+    (fnv1a(session) % n_shards as u64) as usize
 }
 
 /// The checkpoint file for a session: a sanitized name for readability
 /// plus a stable hash for uniqueness (session names come off the wire
 /// and must not traverse paths).
 fn checkpoint_filename(session: &str) -> String {
-    let mut hasher = DefaultHasher::new();
-    session.hash(&mut hasher);
     let safe: String = session
         .chars()
         .take(48)
@@ -448,7 +476,7 @@ fn checkpoint_filename(session: &str) -> String {
             }
         })
         .collect();
-    format!("{safe}-{:016x}.ckpt.json", hasher.finish())
+    format!("{safe}-{:016x}.ckpt.json", fnv1a(session))
 }
 
 // ---------------------------------------------------------------------
@@ -526,7 +554,9 @@ fn hosted_config(shared: &Shared) -> SessionConfig {
     config
 }
 
-/// Fetches or creates/restores the named session on this shard.
+/// Fetches or creates/restores the named session on this shard. Only
+/// the `open` handler calls this; every other command requires the
+/// session to already exist.
 fn open_session<'m>(
     shared: &Shared,
     sessions: &'m mut HashMap<String, Hosted>,
@@ -681,9 +711,37 @@ fn handle_command_inner(
     session_name: &str,
     cmd: &Command,
 ) -> Response {
-    let (hosted, restored) = match open_session(shared, sessions, session_name) {
-        Ok(pair) => pair,
-        Err(e) => return engine_error(e),
+    // Only `open` creates (or restores) a session; every other command
+    // addressed to an unknown name is rejected, so mistyped or hostile
+    // wire-supplied names cannot accumulate server state.
+    let (hosted, restored) = if matches!(cmd, Command::Open { .. }) {
+        if !sessions.contains_key(session_name)
+            && shared.registry.lock().expect("registry lock").len() >= shared.config.max_sessions
+        {
+            return Response::Error {
+                code: CODE_SESSION_LIMIT.to_owned(),
+                message: format!(
+                    "server already hosts its maximum of {} sessions",
+                    shared.config.max_sessions
+                ),
+            };
+        }
+        match open_session(shared, sessions, session_name) {
+            Ok(pair) => pair,
+            Err(e) => return engine_error(e),
+        }
+    } else {
+        match sessions.get_mut(session_name) {
+            Some(hosted) => (hosted, false),
+            None => {
+                return Response::Error {
+                    code: CODE_UNKNOWN_SESSION.to_owned(),
+                    message: format!(
+                        "session '{session_name}' is not open on this server; send open first"
+                    ),
+                }
+            }
+        }
     };
     // A session poisoned by an earlier fault heals before the next
     // command; the recovered tick's alerts still extend the series.
@@ -705,14 +763,12 @@ fn handle_command_inner(
                     message: format!("query '{name}' is already registered"),
                 };
             }
-            let id = match hosted.session.register(name, query) {
-                Ok(id) => id,
-                Err(e) => return engine_error(e),
-            };
-            let idx = id.index();
             // Late registration fast-forwards through history; the
             // pre-registration prefix comes from the batch engine so
-            // `series` always starts at t = 0.
+            // `series` always starts at t = 0. Computed *before*
+            // session.register: if it failed afterwards, the engine
+            // would hold a query the by_name/sources/series tables
+            // don't, misaligning every later registration's index.
             let prefix = if hosted.session.now() > 0 {
                 match crate::Lahar::prob_series(hosted.session.database(), query) {
                     Ok(series) => series,
@@ -721,6 +777,11 @@ fn handle_command_inner(
             } else {
                 Vec::new()
             };
+            let id = match hosted.session.register(name, query) {
+                Ok(id) => id,
+                Err(e) => return engine_error(e),
+            };
+            let idx = id.index();
             debug_assert_eq!(idx, hosted.series.len());
             hosted.by_name.insert(name.clone(), idx);
             hosted.sources.push(query.clone());

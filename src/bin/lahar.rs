@@ -62,7 +62,7 @@ fn print_usage() {
          lahar replay   --manifest DIR 'QUERY' [--metrics-addr IP:PORT] [--metrics-out FILE]\n  \
          \x20               [--trace-out FILE] [--threshold P]\n  \
          lahar serve    --manifest DIR --addr IP:PORT [--metrics-addr IP:PORT] [--shards N]\n  \
-         \x20               [--queue-cap N] [--checkpoint-dir DIR]\n  \
+         \x20               [--queue-cap N] [--max-sessions N] [--checkpoint-dir DIR]\n  \
          lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
          \x20               [--scrape URL] [--shutdown]\n  \
          lahar demo\n\n\
@@ -430,6 +430,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     config.n_shards = get_usize(&flags, "shards", config.n_shards)?;
     config.queue_cap = get_usize(&flags, "queue-cap", config.queue_cap)?;
+    config.max_sessions = get_usize(&flags, "max-sessions", config.max_sessions)?;
     if let Some(d) = flags.get("checkpoint-dir") {
         config.checkpoint_dir = Some(PathBuf::from(d));
     }

@@ -321,6 +321,76 @@ fn backpressure_is_explicit_and_observable() {
     assert_eq!(total as usize, overloaded.load(Ordering::SeqCst));
 }
 
+/// A frame split across writes with a pause longer than the server's
+/// read timeout must not be corrupted: the reader keeps the partial
+/// bytes across the timeout and the request/response pairing survives.
+#[test]
+fn partial_frame_split_across_read_timeout_is_not_lost() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let server = LaharServer::start(local_config(), schema_db()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let frame = b"{\"v\":1,\"cmd\":\"ping\"}\n";
+    let (head, tail) = frame.split_at(9); // mid-frame, mid-token
+    stream.write_all(head).unwrap();
+    stream.flush().unwrap();
+    // Longer than the server's 500ms read timeout: the slow-client path.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    stream.write_all(tail).unwrap();
+    stream.flush().unwrap();
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"pong\""),
+        "split frame must still parse as ping, got: {line}"
+    );
+
+    // The connection is still healthy and in-order afterwards.
+    stream.write_all(frame).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\""), "{line}");
+}
+
+/// Sessions exist only after an explicit `open`: any other command for
+/// an unknown name answers `unknown_session` instead of implicitly
+/// creating server state, and `open` is bounded by the session cap.
+#[test]
+fn sessions_require_open_and_respect_the_cap() {
+    let mut config = local_config();
+    config.max_sessions = 1;
+    let server = LaharServer::start(config, schema_db()).unwrap();
+
+    let mut client = LaharClient::connect(server.addr(), "ghost").unwrap();
+    for result in [
+        client.tick().map(|_| ()),
+        client.series("q").map(|_| ()),
+        client.register("q", SRC).map(|_| ()),
+        client.checkpoint().map(|_| ()),
+    ] {
+        match result {
+            Err(EngineError::Remote { code, .. }) => assert_eq!(code, "unknown_session"),
+            other => panic!("expected unknown_session, got {other:?}"),
+        }
+    }
+
+    // An explicit open creates the session and commands start working.
+    assert_eq!(client.open().unwrap(), (0, false));
+    client.tick().unwrap();
+
+    // The cap bounds hosted sessions; re-opening an existing one is fine.
+    let mut second = LaharClient::connect(server.addr(), "overflow").unwrap();
+    match second.open() {
+        Err(EngineError::Remote { code, .. }) => assert_eq!(code, "session_limit"),
+        other => panic!("expected session_limit, got {other:?}"),
+    }
+    assert_eq!(client.open().unwrap(), (1, false));
+}
+
 /// Minimal HTTP GET against the server's metrics endpoint.
 fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::{Read as _, Write as _};
