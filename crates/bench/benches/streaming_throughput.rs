@@ -19,6 +19,14 @@ const DOMAIN: [&str; 3] = ["a", "h", "c"];
 const QUERIES_PER_KEY: usize = 3;
 
 fn build_session(n_people: usize, mode: TickMode) -> (RealTimeSession, Vec<Vec<Marginal>>) {
+    let config = SessionConfig::builder().tick_mode(mode).build().unwrap();
+    build_session_with(n_people, config)
+}
+
+fn build_session_with(
+    n_people: usize,
+    config: SessionConfig,
+) -> (RealTimeSession, Vec<Vec<Marginal>>) {
     let mut db = Database::new();
     db.declare_stream("At", &["person"], &["loc"]).unwrap();
     db.declare_relation("Hallway", 1).unwrap();
@@ -39,7 +47,6 @@ fn build_session(n_people: usize, mode: TickMode) -> (RealTimeSession, Vec<Vec<M
         ]);
         db.add_stream(b.independent(vec![]).unwrap()).unwrap();
     }
-    let config = SessionConfig::builder().tick_mode(mode).build().unwrap();
     let mut session = RealTimeSession::with_config(db, config).unwrap();
     session.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();
     session.register("q_hc", "At(p,'h') ; At(p,'c')").unwrap();
@@ -67,9 +74,40 @@ fn run_ticks(session: &mut RealTimeSession, ticks: &[Vec<Marginal>], n_ticks: us
     }
 }
 
+/// Same ticks, but staged `epoch` at a time through
+/// [`RealTimeSession::tick_epoch`] (one worker join per epoch).
+fn run_epochs(
+    session: &mut RealTimeSession,
+    ticks: &[Vec<Marginal>],
+    n_ticks: usize,
+    epoch: usize,
+) {
+    let mut t = 0;
+    while t < n_ticks {
+        let k = epoch.min(n_ticks - t);
+        let batch: Vec<Vec<_>> = (t..t + k)
+            .map(|tt| {
+                ticks
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, per_key)| {
+                        let id = session.database().stream_id_at(idx).unwrap();
+                        (id, per_key[tt % per_key.len()].clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        std::hint::black_box(session.tick_epoch(batch).unwrap());
+        t += k;
+    }
+}
+
 fn main() {
     let (people_counts, n_ticks): (&[usize], usize) = if quick_mode() {
-        (&[40, 350], 10)
+        // 40 ticks, not 10: with the one-off costs moved to the untimed
+        // warm-up, the measured window still has to be long enough that
+        // per-tick jitter doesn't dominate the quick-mode numbers.
+        (&[40, 350], 40)
     } else {
         (&[40, 120, 350, 700], 25)
     };
@@ -87,17 +125,22 @@ fn main() {
     // workload of the sweep.
     let mut headline: Option<(usize, f64, f64, f64, f64)> = None;
     for &n_people in people_counts {
+        // One untimed warm-up tick per arm: chain compilation, shard
+        // spawning, and (for the parallel arm) the one-time spawn of the
+        // process-shared pool are setup costs, not tick throughput.
         let (mut seq, ticks) = build_session(n_people, TickMode::Sequential);
+        run_ticks(&mut seq, &ticks, 1);
         let (_, seq_secs) = timed(|| run_ticks(&mut seq, &ticks, n_ticks));
 
         let (mut par, ticks) = build_session(n_people, TickMode::Parallel);
+        run_ticks(&mut par, &ticks, 1);
         let (_, par_secs) = timed(|| run_ticks(&mut par, &ticks, n_ticks));
 
         let snap = par.stats().snapshot();
-        assert_eq!(snap.parallel_ticks, n_ticks as u64);
+        assert_eq!(snap.parallel_ticks, (n_ticks + 1) as u64);
         // Both paths answered every query: spot-check agreement via the
         // latency histogram being fully populated.
-        assert_eq!(snap.tick_latency.count, n_ticks as u64);
+        assert_eq!(snap.tick_latency.count, (n_ticks + 1) as u64);
         let n_chains = n_people * QUERIES_PER_KEY;
         let seq_snap = seq.stats().snapshot();
         let kernel_total =
@@ -140,6 +183,7 @@ fn main() {
         ],
     );
     let (mut kern, ticks) = build_session(n_people, TickMode::Sequential);
+    run_ticks(&mut kern, &ticks, 1);
     let (_, kern_secs) = timed(|| run_ticks(&mut kern, &ticks, n_ticks));
     let ksnap = kern.stats().snapshot();
     let ktotal = ksnap.kernel_fast_steps + ksnap.kernel_frozen_steps + ksnap.kernel_slow_steps;
@@ -150,6 +194,7 @@ fn main() {
     };
     let (mut intp, ticks) = build_session(n_people, TickMode::Sequential);
     intp.force_interpreter(true);
+    run_ticks(&mut intp, &ticks, 1);
     let (_, intp_secs) = timed(|| run_ticks(&mut intp, &ticks, n_ticks));
     row(
         &format!("{}", n_people * QUERIES_PER_KEY),
@@ -177,6 +222,68 @@ fn main() {
             ("kernel_speedup_vs_interpreter", num(intp_secs / kern_secs)),
         ],
     );
+    // Per-worker-count scaling at the 1050-chain workload: epoch-batched
+    // parallel ticks (8 staged ticks per tick_epoch call, one pool join
+    // per epoch) against the per-tick sequential baseline. Recorded to
+    // BENCH_streaming.json so parallel-path regressions show up in the
+    // perf trajectory; on a host with ≥ 4 cores, losing to sequential at
+    // 4 workers fails the run outright.
+    const MATRIX_PEOPLE: usize = 350; // × 3 queries = 1050 chains
+    const MATRIX_WORKERS: [usize; 3] = [1, 2, 4];
+    const MATRIX_EPOCH: usize = 8;
+    println!();
+    header(
+        "Worker scaling (epoch-batched parallel, 1050 chains)",
+        &["workers", "ticks/s", "speedup vs seq"],
+    );
+    let (mut mseq, ticks) = build_session(MATRIX_PEOPLE, TickMode::Sequential);
+    run_ticks(&mut mseq, &ticks, 1);
+    let (_, mseq_secs) = timed(|| run_ticks(&mut mseq, &ticks, n_ticks));
+    let mseq_tps = n_ticks as f64 / mseq_secs;
+    row("seq", &[mseq_tps, 1.0]);
+    let mut matrix_fields = vec![
+        ("mode", text(if quick_mode() { "quick" } else { "full" })),
+        ("chains", num((MATRIX_PEOPLE * QUERIES_PER_KEY) as f64)),
+        ("ticks", num(n_ticks as f64)),
+        ("epoch_ticks", num(MATRIX_EPOCH as f64)),
+        ("seq_ticks_per_sec", num(mseq_tps)),
+    ];
+    let mut par4_tps = None;
+    for workers in MATRIX_WORKERS {
+        let config = SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(workers)
+            .build()
+            .unwrap();
+        let (mut par, ticks) = build_session_with(MATRIX_PEOPLE, config);
+        run_epochs(&mut par, &ticks, MATRIX_EPOCH, MATRIX_EPOCH);
+        let (_, par_secs) = timed(|| run_epochs(&mut par, &ticks, n_ticks, MATRIX_EPOCH));
+        let tps = n_ticks as f64 / par_secs;
+        row(&format!("par {workers}w"), &[tps, mseq_secs / par_secs]);
+        let key = match workers {
+            1 => "par_ticks_per_sec_w1",
+            2 => "par_ticks_per_sec_w2",
+            _ => "par_ticks_per_sec_w4",
+        };
+        matrix_fields.push((key, num(tps)));
+        if workers >= 4 {
+            par4_tps = Some(tps);
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    matrix_fields.push(("host_cores", num(cores as f64)));
+    report::write_section("streaming_worker_matrix", matrix_fields);
+    if cores >= 4 {
+        let par4 = par4_tps.expect("4-worker arm ran");
+        assert!(
+            par4 >= mseq_tps,
+            "parallel path lost on a {cores}-core host: 4 workers {par4:.1} ticks/s \
+             vs sequential {mseq_tps:.1} ticks/s"
+        );
+    }
+
     // Span-recording overhead: the identical parallel run with the
     // tracer off (the default — one relaxed atomic load per span site)
     // and on (per-thread ring-buffer recording). The *off* column is
@@ -189,9 +296,11 @@ fn main() {
         &["chains", "off ticks/s", "on ticks/s", "overhead %"],
     );
     let (mut off, ticks) = build_session(n_people, TickMode::Parallel);
+    run_ticks(&mut off, &ticks, 1);
     let (_, off_secs) = timed(|| run_ticks(&mut off, &ticks, n_ticks));
     lahar_core::trace::enable();
     let (mut on, ticks) = build_session(n_people, TickMode::Parallel);
+    run_ticks(&mut on, &ticks, 1);
     let (_, on_secs) = timed(|| run_ticks(&mut on, &ticks, n_ticks));
     lahar_core::trace::disable();
     lahar_core::trace::clear();

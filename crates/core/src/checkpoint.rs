@@ -31,8 +31,10 @@ use std::time::Duration;
 /// `metrics_addr`/`trace`, stats gained `marginals_staged` and the
 /// `per_query` registry; 3 — stats gained the kernel-path counters
 /// (`kernel_*_steps`, `sym_cache_*`) and shared-automaton gauges;
-/// 4 — config gained `serve_addr` (this build).
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// 4 — config gained `serve_addr`; 5 — config gained
+/// `max_epoch_ticks`, stats gained the epoch counters
+/// (`epochs`/`epoch_ticks`) (this build).
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// Document-type marker embedded in every checkpoint.
 const FORMAT: &str = "lahar-checkpoint";
@@ -280,8 +282,8 @@ fn push_config(out: &mut String, c: &SessionConfig) {
     out.push_str("{\"tick_mode\":");
     json::push_string(out, mode);
     out.push_str(&format!(
-        ",\"n_workers\":{},\"parallel_threshold\":{},\"checkpoint_interval\":{},\"tick_deadline_ns\":",
-        c.n_workers, c.parallel_threshold, c.checkpoint_interval
+        ",\"n_workers\":{},\"parallel_threshold\":{},\"max_epoch_ticks\":{},\"checkpoint_interval\":{},\"tick_deadline_ns\":",
+        c.n_workers, c.parallel_threshold, c.max_epoch_ticks, c.checkpoint_interval
     ));
     match c.tick_deadline {
         None => out.push_str("null"),
@@ -343,6 +345,7 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
         tick_mode,
         n_workers: get_u64(v, "n_workers")? as usize,
         parallel_threshold: get_u64(v, "parallel_threshold")? as usize,
+        max_epoch_ticks: get_u64(v, "max_epoch_ticks")? as usize,
         checkpoint_interval: get_u64(v, "checkpoint_interval")? as usize,
         tick_deadline,
         metrics_addr,
@@ -362,7 +365,8 @@ fn push_histogram_state(out: &mut String, h: &HistogramState) {
 
 fn push_stats(out: &mut String, s: &StatsState) {
     out.push_str(&format!(
-        "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\"recoveries\":{},\
+        "{{\"ticks\":{},\"epochs\":{},\"epoch_ticks\":{},\"parallel_ticks\":{},\
+         \"degraded_ticks\":{},\"recoveries\":{},\
          \"checkpoints_taken\":{},\"chains_stepped\":{},\"bindings_grounded\":{},\
          \"alerts_emitted\":{},\"marginals_staged\":{},\"sampler_compilations\":{},\
          \"sampler_worlds\":{},\"fallbacks\":{},\"kernel_fast_steps\":{},\
@@ -370,6 +374,8 @@ fn push_stats(out: &mut String, s: &StatsState) {
          \"sym_cache_misses\":{},\"automata_shared\":{},\"automata_attached\":{},\
          \"fallback_reasons\":{{",
         s.ticks,
+        s.epochs,
+        s.epoch_ticks,
         s.parallel_ticks,
         s.degraded_ticks,
         s.recoveries,
@@ -448,6 +454,8 @@ fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
         .collect::<Result<_, EngineError>>()?;
     Ok(StatsState {
         ticks: get_u64(v, "ticks")?,
+        epochs: get_u64(v, "epochs")?,
+        epoch_ticks: get_u64(v, "epoch_ticks")?,
         parallel_ticks: get_u64(v, "parallel_ticks")?,
         degraded_ticks: get_u64(v, "degraded_ticks")?,
         recoveries: get_u64(v, "recoveries")?,
@@ -554,6 +562,7 @@ mod tests {
                 tick_mode: TickMode::Parallel,
                 n_workers: 4,
                 parallel_threshold: 128,
+                max_epoch_ticks: 16,
                 checkpoint_interval: 8,
                 tick_deadline: Some(Duration::from_millis(250)),
                 metrics_addr: Some("127.0.0.1:9633".parse().unwrap()),
@@ -582,6 +591,8 @@ mod tests {
             ],
             stats: StatsState {
                 ticks: 3,
+                epochs: 2,
+                epoch_ticks: 3,
                 parallel_ticks: 2,
                 degraded_ticks: 1,
                 recoveries: 1,

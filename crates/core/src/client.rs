@@ -171,6 +171,27 @@ impl LaharClient {
         }
     }
 
+    /// Stages and closes a whole epoch of ticks in one round trip:
+    /// element `i` of `ticks` carries the marginals of tick `t+i` (empty
+    /// elements close all-⊥ ticks). Returns the alerts of every closed
+    /// tick, oldest first — bit-identical to `ticks.len()` separate
+    /// [`LaharClient::stage_tick`] round trips, but the server amortises
+    /// one worker-pool join over each epoch of up to
+    /// [`crate::SessionConfig::max_epoch_ticks`] ticks.
+    pub fn stage_epoch(
+        &mut self,
+        ticks: &[Vec<WireMarginal>],
+    ) -> Result<Vec<WireAlert>, EngineError> {
+        let cmd = Command::StageTicks {
+            session: self.session.clone(),
+            ticks: ticks.to_vec(),
+        };
+        match self.call(&cmd)? {
+            Response::Ticked { alerts, .. } => Ok(alerts),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
     /// Closes the current tick with whatever is staged.
     pub fn tick(&mut self) -> Result<Vec<WireAlert>, EngineError> {
         let cmd = Command::Tick {

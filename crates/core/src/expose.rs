@@ -137,8 +137,18 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
         })
         .collect();
 
-    let counters: [CounterRow; 12] = [
+    let counters: [CounterRow; 14] = [
         ("lahar_ticks_total", "Session ticks processed.", |s| s.ticks),
+        (
+            "lahar_epochs_total",
+            "Tick epochs closed (each steps one batch of staged ticks).",
+            |s| s.epochs,
+        ),
+        (
+            "lahar_epoch_ticks_total",
+            "Ticks stepped through closed epochs.",
+            |s| s.epoch_ticks,
+        ),
         (
             "lahar_parallel_ticks_total",
             "Ticks run on the sharded parallel path.",
@@ -383,6 +393,34 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
             );
         }
     }
+
+    // Process-wide shared-pool telemetry: one sample each regardless of
+    // how many sessions share the pool (that is the point of sharing it).
+    let (pool_threads, pool_tasks) = crate::pool::stats();
+    push_header(
+        &mut out,
+        "lahar_pool_threads",
+        "Threads in the process-shared worker pool (0 until first use).",
+        "gauge",
+    );
+    push_sample(
+        &mut out,
+        "lahar_pool_threads",
+        "",
+        &pool_threads.to_string(),
+    );
+    push_header(
+        &mut out,
+        "lahar_pool_tasks_total",
+        "Epoch jobs ever submitted to the process-shared worker pool.",
+        "counter",
+    );
+    push_sample(
+        &mut out,
+        "lahar_pool_tasks_total",
+        "",
+        &pool_tasks.to_string(),
+    );
     out
 }
 
@@ -576,6 +614,12 @@ mod tests {
         assert!(text.contains("# TYPE lahar_ticks_total counter"));
         assert!(text.contains("lahar_ticks_total 2"));
         assert!(text.contains("lahar_parallel_ticks_total 1"));
+        assert!(text.contains("# TYPE lahar_epochs_total counter"));
+        assert!(text.contains("# TYPE lahar_epoch_ticks_total counter"));
+        // Process-wide pool telemetry renders unlabelled even in
+        // multi-session documents.
+        assert!(text.contains("# TYPE lahar_pool_threads gauge"));
+        assert!(text.contains("# TYPE lahar_pool_tasks_total counter"));
         assert!(text.contains("lahar_fallbacks_total 2"));
         // Kernel telemetry is always present (zero-valued when the
         // session never ticked a compiled chain).

@@ -48,6 +48,7 @@ mod interval;
 pub mod json;
 mod kernel;
 mod occurrence;
+mod pool;
 pub mod protocol;
 mod regular;
 mod safeplan;

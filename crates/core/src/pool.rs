@@ -1,0 +1,131 @@
+//! The process-shared worker pool behind every parallel tick.
+//!
+//! Earlier revisions gave each [`crate::RealTimeSession`] its own
+//! one-thread-per-core pool, which made thread count scale with session
+//! count: a `lahar serve` process hosting `n` sessions under load ran
+//! `n × n_cores` stepping threads. This module replaces those per-session
+//! pools with one lazily-spawned, process-wide pool of
+//! `available_parallelism()` threads (named `lahar-pool-{i}`) that every
+//! session — offline or hosted — submits epoch jobs to.
+//!
+//! The pool is deliberately minimal: a single MPMC work queue (an
+//! `mpsc` receiver shared behind a mutex — the lock is held only while
+//! *taking* a task, never while running one) of boxed closures. Fault
+//! isolation is the submitter's job: sessions send replies over a
+//! per-epoch channel, so a late or panicked job's reply lands on a dead
+//! receiver instead of corrupting a later epoch. The pool itself only
+//! guarantees that a panicking task never takes a shared thread down
+//! with it.
+//!
+//! Each pool thread owns a [`SymCache`] in thread-local storage
+//! (see [`with_sym_cache`]), reused — cleared, not freed — across all
+//! jobs that thread runs, exactly like the per-worker caches of the old
+//! per-session pools.
+
+use crate::kernel::SymCache;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct SharedPool {
+    submit: Sender<Task>,
+    threads: usize,
+    /// Total tasks ever submitted (monotone; exposed as
+    /// `lahar_pool_tasks_total`).
+    tasks: AtomicU64,
+}
+
+static POOL: OnceLock<SharedPool> = OnceLock::new();
+
+fn shared() -> &'static SharedPool {
+    POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (submit, rx) = channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        for index in 0..threads {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("lahar-pool-{index}"))
+                .spawn(move || worker(&rx))
+                .expect("spawning a shared pool thread");
+        }
+        SharedPool {
+            submit,
+            threads,
+            tasks: AtomicU64::new(0),
+        }
+    })
+}
+
+fn worker(rx: &Mutex<Receiver<Task>>) {
+    loop {
+        let task = {
+            // A task that panicked while holding the lock poisons it;
+            // the receiver itself is still fine, so take it back.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match guard.recv() {
+                Ok(task) => task,
+                Err(_) => return,
+            }
+        };
+        // The thread is shared by every session in the process: a
+        // panicking job must not take it down. The submitter observes
+        // the fault through its own reply channel, not through here.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+    }
+}
+
+/// Submits a task to the shared pool, spawning its threads on first use.
+pub(crate) fn spawn(task: impl FnOnce() + Send + 'static) {
+    let pool = shared();
+    pool.tasks.fetch_add(1, Ordering::Relaxed);
+    pool.submit
+        .send(Box::new(task))
+        .expect("shared pool threads never exit while the process lives");
+}
+
+/// `(threads, tasks ever submitted)` — `(0, 0)` until the pool's first
+/// use. Reading never forces the pool to spawn.
+pub(crate) fn stats() -> (usize, u64) {
+    match POOL.get() {
+        Some(pool) => (pool.threads, pool.tasks.load(Ordering::Relaxed)),
+        None => (0, 0),
+    }
+}
+
+thread_local! {
+    /// Per-pool-thread symbol-distribution cache (every thread also gets
+    /// one lazily, which keeps `with_sym_cache` correct off-pool too).
+    static SYM_CACHE: RefCell<SymCache> = RefCell::new(SymCache::new());
+}
+
+/// Runs `f` with the calling thread's cached [`SymCache`].
+pub(crate) fn with_sym_cache<R>(f: impl FnOnce(&mut SymCache) -> R) -> R {
+    SYM_CACHE.with(|cache| f(&mut cache.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_tasks_and_survives_panics() {
+        let (tx, rx) = channel();
+        let panic_tx = tx.clone();
+        super::spawn(move || {
+            let _ = panic_tx; // moved in, dropped on unwind
+            panic!("injected pool-task panic");
+        });
+        super::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+        let (threads, tasks) = super::stats();
+        assert!(threads >= 1);
+        assert!(tasks >= 2);
+    }
+}

@@ -77,6 +77,18 @@ pub enum Command {
         /// Close the tick after staging.
         tick: bool,
     },
+    /// Stages and closes a whole epoch of ticks in one frame: element
+    /// `i` of `ticks` carries the marginals of tick `t+i` (an empty
+    /// element closes a tick with every stream at ⊥). The server answers
+    /// one [`Response::Ticked`] whose alerts span every closed tick in
+    /// order — the batched ingest path that lets the session amortise
+    /// one worker-pool join over the whole epoch.
+    StageTicks {
+        /// The session name.
+        session: String,
+        /// One marginal batch per tick, oldest first.
+        ticks: Vec<Vec<WireMarginal>>,
+    },
     /// Closes the current tick (unstaged streams read ⊥).
     Tick {
         /// The session name.
@@ -108,6 +120,7 @@ impl Command {
             Command::Open { session }
             | Command::Register { session, .. }
             | Command::Stage { session, .. }
+            | Command::StageTicks { session, .. }
             | Command::Tick { session }
             | Command::Series { session, .. }
             | Command::Checkpoint { session } => Some(session),
@@ -198,8 +211,8 @@ fn push_str_field(out: &mut String, name: &str, value: &str) {
     json::push_string(out, value);
 }
 
-fn push_marginals(out: &mut String, marginals: &[WireMarginal]) {
-    out.push_str(",\"marginals\":[");
+fn push_marginal_list(out: &mut String, marginals: &[WireMarginal]) {
+    out.push('[');
     for (i, m) in marginals.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -223,6 +236,11 @@ fn push_marginals(out: &mut String, marginals: &[WireMarginal]) {
         out.push_str("]}");
     }
     out.push(']');
+}
+
+fn push_marginals(out: &mut String, marginals: &[WireMarginal]) {
+    out.push_str(",\"marginals\":");
+    push_marginal_list(out, marginals);
 }
 
 /// Encodes a command as one JSON line (no trailing newline). The output
@@ -260,6 +278,18 @@ pub fn encode_command(c: &Command) -> String {
             push_marginals(&mut out, marginals);
             out.push_str(",\"tick\":");
             out.push_str(if *tick { "true" } else { "false" });
+        }
+        Command::StageTicks { session, ticks } => {
+            out.push_str("\"stage_ticks\"");
+            push_str_field(&mut out, "session", session);
+            out.push_str(",\"ticks\":[");
+            for (i, tick) in ticks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_marginal_list(&mut out, tick);
+            }
+            out.push(']');
         }
         Command::Tick { session } => {
             out.push_str("\"tick\"");
@@ -395,31 +425,48 @@ fn f64_array(v: &JsonValue, what: &str) -> Result<Vec<f64>, EngineError> {
         .collect()
 }
 
+fn parse_marginal(m: &JsonValue) -> Result<WireMarginal, EngineError> {
+    let key = m
+        .get("key")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| proto_err("marginal key is not an array"))?
+        .iter()
+        .map(|k| {
+            k.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| proto_err("marginal key element is not a string"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WireMarginal {
+        stream_type: req_str(m, "type")?,
+        key,
+        probs: f64_array(
+            m.get("probs").ok_or_else(|| proto_err("missing 'probs'"))?,
+            "probs",
+        )?,
+    })
+}
+
 fn parse_marginals(v: &JsonValue) -> Result<Vec<WireMarginal>, EngineError> {
     v.get("marginals")
         .and_then(JsonValue::as_array)
         .ok_or_else(|| proto_err("missing 'marginals' array"))?
         .iter()
-        .map(|m| {
-            let key = m
-                .get("key")
-                .and_then(JsonValue::as_array)
-                .ok_or_else(|| proto_err("marginal key is not an array"))?
+        .map(parse_marginal)
+        .collect()
+}
+
+fn parse_ticks(v: &JsonValue) -> Result<Vec<Vec<WireMarginal>>, EngineError> {
+    v.get("ticks")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| proto_err("missing 'ticks' array"))?
+        .iter()
+        .map(|tick| {
+            tick.as_array()
+                .ok_or_else(|| proto_err("ticks element is not an array"))?
                 .iter()
-                .map(|k| {
-                    k.as_str()
-                        .map(str::to_owned)
-                        .ok_or_else(|| proto_err("marginal key element is not a string"))
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(WireMarginal {
-                stream_type: req_str(m, "type")?,
-                key,
-                probs: f64_array(
-                    m.get("probs").ok_or_else(|| proto_err("missing 'probs'"))?,
-                    "probs",
-                )?,
-            })
+                .map(parse_marginal)
+                .collect()
         })
         .collect()
 }
@@ -454,6 +501,10 @@ pub fn parse_command(line: &str) -> Result<Command, EngineError> {
             session: req_str(&v, "session")?,
             marginals: parse_marginals(&v)?,
             tick: req_bool(&v, "tick")?,
+        }),
+        "stage_ticks" => Ok(Command::StageTicks {
+            session: req_str(&v, "session")?,
+            ticks: parse_ticks(&v)?,
         }),
         "tick" => Ok(Command::Tick {
             session: req_str(&v, "session")?,
@@ -554,6 +605,29 @@ mod tests {
                 }],
                 tick: true,
             },
+            Command::StageTicks {
+                session: "s".into(),
+                ticks: vec![
+                    vec![WireMarginal {
+                        stream_type: "At".into(),
+                        key: vec!["joe".into()],
+                        probs: vec![0.25, 0.75],
+                    }],
+                    Vec::new(),
+                    vec![
+                        WireMarginal {
+                            stream_type: "At".into(),
+                            key: vec!["joe".into()],
+                            probs: vec![0.1 + 0.2, 0.7],
+                        },
+                        WireMarginal {
+                            stream_type: "At".into(),
+                            key: vec!["sue".into()],
+                            probs: vec![5e-324, 1.0],
+                        },
+                    ],
+                ],
+            },
             Command::Tick {
                 session: "s".into(),
             },
@@ -649,6 +723,8 @@ mod tests {
             "{\"cmd\":\"nope\"}",
             "{\"cmd\":\"open\"}",
             "{\"cmd\":\"stage\",\"session\":\"s\"}",
+            "{\"cmd\":\"stage_ticks\",\"session\":\"s\"}",
+            "{\"cmd\":\"stage_ticks\",\"session\":\"s\",\"ticks\":[{}]}",
             "{\"type\":\"mystery\"}",
         ] {
             assert!(parse_command(bad).is_err(), "{bad:?}");

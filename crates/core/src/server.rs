@@ -634,6 +634,34 @@ fn tick_with_recovery(hosted: &mut Hosted) -> Result<Vec<Alert>, EngineError> {
     Ok(alerts)
 }
 
+/// Closes a whole batch of ticks, one epoch at a time so that a
+/// recoverable mid-epoch fault (worker panic, deadline) only ever
+/// interrupts the epoch currently in flight: recovery re-completes it
+/// bit-identically and the loop carries on with the rest of the batch.
+/// Every closed tick's alerts are recorded, so the hosted per-query
+/// series stays exact across faults.
+fn tick_epoch_with_recovery(
+    hosted: &mut Hosted,
+    ticks: Vec<Vec<(lahar_model::StreamId, Marginal)>>,
+) -> Result<Vec<Alert>, EngineError> {
+    let mut all = Vec::with_capacity(ticks.len());
+    let mut queue = ticks.into_iter();
+    let mut remaining = queue.len();
+    while remaining > 0 {
+        let chunk_len = hosted.session.epoch_chunk_len(remaining);
+        let chunk: Vec<_> = queue.by_ref().take(chunk_len).collect();
+        remaining -= chunk_len;
+        let alerts = match hosted.session.tick_epoch(chunk) {
+            Ok(alerts) => alerts,
+            Err(e) if e.is_recoverable() => hosted.session.recover()?,
+            Err(e) => return Err(e),
+        };
+        hosted.record_alerts(&alerts);
+        all.extend(alerts);
+    }
+    Ok(all)
+}
+
 fn wire_alerts(alerts: &[Alert]) -> Vec<WireAlert> {
     alerts
         .iter()
@@ -806,6 +834,32 @@ fn handle_command_inner(
                 return Response::Staged { staged: n };
             }
             match tick_with_recovery(hosted) {
+                Ok(alerts) => Response::Ticked {
+                    t: hosted.session.now(),
+                    alerts: wire_alerts(&alerts),
+                },
+                Err(e) => engine_error(e),
+            }
+        }
+        Command::StageTicks { ticks, .. } => {
+            let mut resolved = Vec::with_capacity(ticks.len());
+            for tick in ticks {
+                let mut batch = Vec::with_capacity(tick.len());
+                for m in tick {
+                    match resolve_marginal(hosted.session.database(), m) {
+                        Ok(pair) => batch.push(pair),
+                        Err(e) => return engine_error(e),
+                    }
+                }
+                resolved.push(batch);
+            }
+            if resolved.is_empty() {
+                return Response::Error {
+                    code: "bad_request".to_owned(),
+                    message: "'ticks' must close at least one tick".to_owned(),
+                };
+            }
+            match tick_epoch_with_recovery(hosted, resolved) {
                 Ok(alerts) => Response::Ticked {
                     t: hosted.session.now(),
                     alerts: wire_alerts(&alerts),

@@ -7,21 +7,31 @@
 //! regular — the streaming classes of Theorems 3.3/3.7) query advances by
 //! exactly one step, emitting `μ(q@t)` as the tick closes.
 //!
-//! # Sharded parallel ticks
+//! # Sharded, epoch-batched parallel ticks
 //!
 //! Internally the session owns every registered query's per-key chains
 //! directly, partitioned into contiguous, balanced *shards*. A tick can
-//! advance the shards either in place (sequential) or on a persistent
-//! pool of worker threads (parallel), one shard per worker: the tick's
-//! marginals are shared with the workers behind an `Arc`, each worker
-//! steps its owned shard through [`crate::ChainEvaluator`] and sends it
-//! back with the per-chain probabilities, and the session recombines
-//! per-query answers on the caller's thread in canonical binding order
+//! advance the shards either in place (sequential) or on the
+//! process-shared worker pool ([`crate::pool`]): the tick's marginals
+//! are shared with the workers behind an `Arc`, each worker steps its
+//! shard through [`crate::ChainEvaluator`] and sends it back with the
+//! per-chain probabilities, and the session recombines per-query
+//! answers on the caller's thread in canonical binding order
 //! (`1 − Π(1 − pᵢ)` for extended regular queries — Theorem 3.7's
 //! combination, applied identically on both paths, so parallel ticks
 //! reproduce sequential answers). [`SessionConfig`] picks the path:
 //! [`TickMode::Auto`] engages the pool once the session tracks at least
 //! `parallel_threshold` chains and more than one worker is available.
+//!
+//! When the caller can stage several ticks at once
+//! ([`RealTimeSession::tick_epoch`] — the path `stage_batch` ingest,
+//! replays, and history backfills use), the session ships all of them
+//! to each shard in one *epoch* job: workers advance their chains
+//! through every tick of the epoch before the single epoch join,
+//! turning `k` cross-thread barriers into one while alert emission,
+//! stats, auto-checkpoint cadence, and watchdog/poison/recover
+//! semantics stay tick-accurate. [`SessionConfig::max_epoch_ticks`]
+//! bounds how many ticks one join may cover.
 //!
 //! Sessions also keep [`EngineStats`]: per-tick latency histograms,
 //! chains-stepped/bindings-grounded counters, and alert counts, all
@@ -125,6 +135,13 @@ pub struct SessionConfig {
     /// parallel path. Below it, per-tick work is too small to amortize
     /// the cross-thread handoff.
     pub parallel_threshold: usize,
+    /// Upper bound on how many staged ticks one epoch join may cover
+    /// (see [`RealTimeSession::tick_epoch`]). Larger epochs amortize
+    /// the shard handoff over more chain-steps; the watchdog deadline
+    /// scales with the actual epoch length, so the knob trades handoff
+    /// overhead against fault-detection latency. `1` degenerates to a
+    /// join per tick.
+    pub max_epoch_ticks: usize,
     /// Take an automatic [`RealTimeSession::checkpoint`] every this many
     /// closed ticks (`0` disables auto-checkpointing). Auto-checkpoints
     /// bound the recovery replay log to at most this many ticks.
@@ -162,6 +179,7 @@ impl Default for SessionConfig {
             tick_mode: TickMode::Auto,
             n_workers: 0,
             parallel_threshold: 256,
+            max_epoch_ticks: 32,
             checkpoint_interval: 0,
             tick_deadline: None,
             metrics_addr: None,
@@ -206,6 +224,7 @@ pub struct SessionConfigBuilder {
     tick_mode: Option<TickMode>,
     n_workers: Option<usize>,
     parallel_threshold: Option<usize>,
+    max_epoch_ticks: Option<usize>,
     checkpoint_interval: Option<usize>,
     tick_deadline: Option<Duration>,
     metrics_addr: Option<SocketAddr>,
@@ -230,6 +249,13 @@ impl SessionConfigBuilder {
     /// Sets [`SessionConfig::parallel_threshold`].
     pub fn parallel_threshold(mut self, chains: usize) -> Self {
         self.parallel_threshold = Some(chains);
+        self
+    }
+
+    /// Sets [`SessionConfig::max_epoch_ticks`]. Must be non-zero: an
+    /// epoch covers at least one tick.
+    pub fn max_epoch_ticks(mut self, ticks: usize) -> Self {
+        self.max_epoch_ticks = Some(ticks);
         self
     }
 
@@ -280,6 +306,13 @@ impl SessionConfigBuilder {
                     .to_owned(),
             ));
         }
+        if self.max_epoch_ticks == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "max_epoch_ticks must be non-zero (an epoch covers at least \
+                 one tick)"
+                    .to_owned(),
+            ));
+        }
         if let (Some(metrics), Some(serve)) = (self.metrics_addr, self.serve_addr) {
             if metrics == serve {
                 return Err(EngineError::InvalidConfig(format!(
@@ -296,6 +329,7 @@ impl SessionConfigBuilder {
             parallel_threshold: self
                 .parallel_threshold
                 .unwrap_or(defaults.parallel_threshold),
+            max_epoch_ticks: self.max_epoch_ticks.unwrap_or(defaults.max_epoch_ticks),
             checkpoint_interval: self
                 .checkpoint_interval
                 .unwrap_or(defaults.checkpoint_interval),
@@ -339,10 +373,11 @@ struct Shard {
     chains: Vec<(usize, ChainEvaluator)>,
 }
 
-/// One parallel tick's work order for a worker.
-struct Job {
+/// One epoch's work order for a shard: advance every chain through all
+/// `ticks` before reporting back — one join per epoch, not per tick.
+struct EpochJob {
     shard: Shard,
-    marginals: Arc<Vec<Marginal>>,
+    ticks: Vec<Arc<Vec<Marginal>>>,
 }
 
 /// Per-chain probabilities (shard order) plus wall-clock nanoseconds
@@ -350,12 +385,20 @@ struct Job {
 /// produced by [`step_shard`].
 type SteppedShard = (Vec<f64>, Vec<(usize, u64)>, KernelTickStats);
 
-/// `(worker index, stepped shard + per-chain probabilities + per-query
+/// [`SteppedShard`] over a whole epoch: per-tick probability rows
+/// (epoch order, then shard order) with the nanoseconds and kernel
+/// telemetry summed across the epoch's ticks.
+type SteppedEpoch = (Vec<Vec<f64>>, Vec<(usize, u64)>, KernelTickStats);
+
+/// `(shard index, stepped shard + per-tick probabilities + per-query
 /// nanoseconds + kernel telemetry | fault)`.
-type Reply = (
-    usize,
-    Result<(Shard, Vec<f64>, Vec<(usize, u64)>, KernelTickStats), EngineError>,
-);
+type Reply = (usize, Result<(Shard, SteppedEpoch), EngineError>);
+
+/// [`SteppedEpoch`] recombined across every shard: per-tick rows over
+/// the *global* chain sequence, per-query (dense, indexed) nanosecond
+/// totals, and summed kernel telemetry — what a whole-session stepping
+/// path returns.
+type SteppedSession = (Vec<Vec<f64>>, Vec<u64>, KernelTickStats);
 
 /// Steps every chain in `shard` against the tick's marginals, returning
 /// the per-chain probabilities (shard order), the wall-clock
@@ -410,76 +453,58 @@ fn step_shard(
     Ok((probs, query_ns, kernel))
 }
 
-fn worker_loop(index: usize, jobs: Receiver<Job>, replies: Sender<Reply>) {
-    // Per-worker symbol-distribution cache, reused (cleared, not freed)
-    // across this worker's ticks.
-    let mut cache = SymCache::new();
-    while let Ok(job) = jobs.recv() {
-        let Job { shard, marginals } = job;
-        let cache = &mut cache;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            let mut shard = shard;
-            cache.begin_tick();
-            let _span = crate::trace::span("worker_step")
-                .with("worker", index as u64)
-                .with("chains", shard.chains.len() as u64);
-            let (probs, query_ns, kernel) =
-                step_shard(&mut shard, &marginals, cache, "worker_step")?;
-            Ok::<_, EngineError>((shard, probs, query_ns, kernel))
-        }));
-        let reply = match outcome {
-            Ok(Ok(done)) => Ok(done),
-            Ok(Err(e)) => Err(e),
-            Err(payload) => Err(EngineError::WorkerPanicked {
-                worker: Some(index),
-                message: panic_message(payload),
-            }),
-        };
-        if replies.send((index, reply)).is_err() {
-            return;
-        }
+/// Steps every chain in `shard` through every tick of an epoch —
+/// shard-major, so one chain's working set stays hot across its `k`
+/// steps. Each tick still gets its own cache generation
+/// ([`SymCache::begin_tick`]): within one tick all chains step against
+/// the same marginals, across ticks they never share distributions.
+fn step_shard_epoch(
+    shard: &mut Shard,
+    ticks: &[Arc<Vec<Marginal>>],
+    cache: &mut SymCache,
+    failpoint: &'static str,
+) -> Result<SteppedEpoch, EngineError> {
+    let mut probs = Vec::with_capacity(ticks.len());
+    let mut query_ns: Vec<(usize, u64)> = Vec::new();
+    let mut kernel = KernelTickStats::default();
+    for tick_marginals in ticks {
+        cache.begin_tick();
+        let (tick_probs, tick_ns, tick_kernel) =
+            step_shard(shard, tick_marginals, cache, failpoint)?;
+        probs.push(tick_probs);
+        query_ns.extend(tick_ns);
+        kernel.add(&tick_kernel);
     }
+    Ok((probs, query_ns, kernel))
 }
 
-/// Persistent worker threads, one per shard. Dropping the pool closes
-/// the job channels, which ends every worker loop.
-struct WorkerPool {
-    jobs: Vec<Sender<Job>>,
-    replies: Receiver<Reply>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    fn spawn(n_workers: usize) -> Self {
-        let (reply_tx, replies) = channel();
-        let mut jobs = Vec::with_capacity(n_workers);
-        let mut handles = Vec::with_capacity(n_workers);
-        for index in 0..n_workers {
-            let (job_tx, job_rx) = channel();
-            let reply_tx = reply_tx.clone();
-            jobs.push(job_tx);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("lahar-tick-{index}"))
-                    .spawn(move || worker_loop(index, job_rx, reply_tx))
-                    .expect("spawning a session worker thread"),
-            );
-        }
-        Self {
-            jobs,
-            replies,
-            handles,
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        self.jobs.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
+/// Runs one shard's epoch on the shared pool thread that picked it up,
+/// always answering on the epoch's reply channel. Panics are caught and
+/// reported as [`EngineError::WorkerPanicked`]; if the session already
+/// abandoned the epoch (watchdog trip), the send lands on a dropped
+/// receiver and is discarded here.
+fn run_epoch_job(index: usize, job: EpochJob, replies: &Sender<Reply>) {
+    let EpochJob { shard, ticks } = job;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut shard = shard;
+        let _span = crate::trace::span("worker_step")
+            .with("worker", index as u64)
+            .with("chains", shard.chains.len() as u64)
+            .with("ticks", ticks.len() as u64);
+        let stepped = crate::pool::with_sym_cache(|cache| {
+            step_shard_epoch(&mut shard, &ticks, cache, "worker_step")
+        })?;
+        Ok::<_, EngineError>((shard, stepped))
+    }));
+    let reply = match outcome {
+        Ok(Ok(done)) => Ok(done),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(EngineError::WorkerPanicked {
+            worker: Some(index),
+            message: panic_message(payload),
+        }),
+    };
+    let _ = replies.send((index, reply));
 }
 
 /// A push-based session over independent (real-time) streams.
@@ -497,16 +522,25 @@ pub struct RealTimeSession {
     shards: Vec<Option<Shard>>,
     total_chains: usize,
     config: SessionConfig,
-    pool: Option<WorkerPool>,
     /// Set when a tick fault lost chain state (worker panic, injected
     /// error, watchdog timeout, or sequential-path panic). A poisoned
     /// session refuses every mutating entry point until
     /// [`RealTimeSession::recover`] repairs it.
     poisoned: bool,
+    /// How many ticks the epoch being stepped right now covers; `0`
+    /// between epochs. A fault mid-epoch leaves it set, telling
+    /// [`RealTimeSession::recover`] how far past `t` the already
+    /// recorded marginals reach.
+    epoch_in_flight: u32,
     /// Set by a watchdog timeout: the pool is considered unreliable, so
     /// every future tick takes the sequential path (and is counted as a
     /// degraded tick) until [`RealTimeSession::clear_degraded`].
     degraded: bool,
+    /// Reply channel of an epoch abandoned by the watchdog. Its jobs may
+    /// still occupy shared-pool threads; [`RealTimeSession::recover`]
+    /// drains it (discarding the stale replies) so the rebuilt session
+    /// doesn't queue behind its own stragglers.
+    stalled_epoch: Option<Receiver<Reply>>,
     /// The most recent checkpoint (manual or automatic); the fast
     /// restore base for [`RealTimeSession::recover`].
     last_checkpoint: Option<Checkpoint>,
@@ -567,9 +601,10 @@ impl RealTimeSession {
             })],
             total_chains: 0,
             config,
-            pool: None,
             poisoned: false,
+            epoch_in_flight: 0,
             degraded: false,
+            stalled_epoch: None,
             last_checkpoint: None,
             replay_log: Vec::new(),
             replay_base: 0,
@@ -650,24 +685,19 @@ impl RealTimeSession {
         }
     }
 
-    /// Worker count the parallel path would use.
+    /// Shard count the parallel path would use. Decoupled from the
+    /// shared pool's thread count: shards are a per-session partition,
+    /// threads a per-process budget.
     fn effective_workers(&self) -> usize {
-        if self.config.n_workers > 0 {
-            self.config.n_workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        effective_workers_of(&self.config)
     }
 
-    /// Whether the next tick runs on the worker pool. Degraded mode
-    /// overrides every [`TickMode`]: after a watchdog timeout the pool
-    /// is not trusted until [`RealTimeSession::clear_degraded`].
-    fn parallel_tick(&self) -> bool {
-        if self.degraded {
-            return false;
-        }
+    /// Whether the configured [`TickMode`] asks for the parallel path,
+    /// before the degraded-mode override. An epoch actually runs
+    /// parallel only when this holds *and* the session is not degraded;
+    /// the distinction is what `lahar_degraded_ticks` counts — ticks
+    /// genuinely diverted off the pool, not ticks that never wanted it.
+    fn wants_parallel(&self) -> bool {
         match self.config.tick_mode {
             TickMode::Sequential => false,
             TickMode::Parallel => true,
@@ -773,29 +803,31 @@ impl RealTimeSession {
         }
     }
 
-    /// Grows the shard count to match the worker pool, spawning it on
-    /// first use.
-    fn ensure_pool(&mut self) {
-        if self.pool.is_some() {
+    /// Re-homes every chain across exactly `n` shards. All chains are
+    /// collected from the *old* layout before the shard list is
+    /// resized — the historical bug here truncated first, silently
+    /// dropping the trailing shards' chains whenever the count shrank
+    /// (e.g. restoring a wide checkpoint onto a narrower worker
+    /// config).
+    fn ensure_shards(&mut self, n: usize) {
+        let n = n.max(1);
+        if self.shards.len() == n {
             return;
         }
-        let n_workers = self.effective_workers();
-        if self.shards.len() != n_workers {
-            // Re-home every chain across the new shard count.
-            let have: usize = self.shards.len();
-            self.shards.extend((have..n_workers).map(|_| None));
-            for slot in &mut self.shards {
-                if slot.is_none() {
-                    *slot = Some(Shard {
-                        start: 0,
-                        chains: Vec::new(),
-                    });
-                }
-            }
-            self.shards.truncate(n_workers);
-            self.repartition(Vec::new());
+        let mut all: Vec<(usize, ChainEvaluator)> = Vec::with_capacity(self.total_chains);
+        for slot in &mut self.shards {
+            let shard = slot.take().expect("all shards home between ticks");
+            all.extend(shard.chains);
         }
-        self.pool = Some(WorkerPool::spawn(n_workers));
+        self.shards = (0..n)
+            .map(|_| {
+                Some(Shard {
+                    start: 0,
+                    chains: Vec::new(),
+                })
+            })
+            .collect();
+        self.repartition(all);
     }
 
     fn ensure_live(&self) -> Result<(), EngineError> {
@@ -820,11 +852,21 @@ impl RealTimeSession {
     /// it, such as the manifest the session was loaded from.
     pub fn stage(&mut self, stream: StreamId, marginal: Marginal) -> Result<(), EngineError> {
         self.ensure_live()?;
+        self.check_stageable(stream, &marginal)?;
+        self.staged[stream.index()] = Some(marginal);
+        self.stats.record_staged(1);
+        Ok(())
+    }
+
+    /// The validation half of [`RealTimeSession::stage`], shared with
+    /// the epoch path so a whole epoch can be vetted *before* any tick
+    /// of it mutates the database.
+    fn check_stageable(&self, stream: StreamId, marginal: &Marginal) -> Result<(), EngineError> {
         let stream_index = stream.index();
         if stream_index >= self.staged.len() {
             return Err(EngineError::NoRelevantStreams);
         }
-        let domain = self.db.streams()[stream_index].domain().clone();
+        let domain = self.db.streams()[stream_index].domain();
         if marginal.probs().len() != domain.len() {
             return Err(EngineError::Model(
                 lahar_model::ModelError::DimensionMismatch {
@@ -833,8 +875,6 @@ impl RealTimeSession {
                 },
             ));
         }
-        self.staged[stream_index] = Some(marginal);
-        self.stats.record_staged(1);
         Ok(())
     }
 
@@ -875,62 +915,144 @@ impl RealTimeSession {
     /// across the worker pool, per [`SessionConfig`] — and returns their
     /// alerts for the closed timestep.
     pub fn tick(&mut self) -> Result<Vec<Alert>, EngineError> {
+        self.tick_epoch(vec![Vec::new()])
+    }
+
+    /// Closes `ticks.len()` ticks as one or more *epochs*: each element
+    /// is one tick's stage batch (the first also folds in anything
+    /// already staged via [`RealTimeSession::stage`]), and the parallel
+    /// path ships up to [`SessionConfig::max_epoch_ticks`] of them to
+    /// each shard per join. Alerts come back flattened tick-major — for
+    /// each closed tick, one alert per registered query in index order —
+    /// bit-identical to closing the same ticks one
+    /// [`RealTimeSession::tick`] at a time.
+    ///
+    /// Auto-checkpoint cadence is preserved exactly: epochs are split at
+    /// [`SessionConfig::checkpoint_interval`] boundaries so snapshots
+    /// land on the same ticks they would have under per-tick stepping.
+    pub fn tick_epoch(
+        &mut self,
+        ticks: Vec<Vec<(StreamId, Marginal)>>,
+    ) -> Result<Vec<Alert>, EngineError> {
         self.ensure_live()?;
+        let mut alerts = Vec::with_capacity(ticks.len() * self.queries.len());
+        let mut queue = ticks.into_iter();
+        let mut remaining = queue.len();
+        while remaining > 0 {
+            let chunk_len = self.epoch_chunk_len(remaining);
+            let interval = self.config.checkpoint_interval;
+            let chunk: Vec<_> = queue.by_ref().take(chunk_len).collect();
+            remaining -= chunk_len;
+            alerts.extend(self.close_epoch(chunk)?);
+            if interval > 0 && (self.t as usize).is_multiple_of(interval) {
+                // Auto-checkpointing needs every query's source text;
+                // with AST-registered queries this surfaces as a tick
+                // error rather than silently skipping the snapshot.
+                self.checkpoint()?;
+            }
+        }
+        Ok(alerts)
+    }
+
+    /// How many of `remaining` queued ticks the next epoch covers: at
+    /// most [`SessionConfig::max_epoch_ticks`], never crossing a
+    /// [`SessionConfig::checkpoint_interval`] boundary. Exposed so the
+    /// serving layer can feed [`RealTimeSession::tick_epoch`] exactly
+    /// one epoch at a time (its per-query alert series then stays exact
+    /// even when an epoch faults and recovery re-completes it).
+    pub(crate) fn epoch_chunk_len(&self, remaining: usize) -> usize {
+        let mut chunk_len = remaining.min(self.config.max_epoch_ticks.max(1));
+        let interval = self.config.checkpoint_interval;
+        if interval > 0 {
+            chunk_len = chunk_len.min(interval - (self.t as usize % interval));
+        }
+        chunk_len
+    }
+
+    /// Closes one epoch of `ticks.len()` ≥ 1 ticks under a single join.
+    fn close_epoch(
+        &mut self,
+        ticks: Vec<Vec<(StreamId, Marginal)>>,
+    ) -> Result<Vec<Alert>, EngineError> {
+        let k = ticks.len();
+        debug_assert!(k >= 1, "an epoch covers at least one tick");
         let started = Instant::now();
         let _tick_span = crate::trace::span("tick")
             .with("t", u64::from(self.t))
-            .with("chains", self.total_chains as u64);
-        let mut tick_marginals = Vec::with_capacity(self.staged.len());
-        for idx in 0..self.staged.len() {
-            let marginal = self.staged[idx]
-                .take()
-                .unwrap_or_else(|| Marginal::all_bottom(self.db.streams()[idx].domain()));
-            self.db.push_marginal_at(idx, marginal.clone())?;
-            tick_marginals.push(marginal);
+            .with("chains", self.total_chains as u64)
+            .with("ticks", k as u64);
+        // Vet the whole epoch before the first mutation: a bad marginal
+        // in tick j must not leave ticks 0..j already pushed into the
+        // history with their chains never stepped.
+        for batch in &ticks {
+            for (stream, marginal) in batch {
+                self.check_stageable(*stream, marginal)?;
+            }
         }
-        let marginals = Arc::new(tick_marginals);
-        if self.last_checkpoint.is_some() {
-            // Appended before stepping so the marginals of a tick that
-            // faults mid-step are already available to recover().
-            self.replay_log.push(marginals.clone());
+        let mut epoch: Vec<Arc<Vec<Marginal>>> = Vec::with_capacity(k);
+        for batch in ticks {
+            self.stats.record_staged(batch.len() as u64);
+            for (stream, marginal) in batch {
+                self.staged[stream.index()] = Some(marginal);
+            }
+            let mut tick_marginals = Vec::with_capacity(self.staged.len());
+            for idx in 0..self.staged.len() {
+                let marginal = self.staged[idx]
+                    .take()
+                    .unwrap_or_else(|| Marginal::all_bottom(self.db.streams()[idx].domain()));
+                self.db.push_marginal_at(idx, marginal.clone())?;
+                tick_marginals.push(marginal);
+            }
+            let marginals = Arc::new(tick_marginals);
+            if self.last_checkpoint.is_some() {
+                // Appended before stepping so the marginals of an epoch
+                // that faults mid-step are already available to
+                // recover().
+                self.replay_log.push(marginals.clone());
+            }
+            epoch.push(marginals);
         }
-        let parallel = self.parallel_tick();
+        let wants_parallel = self.wants_parallel();
+        // Degraded mode overrides every `TickMode`: after a watchdog
+        // timeout the pool is not trusted until clear_degraded().
+        let parallel = wants_parallel && !self.degraded;
+        self.epoch_in_flight = k as u32;
         let (probs, query_ns, kernel) = if parallel {
-            self.step_chains_parallel(marginals)?
+            self.step_chains_parallel(&epoch)?
         } else {
-            self.step_chains_sequential(&marginals)?
+            self.step_chains_sequential(&epoch)?
         };
+        // A fault above returns early, leaving `epoch_in_flight` set for
+        // recover(); reaching here means every tick of the epoch closed.
+        self.epoch_in_flight = 0;
         self.stats.record_kernel(&kernel);
-        let alerts = self.combine_alerts(&probs);
-        self.t += 1;
-        self.stats
-            .record_tick(started.elapsed(), self.total_chains as u64, parallel);
-        if self.degraded {
-            self.stats.record_degraded_tick();
-        }
-        self.stats.record_alerts(alerts.len() as u64);
-        for alert in &alerts {
-            self.stats.record_query_tick(
-                alert.query.0,
-                query_ns.get(alert.query.0).copied(),
-                alert.probability,
-            );
-        }
-        if self.config.checkpoint_interval > 0
-            && (self.t as usize).is_multiple_of(self.config.checkpoint_interval)
-        {
-            // Auto-checkpointing needs every query's source text; with
-            // AST-registered queries this surfaces as a tick error
-            // rather than silently skipping the snapshot.
-            self.checkpoint()?;
+        self.stats.record_epoch(k as u64);
+        let per_tick_elapsed = started.elapsed() / k as u32;
+        let mut alerts = Vec::with_capacity(k * self.queries.len());
+        for tick_probs in &probs {
+            let tick_alerts = self.combine_alerts(tick_probs, self.t);
+            self.t += 1;
+            self.stats
+                .record_tick(per_tick_elapsed, self.total_chains as u64, parallel);
+            if wants_parallel && !parallel {
+                self.stats.record_degraded_tick();
+            }
+            self.stats.record_alerts(tick_alerts.len() as u64);
+            for alert in &tick_alerts {
+                self.stats.record_query_tick(
+                    alert.query.0,
+                    query_ns.get(alert.query.0).map(|ns| ns / k as u64),
+                    alert.probability,
+                );
+            }
+            alerts.extend(tick_alerts);
         }
         Ok(alerts)
     }
 
     /// Recombines per-chain probabilities (global sequence order) into
-    /// per-query alerts for the currently closing tick `self.t`.
-    fn combine_alerts(&self, probs: &[f64]) -> Vec<Alert> {
-        let t = self.t;
+    /// per-query alerts for the closing tick `t`.
+    fn combine_alerts(&self, probs: &[f64], t: u32) -> Vec<Alert> {
         self.queries
             .iter()
             .enumerate()
@@ -964,32 +1086,38 @@ impl RealTimeSession {
     /// rebuilds everything.
     fn step_chains_sequential(
         &mut self,
-        tick_marginals: &[Marginal],
-    ) -> Result<(Vec<f64>, Vec<u64>, KernelTickStats), EngineError> {
+        epoch: &[Arc<Vec<Marginal>>],
+    ) -> Result<SteppedSession, EngineError> {
         let n_shards = self.shards.len();
         let mut shards = std::mem::take(&mut self.shards);
         let total = self.total_chains;
         let n_queries = self.queries.len();
         let cache = &mut self.sym_cache;
-        // One cache generation per tick, shared by every shard: within a
-        // tick all chains step against the same staged marginals, so
-        // equal signatures mean equal distributions across shards too.
-        cache.begin_tick();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut probs = vec![0.0; total];
+            let mut epoch_probs = Vec::with_capacity(epoch.len());
             let mut query_ns = vec![0u64; n_queries];
             let mut kernel = KernelTickStats::default();
-            for slot in &mut shards {
-                let shard = slot.as_mut().expect("all shards home between ticks");
-                let (shard_probs, shard_ns, shard_kernel) =
-                    step_shard(shard, tick_marginals, cache, "sequential_step")?;
-                probs[shard.start..shard.start + shard_probs.len()].copy_from_slice(&shard_probs);
-                for (qi, ns) in shard_ns {
-                    query_ns[qi] = query_ns[qi].saturating_add(ns);
+            for tick_marginals in epoch {
+                // One cache generation per tick, shared by every shard:
+                // within a tick all chains step against the same staged
+                // marginals, so equal signatures mean equal
+                // distributions across shards too.
+                cache.begin_tick();
+                let mut probs = vec![0.0; total];
+                for slot in &mut shards {
+                    let shard = slot.as_mut().expect("all shards home between ticks");
+                    let (shard_probs, shard_ns, shard_kernel) =
+                        step_shard(shard, tick_marginals, cache, "sequential_step")?;
+                    probs[shard.start..shard.start + shard_probs.len()]
+                        .copy_from_slice(&shard_probs);
+                    for (qi, ns) in shard_ns {
+                        query_ns[qi] = query_ns[qi].saturating_add(ns);
+                    }
+                    kernel.add(&shard_kernel);
                 }
-                kernel.add(&shard_kernel);
+                epoch_probs.push(probs);
             }
-            Ok::<_, EngineError>((probs, query_ns, kernel))
+            Ok::<_, EngineError>((epoch_probs, query_ns, kernel))
         }));
         match outcome {
             Ok(Ok(stepped)) => {
@@ -1012,18 +1140,27 @@ impl RealTimeSession {
         }
     }
 
-    /// Ships each shard to its worker with this tick's marginals and
-    /// reassembles the per-chain probabilities in global sequence order.
-    /// With [`SessionConfig::tick_deadline`] set, a watchdog bounds how
-    /// long the pool may hold the tick: exceeding it poisons the session
-    /// (recoverable) and flips it into degraded mode.
+    /// Ships each shard to the shared pool with the whole epoch's
+    /// marginals and reassembles the per-tick, per-chain probabilities
+    /// in global sequence order — one join for the entire epoch. With
+    /// [`SessionConfig::tick_deadline`] set, a watchdog bounds how long
+    /// the pool may hold the epoch (the per-tick deadline × epoch
+    /// length): exceeding it poisons the session (recoverable) and
+    /// flips it into degraded mode. The reply channel is fresh per
+    /// epoch, so a late reply from an abandoned epoch lands on a dead
+    /// receiver instead of a later epoch's join.
     fn step_chains_parallel(
         &mut self,
-        marginals: Arc<Vec<Marginal>>,
-    ) -> Result<(Vec<f64>, Vec<u64>, KernelTickStats), EngineError> {
-        self.ensure_pool();
-        let pool = self.pool.as_ref().expect("pool just ensured");
-        let deadline = self.config.tick_deadline.map(|d| (d, Instant::now() + d));
+        epoch: &[Arc<Vec<Marginal>>],
+    ) -> Result<SteppedSession, EngineError> {
+        self.ensure_shards(self.effective_workers());
+        let k = epoch.len();
+        let deadline = self
+            .config
+            .tick_deadline
+            .map(|d| d.saturating_mul(k as u32))
+            .map(|d| (d, Instant::now() + d));
+        let (reply_tx, replies) = channel::<Reply>();
         let mut in_flight = 0usize;
         for (w, slot) in self.shards.iter_mut().enumerate() {
             let shard = slot.take().expect("all shards home between ticks");
@@ -1031,43 +1168,37 @@ impl RealTimeSession {
                 *slot = Some(shard);
                 continue;
             }
-            if pool.jobs[w]
-                .send(Job {
-                    shard,
-                    marginals: marginals.clone(),
-                })
-                .is_err()
-            {
-                // The worker is gone; its channel only closes when the
-                // thread exited. The shard it would have stepped is lost
-                // with the rejected job.
-                self.poisoned = true;
-                return Err(EngineError::WorkerPanicked {
-                    worker: Some(w),
-                    message: "session worker exited before the tick".to_owned(),
-                });
-            }
+            let job = EpochJob {
+                shard,
+                ticks: epoch.to_vec(),
+            };
+            let reply_tx = reply_tx.clone();
+            crate::pool::spawn(move || run_epoch_job(w, job, &reply_tx));
             in_flight += 1;
         }
-        let mut probs = vec![0.0; self.total_chains];
+        drop(reply_tx);
+        let mut probs = vec![vec![0.0; self.total_chains]; k];
         let mut query_ns = vec![0u64; self.queries.len()];
         let mut kernel = KernelTickStats::default();
         let mut first_error: Option<EngineError> = None;
+        let mut timed_out = false;
         for _ in 0..in_flight {
             let reply = match deadline {
-                None => pool.replies.recv().map_err(|_| None),
+                None => replies.recv().map_err(|_| None),
                 Some((budget, until)) => {
                     let remaining = until.saturating_duration_since(Instant::now());
-                    pool.replies.recv_timeout(remaining).map_err(|e| match e {
+                    replies.recv_timeout(remaining).map_err(|e| match e {
                         RecvTimeoutError::Timeout => Some(budget),
                         RecvTimeoutError::Disconnected => None,
                     })
                 }
             };
             match reply {
-                Ok((w, Ok((shard, shard_probs, shard_ns, shard_kernel)))) => {
-                    probs[shard.start..shard.start + shard_probs.len()]
-                        .copy_from_slice(&shard_probs);
+                Ok((w, Ok((shard, (shard_probs, shard_ns, shard_kernel))))) => {
+                    for (j, tick_probs) in shard_probs.iter().enumerate() {
+                        probs[j][shard.start..shard.start + tick_probs.len()]
+                            .copy_from_slice(tick_probs);
+                    }
                     for (qi, ns) in shard_ns {
                         query_ns[qi] = query_ns[qi].saturating_add(ns);
                     }
@@ -1079,11 +1210,12 @@ impl RealTimeSession {
                 }
                 Err(Some(budget)) => {
                     // Watchdog tripped: shards still in flight are
-                    // treated as lost (their late replies are discarded
-                    // when recover() drops the pool), and the pool is no
+                    // treated as lost (their late replies land on this
+                    // epoch's dropped receiver), and the pool is no
                     // longer trusted until the caller clears degraded
                     // mode.
                     self.degraded = true;
+                    timed_out = true;
                     first_error.get_or_insert(EngineError::TickTimeout { deadline: budget });
                     break;
                 }
@@ -1100,6 +1232,12 @@ impl RealTimeSession {
             // A lost shard means lost chain state: refuse further ticks
             // instead of silently answering from half the chains.
             self.poisoned = true;
+            if timed_out {
+                // The abandoned jobs are still occupying shared-pool
+                // threads; keep the receiver so recover() can wait for
+                // them to drain before re-engaging the pool.
+                self.stalled_epoch = Some(replies);
+            }
             return Err(e);
         }
         Ok((probs, query_ns, kernel))
@@ -1291,6 +1429,12 @@ impl RealTimeSession {
                 ckpt.chains.len()
             )));
         }
+        // Mirror the checkpointed session's shard layout (its configured
+        // worker count): restoring a wide checkpoint onto a narrower
+        // config then genuinely exercises the shard-shrink path on the
+        // first parallel tick, instead of silently starting from one
+        // shard.
+        session.ensure_shards(effective_workers_of(&ckpt.config));
         // In place, not a handle swap: a metrics server started by
         // with_config above already holds a clone of session.stats.
         session.stats.load_state(&ckpt.stats);
@@ -1305,8 +1449,15 @@ impl RealTimeSession {
     /// log where it covers the gap (ticks since the last checkpoint) and
     /// through the database's recorded history otherwise. Both paths run
     /// the same arithmetic as live ticks, so the result is bit-identical
-    /// to having never lost the chain.
-    fn replay_chain(&self, chain: &mut ChainEvaluator, target: u32) -> Result<(), EngineError> {
+    /// to having never lost the chain. `on_step` observes every replayed
+    /// step as `(closed tick, accept probability)` — how recovery
+    /// collects the per-tick answers of an interrupted multi-tick epoch.
+    fn replay_chain(
+        &self,
+        chain: &mut ChainEvaluator,
+        target: u32,
+        mut on_step: impl FnMut(u32, f64),
+    ) -> Result<(), EngineError> {
         while chain.next_t() < target {
             let t = chain.next_t();
             let log_entry = t
@@ -1320,12 +1471,14 @@ impl RealTimeSession {
                     chain.step(&self.db);
                 }
             }
+            on_step(t, chain.accept_prob());
         }
         Ok(())
     }
 
-    /// Repairs a poisoned session and completes the interrupted tick,
-    /// returning that tick's alerts.
+    /// Repairs a poisoned session and completes the interrupted epoch,
+    /// returning its ticks' alerts (flattened tick-major, like
+    /// [`RealTimeSession::tick_epoch`]).
     ///
     /// Shards lost to the fault (a panicked worker's chains, or every
     /// chain after a sequential-path fault) are rebuilt structurally
@@ -1333,7 +1486,7 @@ impl RealTimeSession {
     /// [`RealTimeSession::checkpoint`] plus the bounded replay log —
     /// or from the database's full recorded history when no checkpoint
     /// exists — and recombined with the surviving shards' answers. The
-    /// completed tick's alerts, and all subsequent ticks', are
+    /// completed ticks' alerts, and all subsequent ticks', are
     /// bit-identical to a run that never faulted. After a
     /// [`EngineError::TickTimeout`] the session stays in degraded
     /// (sequential) mode; see [`RealTimeSession::clear_degraded`].
@@ -1344,15 +1497,25 @@ impl RealTimeSession {
             ));
         }
         let started = Instant::now();
+        // Every poisoning fault happens inside an epoch after all of its
+        // ticks' marginals were recorded, so chains must reach the end
+        // of the interrupted epoch (`t + 1` for faults injected outside
+        // any epoch, e.g. by tests poisoning the session by hand).
+        let k = self.epoch_in_flight.max(1);
+        let target = self.t + k;
         let _span = crate::trace::span("recover")
             .with("t", u64::from(self.t))
-            .with("chains", self.total_chains as u64);
-        // Join the pool first: no late reply can race the rebuild, and
-        // replies buffered from the failed tick are discarded with it.
-        self.pool = None;
-        // Every poisoning fault happens inside tick() after the tick's
-        // marginals were recorded, so chains must reach t + 1.
-        let target = self.t + 1;
+            .with("chains", self.total_chains as u64)
+            .with("ticks", u64::from(k));
+        // A watchdog-abandoned epoch may still have jobs running on
+        // shared-pool threads. Wait for them to finish (their stale
+        // replies are discarded) so future parallel epochs don't queue
+        // behind this session's own stragglers. Other faults drop the
+        // reply channel with step_chains_parallel, and late replies land
+        // harmlessly on the dead receiver.
+        if let Some(stalled) = self.stalled_epoch.take() {
+            while stalled.recv().is_ok() {}
+        }
         let n_shards = self.shards.len();
         let mut survivors: Vec<Option<(usize, ChainEvaluator)>> =
             (0..self.total_chains).map(|_| None).collect();
@@ -1364,6 +1527,16 @@ impl RealTimeSession {
                 }
             }
         }
+        // A surviving shard finished the epoch, but only retains its
+        // *final* accept probability. For a one-tick epoch that is
+        // exactly the lost tick's answer; a longer epoch also needs the
+        // intermediate ticks', so every chain is rebuilt and replayed
+        // (the replay log already holds all k ticks' marginals).
+        if k > 1 {
+            survivors.iter_mut().for_each(|slot| *slot = None);
+        }
+        let base = self.t;
+        let mut probs: Vec<Vec<f64>> = vec![vec![0.0; self.total_chains]; k as usize];
         let mut all: Vec<(usize, ChainEvaluator)> = Vec::with_capacity(self.total_chains);
         for (qi, reg) in self.queries.iter().enumerate() {
             let any_missing =
@@ -1397,7 +1570,13 @@ impl RealTimeSession {
             for offset in 0..reg.n_chains {
                 let g = reg.first_chain + offset;
                 let entry = match survivors[g].take() {
-                    Some(entry) => entry,
+                    Some(entry) => {
+                        // Only reachable for k == 1 (see above): the
+                        // survivor's final probability answers the
+                        // epoch's only tick.
+                        probs[0][g] = entry.1.accept_prob();
+                        entry
+                    }
                     None => {
                         let mut chain = fresh[offset].take().expect("freshly compiled chain");
                         if let Some(ckpt) = &self.last_checkpoint {
@@ -1405,7 +1584,11 @@ impl RealTimeSession {
                                 chain.restore_state(state)?;
                             }
                         }
-                        self.replay_chain(&mut chain, target)?;
+                        self.replay_chain(&mut chain, target, |t, p| {
+                            if t >= base {
+                                probs[(t - base) as usize][g] = p;
+                            }
+                        })?;
                         (qi, chain)
                     }
                 };
@@ -1414,7 +1597,6 @@ impl RealTimeSession {
                 all.push(entry);
             }
         }
-        let probs: Vec<f64> = all.iter().map(|(_, c)| c.accept_prob()).collect();
         self.shards = (0..n_shards)
             .map(|_| {
                 Some(Shard {
@@ -1437,19 +1619,38 @@ impl RealTimeSession {
         self.stats.record_kernel(&kernel);
         self.record_automata_stats();
         self.poisoned = false;
-        let alerts = self.combine_alerts(&probs);
-        self.t = target;
-        self.stats
-            .record_tick(started.elapsed(), self.total_chains as u64, false);
-        self.stats.record_alerts(alerts.len() as u64);
-        for alert in &alerts {
-            // Per-chain timing was lost with the failed tick; count the
-            // tick without a latency sample.
+        self.epoch_in_flight = 0;
+        let per_tick_elapsed = started.elapsed() / k;
+        let mut alerts = Vec::with_capacity(k as usize * self.queries.len());
+        for tick_probs in &probs {
+            let tick_alerts = self.combine_alerts(tick_probs, self.t);
+            self.t += 1;
             self.stats
-                .record_query_tick(alert.query.0, None, alert.probability);
+                .record_tick(per_tick_elapsed, self.total_chains as u64, false);
+            self.stats.record_alerts(tick_alerts.len() as u64);
+            for alert in &tick_alerts {
+                // Per-chain timing was lost with the failed epoch; count
+                // the tick without a latency sample.
+                self.stats
+                    .record_query_tick(alert.query.0, None, alert.probability);
+            }
+            alerts.extend(tick_alerts);
         }
+        debug_assert_eq!(self.t, target);
         self.stats.record_recovery();
         Ok(alerts)
+    }
+}
+
+/// Shard count a config's parallel path uses (`n_workers`, or one per
+/// available core for the `0` sentinel).
+fn effective_workers_of(config: &SessionConfig) -> usize {
+    if config.n_workers > 0 {
+        config.n_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -1611,6 +1812,10 @@ mod tests {
         ));
         assert!(matches!(
             SessionConfig::builder().n_workers(0).build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SessionConfig::builder().max_epoch_ticks(0).build(),
             Err(EngineError::InvalidConfig(_))
         ));
         let addr: std::net::SocketAddr = "127.0.0.1:9633".parse().unwrap();
@@ -2044,6 +2249,209 @@ mod tests {
         session.clear_degraded();
         session.tick().unwrap();
         assert_eq!(session.stats().snapshot().parallel_ticks, 2);
+    }
+
+    /// A whole epoch handed to `tick_epoch` answers bit-identically to
+    /// the same marginals fed through per-tick sequential `tick` calls,
+    /// and closes under a single join (one epoch recorded).
+    #[test]
+    fn epoch_batched_ticks_match_per_tick_sequential() {
+        let mk = |mode| {
+            let (db, joe, sue) = schema_db();
+            let session = RealTimeSession::with_config(
+                db,
+                SessionConfig::builder()
+                    .tick_mode(mode)
+                    .n_workers(3)
+                    .max_epoch_ticks(8)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            (session, joe, sue)
+        };
+        let (mut seq, joe, sue) = mk(TickMode::Sequential);
+        let (mut par, _, _) = mk(TickMode::Parallel);
+        for s in [&mut seq, &mut par] {
+            s.register("r", "At('joe','a') ; At('joe','c')").unwrap();
+            s.register("x", "At(p,'a') ; At(p,'c')").unwrap();
+        }
+        let epoch: Vec<Vec<(StreamId, Marginal)>> = vec![
+            vec![(
+                sid(&par, 0),
+                joe.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
+            )],
+            vec![
+                (sid(&par, 0), joe.marginal(&[("c", 0.5)]).unwrap()),
+                (sid(&par, 1), sue.marginal(&[("a", 0.8)]).unwrap()),
+            ],
+            Vec::new(),
+            vec![(sid(&par, 1), sue.marginal(&[("c", 0.9)]).unwrap())],
+            vec![(sid(&par, 0), joe.marginal(&[("a", 0.15)]).unwrap())],
+        ];
+        let mut reference = Vec::new();
+        for batch in &epoch {
+            for (id, m) in batch {
+                seq.stage(*id, m.clone()).unwrap();
+            }
+            reference.extend(seq.tick().unwrap());
+        }
+        let batched = par.tick_epoch(epoch).unwrap();
+        assert_eq!(batched.len(), reference.len());
+        for (a, b) in batched.iter().zip(&reference) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(
+                a.probability.to_bits(),
+                b.probability.to_bits(),
+                "{} t={}: {} vs {}",
+                a.name,
+                a.t,
+                a.probability,
+                b.probability
+            );
+        }
+        let snap = par.stats().snapshot();
+        assert_eq!(snap.ticks, 5);
+        assert_eq!(snap.parallel_ticks, 5);
+        assert_eq!(snap.epochs, 1, "five ticks, one join");
+        assert_eq!(snap.epoch_ticks, 5);
+        // Per-tick mode records one single-tick epoch per tick.
+        let snap = seq.stats().snapshot();
+        assert_eq!((snap.epochs, snap.epoch_ticks), (5, 5));
+    }
+
+    /// Epochs split at `max_epoch_ticks` and at auto-checkpoint
+    /// boundaries, so batching never changes checkpoint cadence.
+    #[test]
+    fn epochs_split_at_checkpoint_boundaries() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::with_config(
+            db,
+            SessionConfig::builder()
+                .checkpoint_interval(2)
+                .max_epoch_ticks(8)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        session.register("q", "At('joe','a')").unwrap();
+        let id = sid(&session, 0);
+        let epoch: Vec<Vec<(StreamId, Marginal)>> = (0..5)
+            .map(|i| vec![(id, joe.marginal(&[("a", 0.1 * (i + 1) as f64)]).unwrap())])
+            .collect();
+        session.tick_epoch(epoch).unwrap();
+        let snap = session.stats().snapshot();
+        assert_eq!(snap.ticks, 5);
+        // Interval-2 boundaries at t=2 and t=4 split the batch 2+2+1.
+        assert_eq!(snap.epochs, 3);
+        assert_eq!(snap.epoch_ticks, 5);
+        assert_eq!(snap.checkpoints_taken, 2);
+        let ckpt = session.last_checkpoint().expect("auto-checkpoint taken");
+        assert_eq!(ckpt.t(), 4);
+        // The replay log only spans ticks since that checkpoint.
+        assert_eq!(session.replay_log.len(), 1);
+    }
+
+    /// Regression: shrinking the shard layout used to
+    /// `truncate(n_workers)` first, dropping every chain in the trailing
+    /// shards. Restoring a checkpoint taken under a wider worker count
+    /// onto a narrower config exercises exactly that path; the restored
+    /// session must keep all chains and answer bit-identically.
+    #[test]
+    fn shard_shrink_on_restore_keeps_every_chain() {
+        let (db, joe, sue) = schema_db();
+        let mut original = RealTimeSession::with_config(
+            db,
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .n_workers(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        original.register("a", "At(p,'h') ; At(p,'a')").unwrap();
+        original.register("b", "At('joe','a')").unwrap();
+        original.register("c", "At(p,'a') ; At(p,'c')").unwrap();
+        assert_eq!(original.n_chains(), 5);
+        for m in [
+            (0usize, joe.marginal(&[("a", 0.6), ("h", 0.2)]).unwrap()),
+            (1, sue.marginal(&[("h", 0.5)]).unwrap()),
+        ] {
+            original.stage(sid(&original, m.0), m.1).unwrap();
+            original.tick().unwrap();
+        }
+        let ckpt = Checkpoint::from_json(&original.checkpoint().unwrap().to_json()).unwrap();
+
+        let (fresh_db, _, _) = schema_db();
+        let narrow = SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(2)
+            .build()
+            .unwrap();
+        let mut restored = RealTimeSession::restore_with_config(fresh_db, &ckpt, narrow).unwrap();
+        // The restore mirrors the checkpoint's 4-shard layout, so the
+        // first parallel tick below must shrink 4 → 2.
+        assert_eq!(restored.shards.len(), 4);
+        assert_eq!(restored.n_chains(), 5);
+
+        for s in [&mut original, &mut restored] {
+            let (j, u) = (sid(s, 0), sid(s, 1));
+            s.stage(j, joe.marginal(&[("c", 0.7)]).unwrap()).unwrap();
+            s.stage(u, sue.marginal(&[("a", 0.4), ("c", 0.3)]).unwrap())
+                .unwrap();
+        }
+        let a = original.tick().unwrap();
+        let b = restored.tick().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t, y.t);
+            assert_eq!(
+                x.probability.to_bits(),
+                y.probability.to_bits(),
+                "{}: {} vs {}",
+                x.name,
+                x.probability,
+                y.probability
+            );
+        }
+        // The shrink rebalanced instead of truncating: every chain is
+        // still present, partitioned over the narrower layout.
+        assert_eq!(restored.shards.len(), 2);
+        let covered: usize = restored
+            .shards
+            .iter()
+            .map(|s| s.as_ref().unwrap().chains.len())
+            .sum();
+        assert_eq!(covered, 5);
+    }
+
+    /// Regression: ticks that never asked for the parallel path (mode
+    /// Sequential) used to count as "degraded" whenever the flag was
+    /// set. Only genuine diversions off the pool count now.
+    #[test]
+    fn sequential_ticks_never_count_as_degraded() {
+        let (db, joe, _) = schema_db();
+        let mut session = RealTimeSession::with_config(
+            db,
+            SessionConfig::builder()
+                .tick_mode(TickMode::Sequential)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        session.register("q", "At(p,'a')").unwrap();
+        session.degraded = true;
+        session
+            .stage(sid(&session, 0), joe.marginal(&[("a", 0.4)]).unwrap())
+            .unwrap();
+        session.tick().unwrap();
+        let snap = session.stats().snapshot();
+        assert_eq!(snap.ticks, 1);
+        assert_eq!(snap.parallel_ticks, 0);
+        assert_eq!(
+            snap.degraded_ticks, 0,
+            "a sequential-mode tick is not a diversion"
+        );
     }
 
     #[test]

@@ -163,6 +163,8 @@ struct QueryMetrics {
 #[derive(Debug, Default)]
 struct Inner {
     ticks: AtomicU64,
+    epochs: AtomicU64,
+    epoch_ticks: AtomicU64,
     parallel_ticks: AtomicU64,
     degraded_ticks: AtomicU64,
     recoveries: AtomicU64,
@@ -213,6 +215,8 @@ pub(crate) struct QueryState {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub(crate) struct StatsState {
     pub(crate) ticks: u64,
+    pub(crate) epochs: u64,
+    pub(crate) epoch_ticks: u64,
     pub(crate) parallel_ticks: u64,
     pub(crate) degraded_ticks: u64,
     pub(crate) recoveries: u64,
@@ -294,8 +298,19 @@ impl EngineStats {
             .fetch_add(worlds, Ordering::Relaxed);
     }
 
-    /// Records a tick processed in degraded (forced-sequential) mode
-    /// after a watchdog timeout.
+    /// Records one closed epoch covering `ticks` session ticks under a
+    /// single shard join (see
+    /// [`crate::RealTimeSession::tick_epoch`]). `epoch_ticks / epochs`
+    /// is the realized average epoch length.
+    pub fn record_epoch(&self, ticks: u64) {
+        self.inner.epochs.fetch_add(1, Ordering::Relaxed);
+        self.inner.epoch_ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Records a tick that *wanted* the parallel path but was diverted
+    /// onto the sequential one by degraded mode (after a watchdog
+    /// timeout). Ticks that were configured sequential to begin with
+    /// are not degraded and are not counted here.
     pub fn record_degraded_tick(&self) {
         self.inner.degraded_ticks.fetch_add(1, Ordering::Relaxed);
     }
@@ -396,6 +411,8 @@ impl EngineStats {
             .collect();
         StatsSnapshot {
             ticks: i.ticks.load(Ordering::Relaxed),
+            epochs: i.epochs.load(Ordering::Relaxed),
+            epoch_ticks: i.epoch_ticks.load(Ordering::Relaxed),
             parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
             degraded_ticks: i.degraded_ticks.load(Ordering::Relaxed),
             recoveries: i.recoveries.load(Ordering::Relaxed),
@@ -440,6 +457,8 @@ impl EngineStats {
             .collect();
         StatsState {
             ticks: i.ticks.load(Ordering::Relaxed),
+            epochs: i.epochs.load(Ordering::Relaxed),
+            epoch_ticks: i.epoch_ticks.load(Ordering::Relaxed),
             parallel_ticks: i.parallel_ticks.load(Ordering::Relaxed),
             degraded_ticks: i.degraded_ticks.load(Ordering::Relaxed),
             recoveries: i.recoveries.load(Ordering::Relaxed),
@@ -471,6 +490,8 @@ impl EngineStats {
     pub(crate) fn load_state(&self, state: &StatsState) {
         let i = &self.inner;
         i.ticks.store(state.ticks, Ordering::Relaxed);
+        i.epochs.store(state.epochs, Ordering::Relaxed);
+        i.epoch_ticks.store(state.epoch_ticks, Ordering::Relaxed);
         i.parallel_ticks
             .store(state.parallel_ticks, Ordering::Relaxed);
         i.degraded_ticks
@@ -581,6 +602,11 @@ pub struct QuerySnapshot {
 pub struct StatsSnapshot {
     /// Session ticks processed.
     pub ticks: u64,
+    /// Epochs closed (each a single shard join covering ≥ 1 ticks).
+    pub epochs: u64,
+    /// Session ticks covered by those epochs; `epoch_ticks / epochs` is
+    /// the realized average epoch length.
+    pub epoch_ticks: u64,
     /// Ticks that ran on the sharded parallel path.
     pub parallel_ticks: u64,
     /// Ticks forced onto the sequential path by degraded mode (after a
@@ -636,11 +662,14 @@ impl StatsSnapshot {
         let mut out = String::with_capacity(1024);
         write!(
             out,
-            "{{\"ticks\":{},\"parallel_ticks\":{},\"degraded_ticks\":{},\
+            "{{\"ticks\":{},\"epochs\":{},\"epoch_ticks\":{},\
+             \"parallel_ticks\":{},\"degraded_ticks\":{},\
              \"recoveries\":{},\"checkpoints_taken\":{},\"chains_stepped\":{},\
              \"bindings_grounded\":{},\"alerts_emitted\":{},\"marginals_staged\":{},\
              \"sampler\":{{\"compilations\":{},\"worlds\":{}}},",
             self.ticks,
+            self.epochs,
+            self.epoch_ticks,
             self.parallel_ticks,
             self.degraded_ticks,
             self.recoveries,
@@ -908,6 +937,7 @@ mod tests {
         assert_eq!(lat.get("mean").unwrap().as_f64(), Some(0.0));
 
         stats.record_tick(Duration::from_micros(7), 3, true);
+        stats.record_epoch(2);
         stats.record_degraded_tick();
         stats.record_recovery();
         stats.record_checkpoint();
@@ -916,6 +946,8 @@ mod tests {
         stats.register_query(3, "q", 2);
         stats.record_query_tick(3, Some(1234), 0.1 + 0.2);
         let doc = crate::json::parse(&stats.snapshot().to_json()).unwrap();
+        assert_eq!(doc.get("epochs").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("epoch_ticks").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("degraded_ticks").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("recoveries").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("checkpoints_taken").unwrap().as_u64(), Some(1));
@@ -982,6 +1014,8 @@ mod tests {
         for us in [3u64, 17, 290, 5_000] {
             stats.record_tick(Duration::from_micros(us), 4, us % 2 == 0);
         }
+        stats.record_epoch(3);
+        stats.record_epoch(1);
         stats.record_degraded_tick();
         stats.record_recovery();
         stats.record_checkpoint();

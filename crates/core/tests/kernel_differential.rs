@@ -134,6 +134,26 @@ fn run_tick(
     session.tick().unwrap()
 }
 
+/// The same rows as a staged multi-tick batch for
+/// [`RealTimeSession::tick_epoch`] (element `i` = tick `t+i`).
+fn epoch_batch(
+    session: &RealTimeSession,
+    interner: &lahar_model::Interner,
+    rows: &[Vec<(f64, f64, f64)>],
+) -> Vec<Vec<(lahar_model::StreamId, Marginal)>> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(p, &w)| {
+                    let id = session.database().stream_id_at(p).unwrap();
+                    (id, tick_marginal(interner, p, w))
+                })
+                .collect()
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -167,6 +187,61 @@ proptest! {
             prop_assert_eq!(&kb, &bits(&ia));
             prop_assert_eq!(&kb, &bits(&ra));
         }
+    }
+
+    /// Epoch batching: handing the parallel path `split` staged ticks per
+    /// [`RealTimeSession::tick_epoch`] call (one worker join per epoch)
+    /// must stay bit-identical to per-tick sequential ticks — including
+    /// for a twin restored from a mid-stream checkpoint that continues
+    /// in batched mode, and for batches longer than `max_epoch_ticks`
+    /// (which the session splits into several epochs internally).
+    #[test]
+    fn epoch_batched_parallel_matches_per_tick_sequential(s in scenario()) {
+        let epoch = s.split; // 1..ticks.len(): doubles as the batch size
+        let db = schema_db(s.n_people);
+        let config = SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .max_epoch_ticks(epoch)
+            .build()
+            .unwrap();
+        let mut batched = RealTimeSession::with_config(db, config).unwrap();
+        for (i, &q) in s.queries.iter().enumerate() {
+            batched.register(&format!("q{i}"), QUERIES[q]).unwrap();
+        }
+        let mut seq = build_session(&s, TickMode::Sequential, false);
+        let interner = seq.database().interner().clone();
+
+        let head = &s.ticks[..s.split];
+        let batch = epoch_batch(&batched, &interner, head);
+        let ba = batched.tick_epoch(batch).unwrap();
+        let mut sa = Vec::new();
+        for row in head {
+            sa.extend(run_tick(&mut seq, &interner, row));
+        }
+        prop_assert_eq!(bits(&ba), bits(&sa));
+
+        // Mid-stream checkpoint between epochs; the restored twin keeps
+        // the batched parallel config and must track bit-for-bit.
+        let ckpt = batched.checkpoint().unwrap();
+        let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        let mut restored = RealTimeSession::restore(schema_db(s.n_people), &parsed).unwrap();
+        prop_assert_eq!(restored.now(), batched.now());
+
+        // The tail goes down in ONE tick_epoch call per session; when it
+        // is longer than `max_epoch_ticks` the session closes several
+        // epochs under the hood.
+        let tail = &s.ticks[s.split..];
+        let batch = epoch_batch(&batched, &interner, tail);
+        let ba = batched.tick_epoch(batch).unwrap();
+        let batch = epoch_batch(&restored, &interner, tail);
+        let ra = restored.tick_epoch(batch).unwrap();
+        let mut sa = Vec::new();
+        for row in tail {
+            sa.extend(run_tick(&mut seq, &interner, row));
+        }
+        let bb = bits(&ba);
+        prop_assert_eq!(&bb, &bits(&sa));
+        prop_assert_eq!(&bb, &bits(&ra));
     }
 }
 

@@ -23,6 +23,13 @@ echo "==> cargo test --features failpoints (chaos suite)"
 cargo test -q --offline -p lahar-core --features failpoints
 cargo test -q --offline -p lahar --features failpoints
 
+echo "==> shard-shrink restore regression (release profile)"
+# Restoring a checkpoint taken with more shards than the new session's
+# worker count must keep every chain; run in release too, where the
+# old truncate-based resize used to pass debug asserts but drop state.
+cargo test -q --release --offline -p lahar-core --lib \
+    shard_shrink_on_restore_keeps_every_chain
+
 echo "==> observability smoke (live /metrics scrape + chrome trace)"
 trace_out="$(mktemp -t lahar-smoke-XXXXXX.trace.json)"
 dash_out="$(cargo run -q --release --offline --example streaming_dashboard -- \
@@ -95,7 +102,8 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> bench smoke (quick mode, writes BENCH_streaming.json)"
     LAHAR_BENCH_QUICK=1 cargo bench --offline -p lahar-bench \
         --bench streaming_throughput >/dev/null
-    for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"'; do
+    for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"' \
+        '"streaming_worker_matrix"' '"par_ticks_per_sec_w4"'; do
         if ! grep -qF "$key" BENCH_streaming.json; then
             echo "bench smoke failed: $key missing from BENCH_streaming.json" >&2
             exit 1

@@ -60,11 +60,11 @@ fn print_usage() {
          lahar classify --manifest DIR 'QUERY'\n  \
          lahar query    --manifest DIR 'QUERY'\n  \
          lahar replay   --manifest DIR 'QUERY' [--metrics-addr IP:PORT] [--metrics-out FILE]\n  \
-         \x20               [--trace-out FILE] [--threshold P]\n  \
+         \x20               [--trace-out FILE] [--threshold P] [--epoch N]\n  \
          lahar serve    --manifest DIR --addr IP:PORT [--metrics-addr IP:PORT] [--shards N]\n  \
          \x20               [--queue-cap N] [--max-sessions N] [--checkpoint-dir DIR]\n  \
          lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
-         \x20               [--scrape URL] [--shutdown]\n  \
+         \x20               [--epoch N] [--scrape URL] [--shutdown]\n  \
          lahar demo\n\n\
          QUERY SYNTAX (see README):\n  \
          At('joe','a') ; (At('joe', l))+{{| Hallway(l)}} ; At('joe','c')\n  \
@@ -361,6 +361,10 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     if flags.contains_key("trace-out") {
         builder = builder.trace(true);
     }
+    // `--epoch N` feeds the session N ticks per call; the session joins
+    // its worker pool once per epoch instead of once per tick.
+    let epoch = get_usize(&flags, "epoch", 1)?.max(1);
+    builder = builder.max_epoch_ticks(epoch);
     let config = builder.build().map_err(|e| e.to_string())?;
 
     let full = load_database_impl(&dir, true)?;
@@ -373,17 +377,23 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     session.register("replay", src).map_err(|e| e.to_string())?;
 
     println!("t,probability");
-    for t in 0..full.horizon() {
-        for si in 0..full.streams().len() {
-            let id = session
-                .database()
-                .stream_id_at(si)
-                .ok_or_else(|| format!("stream {si} missing from session database"))?;
-            session
-                .stage(id, full.streams()[si].marginal_at(t))
-                .map_err(|e| e.to_string())?;
+    let mut t = 0;
+    while t < full.horizon() {
+        let batch_end = (t + epoch as u32).min(full.horizon());
+        let mut batch = Vec::with_capacity((batch_end - t) as usize);
+        for bt in t..batch_end {
+            let mut staged = Vec::with_capacity(full.streams().len());
+            for si in 0..full.streams().len() {
+                let id = session
+                    .database()
+                    .stream_id_at(si)
+                    .ok_or_else(|| format!("stream {si} missing from session database"))?;
+                staged.push((id, full.streams()[si].marginal_at(bt)));
+            }
+            batch.push(staged);
         }
-        for alert in session.tick().map_err(|e| e.to_string())? {
+        t = batch_end;
+        for alert in session.tick_epoch(batch).map_err(|e| e.to_string())? {
             println!("{},{:.6}", alert.t, alert.probability);
             if alert.probability >= threshold {
                 eprintln!(
@@ -513,19 +523,40 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         Err(e) => return Err(e.to_string()),
     }
 
+    // `--epoch N` ships N ticks per frame; the server closes them as
+    // batched epochs (one worker-pool join per epoch).
+    let epoch = get_usize(&flags, "epoch", 1)?.max(1) as u32;
     // Resume where the session already is (t0 > 0 after a restore), so
     // re-running the same ingest never double-stages a tick.
-    for t in t0..ticks {
-        let frame = wire_tick(&db, t)?;
-        loop {
-            match client.stage_tick(&frame) {
-                Ok(_) => break,
-                Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+    let mut t = t0;
+    while t < ticks {
+        let batch_end = (t + epoch).min(ticks);
+        if epoch == 1 {
+            let frame = wire_tick(&db, t)?;
+            loop {
+                match client.stage_tick(&frame) {
+                    Ok(_) => break,
+                    Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e.to_string()),
                 }
-                Err(e) => return Err(e.to_string()),
+            }
+        } else {
+            let frames = (t..batch_end)
+                .map(|bt| wire_tick(&db, bt))
+                .collect::<Result<Vec<_>, String>>()?;
+            loop {
+                match client.stage_epoch(&frames) {
+                    Ok(_) => break,
+                    Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
             }
         }
+        t = batch_end;
     }
 
     let series = client.series(query_name).map_err(|e| e.to_string())?;

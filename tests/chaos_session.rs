@@ -337,6 +337,61 @@ fn tick_timeout_degrades_to_sequential_then_recovers() {
     );
 }
 
+/// A worker panic in the middle of a multi-tick epoch: recover()
+/// re-completes the whole in-flight epoch in one call, and its alerts —
+/// plus everything before and after — stay bit-identical to the
+/// per-tick sequential reference.
+#[test]
+fn mid_epoch_worker_panic_recovers_whole_epoch_bit_identically() {
+    let _guard = ChaosGuard::acquire();
+    let mut session = parallel_session(|c| c.max_epoch_ticks = 4);
+    let (_, joe, sue) = schema_db();
+    let ticks = script(&joe, &sue);
+    let reference = reference_alerts(&ticks);
+    let to_batch = |session: &RealTimeSession,
+                    slice: &[Vec<(usize, Marginal)>]|
+     -> Vec<Vec<(lahar::StreamId, Marginal)>> {
+        slice
+            .iter()
+            .map(|staged| {
+                staged
+                    .iter()
+                    .map(|(idx, m)| (sid(session, *idx), m.clone()))
+                    .collect()
+            })
+            .collect()
+    };
+
+    // The first epoch (ticks 0–3) closes clean under a single join.
+    let batch = to_batch(&session, &ticks[..4]);
+    let alerts = session.tick_epoch(batch).unwrap();
+    let flat: Vec<_> = reference[..4].iter().flatten().cloned().collect();
+    assert_tick_matches(&alerts, &flat);
+    assert_eq!(session.stats().snapshot().epochs, 1);
+
+    // Panic partway into the second epoch: with 3 shard jobs each
+    // stepping 4 ticks, hit 4 lands after some of the epoch's ticks
+    // have already been stepped somewhere — a genuine mid-epoch fault.
+    failpoint::configure("worker_step", FailAction::Panic, Schedule::Once { at: 4 });
+    let batch = to_batch(&session, &ticks[4..]);
+    let err = session.tick_epoch(batch).unwrap_err();
+    assert!(
+        matches!(err, EngineError::WorkerPanicked { .. }),
+        "expected a worker panic, got {err:?}"
+    );
+    assert!(err.is_recoverable());
+    assert!(session.is_poisoned());
+    failpoint::clear_all();
+
+    // recover() targets the whole interrupted epoch, not just one tick.
+    let alerts = session.recover().unwrap();
+    let flat: Vec<_> = reference[4..].iter().flatten().cloned().collect();
+    assert_tick_matches(&alerts, &flat);
+    assert!(!session.is_poisoned());
+    assert_eq!(session.now(), ticks.len() as u32);
+    assert_eq!(session.stats().snapshot().recoveries, 1);
+}
+
 /// The poisoned-session regression surface: between fault and recovery,
 /// every mutating entry point refuses cleanly instead of corrupting or
 /// succeeding silently.

@@ -513,3 +513,88 @@ fn concurrent_clients_survive_injected_faults() {
     let mut c = LaharClient::connect(addr, "chaos-shared").unwrap();
     assert_eq!(c.open().unwrap(), (2 * SHARED_TICKS_EACH, false));
 }
+
+/// The `stage_ticks` wire command closes a whole epoch per frame and is
+/// bit-identical to per-tick `stage` frames — including when the batch
+/// spans several server-side epochs.
+#[test]
+fn staged_epochs_over_the_wire_match_per_tick_frames() {
+    let mut config = local_config();
+    config.session_config = lahar::SessionConfig::builder()
+        .tick_mode(lahar::TickMode::Parallel)
+        .n_workers(2)
+        .max_epoch_ticks(3)
+        .build()
+        .unwrap();
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let mut client = LaharClient::connect(server.addr(), "epoch").unwrap();
+    client.open().unwrap();
+    client.register("q", SRC).unwrap();
+
+    // All 8 recorded ticks in one frame: the server closes them as
+    // epochs of ≤ 3 ticks, answering one alert per query per tick.
+    let frames = wire_frames(&recorded_db());
+    let alerts = client.stage_epoch(&frames).unwrap();
+    assert_eq!(alerts.len(), TICKS as usize);
+    let streamed: Vec<u64> = alerts.iter().map(|a| a.probability.to_bits()).collect();
+    assert_eq!(streamed, offline_bits());
+    assert_eq!(bits(&client.series("q").unwrap()), offline_bits());
+    client.shutdown_server().unwrap();
+    server.join().unwrap();
+}
+
+/// Every `lahar serve` process runs ONE stepping pool: the number of
+/// `lahar-pool-*` threads is set by the machine, not by how many hosted
+/// sessions tick in parallel mode. (Before the shared pool, each session
+/// spawned its own per-core pool — n_sessions × n_cores threads.)
+#[cfg(target_os = "linux")]
+#[test]
+fn hosted_sessions_share_one_worker_pool() {
+    fn pool_threads() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .unwrap()
+            .filter_map(|entry| {
+                let comm = entry.ok()?.path().join("comm");
+                std::fs::read_to_string(comm).ok()
+            })
+            .filter(|name| name.trim_end().starts_with("lahar-pool"))
+            .count()
+    }
+
+    let mut config = local_config();
+    config.session_config = lahar::SessionConfig::builder()
+        .tick_mode(lahar::TickMode::Parallel)
+        .n_workers(2)
+        .build()
+        .unwrap();
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let frames = wire_frames(&recorded_db());
+    let mut counts = Vec::new();
+    for s in 0..4 {
+        let mut client = LaharClient::connect(server.addr(), &format!("pool-{s}")).unwrap();
+        client.open().unwrap();
+        client.register("q", SRC).unwrap();
+        // Parallel epochs force this session onto the stepping pool.
+        client.stage_epoch(&frames).unwrap();
+        assert_eq!(bits(&client.series("q").unwrap()), offline_bits());
+        counts.push(pool_threads());
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert!(counts[0] >= 1, "the pool spawned");
+    assert!(
+        counts.iter().all(|&c| c == cores),
+        "pool threads must stay at {cores} (one per core) regardless of \
+         session count, got {counts:?}"
+    );
+    client_free_shutdown(server);
+}
+
+/// Drives a clean shutdown without keeping a client alive (helper for
+/// tests that only inspect process state).
+fn client_free_shutdown(server: LaharServer) {
+    let mut c = LaharClient::connect(server.addr(), "shutdown-helper").unwrap();
+    c.shutdown_server().unwrap();
+    server.join().unwrap();
+}

@@ -299,3 +299,133 @@ fn late_registration_catches_up_after_staged_history() {
     let batch = Lahar::prob_series(late.database(), src).unwrap();
     assert_eq!(batch.len(), 6);
 }
+
+/// Epoch-batched parallel ticks — several per
+/// [`RealTimeSession::tick_epoch`] call, with the auto-checkpoint
+/// cadence splitting epochs mid-batch — must stay byte-identical to
+/// per-tick sequential ticks, and a twin restored from the checkpoint
+/// taken *inside* the batch must rejoin the stream bit-for-bit.
+#[test]
+fn epoch_batches_stay_bit_identical_across_mid_batch_checkpoint() {
+    const PEOPLE: [&str; 4] = ["p0", "p1", "p2", "p3"];
+    const DOMAIN: [&str; 3] = ["a", "h", "c"];
+    const TICKS: usize = 9;
+    let build = || {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        db.declare_relation("Hallway", 1).unwrap();
+        let i = db.interner().clone();
+        db.insert_relation_tuple("Hallway", lahar::model::tuple([i.intern("h")]))
+            .unwrap();
+        let mut builders = Vec::new();
+        for p in PEOPLE {
+            let b = StreamBuilder::new(&i, "At", &[p], &DOMAIN);
+            db.add_stream(b.clone().independent(vec![]).unwrap())
+                .unwrap();
+            builders.push(b);
+        }
+        (db, builders)
+    };
+    let bits = |alerts: &[lahar::Alert]| -> Vec<(String, u32, u64)> {
+        alerts
+            .iter()
+            .map(|a| (a.name.to_string(), a.t, a.probability.to_bits()))
+            .collect()
+    };
+    let to_batch = |session: &RealTimeSession,
+                    rows: &[Vec<(usize, Marginal)>]|
+     -> Vec<Vec<(lahar::StreamId, Marginal)>> {
+        rows.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|(idx, m)| (session.database().stream_id_at(*idx).unwrap(), m.clone()))
+                    .collect()
+            })
+            .collect()
+    };
+
+    let mut rng = SmallRng::seed_from_u64(0xEB0C4);
+    let (db_seq, builders) = build();
+    let (db_par, _) = build();
+    let mut seq = RealTimeSession::with_config(
+        db_seq,
+        SessionConfig::builder()
+            .tick_mode(TickMode::Sequential)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // Epochs of up to 5 ticks, but the interval-3 auto-checkpoint cadence
+    // forces splits at t = 3 and t = 6.
+    let mut par = RealTimeSession::with_config(
+        db_par,
+        SessionConfig::builder()
+            .tick_mode(TickMode::Parallel)
+            .n_workers(3)
+            .max_epoch_ticks(5)
+            .checkpoint_interval(3)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for s in [&mut seq, &mut par] {
+        s.register("reg", "At('p0','a') ; At('p0','c')").unwrap();
+        s.register("ext", "At(p,'a') ; At(p,'c')").unwrap();
+        s.register(
+            "hall",
+            "At(p,'a') ; (At(p, l))+{p | Hallway(l)} ; At(p,'c')",
+        )
+        .unwrap();
+    }
+    let mut script: Vec<Vec<(usize, Marginal)>> = Vec::new();
+    for _ in 0..TICKS {
+        let mut row = Vec::new();
+        for (idx, b) in builders.iter().enumerate() {
+            if rng.gen::<f64>() < 0.8 {
+                row.push((idx, random_marginal(b, &DOMAIN, &mut rng)));
+            }
+        }
+        script.push(row);
+    }
+
+    // Per-tick sequential reference.
+    let mut reference = Vec::new();
+    for row in &script {
+        for (idx, m) in row {
+            let id = seq.database().stream_id_at(*idx).unwrap();
+            seq.stage(id, m.clone()).unwrap();
+        }
+        reference.push(seq.tick().unwrap());
+    }
+
+    // One staged batch of 7 ticks: internally three epochs (3 + 3 + 1),
+    // with auto-checkpoints landing mid-batch at t = 3 and t = 6.
+    let batch = to_batch(&par, &script[..7]);
+    let alerts = par.tick_epoch(batch).unwrap();
+    let flat: Vec<_> = reference[..7].iter().flatten().cloned().collect();
+    assert_eq!(bits(&alerts), bits(&flat));
+    let snap = par.stats().snapshot();
+    assert_eq!(snap.checkpoints_taken, 2);
+    assert_eq!(snap.epochs, 3);
+    assert_eq!(snap.epoch_ticks, 7);
+    let ckpt = par.last_checkpoint().cloned().unwrap();
+    assert_eq!(ckpt.t(), 6, "auto-checkpoint lands inside the batch");
+
+    // A twin restored from the mid-batch checkpoint finishes the stream
+    // in one batched call and stays bit-identical.
+    let (db_twin, _) = build();
+    let mut twin = RealTimeSession::restore(db_twin, &ckpt).unwrap();
+    assert_eq!(twin.now(), 6);
+    let batch = to_batch(&twin, &script[6..]);
+    let twin_alerts = twin.tick_epoch(batch).unwrap();
+    let flat: Vec<_> = reference[6..].iter().flatten().cloned().collect();
+    assert_eq!(bits(&twin_alerts), bits(&flat));
+
+    // The original finishes its remaining two ticks batched as well.
+    let batch = to_batch(&par, &script[7..]);
+    let tail = par.tick_epoch(batch).unwrap();
+    let flat: Vec<_> = reference[7..].iter().flatten().cloned().collect();
+    assert_eq!(bits(&tail), bits(&flat));
+    assert_eq!(par.now(), TICKS as u32);
+    assert_eq!(twin.now(), TICKS as u32);
+}
