@@ -11,7 +11,10 @@
 
 use lahar_bench::report::{self, num, text};
 use lahar_bench::{header, quick_mode, row, timed};
-use lahar_core::{RealTimeSession, SessionConfig, TickMode};
+use lahar_core::protocol::WireMarginal;
+use lahar_core::{
+    Durability, LaharClient, LaharServer, RealTimeSession, ServerConfig, SessionConfig, TickMode,
+};
 use lahar_model::{Database, Marginal, StreamBuilder};
 
 const DOMAIN: [&str; 3] = ["a", "h", "c"];
@@ -58,6 +61,79 @@ fn build_session_with(
         .unwrap();
     assert_eq!(session.n_chains(), n_people * QUERIES_PER_KEY);
     (session, ticks)
+}
+
+/// The schema/stream template [`LaharServer`] serves from: the same
+/// keyed `At` streams as [`build_session`], without a session on top.
+fn build_template(n_people: usize) -> Database {
+    let mut db = Database::new();
+    db.declare_stream("At", &["person"], &["loc"]).unwrap();
+    db.declare_relation("Hallway", 1).unwrap();
+    let i = db.interner().clone();
+    db.insert_relation_tuple("Hallway", lahar_model::tuple([i.intern("h")]))
+        .unwrap();
+    for p in 0..n_people {
+        let b = StreamBuilder::new(&i, "At", &[&format!("p{p}")], &DOMAIN);
+        db.add_stream(b.independent(vec![]).unwrap()).unwrap();
+    }
+    db
+}
+
+/// Ticks/s over the real serve path (in-process server + loopback TCP,
+/// one `stage`+`tick` round trip per tick) at each WAL fsync policy.
+fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)> {
+    let frames: Vec<Vec<WireMarginal>> = (0..3)
+        .map(|t| {
+            (0..n_people)
+                .map(|p| {
+                    let phase = (p + t) % 3;
+                    let mut probs = vec![0.0; DOMAIN.len() + 1];
+                    probs[phase] = 0.7;
+                    probs[(phase + 1) % 3] = 0.2;
+                    let bot = 1.0 - probs.iter().sum::<f64>();
+                    *probs.last_mut().unwrap() = bot;
+                    WireMarginal {
+                        stream_type: "At".to_owned(),
+                        key: vec![format!("p{p}")],
+                        probs,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (name, level) in [
+        ("none", Durability::None),
+        ("batch", Durability::Batch),
+        ("always", Durability::Always),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "lahar-bench-durability-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = ServerConfig::default();
+        config.checkpoint_dir = Some(dir.clone());
+        config.session_config = SessionConfig::builder().durability(level).build().unwrap();
+        let server = LaharServer::start(config, build_template(n_people)).unwrap();
+        let mut client = LaharClient::connect(server.addr(), "bench").unwrap();
+        client.open().unwrap();
+        client.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();
+        for frame in &frames {
+            client.stage_tick(frame).unwrap(); // warm-up, untimed
+        }
+        let (_, secs) = timed(|| {
+            for t in 0..n_ticks {
+                std::hint::black_box(client.stage_tick(&frames[t % frames.len()]).unwrap());
+            }
+        });
+        client.shutdown_server().unwrap();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        out.push((name, n_ticks as f64 / secs));
+    }
+    out
 }
 
 fn run_ticks(session: &mut RealTimeSession, ticks: &[Vec<Marginal>], n_ticks: usize) {
@@ -312,6 +388,38 @@ fn main() {
             (on_secs / off_secs - 1.0) * 100.0,
         ],
     );
+
+    // WAL overhead on the serve path: `none` prices the TCP round trip
+    // itself, `batch` adds one write(2) per acknowledged tick, `always`
+    // adds an fsync per tick. Recorded to BENCH_streaming.json so WAL
+    // regressions show up in the perf trajectory.
+    let dur_people = 40;
+    let dur_ticks = if quick_mode() { 60 } else { 200 };
+    println!();
+    header(
+        "Durability overhead (serve path, per-tick acks)",
+        &["level", "ticks/s", "overhead %"],
+    );
+    let dur_results = durability_bench(dur_people, dur_ticks);
+    let dur_base = dur_results[0].1;
+    let mut dur_fields = vec![
+        ("mode", text(if quick_mode() { "quick" } else { "full" })),
+        ("keyed_streams", num(dur_people as f64)),
+        ("ticks", num(dur_ticks as f64)),
+    ];
+    for (level, tps) in &dur_results {
+        row(level, &[*tps, (dur_base / tps - 1.0) * 100.0]);
+        let (tps_key, overhead_key) = match *level {
+            "none" => ("ticks_per_sec_none", None),
+            "batch" => ("ticks_per_sec_batch", Some("overhead_batch_pct")),
+            _ => ("ticks_per_sec_always", Some("overhead_always_pct")),
+        };
+        dur_fields.push((tps_key, num(*tps)));
+        if let Some(key) = overhead_key {
+            dur_fields.push((key, num((dur_base / tps - 1.0) * 100.0)));
+        }
+    }
+    report::write_section("durability_overhead", dur_fields);
 
     // The telemetry snapshot itself, as the deployment-facing JSON.
     let (mut par, ticks) = build_session(people_counts[0], TickMode::Parallel);

@@ -33,11 +33,19 @@ use std::time::Duration;
 /// (`kernel_*_steps`, `sym_cache_*`) and shared-automaton gauges;
 /// 4 — config gained `serve_addr`; 5 — config gained
 /// `max_epoch_ticks`, stats gained the epoch counters
-/// (`epochs`/`epoch_ticks`) (this build).
-pub const CHECKPOINT_VERSION: u32 = 5;
+/// (`epochs`/`epoch_ticks`); 6 — config gained `durability`, and
+/// persisted checkpoints are wrapped in the CRC-carrying envelope
+/// ([`Checkpoint::to_envelope`]) (this build).
+pub const CHECKPOINT_VERSION: u32 = 6;
 
 /// Document-type marker embedded in every checkpoint.
 const FORMAT: &str = "lahar-checkpoint";
+
+/// Document-type marker on the first line of an enveloped checkpoint.
+const ENVELOPE_FORMAT: &str = "lahar-checkpoint-envelope";
+
+/// Envelope framing version (independent of [`CHECKPOINT_VERSION`]).
+const ENVELOPE_VERSION: u32 = 1;
 
 /// One registered query as captured in a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,6 +257,200 @@ impl Checkpoint {
             stats,
         })
     }
+
+    /// Serializes the checkpoint inside the CRC-carrying envelope that
+    /// persisted (on-disk) checkpoints use. Line 1 is a small header
+    /// recording the IEEE CRC-32 and exact byte length of the payload;
+    /// line 2 is the [`Checkpoint::to_json`] document. A torn or
+    /// bit-flipped file therefore fails [`Checkpoint::from_envelope`]
+    /// loudly instead of restoring garbage.
+    pub fn to_envelope(&self) -> String {
+        let payload = self.to_json();
+        let mut out = String::with_capacity(payload.len() + 96);
+        out.push_str("{\"format\":");
+        json::push_string(&mut out, ENVELOPE_FORMAT);
+        out.push_str(&format!(
+            ",\"v\":{ENVELOPE_VERSION},\"crc32\":{},\"len\":{}}}\n",
+            crate::wal::crc32(payload.as_bytes()),
+            payload.len()
+        ));
+        out.push_str(&payload);
+        out
+    }
+
+    /// Parses an enveloped checkpoint, verifying length and checksum
+    /// before touching the payload. Every failure mode — missing or
+    /// malformed header, truncated payload, checksum mismatch —
+    /// reports [`EngineError::CheckpointCorrupt`] with the reason.
+    pub fn from_envelope(text: &str) -> Result<Self, EngineError> {
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt("checkpoint envelope has no header line"))?;
+        let header =
+            json::parse(header).map_err(|e| corrupt(&format!("checkpoint envelope: {e}")))?;
+        if header.get("format").and_then(JsonValue::as_str) != Some(ENVELOPE_FORMAT) {
+            return Err(corrupt("not a lahar-checkpoint-envelope document"));
+        }
+        let v = get_u64(&header, "v")? as u32;
+        if v != ENVELOPE_VERSION {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "unsupported envelope version {v} (this build reads version {ENVELOPE_VERSION})"
+            )));
+        }
+        let len = get_u64(&header, "len")? as usize;
+        let crc = get_u64(&header, "crc32")? as u32;
+        if payload.len() != len {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "checkpoint payload is {} bytes, envelope promises {len} (torn write?)",
+                payload.len()
+            )));
+        }
+        let actual = crate::wal::crc32(payload.as_bytes());
+        if actual != crc {
+            return Err(EngineError::CheckpointCorrupt(format!(
+                "checkpoint checksum mismatch: envelope {crc:08x}, payload {actual:08x}"
+            )));
+        }
+        Self::from_json(payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generation-numbered checkpoint files.
+//
+// Persisted checkpoints are written as `{stem}.g{gen:08}.ckpt.json`,
+// atomically (tmp + fsync + rename) and enveloped, so a crash at any
+// byte of the write leaves either the complete new generation or no
+// trace of it. Restore scans generations newest-first and falls back
+// past torn/corrupt files, quarantining them as `.corrupt` so the
+// evidence survives but never blocks a later scan.
+
+/// The on-disk path of checkpoint generation `gen` for `stem`.
+pub fn generation_path(dir: &std::path::Path, stem: &str, gen: u64) -> std::path::PathBuf {
+    dir.join(format!("{stem}.g{gen:08}.ckpt.json"))
+}
+
+/// All persisted generations for `stem` in `dir`, ascending.
+pub fn list_generations(dir: &std::path::Path, stem: &str) -> Vec<(u64, std::path::PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    let prefix = format!("{stem}.g");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix(&prefix) {
+            if let Some(digits) = rest.strip_suffix(".ckpt.json") {
+                if let Ok(gen) = digits.parse::<u64>() {
+                    found.push((gen, entry.path()));
+                }
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Atomically persists `ckpt` as generation `gen`: the envelope is
+/// written to a `.tmp` sibling, fsynced, and renamed into place (with a
+/// best-effort directory fsync), so no crash point can leave a torn
+/// file under the final name. Returns the final path.
+pub fn write_generation(
+    dir: &std::path::Path,
+    stem: &str,
+    gen: u64,
+    ckpt: &Checkpoint,
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let path = generation_path(dir, stem, gen);
+    let bytes = ckpt.to_envelope();
+    // Torn-write fault injection: scribble a partial envelope straight
+    // onto the final name and die, simulating the disk corruption the
+    // atomic protocol is designed to survive — restore must quarantine
+    // this generation and fall back.
+    if crate::failpoint::check("checkpoint_write").is_err() {
+        let _ = std::fs::write(&path, &bytes.as_bytes()[..bytes.len() / 2]);
+        std::process::abort();
+    }
+    let tmp = dir.join(format!("{stem}.g{gen:08}.ckpt.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// A checkpoint recovered by [`load_newest`].
+#[derive(Debug)]
+pub struct LoadedGeneration {
+    /// The generation number that verified.
+    pub gen: u64,
+    /// The restored checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Corrupt newer generations quarantined (renamed `*.corrupt`)
+    /// while falling back to this one.
+    pub quarantined: Vec<std::path::PathBuf>,
+}
+
+/// Scans `dir` for `stem`'s checkpoint generations newest-first and
+/// returns the first that verifies. Torn or corrupt generations are
+/// quarantined as `{name}.corrupt` and skipped; `Ok(None)` means no
+/// generation exists (or every one was corrupt — the caller starts
+/// fresh and the WAL replays from `t = 0`).
+pub fn load_newest(
+    dir: &std::path::Path,
+    stem: &str,
+) -> Result<Option<LoadedGeneration>, EngineError> {
+    let mut quarantined = Vec::new();
+    for (gen, path) in list_generations(dir, stem).into_iter().rev() {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| EngineError::CheckpointCorrupt(format!("unreadable checkpoint: {e}")))
+            .and_then(|text| Checkpoint::from_envelope(&text));
+        match parsed {
+            Ok(checkpoint) => {
+                return Ok(Some(LoadedGeneration {
+                    gen,
+                    checkpoint,
+                    quarantined,
+                }))
+            }
+            Err(EngineError::CheckpointCorrupt(why)) => {
+                let mut target = path.clone().into_os_string();
+                target.push(".corrupt");
+                let target = std::path::PathBuf::from(target);
+                if std::fs::rename(&path, &target).is_ok() {
+                    quarantined.push(target);
+                } else {
+                    quarantined.push(path.clone());
+                }
+                eprintln!(
+                    "lahar: quarantined corrupt checkpoint generation {gen} ({}): {why}",
+                    path.display()
+                );
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(None)
+}
+
+/// Removes generations `< keep_from` (and stray `.tmp` leftovers);
+/// returns how many checkpoint files were deleted.
+pub fn gc_generations(dir: &std::path::Path, stem: &str, keep_from: u64) -> usize {
+    let mut removed = 0;
+    for (gen, path) in list_generations(dir, stem) {
+        if gen < keep_from && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 fn push_f64_array(out: &mut String, values: &[f64]) {
@@ -299,6 +501,8 @@ fn push_config(out: &mut String, c: &SessionConfig) {
         None => out.push_str("null"),
         Some(addr) => json::push_string(out, &addr.to_string()),
     }
+    out.push_str(",\"durability\":");
+    json::push_string(out, c.durability.as_str());
     out.push_str(&format!(",\"trace\":{}}}", c.trace));
 }
 
@@ -341,6 +545,10 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
                 .map_err(|_| corrupt("serve_addr is not a socket address"))?,
         ),
     };
+    let durability = get_str(v, "durability")?;
+    let durability = crate::wal::Durability::parse(&durability).ok_or_else(|| {
+        EngineError::CheckpointCorrupt(format!("unknown durability level '{durability}'"))
+    })?;
     Ok(SessionConfig {
         tick_mode,
         n_workers: get_u64(v, "n_workers")? as usize,
@@ -350,6 +558,7 @@ fn parse_config(v: &JsonValue) -> Result<SessionConfig, EngineError> {
         tick_deadline,
         metrics_addr,
         serve_addr,
+        durability,
         trace: get_bool(v, "trace")?,
     })
 }
@@ -567,6 +776,7 @@ mod tests {
                 tick_deadline: Some(Duration::from_millis(250)),
                 metrics_addr: Some("127.0.0.1:9633".parse().unwrap()),
                 serve_addr: Some("127.0.0.1:9634".parse().unwrap()),
+                durability: crate::wal::Durability::Batch,
                 trace: true,
             },
             staged: vec![None, Some(vec![0.1, 0.2, 0.7])],
@@ -678,5 +888,59 @@ mod tests {
         // Truncated document.
         let doc = sample().to_json();
         assert!(Checkpoint::from_json(&doc[..doc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trip_is_exact() {
+        let ckpt = sample();
+        let enveloped = ckpt.to_envelope();
+        assert_eq!(Checkpoint::from_envelope(&enveloped).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn envelope_rejects_torn_and_flipped_documents() {
+        let enveloped = sample().to_envelope();
+        // Truncation at any point fails the length or header check.
+        for cut in [0, 10, enveloped.len() / 2, enveloped.len() - 1] {
+            let err = Checkpoint::from_envelope(&enveloped[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EngineError::CheckpointCorrupt(_)),
+                "cut {cut}"
+            );
+        }
+        // A single flipped payload character fails the checksum.
+        let flipped = enveloped.replacen("\"t\":3", "\"t\":7", 1);
+        assert_ne!(flipped, enveloped);
+        let err = Checkpoint::from_envelope(&flipped).unwrap_err();
+        assert!(matches!(err, EngineError::CheckpointCorrupt(_)));
+        assert!(err.to_string().contains("checksum"));
+        // Empty input.
+        assert!(Checkpoint::from_envelope("").is_err());
+    }
+
+    #[test]
+    fn generation_scan_falls_back_past_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("lahar_ckpt_gen_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = sample();
+        write_generation(&dir, "s", 1, &ckpt).unwrap();
+        write_generation(&dir, "s", 2, &ckpt).unwrap();
+        // Tear the newest generation in place.
+        let newest = generation_path(&dir, "s", 2);
+        let full = std::fs::read_to_string(&newest).unwrap();
+        std::fs::write(&newest, &full[..full.len() / 2]).unwrap();
+        let loaded = load_newest(&dir, "s").unwrap().unwrap();
+        assert_eq!(loaded.gen, 1);
+        assert_eq!(loaded.checkpoint, ckpt);
+        assert_eq!(loaded.quarantined.len(), 1);
+        assert!(loaded.quarantined[0]
+            .to_string_lossy()
+            .ends_with(".corrupt"));
+        assert!(loaded.quarantined[0].exists());
+        // The torn file no longer shadows the scan.
+        assert_eq!(list_generations(&dir, "s").len(), 1);
+        // GC keeps the survivor.
+        assert_eq!(gc_generations(&dir, "s", 1), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

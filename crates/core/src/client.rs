@@ -8,21 +8,113 @@
 //! Error mapping: transport failures become
 //! [`EngineError::ServerUnavailable`], malformed frames become
 //! [`EngineError::Protocol`], and server-side `Error` responses become
-//! [`EngineError::Remote`] — including the `overloaded` backpressure
-//! code, which callers are expected to match on and retry:
+//! [`EngineError::Remote`].
+//!
+//! # Retries
+//!
+//! By default the client reports every failure immediately — including
+//! the `overloaded` backpressure code — so tests and latency-sensitive
+//! callers observe exactly what the server said. Callers that would
+//! rather ride out transient trouble install a [`RetryPolicy`]:
 //!
 //! ```ignore
-//! match client.stage_tick(&marginals) {
-//!     Err(EngineError::Remote { code, .. }) if code == "overloaded" => retry_later(),
-//!     other => other?,
-//! }
+//! let mut client = LaharClient::connect_with_retry(
+//!     addr, "telemetry", RetryPolicy::default(),
+//! )?;
+//! client.stage_tick(&marginals)?; // backs off and resends on overload
 //! ```
+//!
+//! With a policy installed, the typed helpers retry with exponential
+//! backoff and full jitter:
+//!
+//! * `overloaded` responses are always retried — the server applied
+//!   nothing, so a resend is safe for every command;
+//! * transport failures (connect refused, broken connection) are
+//!   retried — with a fresh connection — only for commands that are
+//!   safe to resend when the first attempt *might* have been applied:
+//!   `ping`, `open`, `series`, and `checkpoint`. State-mutating
+//!   commands (`register`, `stage`, `stage_ticks`, `tick`) are never
+//!   resent over a broken connection, because the lost response may
+//!   have been an ack and a resend would double-apply the mutation.
 
 use crate::error::EngineError;
-use crate::protocol::{encode_command, parse_response, Command, Response, WireAlert, WireMarginal};
+use crate::protocol::{
+    encode_command, parse_response, Command, Response, WireAlert, WireMarginal, CODE_OVERLOADED,
+};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Bounded retry with exponential backoff and full jitter, installed on
+/// a [`LaharClient`] via [`LaharClient::with_retry`] or
+/// [`LaharClient::connect_with_retry`]. See the module docs for which
+/// failures are retried.
+///
+/// Attempt `k` (0-based) sleeps a uniformly jittered duration in
+/// `0 ..= min(base_delay · 2ᵏ, max_delay)` — "full jitter", which
+/// decorrelates a fleet of clients hammering a recovering server. The
+/// jitter sequence is a deterministic function of `seed`, so a test can
+/// pin the exact sleep pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff scale: the cap on attempt `k`'s sleep is
+    /// `base_delay · 2ᵏ` (until `max_delay` wins).
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Eight retries, 10 ms base, 1 s cap — rides out a shard queue
+    /// that stays saturated for a couple of seconds, then gives up.
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            seed: 0x1a4a_a55e_ed00_0007,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry `attempt` (0-based), drawing the
+    /// `draw`-th value of the policy's deterministic jitter sequence.
+    fn backoff(&self, attempt: u32, draw: u64) -> Duration {
+        let ceiling = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(
+            splitmix64(self.seed ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % nanos,
+        )
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Whether a command is safe to resend when the previous attempt's fate
+/// is unknown (transport died before the response arrived). Read-only
+/// and create-if-absent commands qualify; mutations do not.
+fn idempotent(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Ping | Command::Open { .. } | Command::Series { .. } | Command::Checkpoint { .. }
+    )
+}
 
 /// A blocking connection to a `lahar serve` endpoint, bound to one
 /// named session (except [`LaharClient::ping`] and
@@ -32,10 +124,30 @@ pub struct LaharClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     session: String,
+    /// Remembered for reconnects when a retry policy is installed.
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    retry: Option<RetryPolicy>,
+    /// Jitter draws consumed so far (indexes the policy's deterministic
+    /// jitter sequence).
+    jitter_draws: u64,
 }
 
 fn transport(op: &str, e: std::io::Error) -> EngineError {
     EngineError::ServerUnavailable(format!("{op}: {e}"))
+}
+
+fn open_streams(
+    addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(TcpStream, BufReader<TcpStream>), EngineError> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| transport(&format!("connect {addr}"), e))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| transport("set_nodelay", e))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| transport("clone", e))?);
+    Ok((stream, reader))
 }
 
 impl LaharClient {
@@ -53,17 +165,53 @@ impl LaharClient {
         session: &str,
         timeout: Duration,
     ) -> Result<Self, EngineError> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)
-            .map_err(|e| transport(&format!("connect {addr}"), e))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| transport("set_nodelay", e))?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| transport("clone", e))?);
+        let (writer, reader) = open_streams(addr, timeout)?;
         Ok(Self {
-            writer: stream,
+            writer,
             reader,
             session: session.to_owned(),
+            addr,
+            connect_timeout: timeout,
+            retry: None,
+            jitter_draws: 0,
         })
+    }
+
+    /// [`LaharClient::connect`] with `policy` installed — and applied to
+    /// the connect itself, so a server that is still binding its port
+    /// (or restarting after a crash) is retried instead of failed.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        session: &str,
+        policy: RetryPolicy,
+    ) -> Result<Self, EngineError> {
+        let mut attempt = 0u32;
+        let mut draws = 0u64;
+        loop {
+            match Self::connect(addr, session) {
+                Ok(client) => return Ok(client.with_retry_state(policy, draws)),
+                Err(e) if attempt < policy.max_retries => {
+                    debug_assert!(matches!(e, EngineError::ServerUnavailable(_)));
+                    std::thread::sleep(policy.backoff(attempt, draws));
+                    attempt += 1;
+                    draws += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Installs a retry policy on an already-connected client. See the
+    /// module docs for which failures it covers.
+    #[must_use]
+    pub fn with_retry(self, policy: RetryPolicy) -> Self {
+        self.with_retry_state(policy, 0)
+    }
+
+    fn with_retry_state(mut self, policy: RetryPolicy, draws: u64) -> Self {
+        self.retry = Some(policy);
+        self.jitter_draws = draws;
+        self
     }
 
     /// The session name this client addresses.
@@ -95,11 +243,42 @@ impl LaharClient {
     }
 
     /// As [`LaharClient::request`], but lifts `Error` responses into
-    /// [`EngineError::Remote`].
+    /// [`EngineError::Remote`] and — when a [`RetryPolicy`] is
+    /// installed — retries per the module-level contract.
     fn call(&mut self, cmd: &Command) -> Result<Response, EngineError> {
-        match self.request(cmd)? {
-            Response::Error { code, message } => Err(EngineError::Remote { code, message }),
-            ok => Ok(ok),
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.request(cmd) {
+                Ok(Response::Error { code, message }) => Err(EngineError::Remote { code, message }),
+                other => other,
+            };
+            let Some(policy) = &self.retry else {
+                return result;
+            };
+            let (retryable, reconnect) = match &result {
+                // The server rejected the command at the queue, applying
+                // nothing — any command is safe to resend.
+                Err(EngineError::Remote { code, .. }) if code == CODE_OVERLOADED => (true, false),
+                // The transport died with the attempt's fate unknown;
+                // only resend commands that tolerate a double apply.
+                Err(EngineError::ServerUnavailable(_)) => (idempotent(cmd), true),
+                _ => (false, false),
+            };
+            if !retryable || attempt >= policy.max_retries {
+                return result;
+            }
+            let delay = policy.backoff(attempt, self.jitter_draws);
+            self.jitter_draws += 1;
+            attempt += 1;
+            std::thread::sleep(delay);
+            if reconnect {
+                // Best effort: when the server is still down the next
+                // request fails and the loop backs off again.
+                if let Ok((writer, reader)) = open_streams(self.addr, self.connect_timeout) {
+                    self.writer = writer;
+                    self.reader = reader;
+                }
+            }
         }
     }
 
@@ -235,5 +414,83 @@ impl LaharClient {
             Response::ShuttingDown => Ok(()),
             other => Err(Self::unexpected(&other)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 42,
+        };
+        for attempt in 0..10 {
+            let ceiling = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(200));
+            for draw in 0..50 {
+                let d = policy.backoff(attempt, draw);
+                assert!(d <= ceiling, "attempt {attempt} draw {draw}: {d:?}");
+                // Same (seed, draw) → same sleep: the pattern is pinned.
+                assert_eq!(d, policy.backoff(attempt, draw));
+            }
+        }
+        // Jitter actually varies across draws.
+        let draws: Vec<Duration> = (0..16).map(|d| policy.backoff(4, d)).collect();
+        assert!(draws.iter().any(|d| *d != draws[0]));
+        // A different seed yields a different pattern.
+        let other = RetryPolicy {
+            seed: 43,
+            ..policy.clone()
+        };
+        assert!((0..16).any(|d| policy.backoff(4, d) != other.backoff(4, d)));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay: Duration::from_secs(1),
+            max_delay: Duration::from_secs(2),
+            ..RetryPolicy::default()
+        };
+        assert!(policy.backoff(u32::MAX, 0) <= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn only_safe_commands_are_resent_over_a_broken_connection() {
+        let session = "s".to_owned();
+        assert!(idempotent(&Command::Ping));
+        assert!(idempotent(&Command::Open {
+            session: session.clone()
+        }));
+        assert!(idempotent(&Command::Series {
+            session: session.clone(),
+            query: "q".to_owned()
+        }));
+        assert!(idempotent(&Command::Checkpoint {
+            session: session.clone()
+        }));
+        assert!(!idempotent(&Command::Register {
+            session: session.clone(),
+            name: "q".to_owned(),
+            query: "At('joe','a')".to_owned()
+        }));
+        assert!(!idempotent(&Command::Stage {
+            session: session.clone(),
+            marginals: Vec::new(),
+            tick: true
+        }));
+        assert!(!idempotent(&Command::StageTicks {
+            session: session.clone(),
+            ticks: Vec::new()
+        }));
+        assert!(!idempotent(&Command::Tick { session }));
+        assert!(!idempotent(&Command::Shutdown));
     }
 }

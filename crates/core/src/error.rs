@@ -72,6 +72,10 @@ pub enum EngineError {
     /// A wire frame violated the serving protocol (malformed JSON,
     /// missing fields, unsupported version).
     Protocol(String),
+    /// The write-ahead log or an atomic checkpoint write failed at the
+    /// I/O layer; the triggering mutation was applied in memory but is
+    /// **not** durable, so the server refuses to acknowledge it.
+    DurabilityIo(String),
     /// The server answered a client request with an error response.
     Remote {
         /// Machine-readable error code from the server.
@@ -143,6 +147,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::Protocol(msg) => {
                 write!(f, "protocol violation: {msg}")
+            }
+            EngineError::DurabilityIo(msg) => {
+                write!(
+                    f,
+                    "durability write failed (mutation not acknowledged): {msg}"
+                )
             }
             EngineError::Remote { code, message } => {
                 write!(f, "server error [{code}]: {message}")

@@ -137,7 +137,7 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
         })
         .collect();
 
-    let counters: [CounterRow; 14] = [
+    let counters: [CounterRow; 18] = [
         ("lahar_ticks_total", "Session ticks processed.", |s| s.ticks),
         (
             "lahar_epochs_total",
@@ -201,6 +201,26 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
             "lahar_fallbacks_total",
             "Exact-path to sampler fallbacks.",
             |s| s.fallbacks,
+        ),
+        (
+            "lahar_wal_appends_total",
+            "Records appended to the write-ahead tick log.",
+            |s| s.wal_appends,
+        ),
+        (
+            "lahar_wal_bytes_total",
+            "Bytes appended to the write-ahead tick log (frames included).",
+            |s| s.wal_bytes,
+        ),
+        (
+            "lahar_wal_replayed_ticks_total",
+            "Ticks re-applied from the write-ahead log during recovery.",
+            |s| s.wal_replayed_ticks,
+        ),
+        (
+            "lahar_checkpoint_quarantined_total",
+            "Corrupt checkpoint generations quarantined during restore.",
+            |s| s.checkpoints_quarantined,
         ),
     ];
     for (name, help, value) in counters {
@@ -312,6 +332,35 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
             "lahar_tick_latency_seconds",
             label,
             &snap.tick_latency,
+        );
+    }
+
+    push_header(
+        &mut out,
+        "lahar_wal_segments",
+        "Live write-ahead log segments on disk (post-GC).",
+        "gauge",
+    );
+    for (label, snap) in &entries {
+        push_sample(
+            &mut out,
+            "lahar_wal_segments",
+            label,
+            &snap.wal_segments.to_string(),
+        );
+    }
+    push_header(
+        &mut out,
+        "lahar_fsync_latency_seconds",
+        "Wall-clock latency of durability fsyncs (WAL and checkpoints).",
+        "histogram",
+    );
+    for (label, snap) in &entries {
+        push_histogram(
+            &mut out,
+            "lahar_fsync_latency_seconds",
+            label,
+            &snap.fsync_latency,
         );
     }
 
@@ -575,6 +624,11 @@ mod tests {
         stats.record_fallback("weird \"reason\"\\with\nescapes");
         stats.register_query(0, "coffee", 24);
         stats.record_query_tick(0, Some(1500), 0.25);
+        stats.record_wal_append(96);
+        stats.record_fsync(Duration::from_micros(120));
+        stats.set_wal_segments(2);
+        stats.record_wal_replayed(5);
+        stats.record_checkpoint_quarantined(1);
         stats
     }
 
@@ -621,6 +675,17 @@ mod tests {
         assert!(text.contains("# TYPE lahar_pool_threads gauge"));
         assert!(text.contains("# TYPE lahar_pool_tasks_total counter"));
         assert!(text.contains("lahar_fallbacks_total 2"));
+        // Durability telemetry: WAL counters, segment gauge, fsync
+        // histogram.
+        assert!(text.contains("# TYPE lahar_wal_appends_total counter"));
+        assert!(text.contains("lahar_wal_appends_total 1"));
+        assert!(text.contains("lahar_wal_bytes_total 96"));
+        assert!(text.contains("# TYPE lahar_wal_segments gauge"));
+        assert!(text.contains("lahar_wal_segments 2"));
+        assert!(text.contains("lahar_wal_replayed_ticks_total 5"));
+        assert!(text.contains("lahar_checkpoint_quarantined_total 1"));
+        assert!(text.contains("# TYPE lahar_fsync_latency_seconds histogram"));
+        assert!(text.contains("lahar_fsync_latency_seconds_count 1"));
         // Kernel telemetry is always present (zero-valued when the
         // session never ticked a compiled chain).
         assert!(text.contains("# TYPE lahar_kernel_steps_total counter"));

@@ -139,6 +139,69 @@ mod enabled {
             .map_or(0, |p| p.triggered)
     }
 
+    /// Arms fail points from the `LAHAR_FAILPOINTS` environment
+    /// variable, so a *subprocess* (the crash harness's spawned
+    /// `lahar serve`) can be configured without any in-process call.
+    /// Returns how many points were armed.
+    ///
+    /// Syntax: `;`-separated `name=action:schedule` entries, where
+    /// `action` is `panic`, `error`, or `delay<millis>` and `schedule`
+    /// is `once@N`, `every@N`, or `seeded@SEED/NUM/DENOM`. Example:
+    ///
+    /// ```text
+    /// LAHAR_FAILPOINTS='wal_append=error:once@5;checkpoint_write=error:once@0'
+    /// ```
+    ///
+    /// Malformed entries are reported on stderr and skipped — a chaos
+    /// harness typo must not silently disable the fault.
+    pub fn configure_from_env() -> usize {
+        let Ok(spec) = std::env::var("LAHAR_FAILPOINTS") else {
+            return 0;
+        };
+        let mut armed = 0;
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            match parse_entry(entry) {
+                Some((name, action, schedule)) => {
+                    configure(name, action, schedule);
+                    armed += 1;
+                }
+                None => eprintln!("lahar: ignoring malformed LAHAR_FAILPOINTS entry '{entry}'"),
+            }
+        }
+        armed
+    }
+
+    fn parse_entry(entry: &str) -> Option<(&str, FailAction, Schedule)> {
+        let (name, rest) = entry.trim().split_once('=')?;
+        let (action, schedule) = rest.split_once(':')?;
+        let action = match action {
+            "panic" => FailAction::Panic,
+            "error" => FailAction::Error,
+            ms => FailAction::Delay(Duration::from_millis(
+                ms.strip_prefix("delay")?.parse().ok()?,
+            )),
+        };
+        let (kind, args) = schedule.split_once('@')?;
+        let schedule = match kind {
+            "once" => Schedule::Once {
+                at: args.parse().ok()?,
+            },
+            "every" => Schedule::EveryNth {
+                n: args.parse().ok()?,
+            },
+            "seeded" => {
+                let mut parts = args.split('/');
+                Schedule::Seeded {
+                    seed: parts.next()?.parse().ok()?,
+                    num: parts.next()?.parse().ok()?,
+                    denom: parts.next()?.parse().ok()?,
+                }
+            }
+            _ => return None,
+        };
+        Some((name, action, schedule))
+    }
+
     /// The check inserted at each instrumented site. Unarmed points (or
     /// schedule misses) return `Ok(())`. A triggered `Panic` action
     /// panics with `"failpoint '<name>' fired"`; `Delay` sleeps and then
@@ -196,6 +259,30 @@ mod enabled {
             assert_eq!(pattern_a, pattern_b);
             assert!(pattern_a.iter().any(|&f| f), "1/4 over 64 hits should fire");
             assert!(!pattern_a.iter().all(|&f| f));
+        }
+
+        #[test]
+        fn env_entries_parse() {
+            let (name, action, schedule) = parse_entry("wal_append=error:once@5").unwrap();
+            assert_eq!(name, "wal_append");
+            assert_eq!(action, FailAction::Error);
+            assert_eq!(schedule, Schedule::Once { at: 5 });
+            let (_, action, schedule) = parse_entry("x=delay250:every@3").unwrap();
+            assert_eq!(action, FailAction::Delay(Duration::from_millis(250)));
+            assert_eq!(schedule, Schedule::EveryNth { n: 3 });
+            let (_, action, schedule) = parse_entry("y=panic:seeded@7/1/4").unwrap();
+            assert_eq!(action, FailAction::Panic);
+            assert_eq!(
+                schedule,
+                Schedule::Seeded {
+                    seed: 7,
+                    num: 1,
+                    denom: 4
+                }
+            );
+            assert!(parse_entry("bad").is_none());
+            assert!(parse_entry("x=explode:once@0").is_none());
+            assert!(parse_entry("x=error:sometimes@1").is_none());
         }
 
         #[test]

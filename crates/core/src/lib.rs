@@ -37,7 +37,7 @@
 #![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
 
 mod chain;
-mod checkpoint;
+pub mod checkpoint;
 mod client;
 mod engine;
 mod error;
@@ -58,10 +58,11 @@ mod session;
 mod stats;
 pub mod trace;
 mod translate;
+pub mod wal;
 
 pub use chain::{ChainEvaluator, DfaCache, DEFAULT_STATE_CAP};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
-pub use client::LaharClient;
+pub use client::{LaharClient, RetryPolicy};
 pub use engine::{Algorithm, CompileOptions, CompiledQuery, Lahar, QuerySource};
 pub use error::EngineError;
 pub use expose::{MetricsRenderer, MetricsServer};
@@ -78,3 +79,4 @@ pub use translate::{
     a_bit, build_regex, candidate_values, enumerate_bindings, m_bit, relevant_streams,
     stream_relevant, substitute_cond, substitute_items, symbol_table, symbols_for_event,
 };
+pub use wal::Durability;

@@ -12,6 +12,14 @@
 //! rejects frames whose version it does not speak. The module is used by
 //! both sides ([`crate::server`] and [`crate::client`]) and by the
 //! round-trip proptests, so the two implementations cannot drift.
+//!
+//! Durability does not change the wire shapes — it changes what a
+//! successful response *promises*. Under
+//! [`crate::wal::Durability::Batch`] or `Always`, a mutating command is
+//! acknowledged only after its record reached the session's write-ahead
+//! log, so an acknowledged tick survives a `kill -9` of the server; a
+//! failed append answers the `"durability"` error code with nothing
+//! applied-and-acked. See `PROTOCOL.md` § Acknowledgement durability.
 
 use crate::error::EngineError;
 use crate::json::{self, JsonValue};

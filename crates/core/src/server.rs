@@ -30,10 +30,21 @@
 //!   and its alerts still extend the query series;
 //! * graceful shutdown writes a final checkpoint per session into
 //!   [`ServerConfig::checkpoint_dir`], and [`Command::Open`] restores
-//!   from that file on restart, so a serve → shutdown → serve cycle
-//!   continues the same series bit-identically.
+//!   from it on restart, so a serve → shutdown → serve cycle continues
+//!   the same series bit-identically;
+//! * durability: with `--durability batch|always`
+//!   ([`crate::SessionConfig::durability`]), every acknowledged
+//!   mutation is appended to a per-session write-ahead log
+//!   ([`crate::wal`]) *before* the ack leaves the server, and
+//!   checkpoints are persisted as atomic checksummed **generations**
+//!   (tmp file + fsync + rename, CRC-carrying envelope). On restart,
+//!   `open` restores the newest generation that verifies — torn or
+//!   corrupt ones are quarantined as `*.corrupt` and the scan falls
+//!   back to the previous generation — and replays the uncovered log
+//!   tail on top, so even `kill -9` mid-write loses no acknowledged
+//!   tick.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{self, Checkpoint};
 use crate::error::EngineError;
 use crate::expose::{to_prometheus_sessions, MetricsServer};
 use crate::protocol::{
@@ -42,12 +53,13 @@ use crate::protocol::{
 };
 use crate::session::{Alert, RealTimeSession, SessionConfig};
 use crate::stats::{EngineStats, StatsSnapshot};
+use crate::wal::{self, Durability, WalMarginal, WalOp, WalWriter};
 use lahar_model::{Database, Marginal, StreamKey, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -167,6 +179,11 @@ impl LaharServer {
                 "metrics_addr collides with the serve addr".to_owned(),
             ));
         }
+        if config.session_config.durability != Durability::None && config.checkpoint_dir.is_none() {
+            return Err(EngineError::InvalidConfig(
+                "durability requires a checkpoint dir (the write-ahead log lives there)".to_owned(),
+            ));
+        }
         for stream in template.streams() {
             if !stream.is_empty() {
                 return Err(EngineError::InvalidConfig(
@@ -175,6 +192,11 @@ impl LaharServer {
                 ));
             }
         }
+        // The crash harness arms torn-write faults in a *spawned*
+        // server through the environment; a plain serve never has the
+        // variable set.
+        #[cfg(feature = "failpoints")]
+        crate::failpoint::configure_from_env();
         let n_shards = if config.n_shards == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -326,6 +348,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // Responses are one small flushed frame each; without TCP_NODELAY
+    // Nagle can hold them for the peer's delayed ACK (~40 ms per round
+    // trip on loopback). The client side sets it too.
+    stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     let mut writer = stream.try_clone()?;
@@ -461,10 +487,12 @@ fn shard_of(session: &str, n_shards: usize) -> usize {
     (fnv1a(session) % n_shards as u64) as usize
 }
 
-/// The checkpoint file for a session: a sanitized name for readability
-/// plus a stable hash for uniqueness (session names come off the wire
-/// and must not traverse paths).
-fn checkpoint_filename(session: &str) -> String {
+/// The filename stem shared by a session's checkpoint generations
+/// (`{stem}.g{gen:08}.ckpt.json`) and WAL segments
+/// (`{stem}.g{gen:08}.wal`): a sanitized name for readability plus a
+/// stable hash for uniqueness (session names come off the wire and must
+/// not traverse paths).
+fn session_stem(session: &str) -> String {
     let safe: String = session
         .chars()
         .take(48)
@@ -476,7 +504,7 @@ fn checkpoint_filename(session: &str) -> String {
             }
         })
         .collect();
-    format!("{safe}-{:016x}.ckpt.json", fnv1a(session))
+    format!("{safe}-{:016x}", fnv1a(session))
 }
 
 // ---------------------------------------------------------------------
@@ -493,9 +521,38 @@ struct Hosted {
     sources: Vec<String>,
     /// Per query index: μ(q@t) for t = 0..now, accumulated from alerts.
     series: Vec<Vec<f64>>,
+    /// Filename stem of this session's checkpoint generations and WAL
+    /// segments (see [`session_stem`]).
+    stem: String,
+    /// Write-ahead appender; `None` when durability is
+    /// [`Durability::None`], no checkpoint dir is configured, or the
+    /// log failed (`wal_broken`).
+    wal: Option<WalWriter>,
+    /// An append failed mid-frame: the segment may end in garbage that
+    /// would orphan anything written after it, so mutations are refused
+    /// until a restart re-establishes a clean log.
+    wal_broken: bool,
+    /// Newest persisted checkpoint generation (0 = none yet).
+    persisted_gen: u64,
+    /// Session time of that generation.
+    persisted_t: u32,
 }
 
 impl Hosted {
+    fn fresh(session: RealTimeSession, stem: String) -> Self {
+        Self {
+            session,
+            by_name: HashMap::new(),
+            sources: Vec::new(),
+            series: Vec::new(),
+            stem,
+            wal: None,
+            wal_broken: false,
+            persisted_gen: 0,
+            persisted_t: 0,
+        }
+    }
+
     fn record_alerts(&mut self, alerts: &[Alert]) {
         for alert in alerts {
             let idx = alert.query.index();
@@ -524,25 +581,99 @@ fn shard_worker(shared: &Arc<Shared>, rx: Receiver<ShardMsg>, depth: &Arc<Atomic
     }
     // Graceful exit: flush a final checkpoint per hosted session.
     for (name, hosted) in &mut sessions {
-        if let Err(e) = write_checkpoint(shared, name, hosted) {
+        if let Err(e) = write_checkpoint(shared, hosted) {
             eprintln!("lahar-serve: final checkpoint for session '{name}' failed: {e}");
         }
     }
 }
 
-/// Takes a checkpoint and persists it when a checkpoint dir is set.
-fn write_checkpoint(
-    shared: &Shared,
-    name: &str,
-    hosted: &mut Hosted,
-) -> Result<Checkpoint, EngineError> {
+/// Takes a checkpoint and persists it as the next generation when a
+/// checkpoint dir is set.
+fn write_checkpoint(shared: &Shared, hosted: &mut Hosted) -> Result<Checkpoint, EngineError> {
     let ckpt = hosted.session.checkpoint()?;
     if let Some(dir) = &shared.config.checkpoint_dir {
-        std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join(checkpoint_filename(name)), ckpt.to_json()))
-            .map_err(|e| EngineError::CheckpointUnsupported(format!("persist: {e}")))?;
+        let Hosted {
+            session,
+            wal,
+            persisted_gen,
+            persisted_t,
+            stem,
+            ..
+        } = hosted;
+        persist_generation(
+            dir,
+            stem,
+            &ckpt,
+            wal,
+            persisted_gen,
+            persisted_t,
+            session.stats(),
+        )?;
     }
     Ok(ckpt)
+}
+
+/// Persists `ckpt` atomically as generation `persisted_gen + 1`
+/// (tmp + fsync + rename), rotates the WAL onto the new generation's
+/// segment, and garbage-collects files no longer needed for recovery.
+/// The *previous* generation is kept as the fallback for a torn newest
+/// one, together with every WAL segment from that fallback onward.
+fn persist_generation(
+    dir: &Path,
+    stem: &str,
+    ckpt: &Checkpoint,
+    wal: &mut Option<WalWriter>,
+    persisted_gen: &mut u64,
+    persisted_t: &mut u32,
+    stats: &EngineStats,
+) -> Result<(), EngineError> {
+    let gen = *persisted_gen + 1;
+    checkpoint::write_generation(dir, stem, gen, ckpt)
+        .map_err(|e| EngineError::DurabilityIo(format!("checkpoint generation {gen}: {e}")))?;
+    *persisted_gen = gen;
+    *persisted_t = ckpt.t();
+    if let Some(w) = wal {
+        w.rotate(gen)
+            .map_err(|e| EngineError::DurabilityIo(format!("wal rotate to g{gen}: {e}")))?;
+    }
+    let keep_from = gen.saturating_sub(1);
+    checkpoint::gc_generations(dir, stem, keep_from);
+    wal::gc_segments(dir, stem, keep_from);
+    stats.set_wal_segments(wal::list_segments(dir, stem).len() as u64);
+    Ok(())
+}
+
+/// Persists the session's newest *auto-captured* checkpoint, if the
+/// tick that just closed crossed a
+/// [`crate::SessionConfig::checkpoint_interval`] boundary and captured
+/// one that is newer than the last persisted generation.
+fn persist_auto_checkpoint(shared: &Shared, hosted: &mut Hosted) -> Result<(), EngineError> {
+    let Some(dir) = &shared.config.checkpoint_dir else {
+        return Ok(());
+    };
+    let Hosted {
+        session,
+        wal,
+        persisted_gen,
+        persisted_t,
+        stem,
+        ..
+    } = hosted;
+    let Some(ckpt) = session.last_checkpoint() else {
+        return Ok(());
+    };
+    if *persisted_gen > 0 && ckpt.t() <= *persisted_t {
+        return Ok(());
+    }
+    persist_generation(
+        dir,
+        stem,
+        ckpt,
+        wal,
+        persisted_gen,
+        persisted_t,
+        session.stats(),
+    )
 }
 
 /// The session config hosted sessions actually run under: the template,
@@ -557,6 +688,13 @@ fn hosted_config(shared: &Shared) -> SessionConfig {
 /// Fetches or creates/restores the named session on this shard. Only
 /// the `open` handler calls this; every other command requires the
 /// session to already exist.
+///
+/// Restore is a three-step recovery, not a single file read: (1) scan
+/// checkpoint generations newest-first, quarantining any that fail
+/// their envelope checksum; (2) replay the uncovered write-ahead tail
+/// on top of the restored snapshot; (3) if anything was replayed — or a
+/// segment ended torn, or a generation was quarantined — persist a
+/// fresh generation so the on-disk state converges again.
 fn open_session<'m>(
     shared: &Shared,
     sessions: &'m mut HashMap<String, Hosted>,
@@ -566,48 +704,91 @@ fn open_session<'m>(
     // contains_key keeps the construction path readable.
     if !sessions.contains_key(name) {
         let config = hosted_config(shared);
-        let ckpt_path = shared
-            .config
-            .checkpoint_dir
-            .as_ref()
-            .map(|dir| dir.join(checkpoint_filename(name)));
-        let restored = match ckpt_path.as_ref().filter(|p| p.exists()) {
-            None => None,
-            Some(path) => {
-                let doc = std::fs::read_to_string(path)
-                    .map_err(|e| EngineError::CheckpointCorrupt(format!("read {path:?}: {e}")))?;
-                let ckpt = Checkpoint::from_json(&doc)?;
-                let session =
-                    RealTimeSession::restore_with_config(shared.template.clone(), &ckpt, config)?;
-                let mut by_name = HashMap::new();
-                let mut sources = Vec::new();
-                let mut series = Vec::new();
-                for (idx, q) in ckpt.queries.iter().enumerate() {
-                    by_name.insert(q.name.clone(), idx);
-                    // Backfill the pre-restart prefix from the restored
-                    // history; post-restart ticks extend it live.
-                    series.push(crate::Lahar::prob_series(session.database(), &q.source)?);
-                    sources.push(q.source.clone());
-                }
-                Some(Hosted {
-                    session,
-                    by_name,
-                    sources,
-                    series,
-                })
-            }
-        };
-        let (hosted, was_restored) = match restored {
-            Some(hosted) => (hosted, true),
-            None => (
-                Hosted {
-                    session: RealTimeSession::with_config(shared.template.clone(), config)?,
-                    by_name: HashMap::new(),
-                    sources: Vec::new(),
-                    series: Vec::new(),
-                },
-                false,
+        let stem = session_stem(name);
+        let mut was_restored = false;
+        let hosted = match &shared.config.checkpoint_dir {
+            None => Hosted::fresh(
+                RealTimeSession::with_config(shared.template.clone(), config)?,
+                stem,
             ),
+            Some(dir) => {
+                let loaded = checkpoint::load_newest(dir, &stem)?;
+                let quarantined = loaded.as_ref().map_or(0, |l| l.quarantined.len());
+                let mut hosted = match loaded {
+                    None => Hosted::fresh(
+                        RealTimeSession::with_config(shared.template.clone(), config)?,
+                        stem,
+                    ),
+                    Some(l) => {
+                        was_restored = true;
+                        let session = RealTimeSession::restore_with_config(
+                            shared.template.clone(),
+                            &l.checkpoint,
+                            config,
+                        )?;
+                        let mut by_name = HashMap::new();
+                        let mut sources = Vec::new();
+                        let mut series = Vec::new();
+                        for (idx, q) in l.checkpoint.queries.iter().enumerate() {
+                            by_name.insert(q.name.clone(), idx);
+                            // Backfill the pre-restart prefix from the
+                            // restored history; post-restart ticks
+                            // extend it live.
+                            series.push(crate::Lahar::prob_series(session.database(), &q.source)?);
+                            sources.push(q.source.clone());
+                        }
+                        Hosted {
+                            session,
+                            by_name,
+                            sources,
+                            series,
+                            stem,
+                            wal: None,
+                            wal_broken: false,
+                            persisted_gen: l.gen,
+                            persisted_t: l.checkpoint.t(),
+                        }
+                    }
+                };
+                if quarantined > 0 {
+                    hosted
+                        .session
+                        .stats()
+                        .record_checkpoint_quarantined(quarantined as u64);
+                }
+                let replay = replay_wal(dir, &mut hosted)?;
+                if replay.ticks > 0 {
+                    hosted.session.stats().record_wal_replayed(replay.ticks);
+                    was_restored = true;
+                }
+                if config.durability != Durability::None {
+                    let writer = WalWriter::open(
+                        dir,
+                        &hosted.stem,
+                        hosted.persisted_gen,
+                        replay.next_seq,
+                        config.durability,
+                    )
+                    .map_err(|e| EngineError::DurabilityIo(format!("wal open: {e}")))?
+                    .with_stats(hosted.session.stats().clone());
+                    hosted.wal = Some(writer);
+                }
+                // Converge the on-disk state: a replayed tail, a torn
+                // segment end, or a quarantined generation all mean the
+                // newest good checkpoint lags (or trails garbage) — a
+                // fresh generation resets the recovery baseline and
+                // rotates the log off any torn segment, so new appends
+                // never land after garbage.
+                if replay.ticks > 0 || replay.applied > 0 || replay.torn || quarantined > 0 {
+                    write_checkpoint(shared, &mut hosted)?;
+                } else {
+                    hosted
+                        .session
+                        .stats()
+                        .set_wal_segments(wal::list_segments(dir, &hosted.stem).len() as u64);
+                }
+                hosted
+            }
         };
         shared
             .registry
@@ -618,6 +799,150 @@ fn open_session<'m>(
         return Ok((sessions.get_mut(name).expect("just inserted"), was_restored));
     }
     Ok((sessions.get_mut(name).expect("checked"), false))
+}
+
+/// What [`replay_wal`] recovered.
+#[derive(Debug, Default)]
+struct WalReplay {
+    /// Ticks closed during replay.
+    ticks: u64,
+    /// Non-tick records applied (staging, registration).
+    applied: u64,
+    /// Whether any segment ended in a torn frame (discarded).
+    torn: bool,
+    /// One past the highest intact sequence number seen (the opened
+    /// writer continues from here).
+    next_seq: u64,
+}
+
+/// Replays every uncovered write-ahead record onto the restored
+/// session, extending the hosted per-query series exactly as the live
+/// commands did.
+///
+/// Coverage: `Staged`/`Register` records in segments *older* than the
+/// restored generation are captured by the checkpoint itself and are
+/// skipped. `Ticks` records are self-aligning against the session
+/// clock — a record spanning `t0 .. t0 + n` replays only the suffix
+/// past `now()`, which handles both fully-covered records and the one
+/// straddling record an auto-checkpoint can split (the snapshot lands
+/// mid-epoch, covering a prefix of the record's ticks).
+fn replay_wal(dir: &Path, hosted: &mut Hosted) -> Result<WalReplay, EngineError> {
+    let restored_gen = hosted.persisted_gen;
+    let mut replay = WalReplay::default();
+    for (gen, path) in wal::list_segments(dir, &hosted.stem) {
+        let read = wal::read_segment(&path)
+            .map_err(|e| EngineError::CheckpointCorrupt(format!("read wal {path:?}: {e}")))?;
+        if read.torn {
+            eprintln!("lahar-serve: discarding torn tail of wal segment {path:?}");
+            replay.torn = true;
+        }
+        for record in read.records {
+            replay.next_seq = replay.next_seq.max(record.seq + 1);
+            match record.op {
+                WalOp::Staged(ms) => {
+                    if gen >= restored_gen {
+                        let batch = resolve_wal_marginals(hosted.session.database(), &ms)?;
+                        hosted.session.stage_batch(batch)?;
+                        replay.applied += 1;
+                    }
+                }
+                WalOp::Register { name, query } => {
+                    if gen >= restored_gen && !hosted.by_name.contains_key(&name) {
+                        register_query(hosted, &name, &query)?;
+                        replay.applied += 1;
+                    }
+                }
+                WalOp::Ticks(ticks) => {
+                    let now = u64::from(hosted.session.now());
+                    if record.t0 + ticks.len() as u64 <= now {
+                        continue; // fully covered by the checkpoint
+                    }
+                    let skip = now.saturating_sub(record.t0) as usize;
+                    let mut resolved = Vec::with_capacity(ticks.len() - skip);
+                    for tick in &ticks[skip..] {
+                        resolved.push(resolve_wal_marginals(hosted.session.database(), tick)?);
+                    }
+                    replay.ticks += resolved.len() as u64;
+                    tick_epoch_with_recovery(hosted, resolved)?;
+                }
+            }
+        }
+    }
+    Ok(replay)
+}
+
+/// Resolves logged index+probability marginals back into staging pairs.
+fn resolve_wal_marginals(
+    db: &Database,
+    ms: &[WalMarginal],
+) -> Result<Vec<(lahar_model::StreamId, Marginal)>, EngineError> {
+    ms.iter()
+        .map(|m| {
+            let id = db.stream_id_at(m.stream).ok_or_else(|| {
+                EngineError::CheckpointCorrupt(format!(
+                    "wal references stream index {} beyond the database",
+                    m.stream
+                ))
+            })?;
+            let marginal = Marginal::new(db.streams()[m.stream].domain(), m.probs.clone())?;
+            Ok((id, marginal))
+        })
+        .collect()
+}
+
+/// The staging pairs in the WAL's database-index + probability-vector
+/// form, ready to log.
+fn to_wal_marginals(pairs: &[(lahar_model::StreamId, Marginal)]) -> Vec<WalMarginal> {
+    pairs
+        .iter()
+        .map(|(id, m)| WalMarginal {
+            stream: id.index(),
+            probs: m.probs().to_vec(),
+        })
+        .collect()
+}
+
+/// Appends one record to the session's write-ahead log (no-op without
+/// one), honouring append-before-ack: an I/O failure returns the error
+/// response the caller must send *instead of* the ack, and breaks the
+/// log — the segment may now end in a partial frame, and appending past
+/// it would silently orphan every later record at recovery time.
+fn wal_append(hosted: &mut Hosted, t0: u64, op: WalOp) -> Result<(), Response> {
+    let Some(w) = &mut hosted.wal else {
+        return Ok(());
+    };
+    match w.append(t0, op) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            hosted.wal = None;
+            hosted.wal_broken = true;
+            Err(engine_error(EngineError::DurabilityIo(format!(
+                "wal append: {e}"
+            ))))
+        }
+    }
+}
+
+/// Registers a query on the hosted session, backfilling the
+/// pre-registration series prefix from the batch engine so `series`
+/// always starts at t = 0. The prefix is computed *before*
+/// `session.register`: if it failed afterwards, the engine would hold a
+/// query the by_name/sources/series tables don't, misaligning every
+/// later registration's index. Shared by the `register` command and
+/// write-ahead replay.
+fn register_query(hosted: &mut Hosted, name: &str, query: &str) -> Result<usize, EngineError> {
+    let prefix = if hosted.session.now() > 0 {
+        crate::Lahar::prob_series(hosted.session.database(), query)?
+    } else {
+        Vec::new()
+    };
+    let id = hosted.session.register(name, query)?;
+    let idx = id.index();
+    debug_assert_eq!(idx, hosted.series.len());
+    hosted.by_name.insert(name.to_owned(), idx);
+    hosted.sources.push(query.to_owned());
+    hosted.series.push(prefix);
+    Ok(idx)
 }
 
 /// Ticks the session, auto-recovering from recoverable faults (worker
@@ -702,6 +1027,7 @@ fn engine_error(e: EngineError) -> Response {
     let code = match &e {
         EngineError::Protocol(_) => "bad_request",
         EngineError::SessionPoisoned => "poisoned",
+        EngineError::DurabilityIo(_) => "durability",
         _ => "engine",
     };
     Response::Error {
@@ -779,6 +1105,22 @@ fn handle_command_inner(
             Err(e) => return engine_error(e),
         }
     }
+    // Once the log has failed, refuse mutations *before* applying them:
+    // acking (or even just applying) unlogged mutations would silently
+    // widen the gap between memory and disk.
+    if hosted.wal_broken
+        && matches!(
+            cmd,
+            Command::Register { .. }
+                | Command::Stage { .. }
+                | Command::StageTicks { .. }
+                | Command::Tick { .. }
+        )
+    {
+        return engine_error(EngineError::DurabilityIo(
+            "an earlier write-ahead append failed; restart the server to recover".to_owned(),
+        ));
+    }
     match cmd {
         Command::Open { .. } => Response::Opened {
             t: hosted.session.now(),
@@ -791,29 +1133,17 @@ fn handle_command_inner(
                     message: format!("query '{name}' is already registered"),
                 };
             }
-            // Late registration fast-forwards through history; the
-            // pre-registration prefix comes from the batch engine so
-            // `series` always starts at t = 0. Computed *before*
-            // session.register: if it failed afterwards, the engine
-            // would hold a query the by_name/sources/series tables
-            // don't, misaligning every later registration's index.
-            let prefix = if hosted.session.now() > 0 {
-                match crate::Lahar::prob_series(hosted.session.database(), query) {
-                    Ok(series) => series,
-                    Err(e) => return engine_error(e),
-                }
-            } else {
-                Vec::new()
-            };
-            let id = match hosted.session.register(name, query) {
-                Ok(id) => id,
+            let idx = match register_query(hosted, name, query) {
+                Ok(idx) => idx,
                 Err(e) => return engine_error(e),
             };
-            let idx = id.index();
-            debug_assert_eq!(idx, hosted.series.len());
-            hosted.by_name.insert(name.clone(), idx);
-            hosted.sources.push(query.clone());
-            hosted.series.push(prefix);
+            let op = WalOp::Register {
+                name: name.clone(),
+                query: query.clone(),
+            };
+            if let Err(resp) = wal_append(hosted, u64::from(hosted.session.now()), op) {
+                return resp;
+            }
             Response::Registered { query: idx }
         }
         Command::Stage {
@@ -826,18 +1156,35 @@ fn handle_command_inner(
                     Err(e) => return engine_error(e),
                 }
             }
+            let logged = if hosted.wal.is_some() {
+                to_wal_marginals(&staged)
+            } else {
+                Vec::new()
+            };
             let n = staged.len();
+            let t0 = u64::from(hosted.session.now());
             if let Err(e) = hosted.session.stage_batch(staged) {
                 return engine_error(e);
             }
             if !tick {
+                if let Err(resp) = wal_append(hosted, t0, WalOp::Staged(logged)) {
+                    return resp;
+                }
                 return Response::Staged { staged: n };
             }
             match tick_with_recovery(hosted) {
-                Ok(alerts) => Response::Ticked {
-                    t: hosted.session.now(),
-                    alerts: wire_alerts(&alerts),
-                },
+                Ok(alerts) => {
+                    if let Err(resp) = wal_append(hosted, t0, WalOp::Ticks(vec![logged])) {
+                        return resp;
+                    }
+                    if let Err(e) = persist_auto_checkpoint(shared, hosted) {
+                        return engine_error(e);
+                    }
+                    Response::Ticked {
+                        t: hosted.session.now(),
+                        alerts: wire_alerts(&alerts),
+                    }
+                }
                 Err(e) => engine_error(e),
             }
         }
@@ -859,21 +1206,49 @@ fn handle_command_inner(
                     message: "'ticks' must close at least one tick".to_owned(),
                 };
             }
+            let logged: Vec<Vec<WalMarginal>> = if hosted.wal.is_some() {
+                resolved
+                    .iter()
+                    .map(|batch| to_wal_marginals(batch))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let t0 = u64::from(hosted.session.now());
             match tick_epoch_with_recovery(hosted, resolved) {
-                Ok(alerts) => Response::Ticked {
-                    t: hosted.session.now(),
-                    alerts: wire_alerts(&alerts),
-                },
+                Ok(alerts) => {
+                    if let Err(resp) = wal_append(hosted, t0, WalOp::Ticks(logged)) {
+                        return resp;
+                    }
+                    if let Err(e) = persist_auto_checkpoint(shared, hosted) {
+                        return engine_error(e);
+                    }
+                    Response::Ticked {
+                        t: hosted.session.now(),
+                        alerts: wire_alerts(&alerts),
+                    }
+                }
                 Err(e) => engine_error(e),
             }
         }
-        Command::Tick { .. } => match tick_with_recovery(hosted) {
-            Ok(alerts) => Response::Ticked {
-                t: hosted.session.now(),
-                alerts: wire_alerts(&alerts),
-            },
-            Err(e) => engine_error(e),
-        },
+        Command::Tick { .. } => {
+            let t0 = u64::from(hosted.session.now());
+            match tick_with_recovery(hosted) {
+                Ok(alerts) => {
+                    if let Err(resp) = wal_append(hosted, t0, WalOp::Ticks(vec![Vec::new()])) {
+                        return resp;
+                    }
+                    if let Err(e) = persist_auto_checkpoint(shared, hosted) {
+                        return engine_error(e);
+                    }
+                    Response::Ticked {
+                        t: hosted.session.now(),
+                        alerts: wire_alerts(&alerts),
+                    }
+                }
+                Err(e) => engine_error(e),
+            }
+        }
         Command::Series { query, .. } => match hosted.by_name.get(query) {
             None => Response::Error {
                 code: "unknown_query".to_owned(),
@@ -884,7 +1259,7 @@ fn handle_command_inner(
                 series: hosted.series[idx].clone(),
             },
         },
-        Command::Checkpoint { .. } => match write_checkpoint(shared, session_name, hosted) {
+        Command::Checkpoint { .. } => match write_checkpoint(shared, hosted) {
             Ok(ckpt) => Response::Checkpointed { t: ckpt.t() },
             Err(e) => engine_error(e),
         },

@@ -171,6 +171,14 @@ pub struct SessionConfig {
     /// [`RealTimeSession`] ignores it. `None` (the default) means "not
     /// served".
     pub serve_addr: Option<SocketAddr>,
+    /// Write-ahead-log fsync policy for served sessions (see
+    /// [`crate::Durability`]): what an acknowledged `stage`/`tick`
+    /// batch is guaranteed to survive. Applied by [`crate::LaharServer`]
+    /// when a checkpoint directory is configured; a standalone
+    /// [`RealTimeSession`] keeps no log. Defaults to
+    /// [`crate::Durability::None`] (acks promise only the in-memory
+    /// apply).
+    pub durability: crate::wal::Durability,
 }
 
 impl Default for SessionConfig {
@@ -185,6 +193,7 @@ impl Default for SessionConfig {
             metrics_addr: None,
             trace: false,
             serve_addr: None,
+            durability: crate::wal::Durability::None,
         }
     }
 }
@@ -230,6 +239,7 @@ pub struct SessionConfigBuilder {
     metrics_addr: Option<SocketAddr>,
     trace: Option<bool>,
     serve_addr: Option<SocketAddr>,
+    durability: Option<crate::wal::Durability>,
 }
 
 impl SessionConfigBuilder {
@@ -290,6 +300,12 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Sets [`SessionConfig::durability`].
+    pub fn durability(mut self, level: crate::wal::Durability) -> Self {
+        self.durability = Some(level);
+        self
+    }
+
     /// Validates the explicit choices and produces the config.
     pub fn build(self) -> Result<SessionConfig, EngineError> {
         if self.checkpoint_interval == Some(0) {
@@ -337,6 +353,7 @@ impl SessionConfigBuilder {
             metrics_addr: self.metrics_addr,
             trace: self.trace.unwrap_or(defaults.trace),
             serve_addr: self.serve_addr,
+            durability: self.durability.unwrap_or(defaults.durability),
         })
     }
 }

@@ -183,7 +183,13 @@ struct Inner {
     sym_cache_misses: AtomicU64,
     automata_shared: AtomicU64,
     automata_attached: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_segments: AtomicU64,
+    wal_replayed_ticks: AtomicU64,
+    checkpoints_quarantined: AtomicU64,
     tick_latency: Mutex<Histogram>,
+    fsync_latency: Mutex<Histogram>,
     fallback_reasons: Mutex<BTreeMap<String, u64>>,
     per_query: Mutex<BTreeMap<usize, QueryMetrics>>,
 }
@@ -352,6 +358,42 @@ impl EngineStats {
             .store(attached, Ordering::Relaxed);
     }
 
+    /// Records one write-ahead-log record appended (and acknowledged as
+    /// durable) of `bytes` framed bytes.
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.inner.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.inner.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one `fsync`/`fdatasync` of the log or a checkpoint and
+    /// its wall-clock latency — the direct price of the durability
+    /// level.
+    pub fn record_fsync(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.inner.fsync_latency.lock().unwrap().record(ns);
+    }
+
+    /// Publishes the live WAL segment count for the session (gauge).
+    pub fn set_wal_segments(&self, n: u64) {
+        self.inner.wal_segments.store(n, Ordering::Relaxed);
+    }
+
+    /// Records ticks re-applied from the write-ahead log during a
+    /// restart recovery.
+    pub fn record_wal_replayed(&self, ticks: u64) {
+        self.inner
+            .wal_replayed_ticks
+            .fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Records a corrupt checkpoint generation quarantined (renamed
+    /// `.corrupt`) during a restore scan.
+    pub fn record_checkpoint_quarantined(&self, n: u64) {
+        self.inner
+            .checkpoints_quarantined
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records an exact-path→sampler fallback and why it happened. At
     /// most [`MAX_FALLBACK_REASONS`](self) distinct reason strings are
     /// kept; later novel reasons count against the `"other"` bucket.
@@ -395,6 +437,7 @@ impl EngineStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = &self.inner;
         let latency = i.tick_latency.lock().unwrap().summarize();
+        let fsync_latency = i.fsync_latency.lock().unwrap().summarize();
         let per_query = i
             .per_query
             .lock()
@@ -431,8 +474,14 @@ impl EngineStats {
             sym_cache_misses: i.sym_cache_misses.load(Ordering::Relaxed),
             automata_shared: i.automata_shared.load(Ordering::Relaxed),
             automata_attached: i.automata_attached.load(Ordering::Relaxed),
+            wal_appends: i.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: i.wal_bytes.load(Ordering::Relaxed),
+            wal_segments: i.wal_segments.load(Ordering::Relaxed),
+            wal_replayed_ticks: i.wal_replayed_ticks.load(Ordering::Relaxed),
+            checkpoints_quarantined: i.checkpoints_quarantined.load(Ordering::Relaxed),
             fallback_reasons: i.fallback_reasons.lock().unwrap().clone(),
             tick_latency: latency,
+            fsync_latency,
             per_query,
         }
     }
@@ -646,11 +695,26 @@ pub struct StatsSnapshot {
     pub automata_shared: u64,
     /// Chains attached to a shared compiled automaton (gauge).
     pub automata_attached: u64,
+    /// Write-ahead-log records appended (each covering one acked
+    /// mutation).
+    pub wal_appends: u64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Live write-ahead-log segment files (gauge).
+    pub wal_segments: u64,
+    /// Ticks re-applied from the write-ahead log during restart
+    /// recovery.
+    pub wal_replayed_ticks: u64,
+    /// Corrupt checkpoint generations quarantined during restore scans.
+    pub checkpoints_quarantined: u64,
     /// Fallback reason → occurrence count (bounded cardinality; overflow
     /// lands in `"other"`).
     pub fallback_reasons: BTreeMap<String, u64>,
     /// Tick-latency histogram summary.
     pub tick_latency: LatencySnapshot,
+    /// Log/checkpoint fsync latency histogram summary (`count` is the
+    /// number of fsyncs issued).
+    pub fsync_latency: LatencySnapshot,
     /// Per-query registry slots in ascending id order.
     pub per_query: Vec<QuerySnapshot>,
 }
@@ -698,6 +762,17 @@ impl StatsSnapshot {
         .unwrap();
         write!(
             out,
+            "\"wal\":{{\"appends\":{},\"bytes\":{},\"segments\":{},\
+             \"replayed_ticks\":{},\"checkpoints_quarantined\":{}}},",
+            self.wal_appends,
+            self.wal_bytes,
+            self.wal_segments,
+            self.wal_replayed_ticks,
+            self.checkpoints_quarantined,
+        )
+        .unwrap();
+        write!(
+            out,
             "\"fallbacks\":{{\"count\":{},\"reasons\":{{",
             self.fallbacks
         )
@@ -711,6 +786,8 @@ impl StatsSnapshot {
         }
         out.push_str("}},\"tick_latency_ns\":");
         push_latency(&mut out, &self.tick_latency);
+        out.push_str(",\"fsync_latency_ns\":");
+        push_latency(&mut out, &self.fsync_latency);
         out.push_str(",\"queries\":[");
         for (i, q) in self.per_query.iter().enumerate() {
             if i > 0 {
@@ -997,6 +1074,33 @@ mod tests {
         assert_eq!(kernel.get("fast_steps").unwrap().as_u64(), Some(200));
         assert_eq!(kernel.get("sym_cache_hits").unwrap().as_u64(), Some(80));
         assert_eq!(kernel.get("automata_shared").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn wal_counters_accumulate_and_render() {
+        let stats = EngineStats::new();
+        stats.record_wal_append(120);
+        stats.record_wal_append(80);
+        stats.record_fsync(Duration::from_micros(350));
+        stats.set_wal_segments(3);
+        stats.set_wal_segments(2);
+        stats.record_wal_replayed(17);
+        stats.record_checkpoint_quarantined(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.wal_bytes, 200);
+        assert_eq!(snap.wal_segments, 2);
+        assert_eq!(snap.wal_replayed_ticks, 17);
+        assert_eq!(snap.checkpoints_quarantined, 1);
+        assert_eq!(snap.fsync_latency.count, 1);
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let wal = doc.get("wal").unwrap();
+        assert_eq!(wal.get("appends").unwrap().as_u64(), Some(2));
+        assert_eq!(wal.get("bytes").unwrap().as_u64(), Some(200));
+        assert_eq!(wal.get("segments").unwrap().as_u64(), Some(2));
+        assert_eq!(wal.get("replayed_ticks").unwrap().as_u64(), Some(17));
+        let fsync = doc.get("fsync_latency_ns").unwrap();
+        assert_eq!(fsync.get("count").unwrap().as_u64(), Some(1));
     }
 
     #[test]

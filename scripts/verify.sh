@@ -58,7 +58,8 @@ start_serve() {
     # Starts a server on free ports; sets serve_pid/serve_addr/serve_maddr.
     local log="$1"
     ./target/release/lahar serve --manifest "$dep" --addr 127.0.0.1:0 \
-        --metrics-addr 127.0.0.1:0 --checkpoint-dir "$dep/ckpt" 2>"$log" &
+        --metrics-addr 127.0.0.1:0 --checkpoint-dir "$dep/ckpt" \
+        --durability batch 2>"$log" &
     serve_pid=$!
     serve_addr=""
     serve_maddr=""
@@ -98,12 +99,18 @@ grep -q "restored" "$dep/ingest2.log" || { echo "restart did not restore the ses
 grep -q 'session="smoke"' "$dep/ingest2.log" || { echo "scrape missing session label" >&2; exit 1; }
 rm -rf "$dep"
 
+echo "==> crash harness (kill -9 recovery, release, bounded)"
+# The full randomized sweep runs in the workspace test step above; this
+# re-runs it in release where fsync/rename timing differs most.
+LAHAR_CRASH_ITERS=6 cargo test -q --release --offline --test crash_recovery
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> bench smoke (quick mode, writes BENCH_streaming.json)"
     LAHAR_BENCH_QUICK=1 cargo bench --offline -p lahar-bench \
         --bench streaming_throughput >/dev/null
     for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"' \
-        '"streaming_worker_matrix"' '"par_ticks_per_sec_w4"'; do
+        '"streaming_worker_matrix"' '"par_ticks_per_sec_w4"' \
+        '"durability_overhead"' '"ticks_per_sec_always"'; do
         if ! grep -qF "$key" BENCH_streaming.json; then
             echo "bench smoke failed: $key missing from BENCH_streaming.json" >&2
             exit 1

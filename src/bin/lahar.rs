@@ -20,7 +20,10 @@ use lahar::core::{CompileOptions, Lahar};
 use lahar::model::{decode_stream, encode_stream, tuple, Database, Stream, Value};
 use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery, QueryClass};
 use lahar::rfid::{Deployment, DeploymentConfig};
-use lahar::{EngineError, LaharClient, LaharServer, RealTimeSession, ServerConfig, SessionConfig};
+use lahar::{
+    Durability, EngineError, LaharClient, LaharServer, RealTimeSession, RetryPolicy, ServerConfig,
+    SessionConfig,
+};
 use std::collections::BTreeMap;
 use std::fs;
 use std::net::SocketAddr;
@@ -63,6 +66,7 @@ fn print_usage() {
          \x20               [--trace-out FILE] [--threshold P] [--epoch N]\n  \
          lahar serve    --manifest DIR --addr IP:PORT [--metrics-addr IP:PORT] [--shards N]\n  \
          \x20               [--queue-cap N] [--max-sessions N] [--checkpoint-dir DIR]\n  \
+         \x20               [--durability none|batch|always] [--checkpoint-interval N]\n  \
          lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
          \x20               [--epoch N] [--scrape URL] [--shutdown]\n  \
          lahar demo\n\n\
@@ -444,6 +448,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(d) = flags.get("checkpoint-dir") {
         config.checkpoint_dir = Some(PathBuf::from(d));
     }
+    if let Some(level) = flags.get("durability") {
+        config.session_config.durability = Durability::parse(level)
+            .ok_or_else(|| format!("--durability expects none|batch|always, got {level:?}"))?;
+    }
+    if flags.contains_key("checkpoint-interval") {
+        let interval = get_usize(&flags, "checkpoint-interval", 0)?;
+        if interval == 0 {
+            return Err("--checkpoint-interval must be non-zero (omit it to disable)".to_owned());
+        }
+        config.session_config.checkpoint_interval = interval;
+    }
     let server = LaharServer::start(config, template).map_err(|e| e.to_string())?;
     eprintln!("serving on {}", server.addr());
     if let Some(maddr) = server.metrics_addr() {
@@ -483,9 +498,11 @@ fn wire_tick(db: &Database, t: u32) -> Result<Vec<WireMarginal>, String> {
 }
 
 /// Streams the manifest's recorded marginals into a served session tick
-/// by tick, then prints the server-computed series as CSV. `overloaded`
-/// responses are retried with backoff — the client side of the server's
-/// backpressure contract.
+/// by tick, then prints the server-computed series as CSV. The client
+/// carries a [`RetryPolicy`], so `overloaded` responses (and a server
+/// that is still binding its port) are retried with jittered
+/// exponential backoff — the client side of the server's backpressure
+/// contract.
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
     let dir = PathBuf::from(
@@ -507,7 +524,15 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         Some(_) => get_usize(&flags, "ticks", 0)?.min(db.horizon() as usize) as u32,
     };
 
-    let mut client = LaharClient::connect(addr, session).map_err(|e| e.to_string())?;
+    // A CLI ingest would rather wait out a saturated shard (or a server
+    // that is still starting) than die mid-stream: give the default
+    // policy extra patience.
+    let policy = RetryPolicy {
+        max_retries: 24,
+        ..RetryPolicy::default()
+    };
+    let mut client =
+        LaharClient::connect_with_retry(addr, session, policy).map_err(|e| e.to_string())?;
     let (t0, restored) = client.open().map_err(|e| e.to_string())?;
     eprintln!(
         "session '{session}' at t={t0}{}",
@@ -531,30 +556,16 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let mut t = t0;
     while t < ticks {
         let batch_end = (t + epoch).min(ticks);
+        // Backpressure (`overloaded`) is handled inside the client by
+        // its retry policy; an error surfacing here is terminal.
         if epoch == 1 {
             let frame = wire_tick(&db, t)?;
-            loop {
-                match client.stage_tick(&frame) {
-                    Ok(_) => break,
-                    Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
-                        std::thread::sleep(std::time::Duration::from_millis(20));
-                    }
-                    Err(e) => return Err(e.to_string()),
-                }
-            }
+            client.stage_tick(&frame).map_err(|e| e.to_string())?;
         } else {
             let frames = (t..batch_end)
                 .map(|bt| wire_tick(&db, bt))
                 .collect::<Result<Vec<_>, String>>()?;
-            loop {
-                match client.stage_epoch(&frames) {
-                    Ok(_) => break,
-                    Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
-                        std::thread::sleep(std::time::Duration::from_millis(20));
-                    }
-                    Err(e) => return Err(e.to_string()),
-                }
-            }
+            client.stage_epoch(&frames).map_err(|e| e.to_string())?;
         }
         t = batch_end;
     }

@@ -37,10 +37,10 @@ pub use lahar_query as query;
 pub use lahar_rfid as rfid;
 
 pub use lahar_core::{
-    Alert, Algorithm, Checkpoint, CompileOptions, CompiledQuery, EngineError, EngineStats, Lahar,
-    LaharClient, LaharServer, LatencySnapshot, MetricsServer, QueryId, QuerySnapshot, QuerySource,
-    RealTimeSession, ServerConfig, SessionConfig, SessionConfigBuilder, StatsSnapshot, TickMode,
-    CHECKPOINT_VERSION,
+    Alert, Algorithm, Checkpoint, CompileOptions, CompiledQuery, Durability, EngineError,
+    EngineStats, Lahar, LaharClient, LaharServer, LatencySnapshot, MetricsServer, QueryId,
+    QuerySnapshot, QuerySource, RealTimeSession, RetryPolicy, ServerConfig, SessionConfig,
+    SessionConfigBuilder, StatsSnapshot, TickMode, CHECKPOINT_VERSION,
 };
 pub use lahar_model::{Database, StreamBuilder, StreamId, StreamKey};
 pub use lahar_query::QueryClass;

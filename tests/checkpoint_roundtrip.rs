@@ -183,3 +183,114 @@ fn corrupt_checkpoints_are_rejected() {
     assert!(Checkpoint::from_json(&json.replace("lahar-checkpoint", "other")).is_err());
     assert!(Checkpoint::from_json("{}").is_err());
 }
+
+/// File-level corruption of a *persisted* checkpoint: truncation, a
+/// flipped byte, and an emptied file must all fail the envelope check
+/// with `CheckpointCorrupt` — a damaged generation never parses into a
+/// session.
+#[test]
+fn corrupt_generation_files_never_parse() {
+    use lahar::core::checkpoint::{generation_path, write_generation};
+    use lahar::EngineError;
+
+    let dir = std::env::temp_dir().join(format!("lahar-rt-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, joe, sue) = schema_db();
+    let mut s = session(TickMode::Sequential);
+    for spec in [((0.4, 0.3), (0.2, 0.5)), ((0.1, 0.6), (0.3, 0.3))] {
+        stage_tick(&mut s, &joe, &sue, &spec);
+        s.tick().unwrap();
+    }
+    let ckpt = s.checkpoint().unwrap();
+    write_generation(&dir, "s", 1, &ckpt).unwrap();
+    let path = generation_path(&dir, "s", 1);
+    let pristine = std::fs::read(&path).unwrap();
+    assert_eq!(
+        Checkpoint::from_envelope(std::str::from_utf8(&pristine).unwrap()).unwrap(),
+        ckpt,
+        "the uncorrupted generation restores exactly"
+    );
+
+    let corruptions: [(&str, Vec<u8>); 3] = [
+        ("truncated", pristine[..pristine.len() / 2].to_vec()),
+        ("bit-flipped", {
+            let mut bytes = pristine.clone();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            bytes
+        }),
+        ("emptied", Vec::new()),
+    ];
+    for (what, bytes) in corruptions {
+        let err = match std::str::from_utf8(&bytes) {
+            Ok(text) => Checkpoint::from_envelope(text).unwrap_err(),
+            // Non-UTF-8 damage cannot even reach the parser; the
+            // load path reports it the same way.
+            Err(_) => EngineError::CheckpointCorrupt("not utf-8".to_owned()),
+        };
+        assert!(
+            matches!(err, EngineError::CheckpointCorrupt(_)),
+            "{what} generation must fail as CheckpointCorrupt, got {err:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Generation fallback end to end: tear the newest persisted generation,
+/// `load_newest` quarantines it and restores the previous one, and the
+/// restored session's series is bit-identical to the checkpointed
+/// original at that point.
+#[test]
+fn torn_newest_generation_restores_the_previous_one() {
+    use lahar::core::checkpoint::{
+        generation_path, list_generations, load_newest, write_generation,
+    };
+
+    let dir = std::env::temp_dir().join(format!("lahar-rt-fallback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, joe, sue) = schema_db();
+    let script = [
+        ((0.4, 0.3), (0.2, 0.5)),
+        ((0.1, 0.6), (0.3, 0.3)),
+        ((0.5, 0.2), (0.4, 0.4)),
+    ];
+    let mut s = session(TickMode::Sequential);
+
+    // Generation 1 after two ticks, generation 2 after the third.
+    for spec in &script[..2] {
+        stage_tick(&mut s, &joe, &sue, spec);
+        s.tick().unwrap();
+    }
+    let at_gen1 = s.checkpoint().unwrap();
+    write_generation(&dir, "s", 1, &at_gen1).unwrap();
+    stage_tick(&mut s, &joe, &sue, &script[2]);
+    s.tick().unwrap();
+    write_generation(&dir, "s", 2, &s.checkpoint().unwrap()).unwrap();
+
+    // Intact scan prefers the newest generation.
+    let loaded = load_newest(&dir, "s").unwrap().unwrap();
+    assert_eq!((loaded.gen, loaded.checkpoint.t()), (2, 3));
+    assert!(loaded.quarantined.is_empty());
+
+    // Tear generation 2 in place: the scan must fall back to 1,
+    // quarantining the damage as evidence rather than deleting it.
+    let newest = generation_path(&dir, "s", 2);
+    let full = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &full[..full.len() * 2 / 3]).unwrap();
+    let loaded = load_newest(&dir, "s").unwrap().unwrap();
+    assert_eq!((loaded.gen, loaded.checkpoint.t()), (1, 2));
+    assert_eq!(loaded.quarantined.len(), 1);
+    assert!(loaded.quarantined[0]
+        .to_string_lossy()
+        .ends_with(".corrupt"));
+    assert!(loaded.quarantined[0].exists());
+    assert_eq!(list_generations(&dir, "s").len(), 1);
+
+    // The fallback is bit for bit the generation-1 capture, and it
+    // restores into a live session at the gen-1 clock.
+    assert_eq!(loaded.checkpoint, at_gen1);
+    let (fresh, _, _) = schema_db();
+    let restored = RealTimeSession::restore(fresh, &loaded.checkpoint).unwrap();
+    assert_eq!(restored.now(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
