@@ -79,10 +79,11 @@ fn build_template(n_people: usize) -> Database {
     db
 }
 
-/// Ticks/s over the real serve path (in-process server + loopback TCP,
-/// one `stage`+`tick` round trip per tick) at each WAL fsync policy.
-fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)> {
-    let frames: Vec<Vec<WireMarginal>> = (0..3)
+/// Three rotating wire frames for `n_people` keyed streams — the
+/// loopback serve-path workload shared by the durability and
+/// observability benches.
+fn loopback_frames(n_people: usize) -> Vec<Vec<WireMarginal>> {
+    (0..3)
         .map(|t| {
             (0..n_people)
                 .map(|p| {
@@ -100,7 +101,13 @@ fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)>
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// Ticks/s over the real serve path (in-process server + loopback TCP,
+/// one `stage`+`tick` round trip per tick) at each WAL fsync policy.
+fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)> {
+    let frames = loopback_frames(n_people);
     let mut out = Vec::new();
     for (name, level) in [
         ("none", Durability::None),
@@ -132,6 +139,59 @@ fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)>
         server.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
         out.push((name, n_ticks as f64 / secs));
+    }
+    out
+}
+
+/// Round-trips/s over the serve path with the request-observability
+/// instrumentation in its three states: tracer off (the production
+/// default — one relaxed atomic load per span site), tracer on
+/// (per-thread ring recording with the request id threaded through),
+/// and tracer on with a zero-threshold slow log (every request writes
+/// a JSONL entry — the instrumentation worst case). Same workload and
+/// durability level (`none`) as [`durability_bench`]'s baseline arm,
+/// so the off column is directly comparable to `ticks_per_sec_none`.
+fn serve_observability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)> {
+    let frames = loopback_frames(n_people);
+    let mut out = Vec::new();
+    for arm in ["off", "on", "on_slowlog"] {
+        let dir = std::env::temp_dir().join(format!(
+            "lahar-bench-observability-{}-{arm}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = ServerConfig::default();
+        config.checkpoint_dir = Some(dir.clone());
+        config.session_config = SessionConfig::builder()
+            .durability(Durability::None)
+            .build()
+            .unwrap();
+        if arm != "off" {
+            lahar_core::trace::enable();
+        }
+        if arm == "on_slowlog" {
+            config.slow_request_ms = Some(0);
+            config.slow_log = Some(dir.join("slow.jsonl"));
+        }
+        let server = LaharServer::start(config, build_template(n_people)).unwrap();
+        let mut client = LaharClient::connect(server.addr(), "bench").unwrap();
+        client.open().unwrap();
+        client.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();
+        for frame in &frames {
+            client.stage_tick(frame).unwrap(); // warm-up, untimed
+        }
+        let (_, secs) = timed(|| {
+            for t in 0..n_ticks {
+                std::hint::black_box(client.stage_tick(&frames[t % frames.len()]).unwrap());
+            }
+        });
+        client.shutdown_server().unwrap();
+        server.join().unwrap();
+        lahar_core::trace::disable();
+        lahar_core::trace::clear();
+        let _ = std::fs::remove_dir_all(&dir);
+        out.push((arm, n_ticks as f64 / secs));
     }
     out
 }
@@ -420,6 +480,44 @@ fn main() {
         }
     }
     report::write_section("durability_overhead", dur_fields);
+
+    // Request-observability overhead on the same serve-path workload:
+    // the tracing-off arm is the deployment configuration and must stay
+    // within noise of the durability `none` baseline above; the other
+    // arms price turning the diagnostics on.
+    println!();
+    header(
+        "Request observability overhead (serve path, per-tick acks)",
+        &["tracing", "rt/s", "overhead %"],
+    );
+    let obs_results = serve_observability_bench(dur_people, dur_ticks);
+    let obs_base = obs_results[0].1;
+    let mut obs_fields = vec![
+        ("mode", text(if quick_mode() { "quick" } else { "full" })),
+        ("keyed_streams", num(dur_people as f64)),
+        ("ticks", num(dur_ticks as f64)),
+        ("durability_none_baseline_rt_per_sec", num(dur_base)),
+    ];
+    for (arm, tps) in &obs_results {
+        row(arm, &[*tps, (obs_base / tps - 1.0) * 100.0]);
+        let (tps_key, overhead_key) = match *arm {
+            "off" => ("rt_per_sec_off", Some("off_vs_durability_none_pct")),
+            "on" => ("rt_per_sec_on", Some("overhead_on_pct")),
+            _ => ("rt_per_sec_on_slowlog", Some("overhead_on_slowlog_pct")),
+        };
+        obs_fields.push((tps_key, num(*tps)));
+        let overhead = match *arm {
+            // The off arm is measured against the durability bench's
+            // identically-configured `none` arm — the PR-over-PR
+            // regression hook (the acceptance bound is < 3%).
+            "off" => (dur_base / tps - 1.0) * 100.0,
+            _ => (obs_base / tps - 1.0) * 100.0,
+        };
+        if let Some(key) = overhead_key {
+            obs_fields.push((key, num(overhead)));
+        }
+    }
+    report::write_section("serve_observability", obs_fields);
 
     // The telemetry snapshot itself, as the deployment-facing JSON.
     let (mut par, ticks) = build_session(people_counts[0], TickMode::Parallel);

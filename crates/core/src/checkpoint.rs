@@ -363,6 +363,7 @@ pub fn write_generation(
     ckpt: &Checkpoint,
 ) -> std::io::Result<std::path::PathBuf> {
     use std::io::Write;
+    let _span = crate::trace::span("checkpoint_persist").with("gen", gen);
     std::fs::create_dir_all(dir)?;
     let path = generation_path(dir, stem, gen);
     let bytes = ckpt.to_envelope();
@@ -408,6 +409,7 @@ pub fn load_newest(
     dir: &std::path::Path,
     stem: &str,
 ) -> Result<Option<LoadedGeneration>, EngineError> {
+    let _span = crate::trace::span("checkpoint_restore");
     let mut quarantined = Vec::new();
     for (gen, path) in list_generations(dir, stem).into_iter().rev() {
         let parsed = std::fs::read_to_string(&path)

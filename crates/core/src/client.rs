@@ -39,8 +39,10 @@
 
 use crate::error::EngineError;
 use crate::protocol::{
-    encode_command, parse_response, Command, Response, WireAlert, WireMarginal, CODE_OVERLOADED,
+    encode_request, parse_response_with_id, Command, Response, WireAlert, WireMarginal,
+    CODE_OVERLOADED,
 };
+use crate::trace;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -131,6 +133,9 @@ pub struct LaharClient {
     /// Jitter draws consumed so far (indexes the policy's deterministic
     /// jitter sequence).
     jitter_draws: u64,
+    /// The last request id sent (0 = none yet); ids are monotonic per
+    /// client, starting at 1, and echoed by the server.
+    last_id: u64,
 }
 
 fn transport(op: &str, e: std::io::Error) -> EngineError {
@@ -174,6 +179,7 @@ impl LaharClient {
             connect_timeout: timeout,
             retry: None,
             jitter_draws: 0,
+            last_id: 0,
         })
     }
 
@@ -219,16 +225,29 @@ impl LaharClient {
         &self.session
     }
 
+    /// The correlation id of the most recent request (0 before the
+    /// first). The server echoes it verbatim in the matching response;
+    /// [`LaharClient::request`] verifies the echo.
+    pub fn last_id(&self) -> u64 {
+        self.last_id
+    }
+
     /// Sends one command and blocks for its response. Server-side
     /// `Error` responses are returned as `Ok(Response::Error { .. })`;
     /// use the typed helpers to get them as [`EngineError::Remote`].
     pub fn request(&mut self, cmd: &Command) -> Result<Response, EngineError> {
-        let mut frame = encode_command(cmd);
+        let id = self.last_id + 1;
+        self.last_id = id;
+        let mut frame = encode_request(cmd, Some(id));
         frame.push('\n');
-        self.writer
-            .write_all(frame.as_bytes())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| transport("send", e))?;
+        {
+            let _span = trace::span("client_send").with("req", id);
+            self.writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| self.writer.flush())
+                .map_err(|e| transport("send", e))?;
+        }
+        let _span = trace::span("client_recv").with("req", id);
         let mut line = String::new();
         let n = self
             .reader
@@ -239,7 +258,19 @@ impl LaharClient {
                 "connection closed by server".to_owned(),
             ));
         }
-        parse_response(line.trim_end())
+        let (response, echoed) = parse_response_with_id(line.trim_end())?;
+        // A server that speaks the id extension echoes it verbatim; an
+        // older server omits it (tolerated). A *different* id means the
+        // stream answered some other request — fail loudly instead of
+        // mis-attributing the response.
+        if let Some(echoed) = echoed {
+            if echoed != id {
+                return Err(EngineError::Protocol(format!(
+                    "response id {echoed} does not match request id {id}"
+                )));
+            }
+        }
+        Ok(response)
     }
 
     /// As [`LaharClient::request`], but lifts `Error` responses into

@@ -6,7 +6,9 @@
 //! per-query registry — in [Prometheus text format v0.0.4], hand-rolled
 //! with no dependencies. [`MetricsServer`] serves it live over a
 //! blocking [`std::net::TcpListener`] HTTP/1.1 loop (`GET /metrics`,
-//! `GET /healthz`, `GET /trace`), started automatically when
+//! `GET /healthz` — a real readiness probe answering 503 with a JSON
+//! body when a session is poisoned or durability-poisoned — and
+//! `GET /trace`), started automatically when
 //! [`crate::SessionConfig::metrics_addr`] is set. [`write_prometheus`]
 //! is the scrape-less dump-to-file mode.
 //!
@@ -32,7 +34,7 @@ type CounterRow = (&'static str, &'static str, fn(&StatsSnapshot) -> u64);
 
 /// Escapes a label value per the Prometheus text format: backslash,
 /// double quote, and newline.
-fn push_label_value(out: &mut String, value: &str) {
+pub(crate) fn push_label_value(out: &mut String, value: &str) {
     out.push('"');
     for c in value.chars() {
         match c {
@@ -47,7 +49,7 @@ fn push_label_value(out: &mut String, value: &str) {
 
 /// Writes a float the Prometheus parser accepts (shortest round-trip
 /// form; non-finite values use the spec's `NaN`/`+Inf`/`-Inf` spellings).
-fn push_value(out: &mut String, v: f64) {
+pub(crate) fn push_value(out: &mut String, v: f64) {
     if v.is_nan() {
         out.push_str("NaN");
     } else if v == f64::INFINITY {
@@ -59,7 +61,7 @@ fn push_value(out: &mut String, v: f64) {
     }
 }
 
-fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+pub(crate) fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
     writeln!(out, "# HELP {name} {help}").unwrap();
     writeln!(out, "# TYPE {name} {kind}").unwrap();
 }
@@ -68,7 +70,7 @@ fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
 /// under `name`, with `labels` (e.g. `query="coffee",id="0"`) spliced
 /// into every sample. Bucket upper bounds come from the power-of-two
 /// layout: a snapshot bucket `(lower, n)` covers `[lower, 2·lower)` ns.
-fn push_histogram(out: &mut String, name: &str, labels: &str, l: &LatencySnapshot) {
+pub(crate) fn push_histogram(out: &mut String, name: &str, labels: &str, l: &LatencySnapshot) {
     let sep = if labels.is_empty() { "" } else { "," };
     let mut cumulative = 0u64;
     for &(lower_ns, n) in &l.buckets {
@@ -103,7 +105,7 @@ fn joined(session: &str, rest: &str) -> String {
 
 /// Writes one `name{labels} value` sample, omitting the braces for an
 /// empty label set.
-fn push_sample(out: &mut String, name: &str, labels: &str, value: &str) {
+pub(crate) fn push_sample(out: &mut String, name: &str, labels: &str, value: &str) {
     if labels.is_empty() {
         writeln!(out, "{name} {value}").unwrap();
     } else {
@@ -470,6 +472,19 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
         "",
         &pool_tasks.to_string(),
     );
+    push_header(
+        &mut out,
+        "lahar_trace_dropped_spans_total",
+        "Spans overwritten in full per-thread trace rings since the \
+         tracer was last cleared (non-zero means /trace is truncated).",
+        "counter",
+    );
+    push_sample(
+        &mut out,
+        "lahar_trace_dropped_spans_total",
+        "",
+        &crate::trace::dropped().to_string(),
+    );
     out
 }
 
@@ -488,7 +503,10 @@ const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8"
 /// A live scrape endpoint for a session's [`EngineStats`].
 ///
 /// Binds a [`TcpListener`] and answers `GET /metrics` (Prometheus text),
-/// `GET /healthz` (`ok`), and `GET /trace` (the current
+/// `GET /healthz` (a readiness verdict: 200 with a JSON body while
+/// every session is serviceable, 503 naming the poisoned /
+/// durability-poisoned / degraded sessions otherwise), and `GET /trace`
+/// (the current
 /// [`crate::trace::chrome_trace_json`] document) from one background
 /// thread. Dropping the server shuts the thread down and releases the
 /// port.
@@ -500,6 +518,57 @@ pub struct MetricsServer {
 
 /// What a [`MetricsServer`] renders on each `GET /metrics` scrape.
 pub type MetricsRenderer = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// What a [`MetricsServer`] answers on each `GET /healthz` probe: the
+/// readiness verdict (`true` → 200, `false` → 503) and the JSON body
+/// served either way.
+pub type HealthRenderer = Arc<dyn Fn() -> (bool, String) + Send + Sync>;
+
+/// Builds the `/healthz` verdict for a set of named sessions. Ready
+/// unless a session is poisoned or durability-poisoned (its WAL broke);
+/// degraded sessions are reported in the body but do not fail
+/// readiness — a degraded session still answers correctly, just on the
+/// sequential path. The single-session endpoint reports its session
+/// under the empty name.
+pub fn health_report<'a>(
+    sessions: impl IntoIterator<Item = (&'a str, &'a EngineStats)>,
+) -> (bool, String) {
+    let mut poisoned: Vec<&str> = Vec::new();
+    let mut durability: Vec<&str> = Vec::new();
+    let mut degraded: Vec<&str> = Vec::new();
+    for (name, stats) in sessions {
+        if stats.is_poisoned() {
+            poisoned.push(name);
+        }
+        if stats.is_wal_broken() {
+            durability.push(name);
+        }
+        if stats.is_degraded() {
+            degraded.push(name);
+        }
+    }
+    let ok = poisoned.is_empty() && durability.is_empty();
+    let mut body = String::from("{\"ok\":");
+    body.push_str(if ok { "true" } else { "false" });
+    for (field, list) in [
+        ("poisoned", &poisoned),
+        ("durability", &durability),
+        ("degraded", &degraded),
+    ] {
+        body.push_str(",\"");
+        body.push_str(field);
+        body.push_str("\":[");
+        for (i, name) in list.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            crate::json::push_string(&mut body, name);
+        }
+        body.push(']');
+    }
+    body.push_str("}\n");
+    (ok, body)
+}
 
 impl std::fmt::Debug for MetricsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -514,7 +583,12 @@ impl MetricsServer {
     /// [`MetricsServer::addr`] for the resolved one) and starts serving
     /// `stats`.
     pub fn start(addr: SocketAddr, stats: EngineStats) -> Result<Self, EngineError> {
-        Self::start_with_renderer(addr, Arc::new(move || to_prometheus(&stats.snapshot())))
+        let health_stats = stats.clone();
+        Self::start_with_renderers(
+            addr,
+            Arc::new(move || to_prometheus(&stats.snapshot())),
+            Arc::new(move || health_report([("", &health_stats)])),
+        )
     }
 
     /// Like [`MetricsServer::start`], but `GET /metrics` answers with
@@ -525,6 +599,22 @@ impl MetricsServer {
         addr: SocketAddr,
         render: MetricsRenderer,
     ) -> Result<Self, EngineError> {
+        Self::start_with_renderers(
+            addr,
+            render,
+            Arc::new(|| health_report(None::<(&str, &EngineStats)>)),
+        )
+    }
+
+    /// Like [`MetricsServer::start_with_renderer`], but `GET /healthz`
+    /// is answered by `health` instead of an unconditionally-ready
+    /// default. The serving layer passes a renderer that walks every
+    /// hosted session's health flags.
+    pub fn start_with_renderers(
+        addr: SocketAddr,
+        render: MetricsRenderer,
+        health: HealthRenderer,
+    ) -> Result<Self, EngineError> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| EngineError::MetricsUnavailable(format!("bind {addr}: {e}")))?;
         let local = listener
@@ -534,7 +624,7 @@ impl MetricsServer {
         let flag = shutdown.clone();
         let handle = std::thread::Builder::new()
             .name("lahar-metrics".to_owned())
-            .spawn(move || serve(listener, render, flag))
+            .spawn(move || serve(listener, render, health, flag))
             .map_err(|e| EngineError::MetricsUnavailable(format!("spawn: {e}")))?;
         Ok(Self {
             addr: local,
@@ -560,7 +650,12 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve(listener: TcpListener, render: MetricsRenderer, shutdown: Arc<AtomicBool>) {
+fn serve(
+    listener: TcpListener,
+    render: MetricsRenderer,
+    health: HealthRenderer,
+    shutdown: Arc<AtomicBool>,
+) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -569,11 +664,15 @@ fn serve(listener: TcpListener, render: MetricsRenderer, shutdown: Arc<AtomicBoo
         // A stalled client must not wedge the (single-threaded) loop.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &render);
+        let _ = handle_connection(stream, &render, &health);
     }
 }
 
-fn handle_connection(stream: TcpStream, render: &MetricsRenderer) -> std::io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    render: &MetricsRenderer,
+    health: &HealthRenderer,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -589,7 +688,15 @@ fn handle_connection(stream: TcpStream, render: &MetricsRenderer) -> std::io::Re
     let path = parts.next().unwrap_or("");
     let (status, content_type, body) = match (method, path) {
         ("GET", "/metrics") => ("200 OK", PROMETHEUS_CONTENT_TYPE, render()),
-        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        ("GET", "/healthz") => {
+            let (ok, body) = health();
+            let status = if ok {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "application/json; charset=utf-8", body)
+        }
         ("GET", "/trace") => (
             "200 OK",
             "application/json; charset=utf-8",
@@ -784,7 +891,10 @@ mod tests {
 
         let health = get("/healthz");
         assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(health.ends_with("ok\n"));
+        assert!(health.contains("application/json"));
+        assert!(
+            health.ends_with("{\"ok\":true,\"poisoned\":[],\"durability\":[],\"degraded\":[]}\n")
+        );
 
         let trace = get("/trace");
         assert!(trace.starts_with("HTTP/1.1 200 OK\r\n"));
@@ -796,6 +906,39 @@ mod tests {
         drop(server);
         // The port is released once drop returns (join completed).
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn healthz_reports_poisoned_sessions_with_503() {
+        let stats = EngineStats::new();
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), stats.clone()).unwrap();
+        let addr = server.addr();
+        let get = |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        stats.set_degraded(true);
+        // Degraded is reported but does not fail readiness.
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"degraded\":[\"\"]"), "{health}");
+
+        stats.set_poisoned(true);
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.1 503"), "{health}");
+        assert!(health.contains("\"ok\":false"), "{health}");
+        assert!(health.contains("\"poisoned\":[\"\"]"), "{health}");
+
+        stats.set_poisoned(false);
+        stats.set_degraded(false);
+        stats.set_wal_broken(true);
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.1 503"), "{health}");
+        assert!(health.contains("\"durability\":[\"\"]"), "{health}");
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use client::{LaharClient, RetryPolicy};
 pub use engine::{Algorithm, CompileOptions, CompiledQuery, Lahar, QuerySource};
 pub use error::EngineError;
-pub use expose::{MetricsRenderer, MetricsServer};
+pub use expose::{health_report, HealthRenderer, MetricsRenderer, MetricsServer};
 pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};
 pub use interval::IntervalChain;
 pub use occurrence::{OccurrenceModel, TpTw};

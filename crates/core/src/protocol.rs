@@ -255,9 +255,19 @@ fn push_marginals(out: &mut String, marginals: &[WireMarginal]) {
 /// never contains a raw newline: [`json::push_string`] escapes them, so
 /// the frame boundary is unambiguous.
 pub fn encode_command(c: &Command) -> String {
+    encode_request(c, None)
+}
+
+/// Encodes a command with an optional request `id` (additive protocol v1
+/// field; servers echo it verbatim in the matching response).
+pub fn encode_request(c: &Command, id: Option<u64>) -> String {
     let mut out = String::with_capacity(128);
     out.push_str("{\"v\":");
     out.push_str(&PROTOCOL_VERSION.to_string());
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        out.push_str(&id.to_string());
+    }
     out.push_str(",\"cmd\":");
     match c {
         Command::Ping => out.push_str("\"ping\""),
@@ -314,6 +324,21 @@ pub fn encode_command(c: &Command) -> String {
         }
     }
     out.push('}');
+    out
+}
+
+/// Encodes a response, echoing the request's `id` when one was given.
+/// Every response shape — including errors — carries the echo, so a
+/// client can correlate replies even across failures.
+pub fn encode_response_with_id(r: &Response, id: Option<u64>) -> String {
+    let mut out = encode_response(r);
+    if let Some(id) = id {
+        debug_assert!(out.ends_with('}'));
+        out.pop();
+        out.push_str(",\"id\":");
+        out.push_str(&id.to_string());
+        out.push('}');
+    }
     out
 }
 
@@ -479,10 +504,29 @@ fn parse_ticks(v: &JsonValue) -> Result<Vec<Vec<WireMarginal>>, EngineError> {
         .collect()
 }
 
+/// Extracts the optional request-correlation `id` from a parsed frame.
+/// A present-but-malformed id is a protocol error rather than being
+/// silently dropped — the client is clearly speaking the extension and
+/// would otherwise mis-correlate replies.
+fn parse_request_id(v: &JsonValue) -> Result<Option<u64>, EngineError> {
+    match v.get("id") {
+        None => Ok(None),
+        Some(id) => id
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| proto_err("'id' is not an unsigned integer")),
+    }
+}
+
 /// Parses one request line. Rejects frames whose `"v"` field names a
 /// version this build does not speak (frames without `"v"` are assumed
 /// current).
 pub fn parse_command(line: &str) -> Result<Command, EngineError> {
+    parse_request(line).map(|(c, _)| c)
+}
+
+/// Parses one request line together with its optional correlation `id`.
+pub fn parse_request(line: &str) -> Result<(Command, Option<u64>), EngineError> {
     let v = json::parse(line).map_err(|e| proto_err(format!("bad frame: {e}")))?;
     if let Some(ver) = v.get("v") {
         let ver = ver
@@ -494,7 +538,8 @@ pub fn parse_command(line: &str) -> Result<Command, EngineError> {
             )));
         }
     }
-    match req_str(&v, "cmd")?.as_str() {
+    let id = parse_request_id(&v)?;
+    let cmd = match req_str(&v, "cmd")?.as_str() {
         "ping" => Ok(Command::Ping),
         "shutdown" => Ok(Command::Shutdown),
         "open" => Ok(Command::Open {
@@ -525,13 +570,20 @@ pub fn parse_command(line: &str) -> Result<Command, EngineError> {
             session: req_str(&v, "session")?,
         }),
         other => Err(proto_err(format!("unknown command '{other}'"))),
-    }
+    }?;
+    Ok((cmd, id))
 }
 
 /// Parses one response line.
 pub fn parse_response(line: &str) -> Result<Response, EngineError> {
+    parse_response_with_id(line).map(|(r, _)| r)
+}
+
+/// Parses one response line together with its optional echoed `id`.
+pub fn parse_response_with_id(line: &str) -> Result<(Response, Option<u64>), EngineError> {
     let v = json::parse(line).map_err(|e| proto_err(format!("bad frame: {e}")))?;
-    match req_str(&v, "type")?.as_str() {
+    let id = parse_request_id(&v)?;
+    let r = match req_str(&v, "type")?.as_str() {
         "pong" => Ok(Response::Pong {
             version: req_u64(&v, "version")? as u32,
         }),
@@ -585,7 +637,8 @@ pub fn parse_response(line: &str) -> Result<Response, EngineError> {
             message: req_str(&v, "message")?,
         }),
         other => Err(proto_err(format!("unknown response type '{other}'"))),
-    }
+    }?;
+    Ok((r, id))
 }
 
 #[cfg(test)]
@@ -709,6 +762,43 @@ mod tests {
                 assert_eq!(series[0].to_bits(), (0.1f64 + 0.2).to_bits());
             }
             other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_ids_round_trip_on_both_directions() {
+        for c in commands() {
+            let line = encode_request(&c, Some(42));
+            assert!(!line.contains('\n'), "frame has a raw newline: {line}");
+            let (back, id) = parse_request(&line).unwrap();
+            assert_eq!(back, c, "{line}");
+            assert_eq!(id, Some(42), "{line}");
+            // Frames without an id still parse as id-less.
+            let (back, id) = parse_request(&encode_request(&c, None)).unwrap();
+            assert_eq!(back, c);
+            assert_eq!(id, None);
+        }
+        for r in responses() {
+            // The largest id that survives every f64-backed JSON parser.
+            let max_safe = (1u64 << 53) - 1;
+            let line = encode_response_with_id(&r, Some(max_safe));
+            assert!(!line.contains('\n'), "frame has a raw newline: {line}");
+            let (back, id) = parse_response_with_id(&line).unwrap();
+            assert_eq!(back, r, "{line}");
+            assert_eq!(id, Some(max_safe), "{line}");
+            assert_eq!(encode_response_with_id(&r, None), encode_response(&r));
+        }
+    }
+
+    #[test]
+    fn malformed_request_ids_are_protocol_errors() {
+        for bad in [
+            "{\"cmd\":\"ping\",\"id\":\"seven\"}",
+            "{\"cmd\":\"ping\",\"id\":-1}",
+            "{\"cmd\":\"ping\",\"id\":1.5}",
+            "{\"cmd\":\"ping\",\"id\":null}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
         }
     }
 

@@ -48,14 +48,16 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::error::EngineError;
 use crate::expose::{to_prometheus_sessions, MetricsServer};
 use crate::protocol::{
-    encode_response, parse_command, Command, Response, WireAlert, WireMarginal, CODE_OVERLOADED,
-    CODE_SESSION_LIMIT, CODE_UNKNOWN_SESSION, PROTOCOL_VERSION,
+    encode_response_with_id, parse_request, Command, Response, WireAlert, WireMarginal,
+    CODE_OVERLOADED, CODE_SESSION_LIMIT, CODE_UNKNOWN_SESSION, PROTOCOL_VERSION,
 };
 use crate::session::{Alert, RealTimeSession, SessionConfig};
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::{EngineStats, Histogram, StatsSnapshot};
+use crate::trace;
 use crate::wal::{self, Durability, WalMarginal, WalOp, WalWriter};
 use lahar_model::{Database, Marginal, StreamKey, Value};
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,7 +66,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of [`LaharServer`].
 #[derive(Debug, Clone)]
@@ -96,6 +98,14 @@ pub struct ServerConfig {
     /// Artificial per-command processing delay in every shard worker — a
     /// test/ops knob for driving the backpressure path deterministically.
     pub shard_delay: Option<Duration>,
+    /// Threshold of the structured slow-request log: a request whose
+    /// phase total (`queue_wait + execute + wal_append + respond`)
+    /// reaches this many milliseconds is logged as one JSONL entry.
+    /// `None` disables the log.
+    pub slow_request_ms: Option<u64>,
+    /// Where slow-request entries are appended; `None` writes them to
+    /// stderr. Only consulted when `slow_request_ms` is set.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -109,15 +119,40 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             session_config: SessionConfig::default(),
             shard_delay: None,
+            slow_request_ms: None,
+            slow_log: None,
         }
     }
+}
+
+/// Request-scoped context carried with a job from the connection
+/// reader to its shard worker.
+struct RequestCtx {
+    /// Client-supplied correlation id, echoed in the response and
+    /// attached (as the `req` span argument) on both threads.
+    id: Option<u64>,
+    /// Wire-command label (see [`COMMAND_LABELS`]).
+    command: &'static str,
+    /// When the connection thread enqueued the job; the worker's
+    /// dequeue time minus this is the `queue_wait` phase.
+    enqueued: Instant,
+}
+
+/// A worker's answer: the response plus the phases measured on the
+/// worker thread.
+struct WorkerReply {
+    response: Response,
+    queue_wait_ns: u64,
+    execute_ns: u64,
+    wal_ns: u64,
 }
 
 /// One command in flight to a shard worker.
 struct Job {
     session: String,
     cmd: Command,
-    reply: SyncSender<Response>,
+    ctx: RequestCtx,
+    reply: SyncSender<WorkerReply>,
 }
 
 enum ShardMsg {
@@ -145,6 +180,10 @@ struct Shared {
     overloaded_total: AtomicU64,
     /// Stats handle per hosted session, for the merged exposition.
     registry: Mutex<Vec<(String, EngineStats)>>,
+    /// Per-command phase histograms and outcome counters.
+    requests: RequestStats,
+    /// The structured slow-request log, when enabled.
+    slow_log: Option<SlowLog>,
 }
 
 /// The serve-loop handle. Dropping it (or calling
@@ -218,6 +257,13 @@ impl LaharServer {
             });
             receivers.push(rx);
         }
+        let slow_log = match config.slow_request_ms {
+            None => None,
+            Some(ms) => Some(
+                SlowLog::open(Duration::from_millis(ms), config.slow_log.as_deref())
+                    .map_err(|e| EngineError::InvalidConfig(format!("slow log: {e}")))?,
+            ),
+        };
         let shared = Arc::new(Shared {
             config,
             addr,
@@ -226,6 +272,8 @@ impl LaharServer {
             shutting_down: AtomicBool::new(false),
             overloaded_total: AtomicU64::new(0),
             registry: Mutex::new(Vec::new()),
+            requests: RequestStats::new(),
+            slow_log,
         });
 
         let mut workers = Vec::with_capacity(n_shards);
@@ -234,7 +282,7 @@ impl LaharServer {
             let depth = shared.shards[i].depth.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("lahar-shard-{i}"))
-                .spawn(move || shard_worker(&shared, rx, &depth))
+                .spawn(move || shard_worker(&shared, i, rx, &depth))
                 .map_err(|e| EngineError::ServerUnavailable(format!("spawn shard {i}: {e}")))?;
             workers.push(handle);
         }
@@ -242,10 +290,17 @@ impl LaharServer {
         let metrics = match shared.config.metrics_addr {
             None => None,
             Some(maddr) => {
-                let shared = shared.clone();
-                Some(MetricsServer::start_with_renderer(
+                let metrics_shared = shared.clone();
+                let health_shared = shared.clone();
+                Some(MetricsServer::start_with_renderers(
                     maddr,
-                    Arc::new(move || render_metrics(&shared)),
+                    Arc::new(move || render_metrics(&metrics_shared)),
+                    Arc::new(move || {
+                        let registry = health_shared.registry.lock().expect("registry lock");
+                        crate::expose::health_report(
+                            registry.iter().map(|(name, stats)| (name.as_str(), stats)),
+                        )
+                    }),
                 )?)
             }
         };
@@ -347,6 +402,326 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Request observability
+// ---------------------------------------------------------------------
+
+/// Wire-command labels in exposition order; `invalid` is the row for
+/// frames that never parsed into a command.
+const COMMAND_LABELS: [&str; 10] = [
+    "ping",
+    "open",
+    "register",
+    "stage",
+    "stage_ticks",
+    "tick",
+    "series",
+    "checkpoint",
+    "shutdown",
+    "invalid",
+];
+
+/// Request phases recorded per command (exposition label `phase`).
+const PHASE_LABELS: [&str; 4] = ["queue_wait", "execute", "wal_append", "respond"];
+
+/// Cap on distinct outcome codes tracked per command; later novel codes
+/// fold into `other` (mirrors the fallback-reason cardinality bound).
+const MAX_CODES_PER_COMMAND: usize = 12;
+
+/// Slow-log rate bound: entries past this per-second cap are counted
+/// and surfaced as `"suppressed"` on the next logged entry instead of
+/// being written — a latency storm must not make the log the next
+/// bottleneck.
+const SLOW_LOG_MAX_PER_SEC: u32 = 100;
+
+fn command_label(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Ping => "ping",
+        Command::Open { .. } => "open",
+        Command::Register { .. } => "register",
+        Command::Stage { .. } => "stage",
+        Command::StageTicks { .. } => "stage_ticks",
+        Command::Tick { .. } => "tick",
+        Command::Series { .. } => "series",
+        Command::Checkpoint { .. } => "checkpoint",
+        Command::Shutdown => "shutdown",
+    }
+}
+
+fn label_index(label: &str) -> usize {
+    COMMAND_LABELS
+        .iter()
+        .position(|l| *l == label)
+        .expect("known command label")
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A span carrying the request id as its `req` argument when present.
+fn req_span(name: &'static str, id: Option<u64>) -> trace::Span {
+    let span = trace::span(name);
+    match id {
+        Some(id) => span.with("req", id),
+        None => span,
+    }
+}
+
+thread_local! {
+    /// Nanoseconds spent in write-ahead appends by the worker-thread
+    /// command currently executing (the `wal_append` phase): reset per
+    /// job by [`shard_worker`], accumulated by [`wal_append`].
+    static WAL_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Per-command × per-phase duration histograms plus outcome counters,
+/// exported as `lahar_server_request_duration_seconds{command,phase}`
+/// and `lahar_server_requests_total{command,code}`.
+struct RequestStats {
+    /// One row per [`COMMAND_LABELS`] entry, one histogram per phase.
+    durations: Mutex<Vec<[Histogram; PHASE_LABELS.len()]>>,
+    /// One outcome-code map per command, bounded by
+    /// [`MAX_CODES_PER_COMMAND`].
+    codes: Mutex<Vec<BTreeMap<String, u64>>>,
+}
+
+impl RequestStats {
+    fn new() -> Self {
+        Self {
+            durations: Mutex::new(
+                (0..COMMAND_LABELS.len())
+                    .map(|_| std::array::from_fn(|_| Histogram::default()))
+                    .collect(),
+            ),
+            codes: Mutex::new(vec![BTreeMap::new(); COMMAND_LABELS.len()]),
+        }
+    }
+
+    /// Records one finished request: all four phase durations (inline
+    /// answers record zero worker phases) and its outcome code.
+    fn record(&self, label: &'static str, phases_ns: [u64; PHASE_LABELS.len()], code: &str) {
+        let idx = label_index(label);
+        {
+            let mut durations = self.durations.lock().expect("durations lock");
+            for (h, ns) in durations[idx].iter_mut().zip(phases_ns) {
+                h.record(ns);
+            }
+        }
+        let mut codes = self.codes.lock().expect("codes lock");
+        let per = &mut codes[idx];
+        if per.len() >= MAX_CODES_PER_COMMAND && !per.contains_key(code) {
+            *per.entry("other".to_owned()).or_insert(0) += 1;
+        } else {
+            *per.entry(code.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// Renders both request metrics in Prometheus text format. Commands
+    /// never seen emit nothing; a seen command emits every phase.
+    fn to_prometheus(&self) -> String {
+        use crate::expose::{push_header, push_histogram, push_label_value, push_sample};
+        let mut out = String::with_capacity(2048);
+        push_header(
+            &mut out,
+            "lahar_server_request_duration_seconds",
+            "Server-side request latency by command and phase \
+             (queue_wait / execute / wal_append / respond).",
+            "histogram",
+        );
+        {
+            let durations = self.durations.lock().expect("durations lock");
+            for (ci, row) in durations.iter().enumerate() {
+                if row.iter().all(|h| h.count() == 0) {
+                    continue;
+                }
+                for (pi, h) in row.iter().enumerate() {
+                    let labels = format!(
+                        "command=\"{}\",phase=\"{}\"",
+                        COMMAND_LABELS[ci], PHASE_LABELS[pi]
+                    );
+                    push_histogram(
+                        &mut out,
+                        "lahar_server_request_duration_seconds",
+                        &labels,
+                        &h.summarize(),
+                    );
+                }
+            }
+        }
+        push_header(
+            &mut out,
+            "lahar_server_requests_total",
+            "Requests handled, by command and outcome code (ok, or the error code).",
+            "counter",
+        );
+        {
+            let codes = self.codes.lock().expect("codes lock");
+            for (ci, per) in codes.iter().enumerate() {
+                for (code, count) in per {
+                    let mut labels = format!("command=\"{}\",code=", COMMAND_LABELS[ci]);
+                    push_label_value(&mut labels, code);
+                    push_sample(
+                        &mut out,
+                        "lahar_server_requests_total",
+                        &labels,
+                        &count.to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything the connection loop needs to answer, meter, and slow-log
+/// one request.
+struct RequestOutcome {
+    /// Command label, or `invalid` when the frame never parsed.
+    label: &'static str,
+    /// Echoed correlation id.
+    id: Option<u64>,
+    /// Target session, when the command named one.
+    session: Option<String>,
+    response: Response,
+    queue_wait_ns: u64,
+    execute_ns: u64,
+    wal_ns: u64,
+}
+
+impl RequestOutcome {
+    /// An answer produced on the connection thread itself (pings,
+    /// protocol errors, backpressure rejections): no worker phases.
+    fn inline(
+        label: &'static str,
+        id: Option<u64>,
+        session: Option<String>,
+        response: Response,
+    ) -> Self {
+        Self {
+            label,
+            id,
+            session,
+            response,
+            queue_wait_ns: 0,
+            execute_ns: 0,
+            wal_ns: 0,
+        }
+    }
+
+    /// The outcome code the counters and slow log record: `ok` for
+    /// every success shape, the error code otherwise.
+    fn code(&self) -> &str {
+        match &self.response {
+            Response::Error { code, .. } => code,
+            _ => "ok",
+        }
+    }
+}
+
+/// Structured, rate-bounded slow-request log: one JSONL entry per
+/// request whose phase total meets [`ServerConfig::slow_request_ms`].
+struct SlowLog {
+    threshold: Duration,
+    sink: Mutex<SlowSink>,
+}
+
+struct SlowSink {
+    out: Box<dyn std::io::Write + Send>,
+    /// Start of the current one-second rate window.
+    window: Instant,
+    /// Entries written in the current window.
+    in_window: u32,
+    /// Entries dropped by the rate bound since the last written entry.
+    suppressed: u64,
+}
+
+impl SlowLog {
+    fn open(threshold: Duration, path: Option<&Path>) -> std::io::Result<Self> {
+        let out: Box<dyn std::io::Write + Send> = match path {
+            Some(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => Box::new(std::io::stderr()),
+        };
+        Ok(Self {
+            threshold,
+            sink: Mutex::new(SlowSink {
+                out,
+                window: Instant::now(),
+                in_window: 0,
+                suppressed: 0,
+            }),
+        })
+    }
+
+    /// Logs `outcome` when its phase total meets the threshold and the
+    /// per-second rate bound allows another entry.
+    fn observe(&self, outcome: &RequestOutcome, respond_ns: u64) {
+        let total = outcome
+            .queue_wait_ns
+            .saturating_add(outcome.execute_ns)
+            .saturating_add(outcome.wal_ns)
+            .saturating_add(respond_ns);
+        if Duration::from_nanos(total) < self.threshold {
+            return;
+        }
+        let mut sink = self.sink.lock().expect("slow log lock");
+        if sink.window.elapsed() >= Duration::from_secs(1) {
+            sink.window = Instant::now();
+            sink.in_window = 0;
+        }
+        if sink.in_window >= SLOW_LOG_MAX_PER_SEC {
+            sink.suppressed += 1;
+            return;
+        }
+        sink.in_window += 1;
+        let suppressed = std::mem::take(&mut sink.suppressed);
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        let mut entry = String::with_capacity(192);
+        entry.push_str("{\"ts_ms\":");
+        entry.push_str(&ts_ms.to_string());
+        entry.push_str(",\"id\":");
+        match outcome.id {
+            Some(id) => entry.push_str(&id.to_string()),
+            None => entry.push_str("null"),
+        }
+        entry.push_str(",\"session\":");
+        match &outcome.session {
+            Some(session) => crate::json::push_string(&mut entry, session),
+            None => entry.push_str("null"),
+        }
+        entry.push_str(",\"command\":\"");
+        entry.push_str(outcome.label);
+        entry.push('"');
+        for (phase, ns) in [
+            ("queue_wait_ns", outcome.queue_wait_ns),
+            ("execute_ns", outcome.execute_ns),
+            ("wal_append_ns", outcome.wal_ns),
+            ("respond_ns", respond_ns),
+        ] {
+            entry.push_str(",\"");
+            entry.push_str(phase);
+            entry.push_str("\":");
+            entry.push_str(&ns.to_string());
+        }
+        entry.push_str(",\"outcome\":");
+        crate::json::push_string(&mut entry, outcome.code());
+        if suppressed > 0 {
+            entry.push_str(",\"suppressed\":");
+            entry.push_str(&suppressed.to_string());
+        }
+        entry.push_str("}\n");
+        let _ = sink.out.write_all(entry.as_bytes());
+        let _ = sink.out.flush();
+    }
+}
+
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     // Responses are one small flushed frame each; without TCP_NODELAY
     // Nagle can hold them for the peer's delayed ACK (~40 ms per round
@@ -382,11 +757,32 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
         if frame.trim().is_empty() {
             continue;
         }
-        let response = dispatch(shared, frame.trim_end());
-        let closing = matches!(response, Response::ShuttingDown);
-        writer.write_all(encode_response(&response).as_bytes())?;
+        let parsed = parse_request(frame.trim_end());
+        let span = req_span(
+            "serve_request",
+            parsed.as_ref().ok().and_then(|(_, id)| *id),
+        );
+        let outcome = dispatch(shared, parsed);
+        let closing = matches!(outcome.response, Response::ShuttingDown);
+        let respond_start = Instant::now();
+        writer.write_all(encode_response_with_id(&outcome.response, outcome.id).as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        let respond_ns = elapsed_ns(respond_start);
+        drop(span);
+        shared.requests.record(
+            outcome.label,
+            [
+                outcome.queue_wait_ns,
+                outcome.execute_ns,
+                outcome.wal_ns,
+                respond_ns,
+            ],
+            outcome.code(),
+        );
+        if let Some(slow) = &shared.slow_log {
+            slow.observe(&outcome, respond_ns);
+        }
         if closing {
             // Tear down only after the ack is flushed: connection
             // threads are detached, and once shutdown starts the main
@@ -398,42 +794,64 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
     }
 }
 
-/// Routes one frame: protocol errors and server-level commands are
-/// answered inline; session commands go to their shard's bounded queue.
-fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
-    let cmd = match parse_command(line) {
-        Ok(cmd) => cmd,
+/// Routes one parsed frame: protocol errors and server-level commands
+/// are answered inline (zero worker phases); session commands travel to
+/// their shard's bounded queue wrapped in a [`RequestCtx`], and the
+/// worker's phase timings come back with the response.
+fn dispatch(
+    shared: &Arc<Shared>,
+    parsed: Result<(Command, Option<u64>), EngineError>,
+) -> RequestOutcome {
+    let (cmd, id) = match parsed {
+        Ok(pair) => pair,
         Err(e) => {
-            return Response::Error {
-                code: "protocol".to_owned(),
-                message: e.to_string(),
-            }
+            return RequestOutcome::inline(
+                "invalid",
+                None,
+                None,
+                Response::Error {
+                    code: "protocol".to_owned(),
+                    message: e.to_string(),
+                },
+            )
         }
     };
+    let label = command_label(&cmd);
     let session = match &cmd {
         Command::Ping => {
-            return Response::Pong {
-                version: PROTOCOL_VERSION,
-            }
+            return RequestOutcome::inline(
+                label,
+                id,
+                None,
+                Response::Pong {
+                    version: PROTOCOL_VERSION,
+                },
+            )
         }
         Command::Shutdown => {
             // No side effects here: the connection loop initiates the
             // teardown after this ack has been written and flushed.
-            return Response::ShuttingDown;
+            return RequestOutcome::inline(label, id, None, Response::ShuttingDown);
         }
         other => other.session().expect("session command").to_owned(),
     };
+    let shutting_down = || Response::Error {
+        code: "shutting_down".to_owned(),
+        message: "server is shutting down".to_owned(),
+    };
     if shared.shutting_down.load(Ordering::SeqCst) {
-        return Response::Error {
-            code: "shutting_down".to_owned(),
-            message: "server is shutting down".to_owned(),
-        };
+        return RequestOutcome::inline(label, id, Some(session), shutting_down());
     }
     let shard = &shared.shards[shard_of(&session, shared.shards.len())];
     let (reply_tx, reply_rx) = sync_channel(1);
     let job = ShardMsg::Job(Job {
-        session,
+        session: session.clone(),
         cmd,
+        ctx: RequestCtx {
+            id,
+            command: label,
+            enqueued: Instant::now(),
+        },
         reply: reply_tx,
     });
     // Count the enqueue *before* try_send: the worker decrements on
@@ -445,26 +863,44 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
         Err(TrySendError::Full(_)) => {
             shard.depth.fetch_sub(1, Ordering::SeqCst);
             shared.overloaded_total.fetch_add(1, Ordering::SeqCst);
-            return Response::Error {
-                code: CODE_OVERLOADED.to_owned(),
-                message: format!(
-                    "shard queue full ({} pending); back off and retry",
-                    shared.config.queue_cap
-                ),
-            };
+            return RequestOutcome::inline(
+                label,
+                id,
+                Some(session),
+                Response::Error {
+                    code: CODE_OVERLOADED.to_owned(),
+                    message: format!(
+                        "shard queue full ({} pending); back off and retry",
+                        shared.config.queue_cap
+                    ),
+                },
+            );
         }
         Err(TrySendError::Disconnected(_)) => {
             shard.depth.fetch_sub(1, Ordering::SeqCst);
-            return Response::Error {
-                code: "shutting_down".to_owned(),
-                message: "server is shutting down".to_owned(),
-            };
+            return RequestOutcome::inline(label, id, Some(session), shutting_down());
         }
     }
-    reply_rx.recv().unwrap_or(Response::Error {
-        code: "shutting_down".to_owned(),
-        message: "server shut down before the command was processed".to_owned(),
-    })
+    match reply_rx.recv() {
+        Ok(reply) => RequestOutcome {
+            label,
+            id,
+            session: Some(session),
+            response: reply.response,
+            queue_wait_ns: reply.queue_wait_ns,
+            execute_ns: reply.execute_ns,
+            wal_ns: reply.wal_ns,
+        },
+        Err(_) => RequestOutcome::inline(
+            label,
+            id,
+            Some(session),
+            Response::Error {
+                code: "shutting_down".to_owned(),
+                message: "server shut down before the command was processed".to_owned(),
+            },
+        ),
+    }
 }
 
 /// FNV-1a over the session name. Checkpoint filenames (and shard
@@ -563,19 +999,37 @@ impl Hosted {
     }
 }
 
-fn shard_worker(shared: &Arc<Shared>, rx: Receiver<ShardMsg>, depth: &Arc<AtomicUsize>) {
+fn shard_worker(
+    shared: &Arc<Shared>,
+    idx: usize,
+    rx: Receiver<ShardMsg>,
+    depth: &Arc<AtomicUsize>,
+) {
     let mut sessions: HashMap<String, Hosted> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Shutdown => break,
             ShardMsg::Job(job) => {
                 depth.fetch_sub(1, Ordering::SeqCst);
+                let queue_wait_ns = elapsed_ns(job.ctx.enqueued);
+                let span = req_span("shard_dequeue", job.ctx.id).with("shard", idx as u64);
+                let _ = job.ctx.command; // carried for future routing/logging
                 if let Some(delay) = shared.config.shard_delay {
                     std::thread::sleep(delay);
                 }
+                WAL_NS.set(0);
+                let started = Instant::now();
                 let response = handle_command(shared, &mut sessions, &job.session, &job.cmd);
+                let wal_ns = WAL_NS.get();
+                let execute_ns = elapsed_ns(started).saturating_sub(wal_ns);
+                drop(span);
                 // The client may have hung up; its problem, not ours.
-                let _ = job.reply.send(response);
+                let _ = job.reply.send(WorkerReply {
+                    response,
+                    queue_wait_ns,
+                    execute_ns,
+                    wal_ns,
+                });
             }
         }
     }
@@ -911,11 +1365,15 @@ fn wal_append(hosted: &mut Hosted, t0: u64, op: WalOp) -> Result<(), Response> {
     let Some(w) = &mut hosted.wal else {
         return Ok(());
     };
-    match w.append(t0, op) {
+    let started = Instant::now();
+    let result = w.append(t0, op);
+    WAL_NS.with(|ns| ns.set(ns.get().saturating_add(elapsed_ns(started))));
+    match result {
         Ok(_) => Ok(()),
         Err(e) => {
             hosted.wal = None;
             hosted.wal_broken = true;
+            hosted.session.stats().set_wal_broken(true);
             Err(engine_error(EngineError::DurabilityIo(format!(
                 "wal append: {e}"
             ))))
@@ -969,6 +1427,7 @@ fn tick_epoch_with_recovery(
     hosted: &mut Hosted,
     ticks: Vec<Vec<(lahar_model::StreamId, Marginal)>>,
 ) -> Result<Vec<Alert>, EngineError> {
+    let _span = trace::span("tick_epoch").with("ticks", ticks.len() as u64);
     let mut all = Vec::with_capacity(ticks.len());
     let mut queue = ticks.into_iter();
     let mut remaining = queue.len();
@@ -1327,5 +1786,6 @@ fn render_metrics(shared: &Shared) -> String {
         shared.registry.lock().expect("registry lock").len()
     )
     .unwrap();
+    out.push_str(&shared.requests.to_prometheus());
     out
 }

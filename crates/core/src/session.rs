@@ -680,6 +680,7 @@ impl RealTimeSession {
     /// load spike that tripped the watchdog has passed).
     pub fn clear_degraded(&mut self) {
         self.degraded = false;
+        self.stats.set_degraded(false);
     }
 
     /// The most recent checkpoint taken (manually or automatically), if
@@ -1144,11 +1145,13 @@ impl RealTimeSession {
             Ok(Err(e)) => {
                 self.shards = (0..n_shards).map(|_| None).collect();
                 self.poisoned = true;
+                self.stats.set_poisoned(true);
                 Err(e)
             }
             Err(payload) => {
                 self.shards = (0..n_shards).map(|_| None).collect();
                 self.poisoned = true;
+                self.stats.set_poisoned(true);
                 Err(EngineError::WorkerPanicked {
                     worker: None,
                     message: panic_message(payload),
@@ -1232,6 +1235,7 @@ impl RealTimeSession {
                     // longer trusted until the caller clears degraded
                     // mode.
                     self.degraded = true;
+                    self.stats.set_degraded(true);
                     timed_out = true;
                     first_error.get_or_insert(EngineError::TickTimeout { deadline: budget });
                     break;
@@ -1249,6 +1253,7 @@ impl RealTimeSession {
             // A lost shard means lost chain state: refuse further ticks
             // instead of silently answering from half the chains.
             self.poisoned = true;
+            self.stats.set_poisoned(true);
             if timed_out {
                 // The abandoned jobs are still occupying shared-pool
                 // threads; keep the receiver so recover() can wait for
@@ -1636,6 +1641,7 @@ impl RealTimeSession {
         self.stats.record_kernel(&kernel);
         self.record_automata_stats();
         self.poisoned = false;
+        self.stats.set_poisoned(false);
         self.epoch_in_flight = 0;
         let per_tick_elapsed = started.elapsed() / k;
         let mut alerts = Vec::with_capacity(k as usize * self.queries.len());

@@ -36,8 +36,11 @@ const MAX_FALLBACK_REASONS: usize = 24;
 /// Bucket that absorbs fallback reasons past the cardinality cap.
 const FALLBACK_OVERFLOW_LABEL: &str = "other";
 
+/// Power-of-two-bucket latency histogram. Private to the stats layer
+/// except for the serve path's per-request phase histograms
+/// ([`crate::server`]), which reuse it behind their own mutex.
 #[derive(Debug)]
-struct Histogram {
+pub(crate) struct Histogram {
     counts: [u64; N_BUCKETS],
     n: u64,
     sum_ns: u64,
@@ -82,7 +85,12 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, ns: u64) {
+    /// Samples recorded so far.
+    pub(crate) fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub(crate) fn record(&mut self, ns: u64) {
         let bucket = (63 - ns.max(1).leading_zeros()) as usize;
         self.counts[bucket.min(N_BUCKETS - 1)] += 1;
         self.n += 1;
@@ -124,7 +132,7 @@ impl Histogram {
         self.max_ns
     }
 
-    fn summarize(&self) -> LatencySnapshot {
+    pub(crate) fn summarize(&self) -> LatencySnapshot {
         let buckets = self
             .counts
             .iter()
@@ -188,6 +196,13 @@ struct Inner {
     wal_segments: AtomicU64,
     wal_replayed_ticks: AtomicU64,
     checkpoints_quarantined: AtomicU64,
+    // Live health flags (runtime-only, never checkpointed): mirrors of
+    // the session's poisoned/degraded state and the server's WAL-broken
+    // state, published here so the `/healthz` readiness probe can read
+    // them without a handle on the session itself.
+    health_poisoned: AtomicU64,
+    health_degraded: AtomicU64,
+    health_wal_broken: AtomicU64,
     tick_latency: Mutex<Histogram>,
     fsync_latency: Mutex<Histogram>,
     fallback_reasons: Mutex<BTreeMap<String, u64>>,
@@ -376,6 +391,47 @@ impl EngineStats {
     /// Publishes the live WAL segment count for the session (gauge).
     pub fn set_wal_segments(&self, n: u64) {
         self.inner.wal_segments.store(n, Ordering::Relaxed);
+    }
+
+    /// Publishes whether the session is poisoned (a tick panicked or
+    /// timed out mid-flight and the session refuses further work until
+    /// [`crate::RealTimeSession::recover`]).
+    pub fn set_poisoned(&self, poisoned: bool) {
+        self.inner
+            .health_poisoned
+            .store(u64::from(poisoned), Ordering::Relaxed);
+    }
+
+    /// Whether the session is currently poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.health_poisoned.load(Ordering::Relaxed) != 0
+    }
+
+    /// Publishes whether the session is running degraded (sequential
+    /// fallback after a parallel-path watchdog timeout).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.inner
+            .health_degraded
+            .store(u64::from(degraded), Ordering::Relaxed);
+    }
+
+    /// Whether the session is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.health_degraded.load(Ordering::Relaxed) != 0
+    }
+
+    /// Publishes whether the session's write-ahead log is broken (an
+    /// append or fsync failed; mutations are refused with the
+    /// `durability` error code until recovery).
+    pub fn set_wal_broken(&self, broken: bool) {
+        self.inner
+            .health_wal_broken
+            .store(u64::from(broken), Ordering::Relaxed);
+    }
+
+    /// Whether the session's write-ahead log is broken.
+    pub fn is_wal_broken(&self) -> bool {
+        self.inner.health_wal_broken.load(Ordering::Relaxed) != 0
     }
 
     /// Records ticks re-applied from the write-ahead log during a

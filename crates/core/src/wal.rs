@@ -462,6 +462,7 @@ impl WalWriter {
     /// policy, and returns the record's sequence number. The ack for
     /// the mutation must not be sent until this returns.
     pub fn append(&mut self, t0: u64, op: WalOp) -> std::io::Result<u64> {
+        let _span = crate::trace::span("wal_append").with("t0", t0);
         let seq = self.next_seq;
         let record = WalRecord { seq, t0, op };
         let line = frame(&record.to_json());
@@ -486,6 +487,7 @@ impl WalWriter {
 
     /// Fsyncs the current segment, recording the latency.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let _span = crate::trace::span("wal_fsync");
         let started = Instant::now();
         self.file.sync_data()?;
         if let Some(stats) = &self.stats {

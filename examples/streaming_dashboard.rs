@@ -132,8 +132,14 @@ fn main() {
         }
     }
 
-    // The endpoint also answers /healthz while ticks run.
-    assert_eq!(scrape(endpoint, "/healthz"), "ok\n");
+    // The endpoint also answers /healthz while ticks run: a JSON
+    // readiness report that stays `"ok":true` while the session is
+    // healthy.
+    let health = scrape(endpoint, "/healthz");
+    assert!(
+        health.contains("\"ok\":true"),
+        "unexpected healthz: {health}"
+    );
     println!("healthz: ok");
 
     // Scrape our own /metrics and show the per-query series a dashboard

@@ -56,10 +56,12 @@ serve_query="At(p, l1)[Room(l1)] ; At(p, l2)[CoffeeRoom(l2)]"
 
 start_serve() {
     # Starts a server on free ports; sets serve_pid/serve_addr/serve_maddr.
+    # Extra arguments are passed through to `lahar serve`.
     local log="$1"
+    shift
     ./target/release/lahar serve --manifest "$dep" --addr 127.0.0.1:0 \
         --metrics-addr 127.0.0.1:0 --checkpoint-dir "$dep/ckpt" \
-        --durability batch 2>"$log" &
+        --durability batch "$@" 2>"$log" &
     serve_pid=$!
     serve_addr=""
     serve_maddr=""
@@ -97,6 +99,58 @@ if ! cmp -s "$dep/offline.csv" "$dep/served.csv"; then
 fi
 grep -q "restored" "$dep/ingest2.log" || { echo "restart did not restore the session" >&2; exit 1; }
 grep -q 'session="smoke"' "$dep/ingest2.log" || { echo "scrape missing session label" >&2; exit 1; }
+
+echo "==> request observability smoke (probe, phase metrics, slow log, trace)"
+# The trace lands where LAHAR_SMOKE_TRACE_OUT points (CI uploads it as an
+# artifact); default keeps it inside the scratch dir.
+smoke_trace="${LAHAR_SMOKE_TRACE_OUT:-$dep/serve.trace.json}"
+start_serve "$dep/serve3.log" --slow-request-ms 0 --slow-log "$dep/slow.jsonl" \
+    --trace-out "$smoke_trace"
+# One of every wire command, with client-stamped request ids.
+./target/release/lahar probe --manifest "$dep" --addr "$serve_addr" \
+    --session probe-smoke "$serve_query" >"$dep/probe.log" 2>&1
+grep -q 'probe last request id: ' "$dep/probe.log" \
+    || { echo "probe did not run" >&2; cat "$dep/probe.log" >&2; exit 1; }
+# Scrape /metrics with bash's /dev/tcp (no curl dependency): every wire
+# command must have left all four phase histograms and an outcome row.
+exec 3<>"/dev/tcp/${serve_maddr%%:*}/${serve_maddr##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+metrics="$(cat <&3)"
+exec 3>&- || true
+for needle in \
+    'lahar_server_request_duration_seconds_bucket{command="tick",phase="queue_wait"' \
+    'lahar_server_request_duration_seconds_bucket{command="tick",phase="execute"' \
+    'lahar_server_request_duration_seconds_bucket{command="tick",phase="wal_append"' \
+    'lahar_server_request_duration_seconds_bucket{command="tick",phase="respond"' \
+    'lahar_server_requests_total{command="open",code="ok"}' \
+    'lahar_server_requests_total{command="stage_ticks",code="ok"}' \
+    'lahar_trace_dropped_spans_total'; do
+    if ! grep -qF "$needle" <<<"$metrics"; then
+        echo "observability smoke failed: /metrics missing $needle" >&2
+        exit 1
+    fi
+done
+# Second probe shuts the server down gracefully (flushes the trace).
+./target/release/lahar probe --manifest "$dep" --addr "$serve_addr" \
+    --session probe-smoke --shutdown "$serve_query" >/dev/null 2>&1
+wait "$serve_pid"
+# The slow log (threshold 0 ⇒ everything logs) must hold a structurally
+# complete JSONL entry: id, session, command, all four phase durations.
+if ! grep -Eq '"id":[0-9]+,"session":"probe-smoke","command":"tick","queue_wait_ns":[0-9]+,"execute_ns":[0-9]+,"wal_append_ns":[0-9]+,"respond_ns":[0-9]+,"outcome":"ok"' \
+    "$dep/slow.jsonl"; then
+    echo "observability smoke failed: no complete slow-log tick entry" >&2
+    cat "$dep/slow.jsonl" >&2
+    exit 1
+fi
+# The Chrome trace must carry request-id-tagged spans from both the
+# connection reader and a shard worker.
+for needle in '"name":"serve_request"' '"name":"shard_dequeue"' '"req":' \
+    'lahar-conn' 'lahar-shard-'; do
+    if ! grep -qF "$needle" "$smoke_trace"; then
+        echo "observability smoke failed: trace missing $needle" >&2
+        exit 1
+    fi
+done
 rm -rf "$dep"
 
 echo "==> crash harness (kill -9 recovery, release, bounded)"
@@ -110,7 +164,8 @@ if [[ "$quick" -eq 0 ]]; then
         --bench streaming_throughput >/dev/null
     for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"' \
         '"streaming_worker_matrix"' '"par_ticks_per_sec_w4"' \
-        '"durability_overhead"' '"ticks_per_sec_always"'; do
+        '"durability_overhead"' '"ticks_per_sec_always"' \
+        '"serve_observability"' '"rt_per_sec_off"'; do
         if ! grep -qF "$key" BENCH_streaming.json; then
             echo "bench smoke failed: $key missing from BENCH_streaming.json" >&2
             exit 1

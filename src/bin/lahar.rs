@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -67,8 +68,10 @@ fn print_usage() {
          lahar serve    --manifest DIR --addr IP:PORT [--metrics-addr IP:PORT] [--shards N]\n  \
          \x20               [--queue-cap N] [--max-sessions N] [--checkpoint-dir DIR]\n  \
          \x20               [--durability none|batch|always] [--checkpoint-interval N]\n  \
+         \x20               [--slow-request-ms N] [--slow-log FILE] [--trace] [--trace-out FILE]\n  \
          lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
          \x20               [--epoch N] [--scrape URL] [--shutdown]\n  \
+         lahar probe    --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--shutdown]\n  \
          lahar demo\n\n\
          QUERY SYNTAX (see README):\n  \
          At('joe','a') ; (At('joe', l))+{{| Hallway(l)}} ; At('joe','c')\n  \
@@ -80,7 +83,7 @@ fn print_usage() {
 /// Flags that never take a value — without this list a trailing
 /// positional (e.g. the query after `--shutdown`) would be swallowed
 /// as the flag's value.
-const BOOL_FLAGS: [&str; 2] = ["archived", "shutdown"];
+const BOOL_FLAGS: [&str; 3] = ["archived", "shutdown", "trace"];
 
 fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
     let mut flags = BTreeMap::new();
@@ -459,12 +462,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         config.session_config.checkpoint_interval = interval;
     }
+    if flags.contains_key("slow-request-ms") {
+        config.slow_request_ms = Some(get_usize(&flags, "slow-request-ms", 0)? as u64);
+    }
+    if let Some(path) = flags.get("slow-log") {
+        config.slow_log = Some(PathBuf::from(path));
+    }
+    // `--trace-out` implies tracing; `--trace` alone streams spans into
+    // the rings for the live `/trace` endpoint on --metrics-addr.
+    if flags.contains_key("trace") || flags.contains_key("trace-out") {
+        lahar::core::trace::enable();
+    }
     let server = LaharServer::start(config, template).map_err(|e| e.to_string())?;
     eprintln!("serving on {}", server.addr());
     if let Some(maddr) = server.metrics_addr() {
         eprintln!("metrics: http://{maddr}/metrics");
     }
-    server.join().map_err(|e| e.to_string())
+    let result = server.join().map_err(|e| e.to_string());
+    if let Some(path) = flags.get("trace-out") {
+        lahar::core::trace::write_chrome_trace(path).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    result
 }
 
 /// One wire frame per tick: every stream's marginal at `t`, addressed by
@@ -592,6 +611,79 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         client.shutdown_server().map_err(|e| e.to_string())?;
         eprintln!("server shutting down");
     }
+    Ok(())
+}
+
+/// Drives one of every wire command against a live server — the
+/// observability smoke: after a probe, `/metrics` has a
+/// `lahar_server_request_duration_seconds` histogram and a
+/// `lahar_server_requests_total` counter for each command, and a
+/// traced server has spans for the whole request path. Prints one
+/// `probe <command>: ...` line per command.
+fn cmd_probe(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("probe requires --manifest DIR".to_owned())?,
+    );
+    let addr = parse_addr(
+        "addr",
+        flags.get("addr").ok_or("probe requires --addr IP:PORT")?,
+    )?;
+    let src = positional
+        .first()
+        .ok_or("probe requires a query argument".to_owned())?;
+    let session = flags.get("session").map_or("probe", String::as_str);
+    let db = load_database_impl(&dir, true)?;
+    if db.horizon() < 3 {
+        return Err("probe needs a manifest with at least 3 recorded ticks".to_owned());
+    }
+
+    let mut client = LaharClient::connect_with_retry(
+        addr,
+        session,
+        RetryPolicy {
+            max_retries: 24,
+            ..RetryPolicy::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let t = client.ping().map_err(|e| e.to_string())?;
+    println!("probe ping: t={t}");
+    let (t0, restored) = client.open().map_err(|e| e.to_string())?;
+    println!("probe open: t={t0} restored={restored}");
+    match client.register("q", src) {
+        Ok(n) => println!("probe register: {n} chains"),
+        Err(EngineError::Remote { code, message }) if code == "bad_request" => {
+            println!("probe register: already registered ({message})");
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    let staged = client
+        .stage(&wire_tick(&db, t0)?)
+        .map_err(|e| e.to_string())?;
+    println!("probe stage: {staged} streams");
+    let alerts = client.tick().map_err(|e| e.to_string())?;
+    println!("probe tick: {} alerts", alerts.len());
+    let frames = vec![wire_tick(&db, t0 + 1)?, wire_tick(&db, t0 + 2)?];
+    let alerts = client.stage_epoch(&frames).map_err(|e| e.to_string())?;
+    println!("probe stage_ticks: {} alerts", alerts.len());
+    let series = client.series("q").map_err(|e| e.to_string())?;
+    println!("probe series: {} points", series.len());
+    match client.checkpoint() {
+        Ok(t) => println!("probe checkpoint: t={t}"),
+        // Servers without --checkpoint-dir reject the command; the
+        // request still lands in the per-command metrics, which is all
+        // the probe needs.
+        Err(EngineError::Remote { code, .. }) => println!("probe checkpoint: rejected ({code})"),
+        Err(e) => return Err(e.to_string()),
+    }
+    if flags.contains_key("shutdown") {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("probe shutdown: ok");
+    }
+    println!("probe last request id: {}", client.last_id());
     Ok(())
 }
 

@@ -165,7 +165,7 @@ fn live_endpoint_serves_per_query_prometheus_series() {
 
     let (status, body) = scrape(addr, "/healthz");
     assert!(status.starts_with("HTTP/1.1 200"), "{status}");
-    assert_eq!(body, "ok\n");
+    assert!(body.contains("\"ok\":true"), "unexpected healthz: {body}");
 
     let (status, metrics) = scrape(addr, "/metrics");
     assert!(status.starts_with("HTTP/1.1 200"), "{status}");
@@ -247,6 +247,115 @@ fn chrome_trace_from_parallel_session_is_valid() {
     lahar::core::trace::clear();
 }
 
+/// Prometheus label-value escaping survives the full serve path: a
+/// session whose name contains quotes, backslashes, and newlines is
+/// opened over TCP, and the server's merged multi-session /metrics
+/// exposition still parses with the test-side parser and carries the
+/// escaped label (exercising `push_label_value` end to end).
+#[test]
+fn session_label_escaping_survives_live_server_scrape() {
+    use lahar::{LaharClient, LaharServer, ServerConfig};
+    let name = "we\"ird\\session\nname";
+    let mut config = ServerConfig::default();
+    config.n_shards = 2;
+    config.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
+    let server = LaharServer::start(config, schema_db().0).unwrap();
+    let mut client = LaharClient::connect(server.addr(), name).unwrap();
+    client.open().unwrap();
+    client.tick().unwrap();
+
+    let (status, metrics) = scrape(server.metrics_addr().unwrap(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_prometheus_well_formed(&metrics);
+    // Raw quote/backslash/newline escaped per the exposition format.
+    let escaped = "session=\"we\\\"ird\\\\session\\nname\"";
+    assert!(
+        metrics.contains(escaped),
+        "escaped session label missing:\n{metrics}"
+    );
+}
+
+/// One request is followable across threads: the connection reader's
+/// `serve_request` span and the shard worker's `shard_dequeue` span in
+/// the Chrome trace export carry the same `req` argument — the id the
+/// client generated and the server echoed.
+#[test]
+fn chrome_trace_links_one_request_across_reader_and_worker_threads() {
+    use lahar::{LaharClient, LaharServer, ServerConfig};
+    let _gate = lock_tracer();
+    lahar::core::trace::clear();
+    lahar::core::trace::enable();
+
+    let mut config = ServerConfig::default();
+    config.n_shards = 2;
+    let server = LaharServer::start(config, schema_db().0).unwrap();
+    let mut client = LaharClient::connect(server.addr(), "traced").unwrap();
+    client.open().unwrap();
+    client.tick().unwrap();
+    let req = client.last_id();
+    // The serve_request span closes just after the reply is flushed; a
+    // follow-up on the same sequential connection makes it durable in
+    // the rings before the export below.
+    client.ping().unwrap();
+    lahar::core::trace::disable();
+
+    let raw = lahar::core::trace::chrome_trace_json();
+    let doc = lahar::core::json::parse(&raw).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let mut thread_names = std::collections::BTreeMap::new();
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("M") {
+            thread_names.insert(
+                e.get("tid").and_then(|t| t.as_u64()).unwrap(),
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .unwrap()
+                    .to_owned(),
+            );
+        }
+    }
+    let span_with_req_on = |span: &str, thread_prefix: &str| {
+        events.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some(span)
+                && e.get("args")
+                    .and_then(|a| a.get("req"))
+                    .and_then(|r| r.as_u64())
+                    == Some(req)
+                && e.get("tid")
+                    .and_then(|t| t.as_u64())
+                    .and_then(|tid| thread_names.get(&tid))
+                    .is_some_and(|name| name.starts_with(thread_prefix))
+        })
+    };
+    assert!(
+        span_with_req_on("serve_request", "lahar-conn"),
+        "no serve_request span with req={req} on a connection-reader thread"
+    );
+    assert!(
+        span_with_req_on("shard_dequeue", "lahar-shard-"),
+        "no shard_dequeue span with req={req} on a shard-worker thread"
+    );
+    // The client side of the same request is in the export too.
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("client_send")
+                && e.get("args")
+                    .and_then(|a| a.get("req"))
+                    .and_then(|r| r.as_u64())
+                    == Some(req)
+        }),
+        "no client_send span with req={req}"
+    );
+
+    drop(client);
+    drop(server);
+    lahar::core::trace::clear();
+}
+
 /// Metric snapshots round-trip through a checkpoint: a restored session
 /// re-serves the same per-query counters from its endpoint.
 #[test]
@@ -299,16 +408,25 @@ fn poisoned_session_remains_scrapeable_and_reports_recovery() {
     assert!(session.tick().is_err());
     assert!(session.is_poisoned());
 
-    // Observability survives the fault.
+    // Observability survives the fault — and /healthz now tells the
+    // truth about it: 503 with the poisoned session named (a session's
+    // own endpoint reports it under the empty name).
     let (status, body) = scrape(addr, "/healthz");
-    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
-    assert_eq!(body, "ok\n");
+    assert!(status.starts_with("HTTP/1.1 503"), "{status}");
+    assert!(body.contains("\"ok\":false"), "unexpected healthz: {body}");
+    assert!(
+        body.contains("\"poisoned\":[\"\"]"),
+        "unexpected healthz: {body}"
+    );
     let (status, metrics) = scrape(addr, "/metrics");
     assert!(status.starts_with("HTTP/1.1 200"), "{status}");
     assert_prometheus_well_formed(&metrics);
     assert!(metrics.contains("lahar_recoveries_total 0"));
 
     session.recover().unwrap();
+    let (status, body) = scrape(addr, "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(body.contains("\"ok\":true"), "healthz must recover: {body}");
     let (_, metrics) = scrape(addr, "/metrics");
     assert!(metrics.contains("lahar_recoveries_total 1"));
     assert!(metrics.contains("lahar_ticks_total 4"));

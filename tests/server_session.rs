@@ -404,6 +404,137 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
         .unwrap_or(response)
 }
 
+/// Tentpole acceptance: after one of every wire command, the merged
+/// /metrics exposition has a `lahar_server_request_duration_seconds`
+/// histogram for all four phases of each command and a
+/// `lahar_server_requests_total` counter per outcome code — including
+/// the error and unparseable-frame rows — and /healthz answers ready.
+#[test]
+fn request_metrics_cover_every_wire_command_and_phase() {
+    let dir = temp_dir("reqmetrics");
+    let mut config = local_config();
+    config.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
+    config.checkpoint_dir = Some(dir.clone());
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let mut client = LaharClient::connect(server.addr(), "metered").unwrap();
+
+    client.ping().unwrap();
+    client.open().unwrap();
+    client.register("q", SRC).unwrap();
+    let frames = wire_frames(&recorded_db());
+    client.stage(&frames[0]).unwrap();
+    client.tick().unwrap();
+    client.stage_epoch(&frames[1..3]).unwrap();
+    client.series("q").unwrap();
+    client.checkpoint().unwrap();
+    // An error outcome and an unparseable frame land in the counters too.
+    match client.series("nope") {
+        Err(EngineError::Remote { code, .. }) => assert_eq!(code, "unknown_query"),
+        other => panic!("expected unknown_query, got {other:?}"),
+    }
+    {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"this is not a request\n").unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"protocol\""), "{line}");
+        // Metrics are recorded after each reply is flushed; a follow-up
+        // frame on the same sequential connection guarantees the
+        // invalid-frame row is counted before the scrape below.
+        raw.write_all(b"{\"v\":1,\"cmd\":\"ping\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+    }
+    // Same fence for the main connection's unknown_query outcome.
+    client.ping().unwrap();
+
+    let maddr = server.metrics_addr().unwrap();
+    let metrics = http_get(maddr, "/metrics");
+    for command in [
+        "ping",
+        "open",
+        "register",
+        "stage",
+        "tick",
+        "stage_ticks",
+        "series",
+        "checkpoint",
+    ] {
+        for phase in ["queue_wait", "execute", "wal_append", "respond"] {
+            let needle = format!(
+                "lahar_server_request_duration_seconds_bucket\
+                 {{command=\"{command}\",phase=\"{phase}\",le=\"+Inf\"}}"
+            );
+            assert!(metrics.contains(&needle), "missing {needle} in:\n{metrics}");
+        }
+        let ok = format!("lahar_server_requests_total{{command=\"{command}\",code=\"ok\"}}");
+        assert!(metrics.contains(&ok), "missing {ok} in:\n{metrics}");
+    }
+    assert!(metrics
+        .contains("lahar_server_requests_total{command=\"series\",code=\"unknown_query\"} 1"));
+    assert!(
+        metrics.contains("lahar_server_requests_total{command=\"invalid\",code=\"protocol\"} 1")
+    );
+    assert!(metrics.contains("lahar_trace_dropped_spans_total"));
+
+    // /healthz is a real readiness verdict now, not a constant.
+    let health = http_get(maddr, "/healthz");
+    assert!(
+        health.contains("\"ok\":true"),
+        "unexpected healthz: {health}"
+    );
+
+    client.shutdown_server().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A forced-slow request (threshold 0) produces a JSONL slow-log entry
+/// whose correlation id matches the id the client's response echoed,
+/// with all four phase durations and the outcome.
+#[test]
+fn slow_log_entry_id_matches_the_response_echo() {
+    let dir = temp_dir("slowlog");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("slow.jsonl");
+    let mut config = local_config();
+    config.slow_request_ms = Some(0);
+    config.slow_log = Some(log.clone());
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let mut client = LaharClient::connect(server.addr(), "sluggish").unwrap();
+    client.open().unwrap();
+    client.tick().unwrap();
+    let tick_id = client.last_id();
+    // The slow-log write happens after the tick's reply is flushed; a
+    // follow-up request on the same (sequential) connection guarantees
+    // the entry is on disk before the file is read.
+    client.ping().unwrap();
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    // The ping's own entry may still be mid-write when the file is
+    // read; the tick entry was flushed before the ping's reply, so it
+    // is complete — skip any torn tail instead of failing on it.
+    let entry = text
+        .lines()
+        .filter_map(|l| lahar::core::json::parse(l).ok())
+        .find(|e| e.get("command").and_then(|c| c.as_str()) == Some("tick"))
+        .expect("tick entry in slow log");
+    assert_eq!(entry.get("id").unwrap().as_u64(), Some(tick_id));
+    assert_eq!(entry.get("session").unwrap().as_str(), Some("sluggish"));
+    assert_eq!(entry.get("outcome").unwrap().as_str(), Some("ok"));
+    for phase in ["queue_wait_ns", "execute_ns", "wal_append_ns", "respond_ns"] {
+        assert!(
+            entry.get(phase).and_then(|v| v.as_u64()).is_some(),
+            "missing {phase} in slow-log entry"
+        );
+    }
+    client.shutdown_server().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Chaos, over the wire: N concurrent clients ingest into disjoint
 /// sessions — plus two clients sharing one more — while deterministic
 /// faults fire on the parallel tick path. The server must stay live,
