@@ -82,6 +82,16 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Median of repeated timing runs, in place. Bench arms run on small
+/// shared hosts where a single run is hostage to scheduler noise (one
+/// preemption mid-window reads as a multi-ten-percent swing); the
+/// median of three runs is stable where a mean or single shot is not.
+pub fn median(runs: &mut [f64]) -> f64 {
+    assert!(!runs.is_empty(), "median of no runs");
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
 /// Relational tuple throughput: the database's tuple count over elapsed
 /// seconds (the paper's tuples/sec axis).
 pub fn tuples_per_sec(db: &Database, secs: f64) -> f64 {
@@ -135,6 +145,14 @@ mod tests {
             lahar_query::parse_and_validate(db.catalog(), db.interner(), &src)
                 .unwrap_or_else(|e| panic!("{src}: {e}"));
         }
+    }
+
+    #[test]
+    fn median_picks_middle_run() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [5.0]), 5.0);
+        // One wild outlier (a preempted run) does not move the median.
+        assert_eq!(median(&mut [2.0, 100.0, 1.0]), 2.0);
     }
 
     #[test]

@@ -107,6 +107,16 @@ impl DfaCache {
     }
 }
 
+/// Lane identity handed to the SoA batcher: chains batch together only
+/// when the automaton pointer and the full `l2s` layout match, which
+/// (by construction of local discovery order) also makes their
+/// accepting words and float accumulation order identical.
+pub(crate) struct SoaDesc<'a> {
+    pub(crate) automaton_ptr: usize,
+    pub(crate) l2s: &'a [u32],
+    pub(crate) acc_words: &'a [u64],
+}
+
 /// Where an independent-mode step reads this tick's marginals from.
 pub(crate) enum MarginalSource<'a> {
     /// `marginal_at(t)` of each relevant stream (batch evaluation).
@@ -179,11 +189,29 @@ pub struct ChainEvaluator {
     n_joint: usize,
     /// Per relevant stream: symbol set per outcome.
     syms: Vec<Vec<SymbolSet>>,
+    /// FNV-1a over `syms`, fixed at construction (the tables never
+    /// change); see [`ChainEvaluator::syms_fingerprint`].
+    syms_fp: u64,
     /// Joint symbol per joint hidden outcome (Markov mode).
     joint_syms: Vec<SymbolSet>,
     repr: Repr,
     /// Next timestep to consume.
     t: u32,
+}
+
+/// FNV-1a over per-stream symbol-translation tables (see
+/// [`ChainEvaluator::syms_fingerprint`]).
+fn fingerprint_syms(syms: &[Vec<SymbolSet>]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for table in syms {
+        h ^= table.len() as u64 + 1;
+        h = h.wrapping_mul(0x100000001b3);
+        for &sym in table {
+            h ^= sym.0;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 impl ChainEvaluator {
@@ -269,11 +297,13 @@ impl ChainEvaluator {
             };
             (1, Vec::new(), Repr::Indep(indep))
         };
+        let syms_fp = fingerprint_syms(&syms);
         Ok(Self {
             streams,
             sizes,
             n_joint,
             syms,
+            syms_fp,
             joint_syms,
             repr,
             t: 0,
@@ -385,6 +415,161 @@ impl ChainEvaluator {
             Repr::Indep(k) => Some(Arc::as_ptr(k.local.automaton()) as usize),
             Repr::Markov(_) => None,
         }
+    }
+
+    /// The chain's lane identity for the SoA batcher: automaton pointer
+    /// plus local state numbering and accepting words. `None` when the
+    /// chain can't join a batch (Markov mode, or the interpreter is
+    /// forced — the forced path must exercise the interpreter per chain).
+    pub(crate) fn soa_descriptor(&self) -> Option<SoaDesc<'_>> {
+        match &self.repr {
+            Repr::Indep(k) if !k.local.forces_interpreter() => Some(SoaDesc {
+                automaton_ptr: Arc::as_ptr(k.local.automaton()) as usize,
+                l2s: k.local.local_to_shared(),
+                acc_words: k.local.accepting_mask(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The shared automaton handle, for batch-level transition resolution.
+    pub(crate) fn soa_automaton(&self) -> Option<Arc<kernel::SharedAutomaton>> {
+        match &self.repr {
+            Repr::Indep(k) => Some(Arc::clone(k.local.automaton())),
+            Repr::Markov(_) => None,
+        }
+    }
+
+    /// Maps a shared state id into this chain's local numbering without
+    /// assigning one (the batcher never mutates chain layouts).
+    pub(crate) fn soa_peek_local(&self, shared_id: u32) -> Option<u32> {
+        match &self.repr {
+            Repr::Indep(k) => k.local.peek_local(shared_id),
+            Repr::Markov(_) => None,
+        }
+    }
+
+    /// The current mass vector (read side of the SoA gather).
+    pub(crate) fn soa_mass(&self) -> Option<&[f64]> {
+        match &self.repr {
+            Repr::Indep(k) => Some(&k.mass),
+            Repr::Markov(_) => None,
+        }
+    }
+
+    /// The `(stream index, outcome → symbol set)` signature when this
+    /// chain reads exactly one independent stream — the shape whose
+    /// symbol distribution the batcher can fill straight from the staged
+    /// marginal, bypassing the per-chain convolution cache (the
+    /// single-stream union-convolution is just that mapping).
+    pub(crate) fn soa_single_stream(&self) -> Option<(usize, &[SymbolSet])> {
+        match &self.repr {
+            Repr::Indep(_) if self.streams.len() == 1 => {
+                Some((self.streams[0], self.syms[0].as_slice()))
+            }
+            _ => None,
+        }
+    }
+
+    /// FNV-1a over the symbol-translation tables, for batch grouping:
+    /// chains of *different* queries can share a compiled automaton
+    /// (same regex over match bits) while translating stream outcomes
+    /// differently, and such lanes must not share a probability matrix.
+    /// Collisions are safe — they only merge groups, and the batcher
+    /// re-checks the tables exactly before using the shared-table fill.
+    /// Computed once at construction — the tables are immutable.
+    pub(crate) fn syms_fingerprint(&self) -> u64 {
+        self.syms_fp
+    }
+
+    /// Memoized FNV-1a fingerprint of the local state numbering (see
+    /// [`LocalDfa::layout_fp`]); `None` for Markov chains.
+    pub(crate) fn layout_fp(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Indep(k) => Some(k.local.layout_fp()),
+            Repr::Markov(_) => None,
+        }
+    }
+
+    /// Assigns local ids to every state this chain's next step would
+    /// discover, in the exact order the scalar routing loop would:
+    /// occupied states ascending, then this tick's distribution entries
+    /// ascending by symbol set (`active_syms` must be that sorted
+    /// nonzero-probability support). After the call the local numbering
+    /// is identical to what a scalar step would have produced, so the
+    /// batcher can refresh its layout snapshot and keep the lanes
+    /// batched through a discovery tick instead of falling back.
+    pub(crate) fn soa_discover(&mut self, active_syms: &[SymbolSet]) {
+        let k = match &mut self.repr {
+            Repr::Indep(k) => k,
+            Repr::Markov(_) => unreachable!("soa_discover on a Markov chain"),
+        };
+        k.slots.clear();
+        for &sym in active_syms {
+            k.slots.push((k.local.slot_of(sym), 0.0));
+        }
+        let n_q = k.mass.len();
+        for q in 0..n_q {
+            if k.mass[q] == 0.0 {
+                continue;
+            }
+            for i in 0..k.slots.len() {
+                let (slot, _) = k.slots[i];
+                k.local.step(q as u32, slot);
+            }
+        }
+    }
+
+    /// This tick's symbol-distribution index in `cache` for this chain's
+    /// signature, computing it on a miss — the exact cache protocol of
+    /// the scalar step, shared so both paths resolve identically.
+    pub(crate) fn sym_dist_index(&mut self, marginals: &[Marginal], cache: &mut SymCache) -> u32 {
+        let streams = &self.streams;
+        let syms = &self.syms;
+        let t = self.t;
+        let k = match &mut self.repr {
+            Repr::Indep(k) => k,
+            Repr::Markov(_) => unreachable!("sym_dist_index on a Markov chain"),
+        };
+        match cache.lookup(&k.sig) {
+            Some(idx) => idx,
+            None => cache.insert_with(k.sig.clone(), |out, tmp| {
+                union_convolution(
+                    streams,
+                    syms,
+                    &MarginalSource::Staged(marginals),
+                    t,
+                    out,
+                    tmp,
+                )
+            }),
+        }
+    }
+
+    /// Commits one batched step for this chain: lane `lane` of the
+    /// `lanes`-wide `next` matrix becomes the mass vector, the accepting
+    /// sum is clamped exactly like [`accept_scan`], and the clock
+    /// advances. The mass the batcher routed was gathered from this
+    /// chain at the start of the tick, so between ticks the chain
+    /// remains the single source of truth (checkpoints are unaffected).
+    pub(crate) fn soa_commit_strided(
+        &mut self,
+        next: &[f64],
+        lane: usize,
+        lanes: usize,
+        accept_sum: f64,
+    ) {
+        let k = match &mut self.repr {
+            Repr::Indep(k) => k,
+            Repr::Markov(_) => unreachable!("soa_commit_strided on a Markov chain"),
+        };
+        let n_states = next.len() / lanes.max(1);
+        k.next_mass.clear();
+        k.next_mass
+            .extend((0..n_states).map(|q| next[q * lanes + lane]));
+        std::mem::swap(&mut k.mass, &mut k.next_mass);
+        k.accept = accept_sum.clamp(0.0, 1.0) + 0.0;
+        self.t += 1;
     }
 
     /// Exports the forward state (timestep, per-DFA-state mass, and the
@@ -574,14 +759,34 @@ impl ChainEvaluator {
     }
 }
 
+#[cfg(test)]
+thread_local! {
+    /// Counts states visited by [`accept_scan`], so tests can assert
+    /// that [`ChainEvaluator::accept_prob`] stays O(1) per step: the
+    /// scan runs once inside each step (bounded by the state count),
+    /// and reads never rescan. Thread-local, so concurrently running
+    /// tests never bump each other's counts.
+    pub(crate) static ACCEPT_SCAN_STATES: std::cell::Cell<u64> =
+        const { std::cell::Cell::new(0) };
+}
+
 /// Accepting mass of a flat state-mass vector, in ascending state order
 /// (the accumulation order the interpreted path used, so cached values
-/// are bit-identical to a fresh scan).
-fn accept_scan(mass: &[f64], accepting: &[bool]) -> f64 {
+/// are bit-identical to a fresh scan). `accepting` is the packed u64
+/// mask (bit `q % 64` of word `q / 64`); iterating set bits ascending
+/// visits exactly the accepting states in ascending order.
+fn accept_scan(mass: &[f64], accepting: &[u64]) -> f64 {
     let mut p = 0.0;
-    for (q, &m) in mass.iter().enumerate() {
-        if accepting[q] {
-            p += m;
+    for (w, &word) in accepting.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let q = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if let Some(&m) = mass.get(q) {
+                p += m;
+            }
+            #[cfg(test)]
+            ACCEPT_SCAN_STATES.with(|c| c.set(c.get() + 1));
         }
     }
     // Guard against -1e-18-style float dust; the `+ 0.0` also normalizes
@@ -746,5 +951,92 @@ fn markov_cpt(stream: &Stream, t: u32) -> impl Fn(usize, usize) -> f64 + '_ {
                 0.0
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahar_model::StreamBuilder;
+    use lahar_query::{parse_query, NormalQuery};
+
+    fn scans() -> u64 {
+        ACCEPT_SCAN_STATES.with(|c| c.get())
+    }
+
+    fn indep_db() -> Database {
+        let mut db = Database::new();
+        db.declare_stream("At", &["person"], &["loc"]).unwrap();
+        let i = db.interner().clone();
+        let b = StreamBuilder::new(&i, "At", &["joe"], &["a", "h", "c"]);
+        let ms = vec![
+            b.marginal(&[("a", 0.6), ("h", 0.3)]).unwrap(),
+            b.marginal(&[("h", 0.5), ("c", 0.2)]).unwrap(),
+            b.marginal(&[("c", 0.7), ("a", 0.1)]).unwrap(),
+            b.marginal(&[("c", 0.4), ("h", 0.4)]).unwrap(),
+        ];
+        db.add_stream(b.independent(ms).unwrap()).unwrap();
+        db
+    }
+
+    /// `accept_prob` must be a cached read: the accepting scan runs once
+    /// per consumed tick (bounded by the accepting-state count), and
+    /// repeated reads between ticks never rescan the mass vector. The
+    /// scan counter makes that observable without timing anything.
+    #[test]
+    fn accept_prob_reads_never_rescan() {
+        let db = indep_db();
+        let q = parse_query(db.interner(), "At('joe', 'a') ; At('joe', 'h')").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let mut chain = ChainEvaluator::new(&db, &nq.items).unwrap();
+
+        let mut per_step = Vec::new();
+        for _ in 0..db.horizon() {
+            let before = scans();
+            let p = chain.step(&db);
+            let after_step = scans();
+            per_step.push(after_step - before);
+
+            // Reads are O(1): hammering accept_prob touches zero states.
+            for _ in 0..1000 {
+                assert_eq!(chain.accept_prob(), p);
+            }
+            assert_eq!(
+                scans(),
+                after_step,
+                "accept_prob() rescanned the mass vector"
+            );
+        }
+
+        // Per-tick scan work is bounded by the DFA's accepting-state
+        // count, not the stream length: the per-step cost never grows.
+        let bound = per_step[0].max(1);
+        for (t, &d) in per_step.iter().enumerate() {
+            assert!(
+                d <= bound,
+                "tick {t} scanned {d} states, more than the first tick's {bound}"
+            );
+        }
+    }
+
+    /// The batched SoA commit hands the chain a precomputed accepting
+    /// sum; committing must not trigger a fresh scan either.
+    #[test]
+    fn soa_commit_does_not_rescan() {
+        let db = indep_db();
+        let q = parse_query(db.interner(), "At('joe', 'a') ; At('joe', 'h')").unwrap();
+        let nq = NormalQuery::from_query(&q);
+        let mut chain = ChainEvaluator::new(&db, &nq.items).unwrap();
+        chain.step(&db); // discover states so the mass vector is real
+
+        let n = match &chain.repr {
+            Repr::Indep(k) => k.mass.len(),
+            Repr::Markov(_) => unreachable!(),
+        };
+        let next = vec![0.5; n];
+        let before = scans();
+        chain.soa_commit_strided(&next, 0, 1, 0.25);
+        assert_eq!(scans(), before);
+        assert_eq!(chain.accept_prob(), 0.25);
     }
 }

@@ -581,7 +581,8 @@ fn push_stats(out: &mut String, s: &StatsState) {
          \"checkpoints_taken\":{},\"chains_stepped\":{},\"bindings_grounded\":{},\
          \"alerts_emitted\":{},\"marginals_staged\":{},\"sampler_compilations\":{},\
          \"sampler_worlds\":{},\"fallbacks\":{},\"kernel_fast_steps\":{},\
-         \"kernel_frozen_steps\":{},\"kernel_slow_steps\":{},\"sym_cache_hits\":{},\
+         \"kernel_frozen_steps\":{},\"kernel_slow_steps\":{},\
+         \"kernel_soa_steps\":{},\"kernel_simd_steps\":{},\"sym_cache_hits\":{},\
          \"sym_cache_misses\":{},\"automata_shared\":{},\"automata_attached\":{},\
          \"fallback_reasons\":{{",
         s.ticks,
@@ -601,6 +602,8 @@ fn push_stats(out: &mut String, s: &StatsState) {
         s.kernel_fast_steps,
         s.kernel_frozen_steps,
         s.kernel_slow_steps,
+        s.kernel_soa_steps,
+        s.kernel_simd_steps,
         s.sym_cache_hits,
         s.sym_cache_misses,
         s.automata_shared,
@@ -681,6 +684,10 @@ fn parse_stats(v: &JsonValue) -> Result<StatsState, EngineError> {
         kernel_fast_steps: get_u64(v, "kernel_fast_steps")?,
         kernel_frozen_steps: get_u64(v, "kernel_frozen_steps")?,
         kernel_slow_steps: get_u64(v, "kernel_slow_steps")?,
+        // Added after the stats block was already in the wild: default
+        // to 0 so checkpoints written by older builds still restore.
+        kernel_soa_steps: get_u64_or_zero(v, "kernel_soa_steps")?,
+        kernel_simd_steps: get_u64_or_zero(v, "kernel_simd_steps")?,
         sym_cache_hits: get_u64(v, "sym_cache_hits")?,
         sym_cache_misses: get_u64(v, "sym_cache_misses")?,
         automata_shared: get_u64(v, "automata_shared")?,
@@ -714,6 +721,19 @@ fn get_u64(v: &JsonValue, key: &str) -> Result<u64, EngineError> {
     get(v, key)?
         .as_u64()
         .ok_or_else(|| EngineError::CheckpointCorrupt(format!("field '{key}' is not an integer")))
+}
+
+/// Like [`get_u64`] but treats a *missing* key as 0 — for counter fields
+/// added after the checkpoint format shipped, so documents written by
+/// older builds still restore. A present-but-non-integer value is still
+/// corrupt.
+fn get_u64_or_zero(v: &JsonValue, key: &str) -> Result<u64, EngineError> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(x) => x.as_u64().ok_or_else(|| {
+            EngineError::CheckpointCorrupt(format!("field '{key}' is not an integer"))
+        }),
+    }
 }
 
 fn get_str(v: &JsonValue, key: &str) -> Result<String, EngineError> {
@@ -819,6 +839,8 @@ mod tests {
                 kernel_fast_steps: 120,
                 kernel_frozen_steps: 30,
                 kernel_slow_steps: 9,
+                kernel_soa_steps: 4096,
+                kernel_simd_steps: 512,
                 sym_cache_hits: 40,
                 sym_cache_misses: 11,
                 automata_shared: 1,
@@ -861,6 +883,25 @@ mod tests {
         }
         // Stable serialization: same document on re-encode.
         assert_eq!(parsed.to_json(), doc);
+    }
+
+    /// Checkpoints written before the batched-kernel counters existed
+    /// lack `kernel_soa_steps`/`kernel_simd_steps`; they must still
+    /// restore, defaulting the missing counters to 0.
+    #[test]
+    fn stats_missing_soa_counters_default_to_zero() {
+        let doc = sample()
+            .to_json()
+            .replace("\"kernel_soa_steps\":4096,", "")
+            .replace("\"kernel_simd_steps\":512,", "");
+        let parsed = Checkpoint::from_json(&doc).unwrap();
+        assert_eq!(parsed.stats.kernel_soa_steps, 0);
+        assert_eq!(parsed.stats.kernel_simd_steps, 0);
+        // A present-but-non-integer value is still rejected.
+        let bad = sample()
+            .to_json()
+            .replace("\"kernel_soa_steps\":4096", "\"kernel_soa_steps\":\"no\"");
+        assert!(Checkpoint::from_json(&bad).is_err());
     }
 
     #[test]

@@ -236,7 +236,9 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
         &mut out,
         "lahar_kernel_steps_total",
         "Chain transitions by kernel path (fast = local dense table, \
-         frozen = shared frozen table, slow = interpreter).",
+         frozen = shared frozen table, slow = interpreter, scalar_soa = \
+         batched struct-of-arrays lanes, simd = batched lanes through \
+         SSE2/AVX2).",
         "counter",
     );
     for (label, snap) in &entries {
@@ -244,6 +246,8 @@ pub fn to_prometheus_sessions(sessions: &[(&str, &StatsSnapshot)]) -> String {
             ("fast", snap.kernel_fast_steps),
             ("frozen", snap.kernel_frozen_steps),
             ("slow", snap.kernel_slow_steps),
+            ("scalar_soa", snap.kernel_soa_steps),
+            ("simd", snap.kernel_simd_steps),
         ] {
             let labels = joined(label, &format!("path=\"{path}\""));
             push_sample(
@@ -799,6 +803,8 @@ mod tests {
         assert!(text.contains("lahar_kernel_steps_total{path=\"fast\"}"));
         assert!(text.contains("lahar_kernel_steps_total{path=\"frozen\"}"));
         assert!(text.contains("lahar_kernel_steps_total{path=\"slow\"}"));
+        assert!(text.contains("lahar_kernel_steps_total{path=\"scalar_soa\"}"));
+        assert!(text.contains("lahar_kernel_steps_total{path=\"simd\"}"));
         assert!(text.contains("lahar_kernel_sym_cache_total{result=\"hit\"}"));
         assert!(text.contains("lahar_kernel_sym_cache_total{result=\"miss\"}"));
         assert!(text.contains("lahar_kernel_automata_shared "));

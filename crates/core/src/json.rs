@@ -297,12 +297,24 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                Some(b) => {
+                    // Consume one UTF-8 character. The input is a &str
+                    // and `pos` only ever advances by whole characters,
+                    // so decoding the lead byte's span always succeeds;
+                    // the error arm keeps the parser total without any
+                    // `unsafe` (the workspace denies `unsafe_code`
+                    // outside the simd kernel module).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

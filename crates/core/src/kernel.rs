@@ -61,6 +61,12 @@ pub(crate) struct KernelCounters {
     pub frozen: u64,
     /// Transitions that took the interpreter (mutex) path.
     pub slow: u64,
+    /// Lane-transitions routed by the batched struct-of-arrays kernel
+    /// (scalar flat-loop dispatch).
+    pub soa: u64,
+    /// Lane-transitions routed by the batched kernel's explicit SIMD
+    /// dispatch (AVX2/SSE2).
+    pub simd: u64,
 }
 
 impl KernelCounters {
@@ -68,6 +74,8 @@ impl KernelCounters {
         self.fast += other.fast;
         self.frozen += other.frozen;
         self.slow += other.slow;
+        self.soa += other.soa;
+        self.simd += other.simd;
     }
 }
 
@@ -350,8 +358,14 @@ pub(crate) struct LocalDfa {
     local_to_shared: Vec<u32>,
     /// Shared id -> local id ([`UNKNOWN`] = not seen by this chain).
     shared_to_local: Vec<u32>,
-    /// Accepting mask per local id.
-    accepting: Vec<bool>,
+    /// Accepting mask per local id, packed 64 states per word
+    /// (bit `q % 64` of word `q / 64`).
+    acc_words: Vec<u64>,
+    /// Bumped whenever the local state numbering changes (new state
+    /// discovered or a checkpoint import rebuilt it). The SoA batcher
+    /// keys lane-compatibility checks and cached transition columns on
+    /// this, so a stale batch layout can never be applied.
+    layout_version: u64,
     /// Dense transitions: `trans[q * stride + slot]`, [`UNKNOWN`] = miss.
     trans: Vec<u32>,
     stride: usize,
@@ -363,24 +377,46 @@ pub(crate) struct LocalDfa {
     /// through the shared interpreter (identical results, no compilation).
     force_interpreter: bool,
     counters: KernelCounters,
+    /// `(layout_version stamp, fingerprint)` memo for
+    /// [`LocalDfa::layout_fp`]: the SoA planner fingerprints every
+    /// chain's numbering every tick, and the numbering only changes when
+    /// `layout_version` bumps. `u64::MAX` stamp = not yet computed.
+    fp_memo: std::cell::Cell<(u64, u64)>,
 }
 
 const INITIAL_STRIDE: usize = 4;
 
+/// Sets or clears bit `q` in a packed accepting mask, growing it to
+/// cover `q`.
+fn set_acc_bit(words: &mut Vec<u64>, q: usize, accepting: bool) {
+    let w = q / 64;
+    if w >= words.len() {
+        words.resize(w + 1, 0);
+    }
+    if accepting {
+        words[w] |= 1u64 << (q % 64);
+    } else {
+        words[w] &= !(1u64 << (q % 64));
+    }
+}
+
 impl LocalDfa {
     pub(crate) fn new(shared: Arc<SharedAutomaton>) -> Self {
-        let accepting = vec![shared.initial_accepting()];
+        let mut acc_words = Vec::new();
+        set_acc_bit(&mut acc_words, 0, shared.initial_accepting());
         Self {
             shared,
             local_to_shared: vec![0],
             shared_to_local: vec![0],
-            accepting,
+            acc_words,
+            layout_version: 0,
             trans: vec![UNKNOWN; INITIAL_STRIDE],
             stride: INITIAL_STRIDE,
             slot_ids: Vec::new(),
             slot_syms: Vec::new(),
             force_interpreter: false,
             counters: KernelCounters::default(),
+            fp_memo: std::cell::Cell::new((u64::MAX, 0)),
         }
     }
 
@@ -393,11 +429,57 @@ impl LocalDfa {
     }
 
     pub(crate) fn is_accepting(&self, q: u32) -> bool {
-        self.accepting[q as usize]
+        (self.acc_words[q as usize / 64] >> (q % 64)) & 1 != 0
     }
 
-    pub(crate) fn accepting_mask(&self) -> &[bool] {
-        &self.accepting
+    /// Packed accepting mask: bit `q % 64` of word `q / 64` is set when
+    /// local state `q` accepts.
+    pub(crate) fn accepting_mask(&self) -> &[u64] {
+        &self.acc_words
+    }
+
+    /// Local ids in discovery order → shared ids (the lane-layout
+    /// identity the SoA batcher groups on).
+    pub(crate) fn local_to_shared(&self) -> &[u32] {
+        &self.local_to_shared
+    }
+
+    /// The local id of a shared state if this chain has discovered it,
+    /// without assigning one (the batcher must never mutate numbering).
+    pub(crate) fn peek_local(&self, shared_id: u32) -> Option<u32> {
+        match self.shared_to_local.get(shared_id as usize) {
+            Some(&l) if l != UNKNOWN => Some(l),
+            _ => None,
+        }
+    }
+
+    /// FNV-1a fingerprint of `local_to_shared`, memoized against
+    /// `layout_version` (equal fingerprints are confirmed by exact slice
+    /// comparison wherever grouping decisions depend on them).
+    pub(crate) fn layout_fp(&self) -> u64 {
+        let (stamp, fp) = self.fp_memo.get();
+        if stamp == self.layout_version {
+            return fp;
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &v in &self.local_to_shared {
+            h ^= u64::from(v);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.fp_memo.set((self.layout_version, h));
+        h
+    }
+
+    /// Monotone stamp of the local numbering; see `layout_version` docs.
+    /// Read by unit tests today; reserved for cross-tick column caching
+    /// in the batcher (which currently replans every tick).
+    #[allow(dead_code)]
+    pub(crate) fn layout_version(&self) -> u64 {
+        self.layout_version
+    }
+
+    pub(crate) fn forces_interpreter(&self) -> bool {
+        self.force_interpreter
     }
 
     pub(crate) fn set_force_interpreter(&mut self, on: bool) {
@@ -449,9 +531,10 @@ impl LocalDfa {
         }
         let id = self.local_to_shared.len() as u32;
         self.local_to_shared.push(shared_id);
-        self.accepting.push(accepting);
+        set_acc_bit(&mut self.acc_words, id as usize, accepting);
         self.shared_to_local[si] = id;
         self.trans.extend(std::iter::repeat_n(UNKNOWN, self.stride));
+        self.layout_version += 1;
         id
     }
 
@@ -532,11 +615,15 @@ impl LocalDfa {
             shared_to_local[sid as usize] = local as u32;
         }
         self.trans = vec![UNKNOWN; local_to_shared.len() * self.stride];
+        self.acc_words.clear();
+        for (local, &acc) in accepting.iter().enumerate() {
+            set_acc_bit(&mut self.acc_words, local, acc);
+        }
         self.local_to_shared = local_to_shared;
         self.shared_to_local = shared_to_local;
-        self.accepting = accepting;
         self.slot_ids.clear();
         self.slot_syms.clear();
+        self.layout_version += 1;
         Ok(())
     }
 }
@@ -578,6 +665,24 @@ impl SigKey {
         }
         Self(Arc::new(SigData {
             hash: h,
+            streams: streams.to_vec(),
+            syms: syms.to_vec(),
+        }))
+    }
+
+    /// The FNV-1a fingerprint (what [`SigHasher`] passes through).
+    #[cfg(test)]
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Test-only: a key with a *forged* fingerprint, for exercising the
+    /// equal-hash/different-content fallback in [`SigKey::eq`] that the
+    /// pass-through [`SigHasher`] makes load-bearing.
+    #[cfg(test)]
+    pub(crate) fn forged(hash: u64, streams: &[usize], syms: &[Vec<SymbolSet>]) -> Self {
+        Self(Arc::new(SigData {
+            hash,
             streams: streams.to_vec(),
             syms: syms.to_vec(),
         }))
@@ -720,6 +825,32 @@ mod tests {
         assert_ne!(a_sets[1], b_sets[1]);
     }
 
+    /// The SoA batcher keys lane compatibility on `layout_version`: it
+    /// must bump on every numbering change (state discovery, checkpoint
+    /// import) and stay put across read-only lookups like `peek_local`.
+    #[test]
+    fn layout_version_bumps_only_on_numbering_changes() {
+        let shared = sample_automaton();
+        let mut dfa = LocalDfa::new(shared);
+        assert_eq!(dfa.layout_version(), 0);
+        let slot = dfa.slot_of(SymbolSet(0b01));
+        let q1 = dfa.step(0, slot);
+        let after_discovery = dfa.layout_version();
+        assert!(after_discovery > 0, "discovery must bump the version");
+        // Read-only batcher probes leave the numbering alone.
+        let shared_q1 = dfa.local_to_shared()[q1 as usize];
+        assert_eq!(dfa.peek_local(shared_q1), Some(q1));
+        let _ = dfa.accepting_mask();
+        assert_eq!(dfa.layout_version(), after_discovery);
+        // Re-stepping an already-discovered transition is also stable.
+        let _ = dfa.step(0, slot);
+        assert_eq!(dfa.layout_version(), after_discovery);
+        // A checkpoint import rebuilds the numbering and must bump.
+        let sets = dfa.export_sets();
+        dfa.import_sets(&sets).unwrap();
+        assert!(dfa.layout_version() > after_discovery);
+    }
+
     #[test]
     fn dense_table_and_interpreter_agree() {
         let shared = sample_automaton();
@@ -812,5 +943,60 @@ mod tests {
         assert_eq!((hits, misses), (1, 1));
         cache.begin_tick();
         assert!(cache.lookup(&k2).is_none(), "cache must clear per tick");
+    }
+
+    mod sigkey_collisions {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn syms_strategy() -> impl Strategy<Value = Vec<Vec<SymbolSet>>> {
+            prop::collection::vec(
+                prop::collection::vec((0u64..16).prop_map(SymbolSet), 1..4),
+                1..3,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The pass-through [`SigHasher`] forwards the FNV
+            /// fingerprint straight into the map, so two signatures
+            /// with equal fingerprints but different content land in
+            /// the same bucket and only [`SigKey::eq`]'s content
+            /// comparison keeps them apart. Forge that collision and
+            /// assert the cache never conflates the distributions.
+            #[test]
+            fn equal_fingerprints_different_content_stay_distinct(
+                streams_a in prop::collection::vec(0usize..8, 1..4),
+                streams_b in prop::collection::vec(0usize..8, 1..4),
+                syms_a in syms_strategy(),
+                syms_b in syms_strategy(),
+                hash in 0u64..u64::MAX,
+            ) {
+                if streams_a == streams_b && syms_a == syms_b {
+                    return Ok(()); // not a collision, nothing to check
+                }
+                let ka = SigKey::forged(hash, &streams_a, &syms_a);
+                let kb = SigKey::forged(hash, &streams_b, &syms_b);
+                prop_assert_eq!(ka.fingerprint(), kb.fingerprint());
+                prop_assert!(ka != kb, "forged keys compare equal");
+
+                let mut cache = SymCache::new();
+                cache.begin_tick();
+                let ia = cache.insert_with(ka.clone(), |out, _| {
+                    out.push((SymbolSet(0b01), 0.25));
+                });
+                // The colliding key must MISS, not alias onto ka's entry.
+                prop_assert_eq!(cache.lookup(&kb), None);
+                let ib = cache.insert_with(kb.clone(), |out, _| {
+                    out.push((SymbolSet(0b10), 0.75));
+                });
+                prop_assert!(ia != ib, "colliding keys shared a cache slot");
+                prop_assert_eq!(cache.lookup(&ka), Some(ia));
+                prop_assert_eq!(cache.lookup(&kb), Some(ib));
+                prop_assert_eq!(cache.dist(ia), &[(SymbolSet(0b01), 0.25)][..]);
+                prop_assert_eq!(cache.dist(ib), &[(SymbolSet(0b10), 0.75)][..]);
+            }
+        }
     }
 }

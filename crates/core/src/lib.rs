@@ -34,6 +34,7 @@
 //! possible-world oracle of `lahar-query` (`prob_series`).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)] // sole exception: the annotated `simd` kernel module
 #![allow(clippy::needless_range_loop)] // numeric kernels index flat matrices
 
 mod chain;
@@ -55,6 +56,9 @@ mod safeplan;
 mod sampler;
 mod server;
 mod session;
+#[allow(unsafe_code)] // see the module's unsafe-audit policy
+pub mod simd;
+mod soa;
 mod stats;
 pub mod trace;
 mod translate;

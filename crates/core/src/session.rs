@@ -388,6 +388,9 @@ struct Shard {
     start: usize,
     /// `(query index, evaluator)` in global sequence order.
     chains: Vec<(usize, ChainEvaluator)>,
+    /// Reusable SoA batch scratch ([`crate::soa`]); holds no chain
+    /// state, travels with the shard to worker threads.
+    scratch: crate::soa::SoaScratch,
 }
 
 /// One epoch's work order for a shard: advance every chain through all
@@ -438,6 +441,24 @@ fn step_shard(
     cache: &mut SymCache,
     failpoint: &'static str,
 ) -> Result<SteppedShard, EngineError> {
+    // The batched SoA path produces bit-identical probabilities but
+    // collapses per-chain work into lane loops, so it has no natural
+    // place for the legacy per-chain `chain_step` spans. When tracing
+    // is live, step scalar so the trace shape stays exactly as
+    // documented; otherwise take the batched path.
+    if !crate::trace::is_enabled() {
+        return crate::soa::step_shard_chains(
+            &mut shard.chains,
+            marginals,
+            cache,
+            failpoint,
+            &mut shard.scratch,
+        );
+    }
+    // This scalar loop advances chain masses behind the batched path's
+    // back; tell its scratch so no stale `next` matrix is swapped in as
+    // a later tick's mass.
+    shard.scratch.invalidate_residency();
     fn elapsed_ns(since: Instant) -> u64 {
         u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
@@ -615,6 +636,7 @@ impl RealTimeSession {
             shards: vec![Some(Shard {
                 start: 0,
                 chains: Vec::new(),
+                scratch: crate::soa::SoaScratch::default(),
             })],
             total_chains: 0,
             config,
@@ -815,6 +837,7 @@ impl RealTimeSession {
             *slot = Some(Shard {
                 start,
                 chains: rest,
+                scratch: crate::soa::SoaScratch::default(),
             });
             start += take;
             rest = tail;
@@ -842,6 +865,7 @@ impl RealTimeSession {
                 Some(Shard {
                     start: 0,
                     chains: Vec::new(),
+                    scratch: crate::soa::SoaScratch::default(),
                 })
             })
             .collect();
@@ -1056,13 +1080,14 @@ impl RealTimeSession {
                 self.stats.record_degraded_tick();
             }
             self.stats.record_alerts(tick_alerts.len() as u64);
-            for alert in &tick_alerts {
-                self.stats.record_query_tick(
-                    alert.query.0,
-                    query_ns.get(alert.query.0).map(|ns| ns / k as u64),
-                    alert.probability,
-                );
-            }
+            self.stats
+                .record_query_ticks(tick_alerts.iter().map(|alert| {
+                    (
+                        alert.query.0,
+                        query_ns.get(alert.query.0).map(|ns| ns / k as u64),
+                        alert.probability,
+                    )
+                }));
             alerts.extend(tick_alerts);
         }
         Ok(alerts)
@@ -1624,6 +1649,7 @@ impl RealTimeSession {
                 Some(Shard {
                     start: 0,
                     chains: Vec::new(),
+                    scratch: crate::soa::SoaScratch::default(),
                 })
             })
             .collect();

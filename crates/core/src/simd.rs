@@ -1,0 +1,329 @@
+//! The one `unsafe` module: explicit x86_64 SIMD for the SoA lane loops.
+//!
+//! # Unsafe-audit policy
+//!
+//! This crate (and the whole workspace) is built with
+//! `#![deny(unsafe_code)]`; only this module carries an
+//! `#[allow(unsafe_code)]` (on its `mod` item in `lib.rs`), and CI runs
+//! `scripts/unsafe_audit.sh` + Miri over these unit tests to keep it
+//! honest. Every `unsafe` block here is one of exactly two shapes:
+//!
+//! * a `#[target_feature(enable = ...)]` call, guarded by
+//!   `is_x86_feature_detected!` at dispatch time, and
+//! * unaligned vector loads/stores (`loadu`/`storeu`) over slices whose
+//!   bounds are checked by the safe wrapper before the call.
+//!
+//! # Bit-identity contract
+//!
+//! Both vector kernels are *element-wise*: lane `i` computes exactly
+//! `out[i] += a[i] * b[i]` (or `acc[i] += row[i]`) with one IEEE-754
+//! multiply and one add per element — deliberately **no FMA**, because a
+//! fused multiply-add rounds once where the scalar path rounds twice and
+//! would break the engine's bit-identity guarantee. Element-wise
+//! `mulpd`/`addpd` are IEEE-identical to scalar `*`/`+`, so the SIMD
+//! path is differential-tested (not just approximately compared) against
+//! the scalar path in `kernel_differential.rs`.
+//!
+//! Dispatch is detected once per process ([`dispatch`]); tests and the
+//! `LAHAR_SIMD` environment variable (`scalar` | `sse2` | `avx2` |
+//! `auto`) can force a path, and the scalar fallback is always compiled
+//! on every architecture.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which lane-loop implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Plain (auto-vectorizable) Rust loops; always available.
+    Scalar,
+    /// 2-wide `f64` vectors (baseline on every x86_64).
+    Sse2,
+    /// 4-wide `f64` vectors, runtime-detected.
+    Avx2,
+}
+
+impl Dispatch {
+    /// Stable label for telemetry (`lahar_kernel_steps_total{path=...}`).
+    pub fn is_simd(self) -> bool {
+        self != Dispatch::Scalar
+    }
+}
+
+/// 0 = no override, 1 = scalar, 2 = sse2, 3 = avx2.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn detected() -> Dispatch {
+    static DETECTED: OnceLock<Dispatch> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let by_env = std::env::var("LAHAR_SIMD").ok();
+        match by_env.as_deref() {
+            Some("scalar") | Some("off") => return Dispatch::Scalar,
+            Some("sse2") => return Dispatch::Sse2,
+            Some("avx2") => return Dispatch::Avx2,
+            _ => {}
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Dispatch::Avx2
+            } else {
+                // SSE2 is part of the x86_64 baseline.
+                Dispatch::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Dispatch::Scalar
+    })
+}
+
+/// The lane-loop path in effect: a test/ops override if set, else the
+/// per-process runtime detection.
+pub fn dispatch() -> Dispatch {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Dispatch::Scalar,
+        2 => Dispatch::Sse2,
+        3 => Dispatch::Avx2,
+        _ => detected(),
+    }
+}
+
+/// Forces the dispatch path process-wide (`None` restores runtime
+/// detection). Every path computes bit-identical results, so flipping
+/// this mid-run is safe; it exists for the scalar-vs-SIMD differential
+/// gate and for pinning benchmarks.
+pub fn force_dispatch(mode: Option<Dispatch>) {
+    let v = match mode {
+        None => 0,
+        Some(Dispatch::Scalar) => 1,
+        Some(Dispatch::Sse2) => 2,
+        Some(Dispatch::Avx2) => 3,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// `out[i] += a[i] * b[i]` over the common length of the three slices.
+///
+/// The workhorse of the SoA route loop: `a` is a mass row, `b` a
+/// probability row, `out` the target-state accumulator row.
+#[inline]
+pub(crate) fn mul_add_lanes(out: &mut [f64], a: &[f64], b: &[f64]) {
+    let n = out.len().min(a.len()).min(b.len());
+    let (out, a, b) = (&mut out[..n], &a[..n], &b[..n]);
+    match dispatch() {
+        Dispatch::Scalar => mul_add_scalar(out, a, b),
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Sse2 => unsafe { mul_add_sse2(out, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Avx2 => unsafe { mul_add_avx2(out, a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => mul_add_scalar(out, a, b),
+    }
+}
+
+/// `acc[i] += row[i]` over the common length (the accepting-mass sum).
+#[inline]
+pub(crate) fn add_lanes(acc: &mut [f64], row: &[f64]) {
+    let n = acc.len().min(row.len());
+    let (acc, row) = (&mut acc[..n], &row[..n]);
+    match dispatch() {
+        Dispatch::Scalar => add_scalar(acc, row),
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Sse2 => unsafe { add_sse2(acc, row) },
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Avx2 => unsafe { add_avx2(acc, row) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => add_scalar(acc, row),
+    }
+}
+
+fn mul_add_scalar(out: &mut [f64], a: &[f64], b: &[f64]) {
+    for i in 0..out.len() {
+        out[i] += a[i] * b[i];
+    }
+}
+
+fn add_scalar(acc: &mut [f64], row: &[f64]) {
+    for i in 0..acc.len() {
+        acc[i] += row[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller guarantees the three slices have equal length (the safe
+    /// wrappers truncate to the common length first). SSE2 is part of
+    /// the x86_64 baseline, so no feature guard is needed.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn mul_add_sse2(out: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let va = _mm_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm_loadu_pd(b.as_ptr().add(i));
+            let vo = _mm_loadu_pd(out.as_ptr().add(i));
+            // mul then add — no FMA, see the module's bit-identity note.
+            let r = _mm_add_pd(vo, _mm_mul_pd(va, vb));
+            _mm_storeu_pd(out.as_mut_ptr().add(i), r);
+            i += 2;
+        }
+        while i < n {
+            out[i] += a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees equal slice lengths **and** that AVX2 is
+    /// available (checked by `is_x86_feature_detected!` at dispatch).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_add_avx2(out: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+            let vo = _mm256_loadu_pd(out.as_ptr().add(i));
+            // mul then add — no FMA, see the module's bit-identity note.
+            let r = _mm256_add_pd(vo, _mm256_mul_pd(va, vb));
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            out[i] += a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees equal slice lengths.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn add_sse2(acc: &mut [f64], row: &[f64]) {
+        let n = acc.len();
+        let mut i = 0;
+        while i + 2 <= n {
+            let v = _mm_loadu_pd(row.as_ptr().add(i));
+            let va = _mm_loadu_pd(acc.as_ptr().add(i));
+            _mm_storeu_pd(acc.as_mut_ptr().add(i), _mm_add_pd(va, v));
+            i += 2;
+        }
+        while i < n {
+            acc[i] += row[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees equal slice lengths and AVX2 availability.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_avx2(acc: &mut [f64], row: &[f64]) {
+        let n = acc.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(row.as_ptr().add(i));
+            let va = _mm256_loadu_pd(acc.as_ptr().add(i));
+            _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(va, v));
+            i += 4;
+        }
+        while i < n {
+            acc[i] += row[i];
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{add_avx2, add_sse2, mul_add_avx2, mul_add_sse2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic "awkward" doubles: subnormal-ish, mixed magnitude,
+    /// negative zero — anything whose rounding could expose a non-
+    /// element-wise implementation.
+    fn probe(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ salt;
+                // Map to a wide range of magnitudes, keep some exact zeros.
+                match x % 7 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f64::from_bits(0x000f_ffff_ffff_ffff & x), // subnormal
+                    _ => ((x % 1000) as f64 - 500.0) * 1.000000119e-3_f64.powi((x % 31) as i32),
+                }
+            })
+            .collect()
+    }
+
+    fn available() -> Vec<Dispatch> {
+        let mut out = vec![Dispatch::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            out.push(Dispatch::Sse2);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                out.push(Dispatch::Avx2);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simd_paths_are_bit_identical_to_scalar() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 64, 350, 1050] {
+            let a = probe(n, 1);
+            let b = probe(n, 2);
+            let base = probe(n, 3);
+            let mut want = base.clone();
+            mul_add_scalar(&mut want, &a, &b);
+            let mut want_add = base.clone();
+            add_scalar(&mut want_add, &a);
+            for mode in available() {
+                force_dispatch(Some(mode));
+                let mut got = base.clone();
+                mul_add_lanes(&mut got, &a, &b);
+                let mut got_add = base.clone();
+                add_lanes(&mut got_add, &a);
+                force_dispatch(None);
+                for i in 0..n {
+                    assert_eq!(
+                        want[i].to_bits(),
+                        got[i].to_bits(),
+                        "mul_add {mode:?} lane {i} of {n}"
+                    );
+                    assert_eq!(
+                        want_add[i].to_bits(),
+                        got_add[i].to_bits(),
+                        "add {mode:?} lane {i} of {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_override_round_trips() {
+        force_dispatch(Some(Dispatch::Scalar));
+        assert_eq!(dispatch(), Dispatch::Scalar);
+        assert!(!dispatch().is_simd());
+        force_dispatch(None);
+        // Whatever detection picks must be one of the compiled paths.
+        assert!(matches!(
+            dispatch(),
+            Dispatch::Scalar | Dispatch::Sse2 | Dispatch::Avx2
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_truncate_safely() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let mut out = [0.5; 4];
+        mul_add_lanes(&mut out, &a, &b);
+        assert_eq!(out, [10.5, 40.5, 0.5, 0.5]);
+    }
+}

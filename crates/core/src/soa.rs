@@ -1,0 +1,784 @@
+//! Batched struct-of-arrays stepping for the session hot path.
+//!
+//! The scalar path steps one chain at a time: per chain, a symbol-cache
+//! probe, a slot binary-search per distribution entry, and a
+//! bounds-checked `step()` per `(state, slot)` pair. At ~1k chains per
+//! tick the per-chain bookkeeping dominates the actual arithmetic.
+//!
+//! This module regroups the work *across* chains. Chains that share a
+//! [`SharedAutomaton`] **and** the same local state numbering (identical
+//! `local_to_shared`, hence identical accepting masks and identical
+//! float accumulation order) are packed into one *batch*: a contiguous
+//! mass matrix `mass[state][lane]` (lane = chain), a per-tick
+//! probability matrix `pmat[dist_entry][lane]` over the *union* symbol
+//! support, and one transition column per `(state, dist_entry)` resolved
+//! once per batch instead of once per chain. The per-tick inner loop is
+//! then a flat `next[q2][lane] += mass[q][lane] * pmat[di][lane]` over
+//! lanes — autovectorizable, or dispatched to the explicit AVX2/SSE2
+//! kernels in [`crate::simd`].
+//!
+//! # Bit-identity
+//!
+//! The engine guarantees bit-identical results across stepping paths,
+//! and batching preserves it *exactly*, not approximately:
+//!
+//! * Per lane, contributions to each target state are applied in
+//!   `(state ascending, dist entry ascending)` order — the same order
+//!   as the scalar loop, because each lane's distribution is a sorted
+//!   subsequence of the sorted union support.
+//! * Union-support entries a lane doesn't have get probability `+0.0`,
+//!   and zero-mass rows are routed rather than skipped. All masses and
+//!   probabilities are non-negative, so every such contribution is
+//!   exactly `+0.0`, and `x + 0.0` is bit-identical to `x` for every
+//!   non-negative `x` — padding is invisible at the bit level.
+//! * The SIMD kernels are element-wise multiply-then-add (never FMA),
+//!   so each lane's arithmetic is IEEE-identical to scalar.
+//!
+//! A batch only takes the fast path when every transition out of an
+//! *occupied* state lands in the lanes' existing local numbering; a
+//! transition that would have to discover a new local state makes the
+//! whole batch fall back to per-chain scalar stepping for that tick
+//! (which performs the discovery in per-chain order, exactly as the
+//! scalar engine would have). In steady state — the automaton's reachable
+//! closure discovered, which the freeze heuristics reach within a few
+//! ticks — every tick takes the fast path.
+//!
+//! When span tracing is enabled the shard steps chains scalar so the
+//! per-chain `chain_step` spans keep their exact legacy shape.
+
+use crate::chain::ChainEvaluator;
+use crate::error::EngineError;
+use crate::kernel::{KernelTickStats, SymCache, Via, UNKNOWN};
+use crate::simd;
+use lahar_automata::SymbolSet;
+use lahar_model::Marginal;
+use std::time::Instant;
+
+/// Below this many lanes a batch isn't worth its per-tick setup
+/// (support merge + column resolution); such chains step scalar.
+const MIN_LANES: usize = 4;
+
+/// Lanes per route/accept/commit block: 64 lanes × 8 bytes = one 512 B
+/// row segment, so a block's mass, next, and pmat rows all sit in L1
+/// while every (state, support) pair is applied to it.
+const LANE_BLOCK: usize = 64;
+
+/// Reusable per-shard scratch for the batched path. Carried inside the
+/// shard so allocations survive across ticks (and travel with the shard
+/// to worker threads); holds no chain state — chains remain the single
+/// source of truth between ticks, so checkpoint export/restore is
+/// untouched by batching.
+#[derive(Default)]
+pub(crate) struct SoaScratch {
+    groups: Vec<Group>,
+    /// Chain indices stepped scalar this tick (non-independent, forced
+    /// interpreter, or in a group below [`MIN_LANES`]).
+    singles: Vec<usize>,
+    /// Per-chain `(automaton ptr, layout fingerprint, syms fingerprint)`
+    /// from the plan pass.
+    keys: Vec<Option<(usize, u64, u64)>>,
+    /// Monotone batched-tick counter; see [`Group::commit_seq`].
+    seq: u64,
+}
+
+impl SoaScratch {
+    /// Marks that chain masses advanced outside the batched path (the
+    /// tracing-mode scalar loop steps chains directly): any `next`
+    /// matrix a group still holds no longer mirrors its chains, so the
+    /// next batched tick must re-gather instead of swapping it in.
+    pub(crate) fn invalidate_residency(&mut self) {
+        self.seq = self.seq.wrapping_add(1);
+    }
+}
+
+/// One batch: chains sharing an automaton and a local state numbering.
+#[derive(Default)]
+struct Group {
+    ptr: usize,
+    layout_hash: u64,
+    /// Fingerprint of the lanes' symbol-translation tables: chains of
+    /// different queries sharing an automaton stay in separate groups.
+    syms_hash: u64,
+    /// Chain indices (shard order) — the lanes.
+    lanes: Vec<usize>,
+    /// Per lane: this tick's distribution index in the symbol cache.
+    dist_idx: Vec<u32>,
+    /// Sorted union of the lanes' distribution supports.
+    support: Vec<SymbolSet>,
+    /// `pmat[di * lanes + lane]` — per-lane probability on the union
+    /// support (`+0.0` where a lane lacks the entry).
+    pmat: Vec<f64>,
+    /// `cols[q * support + di]` — local target state, [`UNKNOWN`] when
+    /// outside the lanes' numbering (legal only over zero-mass rows).
+    /// Cached across ticks: fully determined by (automaton, layout
+    /// contents, support contents), so it is reused as long as
+    /// `cols_ptr` matches and the layout and support compare equal, and
+    /// only columns newly active this tick still resolve.
+    cols: Vec<u32>,
+    /// Per support entry: was its `cols` column resolved (under the
+    /// cached layout)? Inactive columns stay unresolved until a tick
+    /// activates them.
+    cols_resolved: Vec<bool>,
+    /// Cells of resolved columns whose target is outside the lanes'
+    /// numbering, skipped because their row was zero-mass. Re-checked
+    /// each tick against `row_occ`: a gap whose row gains mass either
+    /// resolves into the numbering or forces a discovery.
+    gaps: Vec<(u32, u32)>,
+    /// Per state: does any lane carry nonzero mass there this tick?
+    row_occ: Vec<bool>,
+    /// The automaton `ptr` the cached `cols` was resolved against
+    /// (group slots are reused across plans, so the slot's key can
+    /// change under a cache built for another automaton).
+    cols_ptr: usize,
+    /// Scratch for this tick's support, compared against the cached
+    /// `support` before invalidating the column cache.
+    support_new: Vec<SymbolSet>,
+    /// The lane list the cached shape below was verified against. Lanes
+    /// and their chains' symbol tables are immutable per (query,
+    /// binding), so an unchanged lane list keeps the whole phase-1 shape
+    /// — uniformity, `stream_idx`, `support`, `slot_of` — valid.
+    shape_lanes: Vec<usize>,
+    /// Cached [`single_stream_shape`] verdict for `shape_lanes`.
+    shape_uniform: bool,
+    /// Uniform shape: per lane, its single stream's marginal index.
+    stream_idx: Vec<u32>,
+    /// Accepting local states (ascending), rebuilt with the layout.
+    acc_rows: Vec<u32>,
+    /// Per support entry: does any lane carry nonzero probability on it?
+    /// Inactive columns route only `+0.0` and are skipped bit-identically.
+    active: Vec<bool>,
+    /// Single-stream direct fill: outcome index → support slot.
+    slot_of: Vec<u32>,
+    /// `mass[q * lanes + lane]` / `next[...]` — the SoA mass matrices.
+    mass: Vec<f64>,
+    next: Vec<f64>,
+    /// Per-lane accepting-mass accumulator.
+    acc: Vec<f64>,
+    /// Copy of the (shared) layout: local → shared ids, accepting words.
+    l2s: Vec<u32>,
+    acc_words: Vec<u64>,
+    /// Scratch for deduplicating distribution indices.
+    uniq: Vec<u32>,
+    /// The [`SoaScratch::seq`] value of the last tick this group
+    /// committed through the fused fast path (0 = never). When the
+    /// immediately preceding tick committed with the same lanes and
+    /// layout, the group's `next` matrix *is* every lane's current mass
+    /// vector — `soa_commit_strided` wrote the chains from exactly
+    /// these columns — so the gather swaps it in instead of re-reading
+    /// every chain. Cleared on any scalar or split exit.
+    commit_seq: u64,
+}
+
+/// FNV-1a over a layout (local → shared id map) for cheap grouping;
+/// equal hashes are confirmed by exact slice comparison before joining.
+/// The hot paths read the memoized copy ([`crate::chain::ChainEvaluator::
+/// layout_fp`]); this reference implementation pins the hash order the
+/// memo must reproduce.
+#[cfg(test)]
+fn layout_fingerprint(l2s: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in l2s {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// What one shard tick hands back: per-chain accept probabilities,
+/// per-query `(query, ns)` wall-time attribution, and kernel counters.
+pub(crate) type ShardStepOutput = (Vec<f64>, Vec<(usize, u64)>, KernelTickStats);
+
+/// Steps every chain in the shard against one tick's marginals —
+/// batched where layouts allow, scalar otherwise. Drop-in replacement
+/// for the scalar per-chain loop: returns the same `(probs, query_ns,
+/// kernel stats)` triple, with per-batch wall time apportioned evenly
+/// across a batch's lanes for the per-query attribution.
+pub(crate) fn step_shard_chains(
+    chains: &mut [(usize, ChainEvaluator)],
+    marginals: &[Marginal],
+    cache: &mut SymCache,
+    failpoint: &'static str,
+    scratch: &mut SoaScratch,
+) -> Result<ShardStepOutput, EngineError> {
+    // The batch path checks all failpoints up front (a faulted tick
+    // mutates no chain at all — strictly cleaner than the scalar path's
+    // partial progress; recovery semantics are identical either way).
+    for _ in chains.iter() {
+        crate::failpoint::check(failpoint)?;
+    }
+    let mut probs = vec![0.0f64; chains.len()];
+    let mut query_ns: Vec<(usize, u64)> = Vec::new();
+    let mut kernel = KernelTickStats::default();
+
+    plan_groups(chains, scratch);
+    scratch.seq = scratch.seq.wrapping_add(1);
+    let seq = scratch.seq;
+
+    // Step the batches (each group is homogeneous in layout, not
+    // necessarily in query, so per-query time is apportioned per lane).
+    let mut groups = std::mem::take(&mut scratch.groups);
+    for g in &mut groups {
+        let started = Instant::now();
+        step_group(
+            g,
+            chains,
+            marginals,
+            cache,
+            &mut kernel,
+            &mut probs,
+            seq,
+            true,
+        )?;
+        let per_lane = elapsed_ns(started) / g.lanes.len().max(1) as u64;
+        for &idx in &g.lanes {
+            query_ns.push((chains[idx].0, per_lane));
+        }
+    }
+    scratch.groups = groups;
+
+    // Step the leftovers scalar, exactly like the legacy loop.
+    let singles = std::mem::take(&mut scratch.singles);
+    for &idx in &singles {
+        let started = Instant::now();
+        let (qi, chain) = &mut chains[idx];
+        probs[idx] = chain.step_with_cache(marginals, Some(cache))?;
+        kernel.steps.add(chain.take_kernel_counters());
+        query_ns.push((*qi, elapsed_ns(started)));
+    }
+    scratch.singles = singles;
+
+    let (sym_hits, sym_misses) = cache.take_counters();
+    kernel.sym_hits += sym_hits;
+    kernel.sym_misses += sym_misses;
+    Ok((probs, query_ns, kernel))
+}
+
+/// Partitions the shard's chains into layout-homogeneous groups plus a
+/// scalar leftover list, reusing the scratch's allocations.
+fn plan_groups(chains: &[(usize, ChainEvaluator)], scratch: &mut SoaScratch) {
+    for g in &mut scratch.groups {
+        g.lanes.clear();
+    }
+    scratch.singles.clear();
+    scratch.keys.clear();
+    for (idx, (_, chain)) in chains.iter().enumerate() {
+        let Some(desc) = chain.soa_descriptor() else {
+            scratch.singles.push(idx);
+            scratch.keys.push(None);
+            continue;
+        };
+        let key = (
+            desc.automaton_ptr,
+            chain.layout_fp().expect("SoA-eligible chain"),
+            chain.syms_fingerprint(),
+        );
+        scratch.keys.push(Some(key));
+        // Linear scan: group counts stay small (one per automaton ×
+        // layout variant × query symbol table present in the shard).
+        let found = scratch.groups.iter_mut().find(|g| {
+            (g.ptr, g.layout_hash, g.syms_hash) == key
+                && g.lanes.first().is_none_or(|&rep| {
+                    chains[rep]
+                        .1
+                        .soa_descriptor()
+                        .is_some_and(|r| r.l2s == desc.l2s)
+                })
+        });
+        match found {
+            Some(g) => g.lanes.push(idx),
+            None => {
+                // Reuse an empty group slot before allocating a new one.
+                if let Some(g) = scratch.groups.iter_mut().find(|g| g.lanes.is_empty()) {
+                    g.ptr = key.0;
+                    g.layout_hash = key.1;
+                    g.syms_hash = key.2;
+                    g.lanes.push(idx);
+                } else {
+                    scratch.groups.push(Group {
+                        ptr: key.0,
+                        layout_hash: key.1,
+                        syms_hash: key.2,
+                        lanes: vec![idx],
+                        ..Group::default()
+                    });
+                }
+            }
+        }
+    }
+    // Undersized groups step scalar.
+    for g in &mut scratch.groups {
+        if g.lanes.len() < MIN_LANES {
+            scratch.singles.append(&mut g.lanes);
+        }
+    }
+    scratch.groups.retain(|g| !g.lanes.is_empty());
+    // Keep the scalar leftovers in shard order (append may interleave).
+    scratch.singles.sort_unstable();
+}
+
+/// The shared outcome → symbol-set table when every lane of the group
+/// reads exactly one independent stream through the same table (the
+/// shape every per-key grounding of a single-stream query produces).
+fn single_stream_shape<'c>(
+    g: &Group,
+    chains: &'c [(usize, ChainEvaluator)],
+) -> Option<&'c [SymbolSet]> {
+    let (_, rep_syms) = chains[*g.lanes.first()?].1.soa_single_stream()?;
+    for &idx in &g.lanes[1..] {
+        let (_, syms) = chains[idx].1.soa_single_stream()?;
+        if syms != rep_syms {
+            return None;
+        }
+    }
+    Some(rep_syms)
+}
+
+/// Steps one batch through one tick: resolve per-lane distributions,
+/// merge the union support, resolve transition columns, then route mass
+/// in flat lane loops. Falls back to per-chain scalar stepping when a
+/// transition out of an occupied state would leave the lanes' numbering.
+#[allow(clippy::too_many_arguments)] // one hot internal call site
+fn step_group(
+    g: &mut Group,
+    chains: &mut [(usize, ChainEvaluator)],
+    marginals: &[Marginal],
+    cache: &mut SymCache,
+    kernel: &mut KernelTickStats,
+    probs: &mut [f64],
+    seq: u64,
+    allow_split: bool,
+) -> Result<(), EngineError> {
+    let lanes = g.lanes.len();
+    // An unchanged lane list is the precondition for every cross-tick
+    // cache below (captured before the shape block refreshes it).
+    let shape_ok = g.shape_lanes == g.lanes;
+
+    // Phases 1–2: per-lane symbol distributions on a shared sorted
+    // support, as `pmat[di * lanes + lane]`.
+    //
+    // Fast shape: every lane reads exactly one independent stream
+    // through the same outcome → symbol-set table. The single-stream
+    // union-convolution is then just that mapping, so the support is the
+    // table's sorted distinct symbols (fixed for the group) and each
+    // lane's probabilities come straight from its staged marginal — no
+    // signature hashing, no per-chain cache entry. Bit-identity: the
+    // scalar convolution pushes `(syms[d], 1.0 * p_d)` in outcome order,
+    // stable-sorts, and merges left-to-right, which is exactly
+    // `pmat[slot_of[d]] += p_d` in ascending `d` (`1.0 * x == x` and
+    // `0.0 + x == x` for the non-negative `x` involved; zero-probability
+    // outcomes are skipped by both paths).
+    // Shape revalidation is a single lane-list compare in steady state:
+    // symbol tables are fixed per (query, binding), so the uniformity
+    // verdict, per-lane stream indices, union support, and slot map all
+    // survive as long as the planner produced the same lanes.
+    let support_same;
+    if !shape_ok {
+        let uniform = single_stream_shape(g, chains);
+        g.shape_lanes.clear();
+        g.shape_lanes.extend_from_slice(&g.lanes);
+        g.shape_uniform = uniform.is_some();
+        if let Some(rep_syms) = uniform {
+            g.support_new.clear();
+            g.support_new.extend_from_slice(rep_syms);
+            g.support_new.sort_unstable_by_key(|sym| sym.0);
+            g.support_new.dedup();
+            // An unchanged support keeps the cached transition columns
+            // below alive; a changed one replaces it.
+            support_same = g.support_new == g.support;
+            if !support_same {
+                std::mem::swap(&mut g.support, &mut g.support_new);
+            }
+            g.slot_of.clear();
+            for &sym in rep_syms {
+                let slot = g
+                    .support
+                    .binary_search_by_key(&sym.0, |s| s.0)
+                    .expect("outcome symbol is in the support");
+                g.slot_of.push(slot as u32);
+            }
+            g.stream_idx.clear();
+            for &idx in &g.lanes {
+                let (si, _) = chains[idx].1.soa_single_stream().expect("uniform lane");
+                g.stream_idx.push(si as u32);
+            }
+        } else {
+            support_same = false;
+        }
+    } else {
+        support_same = g.shape_uniform;
+    }
+    let is_uniform = g.shape_uniform;
+    g.active.clear();
+    g.pmat.clear();
+    if is_uniform {
+        let s_len = g.support.len();
+        g.active.resize(s_len, false);
+        g.pmat.resize(s_len * lanes, 0.0);
+        for (lane, &si) in g.stream_idx.iter().enumerate() {
+            let probs = marginals[si as usize].probs();
+            for (d, &pd) in probs.iter().enumerate().take(g.slot_of.len()) {
+                if pd == 0.0 {
+                    continue;
+                }
+                let slot = g.slot_of[d] as usize;
+                g.pmat[slot * lanes + lane] += pd;
+                g.active[slot] = true;
+            }
+        }
+    } else {
+        // General shape: per-lane distributions through the symbol
+        // cache (the exact scalar protocol), union support, two-pointer
+        // alignment. Every support entry is nonzero in some lane. The
+        // support varies with the tick's distributions, so the column
+        // cache is not used here (`support_same` is already false for
+        // every non-uniform shape).
+        g.support.clear();
+        g.dist_idx.clear();
+        for &idx in &g.lanes {
+            g.dist_idx
+                .push(chains[idx].1.sym_dist_index(marginals, cache));
+        }
+        g.uniq.clear();
+        g.uniq.extend_from_slice(&g.dist_idx);
+        g.uniq.sort_unstable();
+        g.uniq.dedup();
+        for &di in &g.uniq {
+            g.support.extend(cache.dist(di).iter().map(|&(sym, _)| sym));
+        }
+        g.support.sort_unstable_by_key(|sym| sym.0);
+        g.support.dedup();
+        let s_len = g.support.len();
+        g.active.resize(s_len, true);
+        g.pmat.resize(s_len * lanes, 0.0);
+        for (lane, &di) in g.dist_idx.iter().enumerate() {
+            let dist = cache.dist(di);
+            let mut s = 0;
+            for &(sym, p) in dist {
+                while g.support[s].0 < sym.0 {
+                    s += 1;
+                }
+                debug_assert_eq!(g.support[s].0, sym.0);
+                g.pmat[s * lanes + lane] = p;
+            }
+        }
+    }
+    let s_len = g.support.len();
+
+    // Phases 3–5, with one discovery retry. A resolution miss (unknown
+    // target out of an occupied state) means this is a discovery tick:
+    // each lane assigns the new local ids in the exact scalar order
+    // (`soa_discover`), the layout snapshot refreshes, and the batch
+    // retries — so warmup ticks stay batched instead of falling back to
+    // the full per-chain scalar machinery. Only if the lanes' numberings
+    // diverge during discovery (their occupied sets differ) does the
+    // group step scalar this tick; the next tick's planner regroups.
+    let mut n_states;
+    let mut discovered = false;
+    loop {
+        // Layout snapshot from the representative lane (identical across
+        // the group by construction, re-verified after discovery). An
+        // unchanged layout keeps the cached columns alive and skips the
+        // copies.
+        let layout_same;
+        {
+            let rep = chains[g.lanes[0]]
+                .1
+                .soa_descriptor()
+                .expect("group members are SoA-eligible");
+            layout_same = rep.l2s == g.l2s.as_slice();
+            if !layout_same {
+                g.l2s.clear();
+                g.l2s.extend_from_slice(rep.l2s);
+                g.acc_words.clear();
+                g.acc_words.extend_from_slice(rep.acc_words);
+                g.acc_rows.clear();
+                for (w, &word) in g.acc_words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let q = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if q < rep.l2s.len() {
+                            g.acc_rows.push(q as u32);
+                        }
+                    }
+                }
+            }
+        }
+        n_states = g.l2s.len();
+
+        // Phase 3: the mass matrix. If this group committed the
+        // immediately preceding batched tick with the same lanes and
+        // layout, its `next` matrix already holds every lane's current
+        // mass vector bit-for-bit (the commit wrote the chains from
+        // exactly these columns), so swap it in instead of re-reading
+        // every chain. Occupancy is rescanned from the matrix either
+        // way — the gap re-check below needs it exact, not conservative.
+        let resident = g.commit_seq != 0
+            && g.commit_seq == seq.wrapping_sub(1)
+            && layout_same
+            && shape_ok
+            && g.next.len() == n_states * lanes;
+        if resident {
+            std::mem::swap(&mut g.mass, &mut g.next);
+            g.row_occ.clear();
+            g.row_occ.resize(n_states, false);
+            for (q, occ) in g.row_occ.iter_mut().enumerate() {
+                *occ = g.mass[q * lanes..(q + 1) * lanes].iter().any(|&m| m != 0.0);
+            }
+        } else {
+            // Full gather (zero-padded: lanes whose mass vector is
+            // shorter than the layout contribute exactly +0.0).
+            g.mass.clear();
+            g.mass.resize(n_states * lanes, 0.0);
+            g.row_occ.clear();
+            g.row_occ.resize(n_states, false);
+            for (lane, &idx) in g.lanes.iter().enumerate() {
+                let mass = chains[idx].1.soa_mass().expect("SoA-eligible lane");
+                for (q, &m) in mass.iter().enumerate().take(n_states) {
+                    g.mass[q * lanes + lane] = m;
+                    if m != 0.0 {
+                        g.row_occ[q] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 4: transition columns over (state × support), resolved
+        // once per batch through the shared automaton (frozen table or
+        // interpreter — never a chain's numbering, which only
+        // `soa_discover` touches).
+        let automaton = chains[g.lanes[0]]
+            .1
+            .soa_automaton()
+            .expect("SoA-eligible lane");
+        let cache_live = g.cols_ptr == g.ptr
+            && layout_same
+            && support_same
+            && is_uniform
+            && g.cols.len() == n_states * s_len
+            && g.cols_resolved.len() == s_len;
+        if !cache_live {
+            g.cols.clear();
+            g.cols.resize(n_states * s_len, UNKNOWN);
+            g.cols_resolved.clear();
+            g.cols_resolved.resize(s_len, false);
+            g.gaps.clear();
+            g.cols_ptr = g.ptr;
+        }
+        let mut fast_ok = true;
+        // Re-check cached gap cells: a gap whose row is still zero-mass
+        // (or whose column is inactive) keeps contributing exactly
+        // nothing; one whose row gained mass under an active column
+        // must resolve now — into the numbering, or via a discovery.
+        let mut gi = 0;
+        while fast_ok && gi < g.gaps.len() {
+            let (di, q) = (g.gaps[gi].0 as usize, g.gaps[gi].1 as usize);
+            if !g.active[di] || !g.row_occ[q] {
+                gi += 1;
+                continue;
+            }
+            let (sq2, _acc, via) = automaton.resolve(g.l2s[q], g.support[di], true);
+            match via {
+                Via::Frozen => kernel.steps.frozen += 1,
+                Via::Interpreter => kernel.steps.slow += 1,
+            }
+            match chains[g.lanes[0]].1.soa_peek_local(sq2) {
+                Some(local) => {
+                    g.cols[q * s_len + di] = local;
+                    g.gaps.swap_remove(gi);
+                }
+                None => fast_ok = false,
+            }
+        }
+        // Resolve the columns active this tick that the cache doesn't
+        // already hold. In steady state every recurring column is
+        // cached, so the shared automaton (and its locks) is not
+        // touched at all. A cached column that went inactive still
+        // routes — its lanes all carry +0.0 there, which is
+        // bit-invisible.
+        'resolve: for di in 0..s_len {
+            if !fast_ok {
+                break;
+            }
+            // An inactive, unresolved column carries +0.0 in every
+            // lane; the scalar path never resolves it, and routing it
+            // would add only +0.0 — skip it (its cols entries stay
+            // UNKNOWN).
+            if !g.active[di] || g.cols_resolved[di] {
+                continue;
+            }
+            let sym = g.support[di];
+            for q in 0..n_states {
+                let (sq2, _acc, via) = automaton.resolve(g.l2s[q], sym, true);
+                match via {
+                    Via::Frozen => kernel.steps.frozen += 1,
+                    Via::Interpreter => kernel.steps.slow += 1,
+                }
+                match chains[g.lanes[0]].1.soa_peek_local(sq2) {
+                    Some(local) => g.cols[q * s_len + di] = local,
+                    None => {
+                        // Legal only if no lane occupies q: the scalar
+                        // path would never resolve transitions out of a
+                        // zero-mass state, so skipping them is
+                        // bit-identical. Any occupied lane means a
+                        // discovery is due.
+                        if g.row_occ[q] {
+                            fast_ok = false;
+                            break 'resolve;
+                        }
+                        // Remember the gap: if this row gains mass in a
+                        // later tick the cell must resolve then.
+                        g.gaps.push((di as u32, q as u32));
+                    }
+                }
+            }
+            g.cols_resolved[di] = true;
+        }
+        if fast_ok {
+            break;
+        }
+        if !discovered {
+            discovered = true;
+            // Discovery pass: per lane, in the exact scalar order, so
+            // the refreshed numbering is bit-for-bit what a scalar tick
+            // would have produced.
+            let mut act: Vec<SymbolSet> = Vec::with_capacity(s_len);
+            for (lane, &idx) in g.lanes.iter().enumerate() {
+                act.clear();
+                for (di, &sym) in g.support.iter().enumerate() {
+                    if g.pmat[di * lanes + lane] != 0.0 {
+                        act.push(sym);
+                    }
+                }
+                let (_, chain) = &mut chains[idx];
+                chain.soa_discover(&act);
+                kernel.steps.add(chain.take_kernel_counters());
+            }
+            // Lanes that occupied different states discovered different
+            // ids; the snapshot above is only valid if every lane still
+            // shares the representative's numbering.
+            let rep_fp = chains[g.lanes[0]].1.layout_fp().expect("SoA-eligible lane");
+            let agree = g.lanes[1..]
+                .iter()
+                .all(|&idx| chains[idx].1.layout_fp() == Some(rep_fp));
+            if agree {
+                continue;
+            }
+            if allow_split {
+                // Diverging discovery tick: the lanes now carry
+                // different numberings (they occupied different states
+                // when the new ids were assigned), but each numbering
+                // is still shared by many lanes — so re-partition by
+                // layout and step one sub-batch per partition instead
+                // of dropping the whole group to scalar. One level
+                // only: a sub-batch that diverges again steps scalar.
+                let mut parts: Vec<(u64, Group)> = Vec::new();
+                for &idx in &g.lanes {
+                    let fp = chains[idx].1.layout_fp().expect("SoA-eligible lane");
+                    match parts.iter_mut().find(|(p, _)| *p == fp) {
+                        Some((_, sub)) => sub.lanes.push(idx),
+                        None => parts.push((
+                            fp,
+                            Group {
+                                ptr: g.ptr,
+                                layout_hash: fp,
+                                syms_hash: g.syms_hash,
+                                lanes: vec![idx],
+                                ..Group::default()
+                            },
+                        )),
+                    }
+                }
+                for (_, mut sub) in parts {
+                    step_group(
+                        &mut sub, chains, marginals, cache, kernel, probs, seq, false,
+                    )?;
+                }
+                g.commit_seq = 0;
+                return Ok(());
+            }
+        }
+        // Scalar fallback (discovery already ran, so these steps resolve
+        // the same transitions the batch would have).
+        g.commit_seq = 0;
+        for &idx in &g.lanes {
+            let (_, chain) = &mut chains[idx];
+            probs[idx] = chain.step_with_cache(marginals, Some(cache))?;
+            kernel.steps.add(chain.take_kernel_counters());
+        }
+        return Ok(());
+    }
+
+    // Phases 6–8 fused, in blocks of [`LANE_BLOCK`] lanes: route, then
+    // accepting mass, then commit, all while the block's rows are
+    // cache-hot. Blocking over lanes is invisible to the arithmetic —
+    // every lane still receives its contributions in (q ascending,
+    // di ascending) order, the scalar accumulation order, and its
+    // accepting sum still adds states ascending (same order as
+    // `accept_scan`). Zero-mass rows and inactive columns contribute
+    // exactly +0.0 everywhere, so skipping them is bit-invisible.
+    g.next.clear();
+    g.next.resize(n_states * lanes, 0.0);
+    g.acc.clear();
+    g.acc.resize(lanes, 0.0);
+    let mut lb = 0;
+    while lb < lanes {
+        let le = (lb + LANE_BLOCK).min(lanes);
+        for q in 0..n_states {
+            if !g.row_occ[q] {
+                continue;
+            }
+            for di in 0..s_len {
+                if !g.active[di] {
+                    continue;
+                }
+                let q2 = g.cols[q * s_len + di] as usize;
+                if q2 as u32 == UNKNOWN {
+                    continue;
+                }
+                let next_row = &mut g.next[q2 * lanes + lb..q2 * lanes + le];
+                let mass_row = &g.mass[q * lanes + lb..q * lanes + le];
+                let p_row = &g.pmat[di * lanes + lb..di * lanes + le];
+                simd::mul_add_lanes(next_row, mass_row, p_row);
+            }
+        }
+        for &q in &g.acc_rows {
+            let q = q as usize;
+            simd::add_lanes(&mut g.acc[lb..le], &g.next[q * lanes + lb..q * lanes + le]);
+        }
+        for lane in lb..le {
+            let (_, chain) = &mut chains[g.lanes[lane]];
+            chain.soa_commit_strided(&g.next, lane, lanes, g.acc[lane]);
+            probs[g.lanes[lane]] = chain.accept_prob();
+        }
+        lb = le;
+    }
+    g.commit_seq = seq;
+    let n_active = g.active.iter().filter(|&&a| a).count();
+    let routed = (n_states * n_active * lanes) as u64;
+    if simd::dispatch().is_simd() {
+        kernel.steps.simd += routed;
+    } else {
+        kernel.steps.soa += routed;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fingerprint_separates_orders() {
+        assert_ne!(
+            layout_fingerprint(&[0, 1, 2]),
+            layout_fingerprint(&[0, 2, 1])
+        );
+        assert_eq!(layout_fingerprint(&[0, 1]), layout_fingerprint(&[0, 1]));
+        assert_ne!(layout_fingerprint(&[0, 1]), layout_fingerprint(&[0, 1, 2]));
+    }
+}

@@ -187,6 +187,8 @@ struct Inner {
     kernel_fast_steps: AtomicU64,
     kernel_frozen_steps: AtomicU64,
     kernel_slow_steps: AtomicU64,
+    kernel_soa_steps: AtomicU64,
+    kernel_simd_steps: AtomicU64,
     sym_cache_hits: AtomicU64,
     sym_cache_misses: AtomicU64,
     automata_shared: AtomicU64,
@@ -252,6 +254,8 @@ pub(crate) struct StatsState {
     pub(crate) kernel_fast_steps: u64,
     pub(crate) kernel_frozen_steps: u64,
     pub(crate) kernel_slow_steps: u64,
+    pub(crate) kernel_soa_steps: u64,
+    pub(crate) kernel_simd_steps: u64,
     pub(crate) sym_cache_hits: u64,
     pub(crate) sym_cache_misses: u64,
     pub(crate) automata_shared: u64,
@@ -348,8 +352,9 @@ impl EngineStats {
 
     /// Records kernel-path telemetry for one tick: how many chain
     /// transitions were served by each path (local dense table / shared
-    /// frozen table / mutex interpreter) and the per-tick
-    /// symbol-distribution cache's hit/miss counts.
+    /// frozen table / mutex interpreter / batched struct-of-arrays
+    /// lanes, scalar or SIMD) and the per-tick symbol-distribution
+    /// cache's hit/miss counts.
     pub(crate) fn record_kernel(&self, k: &crate::kernel::KernelTickStats) {
         let i = &self.inner;
         i.kernel_fast_steps
@@ -358,6 +363,9 @@ impl EngineStats {
             .fetch_add(k.steps.frozen, Ordering::Relaxed);
         i.kernel_slow_steps
             .fetch_add(k.steps.slow, Ordering::Relaxed);
+        i.kernel_soa_steps.fetch_add(k.steps.soa, Ordering::Relaxed);
+        i.kernel_simd_steps
+            .fetch_add(k.steps.simd, Ordering::Relaxed);
         i.sym_cache_hits.fetch_add(k.sym_hits, Ordering::Relaxed);
         i.sym_cache_misses
             .fetch_add(k.sym_misses, Ordering::Relaxed);
@@ -480,12 +488,21 @@ impl EngineStats {
     /// a tick completed by [`crate::RealTimeSession::recover`]) and the
     /// alert probability it produced.
     pub fn record_query_tick(&self, id: usize, step_ns: Option<u64>, probability: f64) {
+        self.record_query_ticks([(id, step_ns, probability)]);
+    }
+
+    /// Records one closed tick for many queries under a single registry
+    /// lock — the session's per-tick path, where locking per query would
+    /// dominate at thousands of registered queries.
+    pub fn record_query_ticks(&self, entries: impl IntoIterator<Item = (usize, Option<u64>, f64)>) {
         let mut reg = self.inner.per_query.lock().unwrap();
-        let slot = reg.entry(id).or_default();
-        slot.ticks += 1;
-        slot.last_probability = probability;
-        if let Some(ns) = step_ns {
-            slot.step_latency.record(ns);
+        for (id, step_ns, probability) in entries {
+            let slot = reg.entry(id).or_default();
+            slot.ticks += 1;
+            slot.last_probability = probability;
+            if let Some(ns) = step_ns {
+                slot.step_latency.record(ns);
+            }
         }
     }
 
@@ -526,6 +543,8 @@ impl EngineStats {
             kernel_fast_steps: i.kernel_fast_steps.load(Ordering::Relaxed),
             kernel_frozen_steps: i.kernel_frozen_steps.load(Ordering::Relaxed),
             kernel_slow_steps: i.kernel_slow_steps.load(Ordering::Relaxed),
+            kernel_soa_steps: i.kernel_soa_steps.load(Ordering::Relaxed),
+            kernel_simd_steps: i.kernel_simd_steps.load(Ordering::Relaxed),
             sym_cache_hits: i.sym_cache_hits.load(Ordering::Relaxed),
             sym_cache_misses: i.sym_cache_misses.load(Ordering::Relaxed),
             automata_shared: i.automata_shared.load(Ordering::Relaxed),
@@ -578,6 +597,8 @@ impl EngineStats {
             kernel_fast_steps: i.kernel_fast_steps.load(Ordering::Relaxed),
             kernel_frozen_steps: i.kernel_frozen_steps.load(Ordering::Relaxed),
             kernel_slow_steps: i.kernel_slow_steps.load(Ordering::Relaxed),
+            kernel_soa_steps: i.kernel_soa_steps.load(Ordering::Relaxed),
+            kernel_simd_steps: i.kernel_simd_steps.load(Ordering::Relaxed),
             sym_cache_hits: i.sym_cache_hits.load(Ordering::Relaxed),
             sym_cache_misses: i.sym_cache_misses.load(Ordering::Relaxed),
             automata_shared: i.automata_shared.load(Ordering::Relaxed),
@@ -623,6 +644,10 @@ impl EngineStats {
             .store(state.kernel_frozen_steps, Ordering::Relaxed);
         i.kernel_slow_steps
             .store(state.kernel_slow_steps, Ordering::Relaxed);
+        i.kernel_soa_steps
+            .store(state.kernel_soa_steps, Ordering::Relaxed);
+        i.kernel_simd_steps
+            .store(state.kernel_simd_steps, Ordering::Relaxed);
         i.sym_cache_hits
             .store(state.sym_cache_hits, Ordering::Relaxed);
         i.sym_cache_misses
@@ -742,6 +767,13 @@ pub struct StatsSnapshot {
     pub kernel_frozen_steps: u64,
     /// Chain transitions resolved by the on-the-fly (mutex) interpreter.
     pub kernel_slow_steps: u64,
+    /// Routed state×symbol×lane products executed by the batched
+    /// struct-of-arrays kernel on the scalar lane loop.
+    pub kernel_soa_steps: u64,
+    /// Routed state×symbol×lane products executed by the batched
+    /// struct-of-arrays kernel through an explicit SIMD path
+    /// (SSE2/AVX2).
+    pub kernel_simd_steps: u64,
     /// Per-tick symbol-distribution cache hits (distribution reused).
     pub sym_cache_hits: u64,
     /// Per-tick symbol-distribution cache misses (distribution built).
@@ -805,11 +837,14 @@ impl StatsSnapshot {
         write!(
             out,
             "\"kernel\":{{\"fast_steps\":{},\"frozen_steps\":{},\"slow_steps\":{},\
+             \"soa_steps\":{},\"simd_steps\":{},\
              \"sym_cache_hits\":{},\"sym_cache_misses\":{},\
              \"automata_shared\":{},\"automata_attached\":{}}},",
             self.kernel_fast_steps,
             self.kernel_frozen_steps,
             self.kernel_slow_steps,
+            self.kernel_soa_steps,
+            self.kernel_simd_steps,
             self.sym_cache_hits,
             self.sym_cache_misses,
             self.automata_shared,
@@ -1108,6 +1143,8 @@ mod tests {
                 fast: 100,
                 frozen: 20,
                 slow: 5,
+                soa: 64,
+                simd: 16,
             },
             sym_hits: 40,
             sym_misses: 10,
@@ -1121,6 +1158,8 @@ mod tests {
         assert_eq!(snap.kernel_fast_steps, 200);
         assert_eq!(snap.kernel_frozen_steps, 40);
         assert_eq!(snap.kernel_slow_steps, 10);
+        assert_eq!(snap.kernel_soa_steps, 128);
+        assert_eq!(snap.kernel_simd_steps, 32);
         assert_eq!(snap.sym_cache_hits, 80);
         assert_eq!(snap.sym_cache_misses, 20);
         assert_eq!(snap.automata_shared, 4);
@@ -1128,6 +1167,8 @@ mod tests {
         let doc = crate::json::parse(&snap.to_json()).unwrap();
         let kernel = doc.get("kernel").unwrap();
         assert_eq!(kernel.get("fast_steps").unwrap().as_u64(), Some(200));
+        assert_eq!(kernel.get("soa_steps").unwrap().as_u64(), Some(128));
+        assert_eq!(kernel.get("simd_steps").unwrap().as_u64(), Some(32));
         assert_eq!(kernel.get("sym_cache_hits").unwrap().as_u64(), Some(80));
         assert_eq!(kernel.get("automata_shared").unwrap().as_u64(), Some(4));
     }
@@ -1189,6 +1230,8 @@ mod tests {
                 fast: 10,
                 frozen: 4,
                 slow: 2,
+                soa: 8,
+                simd: 1,
             },
             sym_hits: 7,
             sym_misses: 3,

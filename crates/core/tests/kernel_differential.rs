@@ -341,3 +341,85 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dispatch differential: scalar SoA vs SSE2 vs AVX2 vs legacy interpreter
+// ---------------------------------------------------------------------------
+
+use lahar_core::simd::{self, Dispatch};
+
+/// Restores runtime CPU detection even when an assertion unwinds
+/// mid-case, so a failing test never leaves a forced dispatch behind
+/// for the rest of the binary.
+struct DispatchGuard;
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        simd::force_dispatch(None);
+    }
+}
+
+/// Every kernel dispatch this host can execute: the portable scalar
+/// loop always, SSE2 on any x86_64, and AVX2 only when runtime
+/// detection reports it (forcing AVX2 on a host without it would
+/// execute illegal instructions).
+fn forced_dispatches() -> Vec<Dispatch> {
+    let mut v = vec![Dispatch::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        v.push(Dispatch::Sse2);
+        if matches!(simd::dispatch(), Dispatch::Avx2) {
+            v.push(Dispatch::Avx2);
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every compiled dispatch (scalar SoA, SSE2, AVX2 where the host
+    /// has it) must produce alerts bit-identical to the legacy
+    /// interpreter — including across a mid-stream checkpoint, JSON
+    /// round-trip, and restore, and regardless of the lane layouts the
+    /// batcher picks under each dispatch.
+    #[test]
+    fn soa_dispatch_paths_agree(s in scenario()) {
+        // Reference: the forced interpreter, outside any dispatch
+        // forcing (it never touches the SoA kernels).
+        let mut intp = build_session(&s, TickMode::Sequential, true);
+        let interner = intp.database().interner().clone();
+        let mut reference = Vec::with_capacity(s.ticks.len());
+        for row in &s.ticks {
+            reference.push(bits(&run_tick(&mut intp, &interner, row)));
+        }
+
+        let _guard = DispatchGuard;
+        let mode = if s.parallel { TickMode::Parallel } else { TickMode::Sequential };
+        for d in forced_dispatches() {
+            simd::force_dispatch(Some(d));
+            let mut kern = build_session(&s, mode, false);
+
+            for (t, row) in s.ticks[..s.split].iter().enumerate() {
+                let ka = bits(&run_tick(&mut kern, &interner, row));
+                prop_assert_eq!(&ka, &reference[t], "dispatch {:?} tick {}", d, t);
+            }
+
+            // Checkpoint under this dispatch, restore, and let the twin
+            // finish the stream alongside the original.
+            let ckpt = kern.checkpoint().unwrap();
+            let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+            let mut restored =
+                RealTimeSession::restore(schema_db(s.n_people), &parsed).unwrap();
+            prop_assert_eq!(restored.now(), kern.now());
+
+            for (i, row) in s.ticks[s.split..].iter().enumerate() {
+                let t = s.split + i;
+                let ka = bits(&run_tick(&mut kern, &interner, row));
+                let ra = bits(&run_tick(&mut restored, &interner, row));
+                prop_assert_eq!(&ka, &reference[t], "dispatch {:?} tick {}", d, t);
+                prop_assert_eq!(&ra, &reference[t], "restored {:?} tick {}", d, t);
+            }
+        }
+    }
+}

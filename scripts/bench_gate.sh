@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kernel perf regression gate: the freshly measured batched-kernel step
+# cost (streaming_throughput.ns_per_chain_step) may be at most 25%
+# worse than the baseline report. Baselines from a different bench mode
+# (quick vs full) are not comparable, so a mode mismatch skips rather
+# than fails.
+#
+#   scripts/bench_gate.sh BASELINE.json [CURRENT.json]
+#
+# CURRENT defaults to the BENCH_streaming.json a fresh bench run just
+# wrote at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:?usage: scripts/bench_gate.sh BASELINE.json [CURRENT.json]}"
+current="${2:-BENCH_streaming.json}"
+
+python3 - "$baseline" "$current" <<'PY'
+import json
+import sys
+
+
+def row(path):
+    with open(path) as f:
+        return json.load(f).get("streaming_throughput", {})
+
+
+base, cur = row(sys.argv[1]), row(sys.argv[2])
+b, c = base.get("ns_per_chain_step"), cur.get("ns_per_chain_step")
+if b is None or c is None:
+    sys.exit(f"bench-gate: ns_per_chain_step missing (baseline={b}, current={c})")
+if base.get("mode") != cur.get("mode"):
+    print(
+        "bench-gate: mode mismatch "
+        f"({base.get('mode')} vs {cur.get('mode')}); not comparable, skipping"
+    )
+    sys.exit(0)
+limit = b * 1.25
+ok = c <= limit
+print(
+    f"bench-gate: ns_per_chain_step {c:.2f} vs baseline {b:.2f} "
+    f"(limit {limit:.2f}, mode {cur.get('mode')}) {'OK' if ok else 'FAIL'}"
+)
+sys.exit(0 if ok else 1)
+PY

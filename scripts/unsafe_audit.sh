@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Unsafe-scope audit: the workspace carries `unsafe` in exactly one
+# place — the annotated SIMD kernel module (crates/core/src/simd.rs).
+# Everything else builds under `#![deny(unsafe_code)]`; this script
+# keeps the textual invariants pinned so neither the deny attribute nor
+# the allow escape hatch can drift in a diff without tripping CI.
+#
+#   scripts/unsafe_audit.sh      # exits non-zero on any violation
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. The core crate denies unsafe code at the root.
+if ! grep -q '^#!\[deny(unsafe_code)\]' crates/core/src/lib.rs; then
+    echo "unsafe-audit: crates/core/src/lib.rs lost #![deny(unsafe_code)]" >&2
+    fail=1
+fi
+
+# 2. The only allow(unsafe_code) in the workspace is the one annotating
+#    the `mod simd` declaration in the core crate root.
+allows="$(grep -rn 'allow(unsafe_code)' crates --include='*.rs' \
+    | grep -v '^crates/core/src/lib.rs:' \
+    | grep -v '^crates/core/src/simd.rs:[0-9]*://' || true)"
+if [[ -n "$allows" ]]; then
+    echo "unsafe-audit: allow(unsafe_code) outside crates/core/src/lib.rs:" >&2
+    echo "$allows" >&2
+    fail=1
+fi
+if [[ "$(grep -c 'allow(unsafe_code)' crates/core/src/lib.rs)" -ne 1 ]]; then
+    echo "unsafe-audit: expected exactly one allow(unsafe_code) in crates/core/src/lib.rs" >&2
+    fail=1
+fi
+if ! grep -A1 'allow(unsafe_code)' crates/core/src/lib.rs | grep -q 'pub mod simd;'; then
+    echo "unsafe-audit: the allow(unsafe_code) must annotate 'pub mod simd;'" >&2
+    fail=1
+fi
+
+# 3. No `unsafe` blocks, fns, impls, or traits anywhere outside simd.rs.
+#    (Identifiers like is_unsafe / unsafe_queries don't match the keyword
+#    pattern; string literals and docs are free to say "unsafe".)
+hits="$(grep -rnE '\bunsafe[[:space:]]*(fn|\{|impl|trait)' crates --include='*.rs' \
+    | grep -v '^crates/core/src/simd.rs:' || true)"
+if [[ -n "$hits" ]]; then
+    echo "unsafe-audit: unsafe code outside crates/core/src/simd.rs:" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "unsafe-audit: OK (unsafe confined to crates/core/src/simd.rs)"

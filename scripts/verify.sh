@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
 
+echo "==> unsafe-scope audit"
+scripts/unsafe_audit.sh
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
@@ -165,12 +168,29 @@ if [[ "$quick" -eq 0 ]]; then
     for key in '"kernel_hit_rate"' '"seq_ticks_per_sec"' \
         '"streaming_worker_matrix"' '"par_ticks_per_sec_w4"' \
         '"durability_overhead"' '"ticks_per_sec_always"' \
-        '"serve_observability"' '"rt_per_sec_off"'; do
+        '"serve_observability"' '"rt_per_sec_off"' \
+        '"ns_per_chain_step"' '"sampler_throughput"' '"h1_speedup"'; do
         if ! grep -qF "$key" BENCH_streaming.json; then
             echo "bench smoke failed: $key missing from BENCH_streaming.json" >&2
             exit 1
         fi
     done
+
+    echo "==> kernel step regression gate (vs committed baseline)"
+    baseline="$(mktemp -t lahar-bench-baseline-XXXXXX.json)"
+    if git show HEAD:BENCH_streaming.json >"$baseline" 2>/dev/null; then
+        scripts/bench_gate.sh "$baseline"
+    else
+        echo "no committed BENCH_streaming.json baseline; skipping"
+    fi
+    rm -f "$baseline"
+
+    echo "==> miri (simd module, UB check) — needs nightly miri"
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        cargo +nightly miri test -q --offline -p lahar-core --lib simd::
+    else
+        echo "miri unavailable locally; CI runs it (rustup +nightly component add miri to enable)"
+    fi
 
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --offline --workspace --all-targets -- -D warnings
