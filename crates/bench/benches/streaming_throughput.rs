@@ -137,9 +137,11 @@ fn durability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static str, f64)>
         ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut config = ServerConfig::default();
-        config.checkpoint_dir = Some(dir.clone());
-        config.session_config = SessionConfig::builder().durability(level).build().unwrap();
+        let config = ServerConfig::builder()
+            .checkpoint_dir(&dir)
+            .session_config(SessionConfig::builder().durability(level).build().unwrap())
+            .build()
+            .unwrap();
         let server = LaharServer::start(config, build_template(n_people)).unwrap();
         let mut client = LaharClient::connect(server.addr(), "bench").unwrap();
         client.open().unwrap();
@@ -184,20 +186,20 @@ fn serve_observability_bench(n_people: usize, n_ticks: usize) -> Vec<(&'static s
         ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut config = ServerConfig::default();
-        config.checkpoint_dir = Some(dir.clone());
-        config.session_config = SessionConfig::builder()
-            .durability(Durability::None)
-            .build()
-            .unwrap();
+        let mut builder = ServerConfig::builder().checkpoint_dir(&dir).session_config(
+            SessionConfig::builder()
+                .durability(Durability::None)
+                .build()
+                .unwrap(),
+        );
         if arm != "off" {
             lahar_core::trace::enable();
         }
         if arm == "on_slowlog" {
-            config.slow_request_ms = Some(0);
-            config.slow_log = Some(dir.join("slow.jsonl"));
+            builder = builder.slow_request_ms(0).slow_log(dir.join("slow.jsonl"));
         }
-        let server = LaharServer::start(config, build_template(n_people)).unwrap();
+        let server =
+            LaharServer::start(builder.build().unwrap(), build_template(n_people)).unwrap();
         let mut client = LaharClient::connect(server.addr(), "bench").unwrap();
         client.open().unwrap();
         client.register("q_ac", "At(p,'a') ; At(p,'c')").unwrap();

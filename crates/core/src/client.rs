@@ -39,8 +39,7 @@
 
 use crate::error::EngineError;
 use crate::protocol::{
-    encode_request, parse_response_with_id, Command, Response, WireAlert, WireMarginal,
-    CODE_OVERLOADED,
+    encode_request, parse_response_with_id, Command, Response, WireAlert, WireCode, WireMarginal,
 };
 use crate::trace;
 use std::io::{BufRead, BufReader, Write as _};
@@ -227,15 +226,23 @@ impl LaharClient {
 
     /// The correlation id of the most recent request (0 before the
     /// first). The server echoes it verbatim in the matching response;
-    /// [`LaharClient::request`] verifies the echo.
+    /// the client verifies the echo on every call.
     pub fn last_id(&self) -> u64 {
         self.last_id
     }
 
     /// Sends one command and blocks for its response. Server-side
-    /// `Error` responses are returned as `Ok(Response::Error { .. })`;
-    /// use the typed helpers to get them as [`EngineError::Remote`].
-    pub fn request(&mut self, cmd: &Command) -> Result<Response, EngineError> {
+    /// `Error` responses are returned as `Ok(Response::Error { .. })`.
+    ///
+    /// Deprecated as a public entry point and demoted to `pub(crate)`:
+    /// a raw [`Command`] lets a caller build malformed session-less
+    /// frames the typed wrappers cannot express (e.g. a `Tick` naming a
+    /// session this client is not bound to). The typed helpers
+    /// ([`LaharClient::ping`], [`LaharClient::open`],
+    /// [`LaharClient::stage_tick`], …) are the only supported path; they
+    /// also lift error responses into [`EngineError::Remote`] and apply
+    /// the installed [`RetryPolicy`].
+    pub(crate) fn request(&mut self, cmd: &Command) -> Result<Response, EngineError> {
         let id = self.last_id + 1;
         self.last_id = id;
         let mut frame = encode_request(cmd, Some(id));
@@ -289,7 +296,10 @@ impl LaharClient {
             let (retryable, reconnect) = match &result {
                 // The server rejected the command at the queue, applying
                 // nothing — any command is safe to resend.
-                Err(EngineError::Remote { code, .. }) if code == CODE_OVERLOADED => (true, false),
+                Err(EngineError::Remote {
+                    code: WireCode::Overloaded,
+                    ..
+                }) => (true, false),
                 // The transport died with the attempt's fate unknown;
                 // only resend commands that tolerate a double apply.
                 Err(EngineError::ServerUnavailable(_)) => (idempotent(cmd), true),

@@ -79,7 +79,7 @@ pub enum EngineError {
     /// The server answered a client request with an error response.
     Remote {
         /// Machine-readable error code from the server.
-        code: String,
+        code: crate::protocol::WireCode,
         /// Human-readable message from the server.
         message: String,
     },

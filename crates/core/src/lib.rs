@@ -51,6 +51,7 @@ mod kernel;
 mod occurrence;
 mod pool;
 pub mod protocol;
+mod reactor;
 mod regular;
 mod safeplan;
 mod sampler;
@@ -60,6 +61,8 @@ mod session;
 pub mod simd;
 mod soa;
 mod stats;
+#[allow(unsafe_code)] // see the module's unsafe-audit policy
+mod sys_poll;
 pub mod trace;
 mod translate;
 pub mod wal;
@@ -73,10 +76,11 @@ pub use expose::{health_report, HealthRenderer, MetricsRenderer, MetricsServer};
 pub use extended::{ExtendedRegularEvaluator, DEFAULT_BINDING_CAP};
 pub use interval::IntervalChain;
 pub use occurrence::{OccurrenceModel, TpTw};
+pub use protocol::WireCode;
 pub use regular::RegularEvaluator;
 pub use safeplan::SafePlanExecutor;
 pub use sampler::{Sampler, SamplerConfig};
-pub use server::{LaharServer, ServerConfig};
+pub use server::{LaharServer, ServerConfig, ServerConfigBuilder};
 pub use session::{Alert, QueryId, RealTimeSession, SessionConfig, SessionConfigBuilder, TickMode};
 pub use stats::{EngineStats, LatencySnapshot, QuerySnapshot, StatsSnapshot};
 pub use translate::{

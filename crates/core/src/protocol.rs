@@ -183,29 +183,105 @@ pub enum Response {
     },
     /// Answer to [`Command::Shutdown`]; the connection closes after it.
     ShuttingDown,
-    /// Any failure. `code` is machine-readable; `overloaded` means the
-    /// target shard's bounded queue was full and the client should back
-    /// off and retry — the frame was **not** enqueued.
+    /// Any failure. `code` is machine-readable;
+    /// [`WireCode::Overloaded`] means the target shard's bounded queue
+    /// was full and the client should back off and retry — the frame
+    /// was **not** enqueued.
     Error {
-        /// Machine-readable error code (`overloaded`, `bad_request`,
-        /// `unknown_query`, `unknown_session`, `session_limit`,
-        /// `engine`, `shutting_down`, `protocol`).
-        code: String,
+        /// Machine-readable error code.
+        code: WireCode,
         /// Human-readable detail.
         message: String,
     },
 }
 
-/// Error code for backpressure rejections.
-pub const CODE_OVERLOADED: &str = "overloaded";
+/// Machine-readable wire error codes, typed.
+///
+/// Each variant round-trips to the exact protocol-v1 string (the
+/// `"code"` field of an error frame) via [`WireCode::as_str`] and
+/// [`WireCode::from_wire`] — the wire shapes are unchanged; only the
+/// in-process representation is typed. Both the server and
+/// [`crate::client::RetryPolicy`] match on this enum, never on `&str`,
+/// so retry/idempotence decisions are exhaustive matches the compiler
+/// checks. Codes from a newer server that this build does not know
+/// parse as [`WireCode::Other`] instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WireCode {
+    /// Backpressure rejection: the target shard's bounded queue was
+    /// full; the frame was **not** enqueued and a retry is safe.
+    Overloaded,
+    /// A session-addressed command whose session has not been opened on
+    /// this server (sessions are created only by `open`).
+    UnknownSession,
+    /// Answer to `open` when the server already hosts its configured
+    /// maximum number of sessions.
+    SessionLimit,
+    /// `series` named a query the session has not registered.
+    UnknownQuery,
+    /// A well-formed frame carrying an invalid request (duplicate query
+    /// name, empty epoch, command not routable over the wire, …).
+    BadRequest,
+    /// A write-ahead-log append failed; the command was **not** applied
+    /// and the session refuses further mutations until reopened.
+    Durability,
+    /// The frame itself was malformed (bad JSON, unknown command,
+    /// unsupported version).
+    Protocol,
+    /// An engine-level failure while executing the command.
+    Engine,
+    /// The session is poisoned by an earlier failure and was recovered;
+    /// the command was not applied.
+    Poisoned,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// A code this build does not know (forward compatibility: newer
+    /// servers may answer codes older clients have no variant for).
+    Other(String),
+}
 
-/// Error code for a session-addressed command whose session has not
-/// been opened on this server (sessions are created only by `open`).
-pub const CODE_UNKNOWN_SESSION: &str = "unknown_session";
+impl WireCode {
+    /// The exact protocol-v1 string this code encodes as.
+    pub fn as_str(&self) -> &str {
+        match self {
+            WireCode::Overloaded => "overloaded",
+            WireCode::UnknownSession => "unknown_session",
+            WireCode::SessionLimit => "session_limit",
+            WireCode::UnknownQuery => "unknown_query",
+            WireCode::BadRequest => "bad_request",
+            WireCode::Durability => "durability",
+            WireCode::Protocol => "protocol",
+            WireCode::Engine => "engine",
+            WireCode::Poisoned => "poisoned",
+            WireCode::ShuttingDown => "shutting_down",
+            WireCode::Other(s) => s,
+        }
+    }
 
-/// Error code answering `open` when the server already hosts its
-/// configured maximum number of sessions.
-pub const CODE_SESSION_LIMIT: &str = "session_limit";
+    /// Parses a wire string back into the typed code. Unknown strings
+    /// become [`WireCode::Other`] — never an error — so old clients
+    /// keep interoperating with newer servers.
+    pub fn from_wire(s: &str) -> WireCode {
+        match s {
+            "overloaded" => WireCode::Overloaded,
+            "unknown_session" => WireCode::UnknownSession,
+            "session_limit" => WireCode::SessionLimit,
+            "unknown_query" => WireCode::UnknownQuery,
+            "bad_request" => WireCode::BadRequest,
+            "durability" => WireCode::Durability,
+            "protocol" => WireCode::Protocol,
+            "engine" => WireCode::Engine,
+            "poisoned" => WireCode::Poisoned,
+            "shutting_down" => WireCode::ShuttingDown,
+            other => WireCode::Other(other.to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for WireCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -410,7 +486,7 @@ pub fn encode_response(r: &Response) -> String {
         }
         Response::Error { code, message } => {
             out.push_str("{\"type\":\"error\",\"ok\":false,\"code\":");
-            json::push_string(&mut out, code);
+            json::push_string(&mut out, code.as_str());
             out.push_str(",\"message\":");
             json::push_string(&mut out, message);
             out.push('}');
@@ -633,7 +709,7 @@ pub fn parse_response_with_id(line: &str) -> Result<(Response, Option<u64>), Eng
         }),
         "shutting_down" => Ok(Response::ShuttingDown),
         "error" => Ok(Response::Error {
-            code: req_str(&v, "code")?,
+            code: WireCode::from_wire(&req_str(&v, "code")?),
             message: req_str(&v, "message")?,
         }),
         other => Err(proto_err(format!("unknown response type '{other}'"))),
@@ -729,8 +805,12 @@ mod tests {
             Response::Checkpointed { t: 8 },
             Response::ShuttingDown,
             Response::Error {
-                code: "overloaded".into(),
+                code: WireCode::Overloaded,
                 message: "shard 2 queue full\ndetail".into(),
+            },
+            Response::Error {
+                code: WireCode::Other("code_from_the_future".into()),
+                message: "forward compat".into(),
             },
         ]
     }
@@ -788,6 +868,31 @@ mod tests {
             assert_eq!(id, Some(max_safe), "{line}");
             assert_eq!(encode_response_with_id(&r, None), encode_response(&r));
         }
+    }
+
+    #[test]
+    fn wire_codes_round_trip_to_the_exact_v1_strings() {
+        let known = [
+            (WireCode::Overloaded, "overloaded"),
+            (WireCode::UnknownSession, "unknown_session"),
+            (WireCode::SessionLimit, "session_limit"),
+            (WireCode::UnknownQuery, "unknown_query"),
+            (WireCode::BadRequest, "bad_request"),
+            (WireCode::Durability, "durability"),
+            (WireCode::Protocol, "protocol"),
+            (WireCode::Engine, "engine"),
+            (WireCode::Poisoned, "poisoned"),
+            (WireCode::ShuttingDown, "shutting_down"),
+        ];
+        for (code, wire) in known {
+            assert_eq!(code.as_str(), wire);
+            assert_eq!(WireCode::from_wire(wire), code);
+            assert_eq!(code.to_string(), wire);
+        }
+        // Unknown strings survive a round trip rather than erroring.
+        let future = WireCode::from_wire("brownout");
+        assert_eq!(future, WireCode::Other("brownout".into()));
+        assert_eq!(future.as_str(), "brownout");
     }
 
     #[test]

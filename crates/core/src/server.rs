@@ -47,10 +47,7 @@
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::EngineError;
 use crate::expose::{to_prometheus_sessions, MetricsServer};
-use crate::protocol::{
-    encode_response_with_id, parse_request, Command, Response, WireAlert, WireMarginal,
-    CODE_OVERLOADED, CODE_SESSION_LIMIT, CODE_UNKNOWN_SESSION, PROTOCOL_VERSION,
-};
+use crate::protocol::{Command, Response, WireAlert, WireCode, WireMarginal, PROTOCOL_VERSION};
 use crate::session::{Alert, RealTimeSession, SessionConfig};
 use crate::stats::{EngineStats, Histogram, StatsSnapshot};
 use crate::trace;
@@ -59,7 +56,7 @@ use lahar_model::{Database, Marginal, StreamKey, Value};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -69,6 +66,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of [`LaharServer`].
+///
+/// Construct it with [`ServerConfig::builder`], which validates at
+/// build time (address collisions, zero queue/session caps, an
+/// `evict_after` without a checkpoint dir). **Direct field construction
+/// and field-by-field mutation are deprecated**: the struct stays
+/// `#[non_exhaustive]` with public fields only so existing deployments
+/// keep compiling, but new knobs are added builder-first and a mutated
+/// config is only re-validated when [`LaharServer::start`] runs.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServerConfig {
@@ -87,7 +92,8 @@ pub struct ServerConfig {
     /// beyond this answers a `session_limit` error. Sessions are created
     /// only by `open` (other commands answer `unknown_session`), so
     /// arbitrary wire-supplied names cannot grow server state without
-    /// bound.
+    /// bound. Evicted sessions still count — eviction bounds memory,
+    /// not the namespace.
     pub max_sessions: usize,
     /// Where shutdown checkpoints are written and restarts restore from
     /// (`None` disables persistence).
@@ -106,6 +112,21 @@ pub struct ServerConfig {
     /// Where slow-request entries are appended; `None` writes them to
     /// stderr. Only consulted when `slow_request_ms` is set.
     pub slow_log: Option<PathBuf>,
+    /// Cold-session tiering: a hosted session idle for this long is
+    /// checkpointed to [`ServerConfig::checkpoint_dir`] and dropped
+    /// from memory, then restored bit-identically (checkpoint +
+    /// write-ahead tail) by the next command that touches it. `None`
+    /// keeps every opened session resident forever. Requires a
+    /// checkpoint dir.
+    pub evict_after: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// A builder that validates at build time — the only supported way
+    /// to construct a config. See [`ServerConfigBuilder`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
 }
 
 impl Default for ServerConfig {
@@ -121,30 +142,213 @@ impl Default for ServerConfig {
             shard_delay: None,
             slow_request_ms: None,
             slow_log: None,
+            evict_after: None,
         }
     }
 }
 
+/// Builder for [`ServerConfig`], mirroring
+/// [`crate::SessionConfigBuilder`]: every knob is optional, defaults
+/// come from [`ServerConfig::default`], and invalid combinations are
+/// rejected by [`ServerConfigBuilder::build`] with
+/// [`EngineError::InvalidConfig`] instead of surfacing as runtime
+/// surprises.
+///
+/// ```ignore
+/// let config = ServerConfig::builder()
+///     .addr("127.0.0.1:0".parse().unwrap())
+///     .n_shards(2)
+///     .evict_after(Duration::from_secs(300))
+///     .checkpoint_dir("/var/lib/lahar")
+///     .build()?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfigBuilder {
+    addr: Option<SocketAddr>,
+    metrics_addr: Option<SocketAddr>,
+    n_shards: Option<usize>,
+    queue_cap: Option<usize>,
+    max_sessions: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    session_config: Option<SessionConfig>,
+    shard_delay: Option<Duration>,
+    slow_request_ms: Option<u64>,
+    slow_log: Option<PathBuf>,
+    evict_after: Option<Duration>,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the serve address (port 0 picks a free port).
+    #[must_use]
+    pub fn addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Enables the metrics endpoint on `addr` (must differ from the
+    /// serve address).
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
+        self
+    }
+
+    /// Sets the shard worker count (0 = one per available core).
+    #[must_use]
+    pub fn n_shards(mut self, n: usize) -> Self {
+        self.n_shards = Some(n);
+        self
+    }
+
+    /// Sets the bound of each shard's command queue (must be non-zero).
+    #[must_use]
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Sets the hosted-session cap (must be non-zero).
+    #[must_use]
+    pub fn max_sessions(mut self, cap: usize) -> Self {
+        self.max_sessions = Some(cap);
+        self
+    }
+
+    /// Sets where checkpoints are written and restarts restore from.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the template configuration for hosted sessions.
+    #[must_use]
+    pub fn session_config(mut self, config: SessionConfig) -> Self {
+        self.session_config = Some(config);
+        self
+    }
+
+    /// Injects an artificial per-command delay in every shard worker (a
+    /// test/ops knob for driving backpressure deterministically).
+    #[must_use]
+    pub fn shard_delay(mut self, delay: Duration) -> Self {
+        self.shard_delay = Some(delay);
+        self
+    }
+
+    /// Enables the slow-request log at the given threshold (ms).
+    #[must_use]
+    pub fn slow_request_ms(mut self, ms: u64) -> Self {
+        self.slow_request_ms = Some(ms);
+        self
+    }
+
+    /// Appends slow-request entries to `path` instead of stderr.
+    #[must_use]
+    pub fn slow_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.slow_log = Some(path.into());
+        self
+    }
+
+    /// Evicts sessions idle for `idle` to checkpoint storage, restoring
+    /// them lazily (and bit-identically) on the next touching command.
+    /// Requires [`ServerConfigBuilder::checkpoint_dir`]; must be
+    /// non-zero.
+    #[must_use]
+    pub fn evict_after(mut self, idle: Duration) -> Self {
+        self.evict_after = Some(idle);
+        self
+    }
+
+    /// Validates the combination and produces the config.
+    ///
+    /// Rejected: a zero `queue_cap` or `max_sessions`, a zero
+    /// `evict_after`, a `metrics_addr` equal to the serve address (when
+    /// neither is port 0), and `evict_after` without a
+    /// `checkpoint_dir` (there is nowhere to evict to).
+    pub fn build(self) -> Result<ServerConfig, EngineError> {
+        let defaults = ServerConfig::default();
+        if self.queue_cap == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "queue_cap must be non-zero (a zero-capacity queue rejects everything)".to_owned(),
+            ));
+        }
+        if self.max_sessions == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "max_sessions must be non-zero (a zero cap rejects every open)".to_owned(),
+            ));
+        }
+        if self.evict_after == Some(Duration::ZERO) {
+            return Err(EngineError::InvalidConfig(
+                "evict_after must be non-zero (zero would evict a session mid-conversation)"
+                    .to_owned(),
+            ));
+        }
+        if self.evict_after.is_some() && self.checkpoint_dir.is_none() {
+            return Err(EngineError::InvalidConfig(
+                "evict_after requires a checkpoint dir (evicted sessions live there)".to_owned(),
+            ));
+        }
+        let addr = self.addr.unwrap_or(defaults.addr);
+        if let Some(maddr) = self.metrics_addr {
+            if maddr == addr && addr.port() != 0 {
+                return Err(EngineError::InvalidConfig(
+                    "metrics_addr collides with the serve addr".to_owned(),
+                ));
+            }
+        }
+        Ok(ServerConfig {
+            addr,
+            metrics_addr: self.metrics_addr,
+            n_shards: self.n_shards.unwrap_or(defaults.n_shards),
+            queue_cap: self.queue_cap.unwrap_or(defaults.queue_cap),
+            max_sessions: self.max_sessions.unwrap_or(defaults.max_sessions),
+            checkpoint_dir: self.checkpoint_dir,
+            session_config: self.session_config.unwrap_or(defaults.session_config),
+            shard_delay: self.shard_delay,
+            slow_request_ms: self.slow_request_ms,
+            slow_log: self.slow_log,
+            evict_after: self.evict_after,
+        })
+    }
+}
+
 /// Request-scoped context carried with a job from the connection
-/// reader to its shard worker.
+/// reactor to its shard worker.
 struct RequestCtx {
     /// Client-supplied correlation id, echoed in the response and
     /// attached (as the `req` span argument) on both threads.
     id: Option<u64>,
     /// Wire-command label (see [`COMMAND_LABELS`]).
     command: &'static str,
-    /// When the connection thread enqueued the job; the worker's
-    /// dequeue time minus this is the `queue_wait` phase.
+    /// When the reactor enqueued the job; the worker's dequeue time
+    /// minus this is the `queue_wait` phase.
     enqueued: Instant,
 }
 
 /// A worker's answer: the response plus the phases measured on the
 /// worker thread.
-struct WorkerReply {
-    response: Response,
-    queue_wait_ns: u64,
-    execute_ns: u64,
-    wal_ns: u64,
+pub(crate) struct WorkerReply {
+    pub(crate) response: Response,
+    pub(crate) queue_wait_ns: u64,
+    pub(crate) execute_ns: u64,
+    pub(crate) wal_ns: u64,
+}
+
+/// Where a worker's answer goes: back to the reactor's completion
+/// queue, addressed by (connection, response slot). The reactor matches
+/// it to the connection's ordered output queue, so responses flush in
+/// request order even when shards finish out of order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplyTo {
+    pub(crate) conn_id: u64,
+    pub(crate) seq: u64,
+}
+
+/// A finished worker job travelling back to the reactor.
+pub(crate) struct Completion {
+    pub(crate) to: ReplyTo,
+    pub(crate) reply: WorkerReply,
 }
 
 /// One command in flight to a shard worker.
@@ -152,7 +356,7 @@ struct Job {
     session: String,
     cmd: Command,
     ctx: RequestCtx,
-    reply: SyncSender<WorkerReply>,
+    reply: ReplyTo,
 }
 
 enum ShardMsg {
@@ -167,23 +371,55 @@ struct Shard {
     depth: Arc<AtomicUsize>,
 }
 
-struct Shared {
-    config: ServerConfig,
-    /// The *resolved* serve address (never port 0): the self-connect
-    /// that unblocks `accept` during shutdown must target this, not
-    /// `config.addr`.
-    addr: SocketAddr,
+/// One hosted session's registry entry: the stats handle that feeds the
+/// merged `/metrics` exposition, plus whether the session is currently
+/// evicted to checkpoint storage (resident memory freed; the next
+/// touching command restores it).
+pub(crate) struct SessionEntry {
+    pub(crate) name: String,
+    pub(crate) stats: EngineStats,
+    pub(crate) evicted: bool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    /// The *resolved* serve address (never port 0).
+    #[allow(dead_code)] // kept for diagnostics; the reactor owns the listener
+    pub(crate) addr: SocketAddr,
     template: Database,
     shards: Vec<Shard>,
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     /// Commands rejected with `overloaded`.
     overloaded_total: AtomicU64,
-    /// Stats handle per hosted session, for the merged exposition.
-    registry: Mutex<Vec<(String, EngineStats)>>,
+    /// One entry per session ever opened (evicted ones included — the
+    /// session *namespace* is bounded by `max_sessions`, resident
+    /// memory by eviction).
+    registry: Mutex<Vec<SessionEntry>>,
+    /// Sessions evicted to checkpoint storage since start.
+    evictions_total: AtomicU64,
+    /// Evicted sessions restored by a touching command since start.
+    restores_total: AtomicU64,
     /// Per-command phase histograms and outcome counters.
-    requests: RequestStats,
+    pub(crate) requests: RequestStats,
     /// The structured slow-request log, when enabled.
-    slow_log: Option<SlowLog>,
+    pub(crate) slow_log: Option<SlowLog>,
+    /// Finished worker jobs waiting for the reactor to flush them.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Write end of the reactor's wake pipe (a loopback socket pair):
+    /// one byte here pulls the reactor out of `poll` so it notices new
+    /// completions or the shutdown flag. Non-blocking; a full buffer
+    /// means a wake is already pending, so the failed write is fine.
+    wake: TcpStream,
+}
+
+impl Shared {
+    /// Wakes the reactor out of `poll`. Called by shard workers after
+    /// pushing a completion and by [`initiate_shutdown`].
+    pub(crate) fn wake_reactor(&self) {
+        // &TcpStream implements Write; WouldBlock means wakes are
+        // already pending and the reactor will drain them.
+        let _ = (&self.wake).write(&[1]);
+    }
 }
 
 /// The serve-loop handle. Dropping it (or calling
@@ -192,9 +428,23 @@ struct Shared {
 pub struct LaharServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Option<MetricsServer>,
+}
+
+/// Builds the reactor's wake channel: a connected loopback TCP pair
+/// (bind an ephemeral listener, connect, accept, drop the listener).
+/// std offers no `pipe(2)`, and a socket pair polls identically. Both
+/// ends are non-blocking: the writer never stalls a worker, the reader
+/// drains whatever is buffered.
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let writer = TcpStream::connect(listener.local_addr()?)?;
+    let (reader, _) = listener.accept()?;
+    writer.set_nonblocking(true)?;
+    reader.set_nonblocking(true)?;
+    Ok((writer, reader))
 }
 
 impl LaharServer {
@@ -221,6 +471,17 @@ impl LaharServer {
         if config.session_config.durability != Durability::None && config.checkpoint_dir.is_none() {
             return Err(EngineError::InvalidConfig(
                 "durability requires a checkpoint dir (the write-ahead log lives there)".to_owned(),
+            ));
+        }
+        if config.evict_after == Some(Duration::ZERO) {
+            return Err(EngineError::InvalidConfig(
+                "evict_after must be non-zero (zero would evict a session mid-conversation)"
+                    .to_owned(),
+            ));
+        }
+        if config.evict_after.is_some() && config.checkpoint_dir.is_none() {
+            return Err(EngineError::InvalidConfig(
+                "evict_after requires a checkpoint dir (evicted sessions live there)".to_owned(),
             ));
         }
         for stream in template.streams() {
@@ -264,6 +525,8 @@ impl LaharServer {
                     .map_err(|e| EngineError::InvalidConfig(format!("slow log: {e}")))?,
             ),
         };
+        let (wake_writer, wake_reader) = wake_pair()
+            .map_err(|e| EngineError::ServerUnavailable(format!("reactor wake pipe: {e}")))?;
         let shared = Arc::new(Shared {
             config,
             addr,
@@ -272,8 +535,12 @@ impl LaharServer {
             shutting_down: AtomicBool::new(false),
             overloaded_total: AtomicU64::new(0),
             registry: Mutex::new(Vec::new()),
+            evictions_total: AtomicU64::new(0),
+            restores_total: AtomicU64::new(0),
             requests: RequestStats::new(),
             slow_log,
+            completions: Mutex::new(Vec::new()),
+            wake: wake_writer,
         });
 
         let mut workers = Vec::with_capacity(n_shards);
@@ -298,25 +565,30 @@ impl LaharServer {
                     Arc::new(move || {
                         let registry = health_shared.registry.lock().expect("registry lock");
                         crate::expose::health_report(
-                            registry.iter().map(|(name, stats)| (name.as_str(), stats)),
+                            registry.iter().map(|e| (e.name.as_str(), &e.stats)),
                         )
                     }),
                 )?)
             }
         };
 
-        let acceptor = {
+        // One readiness-driven reactor owns the listener and every
+        // client socket: thousands of idle connections cost file
+        // descriptors, not threads. The name keeps the `lahar-conn`
+        // prefix so request traces still attribute `serve_request`
+        // spans to the connection layer.
+        let reactor = {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("lahar-serve".to_owned())
-                .spawn(move || accept_loop(listener, shared))
-                .map_err(|e| EngineError::ServerUnavailable(format!("spawn acceptor: {e}")))?
+                .name("lahar-conn-reactor".to_owned())
+                .spawn(move || crate::reactor::run(listener, wake_reader, &shared))
+                .map_err(|e| EngineError::ServerUnavailable(format!("spawn reactor: {e}")))?
         };
 
         Ok(Self {
             shared,
             addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers,
             metrics,
         })
@@ -350,7 +622,7 @@ impl LaharServer {
     }
 
     fn join_inner(&mut self) {
-        if let Some(handle) = self.acceptor.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
         for handle in self.workers.drain(..) {
@@ -369,9 +641,10 @@ impl Drop for LaharServer {
     }
 }
 
-/// Starts graceful shutdown: flags the acceptor down, enqueues the
-/// checkpoint-and-exit sentinel on every shard, and unblocks `accept`.
-fn initiate_shutdown(shared: &Arc<Shared>) {
+/// Starts graceful shutdown: flags the service down, enqueues the
+/// checkpoint-and-exit sentinel on every shard, and wakes the reactor
+/// so it stops accepting and drains in-flight responses.
+pub(crate) fn initiate_shutdown(shared: &Shared) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return; // already shutting down
     }
@@ -381,25 +654,7 @@ fn initiate_shutdown(shared: &Arc<Shared>) {
         // accepted work is never silently dropped.
         let _ = shard.sender.send(ShardMsg::Shutdown);
     }
-    let _ = TcpStream::connect(shared.addr);
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for conn in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        let shared = shared.clone();
-        // Connection readers are detached: they exit when the client
-        // hangs up or when they observe the shutdown flag (bounded by
-        // the read timeout below).
-        let _ = std::thread::Builder::new()
-            .name("lahar-conn".to_owned())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared);
-            });
-    }
+    shared.wake_reactor();
 }
 
 // ---------------------------------------------------------------------
@@ -434,7 +689,7 @@ const MAX_CODES_PER_COMMAND: usize = 12;
 /// bottleneck.
 const SLOW_LOG_MAX_PER_SEC: u32 = 100;
 
-fn command_label(cmd: &Command) -> &'static str {
+pub(crate) fn command_label(cmd: &Command) -> &'static str {
     match cmd {
         Command::Ping => "ping",
         Command::Open { .. } => "open",
@@ -455,12 +710,12 @@ fn label_index(label: &str) -> usize {
         .expect("known command label")
 }
 
-fn elapsed_ns(since: Instant) -> u64 {
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A span carrying the request id as its `req` argument when present.
-fn req_span(name: &'static str, id: Option<u64>) -> trace::Span {
+pub(crate) fn req_span(name: &'static str, id: Option<u64>) -> trace::Span {
     let span = trace::span(name);
     match id {
         Some(id) => span.with("req", id),
@@ -478,7 +733,7 @@ thread_local! {
 /// Per-command × per-phase duration histograms plus outcome counters,
 /// exported as `lahar_server_request_duration_seconds{command,phase}`
 /// and `lahar_server_requests_total{command,code}`.
-struct RequestStats {
+pub(crate) struct RequestStats {
     /// One row per [`COMMAND_LABELS`] entry, one histogram per phase.
     durations: Mutex<Vec<[Histogram; PHASE_LABELS.len()]>>,
     /// One outcome-code map per command, bounded by
@@ -500,7 +755,12 @@ impl RequestStats {
 
     /// Records one finished request: all four phase durations (inline
     /// answers record zero worker phases) and its outcome code.
-    fn record(&self, label: &'static str, phases_ns: [u64; PHASE_LABELS.len()], code: &str) {
+    pub(crate) fn record(
+        &self,
+        label: &'static str,
+        phases_ns: [u64; PHASE_LABELS.len()],
+        code: &str,
+    ) {
         let idx = label_index(label);
         {
             let mut durations = self.durations.lock().expect("durations lock");
@@ -574,25 +834,25 @@ impl RequestStats {
     }
 }
 
-/// Everything the connection loop needs to answer, meter, and slow-log
-/// one request.
-struct RequestOutcome {
+/// Everything the reactor needs to answer, meter, and slow-log one
+/// request.
+pub(crate) struct RequestOutcome {
     /// Command label, or `invalid` when the frame never parsed.
-    label: &'static str,
+    pub(crate) label: &'static str,
     /// Echoed correlation id.
-    id: Option<u64>,
+    pub(crate) id: Option<u64>,
     /// Target session, when the command named one.
-    session: Option<String>,
-    response: Response,
-    queue_wait_ns: u64,
-    execute_ns: u64,
-    wal_ns: u64,
+    pub(crate) session: Option<String>,
+    pub(crate) response: Response,
+    pub(crate) queue_wait_ns: u64,
+    pub(crate) execute_ns: u64,
+    pub(crate) wal_ns: u64,
 }
 
 impl RequestOutcome {
-    /// An answer produced on the connection thread itself (pings,
-    /// protocol errors, backpressure rejections): no worker phases.
-    fn inline(
+    /// An answer produced on the reactor thread itself (pings, protocol
+    /// errors, backpressure rejections): no worker phases.
+    pub(crate) fn inline(
         label: &'static str,
         id: Option<u64>,
         session: Option<String>,
@@ -611,9 +871,9 @@ impl RequestOutcome {
 
     /// The outcome code the counters and slow log record: `ok` for
     /// every success shape, the error code otherwise.
-    fn code(&self) -> &str {
+    pub(crate) fn code(&self) -> &str {
         match &self.response {
-            Response::Error { code, .. } => code,
+            Response::Error { code, .. } => code.as_str(),
             _ => "ok",
         }
     }
@@ -621,7 +881,7 @@ impl RequestOutcome {
 
 /// Structured, rate-bounded slow-request log: one JSONL entry per
 /// request whose phase total meets [`ServerConfig::slow_request_ms`].
-struct SlowLog {
+pub(crate) struct SlowLog {
     threshold: Duration,
     sink: Mutex<SlowSink>,
 }
@@ -660,7 +920,7 @@ impl SlowLog {
 
     /// Logs `outcome` when its phase total meets the threshold and the
     /// per-second rate bound allows another entry.
-    fn observe(&self, outcome: &RequestOutcome, respond_ns: u64) {
+    pub(crate) fn observe(&self, outcome: &RequestOutcome, respond_ns: u64) {
         let total = outcome
             .queue_wait_ns
             .saturating_add(outcome.execute_ns)
@@ -722,128 +982,85 @@ impl SlowLog {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    // Responses are one small flushed frame each; without TCP_NODELAY
-    // Nagle can hold them for the peer's delayed ACK (~40 ms per round
-    // trip on loopback). The client side sets it too.
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client hung up
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // The timeout may fire after read_line already consumed
-                // part of a frame into `line` (slow link, frame split
-                // across writes). Keep the partial bytes and resume
-                // appending — clearing here would corrupt the frame.
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        let frame = std::mem::take(&mut line);
-        if frame.trim().is_empty() {
-            continue;
-        }
-        let parsed = parse_request(frame.trim_end());
-        let span = req_span(
-            "serve_request",
-            parsed.as_ref().ok().and_then(|(_, id)| *id),
-        );
-        let outcome = dispatch(shared, parsed);
-        let closing = matches!(outcome.response, Response::ShuttingDown);
-        let respond_start = Instant::now();
-        writer.write_all(encode_response_with_id(&outcome.response, outcome.id).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        let respond_ns = elapsed_ns(respond_start);
-        drop(span);
-        shared.requests.record(
-            outcome.label,
-            [
-                outcome.queue_wait_ns,
-                outcome.execute_ns,
-                outcome.wal_ns,
-                respond_ns,
-            ],
-            outcome.code(),
-        );
-        if let Some(slow) = &shared.slow_log {
-            slow.observe(&outcome, respond_ns);
-        }
-        if closing {
-            // Tear down only after the ack is flushed: connection
-            // threads are detached, and once shutdown starts the main
-            // thread may exit the process before this thread runs again
-            // — the client must already hold the response by then.
-            initiate_shutdown(shared);
-            return Ok(());
-        }
-    }
+/// What [`dispatch`] did with one parsed frame.
+pub(crate) enum Dispatched {
+    /// Answered on the reactor thread itself (protocol errors, pings,
+    /// shutdown acks, backpressure rejections): flush as-is, zero
+    /// worker phases.
+    Inline(RequestOutcome),
+    /// Enqueued to the session's shard, addressed back to
+    /// `(conn_id, seq)`; the worker's [`Completion`] closes the slot.
+    /// The metadata here is what the reactor needs to meter and
+    /// slow-log the answer when it arrives.
+    Enqueued {
+        label: &'static str,
+        id: Option<u64>,
+        session: String,
+    },
 }
 
-/// Routes one parsed frame: protocol errors and server-level commands
-/// are answered inline (zero worker phases); session commands travel to
-/// their shard's bounded queue wrapped in a [`RequestCtx`], and the
-/// worker's phase timings come back with the response.
-fn dispatch(
-    shared: &Arc<Shared>,
+/// Routes one parsed frame on the reactor thread: protocol errors and
+/// server-level commands are answered inline; session commands travel
+/// to their shard's bounded queue wrapped in a [`RequestCtx`], and the
+/// worker's phase timings come back as a [`Completion`] addressed to
+/// `(conn_id, seq)`. Never blocks.
+pub(crate) fn dispatch(
+    shared: &Shared,
     parsed: Result<(Command, Option<u64>), EngineError>,
-) -> RequestOutcome {
+    conn_id: u64,
+    seq: u64,
+) -> Dispatched {
     let (cmd, id) = match parsed {
         Ok(pair) => pair,
         Err(e) => {
-            return RequestOutcome::inline(
+            return Dispatched::Inline(RequestOutcome::inline(
                 "invalid",
                 None,
                 None,
                 Response::Error {
-                    code: "protocol".to_owned(),
+                    code: WireCode::Protocol,
                     message: e.to_string(),
                 },
-            )
+            ))
         }
     };
     let label = command_label(&cmd);
     let session = match &cmd {
         Command::Ping => {
-            return RequestOutcome::inline(
+            return Dispatched::Inline(RequestOutcome::inline(
                 label,
                 id,
                 None,
                 Response::Pong {
                     version: PROTOCOL_VERSION,
                 },
-            )
+            ))
         }
         Command::Shutdown => {
-            // No side effects here: the connection loop initiates the
-            // teardown after this ack has been written and flushed.
-            return RequestOutcome::inline(label, id, None, Response::ShuttingDown);
+            // No side effects here: the reactor initiates the teardown
+            // only after this ack has been written and flushed.
+            return Dispatched::Inline(RequestOutcome::inline(
+                label,
+                id,
+                None,
+                Response::ShuttingDown,
+            ));
         }
         other => other.session().expect("session command").to_owned(),
     };
     let shutting_down = || Response::Error {
-        code: "shutting_down".to_owned(),
+        code: WireCode::ShuttingDown,
         message: "server is shutting down".to_owned(),
     };
     if shared.shutting_down.load(Ordering::SeqCst) {
-        return RequestOutcome::inline(label, id, Some(session), shutting_down());
+        return Dispatched::Inline(RequestOutcome::inline(
+            label,
+            id,
+            Some(session),
+            shutting_down(),
+        ));
     }
     let shard = &shared.shards[shard_of(&session, shared.shards.len())];
-    let (reply_tx, reply_rx) = sync_channel(1);
     let job = ShardMsg::Job(Job {
         session: session.clone(),
         cmd,
@@ -852,54 +1069,39 @@ fn dispatch(
             command: label,
             enqueued: Instant::now(),
         },
-        reply: reply_tx,
+        reply: ReplyTo { conn_id, seq },
     });
     // Count the enqueue *before* try_send: the worker decrements on
     // dequeue, and incrementing afterwards would let a fast dequeue's
     // fetch_sub land first and wrap the gauge below zero.
     shard.depth.fetch_add(1, Ordering::SeqCst);
     match shard.sender.try_send(job) {
-        Ok(()) => {}
+        Ok(()) => Dispatched::Enqueued { label, id, session },
         Err(TrySendError::Full(_)) => {
             shard.depth.fetch_sub(1, Ordering::SeqCst);
             shared.overloaded_total.fetch_add(1, Ordering::SeqCst);
-            return RequestOutcome::inline(
+            Dispatched::Inline(RequestOutcome::inline(
                 label,
                 id,
                 Some(session),
                 Response::Error {
-                    code: CODE_OVERLOADED.to_owned(),
+                    code: WireCode::Overloaded,
                     message: format!(
                         "shard queue full ({} pending); back off and retry",
                         shared.config.queue_cap
                     ),
                 },
-            );
+            ))
         }
         Err(TrySendError::Disconnected(_)) => {
             shard.depth.fetch_sub(1, Ordering::SeqCst);
-            return RequestOutcome::inline(label, id, Some(session), shutting_down());
+            Dispatched::Inline(RequestOutcome::inline(
+                label,
+                id,
+                Some(session),
+                shutting_down(),
+            ))
         }
-    }
-    match reply_rx.recv() {
-        Ok(reply) => RequestOutcome {
-            label,
-            id,
-            session: Some(session),
-            response: reply.response,
-            queue_wait_ns: reply.queue_wait_ns,
-            execute_ns: reply.execute_ns,
-            wal_ns: reply.wal_ns,
-        },
-        Err(_) => RequestOutcome::inline(
-            label,
-            id,
-            Some(session),
-            Response::Error {
-                code: "shutting_down".to_owned(),
-                message: "server shut down before the command was processed".to_owned(),
-            },
-        ),
     }
 }
 
@@ -972,6 +1174,9 @@ struct Hosted {
     persisted_gen: u64,
     /// Session time of that generation.
     persisted_t: u32,
+    /// When a command last touched this session; the eviction sweep
+    /// compares this against [`ServerConfig::evict_after`].
+    last_touched: Instant,
 }
 
 impl Hosted {
@@ -986,6 +1191,7 @@ impl Hosted {
             wal_broken: false,
             persisted_gen: 0,
             persisted_t: 0,
+            last_touched: Instant::now(),
         }
     }
 
@@ -1006,7 +1212,32 @@ fn shard_worker(
     depth: &Arc<AtomicUsize>,
 ) {
     let mut sessions: HashMap<String, Hosted> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
+    // With tiering enabled the blocking recv gains a timeout so an idle
+    // shard still wakes to sweep; a busy shard sweeps between jobs
+    // instead (recv_timeout never times out under sustained load). The
+    // sweep interval is a quarter of the idle threshold, clamped so it
+    // neither spins nor lets a session overstay by much.
+    let sweep = shared
+        .config
+        .evict_after
+        .map(|idle| (idle / 4).clamp(Duration::from_millis(50), Duration::from_secs(1)));
+    let mut last_sweep = Instant::now();
+    loop {
+        let msg = match sweep {
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+            Some(interval) => match rx.recv_timeout(interval) {
+                Ok(msg) => msg,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    evict_idle_sessions(shared, &mut sessions);
+                    last_sweep = Instant::now();
+                    continue;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            },
+        };
         match msg {
             ShardMsg::Shutdown => break,
             ShardMsg::Job(job) => {
@@ -1023,13 +1254,26 @@ fn shard_worker(
                 let wal_ns = WAL_NS.get();
                 let execute_ns = elapsed_ns(started).saturating_sub(wal_ns);
                 drop(span);
-                // The client may have hung up; its problem, not ours.
-                let _ = job.reply.send(WorkerReply {
-                    response,
-                    queue_wait_ns,
-                    execute_ns,
-                    wal_ns,
-                });
+                shared
+                    .completions
+                    .lock()
+                    .expect("completions lock")
+                    .push(Completion {
+                        to: job.reply,
+                        reply: WorkerReply {
+                            response,
+                            queue_wait_ns,
+                            execute_ns,
+                            wal_ns,
+                        },
+                    });
+                shared.wake_reactor();
+                if let Some(interval) = sweep {
+                    if last_sweep.elapsed() >= interval {
+                        evict_idle_sessions(shared, &mut sessions);
+                        last_sweep = Instant::now();
+                    }
+                }
             }
         }
     }
@@ -1038,6 +1282,47 @@ fn shard_worker(
         if let Err(e) = write_checkpoint(shared, hosted) {
             eprintln!("lahar-serve: final checkpoint for session '{name}' failed: {e}");
         }
+    }
+}
+
+/// Checkpoints-and-drops every hosted session on this shard idle past
+/// [`ServerConfig::evict_after`], freeing its resident memory.
+///
+/// With an active write-ahead log the drop alone suffices: the newest
+/// persisted generation plus the uncovered log tail already reconstruct
+/// the session bit-identically (the restore is exactly `open`'s proven
+/// recovery path). Without one, a fresh checkpoint generation is
+/// written first, and a write failure aborts the eviction — dropping
+/// state that exists nowhere else would not be tiering, it would be
+/// data loss. Poisoned and log-broken sessions stay resident: their
+/// recovery needs the live state.
+fn evict_idle_sessions(shared: &Shared, sessions: &mut HashMap<String, Hosted>) {
+    let Some(idle) = shared.config.evict_after else {
+        return;
+    };
+    let due: Vec<String> = sessions
+        .iter()
+        .filter(|(_, h)| {
+            h.last_touched.elapsed() >= idle && !h.wal_broken && !h.session.is_poisoned()
+        })
+        .map(|(name, _)| name.clone())
+        .collect();
+    for name in due {
+        let mut hosted = sessions.remove(&name).expect("listed above");
+        if hosted.wal.is_none() {
+            if let Err(e) = write_checkpoint(shared, &mut hosted) {
+                eprintln!("lahar-serve: eviction checkpoint for session '{name}' failed: {e}");
+                sessions.insert(name, hosted);
+                continue;
+            }
+        }
+        {
+            let mut registry = shared.registry.lock().expect("registry lock");
+            if let Some(entry) = registry.iter_mut().find(|e| e.name == name) {
+                entry.evicted = true;
+            }
+        }
+        shared.evictions_total.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -1201,6 +1486,7 @@ fn open_session<'m>(
                             wal_broken: false,
                             persisted_gen: l.gen,
                             persisted_t: l.checkpoint.t(),
+                            last_touched: Instant::now(),
                         }
                     }
                 };
@@ -1244,11 +1530,25 @@ fn open_session<'m>(
                 hosted
             }
         };
-        shared
-            .registry
-            .lock()
-            .expect("registry lock")
-            .push((name.to_owned(), hosted.session.stats().clone()));
+        {
+            let mut registry = shared.registry.lock().expect("registry lock");
+            match registry.iter_mut().find(|e| e.name == name) {
+                Some(entry) => {
+                    // Re-materializing an evicted session: swap in the
+                    // fresh stats handle (the old session's is gone)
+                    // and count the restore.
+                    entry.stats = hosted.session.stats().clone();
+                    if std::mem::take(&mut entry.evicted) {
+                        shared.restores_total.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                None => registry.push(SessionEntry {
+                    name: name.to_owned(),
+                    stats: hosted.session.stats().clone(),
+                    evicted: false,
+                }),
+            }
+        }
         sessions.insert(name.to_owned(), hosted);
         return Ok((sessions.get_mut(name).expect("just inserted"), was_restored));
     }
@@ -1484,13 +1784,13 @@ fn resolve_marginal(
 
 fn engine_error(e: EngineError) -> Response {
     let code = match &e {
-        EngineError::Protocol(_) => "bad_request",
-        EngineError::SessionPoisoned => "poisoned",
-        EngineError::DurabilityIo(_) => "durability",
-        _ => "engine",
+        EngineError::Protocol(_) => WireCode::BadRequest,
+        EngineError::SessionPoisoned => WireCode::Poisoned,
+        EngineError::DurabilityIo(_) => WireCode::Durability,
+        _ => WireCode::Engine,
     };
     Response::Error {
-        code: code.to_owned(),
+        code,
         message: e.to_string(),
     }
 }
@@ -1509,7 +1809,7 @@ fn handle_command(
     match result {
         Ok(response) => response,
         Err(payload) => Response::Error {
-            code: "engine".to_owned(),
+            code: WireCode::Engine,
             message: format!(
                 "command handler panicked: {}",
                 crate::error::panic_message(payload)
@@ -1524,15 +1824,37 @@ fn handle_command_inner(
     session_name: &str,
     cmd: &Command,
 ) -> Response {
-    // Only `open` creates (or restores) a session; every other command
-    // addressed to an unknown name is rejected, so mistyped or hostile
-    // wire-supplied names cannot accumulate server state.
-    let (hosted, restored) = if matches!(cmd, Command::Open { .. }) {
-        if !sessions.contains_key(session_name)
+    // Only `open` creates a *new* session; every other command
+    // addressed to a name never opened is rejected, so mistyped or
+    // hostile wire-supplied names cannot accumulate server state. A
+    // name that is in the registry but evicted is different: any
+    // command touching it restores it lazily through `open`'s recovery
+    // path, so tiering stays invisible on the wire.
+    let is_open = matches!(cmd, Command::Open { .. });
+    let (hosted, restored) = if sessions.contains_key(session_name) {
+        (sessions.get_mut(session_name).expect("checked"), false)
+    } else {
+        // Not resident: consult the registry for the name's status.
+        let known = {
+            let registry = shared.registry.lock().expect("registry lock");
+            registry.iter().any(|e| e.name == session_name)
+        };
+        if !known && !is_open {
+            return Response::Error {
+                code: WireCode::UnknownSession,
+                message: format!(
+                    "session '{session_name}' is not open on this server; send open first"
+                ),
+            };
+        }
+        // The namespace cap applies to genuinely new names only:
+        // evicted sessions already hold a registry slot and must stay
+        // reopenable even at the cap.
+        if !known
             && shared.registry.lock().expect("registry lock").len() >= shared.config.max_sessions
         {
             return Response::Error {
-                code: CODE_SESSION_LIMIT.to_owned(),
+                code: WireCode::SessionLimit,
                 message: format!(
                     "server already hosts its maximum of {} sessions",
                     shared.config.max_sessions
@@ -1543,19 +1865,8 @@ fn handle_command_inner(
             Ok(pair) => pair,
             Err(e) => return engine_error(e),
         }
-    } else {
-        match sessions.get_mut(session_name) {
-            Some(hosted) => (hosted, false),
-            None => {
-                return Response::Error {
-                    code: CODE_UNKNOWN_SESSION.to_owned(),
-                    message: format!(
-                        "session '{session_name}' is not open on this server; send open first"
-                    ),
-                }
-            }
-        }
     };
+    hosted.last_touched = Instant::now();
     // A session poisoned by an earlier fault heals before the next
     // command; the recovered tick's alerts still extend the series.
     if hosted.session.is_poisoned() {
@@ -1588,7 +1899,7 @@ fn handle_command_inner(
         Command::Register { name, query, .. } => {
             if hosted.by_name.contains_key(name) {
                 return Response::Error {
-                    code: "bad_request".to_owned(),
+                    code: WireCode::BadRequest,
                     message: format!("query '{name}' is already registered"),
                 };
             }
@@ -1661,7 +1972,7 @@ fn handle_command_inner(
             }
             if resolved.is_empty() {
                 return Response::Error {
-                    code: "bad_request".to_owned(),
+                    code: WireCode::BadRequest,
                     message: "'ticks' must close at least one tick".to_owned(),
                 };
             }
@@ -1710,7 +2021,7 @@ fn handle_command_inner(
         }
         Command::Series { query, .. } => match hosted.by_name.get(query) {
             None => Response::Error {
-                code: "unknown_query".to_owned(),
+                code: WireCode::UnknownQuery,
                 message: format!("no query named '{query}' in session '{session_name}'"),
             },
             Some(&idx) => Response::Series {
@@ -1723,7 +2034,7 @@ fn handle_command_inner(
             Err(e) => engine_error(e),
         },
         Command::Ping | Command::Shutdown => Response::Error {
-            code: "bad_request".to_owned(),
+            code: WireCode::BadRequest,
             message: "server-level command routed to a shard".to_owned(),
         },
     }
@@ -1736,12 +2047,14 @@ fn handle_command_inner(
 /// Renders every hosted session's snapshot (label `session="..."`) plus
 /// the server's own queue/backpressure gauges.
 fn render_metrics(shared: &Shared) -> String {
-    let snaps: Vec<(String, StatsSnapshot)> = {
+    let (snaps, resident, evicted) = {
         let registry = shared.registry.lock().expect("registry lock");
-        registry
+        let snaps: Vec<(String, StatsSnapshot)> = registry
             .iter()
-            .map(|(name, stats)| (name.clone(), stats.snapshot()))
-            .collect()
+            .map(|e| (e.name.clone(), e.stats.snapshot()))
+            .collect();
+        let evicted = registry.iter().filter(|e| e.evicted).count();
+        (snaps, registry.len() - evicted, evicted)
     };
     let refs: Vec<(&str, &StatsSnapshot)> = snaps
         .iter()
@@ -1780,10 +2093,40 @@ fn render_metrics(shared: &Shared) -> String {
     .unwrap();
     writeln!(
         out,
-        "# HELP lahar_server_sessions Sessions hosted across all shards.\n\
+        "# HELP lahar_server_sessions Sessions hosted across all shards (resident + evicted).\n\
          # TYPE lahar_server_sessions gauge\n\
          lahar_server_sessions {}",
-        shared.registry.lock().expect("registry lock").len()
+        resident + evicted
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_sessions_resident Hosted sessions currently held in memory.\n\
+         # TYPE lahar_server_sessions_resident gauge\n\
+         lahar_server_sessions_resident {resident}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_sessions_evicted Hosted sessions tiered out to checkpoint storage.\n\
+         # TYPE lahar_server_sessions_evicted gauge\n\
+         lahar_server_sessions_evicted {evicted}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_evictions_total Idle sessions evicted to checkpoint storage.\n\
+         # TYPE lahar_server_evictions_total counter\n\
+         lahar_server_evictions_total {}",
+        shared.evictions_total.load(Ordering::SeqCst)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# HELP lahar_server_restores_total Evicted sessions restored by a touching command.\n\
+         # TYPE lahar_server_restores_total counter\n\
+         lahar_server_restores_total {}",
+        shared.restores_total.load(Ordering::SeqCst)
     )
     .unwrap();
     out.push_str(&shared.requests.to_prometheus());

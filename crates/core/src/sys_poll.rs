@@ -1,0 +1,156 @@
+//! Minimal `poll(2)` binding — the readiness primitive under the
+//! connection reactor ([`crate::reactor`]).
+//!
+//! This is the workspace's **second and only other** `unsafe` island
+//! (the first is [`crate::simd`]); both are pinned by
+//! `scripts/unsafe_audit.sh`. The unsafe surface is exactly one
+//! `extern "C"` declaration of the libc `poll` symbol (always linked by
+//! std on unix — no `libc` crate needed) and the call through it. The
+//! safe wrapper [`poll`] owns the invariants: the fd array pointer and
+//! length come from one `&mut [PollFd]`, and `EINTR` is retried so
+//! callers never observe spurious interrupts.
+//!
+//! On non-unix targets the wrapper degrades to a bounded sleep that
+//! reports every fd ready — a *valid* (if inefficient) answer, because
+//! every socket the reactor registers is non-blocking and readiness is
+//! only ever a hint: a wrongly-"ready" fd just yields `WouldBlock` on
+//! the next read and is re-armed.
+
+use std::io;
+
+/// Readable data (or a peer close, on most platforms) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (output only; always polled implicitly).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only; always polled implicitly).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (output only; signals reactor bookkeeping bugs).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` fd set, layout-compatible with the C
+/// `struct pollfd` on every supported unix.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd is ignored by the
+    /// kernel — the standard way to leave a hole in the array).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch for `fd` with the given interest set and no results yet.
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+#[cfg(all(unix, any(target_os = "linux", target_os = "android")))]
+type NFds = std::os::raw::c_ulong;
+#[cfg(all(unix, not(any(target_os = "linux", target_os = "android"))))]
+type NFds = std::os::raw::c_uint;
+
+#[cfg(unix)]
+extern "C" {
+    // The libc symbol; std already links libc on every unix target.
+    fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
+}
+
+/// Blocks until at least one fd in `fds` has a requested (or error)
+/// event, or `timeout_ms` elapses (`-1` blocks indefinitely, `0` polls).
+/// Returns how many entries have a non-zero `revents`. `EINTR` is
+/// retried internally.
+#[cfg(unix)]
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only
+        // within `fds.len()` entries and only to `revents`.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Non-unix fallback: sleep briefly, then report every watched fd
+/// "ready". Spurious readiness is harmless on non-blocking sockets (the
+/// read answers `WouldBlock`), so the reactor stays correct, merely
+/// polling instead of blocking.
+#[cfg(not(unix))]
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let nap = match timeout_ms {
+        t if t < 0 => 10,
+        t => t.min(10),
+    };
+    std::thread::sleep(std::time::Duration::from_millis(nap as u64));
+    let mut n = 0;
+    for f in fds.iter_mut() {
+        if f.fd >= 0 && f.events != 0 {
+            f.revents = f.events;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn readiness_fires_on_pending_data_and_times_out_clean() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        // Nothing pending: a zero-timeout poll reports no fds ready.
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents & POLLIN, 0);
+
+        // After a write, the receiving end is readable.
+        tx.write_all(b"x").unwrap();
+        tx.flush().unwrap();
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+
+        // A connected socket with room in its send buffer is writable.
+        let mut fds = [PollFd::new(tx.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0);
+
+        // Negative fds are holes, not errors.
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_close_is_observable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        drop(tx);
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        // FIN shows up as POLLIN (read returns 0) and/or POLLHUP.
+        assert_ne!(fds[0].revents & (POLLIN | POLLHUP), 0);
+    }
+}

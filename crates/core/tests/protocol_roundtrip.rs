@@ -5,7 +5,7 @@
 
 use lahar_core::protocol::{
     encode_command, encode_response, parse_command, parse_response, Command, Response, WireAlert,
-    WireMarginal, PROTOCOL_VERSION,
+    WireCode, WireMarginal, PROTOCOL_VERSION,
 };
 use lahar_core::EngineError;
 use proptest::prelude::*;
@@ -114,8 +114,12 @@ fn response() -> impl Strategy<Value = Response> {
         (wire_string(), prop::collection::vec(prob(), 0..6))
             .prop_map(|(query, series)| Response::Series { query, series }),
         (0..100u32).prop_map(|t| Response::Checkpointed { t }),
-        (wire_string(), wire_string())
-            .prop_map(|(code, message)| Response::Error { code, message }),
+        // Arbitrary code strings exercise both the known-variant and
+        // `Other` paths of the typed `WireCode` round-trip.
+        (wire_string(), wire_string()).prop_map(|(code, message)| Response::Error {
+            code: WireCode::from_wire(&code),
+            message,
+        }),
     ]
 }
 

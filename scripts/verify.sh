@@ -154,6 +154,21 @@ for needle in '"name":"serve_request"' '"name":"shard_dequeue"' '"req":' \
         exit 1
     fi
 done
+
+echo "==> serve-scale smoke (bench-ingest: 256 connections, tiering drain)"
+# Self-hosts a server, drives 256 connections through the one reactor
+# thread, and hard-fails on any silent drop or on resident sessions not
+# draining to 0 after the eviction idle window.
+./target/release/lahar bench-ingest --manifest "$dep" --quick \
+    --evict-after-ms 300 --out "$dep/BENCH_serve.json" 2>"$dep/bench-ingest.log" \
+    || { cat "$dep/bench-ingest.log" >&2; exit 1; }
+for needle in '"zero_silent_drop": true' '"resident_after_idle": 0'; do
+    if ! grep -qF "$needle" "$dep/BENCH_serve.json"; then
+        echo "serve-scale smoke failed: missing $needle" >&2
+        cat "$dep/BENCH_serve.json" >&2
+        exit 1
+    fi
+done
 rm -rf "$dep"
 
 echo "==> crash harness (kill -9 recovery, release, bounded)"

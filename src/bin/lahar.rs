@@ -22,7 +22,7 @@ use lahar::query::{classify, compile_safe_plan, parse_and_validate, NormalQuery,
 use lahar::rfid::{Deployment, DeploymentConfig};
 use lahar::{
     Durability, EngineError, LaharClient, LaharServer, RealTimeSession, RetryPolicy, ServerConfig,
-    SessionConfig,
+    SessionConfig, WireCode,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
+        Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
@@ -69,8 +70,12 @@ fn print_usage() {
          \x20               [--queue-cap N] [--max-sessions N] [--checkpoint-dir DIR]\n  \
          \x20               [--durability none|batch|always] [--checkpoint-interval N]\n  \
          \x20               [--slow-request-ms N] [--slow-log FILE] [--trace] [--trace-out FILE]\n  \
+         \x20               [--evict-after-ms N]\n  \
          lahar ingest   --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--ticks N]\n  \
          \x20               [--epoch N] [--scrape URL] [--shutdown]\n  \
+         lahar bench-ingest --manifest DIR [--addr IP:PORT] [--connections N] [--sessions M]\n  \
+         \x20               [--ticks N] [--shards N] [--queue-cap N] [--evict-after-ms N]\n  \
+         \x20               [--quick] [--out FILE]\n  \
          lahar probe    --manifest DIR --addr IP:PORT 'QUERY' [--session NAME] [--shutdown]\n  \
          lahar demo\n\n\
          QUERY SYNTAX (see README):\n  \
@@ -83,7 +88,7 @@ fn print_usage() {
 /// Flags that never take a value — without this list a trailing
 /// positional (e.g. the query after `--shutdown`) would be swallowed
 /// as the flag's value.
-const BOOL_FLAGS: [&str; 3] = ["archived", "shutdown", "trace"];
+const BOOL_FLAGS: [&str; 4] = ["archived", "shutdown", "trace", "quick"];
 
 fn parse_flags(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), String> {
     let mut flags = BTreeMap::new();
@@ -438,36 +443,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .ok_or("serve requires --manifest DIR".to_owned())?,
     );
     let template = load_database_impl(&dir, false)?;
-    let mut config = ServerConfig::default();
+    let mut builder = ServerConfig::builder();
     if let Some(addr) = flags.get("addr") {
-        config.addr = parse_addr("addr", addr)?;
+        builder = builder.addr(parse_addr("addr", addr)?);
     }
     if let Some(addr) = flags.get("metrics-addr") {
-        config.metrics_addr = Some(parse_addr("metrics-addr", addr)?);
+        builder = builder.metrics_addr(parse_addr("metrics-addr", addr)?);
     }
-    config.n_shards = get_usize(&flags, "shards", config.n_shards)?;
-    config.queue_cap = get_usize(&flags, "queue-cap", config.queue_cap)?;
-    config.max_sessions = get_usize(&flags, "max-sessions", config.max_sessions)?;
+    if flags.contains_key("shards") {
+        builder = builder.n_shards(get_usize(&flags, "shards", 0)?);
+    }
+    if flags.contains_key("queue-cap") {
+        builder = builder.queue_cap(get_usize(&flags, "queue-cap", 0)?);
+    }
+    if flags.contains_key("max-sessions") {
+        builder = builder.max_sessions(get_usize(&flags, "max-sessions", 0)?);
+    }
     if let Some(d) = flags.get("checkpoint-dir") {
-        config.checkpoint_dir = Some(PathBuf::from(d));
+        builder = builder.checkpoint_dir(d);
     }
-    if let Some(level) = flags.get("durability") {
-        config.session_config.durability = Durability::parse(level)
-            .ok_or_else(|| format!("--durability expects none|batch|always, got {level:?}"))?;
-    }
-    if flags.contains_key("checkpoint-interval") {
-        let interval = get_usize(&flags, "checkpoint-interval", 0)?;
-        if interval == 0 {
-            return Err("--checkpoint-interval must be non-zero (omit it to disable)".to_owned());
+    if flags.contains_key("durability") || flags.contains_key("checkpoint-interval") {
+        let mut session = SessionConfig::builder();
+        if let Some(level) = flags.get("durability") {
+            session =
+                session.durability(Durability::parse(level).ok_or_else(|| {
+                    format!("--durability expects none|batch|always, got {level:?}")
+                })?);
         }
-        config.session_config.checkpoint_interval = interval;
+        if flags.contains_key("checkpoint-interval") {
+            let interval = get_usize(&flags, "checkpoint-interval", 0)?;
+            if interval == 0 {
+                return Err(
+                    "--checkpoint-interval must be non-zero (omit it to disable)".to_owned(),
+                );
+            }
+            session = session.checkpoint_interval(interval);
+        }
+        builder = builder.session_config(session.build().map_err(|e| e.to_string())?);
     }
     if flags.contains_key("slow-request-ms") {
-        config.slow_request_ms = Some(get_usize(&flags, "slow-request-ms", 0)? as u64);
+        builder = builder.slow_request_ms(get_usize(&flags, "slow-request-ms", 0)? as u64);
     }
     if let Some(path) = flags.get("slow-log") {
-        config.slow_log = Some(PathBuf::from(path));
+        builder = builder.slow_log(path);
     }
+    if flags.contains_key("evict-after-ms") {
+        let ms = get_usize(&flags, "evict-after-ms", 0)?;
+        builder = builder.evict_after(std::time::Duration::from_millis(ms as u64));
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     // `--trace-out` implies tracing; `--trace` alone streams spans into
     // the rings for the live `/trace` endpoint on --metrics-addr.
     if flags.contains_key("trace") || flags.contains_key("trace-out") {
@@ -561,7 +585,10 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     match client.register(query_name, src) {
         Ok(_) => {}
         // Re-running against a restored session: the query is already there.
-        Err(EngineError::Remote { code, message }) if code == "bad_request" => {
+        Err(EngineError::Remote {
+            code: WireCode::BadRequest,
+            message,
+        }) => {
             eprintln!("note: {message}");
         }
         Err(e) => return Err(e.to_string()),
@@ -614,6 +641,337 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// A latency percentile over a sorted sample, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+/// First sample value of a Prometheus gauge/counter in `body`, by exact
+/// metric name (labels, if any, are not matched).
+fn scrape_metric(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let rest = rest.trim_start();
+        if rest.is_empty() || l.starts_with('#') {
+            return None;
+        }
+        rest.split_whitespace().next()?.parse().ok()
+    })
+}
+
+/// What one bench connection reports back: ticks acknowledged,
+/// `overloaded` responses absorbed, and per-request latencies.
+struct ConnReport {
+    acked: u64,
+    overloaded: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One bench connection: open the shared session, then drive `ticks`
+/// `stage_tick` round trips, counting `overloaded` pushback explicitly
+/// (no [`RetryPolicy`] — the bench *is* the backpressure accountant)
+/// and retrying the same tick with bounded exponential backoff, so an
+/// acknowledged tick count is exact: nothing is silently dropped.
+fn bench_connection(
+    addr: SocketAddr,
+    session: &str,
+    ticks: usize,
+    frames: &[Vec<WireMarginal>],
+) -> Result<ConnReport, String> {
+    // A 512-way connect storm can outrun the listen backlog; retry the
+    // connect itself a few times before declaring the server gone.
+    let mut client = {
+        let mut attempt = 0u32;
+        loop {
+            match LaharClient::connect(addr, session) {
+                Ok(c) => break c,
+                Err(_) if attempt < 8 => {
+                    std::thread::sleep(std::time::Duration::from_millis(25 << attempt.min(4)));
+                    attempt += 1;
+                }
+                Err(e) => return Err(format!("connect {addr}: {e}")),
+            }
+        }
+    };
+    let mut report = ConnReport {
+        acked: 0,
+        overloaded: 0,
+        latencies_ns: Vec::with_capacity(ticks),
+    };
+    // `open` rides the same shard queues as everything else, so a
+    // connect storm can see `overloaded` before the first tick.
+    let mut backoff = 0u32;
+    loop {
+        match client.open() {
+            Ok(_) => break,
+            Err(EngineError::Remote {
+                code: WireCode::Overloaded,
+                ..
+            }) => {
+                report.overloaded += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1 << backoff.min(6)));
+                backoff += 1;
+            }
+            Err(e) => return Err(format!("open: {e}")),
+        }
+    }
+    for k in 0..ticks {
+        let frame = &frames[k % frames.len()];
+        let mut backoff = 0u32;
+        loop {
+            let start = std::time::Instant::now();
+            match client.stage_tick(frame) {
+                Ok(_) => {
+                    report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                    report.acked += 1;
+                    break;
+                }
+                Err(EngineError::Remote {
+                    code: WireCode::Overloaded,
+                    ..
+                }) => {
+                    report.overloaded += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1 << backoff.min(6)));
+                    backoff += 1;
+                }
+                Err(e) => return Err(format!("stage_tick: {e}")),
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Load generator for the serve path: `--connections` concurrent
+/// clients round-robin over `--sessions` hosted sessions, each driving
+/// `--ticks` `stage_tick` round trips as fast as the server
+/// acknowledges them. Reports overload pushback and latency
+/// percentiles per arm, asserts **zero silent drops** (every session's
+/// final clock equals the ticks its clients got acknowledged), and —
+/// when self-hosting with `--evict-after-ms` — asserts cold-session
+/// tiering converges (`resident` drains to 0 while the registry still
+/// holds every session). Results land in `--out` (default
+/// `BENCH_serve.json`).
+///
+/// Without `--addr` the bench self-hosts an in-process [`LaharServer`]
+/// per arm from `--manifest`'s schema; with `--addr` it drives an
+/// external server (tiering assertions are skipped — no metrics
+/// endpoint is assumed).
+fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let dir = PathBuf::from(
+        flags
+            .get("manifest")
+            .ok_or("bench-ingest requires --manifest DIR".to_owned())?,
+    );
+    let quick = flags.contains_key("quick");
+    let sessions = get_usize(&flags, "sessions", 8)?.max(1);
+    let ticks = get_usize(&flags, "ticks", if quick { 8 } else { 16 })?.max(1);
+    let out = flags
+        .get("out")
+        .map_or_else(|| "BENCH_serve.json".to_owned(), String::clone);
+    let external = match flags.get("addr") {
+        Some(addr) => Some(parse_addr("addr", addr)?),
+        None => None,
+    };
+    let evict_after_ms = if flags.contains_key("evict-after-ms") {
+        Some(get_usize(&flags, "evict-after-ms", 0)? as u64)
+    } else {
+        None
+    };
+    let arms: Vec<usize> = match flags.get("connections") {
+        Some(_) => vec![get_usize(&flags, "connections", 0)?.max(1)],
+        None if quick => vec![256],
+        None => vec![64, 256, 512],
+    };
+
+    // Wire frames are the same for every connection: precompute a small
+    // window of the manifest's recorded marginals and cycle through it.
+    let full = load_database_impl(&dir, true)?;
+    if full.horizon() == 0 {
+        return Err("bench-ingest needs a manifest with recorded ticks".to_owned());
+    }
+    let window = full.horizon().min(64);
+    let frames: std::sync::Arc<Vec<Vec<WireMarginal>>> = std::sync::Arc::new(
+        (0..window)
+            .map(|t| wire_tick(&full, t))
+            .collect::<Result<_, _>>()?,
+    );
+
+    let mut arm_reports: Vec<String> = Vec::new();
+    let mut tiering_report: Option<String> = None;
+
+    for (arm_idx, &connections) in arms.iter().enumerate() {
+        // Self-hosted servers are per-arm so arms never share clocks;
+        // sessions are arm-scoped either way for the same reason.
+        let hosted = match external {
+            Some(_) => None,
+            None => {
+                let ckpt = std::env::temp_dir().join(format!(
+                    "lahar-bench-ingest-{}-{arm_idx}",
+                    std::process::id()
+                ));
+                let _ = fs::remove_dir_all(&ckpt);
+                fs::create_dir_all(&ckpt)
+                    .map_err(|e| format!("creating {}: {e}", ckpt.display()))?;
+                let mut builder = ServerConfig::builder()
+                    .metrics_addr(parse_addr("metrics-addr", "127.0.0.1:0")?)
+                    .n_shards(get_usize(&flags, "shards", 0)?)
+                    .checkpoint_dir(&ckpt);
+                if flags.contains_key("queue-cap") {
+                    builder = builder.queue_cap(get_usize(&flags, "queue-cap", 0)?);
+                }
+                if let Some(ms) = evict_after_ms {
+                    builder = builder.evict_after(std::time::Duration::from_millis(ms));
+                }
+                let config = builder.build().map_err(|e| e.to_string())?;
+                let template = load_database_impl(&dir, false)?;
+                let server = LaharServer::start(config, template).map_err(|e| e.to_string())?;
+                Some((server, ckpt))
+            }
+        };
+        let addr = match (&hosted, external) {
+            (Some((server, _)), _) => server.addr(),
+            (None, Some(addr)) => addr,
+            (None, None) => unreachable!(),
+        };
+
+        eprintln!(
+            "arm {arm_idx}: {connections} connections x {sessions} sessions x {ticks} ticks \
+             against {addr} ..."
+        );
+        let started = std::time::Instant::now();
+        let handles: Vec<_> = (0..connections)
+            .map(|i| {
+                let frames = std::sync::Arc::clone(&frames);
+                let session = format!("bench-a{arm_idx}-{}", i % sessions);
+                std::thread::spawn(move || bench_connection(addr, &session, ticks, &frames))
+            })
+            .collect();
+        let mut latencies: Vec<u64> = Vec::with_capacity(connections * ticks);
+        let mut acked = 0u64;
+        let mut overloaded = 0u64;
+        for h in handles {
+            let report = h
+                .join()
+                .map_err(|_| "bench connection panicked".to_owned())??;
+            acked += report.acked;
+            overloaded += report.overloaded;
+            latencies.extend(report.latencies_ns);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+
+        // Zero-silent-drop: every acknowledged tick must be visible in
+        // its session's clock. Connections sharing a session interleave,
+        // but `stage_tick` is one atomic command, so the clocks add up
+        // exactly — `open` (idempotent) reads them back.
+        let expected_total = (connections * ticks) as u64;
+        if acked != expected_total {
+            return Err(format!(
+                "arm {arm_idx}: acked {acked} != offered {expected_total}"
+            ));
+        }
+        for s in 0..sessions {
+            let conns_here = (connections + sessions - 1 - s) / sessions;
+            if conns_here == 0 {
+                continue;
+            }
+            let want = (conns_here * ticks) as u32;
+            let mut client = LaharClient::connect(addr, &format!("bench-a{arm_idx}-{s}"))
+                .map_err(|e| e.to_string())?;
+            let (t, _) = client.open().map_err(|e| e.to_string())?;
+            if t != want {
+                return Err(format!(
+                    "silent drop: session bench-a{arm_idx}-{s} clock {t} != acked {want}"
+                ));
+            }
+        }
+        eprintln!(
+            "arm {arm_idx}: {acked} acks in {elapsed:.2}s ({:.0} acks/s), \
+             {overloaded} overloaded retries, p99 {:.2}ms — zero silent drops",
+            acked as f64 / elapsed,
+            percentile_ms(&latencies, 0.99),
+        );
+        arm_reports.push(format!(
+            "    {{\"connections\": {connections}, \"sessions\": {sessions}, \
+             \"ticks_per_conn\": {ticks}, \"total_acks\": {acked}, \
+             \"overloaded_retries\": {overloaded}, \"elapsed_s\": {elapsed:.3}, \
+             \"acks_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"zero_silent_drop\": true}}",
+            acked as f64 / elapsed,
+            percentile_ms(&latencies, 0.50),
+            percentile_ms(&latencies, 0.95),
+            percentile_ms(&latencies, 0.99),
+        ));
+
+        // Tiering: with eviction armed, an idle server must drain every
+        // hosted session out of memory while the registry (and thus the
+        // `lahar_server_sessions` total) keeps them addressable.
+        if let Some((server, _)) = &hosted {
+            if let (Some(ms), Some(maddr)) = (evict_after_ms, server.metrics_addr()) {
+                let url = format!("http://{maddr}/metrics");
+                let deadline =
+                    std::time::Instant::now() + std::time::Duration::from_millis(ms * 20 + 15_000);
+                let (resident, total) = loop {
+                    let body = http_get(&url)?;
+                    let resident =
+                        scrape_metric(&body, "lahar_server_sessions_resident").unwrap_or(f64::NAN);
+                    let total = scrape_metric(&body, "lahar_server_sessions ").unwrap_or(f64::NAN);
+                    if resident == 0.0 || std::time::Instant::now() >= deadline {
+                        break (resident, total);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                };
+                let body = http_get(&url)?;
+                let evicted =
+                    scrape_metric(&body, "lahar_server_sessions_evicted").unwrap_or(f64::NAN);
+                let evictions =
+                    scrape_metric(&body, "lahar_server_evictions_total").unwrap_or(f64::NAN);
+                let restores =
+                    scrape_metric(&body, "lahar_server_restores_total").unwrap_or(f64::NAN);
+                if resident.is_nan() || resident > sessions as f64 {
+                    return Err(format!(
+                        "tiering: resident {resident} exceeds active sessions {sessions}"
+                    ));
+                }
+                if resident != 0.0 {
+                    return Err(format!(
+                        "tiering: {resident} sessions still resident after idling past \
+                         evict_after={ms}ms"
+                    ));
+                }
+                eprintln!(
+                    "arm {arm_idx}: tiering converged — resident {resident}, evicted {evicted}, \
+                     total {total}, {evictions} evictions / {restores} restores"
+                );
+                tiering_report = Some(format!(
+                    "  \"tiering\": {{\"evict_after_ms\": {ms}, \"resident_after_idle\": {resident}, \
+                     \"evicted_after_idle\": {evicted}, \"sessions_total\": {total}, \
+                     \"evictions_total\": {evictions}, \"restores_total\": {restores}}},"
+                ));
+            }
+        }
+
+        if let Some((server, ckpt)) = hosted {
+            server.shutdown().map_err(|e| e.to_string())?;
+            let _ = fs::remove_dir_all(&ckpt);
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_ingest\",\n  \"quick\": {quick},\n{}\n  \"arms\": [\n{}\n  ]\n}}\n",
+        tiering_report.unwrap_or_default(),
+        arm_reports.join(",\n"),
+    );
+    fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
 /// Drives one of every wire command against a live server — the
 /// observability smoke: after a probe, `/metrics` has a
 /// `lahar_server_request_duration_seconds` histogram and a
@@ -655,7 +1013,10 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     println!("probe open: t={t0} restored={restored}");
     match client.register("q", src) {
         Ok(n) => println!("probe register: {n} chains"),
-        Err(EngineError::Remote { code, message }) if code == "bad_request" => {
+        Err(EngineError::Remote {
+            code: WireCode::BadRequest,
+            message,
+        }) => {
             println!("probe register: already registered ({message})");
         }
         Err(e) => return Err(e.to_string()),

@@ -39,8 +39,8 @@ pub use lahar_rfid as rfid;
 pub use lahar_core::{
     Alert, Algorithm, Checkpoint, CompileOptions, CompiledQuery, Durability, EngineError,
     EngineStats, Lahar, LaharClient, LaharServer, LatencySnapshot, MetricsServer, QueryId,
-    QuerySnapshot, QuerySource, RealTimeSession, RetryPolicy, ServerConfig, SessionConfig,
-    SessionConfigBuilder, StatsSnapshot, TickMode, CHECKPOINT_VERSION,
+    QuerySnapshot, QuerySource, RealTimeSession, RetryPolicy, ServerConfig, ServerConfigBuilder,
+    SessionConfig, SessionConfigBuilder, StatsSnapshot, TickMode, WireCode, CHECKPOINT_VERSION,
 };
 pub use lahar_model::{Database, StreamBuilder, StreamId, StreamKey};
 pub use lahar_query::QueryClass;

@@ -234,7 +234,10 @@ fn verify_recovery_and_finish(
         }
         // The kill landed before the registration was acknowledged (so
         // it is allowed to be lost) — re-register and carry on.
-        Err(EngineError::Remote { code, .. }) if code == "unknown_query" => {
+        Err(EngineError::Remote {
+            code: lahar::WireCode::UnknownQuery,
+            ..
+        }) => {
             assert_eq!(acked, 0, "q lost after {acked} acked ticks");
             client.register("q", SRC).unwrap();
         }

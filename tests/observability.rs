@@ -256,9 +256,11 @@ fn chrome_trace_from_parallel_session_is_valid() {
 fn session_label_escaping_survives_live_server_scrape() {
     use lahar::{LaharClient, LaharServer, ServerConfig};
     let name = "we\"ird\\session\nname";
-    let mut config = ServerConfig::default();
-    config.n_shards = 2;
-    config.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
+    let config = ServerConfig::builder()
+        .n_shards(2)
+        .metrics_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .unwrap();
     let server = LaharServer::start(config, schema_db().0).unwrap();
     let mut client = LaharClient::connect(server.addr(), name).unwrap();
     client.open().unwrap();
@@ -286,8 +288,7 @@ fn chrome_trace_links_one_request_across_reader_and_worker_threads() {
     lahar::core::trace::clear();
     lahar::core::trace::enable();
 
-    let mut config = ServerConfig::default();
-    config.n_shards = 2;
+    let config = ServerConfig::builder().n_shards(2).build().unwrap();
     let server = LaharServer::start(config, schema_db().0).unwrap();
     let mut client = LaharClient::connect(server.addr(), "traced").unwrap();
     client.open().unwrap();

@@ -8,7 +8,7 @@
 
 use lahar::core::protocol::WireMarginal;
 use lahar::model::{Database, StreamBuilder, Value};
-use lahar::{EngineError, Lahar, LaharClient, LaharServer, ServerConfig};
+use lahar::{EngineError, Lahar, LaharClient, LaharServer, ServerConfig, WireCode};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -97,9 +97,13 @@ fn bits(series: &[f64]) -> Vec<u64> {
 }
 
 fn local_config() -> ServerConfig {
-    let mut config = ServerConfig::default();
-    config.n_shards = 2;
-    config
+    local_builder().build().unwrap()
+}
+
+/// The validating builder every test starts from (field-by-field
+/// mutation of [`ServerConfig`] is deprecated).
+fn local_builder() -> lahar::ServerConfigBuilder {
+    ServerConfig::builder().n_shards(2)
 }
 
 /// A unique per-test checkpoint directory under the system temp dir.
@@ -140,7 +144,7 @@ fn served_series_is_bit_identical_to_offline() {
 
     // Unknown queries answer a typed error, not a hang or a guess.
     match client.series("nope") {
-        Err(EngineError::Remote { code, .. }) => assert_eq!(code, "unknown_query"),
+        Err(EngineError::Remote { code, .. }) => assert_eq!(code, WireCode::UnknownQuery),
         other => panic!("expected unknown_query, got {other:?}"),
     }
     client.shutdown_server().unwrap();
@@ -173,8 +177,7 @@ fn restart_from_shutdown_checkpoint_continues_bit_identically() {
     let dir = temp_dir("restart");
     let frames = wire_frames(&recorded_db());
 
-    let mut config = local_config();
-    config.checkpoint_dir = Some(dir.clone());
+    let config = local_builder().checkpoint_dir(&dir).build().unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let addr = server.addr();
     let mut client = LaharClient::connect(addr, "durable").unwrap();
@@ -187,8 +190,7 @@ fn restart_from_shutdown_checkpoint_continues_bit_identically() {
     server.join().unwrap();
 
     // Same checkpoint dir, fresh process-equivalent server (new port).
-    let mut config = local_config();
-    config.checkpoint_dir = Some(dir.clone());
+    let config = local_builder().checkpoint_dir(&dir).build().unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let mut client = LaharClient::connect(server.addr(), "durable").unwrap();
     let (t, restored) = client.open().unwrap();
@@ -211,8 +213,7 @@ fn restart_from_shutdown_checkpoint_continues_bit_identically() {
 /// offline bits.
 #[test]
 fn concurrent_clients_in_distinct_sessions_agree_with_offline() {
-    let mut config = local_config();
-    config.n_shards = 3;
+    let config = ServerConfig::builder().n_shards(3).build().unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let addr = server.addr();
     let want = offline_bits();
@@ -227,7 +228,10 @@ fn concurrent_clients_in_distinct_sessions_agree_with_offline() {
                     loop {
                         match client.stage_tick(&frame) {
                             Ok(_) => break,
-                            Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                            Err(EngineError::Remote {
+                                code: WireCode::Overloaded,
+                                ..
+                            }) => {
                                 std::thread::sleep(std::time::Duration::from_millis(5));
                             }
                             Err(e) => panic!("worker {i}: {e}"),
@@ -249,11 +253,13 @@ fn concurrent_clients_in_distinct_sessions_agree_with_offline() {
 /// the merged /metrics exposition.
 #[test]
 fn backpressure_is_explicit_and_observable() {
-    let mut config = local_config();
-    config.n_shards = 1;
-    config.queue_cap = 1;
-    config.shard_delay = Some(std::time::Duration::from_millis(60));
-    config.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
+    let config = ServerConfig::builder()
+        .n_shards(1)
+        .queue_cap(1)
+        .shard_delay(std::time::Duration::from_millis(60))
+        .metrics_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let addr = server.addr();
 
@@ -279,7 +285,10 @@ fn backpressure_is_explicit_and_observable() {
                             accepted.fetch_add(1, Ordering::SeqCst);
                             return;
                         }
-                        Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                        Err(EngineError::Remote {
+                            code: WireCode::Overloaded,
+                            ..
+                        }) => {
                             overloaded.fetch_add(1, Ordering::SeqCst);
                             std::thread::sleep(std::time::Duration::from_millis(30));
                         }
@@ -361,8 +370,7 @@ fn partial_frame_split_across_read_timeout_is_not_lost() {
 /// creating server state, and `open` is bounded by the session cap.
 #[test]
 fn sessions_require_open_and_respect_the_cap() {
-    let mut config = local_config();
-    config.max_sessions = 1;
+    let config = local_builder().max_sessions(1).build().unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
 
     let mut client = LaharClient::connect(server.addr(), "ghost").unwrap();
@@ -373,7 +381,7 @@ fn sessions_require_open_and_respect_the_cap() {
         client.checkpoint().map(|_| ()),
     ] {
         match result {
-            Err(EngineError::Remote { code, .. }) => assert_eq!(code, "unknown_session"),
+            Err(EngineError::Remote { code, .. }) => assert_eq!(code, WireCode::UnknownSession),
             other => panic!("expected unknown_session, got {other:?}"),
         }
     }
@@ -385,7 +393,7 @@ fn sessions_require_open_and_respect_the_cap() {
     // The cap bounds hosted sessions; re-opening an existing one is fine.
     let mut second = LaharClient::connect(server.addr(), "overflow").unwrap();
     match second.open() {
-        Err(EngineError::Remote { code, .. }) => assert_eq!(code, "session_limit"),
+        Err(EngineError::Remote { code, .. }) => assert_eq!(code, WireCode::SessionLimit),
         other => panic!("expected session_limit, got {other:?}"),
     }
     assert_eq!(client.open().unwrap(), (1, false));
@@ -412,9 +420,11 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
 #[test]
 fn request_metrics_cover_every_wire_command_and_phase() {
     let dir = temp_dir("reqmetrics");
-    let mut config = local_config();
-    config.metrics_addr = Some("127.0.0.1:0".parse().unwrap());
-    config.checkpoint_dir = Some(dir.clone());
+    let config = local_builder()
+        .metrics_addr("127.0.0.1:0".parse().unwrap())
+        .checkpoint_dir(&dir)
+        .build()
+        .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let mut client = LaharClient::connect(server.addr(), "metered").unwrap();
 
@@ -429,7 +439,7 @@ fn request_metrics_cover_every_wire_command_and_phase() {
     client.checkpoint().unwrap();
     // An error outcome and an unparseable frame land in the counters too.
     match client.series("nope") {
-        Err(EngineError::Remote { code, .. }) => assert_eq!(code, "unknown_query"),
+        Err(EngineError::Remote { code, .. }) => assert_eq!(code, WireCode::UnknownQuery),
         other => panic!("expected unknown_query, got {other:?}"),
     }
     {
@@ -499,9 +509,11 @@ fn slow_log_entry_id_matches_the_response_echo() {
     let dir = temp_dir("slowlog");
     std::fs::create_dir_all(&dir).unwrap();
     let log = dir.join("slow.jsonl");
-    let mut config = local_config();
-    config.slow_request_ms = Some(0);
-    config.slow_log = Some(log.clone());
+    let config = local_builder()
+        .slow_request_ms(0)
+        .slow_log(&log)
+        .build()
+        .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
     let mut client = LaharClient::connect(server.addr(), "sluggish").unwrap();
     client.open().unwrap();
@@ -562,11 +574,14 @@ fn concurrent_clients_survive_injected_faults() {
     }
 
     failpoint::clear_all();
-    let mut config = local_config();
-    config.n_shards = 2;
-    config.session_config = SessionConfig::builder()
-        .tick_mode(TickMode::Parallel)
-        .n_workers(2)
+    let config = local_builder()
+        .session_config(
+            SessionConfig::builder()
+                .tick_mode(TickMode::Parallel)
+                .n_workers(2)
+                .build()
+                .unwrap(),
+        )
         .build()
         .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
@@ -593,7 +608,10 @@ fn concurrent_clients_survive_injected_faults() {
                 while (t as usize) < frames.len() {
                     match client.stage_tick(&frames[t as usize]) {
                         Ok(_) => t += 1,
-                        Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                        Err(EngineError::Remote {
+                            code: WireCode::Overloaded,
+                            ..
+                        }) => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(EngineError::Remote { .. }) => {
@@ -620,7 +638,10 @@ fn concurrent_clients_survive_injected_faults() {
             while closed < SHARED_TICKS_EACH {
                 match client.tick() {
                     Ok(_) => closed += 1,
-                    Err(EngineError::Remote { code, .. }) if code == "overloaded" => {
+                    Err(EngineError::Remote {
+                        code: WireCode::Overloaded,
+                        ..
+                    }) => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
                     Err(EngineError::Remote { .. }) => {
@@ -650,11 +671,15 @@ fn concurrent_clients_survive_injected_faults() {
 /// spans several server-side epochs.
 #[test]
 fn staged_epochs_over_the_wire_match_per_tick_frames() {
-    let mut config = local_config();
-    config.session_config = lahar::SessionConfig::builder()
-        .tick_mode(lahar::TickMode::Parallel)
-        .n_workers(2)
-        .max_epoch_ticks(3)
+    let config = local_builder()
+        .session_config(
+            lahar::SessionConfig::builder()
+                .tick_mode(lahar::TickMode::Parallel)
+                .n_workers(2)
+                .max_epoch_ticks(3)
+                .build()
+                .unwrap(),
+        )
         .build()
         .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
@@ -692,10 +717,14 @@ fn hosted_sessions_share_one_worker_pool() {
             .count()
     }
 
-    let mut config = local_config();
-    config.session_config = lahar::SessionConfig::builder()
-        .tick_mode(lahar::TickMode::Parallel)
-        .n_workers(2)
+    let config = local_builder()
+        .session_config(
+            lahar::SessionConfig::builder()
+                .tick_mode(lahar::TickMode::Parallel)
+                .n_workers(2)
+                .build()
+                .unwrap(),
+        )
         .build()
         .unwrap();
     let server = LaharServer::start(config, schema_db()).unwrap();
@@ -728,4 +757,193 @@ fn client_free_shutdown(server: LaharServer) {
     let mut c = LaharClient::connect(server.addr(), "shutdown-helper").unwrap();
     c.shutdown_server().unwrap();
     server.join().unwrap();
+}
+
+/// Parses one un-labelled gauge/counter sample out of a Prometheus
+/// exposition.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name} in:\n{metrics}"))
+}
+
+/// Polls /metrics until the evicted-sessions gauge reaches `want`.
+fn await_evicted(maddr: std::net::SocketAddr, want: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let metrics = http_get(maddr, "/metrics");
+        if metric_value(&metrics, "lahar_server_sessions_evicted") >= want {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never evicted:\n{metrics}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// Cold-session tiering, no durability: an idle session is checkpointed
+/// out of memory (the resident/evicted gauges flip), and the next
+/// touching command restores it lazily — no explicit re-open — with the
+/// continued series bit-identical to the never-evicted offline run.
+#[test]
+fn evicted_session_restores_bit_identically() {
+    let dir = temp_dir("evict");
+    let config = local_builder()
+        .checkpoint_dir(&dir)
+        .evict_after(std::time::Duration::from_millis(200))
+        .metrics_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .unwrap();
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let maddr = server.metrics_addr().unwrap();
+    let mut client = LaharClient::connect(server.addr(), "cold").unwrap();
+    client.open().unwrap();
+    client.register("q", SRC).unwrap();
+    let frames = wire_frames(&recorded_db());
+    for frame in &frames[..5] {
+        client.stage_tick(frame).unwrap();
+    }
+
+    // Go idle past the threshold: the shard sweep tiers the session out.
+    await_evicted(maddr, 1);
+    let metrics = http_get(maddr, "/metrics");
+    assert_eq!(metric_value(&metrics, "lahar_server_sessions_resident"), 0);
+    assert_eq!(metric_value(&metrics, "lahar_server_sessions"), 1);
+    assert!(metric_value(&metrics, "lahar_server_evictions_total") >= 1);
+
+    // The same connection keeps streaming as if nothing happened.
+    for frame in &frames[5..] {
+        client.stage_tick(frame).unwrap();
+    }
+    assert_eq!(bits(&client.series("q").unwrap()), offline_bits());
+    let metrics = http_get(maddr, "/metrics");
+    assert!(metric_value(&metrics, "lahar_server_restores_total") >= 1);
+    assert_eq!(metric_value(&metrics, "lahar_server_sessions_resident"), 1);
+    assert_eq!(metric_value(&metrics, "lahar_server_sessions_evicted"), 0);
+    client.shutdown_server().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cold-session tiering with durability: an explicit checkpoint midway
+/// leaves a write-ahead tail past the eviction checkpoint, eviction
+/// drops the session from memory without writing anything new, and the
+/// lazy restore replays checkpoint + tail — still bit-identical.
+#[test]
+fn evicted_session_with_wal_tail_restores_bit_identically() {
+    let dir = temp_dir("evict-wal");
+    let config = local_builder()
+        .checkpoint_dir(&dir)
+        .evict_after(std::time::Duration::from_millis(200))
+        .metrics_addr("127.0.0.1:0".parse().unwrap())
+        .session_config(
+            lahar::SessionConfig::builder()
+                .durability(lahar::Durability::Batch)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let server = LaharServer::start(config, schema_db()).unwrap();
+    let maddr = server.metrics_addr().unwrap();
+    let mut client = LaharClient::connect(server.addr(), "cold-wal").unwrap();
+    client.open().unwrap();
+    client.register("q", SRC).unwrap();
+    let frames = wire_frames(&recorded_db());
+    for frame in &frames[..3] {
+        client.stage_tick(frame).unwrap();
+    }
+    // Persist a generation at t = 3 ...
+    client.checkpoint().unwrap();
+    // ... then keep going: ticks 4 and 5 live only in the log tail.
+    for frame in &frames[3..5] {
+        client.stage_tick(frame).unwrap();
+    }
+
+    await_evicted(maddr, 1);
+
+    // The restore replays the t = 3 checkpoint plus the 2-tick tail;
+    // `open` reports the session exactly where it was dropped.
+    assert_eq!(client.open().unwrap(), (5, true));
+    for frame in &frames[5..] {
+        client.stage_tick(frame).unwrap();
+    }
+    assert_eq!(bits(&client.series("q").unwrap()), offline_bits());
+    client.shutdown_server().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole acceptance: 512 concurrent connections are served by ONE
+/// `lahar-conn*` thread (plus the shard workers) — connections cost
+/// file descriptors, not threads — and every connection's command
+/// lands: the per-session clocks account for all 512 ticks.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_serves_512_connections_from_o_shards_threads() {
+    fn conn_threads() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .unwrap()
+            .filter_map(|entry| {
+                let comm = entry.ok()?.path().join("comm");
+                std::fs::read_to_string(comm).ok()
+            })
+            .filter(|name| name.trim_end().starts_with("lahar-conn"))
+            .count()
+    }
+
+    const CONNS: usize = 512;
+    const SESSIONS: usize = 8;
+    let server = LaharServer::start(local_config(), schema_db()).unwrap();
+    let addr = server.addr();
+
+    let mut clients: Vec<LaharClient> = (0..CONNS)
+        .map(|i| LaharClient::connect(addr, &format!("fan-{}", i % SESSIONS)).unwrap())
+        .collect();
+    // Every connection is live (a real request/response round trip),
+    // all at once.
+    for client in &mut clients {
+        assert_eq!(
+            client.ping().unwrap(),
+            lahar::core::protocol::PROTOCOL_VERSION
+        );
+    }
+    assert_eq!(
+        conn_threads(),
+        1,
+        "512 open connections must still be served by the single reactor thread"
+    );
+
+    // Each connection closes one tick on its session; nothing may be
+    // silently dropped even with all 512 interleaving.
+    for client in clients.iter_mut().take(SESSIONS) {
+        client.open().unwrap();
+    }
+    for client in &mut clients {
+        loop {
+            match client.tick() {
+                Ok(_) => break,
+                Err(EngineError::Remote {
+                    code: WireCode::Overloaded,
+                    ..
+                }) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Err(e) => panic!("tick under fan-out failed: {e}"),
+            }
+        }
+    }
+    for client in clients.iter_mut().take(SESSIONS) {
+        let (t, _) = client.open().unwrap();
+        assert_eq!(
+            t as usize,
+            CONNS / SESSIONS,
+            "every accepted tick must land on its session's clock"
+        );
+    }
+    drop(clients);
+    client_free_shutdown(server);
 }
